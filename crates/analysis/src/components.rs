@@ -1,0 +1,167 @@
+//! Connected components of filled cells (paper §II-B).
+//!
+//! The paper builds a graph over filled cells with edges between adjacent
+//! cells and takes connected components; components are the candidate
+//! "tabular regions". We use union-find; adjacency is configurable
+//! (4-neighbour rook or 8-neighbour queen — the paper just says
+//! "adjacent"; queen adjacency merges diagonally-touching regions and is
+//! the default here).
+
+use std::collections::HashMap;
+
+use dataspread_grid::{CellAddr, Rect, SparseSheet};
+
+/// Cell adjacency for component construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Adjacency {
+    /// Up/down/left/right.
+    Four,
+    /// Four plus diagonals.
+    #[default]
+    Eight,
+}
+
+/// A connected component of filled cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Component {
+    /// Number of filled cells in the component.
+    pub cells: usize,
+    /// Minimum bounding rectangle.
+    pub bbox: Rect,
+}
+
+impl Component {
+    /// Density of the component: filled cells / bounding-box area
+    /// (Figure 4's statistic).
+    pub fn density(&self) -> f64 {
+        self.cells as f64 / self.bbox.area() as f64
+    }
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb as usize] = ra;
+        }
+    }
+}
+
+/// Compute the connected components of a sheet's filled cells.
+pub fn connected_components(sheet: &SparseSheet, adj: Adjacency) -> Vec<Component> {
+    let cells: Vec<CellAddr> = sheet.iter().map(|(a, _)| a).collect();
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    let index: HashMap<(u32, u32), u32> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, a)| ((a.row, a.col), i as u32))
+        .collect();
+    let mut uf = UnionFind::new(cells.len());
+    // Only look at "earlier" neighbours (row-major order) — each edge once.
+    let neighbours_four: [(i64, i64); 2] = [(-1, 0), (0, -1)];
+    let neighbours_eight: [(i64, i64); 4] = [(-1, -1), (-1, 0), (-1, 1), (0, -1)];
+    for (i, a) in cells.iter().enumerate() {
+        let deltas: &[(i64, i64)] = match adj {
+            Adjacency::Four => &neighbours_four,
+            Adjacency::Eight => &neighbours_eight,
+        };
+        for &(dr, dc) in deltas {
+            let nr = a.row as i64 + dr;
+            let nc = a.col as i64 + dc;
+            if nr < 0 || nc < 0 {
+                continue;
+            }
+            if let Some(&j) = index.get(&(nr as u32, nc as u32)) {
+                uf.union(i as u32, j);
+            }
+        }
+    }
+    let mut comps: HashMap<u32, Component> = HashMap::new();
+    for (i, a) in cells.iter().enumerate() {
+        let root = uf.find(i as u32);
+        let rect = Rect::cell(*a);
+        comps
+            .entry(root)
+            .and_modify(|c| {
+                c.cells += 1;
+                c.bbox = c.bbox.bbox_union(&rect);
+            })
+            .or_insert(Component {
+                cells: 1,
+                bbox: rect,
+            });
+    }
+    let mut out: Vec<Component> = comps.into_values().collect();
+    out.sort_by_key(|c| (c.bbox.r1, c.bbox.c1, c.bbox.r2, c.bbox.c2));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sheet(cells: &[(u32, u32)]) -> SparseSheet {
+        let mut s = SparseSheet::new();
+        for &(r, c) in cells {
+            s.set_value(CellAddr::new(r, c), 1i64);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_sheet_has_no_components() {
+        assert!(connected_components(&SparseSheet::new(), Adjacency::Eight).is_empty());
+    }
+
+    #[test]
+    fn two_separate_blocks() {
+        let s = sheet(&[(0, 0), (0, 1), (1, 0), (5, 5), (5, 6)]);
+        let comps = connected_components(&s, Adjacency::Four);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].cells, 3);
+        assert_eq!(comps[0].bbox, Rect::new(0, 0, 1, 1));
+        assert!((comps[0].density() - 0.75).abs() < 1e-12);
+        assert_eq!(comps[1].cells, 2);
+    }
+
+    #[test]
+    fn diagonal_touch_merges_only_under_eight() {
+        let s = sheet(&[(0, 0), (1, 1)]);
+        assert_eq!(connected_components(&s, Adjacency::Four).len(), 2);
+        assert_eq!(connected_components(&s, Adjacency::Eight).len(), 1);
+    }
+
+    #[test]
+    fn snake_is_one_component() {
+        // A winding 1-wide path: down column 0, across row 5, up column 4.
+        let mut cells: Vec<(u32, u32)> = (0..6).map(|r| (r, 0)).collect();
+        cells.extend((1..5).map(|c| (5, c)));
+        cells.extend((0..6).map(|r| (r, 4)));
+        let s = sheet(&cells);
+        let comps = connected_components(&s, Adjacency::Four);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].cells, s.filled_count());
+        assert!(comps[0].density() < 0.7, "snakes are not tabular");
+    }
+}

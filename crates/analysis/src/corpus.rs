@@ -1,0 +1,196 @@
+//! Per-sheet and per-corpus aggregation — the Table I pipeline.
+
+use dataspread_formula::parse;
+use dataspread_grid::SparseSheet;
+
+use crate::formulas::{formula_stats, FormulaStats};
+use crate::tabular::{tabular_regions, TabularConfig};
+
+/// Everything the Table I / Figures 2–4 pipeline needs from one sheet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SheetAnalysis {
+    pub filled_cells: usize,
+    pub formula_cells: usize,
+    /// Filled cells / bounding-box area (Figure 2).
+    pub density: f64,
+    /// Number of tabular regions (Figure 3).
+    pub tabular_regions: usize,
+    /// Fraction of filled cells inside tabular regions (Table I col 9).
+    pub tabular_coverage: f64,
+    /// Per-formula access stats (Table I cols 10–11).
+    pub formulas: Vec<FormulaStats>,
+}
+
+impl SheetAnalysis {
+    /// Fraction of filled cells that are formulas.
+    pub fn formula_fraction(&self) -> f64 {
+        if self.filled_cells == 0 {
+            0.0
+        } else {
+            self.formula_cells as f64 / self.filled_cells as f64
+        }
+    }
+}
+
+/// Analyze one sheet.
+pub fn analyze_sheet(sheet: &SparseSheet, cfg: &TabularConfig) -> SheetAnalysis {
+    let regions = tabular_regions(sheet, cfg);
+    let covered: usize = regions.iter().map(|c| c.cells).sum();
+    let filled = sheet.filled_count();
+    let mut formulas = Vec::new();
+    let mut formula_cells = 0;
+    for (_, cell) in sheet.iter() {
+        if let Some(src) = &cell.formula {
+            formula_cells += 1;
+            if let Ok(expr) = parse(src) {
+                formulas.push(formula_stats(&expr));
+            }
+        }
+    }
+    SheetAnalysis {
+        filled_cells: filled,
+        formula_cells,
+        density: sheet.density(),
+        tabular_regions: regions.len(),
+        tabular_coverage: if filled == 0 {
+            0.0
+        } else {
+            covered as f64 / filled as f64
+        },
+        formulas,
+    }
+}
+
+/// A full Table I row.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CorpusStats {
+    pub sheets: usize,
+    /// % of sheets containing at least one formula (col 3).
+    pub pct_sheets_with_formulae: f64,
+    /// % of sheets where formulas are > 20% of filled cells (col 4).
+    pub pct_sheets_formula_heavy: f64,
+    /// Formula cells / filled cells across the corpus (col 5).
+    pub pct_formulae: f64,
+    /// % of sheets with density < 0.5 (col 6).
+    pub pct_density_below_half: f64,
+    /// % of sheets with density < 0.2 (col 7).
+    pub pct_density_below_fifth: f64,
+    /// Total tabular regions (col 8).
+    pub tables: usize,
+    /// % of filled cells inside tabular regions (col 9).
+    pub pct_coverage: f64,
+    /// Average cells accessed per formula (col 10).
+    pub cells_per_formula: f64,
+    /// Average contiguous regions accessed per formula (col 11).
+    pub regions_per_formula: f64,
+}
+
+/// Aggregate per-sheet analyses into a Table I row.
+pub fn analyze_corpus(analyses: &[SheetAnalysis]) -> CorpusStats {
+    let sheets = analyses.len();
+    if sheets == 0 {
+        return CorpusStats::default();
+    }
+    let with_formulae = analyses.iter().filter(|a| a.formula_cells > 0).count();
+    let heavy = analyses
+        .iter()
+        .filter(|a| a.formula_fraction() > 0.20)
+        .count();
+    let filled: usize = analyses.iter().map(|a| a.filled_cells).sum();
+    let formula_cells: usize = analyses.iter().map(|a| a.formula_cells).sum();
+    let below_half = analyses.iter().filter(|a| a.density < 0.5).count();
+    let below_fifth = analyses.iter().filter(|a| a.density < 0.2).count();
+    let tables: usize = analyses.iter().map(|a| a.tabular_regions).sum();
+    let covered: f64 = analyses
+        .iter()
+        .map(|a| a.tabular_coverage * a.filled_cells as f64)
+        .sum();
+    let all_formulas: Vec<&FormulaStats> =
+        analyses.iter().flat_map(|a| a.formulas.iter()).collect();
+    let nf = all_formulas.len().max(1) as f64;
+    CorpusStats {
+        sheets,
+        pct_sheets_with_formulae: 100.0 * with_formulae as f64 / sheets as f64,
+        pct_sheets_formula_heavy: 100.0 * heavy as f64 / sheets as f64,
+        pct_formulae: if filled == 0 {
+            0.0
+        } else {
+            100.0 * formula_cells as f64 / filled as f64
+        },
+        pct_density_below_half: 100.0 * below_half as f64 / sheets as f64,
+        pct_density_below_fifth: 100.0 * below_fifth as f64 / sheets as f64,
+        tables,
+        pct_coverage: if filled == 0 {
+            0.0
+        } else {
+            100.0 * covered / filled as f64
+        },
+        cells_per_formula: all_formulas.iter().map(|f| f.cells_accessed as f64).sum::<f64>() / nf,
+        regions_per_formula: all_formulas
+            .iter()
+            .map(|f| f.regions_accessed as f64)
+            .sum::<f64>()
+            / nf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataspread_grid::{Cell, CellAddr};
+
+    fn tabular_sheet() -> SparseSheet {
+        let mut s = SparseSheet::new();
+        for r in 0..10 {
+            for c in 0..4 {
+                s.set_value(CellAddr::new(r, c), (r * 4 + c) as i64);
+            }
+        }
+        // Totals row of formulas.
+        for c in 0..4 {
+            let col = dataspread_grid::addr::col_to_letters(c);
+            s.set(
+                CellAddr::new(10, c),
+                Cell::formula(format!("SUM({col}1:{col}10)")),
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn analyze_sheet_counts() {
+        let s = tabular_sheet();
+        let a = analyze_sheet(&s, &TabularConfig::default());
+        assert_eq!(a.filled_cells, 44);
+        assert_eq!(a.formula_cells, 4);
+        assert_eq!(a.tabular_regions, 1);
+        assert!((a.tabular_coverage - 1.0).abs() < 1e-12);
+        assert_eq!(a.formulas.len(), 4);
+        assert_eq!(a.formulas[0].cells_accessed, 10);
+        assert_eq!(a.formulas[0].regions_accessed, 1);
+        assert!((a.formula_fraction() - 4.0 / 44.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corpus_aggregation() {
+        let s1 = tabular_sheet();
+        let mut s2 = SparseSheet::new();
+        s2.set_value(CellAddr::new(0, 0), 1i64);
+        s2.set_value(CellAddr::new(9, 9), 1i64);
+        let analyses = vec![
+            analyze_sheet(&s1, &TabularConfig::default()),
+            analyze_sheet(&s2, &TabularConfig::default()),
+        ];
+        let stats = analyze_corpus(&analyses);
+        assert_eq!(stats.sheets, 2);
+        assert_eq!(stats.pct_sheets_with_formulae, 50.0);
+        assert_eq!(stats.tables, 1);
+        assert_eq!(stats.pct_density_below_fifth, 50.0);
+        assert!(stats.cells_per_formula > 0.0);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        assert_eq!(analyze_corpus(&[]), CorpusStats::default());
+    }
+}

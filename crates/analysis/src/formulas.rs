@@ -1,0 +1,151 @@
+//! Formula-access statistics (paper §II-C, Table I columns 10–11,
+//! Figure 5).
+
+use std::collections::HashMap;
+
+use dataspread_formula::ast::Expr;
+use dataspread_formula::refs::collect_ranges;
+use dataspread_formula::{parse, BinOp};
+use dataspread_grid::{Rect, SparseSheet};
+
+/// Access statistics of a single formula.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FormulaStats {
+    /// Cells accessed (sum of referenced-range areas).
+    pub cells_accessed: u64,
+    /// Number of contiguous regions among the accessed cells — computed as
+    /// connected components over the referenced rectangles, where two
+    /// rectangles connect when they overlap or touch (share an edge after
+    /// 1-cell dilation).
+    pub regions_accessed: usize,
+}
+
+/// Whether two rectangles overlap or are edge/corner adjacent.
+fn touching(a: &Rect, b: &Rect) -> bool {
+    // Dilate `a` by one cell in every direction, then test intersection.
+    let dil = Rect {
+        r1: a.r1.saturating_sub(1),
+        c1: a.c1.saturating_sub(1),
+        r2: a.r2.saturating_add(1),
+        c2: a.c2.saturating_add(1),
+    };
+    dil.intersects(b)
+}
+
+/// Compute access statistics for a parsed formula.
+pub fn formula_stats(expr: &Expr) -> FormulaStats {
+    let ranges = collect_ranges(expr);
+    let cells_accessed = ranges.iter().map(Rect::area).sum();
+    // Union-find over the (few) rectangles.
+    let n = ranges.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            if touching(&ranges[i], &ranges[j]) {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[rj] = ri;
+                }
+            }
+        }
+    }
+    let mut roots: Vec<usize> = (0..n).map(|i| find(&mut parent, i)).collect();
+    roots.sort_unstable();
+    roots.dedup();
+    FormulaStats {
+        cells_accessed,
+        regions_accessed: roots.len(),
+    }
+}
+
+/// Histogram of functions used across a sheet's formulas (Figure 5).
+/// Binary arithmetic operators are tallied under `ARITH`, matching the
+/// paper's category.
+pub fn function_histogram(sheet: &SparseSheet) -> HashMap<String, u64> {
+    let mut hist: HashMap<String, u64> = HashMap::new();
+    for (_, cell) in sheet.iter() {
+        let Some(src) = &cell.formula else { continue };
+        let Ok(expr) = parse(src) else { continue };
+        tally(&expr, &mut hist);
+    }
+    hist
+}
+
+fn tally(expr: &Expr, hist: &mut HashMap<String, u64>) {
+    match expr {
+        Expr::Func(name, args) => {
+            *hist.entry(name.clone()).or_insert(0) += 1;
+            for a in args {
+                tally(a, hist);
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow) {
+                *hist.entry("ARITH".to_string()).or_insert(0) += 1;
+            }
+            tally(a, hist);
+            tally(b, hist);
+        }
+        Expr::Unary(_, e) | Expr::Percent(e) => tally(e, hist),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataspread_grid::{Cell, CellAddr};
+
+    #[test]
+    fn stats_count_cells_and_regions() {
+        // Two touching ranges + one far-away cell = 2 regions.
+        let e = parse("SUM(A1:A10)+SUM(B1:B10)+Z99").unwrap();
+        let st = formula_stats(&e);
+        assert_eq!(st.cells_accessed, 21);
+        assert_eq!(st.regions_accessed, 2);
+    }
+
+    #[test]
+    fn disjoint_ranges_counted_separately() {
+        let e = parse("SUM(A1:A5)+SUM(H10:I20)").unwrap();
+        assert_eq!(formula_stats(&e).regions_accessed, 2);
+        // Constants only: no accesses.
+        let c = parse("1+2").unwrap();
+        assert_eq!(
+            formula_stats(&c),
+            FormulaStats {
+                cells_accessed: 0,
+                regions_accessed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn vlookup_style_locality() {
+        // Typical VLOOKUP: key cell next to the formula + a big table.
+        let e = parse("VLOOKUP(A2,H1:J100,2)").unwrap();
+        let st = formula_stats(&e);
+        assert_eq!(st.cells_accessed, 1 + 300);
+        assert_eq!(st.regions_accessed, 2);
+    }
+
+    #[test]
+    fn histogram_tallies_functions_and_arith() {
+        let mut s = SparseSheet::new();
+        s.set(CellAddr::new(0, 0), Cell::formula("SUM(A2:A9)+1"));
+        s.set(CellAddr::new(0, 1), Cell::formula("IF(A1>0,SUM(B2:B9),LN(2))"));
+        s.set(CellAddr::new(0, 2), Cell::value(5i64));
+        let h = function_histogram(&s);
+        assert_eq!(h.get("SUM"), Some(&2));
+        assert_eq!(h.get("IF"), Some(&1));
+        assert_eq!(h.get("LN"), Some(&1));
+        assert_eq!(h.get("ARITH"), Some(&1));
+    }
+}

@@ -1,0 +1,20 @@
+//! Spreadsheet structure and formula-access analysis — the toolkit behind
+//! the paper's empirical study (§II, Table I, Figures 2–5).
+//!
+//! * [`components`] — connected components of filled cells (union-find),
+//! * [`tabular`] — tabular-region detection (≥ 2 columns, ≥ 5 rows,
+//!   density ≥ 0.7),
+//! * [`formulas`] — formula-access statistics: cells accessed per formula,
+//!   contiguous regions accessed per formula, function histograms,
+//! * [`corpus`] — per-sheet and per-corpus aggregation reproducing the
+//!   Table I columns.
+
+pub mod components;
+pub mod corpus;
+pub mod formulas;
+pub mod tabular;
+
+pub use components::{connected_components, Adjacency, Component};
+pub use corpus::{analyze_corpus, analyze_sheet, CorpusStats, SheetAnalysis};
+pub use formulas::{formula_stats, function_histogram, FormulaStats};
+pub use tabular::{tabular_regions, TabularConfig};

@@ -1,0 +1,106 @@
+//! Tabular-region detection (paper §II-B).
+//!
+//! "We declare a connected component to be a tabular region if it spans at
+//! least two columns and five rows, and has a density of at least 0.7."
+
+use dataspread_grid::SparseSheet;
+
+use crate::components::{connected_components, Adjacency, Component};
+
+/// Thresholds for declaring a component tabular.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TabularConfig {
+    pub min_rows: u64,
+    pub min_cols: u64,
+    pub min_density: f64,
+    pub adjacency: Adjacency,
+}
+
+impl Default for TabularConfig {
+    /// The paper's thresholds.
+    fn default() -> Self {
+        TabularConfig {
+            min_rows: 5,
+            min_cols: 2,
+            min_density: 0.7,
+            adjacency: Adjacency::default(),
+        }
+    }
+}
+
+/// The tabular regions of a sheet.
+pub fn tabular_regions(sheet: &SparseSheet, cfg: &TabularConfig) -> Vec<Component> {
+    connected_components(sheet, cfg.adjacency)
+        .into_iter()
+        .filter(|c| {
+            c.bbox.rows() >= cfg.min_rows
+                && c.bbox.cols() >= cfg.min_cols
+                && c.density() >= cfg.min_density
+        })
+        .collect()
+}
+
+/// Fraction of a sheet's filled cells captured inside tabular regions
+/// (Table I "%Coverage").
+pub fn tabular_coverage(sheet: &SparseSheet, cfg: &TabularConfig) -> f64 {
+    let filled = sheet.filled_count();
+    if filled == 0 {
+        return 0.0;
+    }
+    let covered: usize = tabular_regions(sheet, cfg).iter().map(|c| c.cells).sum();
+    covered as f64 / filled as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataspread_grid::CellAddr;
+
+    fn dense_block(s: &mut SparseSheet, r0: u32, c0: u32, rows: u32, cols: u32) {
+        for r in 0..rows {
+            for c in 0..cols {
+                s.set_value(CellAddr::new(r0 + r, c0 + c), 1i64);
+            }
+        }
+    }
+
+    #[test]
+    fn detects_qualifying_table() {
+        let mut s = SparseSheet::new();
+        dense_block(&mut s, 0, 0, 6, 3);
+        let regions = tabular_regions(&s, &TabularConfig::default());
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].cells, 18);
+        assert_eq!(tabular_coverage(&s, &TabularConfig::default()), 1.0);
+    }
+
+    #[test]
+    fn too_small_or_sparse_rejected() {
+        let cfg = TabularConfig::default();
+        // 4 rows: too short.
+        let mut short = SparseSheet::new();
+        dense_block(&mut short, 0, 0, 4, 3);
+        assert!(tabular_regions(&short, &cfg).is_empty());
+        // 1 column: too narrow.
+        let mut narrow = SparseSheet::new();
+        dense_block(&mut narrow, 0, 0, 10, 1);
+        assert!(tabular_regions(&narrow, &cfg).is_empty());
+        // Connected but sparse (density < 0.7): a long L shape.
+        let mut sparse = SparseSheet::new();
+        for i in 0..10 {
+            sparse.set_value(CellAddr::new(i, 0), 1i64);
+            sparse.set_value(CellAddr::new(9, i), 1i64);
+        }
+        assert!(tabular_regions(&sparse, &cfg).is_empty());
+        assert_eq!(tabular_coverage(&sparse, &cfg), 0.0);
+    }
+
+    #[test]
+    fn coverage_is_fractional() {
+        let mut s = SparseSheet::new();
+        dense_block(&mut s, 0, 0, 5, 2); // 10 cells, tabular
+        s.set_value(CellAddr::new(50, 50), 1i64); // 1 stray cell
+        let cov = tabular_coverage(&s, &TabularConfig::default());
+        assert!((cov - 10.0 / 11.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the analysis toolkit's invariants.
+
+use proptest::prelude::*;
+
+use dataspread_analysis::{
+    analyze_corpus, analyze_sheet, connected_components, tabular_regions, Adjacency,
+    TabularConfig,
+};
+use dataspread_grid::{CellAddr, SparseSheet};
+
+fn sheet_strategy() -> impl Strategy<Value = SparseSheet> {
+    prop::collection::vec((0u32..30, 0u32..30), 0..120).prop_map(|cells| {
+        let mut s = SparseSheet::new();
+        for (r, c) in cells {
+            s.set_value(CellAddr::new(r, c), 1i64);
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn components_partition_filled_cells(s in sheet_strategy()) {
+        for adj in [Adjacency::Four, Adjacency::Eight] {
+            let comps = connected_components(&s, adj);
+            let total: usize = comps.iter().map(|c| c.cells).sum();
+            prop_assert_eq!(total, s.filled_count(), "{:?}", adj);
+            for c in &comps {
+                prop_assert!(c.cells as u64 <= c.bbox.area());
+                prop_assert!(c.density() > 0.0 && c.density() <= 1.0);
+                if let Some(bbox) = s.bounding_box() {
+                    prop_assert!(bbox.contains_rect(&c.bbox));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eight_adjacency_merges_never_splits(s in sheet_strategy()) {
+        // Queen adjacency has strictly more edges than rook adjacency, so
+        // it can only merge rook components.
+        let four = connected_components(&s, Adjacency::Four).len();
+        let eight = connected_components(&s, Adjacency::Eight).len();
+        prop_assert!(eight <= four, "eight {} > four {}", eight, four);
+    }
+
+    #[test]
+    fn tabular_regions_are_a_subset_of_components(s in sheet_strategy()) {
+        let cfg = TabularConfig::default();
+        let tabs = tabular_regions(&s, &cfg);
+        let comps = connected_components(&s, cfg.adjacency);
+        prop_assert!(tabs.len() <= comps.len());
+        for t in &tabs {
+            prop_assert!(t.bbox.rows() >= cfg.min_rows);
+            prop_assert!(t.bbox.cols() >= cfg.min_cols);
+            prop_assert!(t.density() >= cfg.min_density);
+            prop_assert!(comps.contains(t), "every tabular region is a component");
+        }
+    }
+
+    #[test]
+    fn sheet_analysis_is_internally_consistent(s in sheet_strategy()) {
+        let a = analyze_sheet(&s, &TabularConfig::default());
+        prop_assert_eq!(a.filled_cells, s.filled_count());
+        prop_assert!(a.formula_cells <= a.filled_cells);
+        prop_assert!((0.0..=1.0).contains(&a.density));
+        prop_assert!((0.0..=1.0).contains(&a.tabular_coverage));
+        prop_assert!((0.0..=1.0).contains(&a.formula_fraction()));
+    }
+
+    #[test]
+    fn corpus_stats_percentages_bounded(sheets in prop::collection::vec(sheet_strategy(), 1..8)) {
+        let analyses: Vec<_> = sheets
+            .iter()
+            .map(|s| analyze_sheet(s, &TabularConfig::default()))
+            .collect();
+        let stats = analyze_corpus(&analyses);
+        prop_assert_eq!(stats.sheets, sheets.len());
+        for pct in [
+            stats.pct_sheets_with_formulae,
+            stats.pct_sheets_formula_heavy,
+            stats.pct_formulae,
+            stats.pct_density_below_half,
+            stats.pct_density_below_fifth,
+            stats.pct_coverage,
+        ] {
+            prop_assert!((0.0..=100.0).contains(&pct), "{}", pct);
+        }
+        prop_assert!(stats.pct_density_below_fifth <= stats.pct_density_below_half);
+        prop_assert!(stats.pct_sheets_formula_heavy <= stats.pct_sheets_with_formulae);
+    }
+}

@@ -1,0 +1,63 @@
+//! Criterion benchmarks for storage-engine operations (Figures 22–24's
+//! select / update / insert on ROM vs RCV translators).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dataspread_bench::{dense_rcv, dense_rom};
+use dataspread_engine::PosMapKind;
+use dataspread_grid::{Cell, CellAddr, Rect};
+
+const ROWS: u32 = 50_000;
+const COLS: u32 = 50;
+
+fn bench_select(c: &mut Criterion) {
+    let rom = dense_rom(ROWS, COLS, PosMapKind::Hierarchical);
+    let rcv = dense_rcv(ROWS / 10, COLS, 1.0, PosMapKind::Hierarchical);
+    let mut group = c.benchmark_group("select_1000x20");
+    group.sample_size(20);
+    group.bench_function("rom", |b| {
+        let window = Rect::new(20_000, 0, 20_999, 19);
+        b.iter(|| std::hint::black_box(rom.get_cells(window)))
+    });
+    group.bench_function("rcv", |b| {
+        let window = Rect::new(2_000, 0, 2_999, 19);
+        b.iter(|| std::hint::black_box(rcv.get_cells(window)))
+    });
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut rom = dense_rom(ROWS, COLS, PosMapKind::Hierarchical);
+    let mut rcv = dense_rcv(ROWS / 10, COLS, 1.0, PosMapKind::Hierarchical);
+    let mut group = c.benchmark_group("update_cell");
+    group.bench_function("rom", |b| {
+        b.iter(|| {
+            rom.set_cell(CellAddr::new(25_000, 10), Cell::value(1i64))
+                .unwrap()
+        })
+    });
+    group.bench_function("rcv", |b| {
+        b.iter(|| {
+            rcv.set_cell(CellAddr::new(2_500, 10), Cell::value(1i64))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_insert_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_row_middle");
+    group.sample_size(20);
+    group.bench_function("rom_hierarchical", |b| {
+        let mut rom = dense_rom(ROWS, COLS, PosMapKind::Hierarchical);
+        b.iter(|| rom.insert_rows(25_000, 1).unwrap())
+    });
+    group.bench_function("rcv_hierarchical", |b| {
+        let mut rcv = dense_rcv(ROWS / 10, COLS, 1.0, PosMapKind::Hierarchical);
+        b.iter(|| rcv.insert_rows(2_500, 1).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_select, bench_update, bench_insert_row);
+criterion_main!(benches);

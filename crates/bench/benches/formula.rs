@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the formula engine: parsing, evaluation, and
+//! dependency planning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dataspread_formula::eval::SheetReader;
+use dataspread_formula::refs::collect_ranges;
+use dataspread_formula::{parse, DependencyGraph, Evaluator};
+use dataspread_grid::{CellAddr, Rect, SparseSheet};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("formula_parse");
+    for (name, src) in [
+        ("arith", "(A1+B2)*3-C4/2"),
+        ("agg", "SUM(A1:A1000)+AVERAGE(B1:B1000)"),
+        ("lookup", "IF(VLOOKUP(A1,D1:F100,2)>0,MAX(G1:G50),0)"),
+    ] {
+        group.bench_function(name, |b| b.iter(|| std::hint::black_box(parse(src).unwrap())));
+    }
+    group.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut sheet = SparseSheet::new();
+    for r in 0..10_000u32 {
+        sheet.set_value(CellAddr::new(r, 0), r as i64);
+        sheet.set_value(CellAddr::new(r, 1), (r * 2) as i64);
+    }
+    let reader = SheetReader(&sheet);
+    let evaluator = Evaluator::new();
+    let sum = parse("SUM(A1:A10000)").unwrap();
+    let vlookup = parse("VLOOKUP(5000,A1:B10000,2)").unwrap();
+    let mut group = c.benchmark_group("formula_eval");
+    group.bench_function("sum_10k", |b| {
+        b.iter(|| std::hint::black_box(evaluator.eval(&sum, &reader)))
+    });
+    group.bench_function("vlookup_10k", |b| {
+        b.iter(|| std::hint::black_box(evaluator.eval(&vlookup, &reader)))
+    });
+    group.finish();
+}
+
+fn bench_deps(c: &mut Criterion) {
+    // A chain of 500 formulas each reading its predecessor plus a shared
+    // range; plan recomputation from the base cell.
+    let mut g = DependencyGraph::new();
+    for i in 0..500u32 {
+        let expr = parse(&format!("B{}+SUM(Z1:Z100)", i + 1)).unwrap();
+        g.set_formula(CellAddr::new(i, 1), collect_ranges(&expr));
+    }
+    g.set_formula(CellAddr::new(0, 1), vec![Rect::new(0, 0, 0, 0)]);
+    let mut group = c.benchmark_group("dependency_plan");
+    group.sample_size(20);
+    group.bench_function("chain_500", |b| {
+        b.iter(|| std::hint::black_box(g.recompute_plan(&[CellAddr::new(0, 0)])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_eval, bench_deps);
+criterion_main!(benches);

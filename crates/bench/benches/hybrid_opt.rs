@@ -1,0 +1,56 @@
+//! Criterion benchmarks for the hybrid decomposition optimizers
+//! (Figure 15a's algorithms, in isolation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dataspread_corpus::multi_table_sheet;
+use dataspread_hybrid::dp::dp_cost;
+use dataspread_hybrid::{optimize_agg, optimize_greedy, CostModel, GridView, OptimizerOptions};
+
+fn bench_optimizers(c: &mut Criterion) {
+    let synth = multi_table_sheet(12, 20, 8, 0.4, 0, 15);
+    let sheet = &synth.sheet;
+    let cm = CostModel::postgres();
+    let opts = OptimizerOptions::default();
+
+    let mut group = c.benchmark_group("hybrid_optimizers_12_tables");
+    group.sample_size(20);
+    group.bench_function("grid_view_build", |b| {
+        b.iter(|| std::hint::black_box(GridView::from_sheet(sheet)))
+    });
+    let view = GridView::from_sheet(sheet);
+    group.bench_function("greedy", |b| {
+        b.iter(|| std::hint::black_box(optimize_greedy(&view, &cm, &opts)))
+    });
+    group.bench_function("agg", |b| {
+        b.iter(|| std::hint::black_box(optimize_agg(&view, &cm, &opts)))
+    });
+    group.bench_function("dp", |b| {
+        b.iter(|| std::hint::black_box(dp_cost(&view, &cm, &opts).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_weighted_collapse(c: &mut Criterion) {
+    // A tall dense sheet: weighting collapses thousands of rows to one band.
+    let mut sheet = dataspread_grid::SparseSheet::new();
+    for r in 0..20_000u32 {
+        for col in 0..12 {
+            sheet.set_value(dataspread_grid::CellAddr::new(r, col), 1i64);
+        }
+    }
+    let cm = CostModel::postgres();
+    let opts = OptimizerOptions::default();
+    let mut group = c.benchmark_group("weighted_collapse_20k_rows");
+    group.sample_size(10);
+    group.bench_function("view_plus_dp", |b| {
+        b.iter(|| {
+            let view = GridView::from_sheet(&sheet);
+            std::hint::black_box(dp_cost(&view, &cm, &opts).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers, bench_weighted_collapse);
+criterion_main!(benches);

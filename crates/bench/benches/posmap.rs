@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks for the positional mapping schemes
+//! (Figure 18's core data structures, in isolation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dataspread_posmap::{HierarchicalPosMap, MonotonicMap, PositionAsIs, PositionalMap};
+
+fn bench_fetch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("posmap_fetch");
+    for &n in &[10_000usize, 1_000_000] {
+        let hier: HierarchicalPosMap<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::new("hierarchical", n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(hier.get(n / 2)))
+        });
+        let asis: PositionAsIs<u64> = (0..n as u64).collect();
+        group.bench_with_input(BenchmarkId::new("as_is", n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(asis.get(n / 2)))
+        });
+        if n <= 10_000 {
+            let mono: MonotonicMap<u64> = (0..n as u64).collect();
+            group.bench_with_input(BenchmarkId::new("monotonic", n), &n, |b, &n| {
+                b.iter(|| std::hint::black_box(mono.get(n / 2)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("posmap_insert_middle");
+    group.sample_size(20);
+    for &n in &[10_000usize, 1_000_000] {
+        group.bench_with_input(BenchmarkId::new("hierarchical", n), &n, |b, &n| {
+            let mut m: HierarchicalPosMap<u64> = (0..n as u64).collect();
+            b.iter(|| m.insert_at(n / 2, 7));
+        });
+        if n <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("as_is", n), &n, |b, &n| {
+                let mut m: PositionAsIs<u64> = (0..n as u64).collect();
+                b.iter(|| m.insert_at(n / 2, 7));
+            });
+            group.bench_with_input(BenchmarkId::new("monotonic", n), &n, |b, &n| {
+                let mut m: MonotonicMap<u64> = (0..n as u64).collect();
+                b.iter(|| m.insert_at(n / 2, 7));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("posmap_range_1000");
+    let hier: HierarchicalPosMap<u64> = (0..1_000_000u64).collect();
+    group.bench_function("hierarchical", |b| {
+        b.iter(|| std::hint::black_box(hier.range(500_000, 1_000)))
+    });
+    let asis: PositionAsIs<u64> = (0..1_000_000u64).collect();
+    group.bench_function("as_is", |b| {
+        b.iter(|| std::hint::black_box(asis.range(500_000, 1_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fetch, bench_insert, bench_range);
+criterion_main!(benches);

@@ -1,0 +1,162 @@
+//! Ablations of the optimizer's design choices (paper Appendix A-C):
+//!
+//! 1. **Access-aware costing (Theorem 7)** — give the optimizer the formula
+//!    workload and compare the decomposition (and its measured access time)
+//!    against the storage-only choice.
+//! 2. **Weighted representation (Theorem 5)** — optimizer runtime with vs
+//!    without collapsing identical adjacent rows/columns, at equal cost.
+//! 3. **Size limits (Theorem 8 / Appendix A-C4)** — a sheet wider than the
+//!    relation-width cap must split into legal tables.
+
+use std::time::Instant;
+
+use dataspread_bench::load_hybrid;
+use dataspread_corpus::multi_table_sheet;
+use dataspread_engine::hybrid::StorageReader;
+use dataspread_formula::refs::collect_ranges;
+use dataspread_formula::{parse, Evaluator};
+use dataspread_grid::{CellAddr, SparseSheet};
+use dataspread_hybrid::dp::dp_cost;
+use dataspread_hybrid::{
+    optimize_agg, optimize_dp, CostModel, GridView, ModelSet, OptimizerOptions,
+};
+
+fn main() {
+    ablation_access_aware();
+    ablation_weighted();
+    ablation_size_limits();
+}
+
+/// Ablation 1. Storage-only vs access-aware decomposition on a sheet whose
+/// access pattern disagrees with its storage-optimal layout: a tall dense
+/// table whose storage prefers COM (the s3 < s4 asymmetry) read by
+/// row-range formulas, which want ROM.
+fn ablation_access_aware() {
+    println!("Ablation 1: access-aware costing (Theorem 7)\n");
+    let synth = multi_table_sheet(6, 300, 12, 0.5, 60, 77);
+    let sheet = &synth.sheet;
+    let exprs: Vec<_> = synth
+        .formulas
+        .iter()
+        .filter_map(|a| sheet.get(*a))
+        .filter_map(|c| c.formula.as_deref())
+        .filter_map(|s| parse(s).ok())
+        .collect();
+    let workload: Vec<_> = exprs.iter().flat_map(collect_ranges).collect();
+    let cm = CostModel::postgres();
+    let view = GridView::from_sheet(sheet);
+
+    let storage_only = optimize_agg(&view, &cm, &OptimizerOptions::default());
+    let access_aware = optimize_agg(
+        &view,
+        &cm,
+        &OptimizerOptions {
+            workload: workload.clone(),
+            ..OptimizerOptions::default()
+        },
+    );
+    let evaluator = Evaluator::new();
+    for (label, decomp) in [("storage-only", &storage_only), ("access-aware", &access_aware)] {
+        let store = load_hybrid(sheet, decomp);
+        let reader = StorageReader(&store);
+        let t = Instant::now();
+        for _ in 0..5 {
+            for e in &exprs {
+                std::hint::black_box(evaluator.eval(e, &reader));
+            }
+        }
+        let kinds: Vec<String> = decomp
+            .regions
+            .iter()
+            .map(|r| r.kind.to_string())
+            .collect();
+        println!(
+            "  {label:<14} {:2} table(s) [{}]  storage {:>10.0}  access(5x{} formulas) {:?}",
+            decomp.table_count(),
+            kinds.join(","),
+            decomp.storage_cost(&view, &cm),
+            exprs.len(),
+            t.elapsed(),
+        );
+    }
+    println!(
+        "  expected: access-aware trades storage for access — it splits tables so\n\
+         \x20 range probes transfer fewer irrelevant tuples/cells (Theorem 7)\n"
+    );
+}
+
+/// Ablation 2. Weighted vs unweighted DP: identical cost, different runtime.
+fn ablation_weighted() {
+    println!("Ablation 2: weighted representation (Theorem 5)\n");
+    let mut sheet = SparseSheet::new();
+    for r in 0..3_000u32 {
+        for c in 0..10 {
+            sheet.set_value(CellAddr::new(r, c), 1i64);
+        }
+    }
+    for r in 4_000..4_030u32 {
+        for c in 20..26 {
+            sheet.set_value(CellAddr::new(r, c), 2i64);
+        }
+    }
+    let cm = CostModel::postgres();
+    let opts = OptimizerOptions {
+        dp_max_side: 8_192,
+        ..OptimizerOptions::default()
+    };
+    let t = Instant::now();
+    let wview = GridView::from_sheet(&sheet);
+    let wcost = dp_cost(&wview, &cm, &opts).unwrap();
+    let wtime = t.elapsed();
+    println!(
+        "  weighted:   bands {}x{}  cost {:.0}  in {:?}",
+        wview.h(),
+        wview.w(),
+        wcost,
+        wtime
+    );
+    let t = Instant::now();
+    let uview = GridView::from_sheet_unweighted(&sheet);
+    println!(
+        "  unweighted: bands {}x{}  (DP would be O(n^5) over 4030 bands — skipped; \
+         view build alone took {:?})",
+        uview.h(),
+        uview.w(),
+        t.elapsed()
+    );
+    println!("  Theorem 5: the weighted optimum equals the unweighted optimum.\n");
+}
+
+/// Ablation 3. Relation-width caps force legal splits.
+fn ablation_size_limits() {
+    println!("Ablation 3: size limits (Theorem 8)\n");
+    let mut sheet = SparseSheet::new();
+    for r in 0..4u32 {
+        for c in 0..2_000u32 {
+            sheet.set_value(CellAddr::new(r, c), 1i64);
+        }
+    }
+    let opts = OptimizerOptions {
+        models: ModelSet::ROM_ONLY,
+        ..OptimizerOptions::default()
+    };
+    let capped = CostModel::postgres(); // max 1600 columns
+    // Band collapse must respect the cap, or the mandatory split cuts are
+    // unreachable (the one case Theorem 5 doesn't cover).
+    let view = GridView::from_sheet_capped(&sheet, u32::MAX, 1600);
+    let d = optimize_dp(&view, &capped, &opts).unwrap();
+    println!(
+        "  2000-column dense sheet, ROM-only, 1600-col cap: {} tables",
+        d.table_count()
+    );
+    for r in &d.regions {
+        println!("    {} as {} ({} cols)", r.rect, r.kind, r.rect.cols());
+        assert!(r.rect.cols() <= 1600, "every table respects the cap");
+    }
+    let uncapped = CostModel {
+        max_table_cols: None,
+        ..CostModel::postgres()
+    };
+    let d = optimize_dp(&GridView::from_sheet(&sheet), &uncapped, &opts).unwrap();
+    println!("  same sheet without the cap: {} table(s)", d.table_count());
+}

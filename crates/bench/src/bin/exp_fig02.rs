@@ -1,0 +1,27 @@
+//! Figure 2: per-corpus sheet-density histograms.
+
+use dataspread_bench::{bar, corpora_with_analyses};
+
+fn main() {
+    println!("Figure 2: Data Density distribution (#sheets per density bucket)\n");
+    for (name, _sheets, analyses) in corpora_with_analyses() {
+        println!("{name}:");
+        let mut buckets = [0usize; 5]; // (0,0.2], .. (0.8,1.0]
+        for a in &analyses {
+            let b = ((a.density * 5.0).ceil() as usize).clamp(1, 5) - 1;
+            buckets[b] += 1;
+        }
+        let max = buckets.iter().copied().max().unwrap_or(1).max(1);
+        for (i, count) in buckets.iter().enumerate() {
+            println!(
+                "  ({:.1},{:.1}] {:>5}  {}",
+                i as f64 * 0.2,
+                (i + 1) as f64 * 0.2,
+                count,
+                bar(*count as f64 / max as f64, 40)
+            );
+        }
+        println!();
+    }
+    println!("paper shape: Internet/ClueWeb09/Enron skew dense (right); Academic skews sparse (left).");
+}

@@ -1,0 +1,24 @@
+//! Figure 3: tabular regions per sheet.
+
+use dataspread_bench::{bar, corpora_with_analyses};
+
+fn main() {
+    println!("Figure 3: Tabular Region Distribution (#sheets by #tables)\n");
+    for (name, _sheets, analyses) in corpora_with_analyses() {
+        println!("{name}:");
+        let mut buckets = [0usize; 8]; // 0..=6, 7+
+        for a in &analyses {
+            buckets[a.tabular_regions.min(7)] += 1;
+        }
+        let max = buckets.iter().copied().max().unwrap_or(1).max(1);
+        for (i, count) in buckets.iter().enumerate() {
+            let label = if i == 7 { "7+".to_string() } else { i.to_string() };
+            println!(
+                "  {label:>2} tables {count:>5}  {}",
+                bar(*count as f64 / max as f64, 40)
+            );
+        }
+        println!();
+    }
+    println!("paper shape: most sheets have 0-2 tabular regions; Academic has fewest.");
+}

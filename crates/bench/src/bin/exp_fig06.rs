@@ -1,0 +1,56 @@
+//! Figure 6: user-survey operation frequencies.
+//!
+//! This figure is human-subject data (30 industry participants) and cannot
+//! be re-run; see DESIGN.md §2. We print the paper's reported distribution
+//! and the derived operation mix (Appendix C-A2) that drives the
+//! incremental-maintenance experiment, then sample the mix to show the
+//! generator matches it.
+
+use dataspread_corpus::{OpMix, UserOp};
+use dataspread_grid::{CellAddr, SparseSheet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("Figure 6: Operations performed on spreadsheets (substitution — see DESIGN.md)\n");
+    println!("paper's survey (30 participants, 1=never..5=frequently, share marking >=4):");
+    for (op, share) in [
+        ("Scrolling", "30/30 perform; 22 mark 5"),
+        ("Changing individual cells", "all participants"),
+        ("Formula evaluation", "most mark >=4"),
+        ("Row/column add/delete", "26/30 mark >=4"),
+        ("Organize as tables", "25/30 mark >=4"),
+        ("Rely on row ordering", "25/30 mark >=4"),
+    ] {
+        println!("  {op:<28} {share}");
+    }
+    println!("\nderived operation mix (Appendix C-A2), used by exp_fig26:");
+    let mix = OpMix::default();
+    println!("  update existing cell  {:.4}", mix.update_cell);
+    println!("  add new cell          {:.4}", mix.add_cell);
+    println!("  add row               {:.4}", mix.add_row);
+    println!("  add column            {:.4}", mix.add_col);
+
+    // Sample the generator to confirm it matches.
+    let mut sheet = SparseSheet::new();
+    for r in 0..50 {
+        for c in 0..8 {
+            sheet.set_value(CellAddr::new(r, c), 1i64);
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut counts = [0u32; 4];
+    const N: u32 = 100_000;
+    for _ in 0..N {
+        match mix.sample(&sheet, &mut rng) {
+            UserOp::UpdateCell(_) => counts[0] += 1,
+            UserOp::AddCell(_) => counts[1] += 1,
+            UserOp::AddRow(_) => counts[2] += 1,
+            UserOp::AddCol(_) => counts[3] += 1,
+        }
+    }
+    println!("\nsampled mix over {N} draws:");
+    for (label, c) in ["update", "add cell", "add row", "add col"].iter().zip(counts) {
+        println!("  {label:<10} {:.4}", c as f64 / N as f64);
+    }
+}

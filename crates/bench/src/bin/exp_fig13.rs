@@ -1,0 +1,80 @@
+//! Figure 13: storage comparison of primitive vs hybrid data models,
+//! normalized to worst = 100 per corpus.
+//!
+//! (a) PostgreSQL cost model; (b) the "ideal database" cost model.
+//! Series: RCV, ROM, COM, Greedy, Agg, DP, and the OPT lower bound.
+//! The paper's headline: hybrids save 15–20% over the best primitive under
+//! PostgreSQL and considerably more under the ideal model; DP ≈ Agg ≈
+//! within 10% of OPT.
+
+use dataspread_bench::corpora_with_analyses;
+use dataspread_hybrid::dp::primitive_cost;
+use dataspread_hybrid::{
+    opt_lower_bound, optimize_agg, optimize_dp, optimize_greedy, CostModel, GridView, ModelKind,
+    OptimizerOptions,
+};
+
+fn main() {
+    for (cm_label, cm) in [
+        ("(a) PostgreSQL cost model", CostModel::postgres()),
+        ("(b) ideal database cost model", CostModel::ideal()),
+    ] {
+        println!("Figure 13{cm_label}: normalized storage (worst = 100)\n");
+        println!(
+            "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "Dataset", "RCV", "ROM", "COM", "Greedy", "Agg", "DP", "OPT"
+        );
+        for (name, sheets, _) in corpora_with_analyses() {
+            // Average normalized cost across sheets (paper's methodology).
+            let mut sums = [0.0f64; 7];
+            let mut counted = 0usize;
+            for sheet in &sheets {
+                if sheet.is_empty() {
+                    continue;
+                }
+                let view = GridView::from_sheet(sheet);
+                let opts = OptimizerOptions::default();
+                let rcv = primitive_cost(&view, &cm, ModelKind::Rcv);
+                let rom = primitive_cost(&view, &cm, ModelKind::Rom);
+                let com = primitive_cost(&view, &cm, ModelKind::Com);
+                let greedy = optimize_greedy(&view, &cm, &opts).storage_cost(&view, &cm);
+                let agg = optimize_agg(&view, &cm, &opts).storage_cost(&view, &cm);
+                let dp = match optimize_dp(&view, &cm, &opts) {
+                    Ok(d) => d.storage_cost(&view, &cm),
+                    Err(_) => agg, // DP terminated on oversize sheets (paper cut DP off too)
+                };
+                let opt = opt_lower_bound(sheet, &cm);
+                let vals = [rcv, rom, com, greedy, agg, dp, opt];
+                let finite_worst = vals
+                    .iter()
+                    .copied()
+                    .filter(|v| v.is_finite())
+                    .fold(f64::MIN, f64::max);
+                for (i, v) in vals.iter().enumerate() {
+                    let v = if v.is_finite() { *v } else { finite_worst };
+                    sums[i] += v / finite_worst * 100.0;
+                }
+                counted += 1;
+            }
+            let n = counted.max(1) as f64;
+            println!(
+                "{:<10} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
+                name.to_string(),
+                sums[0] / n,
+                sums[1] / n,
+                sums[2] / n,
+                sums[3] / n,
+                sums[4] / n,
+                sums[5] / n,
+                sums[6] / n,
+            );
+        }
+        println!();
+    }
+    println!(
+        "paper shape: under PostgreSQL, RCV worst on the dense corpora (ROM/COM ~40% of RCV),\n\
+         hybrids 15-20% below the best primitive, all within 10% of OPT;\n\
+         under the ideal model ROM is worst and hybrids reach ~1/7th of it on ClueWeb09;\n\
+         on Academic (sparse) RCV beats ROM/COM."
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 14: upper bound on the number of tables in the optimal
+//! decomposition, ⌊e·s2/s1 + 1⌋ summed over connected components
+//! (Theorem 4) — justifying that recursive decomposition's additive error
+//! (Theorem 3) is small in practice.
+
+use dataspread_analysis::{connected_components, Adjacency};
+use dataspread_bench::{bar, corpora_with_analyses};
+use dataspread_hybrid::{table_count_upper_bound, CostModel};
+
+fn main() {
+    println!("Figure 14: upper bound for #tables in the optimal decomposition\n");
+    let cm = CostModel::postgres();
+    for (name, sheets, _) in corpora_with_analyses() {
+        let mut buckets = [0usize; 8]; // bound 1..=7, 8+
+        for sheet in &sheets {
+            if sheet.is_empty() {
+                continue;
+            }
+            let bound: u64 = connected_components(sheet, Adjacency::Eight)
+                .iter()
+                .map(|comp| {
+                    let empty = comp.bbox.area() - comp.cells as u64;
+                    table_count_upper_bound(empty, &cm)
+                })
+                .sum();
+            buckets[(bound.clamp(1, 8) - 1) as usize] += 1;
+        }
+        println!("{name}:");
+        let max = buckets.iter().copied().max().unwrap_or(1).max(1);
+        for (i, count) in buckets.iter().enumerate() {
+            let label = if i == 7 { "8+".into() } else { format!("{}", i + 1) };
+            println!(
+                "  bound {label:>2}: {count:>5}  {}",
+                bar(*count as f64 / max as f64, 40)
+            );
+        }
+        println!();
+    }
+    println!("paper shape: ~90% of sheets have fewer than 10 tables in the optimal decomposition,\nso Theorem 3's s1*k(k-1)/2 slack stays small.");
+}

@@ -1,0 +1,122 @@
+//! Figure 15: (a) running time of the hybrid optimization algorithms and
+//! (b) average formula access time per data model.
+//!
+//! (a) DP vs Greedy vs Agg on the four corpora (DP skips sheets above the
+//! size guard, as the paper terminated DP after a wall-clock budget).
+//! (b) every corpus formula evaluated against ROM-single, RCV-single, and
+//! Agg-hybrid storage.
+
+use std::time::{Duration, Instant};
+
+use dataspread_bench::{corpora_with_analyses, load_hybrid, single_model};
+use dataspread_engine::hybrid::StorageReader;
+use dataspread_formula::{parse, Evaluator};
+use dataspread_hybrid::{
+    optimize_agg, optimize_dp, optimize_greedy, CostModel, GridView, ModelKind, OptimizerOptions,
+};
+
+fn main() {
+    let cm = CostModel::postgres();
+    let opts = OptimizerOptions::default();
+
+    println!("Figure 15(a): hybrid optimization running time (avg per sheet)\n");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>14}",
+        "Dataset", "DP", "Greedy", "Agg", "DP sheets run"
+    );
+    let corpora = corpora_with_analyses();
+    for (name, sheets, _) in &corpora {
+        let mut dp_total = Duration::ZERO;
+        let mut dp_count = 0usize;
+        let mut greedy_total = Duration::ZERO;
+        let mut agg_total = Duration::ZERO;
+        for sheet in sheets {
+            if sheet.is_empty() {
+                continue;
+            }
+            let view = GridView::from_sheet(sheet);
+            let t = Instant::now();
+            let g = optimize_greedy(&view, &cm, &opts);
+            greedy_total += t.elapsed();
+            let t = Instant::now();
+            let a = optimize_agg(&view, &cm, &opts);
+            agg_total += t.elapsed();
+            let t = Instant::now();
+            if optimize_dp(&view, &cm, &opts).is_ok() {
+                dp_total += t.elapsed();
+                dp_count += 1;
+            }
+            let _ = (g, a);
+        }
+        let n = sheets.len().max(1) as f64;
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>11}/{}",
+            name.to_string(),
+            fmt_avg(dp_total, dp_count.max(1)),
+            fmt_avg(greedy_total, sheets.len().max(1)),
+            fmt_avg(agg_total, sheets.len().max(1)),
+            dp_count,
+            n as usize,
+        );
+    }
+    println!("\npaper shape: DP orders of magnitude slower (6.3s avg on Enron);\nGreedy ~140x and Agg ~20x faster than DP.\n");
+
+    println!("Figure 15(b): average formula access time per data model\n");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>9}",
+        "Dataset", "ROM", "RCV", "Agg", "formulas"
+    );
+    let evaluator = Evaluator::new();
+    for (name, sheets, _) in &corpora {
+        let mut totals = [Duration::ZERO; 3];
+        let mut n_formulas = 0u64;
+        for sheet in sheets.iter() {
+            if sheet.is_empty() || sheet.formula_count() == 0 {
+                continue;
+            }
+            let exprs: Vec<_> = sheet
+                .iter()
+                .filter_map(|(_, cell)| cell.formula.as_deref())
+                .filter_map(|src| parse(src).ok())
+                .collect();
+            if exprs.is_empty() {
+                continue;
+            }
+            let view = GridView::from_sheet(sheet);
+            let agg_decomp = optimize_agg(&view, &cm, &OptimizerOptions::default());
+            let stores = [
+                load_hybrid(sheet, &single_model(sheet, ModelKind::Rom)),
+                load_hybrid(sheet, &single_model(sheet, ModelKind::Rcv)),
+                load_hybrid(sheet, &agg_decomp),
+            ];
+            for (i, store) in stores.iter().enumerate() {
+                let reader = StorageReader(store);
+                let t = Instant::now();
+                for expr in &exprs {
+                    std::hint::black_box(evaluator.eval(expr, &reader));
+                }
+                totals[i] += t.elapsed();
+            }
+            n_formulas += exprs.len() as u64;
+        }
+        let n = n_formulas.max(1) as usize;
+        println!(
+            "{:<10} {:>12} {:>12} {:>12} {:>9}",
+            name.to_string(),
+            fmt_avg(totals[0], n),
+            fmt_avg(totals[1], n),
+            fmt_avg(totals[2], n),
+            n_formulas,
+        );
+    }
+    println!("\npaper shape: Agg <= ROM << RCV (e.g. Internet: ROM 0.23ms, RCV 3.17ms, Agg 0.13ms\n— 96% below RCV, 45% below ROM), even though Agg optimized storage only.");
+}
+
+fn fmt_avg(total: Duration, n: usize) -> String {
+    let avg = total.as_secs_f64() / n as f64;
+    if avg >= 1e-3 {
+        format!("{:.3} ms", avg * 1e3)
+    } else {
+        format!("{:.1} µs", avg * 1e6)
+    }
+}

@@ -1,0 +1,92 @@
+//! Figure 17: large synthetic multi-table sheets — (a) storage and
+//! (b) formula access time, for Agg-hybrid vs ROM vs RCV across decreasing
+//! density.
+//!
+//! The paper populates sheets with twenty dense regions plus 100 random
+//! range formulas (100M+ cells). Default scale here is 20 regions of
+//! 100×50 (100k filled cells) so the harness runs in seconds; pass
+//! `--scale N` to multiply region edge lengths.
+
+use std::time::Instant;
+
+use dataspread_bench::{load_hybrid, single_model};
+use dataspread_corpus::multi_table_sheet;
+use dataspread_engine::hybrid::StorageReader;
+use dataspread_formula::{parse, Evaluator};
+use dataspread_hybrid::{
+    optimize_agg, CostModel, GridView, ModelKind, ModelSet, OptimizerOptions,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale: u32 = args
+        .iter()
+        .position(|a| a == "--scale")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    // Big enough that the 8 KB-per-table overhead stops dominating and the
+    // optimizer actually separates the regions (the paper runs 100M+ cells;
+    // --scale 4 gets there).
+    let (rows, cols) = (400 * scale, 80 * scale);
+
+    println!(
+        "Figure 17: synthetic sheets (20 regions of {rows}x{cols}, 100 range formulas)\n"
+    );
+    println!(
+        "{:<10} {:>14} {:>14} {:>14}   {:>12} {:>12} {:>12}",
+        "density", "Agg bytes", "ROM bytes", "RCV bytes", "Agg access", "ROM access", "RCV access"
+    );
+    let cm = CostModel::postgres();
+    let evaluator = Evaluator::new();
+    // The paper's §VII-B.e compares Agg against ROM and RCV, so the hybrid
+    // picks between those two models (COM's storage win on tall tables
+    // would trade row-major access away — Theorem 7's access extension is
+    // exercised by the `workload` option instead).
+    let opts = OptimizerOptions {
+        models: ModelSet {
+            rom: true,
+            com: false,
+            rcv: true,
+        },
+        ..OptimizerOptions::default()
+    };
+    for &density in &[0.8, 0.6, 0.4, 0.2] {
+        let synth = multi_table_sheet(20, rows, cols, density, 100, 17);
+        let sheet = &synth.sheet;
+        let view = GridView::from_sheet(sheet);
+        let agg_decomp = optimize_agg(&view, &cm, &opts);
+        let exprs: Vec<_> = synth
+            .formulas
+            .iter()
+            .filter_map(|a| sheet.get(*a))
+            .filter_map(|c| c.formula.as_deref())
+            .filter_map(|src| parse(src).ok())
+            .collect();
+        let configs = [
+            ("Agg", agg_decomp.clone()),
+            ("ROM", single_model(sheet, ModelKind::Rom)),
+            ("RCV", single_model(sheet, ModelKind::Rcv)),
+        ];
+        let mut bytes = Vec::new();
+        let mut access = Vec::new();
+        for (_, decomp) in &configs {
+            let store = load_hybrid(sheet, decomp);
+            bytes.push(store.storage_bytes());
+            let reader = StorageReader(&store);
+            let t = Instant::now();
+            for expr in &exprs {
+                std::hint::black_box(evaluator.eval(expr, &reader));
+            }
+            access.push(t.elapsed());
+        }
+        println!(
+            "{:<10} {:>14} {:>14} {:>14}   {:>12?} {:>12?} {:>12?}",
+            density, bytes[0], bytes[1], bytes[2], access[0], access[1], access[2],
+        );
+    }
+    println!(
+        "\npaper shape: Agg < ROM < RCV on both storage and access at high density;\n\
+         RCV approaches ROM as density falls; Agg saves up to 50-75% of access time."
+    );
+}

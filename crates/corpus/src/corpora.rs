@@ -1,0 +1,186 @@
+//! The four corpus presets, calibrated to the Table I statistics.
+//!
+//! | corpus | character | key targets |
+//! |---|---|---|
+//! | Internet | data publication, dense | ~29% sheets with formulas, most sheets density ≥ 0.5, large ranges per formula |
+//! | ClueWeb09 | data publication | ~42% formula sheets, ~47% sheets below 0.5 density |
+//! | Enron | email data exchange | ~40% formula sheets, ~50% below 0.5 density |
+//! | Academic | data management/forms | ~91% formula sheets, ~91% below 0.5 density, tiny formulas (~3 cells) |
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dataspread_grid::SparseSheet;
+
+use crate::gen::{generate_sheet, FormulaStyle, SheetSpec};
+
+/// The four corpora of the paper's empirical study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorpusName {
+    Internet,
+    ClueWeb09,
+    Enron,
+    Academic,
+}
+
+impl CorpusName {
+    pub const ALL: [CorpusName; 4] = [
+        CorpusName::Internet,
+        CorpusName::ClueWeb09,
+        CorpusName::Enron,
+        CorpusName::Academic,
+    ];
+}
+
+impl std::fmt::Display for CorpusName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CorpusName::Internet => "Internet",
+            CorpusName::ClueWeb09 => "ClueWeb09",
+            CorpusName::Enron => "Enron",
+            CorpusName::Academic => "Academic",
+        })
+    }
+}
+
+/// The generator preset for a corpus.
+pub fn corpus_preset(name: CorpusName) -> SheetSpec {
+    match name {
+        // Dense published tables; formulas are range aggregations. One
+        // table per sheet keeps the bounding box tight (the corpus is
+        // dominated by single-table published data).
+        CorpusName::Internet => SheetSpec {
+            tables: (1, 1),
+            table_rows: (10, 120),
+            table_cols: (3, 12),
+            table_fill: 0.97,
+            scatter_cells: (0, 4),
+            canvas_rows: 140,
+            canvas_cols: 16,
+            scatter_near_tables: true,
+            messy_prob: 0.45,
+            heavy_formula_prob: 0.7,
+            formula_sheet_prob: 0.29,
+            formula_cell_frac: 0.02,
+            formula_style: FormulaStyle::LargeRanges,
+        },
+        // Similar to Internet but messier: more scatter, more sheets
+        // below 0.5 density.
+        CorpusName::ClueWeb09 => SheetSpec {
+            tables: (1, 2),
+            table_rows: (8, 60),
+            table_cols: (2, 10),
+            table_fill: 0.92,
+            scatter_cells: (2, 18),
+            canvas_rows: 90,
+            canvas_cols: 24,
+            scatter_near_tables: true,
+            messy_prob: 0.2,
+            heavy_formula_prob: 0.65,
+            formula_sheet_prob: 0.42,
+            formula_cell_frac: 0.04,
+            formula_style: FormulaStyle::LargeRanges,
+        },
+        // Data exchanged over email: mid-density, moderate formulas.
+        CorpusName::Enron => SheetSpec {
+            tables: (1, 2),
+            table_rows: (5, 50),
+            table_cols: (2, 8),
+            table_fill: 0.9,
+            scatter_cells: (2, 24),
+            canvas_rows: 70,
+            canvas_cols: 24,
+            scatter_near_tables: true,
+            messy_prob: 0.2,
+            heavy_formula_prob: 0.75,
+            formula_sheet_prob: 0.40,
+            formula_cell_frac: 0.05,
+            formula_style: FormulaStyle::Mixed,
+        },
+        // Forms and derived columns: sparse, almost every sheet computes.
+        CorpusName::Academic => SheetSpec {
+            tables: (0, 1),
+            table_rows: (5, 12),
+            table_cols: (2, 4),
+            table_fill: 0.85,
+            scatter_cells: (10, 60),
+            canvas_rows: 30,
+            canvas_cols: 14,
+            scatter_near_tables: false,
+            messy_prob: 1.0,
+            heavy_formula_prob: 0.75,
+            formula_sheet_prob: 0.92,
+            formula_cell_frac: 0.30,
+            formula_style: FormulaStyle::DerivedColumns,
+        },
+    }
+}
+
+/// Generate `n` sheets of a corpus, deterministically from `seed`.
+pub fn generate_corpus(name: CorpusName, n: usize, seed: u64) -> Vec<SparseSheet> {
+    let spec = corpus_preset(name);
+    let mut rng = StdRng::seed_from_u64(seed ^ (name as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    (0..n).map(|_| generate_sheet(&spec, &mut rng).0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataspread_analysis::{analyze_corpus, analyze_sheet, TabularConfig};
+
+    fn stats(name: CorpusName) -> dataspread_analysis::CorpusStats {
+        let sheets = generate_corpus(name, 120, 1);
+        let analyses: Vec<_> = sheets
+            .iter()
+            .map(|s| analyze_sheet(s, &TabularConfig::default()))
+            .collect();
+        analyze_corpus(&analyses)
+    }
+
+    #[test]
+    fn internet_matches_table1_shape() {
+        let s = stats(CorpusName::Internet);
+        assert!(
+            (20.0..40.0).contains(&s.pct_sheets_with_formulae),
+            "formula sheets {}",
+            s.pct_sheets_with_formulae
+        );
+        assert!(
+            s.pct_density_below_half < 40.0,
+            "Internet sheets are mostly dense, got {}% below 0.5",
+            s.pct_density_below_half
+        );
+        assert!(s.pct_coverage > 50.0, "coverage {}", s.pct_coverage);
+        assert!(s.cells_per_formula > 20.0, "large ranges expected");
+    }
+
+    #[test]
+    fn academic_matches_table1_shape() {
+        let s = stats(CorpusName::Academic);
+        assert!(
+            s.pct_sheets_with_formulae > 80.0,
+            "formula sheets {}",
+            s.pct_sheets_with_formulae
+        );
+        assert!(
+            s.pct_density_below_half > 70.0,
+            "Academic sheets are sparse, got {}%",
+            s.pct_density_below_half
+        );
+        assert!(
+            s.cells_per_formula < 10.0,
+            "tiny derived formulas expected, got {}",
+            s.cells_per_formula
+        );
+        assert!(s.pct_coverage < 60.0, "low tabular coverage expected");
+    }
+
+    #[test]
+    fn corpora_are_distinct_and_deterministic() {
+        let a = generate_corpus(CorpusName::Enron, 5, 9);
+        let b = generate_corpus(CorpusName::Enron, 5, 9);
+        assert_eq!(a, b);
+        let c = generate_corpus(CorpusName::ClueWeb09, 5, 9);
+        assert_ne!(a, c);
+    }
+}

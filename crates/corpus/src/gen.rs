@@ -1,0 +1,272 @@
+//! Parameterized single-sheet generator.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use dataspread_grid::addr::col_to_letters;
+use dataspread_grid::{Cell, CellAddr, Rect, SparseSheet};
+
+/// How formulas are laid out on a generated sheet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormulaStyle {
+    /// Aggregations over table ranges (totals rows, SUM/AVERAGE/VLOOKUP) —
+    /// the publication/exchange corpora.
+    LargeRanges,
+    /// Derived columns touching a few neighbour cells — the Academic
+    /// corpus's style (≈3 cells per formula).
+    DerivedColumns,
+    /// A blend of both.
+    Mixed,
+}
+
+/// Parameters for one synthetic sheet.
+#[derive(Debug, Clone)]
+pub struct SheetSpec {
+    /// Number of dense tables, chosen uniformly in this range.
+    pub tables: (u32, u32),
+    pub table_rows: (u32, u32),
+    pub table_cols: (u32, u32),
+    /// Fill probability inside a table.
+    pub table_fill: f64,
+    /// Stray filled cells scattered over the canvas.
+    pub scatter_cells: (u32, u32),
+    pub canvas_rows: u32,
+    pub canvas_cols: u32,
+    /// Whether stray cells hug the tables (titles/notes of published data)
+    /// or spread across the whole canvas (form-style layouts).
+    pub scatter_near_tables: bool,
+    /// Probability that a sheet is "messy": its scatter ignores
+    /// `scatter_near_tables` and spreads over the whole canvas.
+    pub messy_prob: f64,
+    /// Probability that a formula-carrying sheet is formula-heavy
+    /// (formulas >20% of filled cells — Table I column 4).
+    pub heavy_formula_prob: f64,
+    /// Probability that this sheet carries formulas at all.
+    pub formula_sheet_prob: f64,
+    /// Formula cells as a fraction of the sheet's filled cells.
+    pub formula_cell_frac: f64,
+    pub formula_style: FormulaStyle,
+}
+
+/// Generate a sheet. Also returns the table rectangles actually placed
+/// (callers use them to direct formulas/workloads at real data).
+pub fn generate_sheet(spec: &SheetSpec, rng: &mut StdRng) -> (SparseSheet, Vec<Rect>) {
+    let mut sheet = SparseSheet::new();
+    let mut tables: Vec<Rect> = Vec::new();
+    let n_tables = rng.gen_range(spec.tables.0..=spec.tables.1);
+    let mut attempts = 0;
+    while (tables.len() as u32) < n_tables && attempts < 200 {
+        attempts += 1;
+        let rows = rng.gen_range(spec.table_rows.0..=spec.table_rows.1);
+        let cols = rng.gen_range(spec.table_cols.0..=spec.table_cols.1);
+        if rows > spec.canvas_rows || cols > spec.canvas_cols {
+            continue;
+        }
+        let r0 = rng.gen_range(0..=spec.canvas_rows - rows);
+        let c0 = rng.gen_range(0..=spec.canvas_cols - cols);
+        let rect = Rect::new(r0, c0, r0 + rows - 1, c0 + cols - 1);
+        // Keep tables separated by at least one empty row/col so they stay
+        // distinct components.
+        let dilated = Rect {
+            r1: rect.r1.saturating_sub(1),
+            c1: rect.c1.saturating_sub(1),
+            r2: rect.r2 + 1,
+            c2: rect.c2 + 1,
+        };
+        if tables.iter().any(|t| t.intersects(&dilated)) {
+            continue;
+        }
+        for addr in rect.iter() {
+            if rng.gen_bool(spec.table_fill) {
+                sheet.set_value(addr, rng.gen_range(0..10_000) as i64);
+            }
+        }
+        tables.push(rect);
+    }
+    // Scatter cells go *near* the tables (titles, notes, stray entries) so
+    // they do not blow up the bounding box the way uniform placement would;
+    // sheets without tables scatter over the whole canvas (form-style).
+    let n_scatter = rng.gen_range(spec.scatter_cells.0..=spec.scatter_cells.1);
+    let whole_canvas = Rect::new(0, 0, spec.canvas_rows - 1, spec.canvas_cols - 1);
+    let messy = rng.gen_bool(spec.messy_prob);
+    let scatter_zone = if spec.scatter_near_tables && !messy {
+        tables
+            .iter()
+            .fold(None::<Rect>, |acc, t| {
+                Some(match acc {
+                    Some(a) => a.bbox_union(t),
+                    None => *t,
+                })
+            })
+            .map(|b| Rect {
+                r1: b.r1.saturating_sub(2),
+                c1: b.c1.saturating_sub(1),
+                r2: (b.r2 + 3).min(spec.canvas_rows - 1),
+                c2: (b.c2 + 2).min(spec.canvas_cols - 1),
+            })
+            .unwrap_or(whole_canvas)
+    } else {
+        whole_canvas
+    };
+    for _ in 0..n_scatter {
+        let r = rng.gen_range(scatter_zone.r1..=scatter_zone.r2);
+        let c = rng.gen_range(scatter_zone.c1..=scatter_zone.c2);
+        sheet.set_value(CellAddr::new(r, c), rng.gen_range(0..100) as i64);
+    }
+    if rng.gen_bool(spec.formula_sheet_prob) && !sheet.is_empty() {
+        add_formulas(&mut sheet, &tables, spec, rng);
+    }
+    (sheet, tables)
+}
+
+fn add_formulas(sheet: &mut SparseSheet, tables: &[Rect], spec: &SheetSpec, rng: &mut StdRng) {
+    // The corpora are bimodal (Table I cols 3-4): most sheets carrying
+    // formulas carry a *lot* of them (>20% of filled cells).
+    let frac = if rng.gen_bool(spec.heavy_formula_prob) {
+        rng.gen_range(0.22..0.40)
+    } else {
+        spec.formula_cell_frac
+    };
+    let n_formulas = ((sheet.filled_count() as f64 * frac).round() as usize).max(1);
+    for i in 0..n_formulas {
+        let style = match spec.formula_style {
+            FormulaStyle::LargeRanges => FormulaStyle::LargeRanges,
+            FormulaStyle::DerivedColumns => FormulaStyle::DerivedColumns,
+            FormulaStyle::Mixed => {
+                if rng.gen_bool(0.5) {
+                    FormulaStyle::LargeRanges
+                } else {
+                    FormulaStyle::DerivedColumns
+                }
+            }
+        };
+        match style {
+            FormulaStyle::LargeRanges if !tables.is_empty() => {
+                // A totals formula below a table: SUM/AVERAGE over one of
+                // its columns, or a VLOOKUP into it.
+                let t = tables[rng.gen_range(0..tables.len())];
+                // Spread formulas over a growing totals block under the
+                // table so each formula occupies a distinct cell.
+                let cols_n = t.cols() as u32;
+                let col = t.c1 + (i as u32 % cols_n);
+                let col_a1 = col_to_letters(col);
+                let target = CellAddr::new(t.r2 + 2 + (i as u32 / cols_n), col);
+                let mut src = match rng.gen_range(0..4) {
+                    0 => format!("SUM({col_a1}{}:{col_a1}{})", t.r1 + 1, t.r2 + 1),
+                    1 => format!("AVERAGE({col_a1}{}:{col_a1}{})", t.r1 + 1, t.r2 + 1),
+                    2 => format!(
+                        "VLOOKUP({}{},{}:{},{})",
+                        col_to_letters(t.c1),
+                        t.r1 + 1,
+                        CellAddr::new(t.r1, t.c1).to_a1(),
+                        CellAddr::new(t.r2, t.c2).to_a1(),
+                        rng.gen_range(1..=t.cols())
+                    ),
+                    _ => format!(
+                        "IF(SUM({col_a1}{}:{col_a1}{})>0,1,0)",
+                        t.r1 + 1,
+                        t.r2 + 1
+                    ),
+                };
+                // Most real formulas touch a second contiguous area — a key
+                // cell, a rate constant, or another table (Table I col 11:
+                // 1.5-2.5 regions per formula).
+                if rng.gen_bool(0.65) {
+                    let extra = if tables.len() > 1 && rng.gen_bool(0.4) {
+                        let o = tables[rng.gen_range(0..tables.len())];
+                        let oc = col_to_letters(rng.gen_range(o.c1..=o.c2));
+                        format!("SUM({oc}{}:{oc}{})", o.r1 + 1, o.r2 + 1)
+                    } else {
+                        // A lone parameter cell above the table.
+                        CellAddr::new(t.r1.saturating_sub(2), t.c2 + 2).to_a1()
+                    };
+                    src = format!("{src}+{extra}");
+                }
+                sheet.set(target, Cell::formula(src));
+            }
+            _ => {
+                // Derived cell: arithmetic over 2–3 nearby cells, spread
+                // over a widening band of derived columns.
+                let (r, c) = match tables.first() {
+                    Some(t) => {
+                        let rows_n = t.rows() as u32;
+                        (
+                            t.r1 + (i as u32 % rows_n),
+                            t.c2 + 2 + (i as u32 / rows_n),
+                        )
+                    }
+                    None => (rng.gen_range(0..spec.canvas_rows), rng.gen_range(0..spec.canvas_cols)),
+                };
+                let a = CellAddr::new(r, c.saturating_sub(2)).to_a1();
+                let b = CellAddr::new(r, c.saturating_sub(1)).to_a1();
+                let src = match rng.gen_range(0..3) {
+                    0 => format!("{a}+{b}"),
+                    1 => format!("({a}+{b})/2"),
+                    _ => format!("IF(ISBLANK({a}),0,{a}*{b})"),
+                };
+                sheet.set(CellAddr::new(r, c), Cell::formula(src));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn spec() -> SheetSpec {
+        SheetSpec {
+            tables: (1, 3),
+            table_rows: (5, 15),
+            table_cols: (2, 6),
+            table_fill: 0.95,
+            scatter_cells: (0, 5),
+            scatter_near_tables: true,
+            messy_prob: 0.1,
+            heavy_formula_prob: 0.3,
+            canvas_rows: 60,
+            canvas_cols: 30,
+            formula_sheet_prob: 1.0,
+            formula_cell_frac: 0.05,
+            formula_style: FormulaStyle::Mixed,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let (a, _) = generate_sheet(&spec(), &mut StdRng::seed_from_u64(7));
+        let (b, _) = generate_sheet(&spec(), &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+        let (c, _) = generate_sheet(&spec(), &mut StdRng::seed_from_u64(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tables_are_disjoint_and_dense() {
+        let (sheet, tables) = generate_sheet(&spec(), &mut StdRng::seed_from_u64(42));
+        assert!(!tables.is_empty());
+        for (i, a) in tables.iter().enumerate() {
+            for b in &tables[i + 1..] {
+                assert!(!a.intersects(b));
+            }
+        }
+        assert!(sheet.filled_count() > 0);
+    }
+
+    #[test]
+    fn formulas_parse() {
+        let (sheet, _) = generate_sheet(&spec(), &mut StdRng::seed_from_u64(3));
+        let mut n = 0;
+        for (_, cell) in sheet.iter() {
+            if let Some(src) = &cell.formula {
+                assert!(
+                    dataspread_formula::parse(src).is_ok(),
+                    "generated formula must parse: {src}"
+                );
+                n += 1;
+            }
+        }
+        assert!(n > 0, "formula_sheet_prob=1 must yield formulas");
+    }
+}

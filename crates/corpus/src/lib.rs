@@ -1,0 +1,22 @@
+//! Synthetic spreadsheet corpora and workload generators.
+//!
+//! The paper evaluates on four crawled corpora (Internet, ClueWeb09, Enron,
+//! Academic — Table I), on large synthetic multi-table sheets (§VII-B.e),
+//! on a genomics VCF file (Example 1), and on a retail customer-management
+//! database (Example 2), plus a user-operation mix for incremental
+//! maintenance (Appendix C-A2). None of the originals are redistributable,
+//! so this crate generates seeded synthetic equivalents calibrated to the
+//! published structural statistics — see DESIGN.md §2 for the substitution
+//! argument.
+
+pub mod corpora;
+pub mod gen;
+pub mod ops;
+pub mod retail;
+pub mod synth;
+pub mod vcf;
+
+pub use corpora::{corpus_preset, generate_corpus, CorpusName};
+pub use gen::{generate_sheet, FormulaStyle, SheetSpec};
+pub use ops::{apply_op, OpMix, UserOp};
+pub use synth::{dense_sheet, multi_table_sheet, SynthSheet};

@@ -1,0 +1,165 @@
+//! User-operation workloads (paper Appendix C-A2).
+//!
+//! "We consider the following four operations. (i) Change the value of an
+//! existing cell. (ii) Add a new cell at an arbitrary location. (iii) Add a
+//! new row. (iv) Add a new column. … performed with probabilities 0.6, 0.2,
+//! 0.1999, and 0.0001 respectively" — derived from the user survey
+//! (Figure 6).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use dataspread_grid::{CellAddr, SparseSheet};
+
+/// One user edit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UserOp {
+    /// Change the value of an existing (filled) cell.
+    UpdateCell(CellAddr),
+    /// Fill a new cell at an arbitrary location.
+    AddCell(CellAddr),
+    /// Insert a blank row before this index.
+    AddRow(u32),
+    /// Insert a blank column before this index.
+    AddCol(u32),
+}
+
+/// Operation mix probabilities (must sum to 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpMix {
+    pub update_cell: f64,
+    pub add_cell: f64,
+    pub add_row: f64,
+    pub add_col: f64,
+}
+
+impl Default for OpMix {
+    /// The paper's mix.
+    fn default() -> Self {
+        OpMix {
+            update_cell: 0.6,
+            add_cell: 0.2,
+            add_row: 0.1999,
+            add_col: 0.0001,
+        }
+    }
+}
+
+impl OpMix {
+    /// Sample one operation against the current sheet state.
+    pub fn sample(&self, sheet: &SparseSheet, rng: &mut StdRng) -> UserOp {
+        let bbox = sheet.bounding_box();
+        let (rows, cols) = match bbox {
+            Some(b) => (b.r2 + 2, b.c2 + 2),
+            None => (10, 10),
+        };
+        let x: f64 = rng.gen();
+        if x < self.update_cell {
+            // Pick an existing filled cell (uniform over filled cells).
+            let filled = sheet.filled_count();
+            if filled > 0 {
+                let idx = rng.gen_range(0..filled);
+                if let Some((addr, _)) = sheet.iter().nth(idx) {
+                    return UserOp::UpdateCell(addr);
+                }
+            }
+            UserOp::AddCell(CellAddr::new(rng.gen_range(0..rows), rng.gen_range(0..cols)))
+        } else if x < self.update_cell + self.add_cell {
+            UserOp::AddCell(CellAddr::new(rng.gen_range(0..rows), rng.gen_range(0..cols)))
+        } else if x < self.update_cell + self.add_cell + self.add_row {
+            UserOp::AddRow(rng.gen_range(0..rows))
+        } else {
+            UserOp::AddCol(rng.gen_range(0..cols))
+        }
+    }
+}
+
+/// Apply an operation to a sheet (the oracle semantics).
+pub fn apply_op(sheet: &mut SparseSheet, op: UserOp, rng: &mut StdRng) {
+    match op {
+        UserOp::UpdateCell(a) | UserOp::AddCell(a) => {
+            sheet.set_value(a, rng.gen_range(0..100_000) as i64);
+        }
+        UserOp::AddRow(at) => {
+            sheet.insert_rows(at, 1).expect("insert row");
+            // A new row usually gets some content in the columns that are
+            // already in use around it (the paper's generative model adds
+            // rows as part of editing tables).
+            if let Some(b) = sheet.bounding_box() {
+                for c in b.c1..=b.c2 {
+                    let above = at > 0 && sheet.get(CellAddr::new(at - 1, c)).is_some();
+                    let below = sheet.get(CellAddr::new(at + 1, c)).is_some();
+                    if above && below {
+                        sheet.set_value(CellAddr::new(at, c), rng.gen_range(0..100_000) as i64);
+                    }
+                }
+            }
+        }
+        UserOp::AddCol(at) => {
+            sheet.insert_cols(at, 1).expect("insert col");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_roughly_matches_probabilities() {
+        let mut sheet = SparseSheet::new();
+        for r in 0..20 {
+            for c in 0..5 {
+                sheet.set_value(CellAddr::new(r, c), 1i64);
+            }
+        }
+        let mix = OpMix::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 4];
+        for _ in 0..10_000 {
+            match mix.sample(&sheet, &mut rng) {
+                UserOp::UpdateCell(_) => counts[0] += 1,
+                UserOp::AddCell(_) => counts[1] += 1,
+                UserOp::AddRow(_) => counts[2] += 1,
+                UserOp::AddCol(_) => counts[3] += 1,
+            }
+        }
+        assert!((counts[0] as f64 / 10_000.0 - 0.6).abs() < 0.05);
+        assert!((counts[1] as f64 / 10_000.0 - 0.2).abs() < 0.05);
+        assert!((counts[2] as f64 / 10_000.0 - 0.2).abs() < 0.05);
+        assert!(counts[3] < 50);
+    }
+
+    #[test]
+    fn apply_ops_keeps_sheet_valid() {
+        let mut sheet = SparseSheet::new();
+        for r in 0..10 {
+            for c in 0..4 {
+                sheet.set_value(CellAddr::new(r, c), 1i64);
+            }
+        }
+        let mix = OpMix::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let op = mix.sample(&sheet, &mut rng);
+            apply_op(&mut sheet, op, &mut rng);
+        }
+        assert!(sheet.filled_count() > 0);
+        assert!(sheet.bounding_box().is_some());
+    }
+
+    #[test]
+    fn add_row_fills_interior_gap() {
+        let mut sheet = SparseSheet::new();
+        for r in 0..5 {
+            sheet.set_value(CellAddr::new(r, 0), r as i64);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        apply_op(&mut sheet, UserOp::AddRow(2), &mut rng);
+        assert!(
+            sheet.get(CellAddr::new(2, 0)).is_some(),
+            "interior row insert is populated"
+        );
+    }
+}

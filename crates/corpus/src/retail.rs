@@ -1,0 +1,131 @@
+//! Retail customer-management data (paper Example 2, Figure 19).
+//!
+//! The small-business owner's MySQL schema: customers, suppliers, invoices,
+//! and payments. Used by the `customer_management` example and the
+//! qualitative evaluation of linkTable + sql().
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dataspread_relstore::{ColumnDef, DataType, Database, Datum, Schema, StoreError};
+
+/// Create and populate the retail schema inside `db`:
+/// `customer(id, name, city)`, `supp(id, name)`,
+/// `invoice(id, supp_id, customer_id, amount, due_in_days, paid)`,
+/// `payment(id, invoice_id, amount)`.
+pub fn populate_retail(db: &mut Database, n_invoices: usize, seed: u64) -> Result<(), StoreError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let customers = ["wilde", "poe", "woolf", "kafka", "borges", "morrison"];
+    let cities = ["Champaign", "Urbana", "Savoy", "Mahomet"];
+    let supps = ["acme", "globex", "initech", "umbrella"];
+
+    let t = db.create_table(
+        "customer",
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("name", DataType::Text),
+            ColumnDef::new("city", DataType::Text),
+        ]),
+    )?;
+    for (i, name) in customers.iter().enumerate() {
+        t.insert(&[
+            Datum::Int(i as i64 + 1),
+            Datum::Text(name.to_string()),
+            Datum::Text(cities[i % cities.len()].to_string()),
+        ])?;
+    }
+
+    let t = db.create_table(
+        "supp",
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("name", DataType::Text),
+        ]),
+    )?;
+    for (i, name) in supps.iter().enumerate() {
+        t.insert(&[Datum::Int(i as i64 + 1), Datum::Text(name.to_string())])?;
+    }
+
+    let t = db.create_table(
+        "invoice",
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("supp_id", DataType::Int),
+            ColumnDef::new("customer_id", DataType::Int),
+            ColumnDef::new("amount", DataType::Float),
+            ColumnDef::new("due_in_days", DataType::Int),
+            ColumnDef::new("paid", DataType::Bool),
+        ]),
+    )?;
+    for i in 0..n_invoices {
+        t.insert(&[
+            Datum::Int(i as i64 + 1),
+            Datum::Int(rng.gen_range(1..=supps.len() as i64)),
+            Datum::Int(rng.gen_range(1..=customers.len() as i64)),
+            Datum::Float((rng.gen_range(10.0..5_000.0f64) * 100.0).round() / 100.0),
+            Datum::Int(rng.gen_range(-30..60)),
+            Datum::Bool(rng.gen_bool(0.7)),
+        ])?;
+    }
+
+    let invoice_rows: Vec<(i64, f64, bool)> = db
+        .table("invoice")?
+        .scan()
+        .map(|(_, row)| {
+            (
+                row[0].as_i64().expect("id"),
+                row[3].as_f64().expect("amount"),
+                row[5].as_bool().expect("paid"),
+            )
+        })
+        .collect();
+    let t = db.create_table(
+        "payment",
+        Schema::new(vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("invoice_id", DataType::Int),
+            ColumnDef::new("amount", DataType::Float),
+        ]),
+    )?;
+    let mut pid = 1i64;
+    for (inv_id, amount, paid) in invoice_rows {
+        if paid {
+            t.insert(&[Datum::Int(pid), Datum::Int(inv_id), Datum::Float(amount)])?;
+            pid += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populates_consistent_schema() {
+        let mut db = Database::new();
+        populate_retail(&mut db, 50, 7).unwrap();
+        assert_eq!(db.table("customer").unwrap().row_count(), 6);
+        assert_eq!(db.table("supp").unwrap().row_count(), 4);
+        assert_eq!(db.table("invoice").unwrap().row_count(), 50);
+        let paid = db
+            .table("invoice")
+            .unwrap()
+            .scan()
+            .filter(|(_, r)| r[5] == Datum::Bool(true))
+            .count() as u64;
+        assert_eq!(db.table("payment").unwrap().row_count(), paid);
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = Database::new();
+        populate_retail(&mut a, 20, 3).unwrap();
+        let mut b = Database::new();
+        populate_retail(&mut b, 20, 3).unwrap();
+        let rows = |db: &Database| -> Vec<Vec<Datum>> {
+            db.table("invoice").unwrap().scan().map(|(_, r)| r).collect()
+        };
+        assert_eq!(rows(&a), rows(&b));
+    }
+}

@@ -1,0 +1,155 @@
+//! Large synthetic sheets (paper §VII-B.e and §VII-C).
+//!
+//! * [`dense_sheet`] — a fully filled `rows × cols` region, the positional
+//!   mapping workload of Figure 18 and Figures 22–24.
+//! * [`multi_table_sheet`] — "twenty dense rectangular regions to simulate
+//!   randomly placed tables … 100 randomly generated formulae that access
+//!   rectangular ranges of these tables" (Figure 17), with a density knob.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dataspread_grid::{Cell, CellAddr, Rect, SparseSheet};
+
+/// A synthetic sheet plus its placed tables and formula cells.
+#[derive(Debug, Clone)]
+pub struct SynthSheet {
+    pub sheet: SparseSheet,
+    pub tables: Vec<Rect>,
+    /// Addresses of the generated formulas.
+    pub formulas: Vec<CellAddr>,
+}
+
+/// Fully dense `rows × cols` sheet with integer payloads.
+pub fn dense_sheet(rows: u32, cols: u32) -> SparseSheet {
+    let mut s = SparseSheet::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            s.set_value(CellAddr::new(r, c), (r as i64) * cols as i64 + c as i64);
+        }
+    }
+    s
+}
+
+/// Multi-table synthetic sheet.
+///
+/// Places `n_tables` dense regions of about `table_rows × table_cols` on a
+/// canvas sized so that the overall bounding-box density is approximately
+/// `density`, then adds `n_formulas` range formulas over random tables.
+pub fn multi_table_sheet(
+    n_tables: u32,
+    table_rows: u32,
+    table_cols: u32,
+    density: f64,
+    n_formulas: u32,
+    seed: u64,
+) -> SynthSheet {
+    assert!(density > 0.0 && density <= 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Slot-grid placement: tables live in a jittered grid of slots whose
+    // size is scaled so the overall bounding-box density lands near the
+    // target. Rejection sampling fails at high densities; this always
+    // places all `n_tables`.
+    let scale = (1.0 / density).sqrt();
+    let slot_rows = ((table_rows as f64) * scale).ceil() as u32;
+    let slot_cols = ((table_cols as f64) * scale).ceil() as u32;
+    let grid_cols = (n_tables as f64).sqrt().ceil() as u32;
+    let grid_rows = n_tables.div_ceil(grid_cols);
+
+    let mut sheet = SparseSheet::new();
+    let mut tables = Vec::new();
+    'place: for gr in 0..grid_rows {
+        for gc in 0..grid_cols {
+            if tables.len() as u32 >= n_tables {
+                break 'place;
+            }
+            let jr = rng.gen_range(0..=(slot_rows - table_rows));
+            let jc = rng.gen_range(0..=(slot_cols - table_cols));
+            let r0 = gr * slot_rows + jr;
+            let c0 = gc * slot_cols + jc;
+            let rect = Rect::new(r0, c0, r0 + table_rows - 1, c0 + table_cols - 1);
+            for addr in rect.iter() {
+                sheet.set_value(addr, rng.gen_range(0..1_000_000) as i64);
+            }
+            tables.push(rect);
+        }
+    }
+    let canvas_cols = grid_cols * slot_cols;
+    let mut formulas = Vec::new();
+    if !tables.is_empty() {
+        // Formulas draw from their own stream so the *workload* is
+        // comparable across density settings (placement consumes a
+        // density-dependent amount of randomness).
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF0F0_F0F0);
+        for i in 0..n_formulas {
+            let t = tables[rng.gen_range(0..tables.len())];
+            // A random rectangular sub-range of the table.
+            let r1 = rng.gen_range(t.r1..=t.r2);
+            let r2 = rng.gen_range(r1..=t.r2);
+            let c1 = rng.gen_range(t.c1..=t.c2);
+            let c2 = rng.gen_range(c1..=t.c2);
+            let range = Rect::new(r1, c1, r2, c2);
+            let func = ["SUM", "AVERAGE", "COUNT", "MIN", "MAX"][rng.gen_range(0..5)];
+            // Formulas live in a column strip right of the canvas so they
+            // never collide with tables.
+            let addr = CellAddr::new(i, canvas_cols + 2);
+            sheet.set(addr, Cell::formula(format!("{func}({})", range.to_a1())));
+            formulas.push(addr);
+        }
+    }
+    SynthSheet {
+        sheet,
+        tables,
+        formulas,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_sheet_is_dense() {
+        let s = dense_sheet(20, 10);
+        assert_eq!(s.filled_count(), 200);
+        assert_eq!(s.density(), 1.0);
+    }
+
+    #[test]
+    fn multi_table_hits_density_target() {
+        for target in [0.8, 0.4, 0.1] {
+            let synth = multi_table_sheet(20, 20, 10, target, 0, 5);
+            assert_eq!(synth.tables.len(), 20, "all tables placed at density {target}");
+            let d = synth.sheet.density();
+            assert!(
+                d > target * 0.5 && d <= 1.0,
+                "target {target}, got {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn formulas_reference_tables_and_parse() {
+        let synth = multi_table_sheet(5, 10, 5, 0.5, 30, 11);
+        assert_eq!(synth.formulas.len(), 30);
+        for addr in &synth.formulas {
+            let cell = synth.sheet.get(*addr).expect("formula cell exists");
+            let src = cell.formula.as_ref().expect("is a formula");
+            let expr = dataspread_formula::parse(src).expect("parses");
+            let ranges = dataspread_formula::refs::collect_ranges(&expr);
+            assert_eq!(ranges.len(), 1);
+            assert!(
+                synth.tables.iter().any(|t| t.contains_rect(&ranges[0])),
+                "range {} inside some table",
+                ranges[0]
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = multi_table_sheet(5, 8, 4, 0.6, 10, 3);
+        let b = multi_table_sheet(5, 8, 4, 0.6, 10, 3);
+        assert_eq!(a.sheet, b.sheet);
+    }
+}

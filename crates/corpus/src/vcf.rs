@@ -1,0 +1,84 @@
+//! VCF-like genomics data (paper Example 1, Figure 16).
+//!
+//! The paper's collaborators work with variant-call-format files of
+//! ~1.3M rows × 284 columns. We generate rows with the same shape: the
+//! eight fixed VCF columns plus FORMAT and per-sample genotype columns.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dataspread_grid::CellValue;
+
+/// Column headers for a VCF-like table with `n_samples` genotype columns.
+pub fn vcf_header(n_samples: usize) -> Vec<String> {
+    let mut h: Vec<String> = [
+        "CHROM", "POS", "ID", "REF", "ALT", "QUAL", "FILTER", "INFO", "FORMAT",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    for i in 0..n_samples {
+        h.push(format!("SAMPLE_{i:04}"));
+    }
+    h
+}
+
+/// An iterator of VCF-like rows (deterministic per seed). Each row has
+/// `9 + n_samples` values.
+pub fn vcf_rows(
+    n_rows: usize,
+    n_samples: usize,
+    seed: u64,
+) -> impl Iterator<Item = Vec<CellValue>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bases = ["A", "C", "G", "T"];
+    let genotypes = ["0/0", "0/1", "1/1", "./."];
+    (0..n_rows).map(move |i| {
+        let mut row: Vec<CellValue> = Vec::with_capacity(9 + n_samples);
+        row.push(CellValue::Text(format!("chr{}", 1 + (i % 22))));
+        row.push(CellValue::Number((10_000 + i * 137) as f64));
+        row.push(CellValue::Text(format!("rs{}", 100_000 + i)));
+        row.push(CellValue::Text(bases[rng.gen_range(0..4)].to_string()));
+        row.push(CellValue::Text(bases[rng.gen_range(0..4)].to_string()));
+        row.push(CellValue::Number((rng.gen_range(10.0..99.0f64) * 10.0).round() / 10.0));
+        row.push(CellValue::Text("PASS".to_string()));
+        row.push(CellValue::Text(format!(
+            "DP={};AF={:.3}",
+            rng.gen_range(5..500),
+            rng.gen_range(0.0..1.0f64)
+        )));
+        row.push(CellValue::Text("GT".to_string()));
+        for _ in 0..n_samples {
+            row.push(CellValue::Text(genotypes[rng.gen_range(0..4)].to_string()));
+        }
+        row
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_shape() {
+        let h = vcf_header(3);
+        assert_eq!(h.len(), 12);
+        assert_eq!(h[0], "CHROM");
+        assert_eq!(h[9], "SAMPLE_0000");
+    }
+
+    #[test]
+    fn rows_have_fixed_arity_and_are_deterministic() {
+        let rows: Vec<_> = vcf_rows(100, 5, 1).collect();
+        assert_eq!(rows.len(), 100);
+        assert!(rows.iter().all(|r| r.len() == 14));
+        let again: Vec<_> = vcf_rows(100, 5, 1).collect();
+        assert_eq!(rows, again);
+        // Position column is monotonically increasing.
+        let pos = |r: &Vec<CellValue>| match &r[1] {
+            CellValue::Number(n) => *n,
+            _ => panic!("POS must be numeric"),
+        };
+        assert!(rows.windows(2).all(|w| pos(&w[0]) < pos(&w[1])));
+    }
+}

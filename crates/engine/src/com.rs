@@ -1,0 +1,148 @@
+//! The column-oriented translator (paper §IV-B, Figure 8b) — the exact
+//! transpose of ROM: one tuple per sheet *column*, so column operations are
+//! tuple operations and row operations are schema operations.
+
+use dataspread_grid::{Cell, CellAddr, Rect};
+use dataspread_hybrid::ModelKind;
+use dataspread_posmap::PosMapKind;
+
+use crate::error::EngineError;
+use crate::rom::RomTranslator;
+use crate::translator::Translator;
+
+/// Column-oriented storage: a transposed [`RomTranslator`].
+#[derive(Debug)]
+pub struct ComTranslator {
+    inner: RomTranslator,
+}
+
+impl ComTranslator {
+    pub fn new(posmap_kind: PosMapKind) -> Self {
+        ComTranslator {
+            inner: RomTranslator::new(posmap_kind),
+        }
+    }
+}
+
+fn transpose(rect: Rect) -> Rect {
+    Rect::new(rect.c1, rect.r1, rect.c2, rect.r2)
+}
+
+impl Translator for ComTranslator {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Com
+    }
+
+    fn rows(&self) -> u32 {
+        self.inner.cols()
+    }
+
+    fn cols(&self) -> u32 {
+        self.inner.rows()
+    }
+
+    fn get_cell(&self, row: u32, col: u32) -> Option<Cell> {
+        self.inner.get_cell(col, row)
+    }
+
+    fn set_cell(&mut self, row: u32, col: u32, cell: Cell) -> Result<(), EngineError> {
+        self.inner.set_cell(col, row, cell)
+    }
+
+    fn clear_cell(&mut self, row: u32, col: u32) -> Result<(), EngineError> {
+        self.inner.clear_cell(col, row)
+    }
+
+    fn get_range(&self, rect: Rect) -> Vec<(CellAddr, Cell)> {
+        let mut cells: Vec<(CellAddr, Cell)> = self
+            .inner
+            .get_range(transpose(rect))
+            .into_iter()
+            .map(|(a, c)| (CellAddr::new(a.col, a.row), c))
+            .collect();
+        cells.sort_by_key(|(a, _)| (a.row, a.col));
+        cells
+    }
+
+    fn insert_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        self.inner.insert_cols(at, n)
+    }
+
+    fn delete_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        self.inner.delete_cols(at, n)
+    }
+
+    fn insert_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        self.inner.insert_rows(at, n)
+    }
+
+    fn delete_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        self.inner.delete_rows(at, n)
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.inner.storage_bytes()
+    }
+
+    fn filled_count(&self) -> u64 {
+        self.inner.filled_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataspread_grid::CellValue;
+
+    #[test]
+    fn transposed_semantics_match_rom() {
+        let mut com = ComTranslator::new(PosMapKind::Hierarchical);
+        let mut rom = RomTranslator::new(PosMapKind::Hierarchical);
+        for r in 0..5 {
+            for c in 0..3 {
+                let v = Cell::value((r * 10 + c) as i64);
+                com.set_cell(r, c, v.clone()).unwrap();
+                rom.set_cell(r, c, v).unwrap();
+            }
+        }
+        assert_eq!(com.rows(), 5);
+        assert_eq!(com.cols(), 3);
+        for r in 0..5 {
+            for c in 0..3 {
+                assert_eq!(com.get_cell(r, c), rom.get_cell(r, c));
+            }
+        }
+        let a = com.get_range(Rect::new(1, 0, 3, 2));
+        let b = rom.get_range(Rect::new(1, 0, 3, 2));
+        assert_eq!(a, b, "row-major ordering must match");
+    }
+
+    #[test]
+    fn row_insert_in_com_is_schema_level() {
+        let mut com = ComTranslator::new(PosMapKind::Hierarchical);
+        for r in 0..4 {
+            com.set_cell(r, 0, Cell::value(r as i64)).unwrap();
+        }
+        com.insert_rows(2, 1).unwrap();
+        assert_eq!(com.rows(), 5);
+        assert_eq!(com.get_cell(1, 0).unwrap().value, CellValue::Number(1.0));
+        assert_eq!(com.get_cell(2, 0), None);
+        assert_eq!(com.get_cell(3, 0).unwrap().value, CellValue::Number(2.0));
+    }
+
+    #[test]
+    fn col_ops_are_tuple_level() {
+        let mut com = ComTranslator::new(PosMapKind::Hierarchical);
+        for c in 0..4 {
+            com.set_cell(0, c, Cell::value(c as i64)).unwrap();
+        }
+        com.insert_cols(1, 2).unwrap();
+        assert_eq!(com.cols(), 6);
+        assert_eq!(com.get_cell(0, 0).unwrap().value, CellValue::Number(0.0));
+        assert_eq!(com.get_cell(0, 1), None);
+        assert_eq!(com.get_cell(0, 3).unwrap().value, CellValue::Number(1.0));
+        com.delete_cols(0, 1).unwrap();
+        assert_eq!(com.get_cell(0, 0), None);
+        assert_eq!(com.filled_count(), 3, "column 0 held the value 0");
+    }
+}

@@ -1,0 +1,541 @@
+//! The hybrid translator (paper §VI): routes sheet regions to per-region
+//! translators, with an RCV catch-all for cells outside every region.
+//!
+//! "The hybrid translator is responsible for mapping the different regions
+//! on a spreadsheet to corresponding data models … services getCells by
+//! identifying the responsible data model and delegating the call to it."
+//! Sheet-level structural edits update region metadata (rectangles) and
+//! forward to the translators whose regions they cross — never a cascading
+//! renumber.
+
+use dataspread_grid::{Cell, CellAddr, Rect, SparseSheet};
+use dataspread_hybrid::{Decomposition, ModelKind};
+use dataspread_posmap::PosMapKind;
+
+use crate::com::ComTranslator;
+use crate::error::EngineError;
+use crate::rcv::RcvTranslator;
+use crate::rom::RomTranslator;
+use crate::translator::Translator;
+
+/// One region of the sheet and its translator.
+pub struct RegionSlot {
+    pub rect: Rect,
+    pub translator: Box<dyn Translator>,
+}
+
+impl std::fmt::Debug for RegionSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegionSlot")
+            .field("rect", &self.rect.to_a1())
+            .field("kind", &self.translator.kind())
+            .finish()
+    }
+}
+
+/// A sheet stored as a hybrid data model.
+#[derive(Debug)]
+pub struct HybridSheet {
+    regions: Vec<RegionSlot>,
+    /// RCV over the whole sheet's coordinate space for stray cells.
+    catchall: RcvTranslator,
+    posmap_kind: PosMapKind,
+}
+
+impl Default for HybridSheet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HybridSheet {
+    pub fn new() -> Self {
+        Self::with_posmap(PosMapKind::default())
+    }
+
+    pub fn with_posmap(posmap_kind: PosMapKind) -> Self {
+        HybridSheet {
+            regions: Vec::new(),
+            catchall: RcvTranslator::new(posmap_kind),
+            posmap_kind,
+        }
+    }
+
+    pub fn posmap_kind(&self) -> PosMapKind {
+        self.posmap_kind
+    }
+
+    /// Current region layout (rect, model) — the hybrid metadata.
+    pub fn layout(&self) -> Vec<(Rect, ModelKind)> {
+        self.regions
+            .iter()
+            .map(|r| (r.rect, r.translator.kind()))
+            .collect()
+    }
+
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Create a translator for `kind` (TOM regions are added via
+    /// [`HybridSheet::add_region`] by the engine's linkTable).
+    fn make_translator(&self, kind: ModelKind) -> Box<dyn Translator> {
+        match kind {
+            ModelKind::Rom => Box::new(RomTranslator::new(self.posmap_kind)),
+            ModelKind::Com => Box::new(ComTranslator::new(self.posmap_kind)),
+            ModelKind::Rcv | ModelKind::Tom => Box::new(RcvTranslator::new(self.posmap_kind)),
+        }
+    }
+
+    /// Register a region. Fails when it overlaps an existing region.
+    pub fn add_region(
+        &mut self,
+        rect: Rect,
+        translator: Box<dyn Translator>,
+    ) -> Result<(), EngineError> {
+        if self.regions.iter().any(|r| r.rect.intersects(&rect)) {
+            return Err(EngineError::BadLink(format!(
+                "region {rect} overlaps an existing region"
+            )));
+        }
+        // Move any catch-all cells inside the new region into it.
+        let strays = self.catchall.get_range(rect);
+        self.regions.push(RegionSlot { rect, translator });
+        let slot = self.regions.len() - 1;
+        for (addr, cell) in strays {
+            self.catchall.clear_cell(addr.row, addr.col)?;
+            let local_r = addr.row - rect.r1;
+            let local_c = addr.col - rect.c1;
+            self.regions[slot]
+                .translator
+                .set_cell(local_r, local_c, cell)?;
+        }
+        Ok(())
+    }
+
+    pub fn remove_region(&mut self, idx: usize) -> RegionSlot {
+        self.regions.remove(idx)
+    }
+
+    fn route(&self, addr: CellAddr) -> Option<usize> {
+        self.regions.iter().position(|r| r.rect.contains(addr))
+    }
+
+    pub fn get_cell(&self, addr: CellAddr) -> Option<Cell> {
+        match self.route(addr) {
+            Some(i) => {
+                let r = &self.regions[i];
+                r.translator
+                    .get_cell(addr.row - r.rect.r1, addr.col - r.rect.c1)
+            }
+            None => self.catchall.get_cell(addr.row, addr.col),
+        }
+    }
+
+    pub fn set_cell(&mut self, addr: CellAddr, cell: Cell) -> Result<(), EngineError> {
+        match self.route(addr) {
+            Some(i) => {
+                let r = &mut self.regions[i];
+                r.translator
+                    .set_cell(addr.row - r.rect.r1, addr.col - r.rect.c1, cell)
+            }
+            None => self.catchall.set_cell(addr.row, addr.col, cell),
+        }
+    }
+
+    /// Batched update of several cells in one sheet row (the interactive
+    /// "paste a row" / range-update path of Figure 22).
+    pub fn set_cells_in_row(
+        &mut self,
+        row: u32,
+        cells: &[(u32, Cell)],
+    ) -> Result<(), EngineError> {
+        // Group the columns by owning region so row-oriented translators
+        // rewrite each row tuple once.
+        let mut remaining: Vec<(u32, Cell)> = Vec::new();
+        let mut per_region: Vec<Vec<(u32, Cell)>> = vec![Vec::new(); self.regions.len()];
+        for (col, cell) in cells {
+            let addr = CellAddr::new(row, *col);
+            match self.route(addr) {
+                Some(i) => per_region[i].push((*col, cell.clone())),
+                None => remaining.push((*col, cell.clone())),
+            }
+        }
+        for (i, group) in per_region.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let rect = self.regions[i].rect;
+            let local: Vec<(u32, Cell)> =
+                group.into_iter().map(|(c, v)| (c - rect.c1, v)).collect();
+            self.regions[i]
+                .translator
+                .set_cells_in_row(row - rect.r1, &local)?;
+        }
+        self.catchall.set_cells_in_row(row, &remaining)
+    }
+
+    pub fn clear_cell(&mut self, addr: CellAddr) -> Result<(), EngineError> {
+        match self.route(addr) {
+            Some(i) => {
+                let r = &mut self.regions[i];
+                r.translator
+                    .clear_cell(addr.row - r.rect.r1, addr.col - r.rect.c1)
+            }
+            None => self.catchall.clear_cell(addr.row, addr.col),
+        }
+    }
+
+    /// `getCells(range)`: all non-blank cells in `rect`, row-major.
+    pub fn get_cells(&self, rect: Rect) -> Vec<(CellAddr, Cell)> {
+        let mut out = self.catchall.get_range(rect);
+        for region in &self.regions {
+            if let Some(hit) = rect.intersection(&region.rect) {
+                let local = hit.translate(
+                    -(region.rect.r1 as i64),
+                    -(region.rect.c1 as i64),
+                );
+                for (addr, cell) in region.translator.get_range(local) {
+                    out.push((
+                        addr.offset(region.rect.r1 as i64, region.rect.c1 as i64),
+                        cell,
+                    ));
+                }
+            }
+        }
+        out.sort_by_key(|(a, _)| (a.row, a.col));
+        out
+    }
+
+    /// Sheet-level `insertRowAfter`-style edit: rows at `at` and below
+    /// shift down by `n`.
+    pub fn insert_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        if self.catchall.rows() > at {
+            self.catchall.insert_rows(at, n)?;
+        }
+        for region in &mut self.regions {
+            if at <= region.rect.r1 {
+                region.rect = region.rect.translate(n as i64, 0);
+            } else if at <= region.rect.r2 {
+                region.translator.insert_rows(at - region.rect.r1, n)?;
+                region.rect.r2 += n;
+            }
+        }
+        Ok(())
+    }
+
+    pub fn delete_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        if self.catchall.rows() > at {
+            self.catchall.delete_rows(at, n)?;
+        }
+        let end = at + n; // exclusive
+        let mut doomed = Vec::new();
+        for (i, region) in self.regions.iter_mut().enumerate() {
+            if region.rect.r1 >= end {
+                // Entirely below: shift up.
+                region.rect = region.rect.translate(-(n as i64), 0);
+            } else if region.rect.r2 < at {
+                // Entirely above: untouched.
+            } else {
+                // Overlap: delete the covered local rows.
+                let first = at.max(region.rect.r1);
+                let last = (end - 1).min(region.rect.r2);
+                let k = last - first + 1;
+                if k as u64 >= region.rect.rows() {
+                    doomed.push(i);
+                    continue;
+                }
+                region.translator.delete_rows(first - region.rect.r1, k)?;
+                // Deleted rows strictly above the region shift it up; the
+                // k rows removed inside shrink it.
+                let deleted_above = region.rect.r1.saturating_sub(at);
+                region.rect.r1 -= deleted_above;
+                region.rect.r2 -= deleted_above + k;
+            }
+        }
+        for i in doomed.into_iter().rev() {
+            self.regions.remove(i);
+        }
+        Ok(())
+    }
+
+    pub fn insert_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        if self.catchall.cols() > at {
+            self.catchall.insert_cols(at, n)?;
+        }
+        for region in &mut self.regions {
+            if at <= region.rect.c1 {
+                region.rect = region.rect.translate(0, n as i64);
+            } else if at <= region.rect.c2 {
+                region.translator.insert_cols(at - region.rect.c1, n)?;
+                region.rect.c2 += n;
+            }
+        }
+        Ok(())
+    }
+
+    pub fn delete_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        if self.catchall.cols() > at {
+            self.catchall.delete_cols(at, n)?;
+        }
+        let end = at + n;
+        let mut doomed = Vec::new();
+        for (i, region) in self.regions.iter_mut().enumerate() {
+            if region.rect.c1 >= end {
+                region.rect = region.rect.translate(0, -(n as i64));
+            } else if region.rect.c2 < at {
+                // untouched
+            } else {
+                let first = at.max(region.rect.c1);
+                let last = (end - 1).min(region.rect.c2);
+                let k = last - first + 1;
+                if k as u64 >= region.rect.cols() {
+                    doomed.push(i);
+                    continue;
+                }
+                region.translator.delete_cols(first - region.rect.c1, k)?;
+                let deleted_left = region.rect.c1.saturating_sub(at);
+                region.rect.c1 -= deleted_left;
+                region.rect.c2 -= deleted_left + k;
+            }
+        }
+        for i in doomed.into_iter().rev() {
+            self.regions.remove(i);
+        }
+        Ok(())
+    }
+
+    /// All non-blank cells as an in-memory sheet. `include_tom` controls
+    /// whether linked-table regions are materialized (the optimizer snapshot
+    /// excludes them: they are not re-representable).
+    pub fn snapshot(&self, include_tom: bool) -> SparseSheet {
+        let mut sheet = SparseSheet::new();
+        for (addr, cell) in self.catchall.get_range(Rect::new(0, 0, u32::MAX - 1, u32::MAX - 1)) {
+            sheet.set(addr, cell);
+        }
+        for region in &self.regions {
+            if !include_tom && region.translator.kind() == ModelKind::Tom {
+                continue;
+            }
+            for (addr, cell) in region.translator.all_cells() {
+                sheet.set(
+                    addr.offset(region.rect.r1 as i64, region.rect.c1 as i64),
+                    cell,
+                );
+            }
+        }
+        sheet
+    }
+
+    /// Reorganize storage to a new decomposition (the hybrid optimizer's
+    /// output). TOM regions are preserved; everything else is rebuilt.
+    /// Returns the number of migrated cells.
+    pub fn reorganize(&mut self, decomp: &Decomposition) -> Result<u64, EngineError> {
+        // Collect all cells currently in non-TOM storage.
+        let mut cells: Vec<(CellAddr, Cell)> = Vec::new();
+        let whole = Rect::new(0, 0, u32::MAX - 1, u32::MAX - 1);
+        cells.extend(self.catchall.get_range(whole));
+        let mut kept_regions = Vec::new();
+        for region in self.regions.drain(..) {
+            if region.translator.kind() == ModelKind::Tom {
+                kept_regions.push(region);
+            } else {
+                for (addr, cell) in region.translator.all_cells() {
+                    cells.push((
+                        addr.offset(region.rect.r1 as i64, region.rect.c1 as i64),
+                        cell,
+                    ));
+                }
+            }
+        }
+        self.regions = kept_regions;
+        self.catchall = RcvTranslator::new(self.posmap_kind);
+        // Build the new regions.
+        for region in &decomp.regions {
+            if region.kind == ModelKind::Tom {
+                continue; // TOM regions are created by linkTable only.
+            }
+            let translator = self.make_translator(region.kind);
+            self.add_region(region.rect, translator)?;
+        }
+        // Distribute the cells.
+        let migrated = cells.len() as u64;
+        for (addr, cell) in cells {
+            self.set_cell(addr, cell)?;
+        }
+        Ok(migrated)
+    }
+
+    /// Accounted storage bytes across regions and the catch-all.
+    pub fn storage_bytes(&self) -> u64 {
+        self.catchall.storage_bytes()
+            + self
+                .regions
+                .iter()
+                .map(|r| r.translator.storage_bytes())
+                .sum::<u64>()
+    }
+
+    pub fn filled_count(&self) -> u64 {
+        self.catchall.filled_count()
+            + self
+                .regions
+                .iter()
+                .map(|r| r.translator.filled_count())
+                .sum::<u64>()
+    }
+}
+
+/// A cache-less [`CellReader`](dataspread_formula::eval::CellReader) over
+/// hybrid storage — used by benchmarks to measure raw formula access cost
+/// against different data models (Figure 15b / 17b).
+pub struct StorageReader<'a>(pub &'a HybridSheet);
+
+impl dataspread_formula::eval::CellReader for StorageReader<'_> {
+    fn value(&self, addr: CellAddr) -> dataspread_grid::CellValue {
+        self.0
+            .get_cell(addr)
+            .map(|c| c.value)
+            .unwrap_or(dataspread_grid::CellValue::Empty)
+    }
+
+    fn range_values(&self, rect: Rect) -> Vec<(CellAddr, dataspread_grid::CellValue)> {
+        self.0
+            .get_cells(rect)
+            .into_iter()
+            .map(|(a, c)| (a, c.value))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataspread_grid::CellValue;
+    use dataspread_hybrid::Region;
+
+    fn addr(r: u32, c: u32) -> CellAddr {
+        CellAddr::new(r, c)
+    }
+
+    fn sheet_with_rom_region() -> HybridSheet {
+        let mut hs = HybridSheet::new();
+        let rom = Box::new(RomTranslator::new(PosMapKind::Hierarchical));
+        hs.add_region(Rect::new(10, 10, 19, 14), rom).unwrap();
+        hs
+    }
+
+    #[test]
+    fn routing_region_vs_catchall() {
+        let mut hs = sheet_with_rom_region();
+        hs.set_cell(addr(10, 10), Cell::value(1i64)).unwrap();
+        hs.set_cell(addr(0, 0), Cell::value(2i64)).unwrap();
+        assert_eq!(hs.get_cell(addr(10, 10)).unwrap().value, CellValue::Number(1.0));
+        assert_eq!(hs.get_cell(addr(0, 0)).unwrap().value, CellValue::Number(2.0));
+        assert_eq!(hs.layout().len(), 1);
+        assert_eq!(hs.filled_count(), 2);
+    }
+
+    #[test]
+    fn add_region_absorbs_strays_and_rejects_overlap() {
+        let mut hs = HybridSheet::new();
+        hs.set_cell(addr(5, 5), Cell::value(7i64)).unwrap();
+        let rom = Box::new(RomTranslator::new(PosMapKind::Hierarchical));
+        hs.add_region(Rect::new(0, 0, 9, 9), rom).unwrap();
+        // The stray moved out of the catch-all into the region.
+        assert_eq!(hs.catchall.filled_count(), 0);
+        assert_eq!(hs.get_cell(addr(5, 5)).unwrap().value, CellValue::Number(7.0));
+        let rom2 = Box::new(RomTranslator::new(PosMapKind::Hierarchical));
+        assert!(hs.add_region(Rect::new(9, 9, 12, 12), rom2).is_err());
+    }
+
+    #[test]
+    fn get_cells_merges_regions_and_catchall() {
+        let mut hs = sheet_with_rom_region();
+        hs.set_cell(addr(12, 12), Cell::value(1i64)).unwrap();
+        hs.set_cell(addr(5, 12), Cell::value(2i64)).unwrap();
+        let cells = hs.get_cells(Rect::new(0, 0, 30, 30));
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].0, addr(5, 12), "row-major merge");
+        assert_eq!(cells[1].0, addr(12, 12));
+    }
+
+    #[test]
+    fn sheet_row_insert_shifts_regions_below() {
+        let mut hs = sheet_with_rom_region();
+        hs.set_cell(addr(12, 12), Cell::value(1i64)).unwrap();
+        hs.insert_rows(0, 5).unwrap();
+        assert_eq!(hs.layout()[0].0, Rect::new(15, 10, 24, 14));
+        assert_eq!(hs.get_cell(addr(17, 12)).unwrap().value, CellValue::Number(1.0));
+        assert_eq!(hs.get_cell(addr(12, 12)), None);
+    }
+
+    #[test]
+    fn sheet_row_insert_inside_region_grows_it() {
+        let mut hs = sheet_with_rom_region();
+        hs.set_cell(addr(12, 12), Cell::value(1i64)).unwrap();
+        hs.insert_rows(11, 2).unwrap();
+        assert_eq!(hs.layout()[0].0, Rect::new(10, 10, 21, 14));
+        assert_eq!(hs.get_cell(addr(14, 12)).unwrap().value, CellValue::Number(1.0));
+    }
+
+    #[test]
+    fn delete_rows_across_regions() {
+        let mut hs = sheet_with_rom_region();
+        hs.set_cell(addr(12, 12), Cell::value(1i64)).unwrap();
+        hs.set_cell(addr(19, 10), Cell::value(2i64)).unwrap();
+        // Delete rows 11..13 (2 rows, one above the value at 12? no: 11,12).
+        hs.delete_rows(11, 2).unwrap();
+        assert_eq!(hs.layout()[0].0, Rect::new(10, 10, 17, 14));
+        assert_eq!(hs.get_cell(addr(12, 12)), None, "row 12 was deleted");
+        assert_eq!(hs.get_cell(addr(17, 10)).unwrap().value, CellValue::Number(2.0));
+    }
+
+    #[test]
+    fn delete_covering_whole_region_drops_it() {
+        let mut hs = sheet_with_rom_region();
+        hs.set_cell(addr(12, 12), Cell::value(1i64)).unwrap();
+        hs.delete_rows(5, 30).unwrap();
+        assert_eq!(hs.region_count(), 0);
+        assert_eq!(hs.filled_count(), 0);
+    }
+
+    #[test]
+    fn column_edits_mirror_row_edits() {
+        let mut hs = sheet_with_rom_region();
+        hs.set_cell(addr(12, 12), Cell::value(1i64)).unwrap();
+        hs.insert_cols(0, 3).unwrap();
+        assert_eq!(hs.layout()[0].0, Rect::new(10, 13, 19, 17));
+        assert_eq!(hs.get_cell(addr(12, 15)).unwrap().value, CellValue::Number(1.0));
+        hs.delete_cols(13, 1).unwrap();
+        assert_eq!(hs.layout()[0].0, Rect::new(10, 13, 19, 16));
+        assert_eq!(hs.get_cell(addr(12, 14)).unwrap().value, CellValue::Number(1.0));
+    }
+
+    #[test]
+    fn snapshot_and_reorganize_roundtrip() {
+        let mut hs = HybridSheet::new();
+        for r in 0..8 {
+            for c in 0..4 {
+                hs.set_cell(addr(r, c), Cell::value((r * 4 + c) as i64)).unwrap();
+            }
+        }
+        hs.set_cell(addr(50, 50), Cell::value(99i64)).unwrap();
+        let before = hs.snapshot(true);
+        let decomp = Decomposition::new(vec![
+            Region {
+                rect: Rect::new(0, 0, 7, 3),
+                kind: ModelKind::Rom,
+            },
+            Region {
+                rect: Rect::new(50, 50, 50, 50),
+                kind: ModelKind::Rcv,
+            },
+        ]);
+        let migrated = hs.reorganize(&decomp).unwrap();
+        assert_eq!(migrated, 33);
+        assert_eq!(hs.region_count(), 2);
+        assert_eq!(hs.snapshot(true), before, "reorganization preserves cells");
+        assert_eq!(hs.get_cell(addr(3, 2)).unwrap().value, CellValue::Number(14.0));
+    }
+}

@@ -1,0 +1,40 @@
+//! The DataSpread storage engine (paper §VI).
+//!
+//! The engine persists spreadsheet data in the relational row store through
+//! *translators* — one per primitive data model — each providing the
+//! "collection of cells" abstraction over its table(s):
+//!
+//! * [`rom::RomTranslator`] — one tuple per sheet row,
+//! * [`com::ComTranslator`] — one tuple per sheet column (the transpose),
+//! * [`rcv::RcvTranslator`] — one tuple per filled cell,
+//! * [`tom::TomTranslator`] — a linked database table (`linkTable`),
+//! * [`hybrid::HybridSheet`] — routes regions of the sheet to per-region
+//!   translators, with an RCV catch-all for stray cells.
+//!
+//! Every translator maintains positional maps (hierarchical counted
+//! B+-trees by default) on *both* axes, so row **and** column
+//! inserts/deletes are O(log N) — no stored row or column numbers, no
+//! cascading renumbering (paper §V).
+//!
+//! [`sheet::SheetEngine`] adds the execution-engine layer: formula parsing,
+//! the dependency graph, recomputation through an LRU cell cache, the
+//! spreadsheet-facing API (`getCells`, `updateCell`, `insertRowAfter`, …),
+//! the database-facing API (`linkTable`, `sql`, relational operators), and
+//! `optimize()` which runs the hybrid optimizer and migrates storage.
+
+pub mod com;
+pub mod error;
+pub mod hybrid;
+pub mod rcv;
+pub mod rom;
+pub mod sheet;
+pub mod tom;
+pub mod translator;
+
+pub use error::EngineError;
+pub use hybrid::HybridSheet;
+pub use sheet::{OptimizeAlgorithm, OptimizeReport, SheetEngine};
+pub use translator::Translator;
+
+pub use dataspread_hybrid::ModelKind;
+pub use dataspread_posmap::PosMapKind;

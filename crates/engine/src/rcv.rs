@@ -1,0 +1,344 @@
+//! The row-column-value translator (paper §IV-B, Figure 8c).
+//!
+//! One tuple per *filled* cell, keyed by stable row/column identifiers.
+//! Positional maps translate row/column positions to identifiers (paper §V:
+//! "the positional mapper translates the row and column numbers into the
+//! corresponding stored identifiers"), and a B+-tree index maps
+//! `(row id, col id)` to the tuple. Structural edits touch only the
+//! positional maps — O(log N), no tuple rewrites.
+
+use std::ops::Bound;
+
+use dataspread_grid::{Cell, CellAddr, Rect};
+use dataspread_hybrid::ModelKind;
+use dataspread_posmap::{new_posmap, PosMapKind, PositionalMap};
+use dataspread_relstore::{BPlusTree, ColumnDef, DataType, Datum, Schema, Table, TupleId};
+
+use crate::error::EngineError;
+use crate::translator::{cell_to_datums, datums_to_cell, Translator};
+
+/// Row-column-value storage for one region (also the hybrid layer's
+/// catch-all for cells outside every region).
+pub struct RcvTranslator {
+    table: Table,
+    /// Row position → stable row id.
+    rows_map: Box<dyn PositionalMap<u64>>,
+    /// Column position → stable column id.
+    cols_map: Box<dyn PositionalMap<u64>>,
+    /// (row id, col id) → tuple.
+    index: BPlusTree<(u64, u64), TupleId>,
+    next_row_id: u64,
+    next_col_id: u64,
+    posmap_kind: PosMapKind,
+}
+
+impl std::fmt::Debug for RcvTranslator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RcvTranslator")
+            .field("rows", &self.rows_map.len())
+            .field("cols", &self.cols_map.len())
+            .field("filled", &self.index.len())
+            .field("posmap", &self.posmap_kind)
+            .finish()
+    }
+}
+
+impl RcvTranslator {
+    pub fn new(posmap_kind: PosMapKind) -> Self {
+        RcvTranslator {
+            table: Table::new(
+                "rcv",
+                Schema::new(vec![
+                    ColumnDef::new("rid", DataType::Int),
+                    ColumnDef::new("cid", DataType::Int),
+                    ColumnDef::new("value", DataType::Any),
+                    ColumnDef::new("formula", DataType::Any),
+                ]),
+            ),
+            rows_map: new_posmap(posmap_kind),
+            cols_map: new_posmap(posmap_kind),
+            index: BPlusTree::new(),
+            next_row_id: 0,
+            next_col_id: 0,
+            posmap_kind,
+        }
+    }
+
+    fn ensure_rows(&mut self, upto: u32) {
+        while self.rows_map.len() <= upto as usize {
+            self.rows_map.push(self.next_row_id);
+            self.next_row_id += 1;
+        }
+    }
+
+    fn ensure_cols(&mut self, upto: u32) {
+        while self.cols_map.len() <= upto as usize {
+            self.cols_map.push(self.next_col_id);
+            self.next_col_id += 1;
+        }
+    }
+
+    fn fetch_cell(&self, rid: u64, cid: u64) -> Option<Cell> {
+        let tid = *self.index.get(&(rid, cid))?;
+        let tuple = self.table.fetch(tid).ok()?;
+        Some(datums_to_cell(&tuple[2], &tuple[3]))
+    }
+}
+
+impl Translator for RcvTranslator {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Rcv
+    }
+
+    fn rows(&self) -> u32 {
+        self.rows_map.len() as u32
+    }
+
+    fn cols(&self) -> u32 {
+        self.cols_map.len() as u32
+    }
+
+    fn get_cell(&self, row: u32, col: u32) -> Option<Cell> {
+        let rid = *self.rows_map.get(row as usize)?;
+        let cid = *self.cols_map.get(col as usize)?;
+        let cell = self.fetch_cell(rid, cid)?;
+        if cell.is_blank() {
+            None
+        } else {
+            Some(cell)
+        }
+    }
+
+    fn set_cell(&mut self, row: u32, col: u32, cell: Cell) -> Result<(), EngineError> {
+        self.ensure_rows(row);
+        self.ensure_cols(col);
+        let rid = *self.rows_map.get(row as usize).expect("ensured");
+        let cid = *self.cols_map.get(col as usize).expect("ensured");
+        if cell.is_blank() {
+            // Blank assignment = delete the tuple (RCV stores only filled
+            // cells).
+            if let Some(&tid) = self.index.get(&(rid, cid)) {
+                self.table.delete(tid);
+                self.index.remove(&(rid, cid));
+            }
+            return Ok(());
+        }
+        let [v, f] = cell_to_datums(&cell);
+        let tuple = [
+            Datum::Int(rid as i64),
+            Datum::Int(cid as i64),
+            v,
+            f,
+        ];
+        match self.index.get(&(rid, cid)).copied() {
+            Some(tid) => {
+                let new_tid = self.table.update(tid, &tuple)?;
+                if new_tid != tid {
+                    self.index.insert((rid, cid), new_tid);
+                }
+            }
+            None => {
+                let tid = self.table.insert(&tuple)?;
+                self.index.insert((rid, cid), tid);
+            }
+        }
+        Ok(())
+    }
+
+    fn clear_cell(&mut self, row: u32, col: u32) -> Result<(), EngineError> {
+        if row < self.rows() && col < self.cols() {
+            self.set_cell(row, col, Cell::default())?;
+        }
+        Ok(())
+    }
+
+    fn get_range(&self, rect: Rect) -> Vec<(CellAddr, Cell)> {
+        let mut out = Vec::new();
+        if self.rows() == 0 || self.cols() == 0 || rect.r1 >= self.rows() || rect.c1 >= self.cols()
+        {
+            return out;
+        }
+        let row_count = (rect.r2.min(self.rows() - 1) - rect.r1) as usize + 1;
+        let cols: Vec<(u32, u64)> = (rect.c1..=rect.c2.min(self.cols() - 1))
+            .filter_map(|c| self.cols_map.get(c as usize).map(|&cid| (c, cid)))
+            .collect();
+        for (i, &rid) in self
+            .rows_map
+            .range(rect.r1 as usize, row_count)
+            .into_iter()
+            .enumerate()
+        {
+            let r = rect.r1 + i as u32;
+            for &(c, cid) in &cols {
+                if let Some(cell) = self.fetch_cell(rid, cid) {
+                    if !cell.is_blank() {
+                        out.push((CellAddr::new(r, c), cell));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn insert_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        if at > 0 {
+            self.ensure_rows(at - 1);
+        }
+        for _ in 0..n {
+            let rid = self.next_row_id;
+            self.next_row_id += 1;
+            self.rows_map.insert_at(at as usize, rid);
+        }
+        Ok(())
+    }
+
+    fn delete_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        for _ in 0..n {
+            let Some(rid) = self.rows_map.remove_at(at as usize) else {
+                break;
+            };
+            // Drop every tuple of this row via an index range scan.
+            let doomed: Vec<((u64, u64), TupleId)> = self
+                .index
+                .range(
+                    Bound::Included(&(rid, u64::MIN)),
+                    Bound::Included(&(rid, u64::MAX)),
+                )
+                .into_iter()
+                .map(|(k, v)| (*k, *v))
+                .collect();
+            for (key, tid) in doomed {
+                self.table.delete(tid);
+                self.index.remove(&key);
+            }
+        }
+        Ok(())
+    }
+
+    fn insert_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        if at > 0 {
+            self.ensure_cols(at - 1);
+        }
+        for _ in 0..n {
+            let cid = self.next_col_id;
+            self.next_col_id += 1;
+            self.cols_map.insert_at(at as usize, cid);
+        }
+        Ok(())
+    }
+
+    fn delete_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        for _ in 0..n {
+            let Some(cid) = self.cols_map.remove_at(at as usize) else {
+                break;
+            };
+            // Column ids are the second key component: collect then drop.
+            let doomed: Vec<((u64, u64), TupleId)> = self
+                .index
+                .range(Bound::Unbounded, Bound::Unbounded)
+                .into_iter()
+                .filter(|((_, c), _)| *c == cid)
+                .map(|(k, v)| (*k, *v))
+                .collect();
+            for (key, tid) in doomed {
+                self.table.delete(tid);
+                self.index.remove(&key);
+            }
+        }
+        Ok(())
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.table.accounted_bytes()
+    }
+
+    fn filled_count(&self) -> u64 {
+        self.index.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataspread_grid::CellValue;
+
+    #[test]
+    fn sparse_cells_store_one_tuple_each() {
+        let mut t = RcvTranslator::new(PosMapKind::Hierarchical);
+        t.set_cell(100, 200, Cell::value(1i64)).unwrap();
+        t.set_cell(5000, 3, Cell::value(2i64)).unwrap();
+        assert_eq!(t.filled_count(), 2);
+        assert_eq!(t.get_cell(100, 200).unwrap().value, CellValue::Number(1.0));
+        assert_eq!(t.get_cell(0, 0), None);
+    }
+
+    #[test]
+    fn blank_set_deletes_tuple() {
+        let mut t = RcvTranslator::new(PosMapKind::Hierarchical);
+        t.set_cell(1, 1, Cell::value(9i64)).unwrap();
+        assert_eq!(t.filled_count(), 1);
+        t.set_cell(1, 1, Cell::default()).unwrap();
+        assert_eq!(t.filled_count(), 0);
+        assert_eq!(t.get_cell(1, 1), None);
+    }
+
+    #[test]
+    fn row_insert_delete_via_posmaps() {
+        let mut t = RcvTranslator::new(PosMapKind::Hierarchical);
+        for r in 0..10 {
+            t.set_cell(r, 0, Cell::value(r as i64)).unwrap();
+        }
+        t.insert_rows(5, 2).unwrap();
+        assert_eq!(t.get_cell(4, 0).unwrap().value, CellValue::Number(4.0));
+        assert_eq!(t.get_cell(5, 0), None);
+        assert_eq!(t.get_cell(7, 0).unwrap().value, CellValue::Number(5.0));
+        t.delete_rows(5, 2).unwrap();
+        assert_eq!(t.get_cell(5, 0).unwrap().value, CellValue::Number(5.0));
+        assert_eq!(t.filled_count(), 10);
+        // Deleting a populated row drops its tuples.
+        t.delete_rows(0, 1).unwrap();
+        assert_eq!(t.filled_count(), 9);
+        assert_eq!(t.get_cell(0, 0).unwrap().value, CellValue::Number(1.0));
+    }
+
+    #[test]
+    fn col_insert_delete() {
+        let mut t = RcvTranslator::new(PosMapKind::Hierarchical);
+        for c in 0..5 {
+            t.set_cell(0, c, Cell::value(c as i64)).unwrap();
+        }
+        t.insert_cols(2, 1).unwrap();
+        assert_eq!(t.get_cell(0, 2), None);
+        assert_eq!(t.get_cell(0, 3).unwrap().value, CellValue::Number(2.0));
+        t.delete_cols(3, 1).unwrap();
+        assert_eq!(t.get_cell(0, 3).unwrap().value, CellValue::Number(3.0));
+        assert_eq!(t.filled_count(), 4);
+    }
+
+    #[test]
+    fn range_scan_row_major() {
+        let mut t = RcvTranslator::new(PosMapKind::Hierarchical);
+        t.set_cell(1, 1, Cell::value(1i64)).unwrap();
+        t.set_cell(1, 3, Cell::value(2i64)).unwrap();
+        t.set_cell(2, 2, Cell::value(3i64)).unwrap();
+        t.set_cell(9, 9, Cell::value(4i64)).unwrap();
+        let got = t.get_range(Rect::new(1, 1, 3, 3));
+        let addrs: Vec<CellAddr> = got.iter().map(|(a, _)| *a).collect();
+        assert_eq!(
+            addrs,
+            vec![CellAddr::new(1, 1), CellAddr::new(1, 3), CellAddr::new(2, 2)]
+        );
+    }
+
+    #[test]
+    fn update_existing_cell_replaces_tuple() {
+        let mut t = RcvTranslator::new(PosMapKind::Hierarchical);
+        t.set_cell(0, 0, Cell::value(1i64)).unwrap();
+        t.set_cell(0, 0, Cell::value("now a much longer text value")).unwrap();
+        assert_eq!(t.filled_count(), 1);
+        assert_eq!(
+            t.get_cell(0, 0).unwrap().value,
+            CellValue::Text("now a much longer text value".into())
+        );
+    }
+}

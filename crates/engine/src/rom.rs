@@ -1,0 +1,559 @@
+//! The row-oriented translator (paper §IV-B, Figure 8a).
+//!
+//! One tuple per sheet row; each sheet column occupies a `[value, formula]`
+//! datum pair. Positions are *not* stored: a hierarchical positional map on
+//! the row axis maps row positions to tuple ids, and one on the column axis
+//! maps column positions to physical column groups — so row *and* column
+//! inserts avoid cascading updates (paper §V: "row and column numbers can
+//! be dealt with independently").
+
+use dataspread_grid::{Cell, CellAddr, Rect};
+use dataspread_hybrid::ModelKind;
+use dataspread_posmap::{new_posmap, PosMapKind, PositionalMap};
+use dataspread_relstore::{ColumnDef, DataType, Datum, Schema, Table, TupleId};
+
+use crate::error::EngineError;
+use crate::translator::{cell_to_datums, datums_to_cell, Translator};
+
+/// Row-oriented storage for one region.
+pub struct RomTranslator {
+    table: Table,
+    /// Row position → tuple id.
+    rows_map: Box<dyn PositionalMap<TupleId>>,
+    /// Column position → physical column group (datums `2g` and `2g+1`).
+    cols_map: Box<dyn PositionalMap<u32>>,
+    next_group: u32,
+    filled: u64,
+    posmap_kind: PosMapKind,
+}
+
+impl std::fmt::Debug for RomTranslator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RomTranslator")
+            .field("rows", &self.rows_map.len())
+            .field("cols", &self.cols_map.len())
+            .field("filled", &self.filled)
+            .field("posmap", &self.posmap_kind)
+            .finish()
+    }
+}
+
+impl RomTranslator {
+    pub fn new(posmap_kind: PosMapKind) -> Self {
+        RomTranslator {
+            table: Table::new("rom", Schema::new(Vec::new())),
+            rows_map: new_posmap(posmap_kind),
+            cols_map: new_posmap(posmap_kind),
+            next_group: 0,
+            filled: 0,
+            posmap_kind,
+        }
+    }
+
+    pub fn posmap_kind(&self) -> PosMapKind {
+        self.posmap_kind
+    }
+
+    /// Bulk-load rows of cells (O(N) positional-map construction) — the
+    /// fast import path for large datasets such as VCF files.
+    pub fn bulk_load_rows(
+        posmap_kind: PosMapKind,
+        width: u32,
+        rows: impl IntoIterator<Item = Vec<Cell>>,
+    ) -> Result<Self, EngineError> {
+        let mut table = Table::new("rom", Schema::new(Vec::new()));
+        let mut cols_map = dataspread_posmap::posmap_from(posmap_kind, Vec::<u32>::new());
+        let mut next_group = 0;
+        for g in 0..width {
+            table.add_column(ColumnDef::new(format!("v{g}"), DataType::Any))?;
+            table.add_column(ColumnDef::new(format!("f{g}"), DataType::Any))?;
+            cols_map.push(g);
+            next_group += 1;
+        }
+        let mut tids = Vec::new();
+        let mut filled = 0u64;
+        let mut datums: Vec<Datum> = Vec::with_capacity(2 * width as usize);
+        for row in rows {
+            datums.clear();
+            for cell in row.iter().take(width as usize) {
+                if !cell.is_blank() {
+                    filled += 1;
+                }
+                let [v, f] = cell_to_datums(cell);
+                datums.push(v);
+                datums.push(f);
+            }
+            tids.push(table.insert_prefix(&datums)?);
+        }
+        Ok(RomTranslator {
+            table,
+            rows_map: dataspread_posmap::posmap_from(posmap_kind, tids),
+            cols_map,
+            next_group,
+            filled,
+            posmap_kind,
+        })
+    }
+
+    fn ensure_rows(&mut self, upto: u32) -> Result<(), EngineError> {
+        while self.rows_map.len() <= upto as usize {
+            let tid = self.table.insert_prefix(&[])?;
+            self.rows_map.push(tid);
+        }
+        Ok(())
+    }
+
+    fn ensure_cols(&mut self, upto: u32) -> Result<(), EngineError> {
+        while self.cols_map.len() <= upto as usize {
+            self.push_group()?;
+        }
+        Ok(())
+    }
+
+    fn push_group(&mut self) -> Result<(), EngineError> {
+        let g = self.next_group;
+        self.table
+            .add_column(ColumnDef::new(format!("v{g}"), DataType::Any))?;
+        self.table
+            .add_column(ColumnDef::new(format!("f{g}"), DataType::Any))?;
+        self.cols_map.push(g);
+        self.next_group += 1;
+        Ok(())
+    }
+
+    /// Allocate a fresh physical group without appending it to the column
+    /// map (used by middle-of-sheet column inserts).
+    fn fresh_group(&mut self) -> Result<u32, EngineError> {
+        let g = self.next_group;
+        self.table
+            .add_column(ColumnDef::new(format!("v{g}"), DataType::Any))?;
+        self.table
+            .add_column(ColumnDef::new(format!("f{g}"), DataType::Any))?;
+        self.next_group += 1;
+        Ok(g)
+    }
+
+    fn cell_from_row(&self, row: &[Datum], group: u32) -> Cell {
+        let v = row.get(2 * group as usize).unwrap_or(&Datum::Null);
+        let f = row.get(2 * group as usize + 1).unwrap_or(&Datum::Null);
+        datums_to_cell(v, f)
+    }
+
+    /// Rebuild the table without the physical column groups orphaned by
+    /// `delete_cols` (and without dead heap space). Like VACUUM FULL:
+    /// O(rows × live columns), to be run during idle periods.
+    pub fn vacuum(&mut self) -> Result<(), EngineError> {
+        let live_groups: Vec<u32> = (0..self.cols_map.len())
+            .filter_map(|i| self.cols_map.get(i).copied())
+            .collect();
+        let mut table = Table::new("rom", Schema::new(Vec::new()));
+        for g in 0..live_groups.len() {
+            table.add_column(ColumnDef::new(format!("v{g}"), DataType::Any))?;
+            table.add_column(ColumnDef::new(format!("f{g}"), DataType::Any))?;
+        }
+        let mut new_tids = Vec::with_capacity(self.rows_map.len());
+        let mut datums: Vec<Datum> = Vec::with_capacity(2 * live_groups.len());
+        for r in 0..self.rows_map.len() {
+            let tid = *self.rows_map.get(r).expect("in range");
+            let old = self.table.fetch(tid)?;
+            datums.clear();
+            for &g in &live_groups {
+                datums.push(old.get(2 * g as usize).cloned().unwrap_or(Datum::Null));
+                datums.push(
+                    old.get(2 * g as usize + 1)
+                        .cloned()
+                        .unwrap_or(Datum::Null),
+                );
+            }
+            new_tids.push(table.insert_prefix(&datums)?);
+        }
+        self.table = table;
+        self.rows_map = dataspread_posmap::posmap_from(self.posmap_kind, new_tids);
+        self.cols_map = dataspread_posmap::posmap_from(
+            self.posmap_kind,
+            (0..live_groups.len() as u32).collect::<Vec<u32>>(),
+        );
+        self.next_group = live_groups.len() as u32;
+        Ok(())
+    }
+}
+
+impl Translator for RomTranslator {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Rom
+    }
+
+    fn rows(&self) -> u32 {
+        self.rows_map.len() as u32
+    }
+
+    fn cols(&self) -> u32 {
+        self.cols_map.len() as u32
+    }
+
+    fn get_cell(&self, row: u32, col: u32) -> Option<Cell> {
+        let tid = *self.rows_map.get(row as usize)?;
+        let group = *self.cols_map.get(col as usize)?;
+        // Projected decode: only the (value, formula) pair of this column.
+        let pair = self
+            .table
+            .fetch_cols(tid, &[2 * group as usize, 2 * group as usize + 1])
+            .ok()?;
+        let cell = datums_to_cell(&pair[0], &pair[1]);
+        if cell.is_blank() {
+            None
+        } else {
+            Some(cell)
+        }
+    }
+
+    fn set_cell(&mut self, row: u32, col: u32, cell: Cell) -> Result<(), EngineError> {
+        self.ensure_rows(row)?;
+        self.ensure_cols(col)?;
+        let tid = *self.rows_map.get(row as usize).expect("ensured");
+        let group = *self.cols_map.get(col as usize).expect("ensured");
+        let mut tuple = self.table.fetch(tid)?;
+        let was_blank = self.cell_from_row(&tuple, group).is_blank();
+        let [v, f] = cell_to_datums(&cell);
+        let is_blank = cell.is_blank();
+        tuple[2 * group as usize] = v;
+        tuple[2 * group as usize + 1] = f;
+        let new_tid = self.table.update(tid, &tuple)?;
+        if new_tid != tid {
+            self.rows_map.replace(row as usize, new_tid);
+        }
+        match (was_blank, is_blank) {
+            (true, false) => self.filled += 1,
+            (false, true) => self.filled -= 1,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn set_cells_in_row(&mut self, row: u32, cells: &[(u32, Cell)]) -> Result<(), EngineError> {
+        let Some(&(max_col, _)) = cells.iter().max_by_key(|(c, _)| *c) else {
+            return Ok(());
+        };
+        self.ensure_rows(row)?;
+        self.ensure_cols(max_col)?;
+        let tid = *self.rows_map.get(row as usize).expect("ensured");
+        let mut tuple = self.table.fetch(tid)?;
+        for (col, cell) in cells {
+            let group = *self.cols_map.get(*col as usize).expect("ensured");
+            let was_blank = self.cell_from_row(&tuple, group).is_blank();
+            let [v, f] = cell_to_datums(cell);
+            tuple[2 * group as usize] = v;
+            tuple[2 * group as usize + 1] = f;
+            match (was_blank, cell.is_blank()) {
+                (true, false) => self.filled += 1,
+                (false, true) => self.filled -= 1,
+                _ => {}
+            }
+        }
+        let new_tid = self.table.update(tid, &tuple)?;
+        if new_tid != tid {
+            self.rows_map.replace(row as usize, new_tid);
+        }
+        Ok(())
+    }
+
+    fn clear_cell(&mut self, row: u32, col: u32) -> Result<(), EngineError> {
+        if row < self.rows() && col < self.cols() {
+            self.set_cell(row, col, Cell::default())?;
+        }
+        Ok(())
+    }
+
+    fn get_range(&self, rect: Rect) -> Vec<(CellAddr, Cell)> {
+        let mut out = Vec::new();
+        let row_count = (rect.r2.min(self.rows().saturating_sub(1)) as usize)
+            .saturating_sub(rect.r1 as usize)
+            + 1;
+        if self.rows() == 0 || self.cols() == 0 || rect.r1 >= self.rows() {
+            return out;
+        }
+        let groups: Vec<(u32, u32)> = (rect.c1..=rect.c2.min(self.cols() - 1))
+            .filter_map(|c| self.cols_map.get(c as usize).map(|&g| (c, g)))
+            .collect();
+        // Projected decode of just the requested column pairs, in physical
+        // order (fetch_cols wants sorted indices).
+        let mut phys: Vec<(usize, u32)> = Vec::with_capacity(groups.len() * 2);
+        for &(c, g) in &groups {
+            phys.push((2 * g as usize, c));
+            phys.push((2 * g as usize + 1, c));
+        }
+        phys.sort_unstable_by_key(|&(idx, _)| idx);
+        let wanted: Vec<usize> = phys.iter().map(|&(idx, _)| idx).collect();
+        // Map sheet column -> position of its (value, formula) pair in the
+        // projected output.
+        let pair_pos: std::collections::HashMap<u32, usize> = groups
+            .iter()
+            .map(|&(c, g)| {
+                let at = wanted
+                    .binary_search(&(2 * g as usize))
+                    .expect("value index present");
+                (c, at)
+            })
+            .collect();
+        for (i, tid) in self
+            .rows_map
+            .range(rect.r1 as usize, row_count)
+            .into_iter()
+            .enumerate()
+        {
+            let Ok(proj) = self.table.fetch_cols(*tid, &wanted) else {
+                continue;
+            };
+            let r = rect.r1 + i as u32;
+            for &(c, _) in &groups {
+                let at = pair_pos[&c];
+                let cell = datums_to_cell(&proj[at], &proj[at + 1]);
+                if !cell.is_blank() {
+                    out.push((CellAddr::new(r, c), cell));
+                }
+            }
+        }
+        out
+    }
+
+    fn insert_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        if at > 0 {
+            self.ensure_rows(at - 1)?;
+        }
+        for _ in 0..n {
+            let tid = self.table.insert_prefix(&[])?;
+            self.rows_map.insert_at(at as usize, tid);
+        }
+        Ok(())
+    }
+
+    fn delete_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        for _ in 0..n {
+            let Some(tid) = self.rows_map.remove_at(at as usize) else {
+                break;
+            };
+            // Keep the filled counter honest.
+            if let Ok(tuple) = self.table.fetch(tid) {
+                for g in 0..self.next_group {
+                    if !self.cell_from_row(&tuple, g).is_blank() {
+                        self.filled -= 1;
+                    }
+                }
+            }
+            self.table.delete(tid);
+        }
+        Ok(())
+    }
+
+    fn insert_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        if at > 0 {
+            self.ensure_cols(at - 1)?;
+        }
+        for _ in 0..n {
+            let g = self.fresh_group()?;
+            self.cols_map.insert_at(at as usize, g);
+        }
+        Ok(())
+    }
+
+    fn delete_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        // Physical columns become orphaned (a vacuum/migration reclaims
+        // them); the logical view shifts immediately.
+        for _ in 0..n {
+            let Some(g) = self.cols_map.remove_at(at as usize) else {
+                break;
+            };
+            // Null-out the orphaned group so filled stays honest and the
+            // data is actually gone.
+            let tids: Vec<(usize, TupleId)> = (0..self.rows_map.len())
+                .filter_map(|r| self.rows_map.get(r).map(|&t| (r, t)))
+                .collect();
+            for (r, tid) in tids {
+                let Ok(mut tuple) = self.table.fetch(tid) else {
+                    continue;
+                };
+                if !self.cell_from_row(&tuple, g).is_blank() {
+                    self.filled -= 1;
+                    tuple[2 * g as usize] = Datum::Null;
+                    tuple[2 * g as usize + 1] = Datum::Null;
+                    let new_tid = self.table.update(tid, &tuple)?;
+                    if new_tid != tid {
+                        self.rows_map.replace(r, new_tid);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.table.accounted_bytes()
+    }
+
+    fn filled_count(&self) -> u64 {
+        self.filled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataspread_grid::CellValue;
+
+    fn cell(n: i64) -> Cell {
+        Cell::value(n)
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut t = RomTranslator::new(PosMapKind::Hierarchical);
+        t.set_cell(2, 3, cell(42)).unwrap();
+        assert_eq!(t.get_cell(2, 3).unwrap().value, CellValue::Number(42.0));
+        assert_eq!(t.get_cell(0, 0), None);
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 4);
+        assert_eq!(t.filled_count(), 1);
+    }
+
+    #[test]
+    fn formulas_survive_storage() {
+        let mut t = RomTranslator::new(PosMapKind::Hierarchical);
+        t.set_cell(
+            0,
+            0,
+            Cell {
+                value: CellValue::Number(85.0),
+                formula: Some("AVERAGE(B2:C2)+D2+E2".into()),
+            },
+        )
+        .unwrap();
+        let got = t.get_cell(0, 0).unwrap();
+        assert_eq!(got.formula.as_deref(), Some("AVERAGE(B2:C2)+D2+E2"));
+    }
+
+    #[test]
+    fn insert_rows_shifts_without_renumbering() {
+        let mut t = RomTranslator::new(PosMapKind::Hierarchical);
+        for r in 0..10 {
+            t.set_cell(r, 0, cell(r as i64)).unwrap();
+        }
+        t.insert_rows(5, 2).unwrap();
+        assert_eq!(t.rows(), 12);
+        assert_eq!(t.get_cell(4, 0).unwrap().value, CellValue::Number(4.0));
+        assert_eq!(t.get_cell(5, 0), None);
+        assert_eq!(t.get_cell(6, 0), None);
+        assert_eq!(t.get_cell(7, 0).unwrap().value, CellValue::Number(5.0));
+        assert_eq!(t.get_cell(11, 0).unwrap().value, CellValue::Number(9.0));
+    }
+
+    #[test]
+    fn delete_rows_updates_filled() {
+        let mut t = RomTranslator::new(PosMapKind::Hierarchical);
+        for r in 0..6 {
+            t.set_cell(r, 0, cell(r as i64)).unwrap();
+            t.set_cell(r, 1, cell(-(r as i64))).unwrap();
+        }
+        assert_eq!(t.filled_count(), 12);
+        t.delete_rows(1, 2).unwrap();
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.filled_count(), 8);
+        assert_eq!(t.get_cell(1, 0).unwrap().value, CellValue::Number(3.0));
+    }
+
+    #[test]
+    fn insert_and_delete_cols_via_column_posmap() {
+        let mut t = RomTranslator::new(PosMapKind::Hierarchical);
+        for c in 0..4 {
+            t.set_cell(0, c, cell(c as i64)).unwrap();
+        }
+        t.insert_cols(2, 1).unwrap();
+        assert_eq!(t.cols(), 5);
+        assert_eq!(t.get_cell(0, 1).unwrap().value, CellValue::Number(1.0));
+        assert_eq!(t.get_cell(0, 2), None, "new column is blank");
+        assert_eq!(t.get_cell(0, 3).unwrap().value, CellValue::Number(2.0));
+        // Deleting columns 0..2 removes the values 0 and 1; the blank
+        // inserted column becomes position 0.
+        t.delete_cols(0, 2).unwrap();
+        assert_eq!(t.get_cell(0, 0), None, "the blank inserted column");
+        assert_eq!(t.get_cell(0, 1).unwrap().value, CellValue::Number(2.0));
+        assert_eq!(t.filled_count(), 2);
+    }
+
+    #[test]
+    fn get_range_row_major() {
+        let mut t = RomTranslator::new(PosMapKind::Hierarchical);
+        for r in 0..5 {
+            for c in 0..3 {
+                t.set_cell(r, c, cell((r * 3 + c) as i64)).unwrap();
+            }
+        }
+        let cells = t.get_range(Rect::new(1, 1, 3, 2));
+        assert_eq!(cells.len(), 6);
+        assert_eq!(cells[0].0, CellAddr::new(1, 1));
+        assert_eq!(cells[5].0, CellAddr::new(3, 2));
+        // Out-of-extent ranges clamp.
+        assert!(t.get_range(Rect::new(10, 0, 20, 2)).is_empty());
+    }
+
+    #[test]
+    fn clear_cell_blanks_and_counts() {
+        let mut t = RomTranslator::new(PosMapKind::Hierarchical);
+        t.set_cell(0, 0, cell(1)).unwrap();
+        t.clear_cell(0, 0).unwrap();
+        assert_eq!(t.get_cell(0, 0), None);
+        assert_eq!(t.filled_count(), 0);
+        // Clearing out-of-range is a no-op.
+        t.clear_cell(99, 99).unwrap();
+    }
+
+    #[test]
+    fn works_with_all_posmap_kinds() {
+        for kind in [PosMapKind::AsIs, PosMapKind::Monotonic, PosMapKind::Hierarchical] {
+            let mut t = RomTranslator::new(kind);
+            for r in 0..20 {
+                t.set_cell(r, 0, cell(r as i64)).unwrap();
+            }
+            t.insert_rows(10, 1).unwrap();
+            assert_eq!(t.get_cell(11, 0).unwrap().value, CellValue::Number(10.0));
+        }
+    }
+
+    #[test]
+    fn vacuum_reclaims_orphaned_columns() {
+        let mut t = RomTranslator::new(PosMapKind::Hierarchical);
+        for r in 0..50 {
+            for c in 0..10 {
+                t.set_cell(r, c, cell((r * 10 + c) as i64)).unwrap();
+            }
+        }
+        t.delete_cols(2, 6).unwrap();
+        let before_cells: Vec<_> = t.all_cells();
+        let before_bytes = t.storage_bytes();
+        t.vacuum().unwrap();
+        assert_eq!(t.all_cells(), before_cells, "vacuum preserves contents");
+        assert!(
+            t.storage_bytes() < before_bytes,
+            "vacuum must shrink storage: {} -> {}",
+            before_bytes,
+            t.storage_bytes()
+        );
+        assert_eq!(t.cols(), 4);
+        assert_eq!(t.filled_count(), 50 * 4);
+        // The translator stays fully functional.
+        t.insert_cols(1, 1).unwrap();
+        t.set_cell(0, 1, cell(777)).unwrap();
+        assert_eq!(t.get_cell(0, 1).unwrap().value, CellValue::Number(777.0));
+    }
+
+    #[test]
+    fn storage_grows_with_data() {
+        let mut t = RomTranslator::new(PosMapKind::Hierarchical);
+        let empty = t.storage_bytes();
+        for r in 0..100 {
+            for c in 0..5 {
+                t.set_cell(r, c, cell(1)).unwrap();
+            }
+        }
+        assert!(t.storage_bytes() > empty);
+    }
+}

@@ -1,0 +1,742 @@
+//! `SheetEngine`: the full DataSpread stack over one sheet (paper Figure
+//! 12) — storage (hybrid translators), execution (formula parsing,
+//! dependency graph, LRU cell cache, evaluator), and the spreadsheet- and
+//! database-oriented operations of §III.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use dataspread_formula::ast::Expr;
+use dataspread_formula::eval::CellReader;
+use dataspread_formula::refs::{collect_ranges, rewrite, Shift};
+use dataspread_formula::{parse, CellCache, DependencyGraph, Evaluator};
+use dataspread_grid::value::CellError;
+use dataspread_grid::{Cell, CellAddr, CellValue, Rect, SparseSheet};
+use dataspread_hybrid::{
+    incremental_agg, optimize_agg, optimize_dp, optimize_greedy, CostModel, Decomposition,
+    GridView, IncrementalOptions, OptimizerOptions,
+};
+use dataspread_rel::{execute_sql, Relation};
+use dataspread_relstore::{ColumnDef, DataType, Database, Datum, Schema};
+
+use crate::error::EngineError;
+use crate::hybrid::HybridSheet;
+use crate::rom::RomTranslator;
+use crate::tom::TomTranslator;
+use crate::translator::{value_to_datum, Translator};
+use dataspread_posmap::PosMapKind;
+
+/// Which hybrid optimizer to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizeAlgorithm {
+    /// Optimal recursive-decomposition DP (slow, exact).
+    Dp,
+    /// Greedy (fastest).
+    Greedy,
+    /// Aggressive greedy (the paper's sweet spot).
+    Agg,
+    /// Incremental aggressive greedy with migration factor η.
+    IncrementalAgg { eta: f64 },
+}
+
+/// Result of a storage re-optimization.
+#[derive(Debug, Clone)]
+pub struct OptimizeReport {
+    pub decomposition: Decomposition,
+    pub migrated_cells: u64,
+    pub storage_before: u64,
+    pub storage_after: u64,
+}
+
+/// A spreadsheet with database-backed storage.
+pub struct SheetEngine {
+    sheet: HybridSheet,
+    db: Arc<RwLock<Database>>,
+    deps: DependencyGraph,
+    parsed: HashMap<CellAddr, Expr>,
+    cache: Mutex<CellCache>,
+    composites: HashMap<CellAddr, Relation>,
+    evaluator: Evaluator,
+}
+
+impl Default for SheetEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Read-through reader: LRU cell cache in front of the hybrid translator
+/// (paper §VI: "the evaluator fetches the cells … from the LRU cell cache
+/// in a read-through manner").
+struct EngineReader<'a> {
+    sheet: &'a HybridSheet,
+    cache: &'a Mutex<CellCache>,
+}
+
+impl CellReader for EngineReader<'_> {
+    fn value(&self, addr: CellAddr) -> CellValue {
+        if let Some(v) = self.cache.lock().get(&addr) {
+            return v.clone();
+        }
+        let v = self
+            .sheet
+            .get_cell(addr)
+            .map(|c| c.value)
+            .unwrap_or(CellValue::Empty);
+        self.cache.lock().put(addr, v.clone());
+        v
+    }
+
+    fn range_values(&self, rect: Rect) -> Vec<(CellAddr, CellValue)> {
+        // Range scans bypass the per-cell cache: the translators' range
+        // fetch is already a bulk operation.
+        self.sheet
+            .get_cells(rect)
+            .into_iter()
+            .map(|(a, c)| (a, c.value))
+            .collect()
+    }
+}
+
+impl SheetEngine {
+    pub fn new() -> Self {
+        Self::with_posmap(PosMapKind::default())
+    }
+
+    pub fn with_posmap(kind: PosMapKind) -> Self {
+        SheetEngine {
+            sheet: HybridSheet::with_posmap(kind),
+            db: Arc::new(RwLock::new(Database::new())),
+            deps: DependencyGraph::new(),
+            parsed: HashMap::new(),
+            cache: Mutex::new(CellCache::new(100_000)),
+            composites: HashMap::new(),
+            evaluator: Evaluator::new(),
+        }
+    }
+
+    /// Handle to the backing database (for SQL clients and tests).
+    pub fn database(&self) -> Arc<RwLock<Database>> {
+        Arc::clone(&self.db)
+    }
+
+    /// Direct access to the hybrid storage layer.
+    pub fn storage(&self) -> &HybridSheet {
+        &self.sheet
+    }
+
+    pub fn storage_mut(&mut self) -> &mut HybridSheet {
+        &mut self.sheet
+    }
+
+    // ------------------------------------------ spreadsheet operations --
+
+    /// `getCells(range)`.
+    pub fn get_cells(&self, rect: Rect) -> Vec<(CellAddr, Cell)> {
+        self.sheet.get_cells(rect)
+    }
+
+    /// A single cell's computed value.
+    pub fn value(&self, addr: CellAddr) -> CellValue {
+        self.sheet
+            .get_cell(addr)
+            .map(|c| c.value)
+            .unwrap_or(CellValue::Empty)
+    }
+
+    /// `updateCell(row, column, value)`: interprets `input` the way a
+    /// spreadsheet UI does — `=…` is a formula, numeric text is a number,
+    /// TRUE/FALSE are booleans, an empty string clears the cell.
+    pub fn update_cell(&mut self, addr: CellAddr, input: &str) -> Result<(), EngineError> {
+        if let Some(src) = input.strip_prefix('=') {
+            let expr = parse(src)?;
+            self.deps.set_formula(addr, collect_ranges(&expr));
+            self.parsed.insert(addr, expr);
+            self.sheet.set_cell(addr, Cell::formula(src))?;
+            self.cache.lock().invalidate(&addr);
+            self.recompute(&[addr])?;
+            return Ok(());
+        }
+        // Literal input: drop any previous formula.
+        if self.parsed.remove(&addr).is_some() {
+            self.deps.remove(addr);
+        }
+        let trimmed = input.trim();
+        if trimmed.is_empty() {
+            self.sheet.clear_cell(addr)?;
+        } else {
+            let value = parse_literal(trimmed);
+            self.sheet.set_cell(addr, Cell::value(value))?;
+        }
+        self.cache.lock().invalidate(&addr);
+        self.recompute(&[addr])?;
+        Ok(())
+    }
+
+    /// [`SheetEngine::update_cell`] with an A1 address.
+    pub fn update_cell_a1(&mut self, a1: &str, input: &str) -> Result<(), EngineError> {
+        self.update_cell(CellAddr::parse_a1(a1)?, input)
+    }
+
+    /// `insertRowAfter(row)`: inserts `n` rows so the first new row sits at
+    /// index `at`.
+    pub fn insert_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        self.sheet.insert_rows(at, n)?;
+        self.apply_shift(Shift::InsertRows { at, n })
+    }
+
+    pub fn delete_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        self.sheet.delete_rows(at, n)?;
+        self.apply_shift(Shift::DeleteRows { at, n })
+    }
+
+    pub fn insert_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        self.sheet.insert_cols(at, n)?;
+        self.apply_shift(Shift::InsertCols { at, n })
+    }
+
+    pub fn delete_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        self.sheet.delete_cols(at, n)?;
+        self.apply_shift(Shift::DeleteCols { at, n })
+    }
+
+    /// Bulk-import rows of values starting at `top_left` as a dedicated ROM
+    /// region (the VCF import path: O(N) bulk-loaded positional maps).
+    pub fn import_rows(
+        &mut self,
+        top_left: CellAddr,
+        width: u32,
+        rows: impl IntoIterator<Item = Vec<CellValue>>,
+    ) -> Result<Rect, EngineError> {
+        let cells = rows.into_iter().map(|row| {
+            row.into_iter()
+                .map(|v| Cell {
+                    value: v,
+                    formula: None,
+                })
+                .collect::<Vec<Cell>>()
+        });
+        let rom = RomTranslator::bulk_load_rows(self.sheet.posmap_kind(), width, cells)?;
+        let n_rows = rom.rows();
+        if n_rows == 0 {
+            return Err(EngineError::BadLink("import of zero rows".into()));
+        }
+        let rect = Rect::new(
+            top_left.row,
+            top_left.col,
+            top_left.row + n_rows - 1,
+            top_left.col + width - 1,
+        );
+        self.sheet.add_region(rect, Box::new(rom))?;
+        Ok(rect)
+    }
+
+    // --------------------------------------------- database operations --
+
+    /// `linkTable(range, tableName)` (paper §III): if the table exists the
+    /// region becomes a live view of it; otherwise the region's data (first
+    /// row = column names) is turned into a new table and then linked.
+    pub fn link_table(&mut self, rect: Rect, name: &str) -> Result<Rect, EngineError> {
+        let exists = self.db.read().contains(name);
+        if !exists {
+            self.create_table_from_region(rect, name)?;
+            // The region's cells now live in the table; remove them from
+            // sheet storage.
+            for (addr, _) in self.sheet.get_cells(rect) {
+                self.sheet.clear_cell(addr)?;
+            }
+        }
+        let (rows, cols) = {
+            let db = self.db.read();
+            let t = db.table(name)?;
+            (t.row_count() as u32, t.schema().len() as u32)
+        };
+        let link_rect = Rect::new(
+            rect.r1,
+            rect.c1,
+            rect.r1 + rows.max(1) - 1,
+            rect.c1 + cols.max(1) - 1,
+        );
+        let tom = TomTranslator::new(Arc::clone(&self.db), name);
+        self.sheet.add_region(link_rect, Box::new(tom))?;
+        self.cache.lock().clear();
+        Ok(link_rect)
+    }
+
+    fn create_table_from_region(&mut self, rect: Rect, name: &str) -> Result<(), EngineError> {
+        let cells = self.sheet.get_cells(rect);
+        if cells.is_empty() {
+            return Err(EngineError::BadLink(format!(
+                "region {rect} is empty; nothing to create"
+            )));
+        }
+        // First row: column names.
+        let mut columns = Vec::new();
+        for c in rect.c1..=rect.c2 {
+            let header = cells
+                .iter()
+                .find(|(a, _)| a.row == rect.r1 && a.col == c)
+                .map(|(_, cell)| cell.value.as_text())
+                .filter(|s| !s.is_empty())
+                .unwrap_or_else(|| format!("col{}", c - rect.c1 + 1));
+            columns.push(ColumnDef::new(header, DataType::Any));
+        }
+        let mut db = self.db.write();
+        let table = db.create_table(name, Schema::new(columns))?;
+        for r in rect.r1 + 1..=rect.r2 {
+            let mut row: Vec<Datum> = Vec::with_capacity((rect.c2 - rect.c1 + 1) as usize);
+            for c in rect.c1..=rect.c2 {
+                let v = cells
+                    .iter()
+                    .find(|(a, _)| a.row == r && a.col == c)
+                    .map(|(_, cell)| value_to_datum(&cell.value))
+                    .unwrap_or(Datum::Null);
+                row.push(v);
+            }
+            table.insert(&row)?;
+        }
+        Ok(())
+    }
+
+    /// The `sql(query, params…)` spreadsheet function.
+    pub fn sql(&self, query: &str, params: &[Datum]) -> Result<Relation, EngineError> {
+        Ok(execute_sql(&*self.db.read(), query, params)?)
+    }
+
+    /// Materialize a sheet range as a relation (first row = headers).
+    pub fn range_to_relation(&self, rect: Rect) -> Relation {
+        let cells = self.sheet.get_cells(rect);
+        let mut columns = Vec::new();
+        for c in rect.c1..=rect.c2 {
+            let header = cells
+                .iter()
+                .find(|(a, _)| a.row == rect.r1 && a.col == c)
+                .map(|(_, cell)| cell.value.as_text())
+                .filter(|s| !s.is_empty())
+                .unwrap_or_else(|| format!("col{}", c - rect.c1 + 1));
+            columns.push(header);
+        }
+        let mut rows = Vec::new();
+        for r in rect.r1 + 1..=rect.r2 {
+            let mut row = Vec::new();
+            for c in rect.c1..=rect.c2 {
+                let v = cells
+                    .iter()
+                    .find(|(a, _)| a.row == r && a.col == c)
+                    .map(|(_, cell)| value_to_datum(&cell.value))
+                    .unwrap_or(Datum::Null);
+                row.push(v);
+            }
+            rows.push(row);
+        }
+        Relation::new(columns, rows)
+    }
+
+    /// Store a composite table value at `addr` (what the relational
+    /// spreadsheet functions return).
+    pub fn place_composite(&mut self, addr: CellAddr, relation: Relation) {
+        self.composites.insert(addr, relation);
+    }
+
+    pub fn composite(&self, addr: CellAddr) -> Option<&Relation> {
+        self.composites.get(&addr)
+    }
+
+    /// The `index(cell, i, j)` function: dereference the composite value at
+    /// `src` and place the `(i, j)` entry (1-based) at `dst`.
+    pub fn index_composite(
+        &mut self,
+        src: CellAddr,
+        i: usize,
+        j: usize,
+        dst: CellAddr,
+    ) -> Result<(), EngineError> {
+        let value = self
+            .composites
+            .get(&src)
+            .and_then(|rel| rel.index(i, j))
+            .cloned()
+            .ok_or_else(|| {
+                EngineError::BadLink(format!("no composite value entry ({i},{j}) at {src}"))
+            })?;
+        self.sheet
+            .set_cell(dst, Cell::value(crate::translator::datum_to_value(&value)))?;
+        self.cache.lock().invalidate(&dst);
+        self.recompute(&[dst])
+    }
+
+    // ------------------------------------------------------- optimizer --
+
+    /// Run the hybrid optimizer over the current sheet and migrate storage
+    /// to the chosen decomposition.
+    pub fn optimize(
+        &mut self,
+        cm: &CostModel,
+        algorithm: OptimizeAlgorithm,
+        opts: &OptimizerOptions,
+    ) -> Result<OptimizeReport, EngineError> {
+        let snapshot = self.sheet.snapshot(false);
+        // Relation-width caps must survive band collapse (Theorem 8).
+        let view = match cm.max_table_cols {
+            Some(cap) => GridView::from_sheet_capped(&snapshot, u32::MAX, cap as u32),
+            None => GridView::from_sheet(&snapshot),
+        };
+        let decomposition = match algorithm {
+            OptimizeAlgorithm::Dp => optimize_dp(&view, cm, opts)
+                .map_err(|e| EngineError::Unsupported(e.to_string()))?,
+            OptimizeAlgorithm::Greedy => optimize_greedy(&view, cm, opts),
+            OptimizeAlgorithm::Agg => optimize_agg(&view, cm, opts),
+            OptimizeAlgorithm::IncrementalAgg { eta } => {
+                let old = Decomposition::new(
+                    self.sheet
+                        .layout()
+                        .into_iter()
+                        .filter(|(_, kind)| *kind != crate::ModelKind::Tom)
+                        .map(|(rect, kind)| dataspread_hybrid::Region { rect, kind })
+                        .collect(),
+                );
+                let (d, _) = incremental_agg(
+                    &snapshot,
+                    &old,
+                    cm,
+                    &IncrementalOptions {
+                        eta,
+                        base: opts.clone(),
+                    },
+                );
+                d
+            }
+        };
+        let storage_before = self.sheet.storage_bytes();
+        let migrated_cells = self.sheet.reorganize(&decomposition)?;
+        self.cache.lock().clear();
+        Ok(OptimizeReport {
+            decomposition,
+            migrated_cells,
+            storage_before,
+            storage_after: self.sheet.storage_bytes(),
+        })
+    }
+
+    /// Accounted storage bytes.
+    pub fn storage_bytes(&self) -> u64 {
+        self.sheet.storage_bytes()
+    }
+
+    /// In-memory copy of the sheet (analysis, tests).
+    pub fn snapshot(&self) -> SparseSheet {
+        self.sheet.snapshot(true)
+    }
+
+    // -------------------------------------------------------- formulas --
+
+    /// Re-evaluate the given seeds' dependents in topological order.
+    fn recompute(&mut self, seeds: &[CellAddr]) -> Result<(), EngineError> {
+        let plan = self.deps.recompute_plan(seeds);
+        for addr in plan.order {
+            let Some(expr) = self.parsed.get(&addr) else {
+                continue;
+            };
+            let value = {
+                let reader = EngineReader {
+                    sheet: &self.sheet,
+                    cache: &self.cache,
+                };
+                self.evaluator.eval(expr, &reader)
+            };
+            self.write_computed(addr, value)?;
+        }
+        for addr in plan.cyclic {
+            self.write_computed(addr, CellValue::Error(CellError::Circular))?;
+        }
+        Ok(())
+    }
+
+    fn write_computed(&mut self, addr: CellAddr, value: CellValue) -> Result<(), EngineError> {
+        let formula = self
+            .sheet
+            .get_cell(addr)
+            .and_then(|c| c.formula)
+            .or_else(|| self.parsed.get(&addr).map(|e| e.to_string()));
+        self.sheet.set_cell(
+            addr,
+            Cell {
+                value,
+                formula,
+            },
+        )?;
+        self.cache.lock().invalidate(&addr);
+        Ok(())
+    }
+
+    /// Rewrite formulas (and their registry addresses) for a structural
+    /// edit, then recompute everything (ranges may have grown or shrunk).
+    fn apply_shift(&mut self, shift: Shift) -> Result<(), EngineError> {
+        self.cache.lock().clear();
+        let entries: Vec<(CellAddr, Expr)> = self.parsed.drain().collect();
+        self.deps = DependencyGraph::new();
+        let mut seeds = Vec::new();
+        for (addr, expr) in entries {
+            // The formula cell itself may have moved or died.
+            let Some(new_addr) = shift_addr(addr, shift) else {
+                continue;
+            };
+            match rewrite(&expr, shift) {
+                Some(new_expr) => {
+                    let src = new_expr.to_string();
+                    self.deps.set_formula(new_addr, collect_ranges(&new_expr));
+                    self.parsed.insert(new_addr, new_expr);
+                    // Refresh the stored formula source.
+                    let value = self
+                        .sheet
+                        .get_cell(new_addr)
+                        .map(|c| c.value)
+                        .unwrap_or(CellValue::Empty);
+                    self.sheet.set_cell(
+                        new_addr,
+                        Cell {
+                            value,
+                            formula: Some(src),
+                        },
+                    )?;
+                    seeds.push(new_addr);
+                }
+                None => {
+                    // A referenced cell was destroyed: #REF!.
+                    self.sheet.set_cell(
+                        new_addr,
+                        Cell {
+                            value: CellValue::Error(CellError::Ref),
+                            formula: None,
+                        },
+                    )?;
+                }
+            }
+        }
+        self.recompute(&seeds)
+    }
+}
+
+/// Where a cell moves under a structural edit; `None` when deleted.
+fn shift_addr(addr: CellAddr, shift: Shift) -> Option<CellAddr> {
+    match shift {
+        Shift::InsertRows { at, n } => Some(if addr.row >= at {
+            CellAddr::new(addr.row + n, addr.col)
+        } else {
+            addr
+        }),
+        Shift::DeleteRows { at, n } => {
+            if addr.row >= at + n {
+                Some(CellAddr::new(addr.row - n, addr.col))
+            } else if addr.row >= at {
+                None
+            } else {
+                Some(addr)
+            }
+        }
+        Shift::InsertCols { at, n } => Some(if addr.col >= at {
+            CellAddr::new(addr.row, addr.col + n)
+        } else {
+            addr
+        }),
+        Shift::DeleteCols { at, n } => {
+            if addr.col >= at + n {
+                Some(CellAddr::new(addr.row, addr.col - n))
+            } else if addr.col >= at {
+                None
+            } else {
+                Some(addr)
+            }
+        }
+    }
+}
+
+/// Interpret user input the way a spreadsheet UI does.
+fn parse_literal(s: &str) -> CellValue {
+    if let Ok(n) = s.parse::<f64>() {
+        return CellValue::Number(n);
+    }
+    match s.to_ascii_uppercase().as_str() {
+        "TRUE" => CellValue::Bool(true),
+        "FALSE" => CellValue::Bool(false),
+        _ => CellValue::Text(s.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> CellAddr {
+        CellAddr::parse_a1(s).unwrap()
+    }
+
+    #[test]
+    fn figure7_example() {
+        // The paper's running example: F2 = AVERAGE(B2:C2)+D2+E2 = 85.
+        let mut e = SheetEngine::new();
+        e.update_cell_a1("B2", "10").unwrap();
+        e.update_cell_a1("C2", "20").unwrap();
+        e.update_cell_a1("D2", "30").unwrap();
+        e.update_cell_a1("E2", "40").unwrap();
+        e.update_cell_a1("F2", "=AVERAGE(B2:C2)+D2+E2").unwrap();
+        assert_eq!(e.value(a("F2")), CellValue::Number(85.0));
+        // Editing a precedent triggers recomputation.
+        e.update_cell_a1("B2", "30").unwrap();
+        assert_eq!(e.value(a("F2")), CellValue::Number(95.0));
+    }
+
+    #[test]
+    fn formula_chains_recompute_in_order() {
+        let mut e = SheetEngine::new();
+        e.update_cell_a1("A1", "1").unwrap();
+        e.update_cell_a1("B1", "=A1*2").unwrap();
+        e.update_cell_a1("C1", "=B1*2").unwrap();
+        e.update_cell_a1("D1", "=B1+C1").unwrap();
+        assert_eq!(e.value(a("D1")), CellValue::Number(6.0));
+        e.update_cell_a1("A1", "10").unwrap();
+        assert_eq!(e.value(a("B1")), CellValue::Number(20.0));
+        assert_eq!(e.value(a("C1")), CellValue::Number(40.0));
+        assert_eq!(e.value(a("D1")), CellValue::Number(60.0));
+    }
+
+    #[test]
+    fn cycles_marked_circular() {
+        let mut e = SheetEngine::new();
+        e.update_cell_a1("A1", "=B1+1").unwrap();
+        e.update_cell_a1("B1", "=A1+1").unwrap();
+        assert_eq!(e.value(a("A1")), CellValue::Error(CellError::Circular));
+        assert_eq!(e.value(a("B1")), CellValue::Error(CellError::Circular));
+        // Breaking the cycle heals both.
+        e.update_cell_a1("B1", "5").unwrap();
+        assert_eq!(e.value(a("A1")), CellValue::Number(6.0));
+    }
+
+    #[test]
+    fn literal_parsing() {
+        let mut e = SheetEngine::new();
+        e.update_cell_a1("A1", "3.5").unwrap();
+        e.update_cell_a1("A2", "true").unwrap();
+        e.update_cell_a1("A3", "hello").unwrap();
+        assert_eq!(e.value(a("A1")), CellValue::Number(3.5));
+        assert_eq!(e.value(a("A2")), CellValue::Bool(true));
+        assert_eq!(e.value(a("A3")), CellValue::Text("hello".into()));
+        e.update_cell_a1("A3", "").unwrap();
+        assert_eq!(e.value(a("A3")), CellValue::Empty);
+    }
+
+    #[test]
+    fn insert_rows_shifts_formulas() {
+        let mut e = SheetEngine::new();
+        e.update_cell_a1("A1", "1").unwrap();
+        e.update_cell_a1("A2", "2").unwrap();
+        e.update_cell_a1("A3", "=SUM(A1:A2)").unwrap();
+        e.insert_rows(1, 2).unwrap(); // new rows at index 1 (above A2)
+        // The formula moved to A5 and now sums A1:A4.
+        let moved = e.sheet.get_cell(a("A5")).expect("formula moved");
+        assert_eq!(moved.formula.as_deref(), Some("SUM(A1:A4)"));
+        assert_eq!(e.value(a("A5")), CellValue::Number(3.0));
+        // Filling a inserted row updates the (grown) range.
+        e.update_cell_a1("A2", "10").unwrap();
+        assert_eq!(e.value(a("A5")), CellValue::Number(13.0));
+    }
+
+    #[test]
+    fn delete_rows_produces_ref_errors() {
+        let mut e = SheetEngine::new();
+        e.update_cell_a1("A1", "1").unwrap();
+        e.update_cell_a1("B2", "=A1").unwrap();
+        e.delete_rows(0, 1).unwrap();
+        // B2 moved to B1; its referenced cell died.
+        assert_eq!(e.value(a("B1")), CellValue::Error(CellError::Ref));
+    }
+
+    #[test]
+    fn link_table_creates_and_syncs() {
+        let mut e = SheetEngine::new();
+        // Header + two rows.
+        e.update_cell_a1("A1", "id").unwrap();
+        e.update_cell_a1("B1", "amount").unwrap();
+        e.update_cell_a1("A2", "1").unwrap();
+        e.update_cell_a1("B2", "100").unwrap();
+        e.update_cell_a1("A3", "2").unwrap();
+        e.update_cell_a1("B3", "250").unwrap();
+        let rect = e.link_table(Rect::parse_a1("A1:B3").unwrap(), "inv").unwrap();
+        assert!(e.database().read().contains("inv"));
+        // The linked region now reads through from the table.
+        let cells = e.get_cells(rect);
+        assert!(!cells.is_empty());
+        // Editing through the sheet updates the table.
+        let first_data = CellAddr::new(rect.r1, rect.c1 + 1);
+        e.storage_mut()
+            .set_cell(first_data, Cell::value(999i64))
+            .unwrap();
+        let r = e.sql("SELECT amount FROM inv ORDER BY amount DESC LIMIT 1", &[])
+            .unwrap();
+        assert_eq!(r.rows[0][0], Datum::Float(999.0));
+    }
+
+    #[test]
+    fn sql_and_composites() {
+        let mut e = SheetEngine::new();
+        {
+            let db = e.database();
+            let mut guard = db.write();
+            let t = guard
+                .create_table(
+                    "t",
+                    Schema::new(vec![
+                        ColumnDef::new("x", DataType::Int),
+                        ColumnDef::new("y", DataType::Int),
+                    ]),
+                )
+                .unwrap();
+            t.insert(&[Datum::Int(1), Datum::Int(10)]).unwrap();
+            t.insert(&[Datum::Int(2), Datum::Int(20)]).unwrap();
+        }
+        let rel = e.sql("SELECT x, y FROM t WHERE y > ?", &[Datum::Int(15)]).unwrap();
+        assert_eq!(rel.len(), 1);
+        e.place_composite(a("A8"), rel);
+        e.index_composite(a("A8"), 1, 2, a("A9")).unwrap();
+        assert_eq!(e.value(a("A9")), CellValue::Number(20.0));
+        assert!(e.index_composite(a("A8"), 5, 5, a("A10")).is_err());
+    }
+
+    #[test]
+    fn optimize_reorganizes_storage() {
+        let mut e = SheetEngine::new();
+        for r in 0..20 {
+            for c in 0..5 {
+                e.update_cell(CellAddr::new(r, c), &format!("{}", r * 5 + c))
+                    .unwrap();
+            }
+        }
+        e.update_cell_a1("AZ99", "7").unwrap();
+        let before = e.snapshot();
+        let report = e
+            .optimize(
+                &CostModel::postgres(),
+                OptimizeAlgorithm::Agg,
+                &OptimizerOptions::default(),
+            )
+            .unwrap();
+        assert!(report.decomposition.table_count() >= 1);
+        assert_eq!(e.snapshot(), before, "optimization must not lose cells");
+        // Values still readable and formulas still work after migration.
+        assert_eq!(e.value(a("A1")), CellValue::Number(0.0));
+    }
+
+    #[test]
+    fn range_to_relation_uses_headers() {
+        let mut e = SheetEngine::new();
+        e.update_cell_a1("A1", "name").unwrap();
+        e.update_cell_a1("B1", "score").unwrap();
+        e.update_cell_a1("A2", "ada").unwrap();
+        e.update_cell_a1("B2", "92").unwrap();
+        let rel = e.range_to_relation(Rect::parse_a1("A1:B2").unwrap());
+        assert_eq!(rel.columns, vec!["name".to_string(), "score".to_string()]);
+        assert_eq!(rel.rows[0][1], Datum::Float(92.0));
+    }
+}

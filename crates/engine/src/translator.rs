@@ -1,0 +1,164 @@
+//! The translator abstraction (paper Figure 12: ROM/TOM, COM, RCV, and
+//! hybrid translators all provide a "collection of cells" view over stored
+//! tuples).
+
+use dataspread_grid::value::CellError;
+use dataspread_grid::{Cell, CellAddr, CellValue, Rect};
+use dataspread_hybrid::ModelKind;
+use dataspread_relstore::Datum;
+
+use crate::error::EngineError;
+
+/// A translator serves a rectangular region of the sheet in *local*
+/// coordinates (`(0,0)` = the region's top-left). The hybrid layer owns the
+/// mapping between sheet and local coordinates.
+pub trait Translator: std::fmt::Debug {
+    fn kind(&self) -> ModelKind;
+
+    /// Current logical extent (rows may exceed the last filled row after
+    /// structural inserts).
+    fn rows(&self) -> u32;
+    fn cols(&self) -> u32;
+
+    fn get_cell(&self, row: u32, col: u32) -> Option<Cell>;
+
+    /// Insert-or-update; the translator grows its extent as needed.
+    fn set_cell(&mut self, row: u32, col: u32, cell: Cell) -> Result<(), EngineError>;
+
+    fn clear_cell(&mut self, row: u32, col: u32) -> Result<(), EngineError>;
+
+    /// All non-blank cells intersecting `rect` (local coords), row-major.
+    fn get_range(&self, rect: Rect) -> Vec<(CellAddr, Cell)>;
+
+    /// All non-blank cells (used for migration between models).
+    fn all_cells(&self) -> Vec<(CellAddr, Cell)> {
+        self.get_range(Rect::new(
+            0,
+            0,
+            self.rows().saturating_sub(1),
+            self.cols().saturating_sub(1),
+        ))
+    }
+
+    /// Update several cells of one row at once. Row-oriented translators
+    /// override this to fetch/rewrite the row tuple a single time (the
+    /// paper's ROM issues one UPDATE per row, not per cell — Figure 22).
+    fn set_cells_in_row(&mut self, row: u32, cells: &[(u32, Cell)]) -> Result<(), EngineError> {
+        for (col, cell) in cells {
+            self.set_cell(row, *col, cell.clone())?;
+        }
+        Ok(())
+    }
+
+    fn insert_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError>;
+    fn delete_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError>;
+    fn insert_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError>;
+    fn delete_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError>;
+
+    /// Accounted storage footprint in bytes.
+    fn storage_bytes(&self) -> u64;
+
+    /// Number of non-blank cells.
+    fn filled_count(&self) -> u64;
+}
+
+/// Marker prefix for spreadsheet error values stored as text datums.
+const ERR_TAG: &str = "\u{1}ERR:";
+
+/// Encode a cell value as a datum.
+pub fn value_to_datum(v: &CellValue) -> Datum {
+    match v {
+        CellValue::Empty => Datum::Null,
+        CellValue::Number(n) => Datum::Float(*n),
+        CellValue::Text(s) => Datum::Text(s.clone()),
+        CellValue::Bool(b) => Datum::Bool(*b),
+        CellValue::Error(e) => Datum::Text(format!("{ERR_TAG}{e}")),
+    }
+}
+
+/// Decode a datum back into a cell value.
+pub fn datum_to_value(d: &Datum) -> CellValue {
+    match d {
+        Datum::Null => CellValue::Empty,
+        Datum::Int(i) => CellValue::Number(*i as f64),
+        Datum::Float(f) => CellValue::Number(*f),
+        Datum::Bool(b) => CellValue::Bool(*b),
+        Datum::Text(s) => match s.strip_prefix(ERR_TAG) {
+            Some(tag) => CellValue::Error(parse_cell_error(tag)),
+            None => CellValue::Text(s.clone()),
+        },
+    }
+}
+
+fn parse_cell_error(s: &str) -> CellError {
+    match s {
+        "#DIV/0!" => CellError::Div0,
+        "#VALUE!" => CellError::Value,
+        "#REF!" => CellError::Ref,
+        "#NAME?" => CellError::Name,
+        "#N/A" => CellError::Na,
+        "#NUM!" => CellError::Num,
+        _ => CellError::Circular,
+    }
+}
+
+/// Encode a cell (value + optional formula) as a `[value, formula]` pair.
+pub fn cell_to_datums(cell: &Cell) -> [Datum; 2] {
+    [
+        value_to_datum(&cell.value),
+        match &cell.formula {
+            Some(src) => Datum::Text(src.clone()),
+            None => Datum::Null,
+        },
+    ]
+}
+
+/// Decode a `[value, formula]` datum pair.
+pub fn datums_to_cell(value: &Datum, formula: &Datum) -> Cell {
+    Cell {
+        value: datum_to_value(value),
+        formula: match formula {
+            Datum::Text(s) => Some(s.clone()),
+            _ => None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrip() {
+        for v in [
+            CellValue::Empty,
+            CellValue::Number(2.5),
+            CellValue::Text("x".into()),
+            CellValue::Bool(true),
+            CellValue::Error(CellError::Div0),
+            CellValue::Error(CellError::Na),
+        ] {
+            assert_eq!(datum_to_value(&value_to_datum(&v)), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn error_text_does_not_collide_with_user_text() {
+        // A user typing the literal text "#DIV/0!" must round-trip as text.
+        let v = CellValue::Text("#DIV/0!".into());
+        assert_eq!(datum_to_value(&value_to_datum(&v)), v);
+    }
+
+    #[test]
+    fn cell_roundtrip() {
+        let cell = Cell {
+            value: CellValue::Number(85.0),
+            formula: Some("AVERAGE(B2:C2)+D2+E2".into()),
+        };
+        let [v, f] = cell_to_datums(&cell);
+        assert_eq!(datums_to_cell(&v, &f), cell);
+        let plain = Cell::value(1i64);
+        let [v, f] = cell_to_datums(&plain);
+        assert_eq!(datums_to_cell(&v, &f), plain);
+    }
+}

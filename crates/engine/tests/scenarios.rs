@@ -1,0 +1,178 @@
+//! Engine scenario tests: formulas over reorganized storage, cache
+//! behaviour, linked-table persistence, and the paper's operation set
+//! (§III) end to end.
+
+use dataspread_engine::{OptimizeAlgorithm, PosMapKind, SheetEngine};
+use dataspread_grid::value::CellError;
+use dataspread_grid::{CellAddr, CellValue, Rect};
+use dataspread_hybrid::{CostModel, OptimizerOptions};
+use dataspread_relstore::{Database, Datum};
+
+fn a(s: &str) -> CellAddr {
+    CellAddr::parse_a1(s).unwrap()
+}
+
+/// Build a 50-row, 4-column table with a totals row of formulas.
+fn seeded_engine() -> SheetEngine {
+    let mut e = SheetEngine::new();
+    for r in 0..50u32 {
+        for c in 0..4u32 {
+            e.update_cell(CellAddr::new(r, c), &format!("{}", (r + 1) * (c + 1)))
+                .unwrap();
+        }
+    }
+    e.update_cell_a1("A52", "=SUM(A1:A50)").unwrap();
+    e.update_cell_a1("B52", "=AVERAGE(B1:B50)").unwrap();
+    e.update_cell_a1("C52", "=COUNTIF(C1:C50,\">100\")").unwrap();
+    e.update_cell_a1("D52", "=VLOOKUP(10,A1:D50,4)").unwrap();
+    e
+}
+
+#[test]
+fn formulas_survive_every_optimizer() {
+    let expected = [
+        ("A52", CellValue::Number((1..=50).sum::<i32>() as f64)),
+        ("B52", CellValue::Number(51.0)),
+        (
+            "C52",
+            CellValue::Number((1..=50).filter(|r| r * 3 > 100).count() as f64),
+        ),
+        ("D52", CellValue::Number(40.0)),
+    ];
+    for algo in [
+        OptimizeAlgorithm::Greedy,
+        OptimizeAlgorithm::Agg,
+        OptimizeAlgorithm::IncrementalAgg { eta: 1.0 },
+    ] {
+        let mut e = seeded_engine();
+        for (addr, want) in &expected {
+            assert_eq!(e.value(a(addr)), *want, "{addr} before optimize");
+        }
+        e.optimize(&CostModel::postgres(), algo, &OptimizerOptions::default())
+            .unwrap();
+        for (addr, want) in &expected {
+            assert_eq!(e.value(a(addr)), *want, "{addr} after {algo:?}");
+        }
+        // Recomputation still flows after migration.
+        e.update_cell_a1("A1", "1000").unwrap();
+        assert_eq!(
+            e.value(a("A52")),
+            CellValue::Number((2..=50).sum::<i32>() as f64 + 1000.0),
+            "dependents after {algo:?}"
+        );
+    }
+}
+
+#[test]
+fn formulas_work_across_posmap_kinds() {
+    for kind in [PosMapKind::AsIs, PosMapKind::Monotonic, PosMapKind::Hierarchical] {
+        let mut e = SheetEngine::with_posmap(kind);
+        e.update_cell_a1("A1", "2").unwrap();
+        e.update_cell_a1("A2", "3").unwrap();
+        e.update_cell_a1("A3", "=A1*A2").unwrap();
+        e.insert_rows(1, 1).unwrap();
+        assert_eq!(e.value(a("A4")), CellValue::Number(6.0), "{kind:?}");
+    }
+}
+
+#[test]
+fn error_propagation_through_storage() {
+    let mut e = SheetEngine::new();
+    e.update_cell_a1("A1", "=1/0").unwrap();
+    e.update_cell_a1("A2", "=A1+1").unwrap();
+    assert_eq!(e.value(a("A1")), CellValue::Error(CellError::Div0));
+    assert_eq!(e.value(a("A2")), CellValue::Error(CellError::Div0));
+    // Errors round-trip through tuple encoding (stored, re-read).
+    let snap = e.snapshot();
+    assert_eq!(
+        snap.get(a("A1")).unwrap().value,
+        CellValue::Error(CellError::Div0)
+    );
+    // Fixing the source heals the chain.
+    e.update_cell_a1("A1", "=4/2").unwrap();
+    assert_eq!(e.value(a("A2")), CellValue::Number(3.0));
+}
+
+#[test]
+fn linked_table_survives_database_save_load() {
+    let mut e = SheetEngine::new();
+    e.update_cell_a1("A1", "id").unwrap();
+    e.update_cell_a1("B1", "qty").unwrap();
+    for i in 0..5 {
+        e.update_cell(CellAddr::new(1 + i, 0), &format!("{}", i + 1)).unwrap();
+        e.update_cell(CellAddr::new(1 + i, 1), &format!("{}", (i + 1) * 10))
+            .unwrap();
+    }
+    e.link_table(Rect::parse_a1("A1:B6").unwrap(), "orders").unwrap();
+
+    let path = std::env::temp_dir().join(format!("ds-scenario-{}.db", std::process::id()));
+    e.database().read().save(&path).unwrap();
+    let restored = Database::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(restored.table("orders").unwrap().row_count(), 5);
+    // SQL over the restored database sees the same data.
+    let r = dataspread_rel::execute_sql(&restored, "SELECT SUM(qty) FROM orders", &[]).unwrap();
+    assert_eq!(r.rows[0][0], Datum::Float(10.0 + 20.0 + 30.0 + 40.0 + 50.0));
+}
+
+#[test]
+fn scrolling_windows_are_consistent_after_edits() {
+    let mut e = seeded_engine();
+    // Scroll window before and after a structural edit.
+    let w1 = e.get_cells(Rect::new(10, 0, 19, 3));
+    assert_eq!(w1.len(), 40);
+    e.insert_rows(15, 2).unwrap();
+    let w2 = e.get_cells(Rect::new(10, 0, 21, 3));
+    assert_eq!(w2.len(), 40, "two blank rows inside the window");
+    // Row 15 shifted to 17: value (16)*(c+1).
+    assert_eq!(
+        e.value(CellAddr::new(17, 2)),
+        CellValue::Number(16.0 * 3.0)
+    );
+    e.delete_rows(15, 2).unwrap();
+    let w3 = e.get_cells(Rect::new(10, 0, 19, 3));
+    assert_eq!(w3, w1, "delete undoes insert");
+}
+
+#[test]
+fn sumif_and_lookup_functions_on_stored_data() {
+    let mut e = SheetEngine::new();
+    let names = ["apple", "banana", "apple", "cherry", "apple"];
+    for (i, n) in names.iter().enumerate() {
+        e.update_cell(CellAddr::new(i as u32, 0), n).unwrap();
+        e.update_cell(CellAddr::new(i as u32, 1), &format!("{}", (i + 1) * 10))
+            .unwrap();
+    }
+    e.update_cell_a1("D1", "=SUMIF(A1:A5,\"apple\",B1:B5)").unwrap();
+    e.update_cell_a1("D2", "=MATCH(\"cherry\",A1:A5)").unwrap();
+    e.update_cell_a1("D3", "=INDEX(B1:B5,MATCH(\"banana\",A1:A5))").unwrap();
+    assert_eq!(e.value(a("D1")), CellValue::Number(10.0 + 30.0 + 50.0));
+    assert_eq!(e.value(a("D2")), CellValue::Number(4.0));
+    assert_eq!(e.value(a("D3")), CellValue::Number(20.0));
+}
+
+#[test]
+fn update_cell_parse_errors_are_reported_not_stored() {
+    let mut e = SheetEngine::new();
+    let err = e.update_cell_a1("A1", "=SUM(");
+    assert!(err.is_err());
+    assert_eq!(e.value(a("A1")), CellValue::Empty, "nothing stored");
+    // A valid formula afterwards works.
+    e.update_cell_a1("A1", "=1+1").unwrap();
+    assert_eq!(e.value(a("A1")), CellValue::Number(2.0));
+}
+
+#[test]
+fn wide_import_respects_projection_reads() {
+    // A wide region (200 columns): single-cell reads must not materialize
+    // whole tuples (this is a smoke test for the projected-decode path).
+    let mut e = SheetEngine::new();
+    let rows: Vec<Vec<CellValue>> = (0..100)
+        .map(|r| (0..200).map(|c| CellValue::Number((r * 200 + c) as f64)).collect())
+        .collect();
+    e.import_rows(a("A1"), 200, rows).unwrap();
+    assert_eq!(e.value(CellAddr::new(50, 199)), CellValue::Number(10199.0));
+    e.update_cell_a1("GU1", "=SUM(A1:A100)").unwrap(); // col 202
+    let expected: f64 = (0..100).map(|r| (r * 200) as f64).sum();
+    assert_eq!(e.value(a("GU1")), CellValue::Number(expected));
+}

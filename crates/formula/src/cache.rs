@@ -1,0 +1,171 @@
+//! LRU caching (paper §VI: the "LRU cell cache" between the evaluator and
+//! the hybrid translator, read-through on fetch and write-through on
+//! update).
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+use dataspread_grid::{CellAddr, CellValue};
+
+/// A generic LRU cache with entry-count capacity.
+///
+/// Recency is tracked with a monotonically increasing tick and a
+/// `BTreeMap<tick, key>` index — O(log n) per touch, no unsafe code.
+#[derive(Debug, Clone)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (V, u64)>,
+    by_tick: BTreeMap<u64, K>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// # Panics
+    /// Panics when `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        LruCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            by_tick: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// (hits, misses) counters for `get`.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn touch(&mut self, key: &K) {
+        let Some((_, tick)) = self.map.get(key) else {
+            return;
+        };
+        let old = *tick;
+        self.tick += 1;
+        let new = self.tick;
+        self.by_tick.remove(&old);
+        self.by_tick.insert(new, key.clone());
+        self.map.get_mut(key).expect("checked above").1 = new;
+    }
+
+    /// Fetch and mark as most recently used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        if self.map.contains_key(key) {
+            self.hits += 1;
+            self.touch(key);
+            self.map.get(key).map(|(v, _)| v)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Peek without touching recency or stats.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|(v, _)| v)
+    }
+
+    /// Insert (write-through caches call the backing store first), evicting
+    /// the least recently used entry when full.
+    pub fn put(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if let Some((_, old_tick)) = self.map.insert(key.clone(), (value, self.tick)) {
+            self.by_tick.remove(&old_tick);
+        }
+        self.by_tick.insert(self.tick, key);
+        if self.map.len() > self.capacity {
+            let (&oldest, _) = self.by_tick.iter().next().expect("cache non-empty");
+            let victim = self.by_tick.remove(&oldest).expect("just observed");
+            self.map.remove(&victim);
+        }
+    }
+
+    /// Drop an entry (e.g. when the underlying cell is invalidated).
+    pub fn invalidate(&mut self, key: &K) -> Option<V> {
+        let (v, tick) = self.map.remove(key)?;
+        self.by_tick.remove(&tick);
+        Some(v)
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.by_tick.clear();
+    }
+}
+
+/// The engine's cell cache: addresses → computed values.
+pub type CellCache = LruCache<CellAddr, CellValue>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_is_lru() {
+        let mut c = LruCache::new(2);
+        c.put(1, "a");
+        c.put(2, "b");
+        assert_eq!(c.get(&1), Some(&"a")); // 1 is now MRU
+        c.put(3, "c"); // evicts 2
+        assert_eq!(c.peek(&2), None);
+        assert_eq!(c.peek(&1), Some(&"a"));
+        assert_eq!(c.peek(&3), Some(&"c"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn put_updates_in_place() {
+        let mut c = LruCache::new(2);
+        c.put(1, "a");
+        c.put(1, "b");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(&1), Some(&"b"));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let mut c = LruCache::new(4);
+        c.put(1, ());
+        c.get(&1);
+        c.get(&2);
+        c.get(&1);
+        assert_eq!(c.stats(), (2, 1));
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut c = LruCache::new(4);
+        c.put(1, "a");
+        c.put(2, "b");
+        assert_eq!(c.invalidate(&1), Some("a"));
+        assert_eq!(c.invalidate(&1), None);
+        c.clear();
+        assert!(c.is_empty());
+        // After clear the structure still works.
+        c.put(3, "c");
+        assert_eq!(c.get(&3), Some(&"c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = LruCache::<u32, ()>::new(0);
+    }
+}

@@ -1,0 +1,233 @@
+//! The dependency graph (paper §VI): which formula cells read which ranges,
+//! and in what order dependents must be recomputed after an update.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use dataspread_grid::{CellAddr, Rect};
+
+/// Range-granular dependency graph.
+///
+/// Rather than materializing one edge per referenced *cell* (a formula like
+/// `SUM(A1:A100000)` would explode), each formula stores its referenced
+/// rectangles; finding the dependents of an updated cell scans the formula
+/// table. The paper notes compact dependency representations are their own
+/// research topic — this is the straightforward range-list version.
+#[derive(Debug, Default, Clone)]
+pub struct DependencyGraph {
+    /// Formula cell → ranges it reads.
+    reads: HashMap<CellAddr, Vec<Rect>>,
+}
+
+/// Result of a recomputation-order query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecomputePlan {
+    /// Formula cells in a valid evaluation order.
+    pub order: Vec<CellAddr>,
+    /// Formula cells caught in a reference cycle (must display `#CIRC!`).
+    pub cyclic: Vec<CellAddr>,
+}
+
+impl DependencyGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a formula cell and the ranges it reads.
+    pub fn set_formula(&mut self, cell: CellAddr, ranges: Vec<Rect>) {
+        self.reads.insert(cell, ranges);
+    }
+
+    /// Remove a formula cell.
+    pub fn remove(&mut self, cell: CellAddr) {
+        self.reads.remove(&cell);
+    }
+
+    pub fn formula_count(&self) -> usize {
+        self.reads.len()
+    }
+
+    pub fn is_formula(&self, cell: CellAddr) -> bool {
+        self.reads.contains_key(&cell)
+    }
+
+    pub fn ranges_of(&self, cell: CellAddr) -> Option<&[Rect]> {
+        self.reads.get(&cell).map(Vec::as_slice)
+    }
+
+    pub fn formulas(&self) -> impl Iterator<Item = (CellAddr, &[Rect])> {
+        self.reads.iter().map(|(a, r)| (*a, r.as_slice()))
+    }
+
+    /// Formula cells that directly read `cell`.
+    pub fn dependents_of(&self, cell: CellAddr) -> Vec<CellAddr> {
+        self.reads
+            .iter()
+            .filter(|(_, ranges)| ranges.iter().any(|r| r.contains(cell)))
+            .map(|(a, _)| *a)
+            .collect()
+    }
+
+    /// Does formula `f` read any cell of `rect`?
+    fn reads_rect(&self, f: CellAddr, rect: &Rect) -> bool {
+        self.reads
+            .get(&f)
+            .is_some_and(|ranges| ranges.iter().any(|r| r.intersects(rect)))
+    }
+
+    /// All formulas transitively affected by updates to `seeds`, in a valid
+    /// recomputation order; cycle participants are reported separately.
+    pub fn recompute_plan(&self, seeds: &[CellAddr]) -> RecomputePlan {
+        // 1. Collect affected formulas by BFS over dependents.
+        let mut affected: HashSet<CellAddr> = HashSet::new();
+        let mut queue: VecDeque<CellAddr> = VecDeque::new();
+        for &seed in seeds {
+            // A seed that is itself a formula needs recomputation too.
+            if self.is_formula(seed) && affected.insert(seed) {
+                queue.push_back(seed);
+            }
+            for dep in self.dependents_of(seed) {
+                if affected.insert(dep) {
+                    queue.push_back(dep);
+                }
+            }
+        }
+        while let Some(cell) = queue.pop_front() {
+            for dep in self.dependents_of(cell) {
+                if affected.insert(dep) {
+                    queue.push_back(dep);
+                }
+            }
+        }
+        // 2. Kahn's algorithm over the affected subgraph. Edge u→v when v
+        //    reads u (v must evaluate after u).
+        let nodes: Vec<CellAddr> = affected.iter().copied().collect();
+        let mut indeg: HashMap<CellAddr, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+        let mut edges: HashMap<CellAddr, Vec<CellAddr>> = HashMap::new();
+        for &u in &nodes {
+            let cell_rect = Rect::cell(u);
+            // A formula reading its own cell is an immediate cycle: a
+            // permanent in-degree bump keeps it (and its dependents) out of
+            // the topological order.
+            if self.reads_rect(u, &cell_rect) {
+                *indeg.get_mut(&u).expect("node present") += 1;
+            }
+            for &v in &nodes {
+                if u != v && self.reads_rect(v, &cell_rect) {
+                    edges.entry(u).or_default().push(v);
+                    *indeg.get_mut(&v).expect("node present") += 1;
+                }
+            }
+        }
+        let mut ready: Vec<CellAddr> = nodes
+            .iter()
+            .copied()
+            .filter(|n| indeg[n] == 0)
+            .collect();
+        // Deterministic order helps tests and users.
+        ready.sort();
+        let mut order = Vec::with_capacity(nodes.len());
+        let mut queue: VecDeque<CellAddr> = ready.into();
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            if let Some(vs) = edges.get(&u) {
+                let mut unlocked: Vec<CellAddr> = Vec::new();
+                for &v in vs {
+                    let d = indeg.get_mut(&v).expect("node present");
+                    *d -= 1;
+                    if *d == 0 {
+                        unlocked.push(v);
+                    }
+                }
+                unlocked.sort();
+                queue.extend(unlocked);
+            }
+        }
+        let mut cyclic: Vec<CellAddr> = nodes
+            .into_iter()
+            .filter(|n| indeg[n] > 0)
+            .collect();
+        cyclic.sort();
+        RecomputePlan { order, cyclic }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> CellAddr {
+        CellAddr::parse_a1(s).unwrap()
+    }
+
+    fn r(s: &str) -> Rect {
+        Rect::parse_a1(s).unwrap()
+    }
+
+    #[test]
+    fn dependents_by_range_containment() {
+        let mut g = DependencyGraph::new();
+        g.set_formula(a("C1"), vec![r("A1:A10")]);
+        g.set_formula(a("D1"), vec![r("C1")]);
+        assert_eq!(g.dependents_of(a("A5")), vec![a("C1")]);
+        assert!(g.dependents_of(a("B1")).is_empty());
+        assert_eq!(g.dependents_of(a("C1")), vec![a("D1")]);
+    }
+
+    #[test]
+    fn recompute_order_is_topological() {
+        let mut g = DependencyGraph::new();
+        g.set_formula(a("B1"), vec![r("A1")]);
+        g.set_formula(a("C1"), vec![r("B1")]);
+        g.set_formula(a("D1"), vec![r("B1"), r("C1")]);
+        let plan = g.recompute_plan(&[a("A1")]);
+        assert!(plan.cyclic.is_empty());
+        assert_eq!(plan.order, vec![a("B1"), a("C1"), a("D1")]);
+    }
+
+    #[test]
+    fn unrelated_formulas_not_recomputed() {
+        let mut g = DependencyGraph::new();
+        g.set_formula(a("B1"), vec![r("A1")]);
+        g.set_formula(a("Z9"), vec![r("Y1:Y5")]);
+        let plan = g.recompute_plan(&[a("A1")]);
+        assert_eq!(plan.order, vec![a("B1")]);
+    }
+
+    #[test]
+    fn cycles_are_detected() {
+        let mut g = DependencyGraph::new();
+        g.set_formula(a("A1"), vec![r("B1")]);
+        g.set_formula(a("B1"), vec![r("A1")]);
+        g.set_formula(a("C1"), vec![r("B1")]);
+        let plan = g.recompute_plan(&[a("A1")]);
+        // C1 depends on the cycle; it stays blocked (reported cyclic) since
+        // its input never settles.
+        assert_eq!(plan.cyclic, vec![a("A1"), a("B1"), a("C1")]);
+        assert!(plan.order.is_empty());
+    }
+
+    #[test]
+    fn self_reference_is_cyclic() {
+        let mut g = DependencyGraph::new();
+        g.set_formula(a("A1"), vec![r("A1:B2")]);
+        let plan = g.recompute_plan(&[a("B2")]);
+        assert_eq!(plan.cyclic, vec![a("A1")]);
+    }
+
+    #[test]
+    fn seed_formula_recomputes_itself() {
+        let mut g = DependencyGraph::new();
+        g.set_formula(a("B1"), vec![r("A1")]);
+        let plan = g.recompute_plan(&[a("B1")]);
+        assert_eq!(plan.order, vec![a("B1")]);
+    }
+
+    #[test]
+    fn remove_drops_dependencies() {
+        let mut g = DependencyGraph::new();
+        g.set_formula(a("B1"), vec![r("A1")]);
+        g.remove(a("B1"));
+        assert!(g.dependents_of(a("A1")).is_empty());
+        assert_eq!(g.formula_count(), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Formula parse errors.
+
+use std::fmt;
+
+/// Errors produced while lexing/parsing a formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl ParseError {
+    pub fn new(pos: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,24 @@
+//! The formula engine (paper §VI, "Formula Evaluation").
+//!
+//! When a formula is entered into a cell, the [`parser`] interprets it; the
+//! referenced ranges are registered in the [`deps::DependencyGraph`]; the
+//! [`eval::Evaluator`] fetches required cells through a [`eval::CellReader`]
+//! (in the engine crate, a read-through [`cache::CellCache`] in front of the
+//! hybrid translator) and computes the result. Updates trigger recomputation
+//! of dependents in topological order, with cycle detection.
+
+pub mod ast;
+pub mod cache;
+pub mod deps;
+pub mod error;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod refs;
+
+pub use ast::{BinOp, CellRef, Expr, UnOp};
+pub use cache::{CellCache, LruCache};
+pub use deps::DependencyGraph;
+pub use error::ParseError;
+pub use eval::{CellReader, EmptyReader, Evaluator, SheetReader};
+pub use parser::parse;

@@ -1,0 +1,26 @@
+//! Error type for the conceptual grid model.
+
+use std::fmt;
+
+/// Errors raised by grid-model operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// A string could not be parsed as an A1 reference.
+    BadA1(String),
+    /// A rectangle had inverted corners or was otherwise malformed.
+    BadRect(String),
+    /// A structural edit (insert/delete rows or columns) was out of range.
+    BadStructuralEdit(String),
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::BadA1(s) => write!(f, "invalid A1 reference: {s}"),
+            GridError::BadRect(s) => write!(f, "invalid rectangle: {s}"),
+            GridError::BadStructuralEdit(s) => write!(f, "invalid structural edit: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}

@@ -1,0 +1,171 @@
+//! Occupancy masks with 2-D prefix sums.
+//!
+//! The hybrid optimizer (paper §IV-D) repeatedly asks "how many filled cells
+//! does this sub-rectangle contain?" for O(n⁴) rectangles. [`Occupancy`]
+//! answers in O(1) after an O(area) build using an inclusive 2-D prefix-sum
+//! table over the sheet's bounding box.
+
+use crate::addr::CellAddr;
+use crate::region::Rect;
+use crate::sheet::SparseSheet;
+
+/// A dense occupancy bitmap over a bounding rectangle, with prefix sums.
+///
+/// Coordinates passed to queries are *absolute* sheet coordinates; cells
+/// outside the bounding box are empty by definition.
+#[derive(Debug, Clone)]
+pub struct Occupancy {
+    bbox: Rect,
+    width: usize,
+    height: usize,
+    filled: Vec<bool>,
+    /// `(height+1) x (width+1)` inclusive prefix sums of `filled`.
+    prefix: Vec<u64>,
+}
+
+impl Occupancy {
+    /// Build from a sparse sheet. Empty sheets produce a 1×1 all-empty mask.
+    pub fn from_sheet(sheet: &SparseSheet) -> Self {
+        match sheet.bounding_box() {
+            Some(bbox) => Self::from_cells(bbox, sheet.iter().map(|(a, _)| a)),
+            None => Self::from_cells(Rect::new(0, 0, 0, 0), std::iter::empty()),
+        }
+    }
+
+    /// Build from an explicit bounding box and an iterator of filled cells.
+    /// Cells outside `bbox` are ignored.
+    pub fn from_cells(bbox: Rect, cells: impl IntoIterator<Item = CellAddr>) -> Self {
+        let height = bbox.rows() as usize;
+        let width = bbox.cols() as usize;
+        let mut filled = vec![false; height * width];
+        for a in cells {
+            if bbox.contains(a) {
+                let r = (a.row - bbox.r1) as usize;
+                let c = (a.col - bbox.c1) as usize;
+                filled[r * width + c] = true;
+            }
+        }
+        let mut prefix = vec![0u64; (height + 1) * (width + 1)];
+        let pw = width + 1;
+        for r in 0..height {
+            let mut row_sum = 0u64;
+            for c in 0..width {
+                row_sum += filled[r * width + c] as u64;
+                prefix[(r + 1) * pw + (c + 1)] = prefix[r * pw + (c + 1)] + row_sum;
+            }
+        }
+        Occupancy {
+            bbox,
+            width,
+            height,
+            filled,
+            prefix,
+        }
+    }
+
+    pub fn bbox(&self) -> Rect {
+        self.bbox
+    }
+
+    /// Total filled cells.
+    pub fn total_filled(&self) -> u64 {
+        self.prefix[self.height * (self.width + 1) + self.width]
+    }
+
+    pub fn is_filled(&self, addr: CellAddr) -> bool {
+        if !self.bbox.contains(addr) {
+            return false;
+        }
+        let r = (addr.row - self.bbox.r1) as usize;
+        let c = (addr.col - self.bbox.c1) as usize;
+        self.filled[r * self.width + c]
+    }
+
+    /// Number of filled cells inside `rect` (absolute coordinates), O(1).
+    pub fn filled_in(&self, rect: &Rect) -> u64 {
+        let Some(clipped) = rect.intersection(&self.bbox) else {
+            return 0;
+        };
+        let r1 = (clipped.r1 - self.bbox.r1) as usize;
+        let r2 = (clipped.r2 - self.bbox.r1) as usize + 1;
+        let c1 = (clipped.c1 - self.bbox.c1) as usize;
+        let c2 = (clipped.c2 - self.bbox.c1) as usize + 1;
+        let pw = self.width + 1;
+        self.prefix[r2 * pw + c2] + self.prefix[r1 * pw + c1]
+            - self.prefix[r1 * pw + c2]
+            - self.prefix[r2 * pw + c1]
+    }
+
+    /// Number of empty cells inside `rect ∩ bbox` plus the part of `rect`
+    /// outside the bounding box.
+    pub fn empty_in(&self, rect: &Rect) -> u64 {
+        rect.area() - self.filled_in(rect)
+    }
+
+    /// Density of `rect`: filled / area.
+    pub fn density_in(&self, rect: &Rect) -> f64 {
+        self.filled_in(rect) as f64 / rect.area() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sheet_from(cells: &[(u32, u32)]) -> SparseSheet {
+        let mut s = SparseSheet::new();
+        for &(r, c) in cells {
+            s.set_value(CellAddr::new(r, c), 1i64);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_sheet_mask() {
+        let occ = Occupancy::from_sheet(&SparseSheet::new());
+        assert_eq!(occ.total_filled(), 0);
+        assert_eq!(occ.filled_in(&Rect::new(0, 0, 100, 100)), 0);
+    }
+
+    #[test]
+    fn counts_match_bruteforce() {
+        let cells = [(2, 3), (2, 4), (3, 3), (5, 8), (9, 2), (9, 3)];
+        let s = sheet_from(&cells);
+        let occ = Occupancy::from_sheet(&s);
+        assert_eq!(occ.total_filled(), 6);
+        // Every sub-rectangle of a padded window agrees with brute force.
+        for r1 in 0..=10u32 {
+            for r2 in r1..=10 {
+                for c1 in 0..=9u32 {
+                    for c2 in c1..=9 {
+                        let rect = Rect::new(r1, c1, r2, c2);
+                        let expected = cells
+                            .iter()
+                            .filter(|&&(r, c)| rect.contains(CellAddr::new(r, c)))
+                            .count() as u64;
+                        assert_eq!(occ.filled_in(&rect), expected, "{rect}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_bbox_queries_are_empty() {
+        let s = sheet_from(&[(5, 5)]);
+        let occ = Occupancy::from_sheet(&s);
+        assert_eq!(occ.filled_in(&Rect::new(0, 0, 3, 3)), 0);
+        assert_eq!(occ.filled_in(&Rect::new(0, 0, 100, 100)), 1);
+        assert!(!occ.is_filled(CellAddr::new(0, 0)));
+        assert!(occ.is_filled(CellAddr::new(5, 5)));
+        assert_eq!(occ.empty_in(&Rect::new(0, 0, 9, 9)), 99);
+    }
+
+    #[test]
+    fn density_in_rect() {
+        let s = sheet_from(&[(0, 0), (0, 1), (1, 0), (1, 1)]);
+        let occ = Occupancy::from_sheet(&s);
+        assert_eq!(occ.density_in(&Rect::new(0, 0, 1, 1)), 1.0);
+        assert_eq!(occ.density_in(&Rect::new(0, 0, 3, 1)), 0.5);
+    }
+}

@@ -1,0 +1,119 @@
+//! Position-as-is: store the explicit position with every item.
+//!
+//! This is the naïve scheme of paper §V ("Position as-is"): a B-tree keyed
+//! by the position itself. Fetch is a key lookup (O(log N)); insert and
+//! delete must renumber every subsequent key — the cascading update that
+//! makes large-sheet edits non-interactive (Table II).
+
+use std::collections::BTreeMap;
+
+use crate::PositionalMap;
+
+/// Explicit positions in a `BTreeMap<u64, T>`.
+#[derive(Debug, Clone, Default)]
+pub struct PositionAsIs<T> {
+    entries: BTreeMap<u64, T>,
+}
+
+impl<T> PositionAsIs<T> {
+    pub fn new() -> Self {
+        PositionAsIs {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Iterate items in position order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.values()
+    }
+}
+
+impl<T> FromIterator<T> for PositionAsIs<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        PositionAsIs {
+            entries: iter.into_iter().enumerate().map(|(i, v)| (i as u64, v)).collect(),
+        }
+    }
+}
+
+impl<T> PositionalMap<T> for PositionAsIs<T> {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn get(&self, pos: usize) -> Option<&T> {
+        self.entries.get(&(pos as u64))
+    }
+
+    fn replace(&mut self, pos: usize, value: T) -> Option<T> {
+        match self.entries.get_mut(&(pos as u64)) {
+            Some(slot) => Some(std::mem::replace(slot, value)),
+            None => None,
+        }
+    }
+
+    fn insert_at(&mut self, pos: usize, value: T) {
+        let len = self.entries.len();
+        assert!(pos <= len, "insert_at({pos}) out of bounds (len {len})");
+        // Cascading update: shift [pos, len) up by one key each.
+        let tail = self.entries.split_off(&(pos as u64));
+        for (k, v) in tail {
+            self.entries.insert(k + 1, v);
+        }
+        self.entries.insert(pos as u64, value);
+    }
+
+    fn remove_at(&mut self, pos: usize) -> Option<T> {
+        let removed = self.entries.remove(&(pos as u64))?;
+        // Cascading update: shift (pos, len) down by one key each.
+        let tail = self.entries.split_off(&(pos as u64 + 1));
+        for (k, v) in tail {
+            self.entries.insert(k - 1, v);
+        }
+        Some(removed)
+    }
+
+    fn range(&self, start: usize, count: usize) -> Vec<&T> {
+        self.entries
+            .range(start as u64..(start + count) as u64)
+            .map(|(_, v)| v)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_shifts_subsequent_positions() {
+        let mut m: PositionAsIs<char> = "abcd".chars().collect();
+        m.insert_at(1, 'X');
+        let got: String = m.iter().collect();
+        assert_eq!(got, "aXbcd");
+        assert_eq!(m.get(4), Some(&'d'));
+    }
+
+    #[test]
+    fn remove_shifts_back() {
+        let mut m: PositionAsIs<char> = "abcd".chars().collect();
+        assert_eq!(m.remove_at(1), Some('b'));
+        let got: String = m.iter().collect();
+        assert_eq!(got, "acd");
+        assert_eq!(m.remove_at(5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn insert_past_end_panics() {
+        let mut m = PositionAsIs::new();
+        m.insert_at(1, 0u8);
+    }
+
+    #[test]
+    fn range_clamps() {
+        let m: PositionAsIs<u32> = (0..5).collect();
+        assert_eq!(m.range(3, 10), vec![&3, &4]);
+        assert!(m.range(9, 3).is_empty());
+    }
+}

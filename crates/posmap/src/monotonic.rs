@@ -1,0 +1,166 @@
+//! Monotonic positional mapping: gapped, monotonically increasing
+//! identifiers.
+//!
+//! Motivated by online dynamic reordering (Raman et al., VLDB 1999), this
+//! baseline stores a monotonically increasing key sequence *with gaps*.
+//! Inserts pick an unused key between the neighbours (O(log N) once the
+//! insertion point is known); positional fetch, however, must discard the
+//! first `n-1` items to find the `n`-th — the linear-time behaviour visible
+//! in Figure 18(a). When a gap is exhausted the whole key space is
+//! renumbered (rare, amortized).
+
+use std::collections::BTreeMap;
+
+use crate::PositionalMap;
+
+/// Default spacing between freshly assigned keys.
+const GAP: u64 = 1 << 20;
+
+/// Gapped monotonic identifiers in a `BTreeMap<u64, T>`.
+#[derive(Debug, Clone, Default)]
+pub struct MonotonicMap<T> {
+    entries: BTreeMap<u64, T>,
+    /// Number of full renumber passes performed (exposed for tests/benches).
+    renumber_count: u64,
+}
+
+impl<T> MonotonicMap<T> {
+    pub fn new() -> Self {
+        MonotonicMap {
+            entries: BTreeMap::new(),
+            renumber_count: 0,
+        }
+    }
+
+    pub fn renumber_count(&self) -> u64 {
+        self.renumber_count
+    }
+
+    /// Iterate items in position order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.values()
+    }
+
+    /// The stored key of the item at `pos` — requires the linear walk that
+    /// makes this scheme slow for fetches.
+    fn key_at(&self, pos: usize) -> Option<u64> {
+        self.entries.keys().nth(pos).copied()
+    }
+
+    fn renumber(&mut self) {
+        let old = std::mem::take(&mut self.entries);
+        for (i, (_, v)) in old.into_iter().enumerate() {
+            self.entries.insert((i as u64 + 1) * GAP, v);
+        }
+        self.renumber_count += 1;
+    }
+}
+
+impl<T> FromIterator<T> for MonotonicMap<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        MonotonicMap {
+            entries: iter
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| ((i as u64 + 1) * GAP, v))
+                .collect(),
+            renumber_count: 0,
+        }
+    }
+}
+
+impl<T> PositionalMap<T> for MonotonicMap<T> {
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn get(&self, pos: usize) -> Option<&T> {
+        // O(pos): discard the first `pos` entries.
+        self.entries.values().nth(pos)
+    }
+
+    fn replace(&mut self, pos: usize, value: T) -> Option<T> {
+        let key = self.key_at(pos)?;
+        self.entries
+            .get_mut(&key)
+            .map(|slot| std::mem::replace(slot, value))
+    }
+
+    fn insert_at(&mut self, pos: usize, value: T) {
+        let len = self.entries.len();
+        assert!(pos <= len, "insert_at({pos}) out of bounds (len {len})");
+        let succ = self.key_at(pos);
+        let pred = if pos == 0 { None } else { self.key_at(pos - 1) };
+        let key = match (pred, succ) {
+            (None, None) => GAP,
+            (Some(p), None) => p.checked_add(GAP).unwrap_or({
+                // Key space exhausted at the top; renumber and retry.
+                u64::MAX // placeholder, replaced below
+            }),
+            (None, Some(s)) if s >= 2 => s / 2,
+            (Some(p), Some(s)) if s - p >= 2 => p + (s - p) / 2,
+            _ => u64::MAX, // no gap available
+        };
+        if key == u64::MAX || self.entries.contains_key(&key) {
+            self.renumber();
+            self.insert_at(pos, value);
+            return;
+        }
+        self.entries.insert(key, value);
+    }
+
+    fn remove_at(&mut self, pos: usize) -> Option<T> {
+        let key = self.key_at(pos)?;
+        self.entries.remove(&key)
+    }
+
+    fn range(&self, start: usize, count: usize) -> Vec<&T> {
+        self.entries.values().skip(start).take(count).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_preserved_across_middle_inserts() {
+        let mut m: MonotonicMap<u32> = (0..10).collect();
+        m.insert_at(5, 99);
+        let got: Vec<_> = m.iter().copied().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 99, 5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn exhausted_gap_triggers_renumber() {
+        let mut m = MonotonicMap::new();
+        m.push(0u32);
+        m.push(1);
+        // Repeatedly split the same gap until it cannot be split further.
+        for i in 0..40 {
+            m.insert_at(1, 100 + i);
+        }
+        assert!(m.renumber_count() > 0, "gap of 2^20 must exhaust within 40 bisections");
+        // Order must survive renumbering: position 0 and last are untouched.
+        assert_eq!(m.get(0), Some(&0));
+        assert_eq!(m.get(m.len() - 1), Some(&1));
+    }
+
+    #[test]
+    fn remove_and_replace_by_position() {
+        let mut m: MonotonicMap<char> = "abcde".chars().collect();
+        assert_eq!(m.remove_at(2), Some('c'));
+        assert_eq!(m.replace(2, 'D'), Some('d'));
+        let got: String = m.iter().collect();
+        assert_eq!(got, "abDe");
+        assert_eq!(m.remove_at(10), None);
+        assert_eq!(m.replace(10, 'x'), None);
+    }
+
+    #[test]
+    fn range_skips_linearly() {
+        let m: MonotonicMap<u32> = (0..100).collect();
+        let r = m.range(95, 10);
+        assert_eq!(r, vec![&95, &96, &97, &98, &99]);
+    }
+}

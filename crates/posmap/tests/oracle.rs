@@ -1,0 +1,99 @@
+//! Property tests: every positional-map scheme must agree with a `Vec`
+//! oracle under arbitrary operation sequences (paper §V requires all three
+//! schemes to expose identical ordering semantics; they differ only in
+//! complexity).
+
+use proptest::prelude::*;
+
+use dataspread_posmap::{HierarchicalPosMap, MonotonicMap, PositionAsIs, PositionalMap};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(usize, u32),
+    Remove(usize),
+    Replace(usize, u32),
+    Get(usize),
+    Range(usize, usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..512, any::<u32>()).prop_map(|(p, v)| Op::Insert(p, v)),
+        (0usize..512).prop_map(Op::Remove),
+        (0usize..512, any::<u32>()).prop_map(|(p, v)| Op::Replace(p, v)),
+        (0usize..512).prop_map(Op::Get),
+        (0usize..512, 0usize..64).prop_map(|(s, c)| Op::Range(s, c)),
+    ]
+}
+
+fn run_against_oracle<M: PositionalMap<u32>>(mut map: M, ops: &[Op], check: impl Fn(&M)) {
+    let mut oracle: Vec<u32> = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Insert(p, v) => {
+                let p = p.min(oracle.len());
+                oracle.insert(p, v);
+                map.insert_at(p, v);
+            }
+            Op::Remove(p) => {
+                let expected = if p < oracle.len() {
+                    Some(oracle.remove(p))
+                } else {
+                    None
+                };
+                assert_eq!(map.remove_at(p), expected);
+            }
+            Op::Replace(p, v) => {
+                let expected = oracle.get_mut(p).map(|slot| std::mem::replace(slot, v));
+                assert_eq!(map.replace(p, v), expected);
+            }
+            Op::Get(p) => {
+                assert_eq!(map.get(p), oracle.get(p));
+            }
+            Op::Range(s, c) => {
+                let got: Vec<u32> = map.range(s, c).into_iter().copied().collect();
+                let expected: Vec<u32> =
+                    oracle.iter().skip(s).take(c).copied().collect();
+                assert_eq!(got, expected);
+            }
+        }
+        assert_eq!(map.len(), oracle.len());
+        check(&map);
+    }
+    // Final full scan.
+    let got: Vec<u32> = map.range(0, oracle.len()).into_iter().copied().collect();
+    assert_eq!(got, oracle);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hierarchical_matches_vec(ops in prop::collection::vec(op_strategy(), 1..300)) {
+        run_against_oracle(HierarchicalPosMap::new(), &ops, |m| m.check_invariants());
+    }
+
+    #[test]
+    fn as_is_matches_vec(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        run_against_oracle(PositionAsIs::new(), &ops, |_| {});
+    }
+
+    #[test]
+    fn monotonic_matches_vec(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        run_against_oracle(MonotonicMap::new(), &ops, |_| {});
+    }
+
+    #[test]
+    fn hierarchical_bulk_load_equals_incremental(items in prop::collection::vec(any::<u32>(), 0..2000)) {
+        let bulk: HierarchicalPosMap<u32> = items.iter().copied().collect();
+        bulk.check_invariants();
+        let mut incr = HierarchicalPosMap::new();
+        for &v in &items {
+            incr.push(v);
+        }
+        let a: Vec<u32> = bulk.iter().copied().collect();
+        let b: Vec<u32> = incr.iter().copied().collect();
+        prop_assert_eq!(&a, &items);
+        prop_assert_eq!(a, b);
+    }
+}

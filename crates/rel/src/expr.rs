@@ -1,0 +1,304 @@
+//! Row expressions: the WHERE/filter language shared by the relational
+//! operators and the SQL engine.
+
+use dataspread_relstore::Datum;
+
+use crate::relation::{cmp_datum, Relation};
+use crate::RelError;
+
+/// An expression evaluated against a single row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowExpr {
+    Literal(Datum),
+    /// `?` prepared-statement placeholder, 0-based.
+    Param(usize),
+    Column(String),
+    Cmp(CmpOp, Box<RowExpr>, Box<RowExpr>),
+    Arith(ArithOp, Box<RowExpr>, Box<RowExpr>),
+    And(Box<RowExpr>, Box<RowExpr>),
+    Or(Box<RowExpr>, Box<RowExpr>),
+    Not(Box<RowExpr>),
+    IsNull(Box<RowExpr>, bool),
+    /// Aggregate call — only valid in SELECT items (the executor evaluates
+    /// these over groups, never per-row).
+    Aggregate(AggFunc, Option<Box<RowExpr>>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl RowExpr {
+    pub fn col(name: impl Into<String>) -> Self {
+        RowExpr::Column(name.into())
+    }
+
+    pub fn lit(d: impl Into<Datum>) -> Self {
+        RowExpr::Literal(d.into())
+    }
+
+    pub fn eq(self, other: RowExpr) -> Self {
+        RowExpr::Cmp(CmpOp::Eq, Box::new(self), Box::new(other))
+    }
+
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            RowExpr::Aggregate(..) => true,
+            RowExpr::Cmp(_, a, b) | RowExpr::Arith(_, a, b) | RowExpr::And(a, b) | RowExpr::Or(a, b) => {
+                a.contains_aggregate() || b.contains_aggregate()
+            }
+            RowExpr::Not(e) | RowExpr::IsNull(e, _) => e.contains_aggregate(),
+            _ => false,
+        }
+    }
+
+    /// Substitute `?` parameters with literal values.
+    pub fn bind(&self, params: &[Datum]) -> Result<RowExpr, RelError> {
+        Ok(match self {
+            RowExpr::Param(i) => RowExpr::Literal(
+                params
+                    .get(*i)
+                    .cloned()
+                    .ok_or(RelError::ParamCount {
+                        expected: i + 1,
+                        got: params.len(),
+                    })?,
+            ),
+            RowExpr::Cmp(op, a, b) => {
+                RowExpr::Cmp(*op, Box::new(a.bind(params)?), Box::new(b.bind(params)?))
+            }
+            RowExpr::Arith(op, a, b) => {
+                RowExpr::Arith(*op, Box::new(a.bind(params)?), Box::new(b.bind(params)?))
+            }
+            RowExpr::And(a, b) => {
+                RowExpr::And(Box::new(a.bind(params)?), Box::new(b.bind(params)?))
+            }
+            RowExpr::Or(a, b) => {
+                RowExpr::Or(Box::new(a.bind(params)?), Box::new(b.bind(params)?))
+            }
+            RowExpr::Not(e) => RowExpr::Not(Box::new(e.bind(params)?)),
+            RowExpr::IsNull(e, n) => RowExpr::IsNull(Box::new(e.bind(params)?), *n),
+            RowExpr::Aggregate(f, e) => RowExpr::Aggregate(
+                *f,
+                match e {
+                    Some(e) => Some(Box::new(e.bind(params)?)),
+                    None => None,
+                },
+            ),
+            leaf => leaf.clone(),
+        })
+    }
+
+    /// Evaluate against one row of `schema`.
+    pub fn eval(&self, schema: &Relation, row: &[Datum]) -> Result<Datum, RelError> {
+        match self {
+            RowExpr::Literal(d) => Ok(d.clone()),
+            RowExpr::Param(i) => Err(RelError::ParamCount {
+                expected: i + 1,
+                got: 0,
+            }),
+            RowExpr::Column(name) => {
+                let idx = schema.resolve(name)?;
+                Ok(row[idx].clone())
+            }
+            RowExpr::Cmp(op, a, b) => {
+                let x = a.eval(schema, row)?;
+                let y = b.eval(schema, row)?;
+                // SQL semantics: comparisons with NULL are NULL (here:
+                // false for filtering purposes, expressed as Null).
+                if x.is_null() || y.is_null() {
+                    return Ok(Datum::Null);
+                }
+                let ord = cmp_datum(&x, &y);
+                use std::cmp::Ordering;
+                let res = match op {
+                    CmpOp::Eq => ord == Ordering::Equal,
+                    CmpOp::Ne => ord != Ordering::Equal,
+                    CmpOp::Lt => ord == Ordering::Less,
+                    CmpOp::Le => ord != Ordering::Greater,
+                    CmpOp::Gt => ord == Ordering::Greater,
+                    CmpOp::Ge => ord != Ordering::Less,
+                };
+                Ok(Datum::Bool(res))
+            }
+            RowExpr::Arith(op, a, b) => {
+                let x = a.eval(schema, row)?;
+                let y = b.eval(schema, row)?;
+                if x.is_null() || y.is_null() {
+                    return Ok(Datum::Null);
+                }
+                arith(*op, &x, &y)
+            }
+            RowExpr::And(a, b) => {
+                let x = truthy(&a.eval(schema, row)?);
+                let y = truthy(&b.eval(schema, row)?);
+                Ok(Datum::Bool(x && y))
+            }
+            RowExpr::Or(a, b) => {
+                let x = truthy(&a.eval(schema, row)?);
+                let y = truthy(&b.eval(schema, row)?);
+                Ok(Datum::Bool(x || y))
+            }
+            RowExpr::Not(e) => Ok(Datum::Bool(!truthy(&e.eval(schema, row)?))),
+            RowExpr::IsNull(e, want_null) => {
+                let v = e.eval(schema, row)?;
+                Ok(Datum::Bool(v.is_null() == *want_null))
+            }
+            RowExpr::Aggregate(..) => Err(RelError::Unsupported(
+                "aggregate outside SELECT items".into(),
+            )),
+        }
+    }
+
+    /// Evaluate as a filter predicate (NULL ⇒ false).
+    pub fn matches(&self, schema: &Relation, row: &[Datum]) -> Result<bool, RelError> {
+        Ok(truthy(&self.eval(schema, row)?))
+    }
+}
+
+fn truthy(d: &Datum) -> bool {
+    match d {
+        Datum::Bool(b) => *b,
+        Datum::Int(i) => *i != 0,
+        Datum::Float(f) => *f != 0.0,
+        Datum::Null => false,
+        Datum::Text(s) => !s.is_empty(),
+    }
+}
+
+fn arith(op: ArithOp, x: &Datum, y: &Datum) -> Result<Datum, RelError> {
+    // Integer arithmetic stays integral except for division.
+    if let (Datum::Int(a), Datum::Int(b)) = (x, y) {
+        return Ok(match op {
+            ArithOp::Add => Datum::Int(a + b),
+            ArithOp::Sub => Datum::Int(a - b),
+            ArithOp::Mul => Datum::Int(a * b),
+            ArithOp::Div => {
+                if *b == 0 {
+                    return Err(RelError::Type("division by zero".into()));
+                }
+                if a % b == 0 {
+                    Datum::Int(a / b)
+                } else {
+                    Datum::Float(*a as f64 / *b as f64)
+                }
+            }
+        });
+    }
+    let (Some(a), Some(b)) = (x.as_f64(), y.as_f64()) else {
+        return Err(RelError::Type(format!("non-numeric operands {x:?}, {y:?}")));
+    };
+    let n = match op {
+        ArithOp::Add => a + b,
+        ArithOp::Sub => a - b,
+        ArithOp::Mul => a * b,
+        ArithOp::Div => {
+            if b == 0.0 {
+                return Err(RelError::Type("division by zero".into()));
+            }
+            a / b
+        }
+    };
+    Ok(Datum::Float(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Relation {
+        Relation::empty(vec!["a".into(), "b".into()])
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let s = schema();
+        let row = vec![Datum::Int(5), Datum::Text("x".into())];
+        assert_eq!(RowExpr::col("a").eval(&s, &row).unwrap(), Datum::Int(5));
+        assert_eq!(RowExpr::lit(7i64).eval(&s, &row).unwrap(), Datum::Int(7));
+        assert!(RowExpr::col("zz").eval(&s, &row).is_err());
+    }
+
+    #[test]
+    fn comparisons_and_null_semantics() {
+        let s = schema();
+        let row = vec![Datum::Int(5), Datum::Null];
+        let e = RowExpr::col("a").eq(RowExpr::lit(5i64));
+        assert_eq!(e.eval(&s, &row).unwrap(), Datum::Bool(true));
+        let n = RowExpr::col("b").eq(RowExpr::lit(5i64));
+        assert_eq!(n.eval(&s, &row).unwrap(), Datum::Null);
+        assert!(!n.matches(&s, &row).unwrap(), "NULL comparison filters out");
+        let isn = RowExpr::IsNull(Box::new(RowExpr::col("b")), true);
+        assert_eq!(isn.eval(&s, &row).unwrap(), Datum::Bool(true));
+    }
+
+    #[test]
+    fn arithmetic_int_float() {
+        let s = schema();
+        let row = vec![Datum::Int(7), Datum::Float(2.0)];
+        let e = RowExpr::Arith(
+            ArithOp::Add,
+            Box::new(RowExpr::col("a")),
+            Box::new(RowExpr::lit(3i64)),
+        );
+        assert_eq!(e.eval(&s, &row).unwrap(), Datum::Int(10));
+        let d = RowExpr::Arith(
+            ArithOp::Div,
+            Box::new(RowExpr::col("a")),
+            Box::new(RowExpr::col("b")),
+        );
+        assert_eq!(d.eval(&s, &row).unwrap(), Datum::Float(3.5));
+        let z = RowExpr::Arith(
+            ArithOp::Div,
+            Box::new(RowExpr::col("a")),
+            Box::new(RowExpr::lit(0i64)),
+        );
+        assert!(z.eval(&s, &row).is_err());
+    }
+
+    #[test]
+    fn bind_parameters() {
+        let e = RowExpr::col("a").eq(RowExpr::Param(0));
+        let bound = e.bind(&[Datum::Int(9)]).unwrap();
+        assert_eq!(
+            bound,
+            RowExpr::col("a").eq(RowExpr::lit(9i64))
+        );
+        assert!(matches!(
+            e.bind(&[]),
+            Err(RelError::ParamCount { expected: 1, got: 0 })
+        ));
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let e = RowExpr::Aggregate(AggFunc::Sum, Some(Box::new(RowExpr::col("a"))));
+        assert!(e.contains_aggregate());
+        assert!(!RowExpr::col("a").contains_aggregate());
+        let nested = RowExpr::Arith(ArithOp::Add, Box::new(e), Box::new(RowExpr::lit(1i64)));
+        assert!(nested.contains_aggregate());
+    }
+}

@@ -1,0 +1,212 @@
+//! Property tests for the SQL engine against hand-rolled oracles.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use dataspread_rel::relation::cmp_datum;
+use dataspread_rel::{execute_sql, Relation};
+use dataspread_relstore::Datum;
+
+fn table(rows: &[(i64, i64, Option<&str>)]) -> Relation {
+    Relation::new(
+        vec!["a".into(), "b".into(), "s".into()],
+        rows.iter()
+            .map(|(a, b, s)| {
+                vec![
+                    Datum::Int(*a),
+                    Datum::Int(*b),
+                    match s {
+                        Some(s) => Datum::Text(s.to_string()),
+                        None => Datum::Null,
+                    },
+                ]
+            })
+            .collect(),
+    )
+}
+
+fn provider(rel: Relation) -> HashMap<String, Relation> {
+    let mut m = HashMap::new();
+    m.insert("t".to_string(), rel);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn where_matches_manual_filter(
+        rows in prop::collection::vec((any::<i16>(), any::<i16>()), 0..60),
+        threshold in any::<i16>(),
+    ) {
+        let data: Vec<(i64, i64, Option<&str>)> = rows
+            .iter()
+            .map(|(a, b)| (*a as i64, *b as i64, None))
+            .collect();
+        let rel = table(&data);
+        let got = execute_sql(
+            &provider(rel.clone()),
+            "SELECT a, b FROM t WHERE a > ? AND b <= a",
+            &[Datum::Int(threshold as i64)],
+        )
+        .unwrap();
+        let want: Vec<(i64, i64)> = data
+            .iter()
+            .filter(|(a, b, _)| *a > threshold as i64 && *b <= *a)
+            .map(|(a, b, _)| (*a, *b))
+            .collect();
+        let got_rows: Vec<(i64, i64)> = got
+            .rows
+            .iter()
+            .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
+            .collect();
+        prop_assert_eq!(got_rows, want);
+    }
+
+    #[test]
+    fn order_by_really_sorts(rows in prop::collection::vec((any::<i16>(), any::<i16>()), 0..60)) {
+        let data: Vec<(i64, i64, Option<&str>)> = rows
+            .iter()
+            .map(|(a, b)| (*a as i64, *b as i64, None))
+            .collect();
+        let got = execute_sql(
+            &provider(table(&data)),
+            "SELECT a, b FROM t ORDER BY a DESC, b ASC",
+            &[],
+        )
+        .unwrap();
+        prop_assert_eq!(got.len(), data.len());
+        for w in got.rows.windows(2) {
+            let (a1, b1) = (w[0][0].as_i64().unwrap(), w[0][1].as_i64().unwrap());
+            let (a2, b2) = (w[1][0].as_i64().unwrap(), w[1][1].as_i64().unwrap());
+            prop_assert!(a1 > a2 || (a1 == a2 && b1 <= b2), "({a1},{b1}) then ({a2},{b2})");
+        }
+    }
+
+    #[test]
+    fn group_by_sums_match_manual(rows in prop::collection::vec((0i64..6, any::<i16>()), 0..80)) {
+        let data: Vec<(i64, i64, Option<&str>)> =
+            rows.iter().map(|(a, b)| (*a, *b as i64, None)).collect();
+        let got = execute_sql(
+            &provider(table(&data)),
+            "SELECT a, SUM(b) AS total, COUNT(*) AS n FROM t GROUP BY a ORDER BY a",
+            &[],
+        )
+        .unwrap();
+        let mut manual: std::collections::BTreeMap<i64, (i64, i64)> = Default::default();
+        for (a, b, _) in &data {
+            let e = manual.entry(*a).or_insert((0, 0));
+            e.0 += b;
+            e.1 += 1;
+        }
+        prop_assert_eq!(got.len(), manual.len());
+        for (row, (key, (sum, n))) in got.rows.iter().zip(manual) {
+            prop_assert_eq!(row[0].as_i64().unwrap(), key);
+            prop_assert_eq!(row[1].as_i64().unwrap(), sum);
+            prop_assert_eq!(row[2].as_i64().unwrap(), n);
+        }
+    }
+
+    #[test]
+    fn join_matches_nested_loop(
+        left in prop::collection::vec((0i64..8, any::<i16>()), 0..30),
+        right in prop::collection::vec((0i64..8, any::<i16>()), 0..30),
+    ) {
+        let mut m = HashMap::new();
+        m.insert(
+            "l".to_string(),
+            Relation::new(
+                vec!["k".into(), "v".into()],
+                left.iter().map(|(k, v)| vec![Datum::Int(*k), Datum::Int(*v as i64)]).collect(),
+            ),
+        );
+        m.insert(
+            "r".to_string(),
+            Relation::new(
+                vec!["k".into(), "w".into()],
+                right.iter().map(|(k, w)| vec![Datum::Int(*k), Datum::Int(*w as i64)]).collect(),
+            ),
+        );
+        let got = execute_sql(&m, "SELECT l.v, r.w FROM l JOIN r ON l.k = r.k", &[]).unwrap();
+        let mut want = Vec::new();
+        for (lk, lv) in &left {
+            for (rk, rw) in &right {
+                if lk == rk {
+                    want.push((*lv as i64, *rw as i64));
+                }
+            }
+        }
+        let mut got_rows: Vec<(i64, i64)> = got
+            .rows
+            .iter()
+            .map(|r| (r[0].as_i64().unwrap(), r[1].as_i64().unwrap()))
+            .collect();
+        got_rows.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got_rows, want);
+    }
+
+    #[test]
+    fn distinct_and_limit_invariants(
+        rows in prop::collection::vec((0i64..5, 0i64..5), 0..60),
+        limit in 0usize..20,
+    ) {
+        let data: Vec<(i64, i64, Option<&str>)> =
+            rows.iter().map(|(a, b)| (*a, *b, None)).collect();
+        let rel = table(&data);
+        let got = execute_sql(
+            &provider(rel),
+            &format!("SELECT DISTINCT a, b FROM t LIMIT {limit}"),
+            &[],
+        )
+        .unwrap();
+        prop_assert!(got.len() <= limit);
+        // No duplicates.
+        let mut seen = std::collections::BTreeSet::new();
+        for row in &got.rows {
+            let key: Vec<String> = row.iter().map(|d| d.to_string()).collect();
+            prop_assert!(seen.insert(key), "duplicate row under DISTINCT");
+        }
+    }
+
+    #[test]
+    fn null_comparisons_never_match(values in prop::collection::vec(any::<i16>(), 0..40)) {
+        let data: Vec<(i64, i64, Option<&str>)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (*v as i64, i as i64, if i % 3 == 0 { None } else { Some("x") }))
+            .collect();
+        let rel = table(&data);
+        let with_null = execute_sql(&provider(rel.clone()), "SELECT a FROM t WHERE s = 'x'", &[]).unwrap();
+        let nulls = execute_sql(&provider(rel), "SELECT a FROM t WHERE s IS NULL", &[]).unwrap();
+        let n_null = data.iter().filter(|(_, _, s)| s.is_none()).count();
+        prop_assert_eq!(nulls.len(), n_null);
+        prop_assert_eq!(with_null.len(), data.len() - n_null);
+    }
+}
+
+#[test]
+fn cmp_datum_is_total_order_on_mixed_types() {
+    let values = [
+        Datum::Null,
+        Datum::Int(-5),
+        Datum::Float(2.5),
+        Datum::Int(3),
+        Datum::Text("a".into()),
+        Datum::Text("b".into()),
+        Datum::Bool(false),
+        Datum::Bool(true),
+    ];
+    // Transitivity spot-check over all triples.
+    for a in &values {
+        for b in &values {
+            for c in &values {
+                use std::cmp::Ordering::*;
+                if cmp_datum(a, b) != Greater && cmp_datum(b, c) != Greater {
+                    assert_ne!(cmp_datum(a, c), Greater, "{a:?} <= {b:?} <= {c:?}");
+                }
+            }
+        }
+    }
+}

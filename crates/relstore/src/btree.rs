@@ -1,0 +1,464 @@
+//! A from-scratch B+-tree map with unique keys.
+//!
+//! Used for secondary indexes (e.g. the RCV translator's `(row id, col id)`
+//! index and the position-as-is experiments). Duplicate logical keys are
+//! handled by compounding the key with the tuple id, the classic unique-key
+//! trick. First-key separators: `seps[i]` is the smallest key in
+//! `children[i]`'s subtree.
+
+use std::ops::Bound;
+
+/// Maximum entries per leaf / children per internal node.
+const MAX: usize = 64;
+const MIN: usize = MAX / 2;
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Leaf(Vec<(K, V)>),
+    Internal {
+        seps: Vec<K>,
+        children: Vec<Node<K, V>>,
+    },
+}
+
+impl<K: Ord + Clone, V> Node<K, V> {
+    fn min_key(&self) -> &K {
+        match self {
+            Node::Leaf(items) => &items[0].0,
+            Node::Internal { seps, .. } => &seps[0],
+        }
+    }
+
+    fn len_entries(&self) -> usize {
+        match self {
+            Node::Leaf(items) => items.len(),
+            Node::Internal { children, .. } => children.len(),
+        }
+    }
+
+    fn is_underfull(&self) -> bool {
+        self.len_entries() < MIN
+    }
+
+    /// Index of the child responsible for `k`.
+    fn child_for(seps: &[K], k: &K) -> usize {
+        seps.partition_point(|s| s <= k).saturating_sub(1)
+    }
+
+    fn get(&self, k: &K) -> Option<&V> {
+        match self {
+            Node::Leaf(items) => items
+                .binary_search_by(|(key, _)| key.cmp(k))
+                .ok()
+                .map(|i| &items[i].1),
+            Node::Internal { seps, children } => children[Self::child_for(seps, k)].get(k),
+        }
+    }
+
+    fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        match self {
+            Node::Leaf(items) => match items.binary_search_by(|(key, _)| key.cmp(k)) {
+                Ok(i) => Some(&mut items[i].1),
+                Err(_) => None,
+            },
+            Node::Internal { seps, children } => {
+                let idx = Self::child_for(seps, k);
+                children[idx].get_mut(k)
+            }
+        }
+    }
+
+    /// Insert; returns (old value) and an optional split-off right sibling.
+    #[allow(clippy::type_complexity)]
+    fn insert(&mut self, k: K, v: V) -> (Option<V>, Option<Node<K, V>>) {
+        match self {
+            Node::Leaf(items) => match items.binary_search_by(|(key, _)| key.cmp(&k)) {
+                Ok(i) => (Some(std::mem::replace(&mut items[i].1, v)), None),
+                Err(i) => {
+                    items.insert(i, (k, v));
+                    if items.len() > MAX {
+                        let right = items.split_off(items.len() / 2);
+                        (None, Some(Node::Leaf(right)))
+                    } else {
+                        (None, None)
+                    }
+                }
+            },
+            Node::Internal { seps, children } => {
+                let idx = Self::child_for(seps, &k);
+                if k < seps[0] {
+                    seps[0] = k.clone();
+                }
+                let (old, split) = children[idx].insert(k, v);
+                if let Some(right) = split {
+                    seps.insert(idx + 1, right.min_key().clone());
+                    children.insert(idx + 1, right);
+                }
+                if children.len() > MAX {
+                    let at = children.len() / 2;
+                    let rchildren = children.split_off(at);
+                    let rseps = seps.split_off(at);
+                    (
+                        old,
+                        Some(Node::Internal {
+                            seps: rseps,
+                            children: rchildren,
+                        }),
+                    )
+                } else {
+                    (old, None)
+                }
+            }
+        }
+    }
+
+    fn remove(&mut self, k: &K) -> Option<V> {
+        match self {
+            Node::Leaf(items) => match items.binary_search_by(|(key, _)| key.cmp(k)) {
+                Ok(i) => Some(items.remove(i).1),
+                Err(_) => None,
+            },
+            Node::Internal { seps, children } => {
+                let idx = Self::child_for(seps, k);
+                let removed = children[idx].remove(k)?;
+                if children[idx].len_entries() > 0 {
+                    seps[idx] = children[idx].min_key().clone();
+                }
+                if children[idx].is_underfull() {
+                    Self::rebalance(seps, children, idx);
+                }
+                Some(removed)
+            }
+        }
+    }
+
+    fn rebalance(seps: &mut Vec<K>, children: &mut Vec<Node<K, V>>, idx: usize) {
+        // Borrow from left.
+        if idx > 0 && children[idx - 1].len_entries() > MIN {
+            let (l, r) = children.split_at_mut(idx);
+            Self::move_last_to_front(&mut l[idx - 1], &mut r[0]);
+            seps[idx] = children[idx].min_key().clone();
+            return;
+        }
+        // Borrow from right.
+        if idx + 1 < children.len() && children[idx + 1].len_entries() > MIN {
+            let (l, r) = children.split_at_mut(idx + 1);
+            Self::move_first_to_back(&mut r[0], &mut l[idx]);
+            seps[idx + 1] = children[idx + 1].min_key().clone();
+            return;
+        }
+        // Merge with a sibling.
+        let left = if idx > 0 { idx - 1 } else { idx };
+        let right_node = children.remove(left + 1);
+        seps.remove(left + 1);
+        Self::merge_into(&mut children[left], right_node);
+    }
+
+    fn move_last_to_front(left: &mut Node<K, V>, right: &mut Node<K, V>) {
+        match (left, right) {
+            (Node::Leaf(l), Node::Leaf(r)) => {
+                let item = l.pop().expect("lender non-empty");
+                r.insert(0, item);
+            }
+            (
+                Node::Internal {
+                    seps: ls,
+                    children: lch,
+                },
+                Node::Internal {
+                    seps: rs,
+                    children: rch,
+                },
+            ) => {
+                let child = lch.pop().expect("lender non-empty");
+                let sep = ls.pop().expect("lender non-empty");
+                rch.insert(0, child);
+                rs.insert(0, sep);
+            }
+            _ => unreachable!("siblings share depth"),
+        }
+    }
+
+    fn move_first_to_back(right: &mut Node<K, V>, left: &mut Node<K, V>) {
+        match (right, left) {
+            (Node::Leaf(r), Node::Leaf(l)) => {
+                l.push(r.remove(0));
+            }
+            (
+                Node::Internal {
+                    seps: rs,
+                    children: rch,
+                },
+                Node::Internal {
+                    seps: ls,
+                    children: lch,
+                },
+            ) => {
+                lch.push(rch.remove(0));
+                ls.push(rs.remove(0));
+            }
+            _ => unreachable!("siblings share depth"),
+        }
+    }
+
+    fn merge_into(left: &mut Node<K, V>, right: Node<K, V>) {
+        match (left, right) {
+            (Node::Leaf(l), Node::Leaf(mut r)) => l.append(&mut r),
+            (
+                Node::Internal {
+                    seps: ls,
+                    children: lch,
+                },
+                Node::Internal {
+                    seps: mut rs,
+                    children: mut rch,
+                },
+            ) => {
+                ls.append(&mut rs);
+                lch.append(&mut rch);
+            }
+            _ => unreachable!("siblings share depth"),
+        }
+    }
+
+    fn collect_range<'a>(
+        &'a self,
+        lo: Bound<&K>,
+        hi: Bound<&K>,
+        out: &mut Vec<(&'a K, &'a V)>,
+    ) {
+        let above_lo = |k: &K| match lo {
+            Bound::Included(b) => k >= b,
+            Bound::Excluded(b) => k > b,
+            Bound::Unbounded => true,
+        };
+        let below_hi = |k: &K| match hi {
+            Bound::Included(b) => k <= b,
+            Bound::Excluded(b) => k < b,
+            Bound::Unbounded => true,
+        };
+        match self {
+            Node::Leaf(items) => {
+                for (k, v) in items {
+                    if above_lo(k) && below_hi(k) {
+                        out.push((k, v));
+                    }
+                }
+            }
+            Node::Internal { seps, children } => {
+                for (i, child) in children.iter().enumerate() {
+                    // child i covers [seps[i], seps[i+1]); prune subtrees
+                    // entirely outside the bounds.
+                    if i + 1 < seps.len() && !above_lo(&seps[i + 1]) {
+                        // Entire child below lo only when its *successor*
+                        // separator is still below; conservative: skip when
+                        // the next child's min also fails above_lo.
+                        continue;
+                    }
+                    if !below_hi(&seps[i]) {
+                        break;
+                    }
+                    child.collect_range(lo, hi, out);
+                }
+            }
+        }
+    }
+}
+
+/// A unique-key B+-tree map.
+#[derive(Debug, Clone)]
+pub struct BPlusTree<K, V> {
+    root: Option<Node<K, V>>,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V> BPlusTree<K, V> {
+    pub fn new() -> Self {
+        BPlusTree { root: None, len: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn get(&self, k: &K) -> Option<&V> {
+        self.root.as_ref()?.get(k)
+    }
+
+    pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        self.root.as_mut()?.get_mut(k)
+    }
+
+    pub fn contains_key(&self, k: &K) -> bool {
+        self.get(k).is_some()
+    }
+
+    /// Insert or replace; returns the previous value for `k`.
+    pub fn insert(&mut self, k: K, v: V) -> Option<V> {
+        let root = match self.root.as_mut() {
+            Some(r) => r,
+            None => {
+                self.root = Some(Node::Leaf(vec![(k, v)]));
+                self.len = 1;
+                return None;
+            }
+        };
+        let (old, split) = root.insert(k, v);
+        if old.is_none() {
+            self.len += 1;
+        }
+        if let Some(right) = split {
+            let left = self.root.take().expect("root exists");
+            let seps = vec![left.min_key().clone(), right.min_key().clone()];
+            self.root = Some(Node::Internal {
+                seps,
+                children: vec![left, right],
+            });
+        }
+        old
+    }
+
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        let root = self.root.as_mut()?;
+        let removed = root.remove(k)?;
+        self.len -= 1;
+        // Collapse trivial roots.
+        loop {
+            match self.root.take() {
+                Some(Node::Leaf(items)) => {
+                    if items.is_empty() {
+                        self.root = None;
+                    } else {
+                        self.root = Some(Node::Leaf(items));
+                    }
+                    break;
+                }
+                Some(Node::Internal { seps, mut children }) => {
+                    if children.len() == 1 {
+                        self.root = Some(children.pop().expect("one child"));
+                        // Loop again in case of cascading collapse.
+                    } else {
+                        self.root = Some(Node::Internal { seps, children });
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        Some(removed)
+    }
+
+    /// All entries with `lo <= key <= hi` bounds, in key order.
+    pub fn range(&self, lo: Bound<&K>, hi: Bound<&K>) -> Vec<(&K, &V)> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            root.collect_range(lo, hi, &mut out);
+        }
+        out
+    }
+
+    /// All entries in key order.
+    pub fn entries(&self) -> Vec<(&K, &V)> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_replace() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(5, "a"), None);
+        assert_eq!(t.insert(5, "b"), Some("a"));
+        assert_eq!(t.get(&5), Some(&"b"));
+        assert_eq!(t.len(), 1);
+        assert!(t.contains_key(&5));
+        assert!(!t.contains_key(&6));
+    }
+
+    #[test]
+    fn thousands_of_keys_sorted_scan() {
+        let mut t = BPlusTree::new();
+        // Insert in a scrambled order.
+        for i in 0..5_000u64 {
+            let k = (i * 2_654_435_761) % 5_000;
+            t.insert(k, k * 10);
+        }
+        let entries = t.entries();
+        assert_eq!(entries.len(), t.len());
+        let keys: Vec<u64> = entries.iter().map(|(k, _)| **k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn range_queries_match_btreemap() {
+        use std::collections::BTreeMap;
+        let mut t = BPlusTree::new();
+        let mut oracle = BTreeMap::new();
+        for i in (0..1_000u32).rev() {
+            t.insert(i * 3, i);
+            oracle.insert(i * 3, i);
+        }
+        for (lo, hi) in [(0u32, 2_999), (10, 20), (500, 500), (2_999, 3_100), (7, 8)] {
+            let got: Vec<(u32, u32)> = t
+                .range(Bound::Included(&lo), Bound::Included(&hi))
+                .into_iter()
+                .map(|(k, v)| (*k, *v))
+                .collect();
+            let want: Vec<(u32, u32)> =
+                oracle.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+            assert_eq!(got, want, "range {lo}..={hi}");
+        }
+    }
+
+    #[test]
+    fn removal_rebalances_down_to_empty() {
+        let mut t = BPlusTree::new();
+        for i in 0..3_000i32 {
+            t.insert(i, i);
+        }
+        for i in 0..3_000i32 {
+            assert_eq!(t.remove(&i), Some(i), "remove {i}");
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.get(&0), None);
+        assert_eq!(t.remove(&0), None);
+    }
+
+    #[test]
+    fn composite_keys_emulate_duplicates() {
+        // The store's non-unique indexes use (key, tuple-id) composites.
+        let mut t: BPlusTree<(i64, u64), ()> = BPlusTree::new();
+        for tid in 0..10u64 {
+            t.insert((42, tid), ());
+        }
+        t.insert((41, 0), ());
+        t.insert((43, 0), ());
+        let hits = t.range(
+            Bound::Included(&(42, u64::MIN)),
+            Bound::Included(&(42, u64::MAX)),
+        );
+        assert_eq!(hits.len(), 10);
+        assert!(t.remove(&(42, 3)).is_some());
+        let hits = t.range(
+            Bound::Included(&(42, u64::MIN)),
+            Bound::Included(&(42, u64::MAX)),
+        );
+        assert_eq!(hits.len(), 9);
+    }
+}

@@ -1,0 +1,357 @@
+//! Typed values and their on-page encoding.
+
+use std::fmt;
+
+use crate::error::StoreError;
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Int,
+    Float,
+    Text,
+    Bool,
+    /// Accepts any datum — used by the storage engine's spreadsheet-cell
+    /// columns, which hold whatever the user typed (like SQLite's type
+    /// affinity rather than rigid typing).
+    Any,
+}
+
+/// A single typed value inside a tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Datum {
+    Null,
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Bool(bool),
+}
+
+impl Datum {
+    /// Whether this datum can be stored in a column of type `ty`.
+    /// `Null` fits everywhere; `Int` widens into `Float` columns.
+    pub fn fits(&self, ty: DataType) -> bool {
+        matches!(
+            (self, ty),
+            (_, DataType::Any)
+                | (Datum::Null, _)
+                | (Datum::Int(_), DataType::Int)
+                | (Datum::Int(_), DataType::Float)
+                | (Datum::Float(_), DataType::Float)
+                | (Datum::Text(_), DataType::Text)
+                | (Datum::Bool(_), DataType::Bool)
+        )
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Datum::Int(i) => Some(*i),
+            Datum::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Datum::Int(i) => Some(*i as f64),
+            Datum::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Datum::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Datum::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Encoded size in bytes (tag + payload), excluding tuple headers.
+    pub fn encoded_len(&self) -> usize {
+        1 + match self {
+            Datum::Null => 0,
+            Datum::Int(_) => 8,
+            Datum::Float(_) => 8,
+            Datum::Text(s) => 4 + s.len(),
+            Datum::Bool(_) => 1,
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Datum::Null => out.push(0),
+            Datum::Int(i) => {
+                out.push(1);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Datum::Float(f) => {
+                out.push(2);
+                out.extend_from_slice(&f.to_le_bytes());
+            }
+            Datum::Text(s) => {
+                out.push(3);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Datum::Bool(b) => {
+                out.push(4);
+                out.push(*b as u8);
+            }
+        }
+    }
+
+    fn decode_from(buf: &[u8], pos: &mut usize) -> Result<Datum, StoreError> {
+        let tag = *buf
+            .get(*pos)
+            .ok_or_else(|| StoreError::Corrupt("truncated tag".into()))?;
+        *pos += 1;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], StoreError> {
+            let s = buf
+                .get(*pos..*pos + n)
+                .ok_or_else(|| StoreError::Corrupt("truncated payload".into()))?;
+            *pos += n;
+            Ok(s)
+        };
+        match tag {
+            0 => Ok(Datum::Null),
+            1 => {
+                let b: [u8; 8] = take(pos, 8)?.try_into().expect("8 bytes");
+                Ok(Datum::Int(i64::from_le_bytes(b)))
+            }
+            2 => {
+                let b: [u8; 8] = take(pos, 8)?.try_into().expect("8 bytes");
+                Ok(Datum::Float(f64::from_le_bytes(b)))
+            }
+            3 => {
+                let lb: [u8; 4] = take(pos, 4)?.try_into().expect("4 bytes");
+                let len = u32::from_le_bytes(lb) as usize;
+                let bytes = take(pos, len)?;
+                let s = std::str::from_utf8(bytes)
+                    .map_err(|_| StoreError::Corrupt("invalid utf-8".into()))?;
+                Ok(Datum::Text(s.to_string()))
+            }
+            4 => {
+                let b = take(pos, 1)?[0];
+                Ok(Datum::Bool(b != 0))
+            }
+            t => Err(StoreError::Corrupt(format!("unknown datum tag {t}"))),
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Null => write!(f, "NULL"),
+            Datum::Int(i) => write!(f, "{i}"),
+            Datum::Float(x) => write!(f, "{x}"),
+            Datum::Text(s) => write!(f, "{s}"),
+            Datum::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Datum {
+    fn from(v: i64) -> Self {
+        Datum::Int(v)
+    }
+}
+impl From<f64> for Datum {
+    fn from(v: f64) -> Self {
+        Datum::Float(v)
+    }
+}
+impl From<&str> for Datum {
+    fn from(v: &str) -> Self {
+        Datum::Text(v.to_string())
+    }
+}
+impl From<String> for Datum {
+    fn from(v: String) -> Self {
+        Datum::Text(v)
+    }
+}
+impl From<bool> for Datum {
+    fn from(v: bool) -> Self {
+        Datum::Bool(v)
+    }
+}
+
+/// Encode a row of datums: `u16` arity followed by each datum.
+pub fn encode_row(row: &[Datum]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(2 + row.iter().map(Datum::encoded_len).sum::<usize>());
+    out.extend_from_slice(&(row.len() as u16).to_le_bytes());
+    for d in row {
+        d.encode_into(&mut out);
+    }
+    out
+}
+
+/// Skip one encoded datum, advancing `pos` without allocating.
+fn skip_datum(buf: &[u8], pos: &mut usize) -> Result<(), StoreError> {
+    let tag = *buf
+        .get(*pos)
+        .ok_or_else(|| StoreError::Corrupt("truncated tag".into()))?;
+    *pos += 1;
+    let payload = match tag {
+        0 => 0,
+        1 | 2 => 8,
+        3 => {
+            let lb: [u8; 4] = buf
+                .get(*pos..*pos + 4)
+                .ok_or_else(|| StoreError::Corrupt("truncated length".into()))?
+                .try_into()
+                .expect("4 bytes");
+            *pos += 4;
+            u32::from_le_bytes(lb) as usize
+        }
+        4 => 1,
+        t => return Err(StoreError::Corrupt(format!("unknown datum tag {t}"))),
+    };
+    if buf.len() < *pos + payload {
+        return Err(StoreError::Corrupt("truncated payload".into()));
+    }
+    *pos += payload;
+    Ok(())
+}
+
+/// Decode only the datums at the given (sorted, deduplicated) indices,
+/// skipping everything else without allocation. Indices beyond the row's
+/// arity yield `Null` (short rows are NULL-padded by convention). Returns
+/// one datum per requested index, in order.
+pub fn decode_row_project(buf: &[u8], wanted: &[usize]) -> Result<Vec<Datum>, StoreError> {
+    if buf.len() < 2 {
+        return Err(StoreError::Corrupt("row shorter than arity header".into()));
+    }
+    let n = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+    let mut pos = 2;
+    let mut out = Vec::with_capacity(wanted.len());
+    let mut next = 0usize; // index into `wanted`
+    for i in 0..n {
+        if next >= wanted.len() {
+            break;
+        }
+        if wanted[next] == i {
+            let d = Datum::decode_from(buf, &mut pos)?;
+            out.push(d);
+            next += 1;
+        } else {
+            skip_datum(buf, &mut pos)?;
+        }
+    }
+    // NULL-pad requests beyond the stored arity.
+    out.resize(wanted.len(), Datum::Null);
+    Ok(out)
+}
+
+/// Decode a row previously produced by [`encode_row`].
+pub fn decode_row(buf: &[u8]) -> Result<Vec<Datum>, StoreError> {
+    if buf.len() < 2 {
+        return Err(StoreError::Corrupt("row shorter than arity header".into()));
+    }
+    let n = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+    let mut pos = 2;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        row.push(Datum::decode_from(buf, &mut pos)?);
+    }
+    if pos != buf.len() {
+        return Err(StoreError::Corrupt("trailing bytes after row".into()));
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let row = vec![
+            Datum::Null,
+            Datum::Int(-42),
+            Datum::Float(3.5),
+            Datum::Text("héllo".into()),
+            Datum::Bool(true),
+        ];
+        let bytes = encode_row(&row);
+        assert_eq!(decode_row(&bytes).unwrap(), row);
+    }
+
+    #[test]
+    fn encoded_len_matches_actual() {
+        for d in [
+            Datum::Null,
+            Datum::Int(7),
+            Datum::Float(1.25),
+            Datum::Text("abc".into()),
+            Datum::Bool(false),
+        ] {
+            let mut buf = Vec::new();
+            d.encode_into(&mut buf);
+            assert_eq!(buf.len(), d.encoded_len(), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn projected_decode_matches_full_decode() {
+        let row = vec![
+            Datum::Int(1),
+            Datum::Text("abc".into()),
+            Datum::Null,
+            Datum::Float(2.5),
+            Datum::Bool(true),
+        ];
+        let bytes = encode_row(&row);
+        assert_eq!(
+            decode_row_project(&bytes, &[1, 3]).unwrap(),
+            vec![Datum::Text("abc".into()), Datum::Float(2.5)]
+        );
+        assert_eq!(decode_row_project(&bytes, &[0]).unwrap(), vec![Datum::Int(1)]);
+        // Beyond arity pads with NULL.
+        assert_eq!(
+            decode_row_project(&bytes, &[4, 9]).unwrap(),
+            vec![Datum::Bool(true), Datum::Null]
+        );
+        assert_eq!(decode_row_project(&bytes, &[]).unwrap(), Vec::<Datum>::new());
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let row = vec![Datum::Text("hello".into())];
+        let mut bytes = encode_row(&row);
+        bytes.truncate(bytes.len() - 1);
+        assert!(decode_row(&bytes).is_err());
+        assert!(decode_row(&[9, 9, 9]).is_err());
+        assert!(decode_row(&[]).is_err());
+    }
+
+    #[test]
+    fn fits_rules() {
+        assert!(Datum::Null.fits(DataType::Int));
+        assert!(Datum::Int(1).fits(DataType::Float));
+        assert!(!Datum::Float(1.0).fits(DataType::Int));
+        assert!(!Datum::Text("x".into()).fits(DataType::Bool));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Datum::Int(5).as_f64(), Some(5.0));
+        assert_eq!(Datum::Float(5.0).as_i64(), Some(5));
+        assert_eq!(Datum::Float(5.5).as_i64(), None);
+        assert_eq!(Datum::Text("x".into()).as_str(), Some("x"));
+        assert_eq!(Datum::Bool(true).as_bool(), Some(true));
+        assert!(Datum::Null.is_null());
+    }
+}

@@ -1,0 +1,185 @@
+//! The database: a catalog of named tables.
+
+use std::collections::BTreeMap;
+
+use crate::error::StoreError;
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// Store-wide configuration knobs.
+#[derive(Debug, Clone)]
+pub struct StorageConfig {
+    /// Maximum columns per relation (paper Appendix A-C4; PostgreSQL's
+    /// limit is 1600).
+    pub max_columns: usize,
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig { max_columns: 1600 }
+    }
+}
+
+/// A catalog of tables. The storage engine's ROM/COM/RCV/TOM translators
+/// each own one or more tables created here.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    config: StorageConfig,
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self::with_config(StorageConfig::default())
+    }
+
+    pub fn with_config(config: StorageConfig) -> Self {
+        Database {
+            config,
+            tables: BTreeMap::new(),
+        }
+    }
+
+    pub fn config(&self) -> &StorageConfig {
+        &self.config
+    }
+
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<&mut Table, StoreError> {
+        if schema.len() > self.config.max_columns {
+            return Err(StoreError::LimitExceeded(format!(
+                "{} columns exceeds limit {}",
+                schema.len(),
+                self.config.max_columns
+            )));
+        }
+        if self.tables.contains_key(name) {
+            return Err(StoreError::TableExists(name.to_string()));
+        }
+        let table = Table::new(name, schema).with_max_columns(self.config.max_columns);
+        self.tables.insert(name.to_string(), table);
+        Ok(self.tables.get_mut(name).expect("just inserted"))
+    }
+
+    /// Register a fully-built table (snapshot restore path).
+    pub fn insert_table(&mut self, table: Table) -> Result<(), StoreError> {
+        if self.tables.contains_key(table.name()) {
+            return Err(StoreError::TableExists(table.name().to_string()));
+        }
+        self.tables.insert(table.name().to_string(), table);
+        Ok(())
+    }
+
+    pub fn drop_table(&mut self, name: &str) -> Result<Table, StoreError> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+    }
+
+    pub fn rename_table(&mut self, from: &str, to: &str) -> Result<(), StoreError> {
+        if self.tables.contains_key(to) {
+            return Err(StoreError::TableExists(to.to_string()));
+        }
+        let mut t = self
+            .tables
+            .remove(from)
+            .ok_or_else(|| StoreError::NoSuchTable(from.to_string()))?;
+        t.set_name(to);
+        self.tables.insert(to.to_string(), t);
+        Ok(())
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table, StoreError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Physical bytes across all tables.
+    pub fn physical_bytes(&self) -> u64 {
+        self.tables.values().map(Table::physical_bytes).sum()
+    }
+
+    /// Accounted bytes across all tables (paper cost structure).
+    pub fn accounted_bytes(&self) -> u64 {
+        self.tables.values().map(Table::accounted_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datum::{DataType, Datum};
+    use crate::schema::ColumnDef;
+
+    fn schema() -> Schema {
+        Schema::new(vec![ColumnDef::new("x", DataType::Int)])
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let mut db = Database::new();
+        db.create_table("t1", schema()).unwrap();
+        assert!(db.contains("t1"));
+        assert!(matches!(
+            db.create_table("t1", schema()),
+            Err(StoreError::TableExists(_))
+        ));
+        db.table_mut("t1").unwrap().insert(&[Datum::Int(1)]).unwrap();
+        assert_eq!(db.table("t1").unwrap().row_count(), 1);
+        db.drop_table("t1").unwrap();
+        assert!(matches!(db.table("t1"), Err(StoreError::NoSuchTable(_))));
+    }
+
+    #[test]
+    fn rename_preserves_rows() {
+        let mut db = Database::new();
+        db.create_table("a", schema()).unwrap();
+        db.table_mut("a").unwrap().insert(&[Datum::Int(7)]).unwrap();
+        db.rename_table("a", "b").unwrap();
+        assert!(!db.contains("a"));
+        assert_eq!(db.table("b").unwrap().row_count(), 1);
+        assert_eq!(db.table("b").unwrap().name(), "b");
+        db.create_table("a", schema()).unwrap();
+        assert!(db.rename_table("b", "a").is_err());
+    }
+
+    #[test]
+    fn column_limit_enforced_at_creation() {
+        let mut db = Database::with_config(StorageConfig { max_columns: 2 });
+        let wide = Schema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("b", DataType::Int),
+            ColumnDef::new("c", DataType::Int),
+        ]);
+        assert!(matches!(
+            db.create_table("w", wide),
+            Err(StoreError::LimitExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn storage_totals_sum_tables() {
+        let mut db = Database::new();
+        db.create_table("a", schema()).unwrap();
+        db.create_table("b", schema()).unwrap();
+        assert_eq!(
+            db.physical_bytes(),
+            db.table("a").unwrap().physical_bytes() + db.table("b").unwrap().physical_bytes()
+        );
+        assert!(db.accounted_bytes() > 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Store-level error type.
+
+use std::fmt;
+
+/// Errors raised by the row store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A table name was not found in the catalog.
+    NoSuchTable(String),
+    /// A table with the name already exists.
+    TableExists(String),
+    /// A row did not match the table schema.
+    SchemaMismatch(String),
+    /// A tuple id did not resolve to a live tuple.
+    BadTupleId,
+    /// A tuple was too large to fit in a page.
+    TupleTooLarge(usize),
+    /// Tuple bytes failed to decode.
+    Corrupt(String),
+    /// A column name was not found in a schema.
+    NoSuchColumn(String),
+    /// The operation would exceed a configured limit (e.g. max columns,
+    /// paper Appendix A-C4).
+    LimitExceeded(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NoSuchTable(n) => write!(f, "no such table: {n}"),
+            StoreError::TableExists(n) => write!(f, "table already exists: {n}"),
+            StoreError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            StoreError::BadTupleId => write!(f, "invalid tuple id"),
+            StoreError::TupleTooLarge(n) => write!(f, "tuple of {n} bytes exceeds page capacity"),
+            StoreError::Corrupt(m) => write!(f, "corrupt tuple: {m}"),
+            StoreError::NoSuchColumn(n) => write!(f, "no such column: {n}"),
+            StoreError::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}

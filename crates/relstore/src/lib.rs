@@ -1,0 +1,35 @@
+//! An embedded relational row store.
+//!
+//! DataSpread's storage engine persists spreadsheet data as relational
+//! tables inside PostgreSQL. This crate is the workspace's PostgreSQL
+//! stand-in: a from-scratch single-process row store with
+//!
+//! * 8 KB slotted [`page::Page`]s,
+//! * [`heap::HeapFile`]s addressed by [`TupleId`] (page, slot),
+//! * typed tuples ([`datum::Datum`]) with per-tuple header overhead
+//!   mirroring the paper's measured PostgreSQL constants,
+//! * a from-scratch [`btree::BPlusTree`] for secondary indexes,
+//! * a [`db::Database`] catalog.
+//!
+//! It intentionally models the *cost structure* the paper measures —
+//! per-table, per-row, per-column, and per-cell overheads — so that storage
+//! comparisons between data models (ROM / COM / RCV / hybrids) transfer.
+
+pub mod btree;
+pub mod datum;
+pub mod db;
+pub mod error;
+pub mod heap;
+pub mod page;
+pub mod persist;
+pub mod schema;
+pub mod table;
+
+pub use btree::BPlusTree;
+pub use datum::{DataType, Datum};
+pub use db::{Database, StorageConfig};
+pub use error::StoreError;
+pub use heap::{HeapFile, TupleId};
+pub use page::{Page, PAGE_SIZE};
+pub use schema::{ColumnDef, Schema};
+pub use table::Table;

@@ -1,0 +1,282 @@
+//! Single-file persistence for the database.
+//!
+//! DataSpread's storage lives inside PostgreSQL, which persists it. Our
+//! embedded stand-in persists itself: `Database::save` writes a snapshot —
+//! catalog, schemas, and raw heap pages — to one file; `Database::load`
+//! restores it. The format is a straightforward length-prefixed layout
+//! (no external serialization crates, per the workspace dependency policy):
+//!
+//! ```text
+//! magic "DSPR" | version u32 | max_columns u32 | table_count u32
+//! per table:
+//!   name (u32 len + bytes)
+//!   column_count u32, per column: name (u32+bytes), type tag u8
+//!   page_count u32, per page: PAGE_SIZE raw bytes + n_slots u16 +
+//!     free_end u16 + live u16
+//!   row_count u64
+//! ```
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::datum::DataType;
+use crate::db::{Database, StorageConfig};
+use crate::error::StoreError;
+use crate::heap::HeapFile;
+use crate::page::{Page, PAGE_SIZE};
+use crate::schema::{ColumnDef, Schema};
+use crate::table::Table;
+
+const MAGIC: &[u8; 4] = b"DSPR";
+const VERSION: u32 = 1;
+
+fn w_u16(out: &mut impl Write, v: u16) -> io::Result<()> {
+    out.write_all(&v.to_le_bytes())
+}
+fn w_u32(out: &mut impl Write, v: u32) -> io::Result<()> {
+    out.write_all(&v.to_le_bytes())
+}
+fn w_u64(out: &mut impl Write, v: u64) -> io::Result<()> {
+    out.write_all(&v.to_le_bytes())
+}
+fn w_str(out: &mut impl Write, s: &str) -> io::Result<()> {
+    w_u32(out, s.len() as u32)?;
+    out.write_all(s.as_bytes())
+}
+
+fn r_u16(inp: &mut impl Read) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    inp.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+fn r_u32(inp: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    inp.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+fn r_u64(inp: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    inp.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+fn r_str(inp: &mut impl Read) -> Result<String, StoreError> {
+    let len = r_u32(inp).map_err(io_err)? as usize;
+    if len > 1 << 24 {
+        return Err(StoreError::Corrupt("string too long".into()));
+    }
+    let mut buf = vec![0u8; len];
+    inp.read_exact(&mut buf).map_err(io_err)?;
+    String::from_utf8(buf).map_err(|_| StoreError::Corrupt("invalid utf-8 string".into()))
+}
+
+fn io_err(e: io::Error) -> StoreError {
+    StoreError::Corrupt(format!("io: {e}"))
+}
+
+fn type_tag(ty: DataType) -> u8 {
+    match ty {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Text => 2,
+        DataType::Bool => 3,
+        DataType::Any => 4,
+    }
+}
+
+fn tag_type(tag: u8) -> Result<DataType, StoreError> {
+    Ok(match tag {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Text,
+        3 => DataType::Bool,
+        4 => DataType::Any,
+        t => return Err(StoreError::Corrupt(format!("unknown type tag {t}"))),
+    })
+}
+
+impl Database {
+    /// Write a snapshot of the whole database to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        let file = std::fs::File::create(path).map_err(io_err)?;
+        let mut out = io::BufWriter::new(file);
+        out.write_all(MAGIC).map_err(io_err)?;
+        w_u32(&mut out, VERSION).map_err(io_err)?;
+        w_u32(&mut out, self.config().max_columns as u32).map_err(io_err)?;
+        let names: Vec<&str> = self.table_names().collect();
+        w_u32(&mut out, names.len() as u32).map_err(io_err)?;
+        for name in names {
+            let table = self.table(name)?;
+            w_str(&mut out, name).map_err(io_err)?;
+            let schema = table.schema();
+            w_u32(&mut out, schema.len() as u32).map_err(io_err)?;
+            for col in schema.columns() {
+                w_str(&mut out, &col.name).map_err(io_err)?;
+                out.write_all(&[type_tag(col.ty)]).map_err(io_err)?;
+            }
+            let pages = table.heap_pages();
+            w_u32(&mut out, pages.len() as u32).map_err(io_err)?;
+            for page in pages {
+                let (bytes, n_slots, free_end, live) = page.raw_parts();
+                out.write_all(bytes).map_err(io_err)?;
+                w_u16(&mut out, n_slots).map_err(io_err)?;
+                w_u16(&mut out, free_end).map_err(io_err)?;
+                w_u16(&mut out, live).map_err(io_err)?;
+            }
+            w_u64(&mut out, table.row_count()).map_err(io_err)?;
+        }
+        out.flush().map_err(io_err)
+    }
+
+    /// Restore a snapshot previously written by [`Database::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Database, StoreError> {
+        let file = std::fs::File::open(path).map_err(io_err)?;
+        let mut inp = io::BufReader::new(file);
+        let mut magic = [0u8; 4];
+        inp.read_exact(&mut magic).map_err(io_err)?;
+        if &magic != MAGIC {
+            return Err(StoreError::Corrupt("bad magic".into()));
+        }
+        let version = r_u32(&mut inp).map_err(io_err)?;
+        if version != VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "unsupported snapshot version {version}"
+            )));
+        }
+        let max_columns = r_u32(&mut inp).map_err(io_err)? as usize;
+        let mut db = Database::with_config(StorageConfig { max_columns });
+        let n_tables = r_u32(&mut inp).map_err(io_err)?;
+        for _ in 0..n_tables {
+            let name = r_str(&mut inp)?;
+            let n_cols = r_u32(&mut inp).map_err(io_err)?;
+            let mut cols = Vec::with_capacity(n_cols as usize);
+            for _ in 0..n_cols {
+                let cname = r_str(&mut inp)?;
+                let mut tag = [0u8; 1];
+                inp.read_exact(&mut tag).map_err(io_err)?;
+                cols.push(ColumnDef::new(cname, tag_type(tag[0])?));
+            }
+            let n_pages = r_u32(&mut inp).map_err(io_err)?;
+            let mut heap = HeapFile::new();
+            let mut live_total = 0u64;
+            for _ in 0..n_pages {
+                let mut bytes = vec![0u8; PAGE_SIZE];
+                inp.read_exact(&mut bytes).map_err(io_err)?;
+                let n_slots = r_u16(&mut inp).map_err(io_err)?;
+                let free_end = r_u16(&mut inp).map_err(io_err)?;
+                let live = r_u16(&mut inp).map_err(io_err)?;
+                if (free_end as usize) > PAGE_SIZE {
+                    return Err(StoreError::Corrupt("free_end beyond page".into()));
+                }
+                live_total += live as u64;
+                heap.push_raw_page(Page::from_raw_parts(bytes, n_slots, free_end, live)?);
+            }
+            heap.set_live_count(live_total);
+            let row_count = r_u64(&mut inp).map_err(io_err)?;
+            if row_count != live_total {
+                return Err(StoreError::Corrupt(format!(
+                    "row count {row_count} != live tuples {live_total}"
+                )));
+            }
+            let table = Table::from_parts(&name, Schema::new(cols), heap, row_count)
+                .with_max_columns(max_columns);
+            db.insert_table(table)?;
+        }
+        Ok(db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datum::Datum;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dataspread-persist-{name}-{}", std::process::id()))
+    }
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "t1",
+                Schema::new(vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("name", DataType::Text),
+                ]),
+            )
+            .unwrap();
+        for i in 0..1000 {
+            t.insert(&[Datum::Int(i), Datum::Text(format!("row-{i}"))])
+                .unwrap();
+        }
+        // Deletions and updates leave realistic page states.
+        let tids: Vec<_> = t.scan().map(|(tid, _)| tid).collect();
+        for tid in tids.iter().step_by(7) {
+            t.delete(*tid);
+        }
+        let survivor = t.scan().next().unwrap().0;
+        t.update(survivor, &[Datum::Int(-1), Datum::Text("updated".into())])
+            .unwrap();
+        db.create_table("empty", Schema::new(vec![ColumnDef::new("x", DataType::Any)]))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let db = sample_db();
+        let path = temp_path("roundtrip");
+        db.save(&path).unwrap();
+        let loaded = Database::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(
+            loaded.table_names().collect::<Vec<_>>(),
+            db.table_names().collect::<Vec<_>>()
+        );
+        let a: Vec<_> = db.table("t1").unwrap().scan().collect();
+        let b: Vec<_> = loaded.table("t1").unwrap().scan().collect();
+        assert_eq!(a, b, "tuple ids and contents survive");
+        assert_eq!(
+            loaded.table("t1").unwrap().row_count(),
+            db.table("t1").unwrap().row_count()
+        );
+        assert_eq!(loaded.table("empty").unwrap().row_count(), 0);
+    }
+
+    #[test]
+    fn loaded_db_accepts_writes() {
+        let db = sample_db();
+        let path = temp_path("writes");
+        db.save(&path).unwrap();
+        let mut loaded = Database::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let t = loaded.table_mut("t1").unwrap();
+        let tid = t
+            .insert(&[Datum::Int(9999), Datum::Text("after-load".into())])
+            .unwrap();
+        assert_eq!(t.fetch(tid).unwrap()[0], Datum::Int(9999));
+        // Old tuples still addressable after new writes.
+        let first = t.scan().next().unwrap().0;
+        assert!(t.fetch(first).is_ok());
+    }
+
+    #[test]
+    fn rejects_garbage_files() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, b"not a database").unwrap();
+        assert!(matches!(Database::load(&path), Err(StoreError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+        assert!(Database::load(temp_path("missing")).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_snapshot() {
+        let db = sample_db();
+        let path = temp_path("truncated");
+        db.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(Database::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests: B+-tree vs `BTreeMap`, heap file vs `HashMap` oracle.
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+use proptest::prelude::*;
+
+use dataspread_relstore::{BPlusTree, HeapFile};
+
+#[derive(Debug, Clone)]
+enum TreeOp {
+    Insert(u16, u32),
+    Remove(u16),
+    Get(u16),
+    Range(u16, u16),
+}
+
+fn tree_op() -> impl Strategy<Value = TreeOp> {
+    prop_oneof![
+        (any::<u16>(), any::<u32>()).prop_map(|(k, v)| TreeOp::Insert(k, v)),
+        any::<u16>().prop_map(TreeOp::Remove),
+        any::<u16>().prop_map(TreeOp::Get),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| TreeOp::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bplustree_matches_btreemap(ops in prop::collection::vec(tree_op(), 1..500)) {
+        let mut tree = BPlusTree::new();
+        let mut oracle: BTreeMap<u16, u32> = BTreeMap::new();
+        for op in ops {
+            match op {
+                TreeOp::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), oracle.insert(k, v));
+                }
+                TreeOp::Remove(k) => {
+                    prop_assert_eq!(tree.remove(&k), oracle.remove(&k));
+                }
+                TreeOp::Get(k) => {
+                    prop_assert_eq!(tree.get(&k), oracle.get(&k));
+                }
+                TreeOp::Range(lo, hi) => {
+                    let got: Vec<(u16, u32)> = tree
+                        .range(Bound::Included(&lo), Bound::Included(&hi))
+                        .into_iter()
+                        .map(|(k, v)| (*k, *v))
+                        .collect();
+                    let want: Vec<(u16, u32)> =
+                        oracle.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(tree.len(), oracle.len());
+        }
+    }
+
+    #[test]
+    fn heap_file_matches_hashmap(
+        inserts in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..600), 1..80),
+        deletes in prop::collection::vec(any::<prop::sample::Index>(), 0..40),
+        updates in prop::collection::vec((any::<prop::sample::Index>(), prop::collection::vec(any::<u8>(), 1..900)), 0..40),
+    ) {
+        let mut heap = HeapFile::new();
+        let mut oracle: HashMap<_, Vec<u8>> = HashMap::new();
+        let mut tids = Vec::new();
+        for bytes in &inserts {
+            let tid = heap.insert(bytes).unwrap();
+            oracle.insert(tid, bytes.clone());
+            tids.push(tid);
+        }
+        for idx in deletes {
+            let tid = *idx.get(&tids);
+            let was_live = oracle.remove(&tid).is_some();
+            prop_assert_eq!(heap.delete(tid), was_live);
+        }
+        for (idx, bytes) in updates {
+            let tid = *idx.get(&tids);
+            if oracle.contains_key(&tid) {
+                let new_tid = heap.update(tid, &bytes).unwrap();
+                oracle.remove(&tid);
+                oracle.insert(new_tid, bytes.clone());
+                if new_tid != tid {
+                    tids.push(new_tid);
+                }
+            } else {
+                prop_assert!(heap.update(tid, &bytes).is_err());
+            }
+        }
+        prop_assert_eq!(heap.live_count() as usize, oracle.len());
+        for (tid, bytes) in &oracle {
+            prop_assert_eq!(heap.get(*tid), Some(bytes.as_slice()));
+        }
+        let scanned: HashMap<_, Vec<u8>> =
+            heap.scan().map(|(t, b)| (t, b.to_vec())).collect();
+        prop_assert_eq!(scanned, oracle);
+    }
+}

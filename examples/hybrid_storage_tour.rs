@@ -1,0 +1,101 @@
+//! A tour of presentational awareness: how the hybrid optimizer adapts the
+//! storage representation to the *shape* of the data (paper §IV).
+//!
+//! Builds four contrasting sheets (dense-wide, dense-tall, two-tables,
+//! sparse-scatter), runs DP / Greedy / Aggressive-Greedy under both the
+//! PostgreSQL and the "ideal database" cost models, and prints the chosen
+//! decompositions next to the primitive baselines — a miniature of the
+//! paper's Figure 13/25 analysis.
+//!
+//! Run with: `cargo run --release --example hybrid_storage_tour`
+
+use dataspread::grid::{CellAddr, SparseSheet};
+use dataspread::hybrid::dp::primitive_cost;
+use dataspread::hybrid::{
+    optimize_agg, optimize_dp, optimize_greedy, CostModel, GridView, ModelKind, OptimizerOptions,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dense(rows: u32, cols: u32) -> SparseSheet {
+    let mut s = SparseSheet::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            s.set_value(CellAddr::new(r, c), (r + c) as i64);
+        }
+    }
+    s
+}
+
+fn two_tables() -> SparseSheet {
+    let mut s = dense(40, 6);
+    for r in 60..90 {
+        for c in 20..28 {
+            s.set_value(CellAddr::new(r, c), (r * c) as i64);
+        }
+    }
+    s
+}
+
+fn scatter() -> SparseSheet {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut s = SparseSheet::new();
+    for _ in 0..120 {
+        s.set_value(
+            CellAddr::new(rng.gen_range(0..300), rng.gen_range(0..80)),
+            rng.gen_range(0..100) as i64,
+        );
+    }
+    s
+}
+
+fn main() {
+    let sheets: Vec<(&str, SparseSheet)> = vec![
+        ("dense-wide  (30 x 200)", dense(30, 200)),
+        ("dense-tall  (2000 x 8)", dense(2000, 8)),
+        ("two tables  (40x6 + 30x8)", two_tables()),
+        ("sparse scatter (120 cells in 300x80)", scatter()),
+    ];
+    for cm_name in ["postgresql", "ideal"] {
+        let cm = if cm_name == "postgresql" {
+            CostModel::postgres()
+        } else {
+            CostModel::ideal()
+        };
+        println!("\n=== cost model: {cm_name} ===");
+        for (name, sheet) in &sheets {
+            let view = GridView::from_sheet(sheet);
+            let opts = OptimizerOptions::default();
+            println!("\n  {name}: {} filled cells, density {:.3}", sheet.filled_count(), sheet.density());
+            for (label, kind) in [("ROM", ModelKind::Rom), ("COM", ModelKind::Com), ("RCV", ModelKind::Rcv)] {
+                let c = primitive_cost(&view, &cm, kind);
+                println!("    primitive {label:<4}            cost {c:>14.0}");
+            }
+            let greedy = optimize_greedy(&view, &cm, &opts);
+            println!(
+                "    Greedy: {:2} table(s)        cost {:>14.0}",
+                greedy.table_count(),
+                greedy.storage_cost(&view, &cm)
+            );
+            let agg = optimize_agg(&view, &cm, &opts);
+            println!(
+                "    Agg:    {:2} table(s)        cost {:>14.0}",
+                agg.table_count(),
+                agg.storage_cost(&view, &cm)
+            );
+            match optimize_dp(&view, &cm, &opts) {
+                Ok(dp) => {
+                    println!(
+                        "    DP:     {:2} table(s)        cost {:>14.0}",
+                        dp.table_count(),
+                        dp.storage_cost(&view, &cm)
+                    );
+                    for region in dp.regions.iter().take(6) {
+                        println!("        {} as {}", region.rect, region.kind);
+                    }
+                }
+                Err(e) => println!("    DP skipped: {e}"),
+            }
+        }
+    }
+}

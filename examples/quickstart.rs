@@ -1,0 +1,97 @@
+//! Quickstart: the spreadsheet-oriented API of the storage engine.
+//!
+//! Reproduces the paper's Figure 7 running example — a grade sheet where
+//! `F2 = AVERAGE(B2:C2)+D2+E2` — then demonstrates positional edits
+//! (row inserts that would cascade in a naïve store) and storage
+//! optimization.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dataspread::engine::{OptimizeAlgorithm, SheetEngine};
+use dataspread::grid::{CellAddr, Rect};
+use dataspread::hybrid::{CostModel, OptimizerOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sheet = SheetEngine::new();
+
+    // --- Figure 7: a small grade sheet -------------------------------
+    let headers = ["ID", "HW1", "HW2", "Midterm", "Final", "Total"];
+    for (c, h) in headers.iter().enumerate() {
+        sheet.update_cell(CellAddr::new(0, c as u32), h)?;
+    }
+    let students = [
+        ("Alice", 10.0, 20.0, 30.0, 40.0),
+        ("Bob", 8.0, 15.0, 25.0, 35.0),
+        ("Carol", 9.0, 18.0, 28.0, 38.0),
+        ("Dave", 8.0, 19.0, 29.0, 33.0),
+    ];
+    for (i, (name, hw1, hw2, mid, fin)) in students.iter().enumerate() {
+        let r = i as u32 + 1;
+        sheet.update_cell(CellAddr::new(r, 0), name)?;
+        sheet.update_cell(CellAddr::new(r, 1), &hw1.to_string())?;
+        sheet.update_cell(CellAddr::new(r, 2), &hw2.to_string())?;
+        sheet.update_cell(CellAddr::new(r, 3), &mid.to_string())?;
+        sheet.update_cell(CellAddr::new(r, 4), &fin.to_string())?;
+        // Total = AVERAGE(HW1:HW2) + Midterm + Final, like the paper's F2.
+        sheet.update_cell(
+            CellAddr::new(r, 5),
+            &format!("=AVERAGE(B{row}:C{row})+D{row}+E{row}", row = r + 1),
+        )?;
+    }
+    sheet.update_cell_a1("F7", "=SUM(F2:F5)")?;
+    sheet.update_cell_a1("F8", "=MAX(F2:F5)")?;
+
+    println!("Figure 7 grade sheet:");
+    print_window(&sheet, Rect::parse_a1("A1:F8")?);
+    assert_eq!(sheet.value(CellAddr::parse_a1("F2")?).as_text(), "85");
+
+    // --- Editing recomputes dependents --------------------------------
+    println!("\nAlice's HW1 regrade: 10 -> 20");
+    sheet.update_cell_a1("B2", "20")?;
+    println!("F2 is now {}", sheet.value(CellAddr::parse_a1("F2")?));
+
+    // --- Positional edits ---------------------------------------------
+    // Insert a new student row above Bob; every later formula shifts.
+    println!("\nInserting a row above Bob (position 2)...");
+    sheet.insert_rows(2, 1)?;
+    sheet.update_cell_a1("A3", "Eve")?;
+    for (col, v) in [("B", 10.0), ("C", 10.0), ("D", 20.0), ("E", 30.0)] {
+        sheet.update_cell_a1(&format!("{col}3"), &v.to_string())?;
+    }
+    sheet.update_cell_a1("F3", "=AVERAGE(B3:C3)+D3+E3")?;
+    println!("the totals column followed its rows:");
+    print_window(&sheet, Rect::parse_a1("A1:F9")?);
+
+    // --- Storage optimization ------------------------------------------
+    let report = sheet.optimize(
+        &CostModel::postgres(),
+        OptimizeAlgorithm::Agg,
+        &OptimizerOptions::default(),
+    )?;
+    println!(
+        "\nhybrid optimizer chose {} table(s); storage {} B -> {} B",
+        report.decomposition.table_count(),
+        report.storage_before,
+        report.storage_after,
+    );
+    for region in &report.decomposition.regions {
+        println!("  {} stored as {}", region.rect, region.kind);
+    }
+    Ok(())
+}
+
+fn print_window(sheet: &SheetEngine, window: Rect) {
+    let cells = sheet.get_cells(window);
+    for r in window.r1..=window.r2 {
+        let mut line = String::new();
+        for c in window.c1..=window.c2 {
+            let text = cells
+                .iter()
+                .find(|(a, _)| a.row == r && a.col == c)
+                .map(|(_, cell)| cell.value.as_text())
+                .unwrap_or_default();
+            line.push_str(&format!("{text:>9} "));
+        }
+        println!("  {line}");
+    }
+}

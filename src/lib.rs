@@ -1,0 +1,42 @@
+//! # DataSpread-rs
+//!
+//! A scalable storage engine for *presentational data management* (PDM) —
+//! a from-scratch Rust reproduction of the DataSpread storage engine
+//! (Bendre et al., ICDE 2018).
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`grid`] — the conceptual data model (cells, addresses, regions),
+//! * [`posmap`] — positional mapping (hierarchical counted B+-tree, …),
+//! * [`relstore`] — the embedded relational row store,
+//! * [`hybrid`] — primitive/hybrid data models and the decomposition
+//!   optimizer (DP, greedy, aggressive greedy, incremental),
+//! * [`formula`] — formula parsing, dependency tracking, evaluation,
+//! * [`rel`] — relational operators and the mini-SQL engine,
+//! * [`analysis`] — spreadsheet structure/formula analysis (paper §II),
+//! * [`corpus`] — synthetic corpora and workload generators,
+//! * [`engine`] — the storage engine proper: ROM/COM/RCV/TOM translators
+//!   and the [`engine::SheetEngine`] facade.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dataspread::engine::SheetEngine;
+//! use dataspread::grid::{CellAddr, CellValue};
+//!
+//! let mut sheet = SheetEngine::new();
+//! sheet.update_cell_a1("A1", "10").unwrap();
+//! sheet.update_cell_a1("A2", "32").unwrap();
+//! sheet.update_cell_a1("A3", "=SUM(A1:A2)").unwrap();
+//! assert_eq!(sheet.value(CellAddr::parse_a1("A3").unwrap()), CellValue::Number(42.0));
+//! ```
+
+pub use dataspread_analysis as analysis;
+pub use dataspread_corpus as corpus;
+pub use dataspread_engine as engine;
+pub use dataspread_formula as formula;
+pub use dataspread_grid as grid;
+pub use dataspread_hybrid as hybrid;
+pub use dataspread_posmap as posmap;
+pub use dataspread_rel as rel;
+pub use dataspread_relstore as relstore;
