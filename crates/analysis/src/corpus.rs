@@ -125,7 +125,11 @@ pub fn analyze_corpus(analyses: &[SheetAnalysis]) -> CorpusStats {
         } else {
             100.0 * covered / filled as f64
         },
-        cells_per_formula: all_formulas.iter().map(|f| f.cells_accessed as f64).sum::<f64>() / nf,
+        cells_per_formula: all_formulas
+            .iter()
+            .map(|f| f.cells_accessed as f64)
+            .sum::<f64>()
+            / nf,
         regions_per_formula: all_formulas
             .iter()
             .map(|f| f.regions_accessed as f64)

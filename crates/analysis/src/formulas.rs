@@ -87,7 +87,10 @@ fn tally(expr: &Expr, hist: &mut HashMap<String, u64>) {
             }
         }
         Expr::Binary(op, a, b) => {
-            if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow) {
+            if matches!(
+                op,
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow
+            ) {
                 *hist.entry("ARITH".to_string()).or_insert(0) += 1;
             }
             tally(a, hist);
@@ -140,7 +143,10 @@ mod tests {
     fn histogram_tallies_functions_and_arith() {
         let mut s = SparseSheet::new();
         s.set(CellAddr::new(0, 0), Cell::formula("SUM(A2:A9)+1"));
-        s.set(CellAddr::new(0, 1), Cell::formula("IF(A1>0,SUM(B2:B9),LN(2))"));
+        s.set(
+            CellAddr::new(0, 1),
+            Cell::formula("IF(A1>0,SUM(B2:B9),LN(2))"),
+        );
         s.set(CellAddr::new(0, 2), Cell::value(5i64));
         let h = function_histogram(&s);
         assert_eq!(h.get("SUM"), Some(&2));

@@ -3,8 +3,7 @@
 use proptest::prelude::*;
 
 use dataspread_analysis::{
-    analyze_corpus, analyze_sheet, connected_components, tabular_regions, Adjacency,
-    TabularConfig,
+    analyze_corpus, analyze_sheet, connected_components, tabular_regions, Adjacency, TabularConfig,
 };
 use dataspread_grid::{CellAddr, SparseSheet};
 

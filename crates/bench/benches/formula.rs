@@ -15,7 +15,9 @@ fn bench_parse(c: &mut Criterion) {
         ("agg", "SUM(A1:A1000)+AVERAGE(B1:B1000)"),
         ("lookup", "IF(VLOOKUP(A1,D1:F100,2)>0,MAX(G1:G50),0)"),
     ] {
-        group.bench_function(name, |b| b.iter(|| std::hint::black_box(parse(src).unwrap())));
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(parse(src).unwrap()))
+        });
     }
     group.finish();
 }

@@ -56,7 +56,10 @@ fn ablation_access_aware() {
         },
     );
     let evaluator = Evaluator::new();
-    for (label, decomp) in [("storage-only", &storage_only), ("access-aware", &access_aware)] {
+    for (label, decomp) in [
+        ("storage-only", &storage_only),
+        ("access-aware", &access_aware),
+    ] {
         let store = load_hybrid(sheet, decomp);
         let reader = StorageReader(&store);
         let t = Instant::now();
@@ -65,11 +68,7 @@ fn ablation_access_aware() {
                 std::hint::black_box(evaluator.eval(e, &reader));
             }
         }
-        let kinds: Vec<String> = decomp
-            .regions
-            .iter()
-            .map(|r| r.kind.to_string())
-            .collect();
+        let kinds: Vec<String> = decomp.regions.iter().map(|r| r.kind.to_string()).collect();
         println!(
             "  {label:<14} {:2} table(s) [{}]  storage {:>10.0}  access(5x{} formulas) {:?}",
             decomp.table_count(),
@@ -141,8 +140,8 @@ fn ablation_size_limits() {
         ..OptimizerOptions::default()
     };
     let capped = CostModel::postgres(); // max 1600 columns
-    // Band collapse must respect the cap, or the mandatory split cuts are
-    // unreachable (the one case Theorem 5 doesn't cover).
+                                        // Band collapse must respect the cap, or the mandatory split cuts are
+                                        // unreachable (the one case Theorem 5 doesn't cover).
     let view = GridView::from_sheet_capped(&sheet, u32::MAX, 1600);
     let d = optimize_dp(&view, &capped, &opts).unwrap();
     println!(

@@ -23,5 +23,7 @@ fn main() {
         }
         println!();
     }
-    println!("paper shape: Internet/ClueWeb09/Enron skew dense (right); Academic skews sparse (left).");
+    println!(
+        "paper shape: Internet/ClueWeb09/Enron skew dense (right); Academic skews sparse (left)."
+    );
 }

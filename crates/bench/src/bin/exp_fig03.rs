@@ -12,7 +12,11 @@ fn main() {
         }
         let max = buckets.iter().copied().max().unwrap_or(1).max(1);
         for (i, count) in buckets.iter().enumerate() {
-            let label = if i == 7 { "7+".to_string() } else { i.to_string() };
+            let label = if i == 7 {
+                "7+".to_string()
+            } else {
+                i.to_string()
+            };
             println!(
                 "  {label:>2} tables {count:>5}  {}",
                 bar(*count as f64 / max as f64, 40)

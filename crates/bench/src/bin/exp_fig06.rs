@@ -50,7 +50,10 @@ fn main() {
         }
     }
     println!("\nsampled mix over {N} draws:");
-    for (label, c) in ["update", "add cell", "add row", "add col"].iter().zip(counts) {
+    for (label, c) in ["update", "add cell", "add row", "add col"]
+        .iter()
+        .zip(counts)
+    {
         println!("  {label:<10} {:.4}", c as f64 / N as f64);
     }
 }

@@ -28,7 +28,11 @@ fn main() {
         println!("{name}:");
         let max = buckets.iter().copied().max().unwrap_or(1).max(1);
         for (i, count) in buckets.iter().enumerate() {
-            let label = if i == 7 { "8+".into() } else { format!("{}", i + 1) };
+            let label = if i == 7 {
+                "8+".into()
+            } else {
+                format!("{}", i + 1)
+            };
             println!(
                 "  bound {label:>2}: {count:>5}  {}",
                 bar(*count as f64 / max as f64, 40)

@@ -13,9 +13,7 @@ use dataspread_bench::{load_hybrid, single_model};
 use dataspread_corpus::multi_table_sheet;
 use dataspread_engine::hybrid::StorageReader;
 use dataspread_formula::{parse, Evaluator};
-use dataspread_hybrid::{
-    optimize_agg, CostModel, GridView, ModelKind, ModelSet, OptimizerOptions,
-};
+use dataspread_hybrid::{optimize_agg, CostModel, GridView, ModelKind, ModelSet, OptimizerOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -30,9 +28,7 @@ fn main() {
     // --scale 4 gets there).
     let (rows, cols) = (400 * scale, 80 * scale);
 
-    println!(
-        "Figure 17: synthetic sheets (20 regions of {rows}x{cols}, 100 range formulas)\n"
-    );
+    println!("Figure 17: synthetic sheets (20 regions of {rows}x{cols}, 100 range formulas)\n");
     println!(
         "{:<10} {:>14} {:>14} {:>14}   {:>12} {:>12} {:>12}",
         "density", "Agg bytes", "ROM bytes", "RCV bytes", "Agg access", "ROM access", "RCV access"

@@ -23,9 +23,7 @@ fn main() {
     } else {
         &[1_000, 10_000, 100_000, 1_000_000]
     };
-    println!(
-        "Figure 18: positional mapping, single random-row ops ({WIDTH} payload cols)\n"
-    );
+    println!("Figure 18: positional mapping, single random-row ops ({WIDTH} payload cols)\n");
     println!(
         "{:>10} | {:>12} {:>12} {:>12} | {:>12} {:>12} {:>12} | {:>12} {:>12} {:>12}",
         "#rows",

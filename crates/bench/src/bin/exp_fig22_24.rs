@@ -34,7 +34,10 @@ fn main() {
     }
 
     // --- sweep 2: column count ----------------------------------------
-    println!("\nsweep (b): columns (rows={}, density=1)\n", base_rows / 10);
+    println!(
+        "\nsweep (b): columns (rows={}, density=1)\n",
+        base_rows / 10
+    );
     header();
     for &cols in &[10u32, 30, 50, 70, 100] {
         let mut rom = dense_rom(base_rows / 10, cols, kind);

@@ -68,7 +68,10 @@ fn main() {
             .into_iter()
             .map(|v| if v.is_finite() { v } else { f64::NAN })
             .collect();
-        let finite: Vec<f64> = vals.iter().map(|v| if v.is_nan() { rcv } else { *v }).collect();
+        let finite: Vec<f64> = vals
+            .iter()
+            .map(|v| if v.is_nan() { rcv } else { *v })
+            .collect();
         let norm = normalize_to_worst(&finite);
         println!(
             "{:<22} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",

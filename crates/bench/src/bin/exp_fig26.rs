@@ -43,12 +43,7 @@ fn shift_decomp(decomp: &mut Decomposition, op: UserOp) {
 }
 
 /// Apply one sampled op to the sheet and the tracked decomposition.
-fn step(
-    sheet: &mut SparseSheet,
-    decomp: &mut Decomposition,
-    mix: &OpMix,
-    rng: &mut StdRng,
-) {
+fn step(sheet: &mut SparseSheet, decomp: &mut Decomposition, mix: &OpMix, rng: &mut StdRng) {
     let op = mix.sample(sheet, rng);
     shift_decomp(decomp, op);
     apply_op(sheet, op, rng);

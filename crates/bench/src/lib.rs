@@ -174,9 +174,7 @@ mod tests {
     fn dense_rom_loads() {
         let hs = dense_rom(100, 10, PosMapKind::Hierarchical);
         assert_eq!(hs.filled_count(), 1000);
-        assert!(hs
-            .get_cell(CellAddr::new(99, 9))
-            .is_some());
+        assert!(hs.get_cell(CellAddr::new(99, 9)).is_some());
     }
 
     #[test]

@@ -162,11 +162,7 @@ fn add_formulas(sheet: &mut SparseSheet, tables: &[Rect], spec: &SheetSpec, rng:
                         CellAddr::new(t.r2, t.c2).to_a1(),
                         rng.gen_range(1..=t.cols())
                     ),
-                    _ => format!(
-                        "IF(SUM({col_a1}{}:{col_a1}{})>0,1,0)",
-                        t.r1 + 1,
-                        t.r2 + 1
-                    ),
+                    _ => format!("IF(SUM({col_a1}{}:{col_a1}{})>0,1,0)", t.r1 + 1, t.r2 + 1),
                 };
                 // Most real formulas touch a second contiguous area — a key
                 // cell, a rate constant, or another table (Table I col 11:
@@ -190,12 +186,12 @@ fn add_formulas(sheet: &mut SparseSheet, tables: &[Rect], spec: &SheetSpec, rng:
                 let (r, c) = match tables.first() {
                     Some(t) => {
                         let rows_n = t.rows() as u32;
-                        (
-                            t.r1 + (i as u32 % rows_n),
-                            t.c2 + 2 + (i as u32 / rows_n),
-                        )
+                        (t.r1 + (i as u32 % rows_n), t.c2 + 2 + (i as u32 / rows_n))
                     }
-                    None => (rng.gen_range(0..spec.canvas_rows), rng.gen_range(0..spec.canvas_cols)),
+                    None => (
+                        rng.gen_range(0..spec.canvas_rows),
+                        rng.gen_range(0..spec.canvas_cols),
+                    ),
                 };
                 let a = CellAddr::new(r, c.saturating_sub(2)).to_a1();
                 let b = CellAddr::new(r, c.saturating_sub(1)).to_a1();

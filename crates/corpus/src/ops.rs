@@ -63,9 +63,15 @@ impl OpMix {
                     return UserOp::UpdateCell(addr);
                 }
             }
-            UserOp::AddCell(CellAddr::new(rng.gen_range(0..rows), rng.gen_range(0..cols)))
+            UserOp::AddCell(CellAddr::new(
+                rng.gen_range(0..rows),
+                rng.gen_range(0..cols),
+            ))
         } else if x < self.update_cell + self.add_cell {
-            UserOp::AddCell(CellAddr::new(rng.gen_range(0..rows), rng.gen_range(0..cols)))
+            UserOp::AddCell(CellAddr::new(
+                rng.gen_range(0..rows),
+                rng.gen_range(0..cols),
+            ))
         } else if x < self.update_cell + self.add_cell + self.add_row {
             UserOp::AddRow(rng.gen_range(0..rows))
         } else {

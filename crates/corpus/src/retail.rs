@@ -124,7 +124,11 @@ mod tests {
         let mut b = Database::new();
         populate_retail(&mut b, 20, 3).unwrap();
         let rows = |db: &Database| -> Vec<Vec<Datum>> {
-            db.table("invoice").unwrap().scan().map(|(_, r)| r).collect()
+            db.table("invoice")
+                .unwrap()
+                .scan()
+                .map(|(_, r)| r)
+                .collect()
         };
         assert_eq!(rows(&a), rows(&b));
     }

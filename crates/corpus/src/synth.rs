@@ -119,12 +119,13 @@ mod tests {
     fn multi_table_hits_density_target() {
         for target in [0.8, 0.4, 0.1] {
             let synth = multi_table_sheet(20, 20, 10, target, 0, 5);
-            assert_eq!(synth.tables.len(), 20, "all tables placed at density {target}");
-            let d = synth.sheet.density();
-            assert!(
-                d > target * 0.5 && d <= 1.0,
-                "target {target}, got {d}"
+            assert_eq!(
+                synth.tables.len(),
+                20,
+                "all tables placed at density {target}"
             );
+            let d = synth.sheet.density();
+            assert!(d > target * 0.5 && d <= 1.0, "target {target}, got {d}");
         }
     }
 

@@ -40,7 +40,9 @@ pub fn vcf_rows(
         row.push(CellValue::Text(format!("rs{}", 100_000 + i)));
         row.push(CellValue::Text(bases[rng.gen_range(0..4)].to_string()));
         row.push(CellValue::Text(bases[rng.gen_range(0..4)].to_string()));
-        row.push(CellValue::Number((rng.gen_range(10.0..99.0f64) * 10.0).round() / 10.0));
+        row.push(CellValue::Number(
+            (rng.gen_range(10.0..99.0f64) * 10.0).round() / 10.0,
+        ));
         row.push(CellValue::Text("PASS".to_string()));
         row.push(CellValue::Text(format!(
             "DP={};AF={:.3}",

@@ -145,11 +145,7 @@ impl HybridSheet {
 
     /// Batched update of several cells in one sheet row (the interactive
     /// "paste a row" / range-update path of Figure 22).
-    pub fn set_cells_in_row(
-        &mut self,
-        row: u32,
-        cells: &[(u32, Cell)],
-    ) -> Result<(), EngineError> {
+    pub fn set_cells_in_row(&mut self, row: u32, cells: &[(u32, Cell)]) -> Result<(), EngineError> {
         // Group the columns by owning region so row-oriented translators
         // rewrite each row tuple once.
         let mut remaining: Vec<(u32, Cell)> = Vec::new();
@@ -191,10 +187,7 @@ impl HybridSheet {
         let mut out = self.catchall.get_range(rect);
         for region in &self.regions {
             if let Some(hit) = rect.intersection(&region.rect) {
-                let local = hit.translate(
-                    -(region.rect.r1 as i64),
-                    -(region.rect.c1 as i64),
-                );
+                let local = hit.translate(-(region.rect.r1 as i64), -(region.rect.c1 as i64));
                 for (addr, cell) in region.translator.get_range(local) {
                     out.push((
                         addr.offset(region.rect.r1 as i64, region.rect.c1 as i64),
@@ -310,7 +303,10 @@ impl HybridSheet {
     /// excludes them: they are not re-representable).
     pub fn snapshot(&self, include_tom: bool) -> SparseSheet {
         let mut sheet = SparseSheet::new();
-        for (addr, cell) in self.catchall.get_range(Rect::new(0, 0, u32::MAX - 1, u32::MAX - 1)) {
+        for (addr, cell) in self
+            .catchall
+            .get_range(Rect::new(0, 0, u32::MAX - 1, u32::MAX - 1))
+        {
             sheet.set(addr, cell);
         }
         for region in &self.regions {
@@ -430,8 +426,14 @@ mod tests {
         let mut hs = sheet_with_rom_region();
         hs.set_cell(addr(10, 10), Cell::value(1i64)).unwrap();
         hs.set_cell(addr(0, 0), Cell::value(2i64)).unwrap();
-        assert_eq!(hs.get_cell(addr(10, 10)).unwrap().value, CellValue::Number(1.0));
-        assert_eq!(hs.get_cell(addr(0, 0)).unwrap().value, CellValue::Number(2.0));
+        assert_eq!(
+            hs.get_cell(addr(10, 10)).unwrap().value,
+            CellValue::Number(1.0)
+        );
+        assert_eq!(
+            hs.get_cell(addr(0, 0)).unwrap().value,
+            CellValue::Number(2.0)
+        );
         assert_eq!(hs.layout().len(), 1);
         assert_eq!(hs.filled_count(), 2);
     }
@@ -444,7 +446,10 @@ mod tests {
         hs.add_region(Rect::new(0, 0, 9, 9), rom).unwrap();
         // The stray moved out of the catch-all into the region.
         assert_eq!(hs.catchall.filled_count(), 0);
-        assert_eq!(hs.get_cell(addr(5, 5)).unwrap().value, CellValue::Number(7.0));
+        assert_eq!(
+            hs.get_cell(addr(5, 5)).unwrap().value,
+            CellValue::Number(7.0)
+        );
         let rom2 = Box::new(RomTranslator::new(PosMapKind::Hierarchical));
         assert!(hs.add_region(Rect::new(9, 9, 12, 12), rom2).is_err());
     }
@@ -466,7 +471,10 @@ mod tests {
         hs.set_cell(addr(12, 12), Cell::value(1i64)).unwrap();
         hs.insert_rows(0, 5).unwrap();
         assert_eq!(hs.layout()[0].0, Rect::new(15, 10, 24, 14));
-        assert_eq!(hs.get_cell(addr(17, 12)).unwrap().value, CellValue::Number(1.0));
+        assert_eq!(
+            hs.get_cell(addr(17, 12)).unwrap().value,
+            CellValue::Number(1.0)
+        );
         assert_eq!(hs.get_cell(addr(12, 12)), None);
     }
 
@@ -476,7 +484,10 @@ mod tests {
         hs.set_cell(addr(12, 12), Cell::value(1i64)).unwrap();
         hs.insert_rows(11, 2).unwrap();
         assert_eq!(hs.layout()[0].0, Rect::new(10, 10, 21, 14));
-        assert_eq!(hs.get_cell(addr(14, 12)).unwrap().value, CellValue::Number(1.0));
+        assert_eq!(
+            hs.get_cell(addr(14, 12)).unwrap().value,
+            CellValue::Number(1.0)
+        );
     }
 
     #[test]
@@ -488,7 +499,10 @@ mod tests {
         hs.delete_rows(11, 2).unwrap();
         assert_eq!(hs.layout()[0].0, Rect::new(10, 10, 17, 14));
         assert_eq!(hs.get_cell(addr(12, 12)), None, "row 12 was deleted");
-        assert_eq!(hs.get_cell(addr(17, 10)).unwrap().value, CellValue::Number(2.0));
+        assert_eq!(
+            hs.get_cell(addr(17, 10)).unwrap().value,
+            CellValue::Number(2.0)
+        );
     }
 
     #[test]
@@ -506,10 +520,16 @@ mod tests {
         hs.set_cell(addr(12, 12), Cell::value(1i64)).unwrap();
         hs.insert_cols(0, 3).unwrap();
         assert_eq!(hs.layout()[0].0, Rect::new(10, 13, 19, 17));
-        assert_eq!(hs.get_cell(addr(12, 15)).unwrap().value, CellValue::Number(1.0));
+        assert_eq!(
+            hs.get_cell(addr(12, 15)).unwrap().value,
+            CellValue::Number(1.0)
+        );
         hs.delete_cols(13, 1).unwrap();
         assert_eq!(hs.layout()[0].0, Rect::new(10, 13, 19, 16));
-        assert_eq!(hs.get_cell(addr(12, 14)).unwrap().value, CellValue::Number(1.0));
+        assert_eq!(
+            hs.get_cell(addr(12, 14)).unwrap().value,
+            CellValue::Number(1.0)
+        );
     }
 
     #[test]
@@ -517,7 +537,8 @@ mod tests {
         let mut hs = HybridSheet::new();
         for r in 0..8 {
             for c in 0..4 {
-                hs.set_cell(addr(r, c), Cell::value((r * 4 + c) as i64)).unwrap();
+                hs.set_cell(addr(r, c), Cell::value((r * 4 + c) as i64))
+                    .unwrap();
             }
         }
         hs.set_cell(addr(50, 50), Cell::value(99i64)).unwrap();
@@ -536,6 +557,9 @@ mod tests {
         assert_eq!(migrated, 33);
         assert_eq!(hs.region_count(), 2);
         assert_eq!(hs.snapshot(true), before, "reorganization preserves cells");
-        assert_eq!(hs.get_cell(addr(3, 2)).unwrap().value, CellValue::Number(14.0));
+        assert_eq!(
+            hs.get_cell(addr(3, 2)).unwrap().value,
+            CellValue::Number(14.0)
+        );
     }
 }

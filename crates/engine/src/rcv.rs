@@ -124,12 +124,7 @@ impl Translator for RcvTranslator {
             return Ok(());
         }
         let [v, f] = cell_to_datums(&cell);
-        let tuple = [
-            Datum::Int(rid as i64),
-            Datum::Int(cid as i64),
-            v,
-            f,
-        ];
+        let tuple = [Datum::Int(rid as i64), Datum::Int(cid as i64), v, f];
         match self.index.get(&(rid, cid)).copied() {
             Some(tid) => {
                 let new_tid = self.table.update(tid, &tuple)?;
@@ -326,7 +321,11 @@ mod tests {
         let addrs: Vec<CellAddr> = got.iter().map(|(a, _)| *a).collect();
         assert_eq!(
             addrs,
-            vec![CellAddr::new(1, 1), CellAddr::new(1, 3), CellAddr::new(2, 2)]
+            vec![
+                CellAddr::new(1, 1),
+                CellAddr::new(1, 3),
+                CellAddr::new(2, 2)
+            ]
         );
     }
 
@@ -334,7 +333,8 @@ mod tests {
     fn update_existing_cell_replaces_tuple() {
         let mut t = RcvTranslator::new(PosMapKind::Hierarchical);
         t.set_cell(0, 0, Cell::value(1i64)).unwrap();
-        t.set_cell(0, 0, Cell::value("now a much longer text value")).unwrap();
+        t.set_cell(0, 0, Cell::value("now a much longer text value"))
+            .unwrap();
         assert_eq!(t.filled_count(), 1);
         assert_eq!(
             t.get_cell(0, 0).unwrap().value,

@@ -159,11 +159,7 @@ impl RomTranslator {
             datums.clear();
             for &g in &live_groups {
                 datums.push(old.get(2 * g as usize).cloned().unwrap_or(Datum::Null));
-                datums.push(
-                    old.get(2 * g as usize + 1)
-                        .cloned()
-                        .unwrap_or(Datum::Null),
-                );
+                datums.push(old.get(2 * g as usize + 1).cloned().unwrap_or(Datum::Null));
             }
             new_tids.push(table.insert_prefix(&datums)?);
         }
@@ -508,7 +504,11 @@ mod tests {
 
     #[test]
     fn works_with_all_posmap_kinds() {
-        for kind in [PosMapKind::AsIs, PosMapKind::Monotonic, PosMapKind::Hierarchical] {
+        for kind in [
+            PosMapKind::AsIs,
+            PosMapKind::Monotonic,
+            PosMapKind::Hierarchical,
+        ] {
             let mut t = RomTranslator::new(kind);
             for r in 0..20 {
                 t.set_cell(r, 0, cell(r as i64)).unwrap();

@@ -384,8 +384,9 @@ impl SheetEngine {
             None => GridView::from_sheet(&snapshot),
         };
         let decomposition = match algorithm {
-            OptimizeAlgorithm::Dp => optimize_dp(&view, cm, opts)
-                .map_err(|e| EngineError::Unsupported(e.to_string()))?,
+            OptimizeAlgorithm::Dp => {
+                optimize_dp(&view, cm, opts).map_err(|e| EngineError::Unsupported(e.to_string()))?
+            }
             OptimizeAlgorithm::Greedy => optimize_greedy(&view, cm, opts),
             OptimizeAlgorithm::Agg => optimize_agg(&view, cm, opts),
             OptimizeAlgorithm::IncrementalAgg { eta } => {
@@ -460,13 +461,7 @@ impl SheetEngine {
             .get_cell(addr)
             .and_then(|c| c.formula)
             .or_else(|| self.parsed.get(&addr).map(|e| e.to_string()));
-        self.sheet.set_cell(
-            addr,
-            Cell {
-                value,
-                formula,
-            },
-        )?;
+        self.sheet.set_cell(addr, Cell { value, formula })?;
         self.cache.lock().invalidate(&addr);
         Ok(())
     }
@@ -634,7 +629,7 @@ mod tests {
         e.update_cell_a1("A2", "2").unwrap();
         e.update_cell_a1("A3", "=SUM(A1:A2)").unwrap();
         e.insert_rows(1, 2).unwrap(); // new rows at index 1 (above A2)
-        // The formula moved to A5 and now sums A1:A4.
+                                      // The formula moved to A5 and now sums A1:A4.
         let moved = e.sheet.get_cell(a("A5")).expect("formula moved");
         assert_eq!(moved.formula.as_deref(), Some("SUM(A1:A4)"));
         assert_eq!(e.value(a("A5")), CellValue::Number(3.0));
@@ -663,7 +658,9 @@ mod tests {
         e.update_cell_a1("B2", "100").unwrap();
         e.update_cell_a1("A3", "2").unwrap();
         e.update_cell_a1("B3", "250").unwrap();
-        let rect = e.link_table(Rect::parse_a1("A1:B3").unwrap(), "inv").unwrap();
+        let rect = e
+            .link_table(Rect::parse_a1("A1:B3").unwrap(), "inv")
+            .unwrap();
         assert!(e.database().read().contains("inv"));
         // The linked region now reads through from the table.
         let cells = e.get_cells(rect);
@@ -673,7 +670,8 @@ mod tests {
         e.storage_mut()
             .set_cell(first_data, Cell::value(999i64))
             .unwrap();
-        let r = e.sql("SELECT amount FROM inv ORDER BY amount DESC LIMIT 1", &[])
+        let r = e
+            .sql("SELECT amount FROM inv ORDER BY amount DESC LIMIT 1", &[])
             .unwrap();
         assert_eq!(r.rows[0][0], Datum::Float(999.0));
     }
@@ -696,7 +694,9 @@ mod tests {
             t.insert(&[Datum::Int(1), Datum::Int(10)]).unwrap();
             t.insert(&[Datum::Int(2), Datum::Int(20)]).unwrap();
         }
-        let rel = e.sql("SELECT x, y FROM t WHERE y > ?", &[Datum::Int(15)]).unwrap();
+        let rel = e
+            .sql("SELECT x, y FROM t WHERE y > ?", &[Datum::Int(15)])
+            .unwrap();
         assert_eq!(rel.len(), 1);
         e.place_composite(a("A8"), rel);
         e.index_composite(a("A8"), 1, 2, a("A9")).unwrap();

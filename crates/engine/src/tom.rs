@@ -111,9 +111,7 @@ impl Translator for TomTranslator {
             .columns()
             .get(col as usize)
             .map(|c| c.ty)
-            .ok_or_else(|| {
-                EngineError::Unsupported(format!("column {col} beyond linked table"))
-            })?;
+            .ok_or_else(|| EngineError::Unsupported(format!("column {col} beyond linked table")))?;
         tuple[col as usize] = coerce(&cell.value, ty);
         table.update(tid, &tuple)?;
         Ok(())
@@ -257,15 +255,7 @@ mod tests {
     fn cell_updates_write_through() {
         let (db, mut tom) = linked();
         tom.set_cell(0, 1, Cell::value(99i64)).unwrap();
-        let amount = db
-            .read()
-            .table("inv")
-            .unwrap()
-            .scan()
-            .next()
-            .unwrap()
-            .1[1]
-            .clone();
+        let amount = db.read().table("inv").unwrap().scan().next().unwrap().1[1].clone();
         assert_eq!(amount, Datum::Float(99.0));
         // Int columns receive coerced integers.
         tom.set_cell(0, 0, Cell::value(7i64)).unwrap();

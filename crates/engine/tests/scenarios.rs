@@ -23,7 +23,8 @@ fn seeded_engine() -> SheetEngine {
     }
     e.update_cell_a1("A52", "=SUM(A1:A50)").unwrap();
     e.update_cell_a1("B52", "=AVERAGE(B1:B50)").unwrap();
-    e.update_cell_a1("C52", "=COUNTIF(C1:C50,\">100\")").unwrap();
+    e.update_cell_a1("C52", "=COUNTIF(C1:C50,\">100\")")
+        .unwrap();
     e.update_cell_a1("D52", "=VLOOKUP(10,A1:D50,4)").unwrap();
     e
 }
@@ -65,7 +66,11 @@ fn formulas_survive_every_optimizer() {
 
 #[test]
 fn formulas_work_across_posmap_kinds() {
-    for kind in [PosMapKind::AsIs, PosMapKind::Monotonic, PosMapKind::Hierarchical] {
+    for kind in [
+        PosMapKind::AsIs,
+        PosMapKind::Monotonic,
+        PosMapKind::Hierarchical,
+    ] {
         let mut e = SheetEngine::with_posmap(kind);
         e.update_cell_a1("A1", "2").unwrap();
         e.update_cell_a1("A2", "3").unwrap();
@@ -99,11 +104,13 @@ fn linked_table_survives_database_save_load() {
     e.update_cell_a1("A1", "id").unwrap();
     e.update_cell_a1("B1", "qty").unwrap();
     for i in 0..5 {
-        e.update_cell(CellAddr::new(1 + i, 0), &format!("{}", i + 1)).unwrap();
+        e.update_cell(CellAddr::new(1 + i, 0), &format!("{}", i + 1))
+            .unwrap();
         e.update_cell(CellAddr::new(1 + i, 1), &format!("{}", (i + 1) * 10))
             .unwrap();
     }
-    e.link_table(Rect::parse_a1("A1:B6").unwrap(), "orders").unwrap();
+    e.link_table(Rect::parse_a1("A1:B6").unwrap(), "orders")
+        .unwrap();
 
     let path = std::env::temp_dir().join(format!("ds-scenario-{}.db", std::process::id()));
     e.database().read().save(&path).unwrap();
@@ -125,10 +132,7 @@ fn scrolling_windows_are_consistent_after_edits() {
     let w2 = e.get_cells(Rect::new(10, 0, 21, 3));
     assert_eq!(w2.len(), 40, "two blank rows inside the window");
     // Row 15 shifted to 17: value (16)*(c+1).
-    assert_eq!(
-        e.value(CellAddr::new(17, 2)),
-        CellValue::Number(16.0 * 3.0)
-    );
+    assert_eq!(e.value(CellAddr::new(17, 2)), CellValue::Number(16.0 * 3.0));
     e.delete_rows(15, 2).unwrap();
     let w3 = e.get_cells(Rect::new(10, 0, 19, 3));
     assert_eq!(w3, w1, "delete undoes insert");
@@ -143,9 +147,11 @@ fn sumif_and_lookup_functions_on_stored_data() {
         e.update_cell(CellAddr::new(i as u32, 1), &format!("{}", (i + 1) * 10))
             .unwrap();
     }
-    e.update_cell_a1("D1", "=SUMIF(A1:A5,\"apple\",B1:B5)").unwrap();
+    e.update_cell_a1("D1", "=SUMIF(A1:A5,\"apple\",B1:B5)")
+        .unwrap();
     e.update_cell_a1("D2", "=MATCH(\"cherry\",A1:A5)").unwrap();
-    e.update_cell_a1("D3", "=INDEX(B1:B5,MATCH(\"banana\",A1:A5))").unwrap();
+    e.update_cell_a1("D3", "=INDEX(B1:B5,MATCH(\"banana\",A1:A5))")
+        .unwrap();
     assert_eq!(e.value(a("D1")), CellValue::Number(10.0 + 30.0 + 50.0));
     assert_eq!(e.value(a("D2")), CellValue::Number(4.0));
     assert_eq!(e.value(a("D3")), CellValue::Number(20.0));
@@ -168,7 +174,11 @@ fn wide_import_respects_projection_reads() {
     // whole tuples (this is a smoke test for the projected-decode path).
     let mut e = SheetEngine::new();
     let rows: Vec<Vec<CellValue>> = (0..100)
-        .map(|r| (0..200).map(|c| CellValue::Number((r * 200 + c) as f64)).collect())
+        .map(|r| {
+            (0..200)
+                .map(|c| CellValue::Number((r * 200 + c) as f64))
+                .collect()
+        })
         .collect();
     e.import_rows(a("A1"), 200, rows).unwrap();
     assert_eq!(e.value(CellAddr::new(50, 199)), CellValue::Number(10199.0));

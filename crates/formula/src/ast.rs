@@ -170,7 +170,10 @@ mod tests {
             BinOp::Add,
             Box::new(Expr::Func(
                 "SUM".into(),
-                vec![Expr::Range(CellRef::relative(0, 0), CellRef::relative(9, 0))],
+                vec![Expr::Range(
+                    CellRef::relative(0, 0),
+                    CellRef::relative(9, 0),
+                )],
             )),
             Box::new(Expr::Number(2.0)),
         );

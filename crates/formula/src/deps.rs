@@ -118,11 +118,7 @@ impl DependencyGraph {
                 }
             }
         }
-        let mut ready: Vec<CellAddr> = nodes
-            .iter()
-            .copied()
-            .filter(|n| indeg[n] == 0)
-            .collect();
+        let mut ready: Vec<CellAddr> = nodes.iter().copied().filter(|n| indeg[n] == 0).collect();
         // Deterministic order helps tests and users.
         ready.sort();
         let mut order = Vec::with_capacity(nodes.len());
@@ -142,10 +138,7 @@ impl DependencyGraph {
                 queue.extend(unlocked);
             }
         }
-        let mut cyclic: Vec<CellAddr> = nodes
-            .into_iter()
-            .filter(|n| indeg[n] > 0)
-            .collect();
+        let mut cyclic: Vec<CellAddr> = nodes.into_iter().filter(|n| indeg[n] > 0).collect();
         cyclic.sort();
         RecomputePlan { order, cyclic }
     }

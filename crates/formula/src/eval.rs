@@ -248,9 +248,7 @@ fn compare(a: &CellValue, b: &CellValue) -> std::cmp::Ordering {
         }
     }
     match (a, b) {
-        (CellValue::Text(x), CellValue::Text(y)) => {
-            x.to_lowercase().cmp(&y.to_lowercase())
-        }
+        (CellValue::Text(x), CellValue::Text(y)) => x.to_lowercase().cmp(&y.to_lowercase()),
         (CellValue::Text(x), CellValue::Empty) => x.to_lowercase().cmp(&String::new()),
         (CellValue::Empty, CellValue::Text(y)) => String::new().cmp(&y.to_lowercase()),
         (CellValue::Bool(x), CellValue::Bool(y)) => x.cmp(y),
@@ -675,9 +673,7 @@ impl Ctx<'_> {
         }
         for r in rect.r1..=rect.r2 {
             let candidate = self.reader.value(CellAddr::new(r, rect.c1));
-            if compare(&candidate, &key) == std::cmp::Ordering::Equal
-                && !candidate.is_empty()
-            {
+            if compare(&candidate, &key) == std::cmp::Ordering::Equal && !candidate.is_empty() {
                 return self
                     .reader
                     .value(CellAddr::new(r, rect.c1 + col_index as u32 - 1));
@@ -704,9 +700,7 @@ impl Ctx<'_> {
         }
         for c in rect.c1..=rect.c2 {
             let candidate = self.reader.value(CellAddr::new(rect.r1, c));
-            if compare(&candidate, &key) == std::cmp::Ordering::Equal
-                && !candidate.is_empty()
-            {
+            if compare(&candidate, &key) == std::cmp::Ordering::Equal && !candidate.is_empty() {
                 return self
                     .reader
                     .value(CellAddr::new(rect.r1 + row_index as u32 - 1, c));
@@ -752,9 +746,13 @@ impl Ctx<'_> {
             return CellValue::Error(CellError::Value);
         };
         let cells: Vec<CellAddr> = if rect.cols() == 1 {
-            (rect.r1..=rect.r2).map(|r| CellAddr::new(r, rect.c1)).collect()
+            (rect.r1..=rect.r2)
+                .map(|r| CellAddr::new(r, rect.c1))
+                .collect()
         } else if rect.rows() == 1 {
-            (rect.c1..=rect.c2).map(|c| CellAddr::new(rect.r1, c)).collect()
+            (rect.c1..=rect.c2)
+                .map(|c| CellAddr::new(rect.r1, c))
+                .collect()
         } else {
             return CellValue::Error(CellError::Na);
         };
@@ -855,7 +853,10 @@ impl Criteria {
         if v.is_empty() {
             return false;
         }
-        matches!(binary(self.op, v.clone(), self.rhs.clone()), CellValue::Bool(true))
+        matches!(
+            binary(self.op, v.clone(), self.rhs.clone()),
+            CellValue::Bool(true)
+        )
     }
 }
 
@@ -870,7 +871,10 @@ mod tests {
         for i in 0..5u32 {
             s.set_value(CellAddr::new(i, 0), (i + 1) as i64);
         }
-        for (i, w) in ["apple", "banana", "cherry", "apple", "fig"].iter().enumerate() {
+        for (i, w) in ["apple", "banana", "cherry", "apple", "fig"]
+            .iter()
+            .enumerate()
+        {
             s.set_value(CellAddr::new(i as u32, 1), *w);
         }
         s.set_value(CellAddr::new(0, 2), true);
@@ -968,7 +972,10 @@ mod tests {
         assert_eq!(eval("RIGHT(B1,2)", &s), CellValue::Text("le".into()));
         assert_eq!(eval("MID(B1,2,3)", &s), CellValue::Text("ppl".into()));
         assert_eq!(num("SEARCH(\"PLE\",B1)", &s), 3.0);
-        assert_eq!(eval("SEARCH(\"zz\",B1)", &s), CellValue::Error(CellError::Value));
+        assert_eq!(
+            eval("SEARCH(\"zz\",B1)", &s),
+            CellValue::Error(CellError::Value)
+        );
     }
 
     #[test]
@@ -979,10 +986,19 @@ mod tests {
             eval("VLOOKUP(3,A1:B5,2)", &s),
             CellValue::Text("cherry".into())
         );
-        assert_eq!(eval("VLOOKUP(99,A1:B5,2)", &s), CellValue::Error(CellError::Na));
-        assert_eq!(eval("VLOOKUP(3,A1:B5,9)", &s), CellValue::Error(CellError::Ref));
+        assert_eq!(
+            eval("VLOOKUP(99,A1:B5,2)", &s),
+            CellValue::Error(CellError::Na)
+        );
+        assert_eq!(
+            eval("VLOOKUP(3,A1:B5,9)", &s),
+            CellValue::Error(CellError::Ref)
+        );
         assert_eq!(num("MATCH(\"cherry\",B1:B5)", &s), 3.0);
-        assert_eq!(eval("INDEX(A1:B5,3,2)", &s), CellValue::Text("cherry".into()));
+        assert_eq!(
+            eval("INDEX(A1:B5,3,2)", &s),
+            CellValue::Text("cherry".into())
+        );
         assert_eq!(num("HLOOKUP(1,A1:B5,2)", &s), 2.0);
     }
 
@@ -1029,6 +1045,10 @@ mod tests {
         let s = sheet();
         assert_eq!(eval("\"Apple\"=\"apple\"", &s), CellValue::Bool(true));
         assert_eq!(eval("2>1", &s), CellValue::Bool(true));
-        assert_eq!(eval("\"a\">2", &s), CellValue::Bool(true), "text sorts above numbers");
+        assert_eq!(
+            eval("\"a\">2", &s),
+            CellValue::Bool(true),
+            "text sorts above numbers"
+        );
     }
 }

@@ -235,7 +235,10 @@ mod tests {
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(toks("\"he said \"\"hi\"\"\""), vec![Token::Text("he said \"hi\"".into())]);
+        assert_eq!(
+            toks("\"he said \"\"hi\"\"\""),
+            vec![Token::Text("he said \"hi\"".into())]
+        );
         assert!(lex("\"open").is_err());
     }
 

@@ -176,9 +176,7 @@ impl Parser {
                             match self.bump() {
                                 Some(Token::Comma) => continue,
                                 Some(Token::RParen) => break,
-                                _ => {
-                                    return Err(ParseError::new(at, "expected , or ) in call"))
-                                }
+                                _ => return Err(ParseError::new(at, "expected , or ) in call")),
                             }
                         }
                     }

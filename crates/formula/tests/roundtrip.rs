@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use dataspread_formula::ast::{BinOp, CellRef, Expr, UnOp};
-use dataspread_formula::refs::{cells_accessed, collect_ranges, rewrite, Shift};
 use dataspread_formula::parse;
+use dataspread_formula::refs::{cells_accessed, collect_ranges, rewrite, Shift};
 
 /// Random expressions over a bounded grid.
 fn expr_strategy() -> impl Strategy<Value = Expr> {
@@ -22,10 +22,7 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
             })
         }),
         (0u32..50, 0u32..20, 0u32..5, 0u32..3).prop_map(|(r, c, dr, dc)| {
-            Expr::Range(
-                CellRef::relative(r, c),
-                CellRef::relative(r + dr, c + dc),
-            )
+            Expr::Range(CellRef::relative(r, c), CellRef::relative(r + dr, c + dc))
         }),
     ];
     leaf.prop_recursive(4, 32, 4, |inner| {
@@ -45,14 +42,14 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 Box::new(a),
                 Box::new(b)
             )),
-            inner.clone().prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
+            inner
+                .clone()
+                .prop_map(|e| Expr::Unary(UnOp::Neg, Box::new(e))),
             inner.clone().prop_map(|e| Expr::Percent(Box::new(e))),
             prop::collection::vec(inner.clone(), 0..3)
                 .prop_map(|args| Expr::Func("SUM".into(), args)),
-            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Expr::Func(
-                "IF".into(),
-                vec![a, b, c]
-            )),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c)| Expr::Func("IF".into(), vec![a, b, c])),
         ]
     })
 }

@@ -37,8 +37,7 @@ impl fmt::Display for CellError {
 }
 
 /// The value held by (or computed for) a cell.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum CellValue {
     /// An empty cell (blank).
     #[default]
@@ -153,7 +152,6 @@ pub struct Cell {
     /// Formula source *without* the leading `=`, e.g. `AVERAGE(B2:C2)+D2`.
     pub formula: Option<String>,
 }
-
 
 impl Cell {
     pub fn value(v: impl Into<CellValue>) -> Self {

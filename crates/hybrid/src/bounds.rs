@@ -72,7 +72,10 @@ mod tests {
 
     #[test]
     fn empty_sheet_bound_is_zero() {
-        assert_eq!(opt_lower_bound(&SparseSheet::new(), &CostModel::postgres()), 0.0);
+        assert_eq!(
+            opt_lower_bound(&SparseSheet::new(), &CostModel::postgres()),
+            0.0
+        );
     }
 
     #[test]
@@ -82,7 +85,10 @@ mod tests {
         assert_eq!(table_count_upper_bound(0, &cm), 1);
         // e = 65536 empty cells: 65536 * 0.125 / 8192 + 1 = 2.
         assert_eq!(table_count_upper_bound(65_536, &cm), 2);
-        assert_eq!(table_count_upper_bound(u64::MAX, &CostModel::ideal()), u64::MAX);
+        assert_eq!(
+            table_count_upper_bound(u64::MAX, &CostModel::ideal()),
+            u64::MAX
+        );
     }
 
     #[test]

@@ -402,6 +402,9 @@ mod tests {
         let view = GridView::from_sheet(&s);
         let d = optimize_dp(&view, &CostModel::ideal(), &OptimizerOptions::default()).unwrap();
         assert!(d.is_recoverable(&s));
-        assert!(d.table_count() >= 4, "pinwheel needs at least 4 pieces + extras");
+        assert!(
+            d.table_count() >= 4,
+            "pinwheel needs at least 4 pieces + extras"
+        );
     }
 }

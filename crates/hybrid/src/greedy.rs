@@ -202,8 +202,7 @@ mod tests {
             0
         );
         assert_eq!(
-            optimize_agg(&view, &CostModel::postgres(), &OptimizerOptions::default())
-                .table_count(),
+            optimize_agg(&view, &CostModel::postgres(), &OptimizerOptions::default()).table_count(),
             0
         );
     }

@@ -101,7 +101,13 @@ fn fully_dense(view: &GridView, r1: usize, c1: usize, r2: usize, c2: usize) -> b
 }
 
 /// Aggressive-greedy recursion with the keep-as-is candidate.
-fn agg_rec(ctx: &Ctx<'_>, r1: usize, c1: usize, r2: usize, c2: usize) -> (f64, Vec<(Region, bool)>) {
+fn agg_rec(
+    ctx: &Ctx<'_>,
+    r1: usize,
+    c1: usize,
+    r2: usize,
+    c2: usize,
+) -> (f64, Vec<(Region, bool)>) {
     if ctx.view.filled_weighted(r1, c1, r2, c2) == 0 {
         return (0.0, Vec::new());
     }
@@ -301,9 +307,7 @@ mod tests {
         );
         let scratch = optimize_agg(&GridView::from_sheet(&s), &cm, &OptimizerOptions::default());
         let view = GridView::from_sheet(&s);
-        assert!(
-            (new.storage_cost(&view, &cm) - scratch.storage_cost(&view, &cm)).abs() < 1e-6
-        );
+        assert!((new.storage_cost(&view, &cm) - scratch.storage_cost(&view, &cm)).abs() < 1e-6);
         assert_eq!(stats.kept_tables, 0);
         assert_eq!(stats.migrated_cells, s.filled_count() as u64);
     }

@@ -101,9 +101,7 @@ impl GridView {
         let mut prev: Option<&Vec<u32>> = None;
         for r in bbox.r1..=bbox.r2 {
             let pat = rows.get(&r).unwrap_or(&EMPTY);
-            let cap_hit = row_start
-                .last()
-                .is_some_and(|&s| r - s >= max_band_rows);
+            let cap_hit = row_start.last().is_some_and(|&s| r - s >= max_band_rows);
             let force = row_bound_set.contains(&r) || !collapse || cap_hit;
             if force || prev != Some(pat) {
                 row_start.push(r);
@@ -130,9 +128,7 @@ impl GridView {
         let mut prev: Option<&Vec<u32>> = None;
         for (i, sig) in col_sig.iter().enumerate() {
             let c = bbox.c1 + i as u32;
-            let cap_hit = col_start
-                .last()
-                .is_some_and(|&s| c - s >= max_band_cols);
+            let cap_hit = col_start.last().is_some_and(|&s| c - s >= max_band_cols);
             let force = col_bound_set.contains(&c) || !collapse || cap_hit;
             if force || prev != Some(sig) {
                 col_start.push(c);

@@ -13,8 +13,7 @@ use proptest::prelude::*;
 use dataspread_grid::{CellAddr, SparseSheet};
 use dataspread_hybrid::dp::{dp_cost, explicit_tree_cost, optimize_dp};
 use dataspread_hybrid::{
-    opt_lower_bound, optimize_agg, optimize_greedy, CostModel, GridView, ModelSet,
-    OptimizerOptions,
+    opt_lower_bound, optimize_agg, optimize_greedy, CostModel, GridView, ModelSet, OptimizerOptions,
 };
 
 /// Random small sheets: a few dense blocks plus scattered cells in a 16x16

@@ -31,7 +31,11 @@ impl<T> PositionAsIs<T> {
 impl<T> FromIterator<T> for PositionAsIs<T> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
         PositionAsIs {
-            entries: iter.into_iter().enumerate().map(|(i, v)| (i as u64, v)).collect(),
+            entries: iter
+                .into_iter()
+                .enumerate()
+                .map(|(i, v)| (i as u64, v))
+                .collect(),
         }
     }
 }

@@ -627,7 +627,9 @@ mod tests {
         // Deterministic pseudo-random positions.
         let mut state = 0x9E3779B97F4A7C15u64;
         while !oracle.is_empty() {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let pos = (state >> 33) as usize % oracle.len();
             assert_eq!(m.remove_at(pos), Some(oracle.remove(pos)));
         }

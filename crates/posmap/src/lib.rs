@@ -116,7 +116,11 @@ mod trait_tests {
 
     #[test]
     fn all_kinds_satisfy_contract() {
-        for kind in [PosMapKind::AsIs, PosMapKind::Monotonic, PosMapKind::Hierarchical] {
+        for kind in [
+            PosMapKind::AsIs,
+            PosMapKind::Monotonic,
+            PosMapKind::Hierarchical,
+        ] {
             exercise(new_posmap::<u32>(kind));
         }
     }

@@ -140,7 +140,10 @@ mod tests {
         for i in 0..40 {
             m.insert_at(1, 100 + i);
         }
-        assert!(m.renumber_count() > 0, "gap of 2^20 must exhaust within 40 bisections");
+        assert!(
+            m.renumber_count() > 0,
+            "gap of 2^20 must exhaust within 40 bisections"
+        );
         // Order must survive renumbering: position 0 and last are untouched.
         assert_eq!(m.get(0), Some(&0));
         assert_eq!(m.get(m.len() - 1), Some(&1));

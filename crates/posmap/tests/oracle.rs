@@ -52,8 +52,7 @@ fn run_against_oracle<M: PositionalMap<u32>>(mut map: M, ops: &[Op], check: impl
             }
             Op::Range(s, c) => {
                 let got: Vec<u32> = map.range(s, c).into_iter().copied().collect();
-                let expected: Vec<u32> =
-                    oracle.iter().skip(s).take(c).copied().collect();
+                let expected: Vec<u32> = oracle.iter().skip(s).take(c).copied().collect();
                 assert_eq!(got, expected);
             }
         }

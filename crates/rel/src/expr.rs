@@ -67,9 +67,10 @@ impl RowExpr {
     pub fn contains_aggregate(&self) -> bool {
         match self {
             RowExpr::Aggregate(..) => true,
-            RowExpr::Cmp(_, a, b) | RowExpr::Arith(_, a, b) | RowExpr::And(a, b) | RowExpr::Or(a, b) => {
-                a.contains_aggregate() || b.contains_aggregate()
-            }
+            RowExpr::Cmp(_, a, b)
+            | RowExpr::Arith(_, a, b)
+            | RowExpr::And(a, b)
+            | RowExpr::Or(a, b) => a.contains_aggregate() || b.contains_aggregate(),
             RowExpr::Not(e) | RowExpr::IsNull(e, _) => e.contains_aggregate(),
             _ => false,
         }
@@ -78,15 +79,12 @@ impl RowExpr {
     /// Substitute `?` parameters with literal values.
     pub fn bind(&self, params: &[Datum]) -> Result<RowExpr, RelError> {
         Ok(match self {
-            RowExpr::Param(i) => RowExpr::Literal(
-                params
-                    .get(*i)
-                    .cloned()
-                    .ok_or(RelError::ParamCount {
-                        expected: i + 1,
-                        got: params.len(),
-                    })?,
-            ),
+            RowExpr::Param(i) => {
+                RowExpr::Literal(params.get(*i).cloned().ok_or(RelError::ParamCount {
+                    expected: i + 1,
+                    got: params.len(),
+                })?)
+            }
             RowExpr::Cmp(op, a, b) => {
                 RowExpr::Cmp(*op, Box::new(a.bind(params)?), Box::new(b.bind(params)?))
             }
@@ -96,9 +94,7 @@ impl RowExpr {
             RowExpr::And(a, b) => {
                 RowExpr::And(Box::new(a.bind(params)?), Box::new(b.bind(params)?))
             }
-            RowExpr::Or(a, b) => {
-                RowExpr::Or(Box::new(a.bind(params)?), Box::new(b.bind(params)?))
-            }
+            RowExpr::Or(a, b) => RowExpr::Or(Box::new(a.bind(params)?), Box::new(b.bind(params)?)),
             RowExpr::Not(e) => RowExpr::Not(Box::new(e.bind(params)?)),
             RowExpr::IsNull(e, n) => RowExpr::IsNull(Box::new(e.bind(params)?), *n),
             RowExpr::Aggregate(f, e) => RowExpr::Aggregate(
@@ -283,13 +279,13 @@ mod tests {
     fn bind_parameters() {
         let e = RowExpr::col("a").eq(RowExpr::Param(0));
         let bound = e.bind(&[Datum::Int(9)]).unwrap();
-        assert_eq!(
-            bound,
-            RowExpr::col("a").eq(RowExpr::lit(9i64))
-        );
+        assert_eq!(bound, RowExpr::col("a").eq(RowExpr::lit(9i64)));
         assert!(matches!(
             e.bind(&[]),
-            Err(RelError::ParamCount { expected: 1, got: 0 })
+            Err(RelError::ParamCount {
+                expected: 1,
+                got: 0
+            })
         ));
     }
 

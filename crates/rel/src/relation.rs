@@ -192,7 +192,10 @@ mod tests {
         assert_eq!(cmp_datum(&Datum::Null, &Datum::Int(0)), Less);
         assert_eq!(cmp_datum(&Datum::Int(2), &Datum::Float(2.0)), Equal);
         assert_eq!(cmp_datum(&Datum::Int(3), &Datum::Float(2.5)), Greater);
-        assert_eq!(cmp_datum(&Datum::Text("a".into()), &Datum::Text("b".into())), Less);
+        assert_eq!(
+            cmp_datum(&Datum::Text("a".into()), &Datum::Text("b".into())),
+            Less
+        );
         assert_eq!(cmp_datum(&Datum::Int(999), &Datum::Text("".into())), Less);
     }
 

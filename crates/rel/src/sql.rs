@@ -231,14 +231,16 @@ impl Parser {
     }
 
     fn eat_symbol(&mut self, s: &str) -> bool {
-        if self.peek() == Some(&Tok::Symbol(match s {
-            "(" => "(",
-            ")" => ")",
-            "," => ",",
-            "*" => "*",
-            "." => ".",
-            _ => return self.eat_symbol_slow(s),
-        })) {
+        if self.peek()
+            == Some(&Tok::Symbol(match s {
+                "(" => "(",
+                ")" => ")",
+                "," => ",",
+                "*" => "*",
+                "." => ".",
+                _ => return self.eat_symbol_slow(s),
+            }))
+        {
             self.pos += 1;
             true
         } else {
@@ -275,7 +277,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, RelError> {
         match self.bump() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(RelError::Syntax(format!("expected identifier, got {other:?}"))),
+            other => Err(RelError::Syntax(format!(
+                "expected identifier, got {other:?}"
+            ))),
         }
     }
 
@@ -774,7 +778,11 @@ fn derived_name(expr: &RowExpr, idx: usize) -> String {
 }
 
 impl SelectStmt {
-    fn execute(&self, provider: &dyn TableProvider, params: &[Datum]) -> Result<Relation, RelError> {
+    fn execute(
+        &self,
+        provider: &dyn TableProvider,
+        params: &[Datum],
+    ) -> Result<Relation, RelError> {
         // Check parameter count across the whole statement.
         // (Binding errors below also catch missing params.)
         // FROM + JOINs.
@@ -810,14 +818,14 @@ impl SelectStmt {
         for (i, item) in self.items.iter().enumerate() {
             if item.star {
                 for c in &current.columns {
-                    items.push((RowExpr::Column(c.clone()), derived_name(&RowExpr::Column(c.clone()), 0)));
+                    items.push((
+                        RowExpr::Column(c.clone()),
+                        derived_name(&RowExpr::Column(c.clone()), 0),
+                    ));
                 }
             } else {
                 let e = item.expr.bind(params)?;
-                let name = item
-                    .alias
-                    .clone()
-                    .unwrap_or_else(|| derived_name(&e, i));
+                let name = item.alias.clone().unwrap_or_else(|| derived_name(&e, i));
                 items.push((e, name));
             }
         }
@@ -1010,7 +1018,10 @@ mod tests {
             "SELECT supp_id, COUNT(*) AS n, SUM(amount) AS total FROM invoice GROUP BY supp_id ORDER BY supp_id",
         );
         assert_eq!(r.len(), 3);
-        assert_eq!(r.rows[0], vec![Datum::Int(10), Datum::Int(2), Datum::Float(350.0)]);
+        assert_eq!(
+            r.rows[0],
+            vec![Datum::Int(10), Datum::Int(2), Datum::Float(350.0)]
+        );
         // NULL amounts are skipped by SUM → group 30 sums to NULL.
         assert_eq!(r.rows[2][2], Datum::Null);
     }
@@ -1023,14 +1034,15 @@ mod tests {
         let Datum::Float(avg) = r.rows[0][1] else {
             panic!("avg should be float")
         };
-        assert!((avg - (100.0 + 250.0 + 75.0) / 3.0).abs() < 1e-9, "NULL skipped");
+        assert!(
+            (avg - (100.0 + 250.0 + 75.0) / 3.0).abs() < 1e-9,
+            "NULL skipped"
+        );
     }
 
     #[test]
     fn having_filters_groups() {
-        let r = run(
-            "SELECT supp_id FROM invoice GROUP BY supp_id HAVING COUNT(*) > 1",
-        );
+        let r = run("SELECT supp_id FROM invoice GROUP BY supp_id HAVING COUNT(*) > 1");
         assert_eq!(r.len(), 1);
         assert_eq!(r.rows[0][0], Datum::Int(10));
     }
@@ -1087,7 +1099,8 @@ mod tests {
 
     #[test]
     fn table_aliases() {
-        let r = run("SELECT i.id FROM invoice i JOIN supp s ON i.supp_id = s.id WHERE s.name = 'acme'");
+        let r =
+            run("SELECT i.id FROM invoice i JOIN supp s ON i.supp_id = s.id WHERE s.name = 'acme'");
         assert_eq!(r.len(), 2);
     }
 

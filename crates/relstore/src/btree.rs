@@ -221,12 +221,7 @@ impl<K: Ord + Clone, V> Node<K, V> {
         }
     }
 
-    fn collect_range<'a>(
-        &'a self,
-        lo: Bound<&K>,
-        hi: Bound<&K>,
-        out: &mut Vec<(&'a K, &'a V)>,
-    ) {
+    fn collect_range<'a>(&'a self, lo: Bound<&K>, hi: Bound<&K>, out: &mut Vec<(&'a K, &'a V)>) {
         let above_lo = |k: &K| match lo {
             Bound::Included(b) => k >= b,
             Bound::Excluded(b) => k > b,
@@ -420,8 +415,7 @@ mod tests {
                 .into_iter()
                 .map(|(k, v)| (*k, *v))
                 .collect();
-            let want: Vec<(u32, u32)> =
-                oracle.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
+            let want: Vec<(u32, u32)> = oracle.range(lo..=hi).map(|(k, v)| (*k, *v)).collect();
             assert_eq!(got, want, "range {lo}..={hi}");
         }
     }

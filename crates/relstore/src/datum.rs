@@ -318,13 +318,19 @@ mod tests {
             decode_row_project(&bytes, &[1, 3]).unwrap(),
             vec![Datum::Text("abc".into()), Datum::Float(2.5)]
         );
-        assert_eq!(decode_row_project(&bytes, &[0]).unwrap(), vec![Datum::Int(1)]);
+        assert_eq!(
+            decode_row_project(&bytes, &[0]).unwrap(),
+            vec![Datum::Int(1)]
+        );
         // Beyond arity pads with NULL.
         assert_eq!(
             decode_row_project(&bytes, &[4, 9]).unwrap(),
             vec![Datum::Bool(true), Datum::Null]
         );
-        assert_eq!(decode_row_project(&bytes, &[]).unwrap(), Vec::<Datum>::new());
+        assert_eq!(
+            decode_row_project(&bytes, &[]).unwrap(),
+            Vec::<Datum>::new()
+        );
     }
 
     #[test]

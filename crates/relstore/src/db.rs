@@ -138,7 +138,10 @@ mod tests {
             db.create_table("t1", schema()),
             Err(StoreError::TableExists(_))
         ));
-        db.table_mut("t1").unwrap().insert(&[Datum::Int(1)]).unwrap();
+        db.table_mut("t1")
+            .unwrap()
+            .insert(&[Datum::Int(1)])
+            .unwrap();
         assert_eq!(db.table("t1").unwrap().row_count(), 1);
         db.drop_table("t1").unwrap();
         assert!(matches!(db.table("t1"), Err(StoreError::NoSuchTable(_))));

@@ -40,7 +40,10 @@ impl Default for Page {
 impl Page {
     pub fn new() -> Self {
         Page {
-            data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("PAGE_SIZE"),
+            data: vec![0u8; PAGE_SIZE]
+                .into_boxed_slice()
+                .try_into()
+                .expect("PAGE_SIZE"),
             n_slots: 0,
             free_end: PAGE_SIZE as u16,
             live: 0,
@@ -258,7 +261,11 @@ mod tests {
         while p.insert(&[2u8; 200]).is_some() {}
         let big = vec![3u8; 4000];
         assert!(!p.update(s, &big), "no room to grow");
-        assert_eq!(p.get(s), Some(&[1u8; 16][..]), "failed update must not clobber");
+        assert_eq!(
+            p.get(s),
+            Some(&[1u8; 16][..]),
+            "failed update must not clobber"
+        );
     }
 
     #[test]

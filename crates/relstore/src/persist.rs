@@ -217,8 +217,11 @@ mod tests {
         let survivor = t.scan().next().unwrap().0;
         t.update(survivor, &[Datum::Int(-1), Datum::Text("updated".into())])
             .unwrap();
-        db.create_table("empty", Schema::new(vec![ColumnDef::new("x", DataType::Any)]))
-            .unwrap();
+        db.create_table(
+            "empty",
+            Schema::new(vec![ColumnDef::new("x", DataType::Any)]),
+        )
+        .unwrap();
         db
     }
 

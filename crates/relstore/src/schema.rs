@@ -113,7 +113,11 @@ mod tests {
         assert!(s.validate(&[Datum::Null, Datum::Null, Datum::Null]).is_ok());
         assert!(s.validate(&[Datum::Int(1)]).is_err());
         assert!(s
-            .validate(&[Datum::Text("x".into()), Datum::Text("a".into()), Datum::Null])
+            .validate(&[
+                Datum::Text("x".into()),
+                Datum::Text("a".into()),
+                Datum::Null
+            ])
             .is_err());
     }
 }

@@ -42,12 +42,7 @@ impl Table {
     }
 
     /// Reassemble a table from persisted parts.
-    pub fn from_parts(
-        name: &str,
-        schema: Schema,
-        heap: HeapFile,
-        row_count: u64,
-    ) -> Self {
+    pub fn from_parts(name: &str, schema: Schema, heap: HeapFile, row_count: u64) -> Self {
         Table {
             name: name.to_string(),
             schema,
@@ -241,7 +236,8 @@ mod tests {
     fn add_column_pads_old_rows_with_null() {
         let mut t = table();
         let tid = t.insert(&[Datum::Int(1), Datum::Text("a".into())]).unwrap();
-        t.add_column(ColumnDef::new("extra", DataType::Float)).unwrap();
+        t.add_column(ColumnDef::new("extra", DataType::Float))
+            .unwrap();
         let row = t.fetch(tid).unwrap();
         assert_eq!(row.len(), 3);
         assert_eq!(row[2], Datum::Null);
@@ -266,7 +262,9 @@ mod tests {
         let tid = t.insert_prefix(&[Datum::Int(9)]).unwrap();
         let row = t.fetch(tid).unwrap();
         assert_eq!(row, vec![Datum::Int(9), Datum::Null]);
-        assert!(t.insert_prefix(&[Datum::Int(1), Datum::Null, Datum::Null]).is_err());
+        assert!(t
+            .insert_prefix(&[Datum::Int(1), Datum::Null, Datum::Null])
+            .is_err());
     }
 
     #[test]
@@ -274,7 +272,8 @@ mod tests {
         let mut t = table();
         let empty = t.accounted_bytes();
         assert_eq!(empty, PAGE_SIZE as u64 + 2 * COLUMN_CATALOG_BYTES);
-        t.insert(&[Datum::Int(1), Datum::Text("abcd".into())]).unwrap();
+        t.insert(&[Datum::Int(1), Datum::Text("abcd".into())])
+            .unwrap();
         let one = t.accounted_bytes();
         assert!(one > empty + TUPLE_HEADER_BYTES);
         assert!(t.physical_bytes() >= PAGE_SIZE as u64);

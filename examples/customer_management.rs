@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          GROUP BY s.name ORDER BY total DESC",
         &[],
     )?;
-    println!("\nper-supplier totals (sql function):\n{}", per_supplier.to_text());
+    println!(
+        "\nper-supplier totals (sql function):\n{}",
+        per_supplier.to_text()
+    );
 
     // Spill the composite value onto the sheet via index().
     let at = CellAddr::parse_a1("A45")?;
@@ -61,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sheet.index_composite(at, i, j, CellAddr::new(44 + i as u32, (j - 1) as u32))?;
         }
     }
-    println!("spilled top rows at A46:C48; A46 = {}", sheet.value(CellAddr::parse_a1("A46")?));
+    println!(
+        "spilled top rows at A46:C48; A46 = {}",
+        sheet.value(CellAddr::parse_a1("A46")?)
+    );
 
     // --- prepared statements -------------------------------------------
     let overdue = sheet.sql(
@@ -69,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          WHERE paid = FALSE AND due_in_days < ? ORDER BY due_in_days LIMIT 5",
         &[Datum::Int(0)],
     )?;
-    println!("overdue unpaid invoices (due_in_days < 0):\n{}", overdue.to_text());
+    println!(
+        "overdue unpaid invoices (due_in_days < 0):\n{}",
+        overdue.to_text()
+    );
 
     // --- relational operators on sheet ranges --------------------------
     // Top supplier via project/filter on the composite result.

@@ -18,11 +18,17 @@ use dataspread::grid::{CellAddr, CellValue, Rect};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
-    let n_rows: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1_300_000);
+    let n_rows: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_300_000);
     let n_cols: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(12);
     let n_samples = n_cols.saturating_sub(9).max(1);
 
-    println!("importing VCF-like dataset: {n_rows} rows x {} columns ...", 9 + n_samples);
+    println!(
+        "importing VCF-like dataset: {n_rows} rows x {} columns ...",
+        9 + n_samples
+    );
     let t0 = Instant::now();
     let mut sheet = SheetEngine::new();
     // Header row.
@@ -54,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             target + 1,
             cells.len(),
             elapsed,
-            if elapsed.as_millis() < 500 { "yes" } else { "NO" },
+            if elapsed.as_millis() < 500 {
+                "yes"
+            } else {
+                "NO"
+            },
         );
         assert!(!cells.is_empty());
     }

@@ -66,8 +66,16 @@ fn main() {
         for (name, sheet) in &sheets {
             let view = GridView::from_sheet(sheet);
             let opts = OptimizerOptions::default();
-            println!("\n  {name}: {} filled cells, density {:.3}", sheet.filled_count(), sheet.density());
-            for (label, kind) in [("ROM", ModelKind::Rom), ("COM", ModelKind::Com), ("RCV", ModelKind::Rcv)] {
+            println!(
+                "\n  {name}: {} filled cells, density {:.3}",
+                sheet.filled_count(),
+                sheet.density()
+            );
+            for (label, kind) in [
+                ("ROM", ModelKind::Rom),
+                ("COM", ModelKind::Com),
+                ("RCV", ModelKind::Rcv),
+            ] {
                 let c = primitive_cost(&view, &cm, kind);
                 println!("    primitive {label:<4}            cost {c:>14.0}");
             }

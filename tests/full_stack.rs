@@ -29,7 +29,10 @@ fn import_formulas_edit_link_sql_optimize() {
 
     // 2. Formulas over the imported data.
     e.update_cell_a1("E1", "=SUM(B2:B101)").unwrap();
-    assert_eq!(e.value(a("E1")), CellValue::Number((0..100).map(|i| i * 2).sum::<i32>() as f64));
+    assert_eq!(
+        e.value(a("E1")),
+        CellValue::Number((0..100).map(|i| i * 2).sum::<i32>() as f64)
+    );
     e.update_cell_a1("E2", "=VLOOKUP(42,A2:C101,3)").unwrap();
     assert_eq!(e.value(a("E2")), CellValue::Text("item-42".into()));
 
@@ -49,7 +52,8 @@ fn import_formulas_edit_link_sql_optimize() {
         e.update_cell(CellAddr::new(1 + i as u32, 8), &c.to_string())
             .unwrap();
     }
-    e.link_table(Rect::parse_a1("H1:I4").unwrap(), "buckets").unwrap();
+    e.link_table(Rect::parse_a1("H1:I4").unwrap(), "buckets")
+        .unwrap();
     let r = e
         .sql(
             "SELECT bucket FROM buckets WHERE count >= ? ORDER BY count DESC",
@@ -79,7 +83,8 @@ fn incremental_optimize_after_edits() {
     let mut e = SheetEngine::new();
     for r in 0..30 {
         for c in 0..4 {
-            e.update_cell(CellAddr::new(r, c), &format!("{}", r + c)).unwrap();
+            e.update_cell(CellAddr::new(r, c), &format!("{}", r + c))
+                .unwrap();
         }
     }
     e.optimize(
@@ -127,7 +132,10 @@ fn dp_optimize_small_sheet() {
             &OptimizerOptions::default(),
         )
         .unwrap();
-    assert!(report.decomposition.table_count() >= 2, "two separated blocks");
+    assert!(
+        report.decomposition.table_count() >= 2,
+        "two separated blocks"
+    );
     assert_eq!(e.snapshot(), before);
 }
 

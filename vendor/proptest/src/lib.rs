@@ -1,0 +1,99 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! minimal property-testing framework that is source-compatible with the
+//! subset of proptest the test suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive`, and `boxed`,
+//! * strategies for ranges, tuples, `any::<T>()`, [`strategy::Just`],
+//!   simple `"[class]{lo,hi}"` string regexes, and
+//!   `prop::collection::vec`,
+//! * weighted and unweighted [`prop_oneof!`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! * `prop::sample::Index`.
+//!
+//! Inputs are generated from a deterministic per-test RNG. There is **no
+//! shrinking**: a failing case reports the panic/assertion message and the
+//! case number only. That trades debugging convenience for zero
+//! dependencies; swap in the real proptest when network access exists.
+
+pub mod arbitrary;
+pub mod collection;
+mod macros;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors the `prop` module alias exposed by proptest's prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn tree() -> impl Strategy<Value = usize> {
+        let leaf = Just(1usize);
+        leaf.prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a + b)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in -5i64..=5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(any::<u8>(), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_weighted_only_picks_arms(x in prop_oneof![3 => Just(1u8), 1 => Just(2u8)]) {
+            prop_assert!(x == 1 || x == 2, "unexpected arm value {}", x);
+        }
+
+        #[test]
+        fn recursive_strategies_terminate(n in tree()) {
+            prop_assert!(n >= 1);
+        }
+
+        #[test]
+        fn string_regex_class(s in "[a-z ]{0,8}") {
+            prop_assert!(s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn index_selects_valid_element(idx in any::<prop::sample::Index>()) {
+            let items = [10, 20, 30];
+            prop_assert!(items.contains(idx.get(&items)));
+        }
+
+        #[test]
+        fn early_ok_return_is_allowed(x in 0u8..10) {
+            if x > 100 {
+                return Ok(());
+            }
+            prop_assert!(x < 10);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+use rand::RngCore;
+
+/// An index into a slice whose length is unknown at generation time,
+/// mirroring `proptest::sample::Index`. The raw draw is reduced modulo the
+/// slice length at use time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: usize,
+}
+
+impl Index {
+    /// Resolve against a concrete slice. Panics on an empty slice, like the
+    /// real proptest.
+    pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+        &slice[self.index(slice.len())]
+    }
+
+    /// Resolve against a collection of `len` elements. Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot select an index from an empty collection");
+        self.raw % len
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index {
+            raw: rng.next_u64() as usize,
+        }
+    }
+}

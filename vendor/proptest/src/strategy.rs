@@ -1,0 +1,203 @@
+//! The [`Strategy`] trait and core combinators.
+
+use std::rc::Rc;
+
+use rand::{Rng as _, SampleRange, SampleUniform};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree and no shrinking: a strategy
+/// is just a deterministic-RNG-driven generator.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            generate: Rc::new(move |rng| self.new_value(rng)),
+        }
+    }
+
+    /// Build a recursive strategy: `recurse` receives a strategy for the
+    /// "inner" levels and wraps it one composite level deeper. Recursion
+    /// depth is bounded by `depth`; the extra proptest tuning knobs
+    /// (desired size, expected branch size) are accepted but unused.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            // Mix leaves back in at every level so generated values span
+            // the whole range of depths, not just the maximum.
+            current = Union::new_weighted(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+        }
+        current
+    }
+}
+
+/// Type-erased, cheaply clonable strategy (the `prop_recursive` currency).
+pub struct BoxedStrategy<T> {
+    generate: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            generate: Rc::clone(&self.generate),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (self.generate)(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The `prop_map` combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Weighted choice between strategies — what `prop_oneof!` builds.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        Union::new_weighted(arms.into_iter().map(|s| (1, s)).collect())
+    }
+
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let mut draw = rng.gen_range(0..self.total_weight);
+        for (weight, strategy) in &self.arms {
+            let weight = u64::from(*weight);
+            if draw < weight {
+                return strategy.new_value(rng);
+            }
+            draw -= weight;
+        }
+        unreachable!("draw below total weight always lands in an arm")
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: SampleUniform + Clone + PartialOrd,
+    std::ops::Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.clone().sample_single(rng)
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: SampleUniform + Clone + PartialOrd,
+    std::ops::RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.clone().sample_single(rng)
+    }
+}
+
+/// `"[a-z ]{0,8}"`-style patterns generate matching strings.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A.0);
+impl_strategy_for_tuple!(A.0, B.1);
+impl_strategy_for_tuple!(A.0, B.1, C.2);
+impl_strategy_for_tuple!(A.0, B.1, C.2, D.3);
+impl_strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4);
+impl_strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+impl_strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);

@@ -1,0 +1,115 @@
+//! Tiny regex-subset string generator backing `impl Strategy for &str`.
+//!
+//! Supports concatenations of atoms, where an atom is a literal character
+//! or a `[...]` character class (literal chars and `a-z` ranges), each with
+//! an optional `{n}` / `{lo,hi}` quantifier — enough for patterns like
+//! `"[a-z ]{0,8}"`. Anything fancier panics with a clear message so the
+//! gap is obvious if a future test needs more.
+
+use rand::Rng as _;
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug)]
+struct Atom {
+    choices: Vec<char>,
+    min: u32,
+    max: u32,
+}
+
+pub(crate) fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let count = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..count {
+            let pick = rng.gen_range(0..atom.choices.len());
+            out.push(atom.choices[pick]);
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut class = Vec::new();
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some(lo) => {
+                            if chars.peek() == Some(&'-') {
+                                chars.next();
+                                let hi = chars.next().unwrap_or_else(|| {
+                                    panic!("unterminated range in string pattern {pattern:?}")
+                                });
+                                assert!(
+                                    hi != ']' && lo <= hi,
+                                    "bad character range in string pattern {pattern:?}"
+                                );
+                                class.extend(lo..=hi);
+                            } else {
+                                class.push(lo);
+                            }
+                        }
+                        None => panic!("unterminated character class in string pattern {pattern:?}"),
+                    }
+                }
+                assert!(
+                    !class.is_empty(),
+                    "empty character class in string pattern {pattern:?}"
+                );
+                class
+            }
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in string pattern {pattern:?}"));
+                vec![escaped]
+            }
+            '(' | ')' | '|' | '*' | '+' | '?' | '.' | '^' | '$' => panic!(
+                "string pattern {pattern:?} uses unsupported regex syntax {c:?}; \
+                 the vendored proptest stub only handles literal/class atoms with {{lo,hi}} quantifiers"
+            ),
+            literal => vec![literal],
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(d) => spec.push(d),
+                    None => panic!("unterminated quantifier in string pattern {pattern:?}"),
+                }
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad quantifier {{{spec}}} in string pattern {pattern:?}")
+                    }),
+                    hi.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad quantifier {{{spec}}} in string pattern {pattern:?}")
+                    }),
+                ),
+                None => {
+                    let n = spec.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad quantifier {{{spec}}} in string pattern {pattern:?}")
+                    });
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(
+            min <= max,
+            "inverted quantifier {{{min},{max}}} in string pattern {pattern:?}"
+        );
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
