@@ -1,0 +1,919 @@
+//! Durable paged persistence for [`SheetEngine`](crate::SheetEngine).
+//!
+//! A durable sheet lives in a directory with two files:
+//!
+//! * `pages.db` — the *image*: the last checkpointed logical sheet state,
+//!   serialized and chunked into 8 KB pages managed by a
+//!   [`Pager`](dataspread_relstore::Pager) (page 0 is a header with a
+//!   CRC over the payload; pages 1.. hold the cell payload);
+//! * `wal.log` — a [`Wal`](dataspread_relstore::Wal) of CRC-framed records.
+//!
+//! Three record kinds share the log:
+//!
+//! | tag | record | written by |
+//! |---|---|---|
+//! | 0 | [`LoggedOp`] — a logical sheet mutation | every engine op |
+//! | 1 | checkpoint-begin (old page count) | [`DurableStore::checkpoint`] |
+//! | 2 | undo page image (page no + old bytes) | [`DurableStore::checkpoint`] |
+//!
+//! **Commit protocol.** Each engine mutation appends a [`LoggedOp`] before
+//! returning; `save()` fsyncs the log (the fsync-point = the commit point).
+//! **Checkpoint protocol.** The current state is serialized and diffed
+//! against the image page-by-page; the pre-images of every page about to
+//! change are journaled to the WAL (tag 1 + 2 records) and fsynced, *then*
+//! the dirty pages are written in place and fsynced, *then* the WAL is
+//! truncated. **Recovery.** On open, if the WAL ends in an unfinished
+//! checkpoint journal, the undo pages are written back first (rolling the
+//! image to its pre-checkpoint bytes); the image is then loaded
+//! (CRC-verified) and the logged ops are replayed. A crash at *any* byte
+//! therefore yields the state as of some logged-op prefix — never a torn
+//! cell — which is exactly what the byte-boundary recovery suite asserts.
+
+use std::path::{Path, PathBuf};
+
+use dataspread_grid::value::CellError;
+use dataspread_grid::{Cell, CellAddr, CellValue};
+use dataspread_posmap::PosMapKind;
+use dataspread_relstore::pager::PagerStats;
+use dataspread_relstore::wal::crc32;
+use dataspread_relstore::{Pager, StoreError, Wal, PAGE_SIZE};
+
+use crate::error::EngineError;
+
+/// File name of the checkpoint image inside a durable sheet directory.
+pub const IMAGE_FILE: &str = "pages.db";
+/// File name of the write-ahead log inside a durable sheet directory.
+pub const WAL_FILE: &str = "wal.log";
+
+const IMAGE_MAGIC: &[u8; 4] = b"DSIM";
+const IMAGE_VERSION: u32 = 1;
+/// Serialized image header length (magic, version, posmap, len, crc).
+const HEADER_LEN: usize = 4 + 4 + 1 + 8 + 4;
+
+// WAL payload kind tags.
+const REC_OP: u8 = 0;
+const REC_CKPT_BEGIN: u8 = 1;
+const REC_UNDO_PAGE: u8 = 2;
+
+/// Path of the image file for a durable sheet directory.
+pub fn image_path(dir: impl AsRef<Path>) -> PathBuf {
+    dir.as_ref().join(IMAGE_FILE)
+}
+
+/// Path of the WAL file for a durable sheet directory.
+pub fn wal_path(dir: impl AsRef<Path>) -> PathBuf {
+    dir.as_ref().join(WAL_FILE)
+}
+
+/// A logical sheet mutation, as logged to the WAL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoggedOp {
+    /// `updateCell(row, col, input)` — the raw user input (formula, literal,
+    /// or empty-string clear), replayed through the same interpretation
+    /// path on recovery.
+    SetCell {
+        row: u32,
+        col: u32,
+        input: String,
+    },
+    /// A computed value written directly (e.g. `index()` dereferencing a
+    /// composite), logged as the exact [`CellValue`] to avoid re-parsing
+    /// text through literal inference.
+    SetValue {
+        row: u32,
+        col: u32,
+        value: CellValue,
+    },
+    InsertRows {
+        at: u32,
+        n: u32,
+    },
+    DeleteRows {
+        at: u32,
+        n: u32,
+    },
+    InsertCols {
+        at: u32,
+        n: u32,
+    },
+    DeleteCols {
+        at: u32,
+        n: u32,
+    },
+}
+
+// ------------------------------------------------------------ encoding --
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, off: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], EngineError> {
+        let end = self.off.checked_add(n).filter(|e| *e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(corrupt("truncated record"));
+        };
+        let s = &self.bytes[self.off..end];
+        self.off = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, EngineError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, EngineError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+    fn u64(&mut self) -> Result<u64, EngineError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn f64(&mut self) -> Result<f64, EngineError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+    fn str(&mut self) -> Result<String, EngineError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("invalid utf-8"))
+    }
+
+    fn done(&self) -> bool {
+        self.off == self.bytes.len()
+    }
+}
+
+fn corrupt(msg: &str) -> EngineError {
+    EngineError::Store(StoreError::Corrupt(msg.to_string()))
+}
+
+fn put_value(out: &mut Vec<u8>, v: &CellValue) {
+    match v {
+        CellValue::Empty => out.push(0),
+        CellValue::Number(n) => {
+            out.push(1);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        CellValue::Text(s) => {
+            out.push(2);
+            put_str(out, s);
+        }
+        CellValue::Bool(b) => {
+            out.push(3);
+            out.push(*b as u8);
+        }
+        CellValue::Error(e) => {
+            out.push(4);
+            out.push(error_code(*e));
+        }
+    }
+}
+
+fn read_value(cur: &mut Cursor<'_>) -> Result<CellValue, EngineError> {
+    Ok(match cur.u8()? {
+        0 => CellValue::Empty,
+        1 => CellValue::Number(cur.f64()?),
+        2 => CellValue::Text(cur.str()?),
+        3 => CellValue::Bool(cur.u8()? != 0),
+        4 => CellValue::Error(code_error(cur.u8()?)?),
+        t => return Err(corrupt(&format!("unknown value tag {t}"))),
+    })
+}
+
+fn error_code(e: CellError) -> u8 {
+    match e {
+        CellError::Div0 => 0,
+        CellError::Value => 1,
+        CellError::Ref => 2,
+        CellError::Name => 3,
+        CellError::Na => 4,
+        CellError::Num => 5,
+        CellError::Circular => 6,
+    }
+}
+
+fn code_error(c: u8) -> Result<CellError, EngineError> {
+    Ok(match c {
+        0 => CellError::Div0,
+        1 => CellError::Value,
+        2 => CellError::Ref,
+        3 => CellError::Name,
+        4 => CellError::Na,
+        5 => CellError::Num,
+        6 => CellError::Circular,
+        t => return Err(corrupt(&format!("unknown error code {t}"))),
+    })
+}
+
+fn posmap_code(k: PosMapKind) -> u8 {
+    match k {
+        PosMapKind::AsIs => 0,
+        PosMapKind::Monotonic => 1,
+        PosMapKind::Hierarchical => 2,
+    }
+}
+
+fn code_posmap(c: u8) -> Result<PosMapKind, EngineError> {
+    Ok(match c {
+        0 => PosMapKind::AsIs,
+        1 => PosMapKind::Monotonic,
+        2 => PosMapKind::Hierarchical,
+        t => return Err(corrupt(&format!("unknown posmap code {t}"))),
+    })
+}
+
+impl LoggedOp {
+    /// Encode as a WAL payload (including the record-kind tag).
+    fn encode(&self) -> Vec<u8> {
+        let mut out = vec![REC_OP];
+        match self {
+            LoggedOp::SetCell { row, col, input } => {
+                out.push(0);
+                put_u32(&mut out, *row);
+                put_u32(&mut out, *col);
+                put_str(&mut out, input);
+            }
+            LoggedOp::SetValue { row, col, value } => {
+                out.push(1);
+                put_u32(&mut out, *row);
+                put_u32(&mut out, *col);
+                put_value(&mut out, value);
+            }
+            LoggedOp::InsertRows { at, n } => {
+                out.push(2);
+                put_u32(&mut out, *at);
+                put_u32(&mut out, *n);
+            }
+            LoggedOp::DeleteRows { at, n } => {
+                out.push(3);
+                put_u32(&mut out, *at);
+                put_u32(&mut out, *n);
+            }
+            LoggedOp::InsertCols { at, n } => {
+                out.push(4);
+                put_u32(&mut out, *at);
+                put_u32(&mut out, *n);
+            }
+            LoggedOp::DeleteCols { at, n } => {
+                out.push(5);
+                put_u32(&mut out, *at);
+                put_u32(&mut out, *n);
+            }
+        }
+        out
+    }
+
+    /// Decode the body of a `REC_OP` payload (tag byte already consumed).
+    fn decode(cur: &mut Cursor<'_>) -> Result<LoggedOp, EngineError> {
+        let op = match cur.u8()? {
+            0 => LoggedOp::SetCell {
+                row: cur.u32()?,
+                col: cur.u32()?,
+                input: cur.str()?,
+            },
+            1 => LoggedOp::SetValue {
+                row: cur.u32()?,
+                col: cur.u32()?,
+                value: read_value(cur)?,
+            },
+            2 => LoggedOp::InsertRows {
+                at: cur.u32()?,
+                n: cur.u32()?,
+            },
+            3 => LoggedOp::DeleteRows {
+                at: cur.u32()?,
+                n: cur.u32()?,
+            },
+            4 => LoggedOp::InsertCols {
+                at: cur.u32()?,
+                n: cur.u32()?,
+            },
+            5 => LoggedOp::DeleteCols {
+                at: cur.u32()?,
+                n: cur.u32()?,
+            },
+            t => return Err(corrupt(&format!("unknown op tag {t}"))),
+        };
+        if !cur.done() {
+            return Err(corrupt("trailing bytes after op"));
+        }
+        Ok(op)
+    }
+}
+
+fn encode_cells(cells: &[(CellAddr, Cell)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, cells.len() as u64);
+    for (addr, cell) in cells {
+        put_u32(&mut out, addr.row);
+        put_u32(&mut out, addr.col);
+        match &cell.formula {
+            Some(src) => {
+                out.push(1);
+                put_str(&mut out, src);
+            }
+            None => out.push(0),
+        }
+        put_value(&mut out, &cell.value);
+    }
+    out
+}
+
+fn decode_cells(payload: &[u8]) -> Result<Vec<(CellAddr, Cell)>, EngineError> {
+    let mut cur = Cursor::new(payload);
+    let count = cur.u64()?;
+    let mut cells = Vec::with_capacity(count.min(1 << 24) as usize);
+    for _ in 0..count {
+        let row = cur.u32()?;
+        let col = cur.u32()?;
+        let formula = match cur.u8()? {
+            0 => None,
+            1 => Some(cur.str()?),
+            t => return Err(corrupt(&format!("unknown formula flag {t}"))),
+        };
+        let value = read_value(&mut cur)?;
+        cells.push((CellAddr::new(row, col), Cell { value, formula }));
+    }
+    if !cur.done() {
+        return Err(corrupt("trailing bytes after cells"));
+    }
+    Ok(cells)
+}
+
+fn encode_header(kind: PosMapKind, payload_len: u64, payload_crc: u32) -> Vec<u8> {
+    let mut page = Vec::with_capacity(PAGE_SIZE);
+    page.extend_from_slice(IMAGE_MAGIC);
+    put_u32(&mut page, IMAGE_VERSION);
+    page.push(posmap_code(kind));
+    put_u64(&mut page, payload_len);
+    put_u32(&mut page, payload_crc);
+    debug_assert_eq!(page.len(), HEADER_LEN);
+    page.resize(PAGE_SIZE, 0);
+    page
+}
+
+// ------------------------------------------------------- durable store --
+
+/// What [`DurableStore::open`] found on disk.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// Positional-map scheme of the stored image; `None` for a fresh store.
+    pub posmap: Option<PosMapKind>,
+    /// Cells of the last durable checkpoint.
+    pub cells: Vec<(CellAddr, Cell)>,
+    /// Committed logical ops appended after that checkpoint, oldest first.
+    pub ops: Vec<LoggedOp>,
+    /// Whether an interrupted checkpoint had to be rolled back.
+    pub rolled_back_checkpoint: bool,
+}
+
+/// Outcome of one checkpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Pages whose bytes changed and were rewritten.
+    pub pages_written: u64,
+    /// Pre-images journaled to the WAL before the overwrite.
+    pub undo_pages: u64,
+    /// Image size after the checkpoint, in pages.
+    pub page_count: u64,
+    /// Serialized cell payload size in bytes.
+    pub payload_bytes: u64,
+}
+
+/// Counters describing the persistence layer (for benches and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PersistenceStats {
+    /// Valid WAL bytes on disk (header included).
+    pub wal_bytes: u64,
+    /// Ops logged since the last checkpoint.
+    pub ops_since_checkpoint: u64,
+    /// Checkpoints taken through this handle.
+    pub checkpoints: u64,
+    /// Image size in pages.
+    pub image_pages: u64,
+    /// Pager cache / I/O counters.
+    pub pager: PagerStats,
+}
+
+/// The engine-facing persistence handle: one WAL + one paged image.
+pub struct DurableStore {
+    dir: PathBuf,
+    wal: Wal,
+    pager: Pager,
+    ops_since_checkpoint: u64,
+    checkpoints: u64,
+    auto_checkpoint_ops: Option<u64>,
+    /// Set when a WAL append failed mid-op: the on-disk tape has a hole, so
+    /// further logging is refused until a successful checkpoint
+    /// re-serializes the full in-memory state and truncates the log.
+    poisoned: Option<String>,
+}
+
+/// Best-effort fsync of a directory so freshly created files (and renames)
+/// survive a machine crash. Directory handles cannot be opened for sync on
+/// all platforms, hence best-effort.
+fn sync_dir(dir: &Path) {
+    if let Ok(handle) = std::fs::File::open(dir) {
+        handle.sync_all().ok();
+    }
+}
+
+impl std::fmt::Debug for DurableStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableStore")
+            .field("dir", &self.dir)
+            .field("image_pages", &self.pager.page_count())
+            .field("ops_since_checkpoint", &self.ops_since_checkpoint)
+            .finish()
+    }
+}
+
+impl DurableStore {
+    /// Open (or create) the durable directory, running crash recovery:
+    /// undo any interrupted checkpoint, load and verify the image, and
+    /// return the committed op tail for the caller to replay.
+    pub fn open(dir: impl AsRef<Path>) -> Result<(DurableStore, RecoveredState), EngineError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(StoreError::from)?;
+        let mut wal = Wal::open(wal_path(&dir))?;
+        let mut pager = Pager::open(image_path(&dir))?;
+        // Pin the directory entries for the two files we may just have
+        // created; without this a machine crash could drop the whole WAL.
+        sync_dir(&dir);
+
+        // Partition the committed records: logical ops, then (optionally)
+        // an unfinished checkpoint journal.
+        let mut ops = Vec::new();
+        let mut ckpt_old_count: Option<u64> = None;
+        let mut undo: Vec<(u64, Vec<u8>)> = Vec::new();
+        for record in wal.take_recovered() {
+            let mut cur = Cursor::new(&record);
+            match cur.u8()? {
+                REC_OP => {
+                    let op = LoggedOp::decode(&mut cur)?;
+                    if ckpt_old_count.is_none() {
+                        ops.push(op);
+                    }
+                    // Ops after a checkpoint-begin cannot occur (the writer
+                    // blocks inside checkpoint); tolerate by ignoring.
+                }
+                REC_CKPT_BEGIN => {
+                    ckpt_old_count = Some(cur.u64()?);
+                }
+                REC_UNDO_PAGE => {
+                    let page_no = cur.u64()?;
+                    let bytes = cur.take(PAGE_SIZE)?.to_vec();
+                    undo.push((page_no, bytes));
+                }
+                t => return Err(corrupt(&format!("unknown wal record kind {t}"))),
+            }
+        }
+
+        // Roll back an interrupted checkpoint: restore pre-images, shrink
+        // back to the pre-checkpoint page count.
+        let rolled_back = ckpt_old_count.is_some();
+        if let Some(old_count) = ckpt_old_count {
+            for (page_no, bytes) in &undo {
+                pager.write_page(*page_no, bytes)?;
+            }
+            pager.truncate(old_count)?;
+            pager.flush()?;
+        }
+
+        // Load the image.
+        let (posmap, cells) = if pager.page_count() == 0 {
+            (None, Vec::new())
+        } else {
+            let header = pager.read_page(0)?.to_vec();
+            let mut cur = Cursor::new(&header[..HEADER_LEN]);
+            if cur.take(4)? != IMAGE_MAGIC {
+                return Err(corrupt("image: bad magic"));
+            }
+            let version = cur.u32()?;
+            if version != IMAGE_VERSION {
+                return Err(corrupt(&format!("image: unsupported version {version}")));
+            }
+            let kind = code_posmap(cur.u8()?)?;
+            let payload_len = cur.u64()? as usize;
+            let payload_crc = cur.u32()?;
+            let payload_pages = payload_len.div_ceil(PAGE_SIZE) as u64;
+            if pager.page_count() < 1 + payload_pages {
+                return Err(corrupt("image: payload pages missing"));
+            }
+            let mut payload = Vec::with_capacity(payload_len);
+            for p in 0..payload_pages {
+                let page = pager.read_page(1 + p)?;
+                let want = (payload_len - payload.len()).min(PAGE_SIZE);
+                payload.extend_from_slice(&page[..want]);
+            }
+            if crc32(&payload) != payload_crc {
+                return Err(corrupt("image: payload checksum mismatch"));
+            }
+            (Some(kind), decode_cells(&payload)?)
+        };
+
+        Ok((
+            DurableStore {
+                dir,
+                wal,
+                pager,
+                ops_since_checkpoint: ops.len() as u64,
+                checkpoints: 0,
+                auto_checkpoint_ops: None,
+                poisoned: None,
+            },
+            RecoveredState {
+                posmap,
+                cells,
+                ops,
+                rolled_back_checkpoint: rolled_back,
+            },
+        ))
+    }
+
+    /// Append a logical op to the WAL. The op is committed at the next
+    /// [`DurableStore::sync`] (or checkpoint).
+    ///
+    /// A failed append poisons the store: the caller has already applied
+    /// the op in memory, so the on-disk tape now has a hole. Accepting
+    /// later appends would make recovery silently skip the missing op, so
+    /// every subsequent `log` fails until a checkpoint re-serializes the
+    /// full state and truncates the log.
+    pub fn log(&mut self, op: &LoggedOp) -> Result<(), EngineError> {
+        if let Some(cause) = &self.poisoned {
+            return Err(EngineError::Store(StoreError::Io(format!(
+                "durable log disabled by an earlier append failure ({cause}); \
+                 call checkpoint() to restore durability"
+            ))));
+        }
+        if let Err(e) = self.wal.append(&op.encode()) {
+            self.poisoned = Some(e.to_string());
+            return Err(e.into());
+        }
+        self.ops_since_checkpoint += 1;
+        Ok(())
+    }
+
+    /// The fsync-point: make every logged op crash-durable.
+    pub fn sync(&mut self) -> Result<(), EngineError> {
+        self.wal.sync()?;
+        Ok(())
+    }
+
+    /// Checkpoint: fold the logical state `cells` into the paged image and
+    /// truncate the WAL. Only pages whose bytes changed are written; their
+    /// pre-images are journaled first so a crash mid-checkpoint rolls back
+    /// cleanly on the next open.
+    pub fn checkpoint(
+        &mut self,
+        kind: PosMapKind,
+        cells: &[(CellAddr, Cell)],
+    ) -> Result<CheckpointReport, EngineError> {
+        // A failed append may have left garbage bytes past the valid
+        // prefix; drop them so the journal below lands in a clean log.
+        if self.poisoned.is_some() {
+            self.wal.truncate_to_valid()?;
+        }
+        let payload = encode_cells(cells);
+        let header = encode_header(kind, payload.len() as u64, crc32(&payload));
+        let new_count = 1 + payload.len().div_ceil(PAGE_SIZE) as u64;
+        let old_count = self.pager.page_count();
+
+        // Diff new image against old, collecting changed pages + undo.
+        let mut changed: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut undo: Vec<(u64, Vec<u8>)> = Vec::new();
+        for page_no in 0..new_count.max(old_count) {
+            let new_bytes: Option<Vec<u8>> = if page_no == 0 {
+                Some(header.clone())
+            } else if page_no < new_count {
+                let start = (page_no as usize - 1) * PAGE_SIZE;
+                let end = (start + PAGE_SIZE).min(payload.len());
+                let mut chunk = payload[start..end].to_vec();
+                chunk.resize(PAGE_SIZE, 0);
+                Some(chunk)
+            } else {
+                None
+            };
+            let old_bytes: Option<Vec<u8>> = if page_no < old_count {
+                Some(self.pager.read_page(page_no)?.to_vec())
+            } else {
+                None
+            };
+            match (new_bytes, old_bytes) {
+                (Some(new), Some(old)) => {
+                    if new != old {
+                        undo.push((page_no, old));
+                        changed.push((page_no, new));
+                    }
+                }
+                (Some(new), None) => changed.push((page_no, new)),
+                (None, Some(old)) => undo.push((page_no, old)), // truncated tail
+                (None, None) => unreachable!("page beyond both images"),
+            }
+        }
+
+        let report = CheckpointReport {
+            pages_written: changed.len() as u64,
+            undo_pages: undo.len() as u64,
+            page_count: new_count,
+            payload_bytes: payload.len() as u64,
+        };
+
+        if changed.is_empty() && new_count == old_count {
+            // Image already current — just fold the op tail away.
+            self.wal.truncate()?;
+            self.ops_since_checkpoint = 0;
+            self.checkpoints += 1;
+            self.poisoned = None;
+            return Ok(report);
+        }
+
+        // 1. Journal pre-images, durably.
+        let mut begin = vec![REC_CKPT_BEGIN];
+        put_u64(&mut begin, old_count);
+        self.wal.append(&begin)?;
+        for (page_no, old) in &undo {
+            let mut rec = Vec::with_capacity(1 + 8 + PAGE_SIZE);
+            rec.push(REC_UNDO_PAGE);
+            put_u64(&mut rec, *page_no);
+            rec.extend_from_slice(old);
+            self.wal.append(&rec)?;
+        }
+        self.wal.sync()?;
+        // 2. Overwrite in place, durably.
+        for (page_no, new) in &changed {
+            self.pager.write_page(*page_no, new)?;
+        }
+        if new_count < old_count {
+            self.pager.truncate(new_count)?;
+        }
+        self.pager.flush()?;
+        // 3. The checkpoint is now the truth; drop the log.
+        self.wal.truncate()?;
+        self.ops_since_checkpoint = 0;
+        self.checkpoints += 1;
+        self.poisoned = None;
+        Ok(report)
+    }
+
+    /// Arrange for the owner to checkpoint automatically every `ops` logged
+    /// operations (`None` disables; the default).
+    pub fn set_auto_checkpoint(&mut self, ops: Option<u64>) {
+        self.auto_checkpoint_ops = ops;
+    }
+
+    /// True when the auto-checkpoint threshold has been reached.
+    pub fn should_checkpoint(&self) -> bool {
+        self.auto_checkpoint_ops
+            .is_some_and(|n| self.ops_since_checkpoint >= n)
+    }
+
+    pub fn stats(&self) -> PersistenceStats {
+        PersistenceStats {
+            wal_bytes: self.wal.len_bytes(),
+            ops_since_checkpoint: self.ops_since_checkpoint,
+            checkpoints: self.checkpoints,
+            image_pages: self.pager.page_count(),
+            pager: self.pager.stats(),
+        }
+    }
+
+    /// The durable directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dataspread-durable-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn cell(v: f64) -> Cell {
+        Cell::value(v)
+    }
+
+    #[test]
+    fn op_codec_roundtrip() {
+        let ops = vec![
+            LoggedOp::SetCell {
+                row: 3,
+                col: 9,
+                input: "=SUM(A1:A9)".into(),
+            },
+            LoggedOp::SetValue {
+                row: 0,
+                col: 0,
+                value: CellValue::Text("x".into()),
+            },
+            LoggedOp::SetValue {
+                row: 1,
+                col: 1,
+                value: CellValue::Error(CellError::Div0),
+            },
+            LoggedOp::InsertRows { at: 5, n: 2 },
+            LoggedOp::DeleteRows { at: 0, n: 1 },
+            LoggedOp::InsertCols { at: 7, n: 3 },
+            LoggedOp::DeleteCols { at: 2, n: 2 },
+        ];
+        for op in ops {
+            let enc = op.encode();
+            assert_eq!(enc[0], REC_OP);
+            let mut cur = Cursor::new(&enc[1..]);
+            assert_eq!(LoggedOp::decode(&mut cur).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn cells_codec_roundtrip() {
+        let cells = vec![
+            (CellAddr::new(0, 0), cell(1.5)),
+            (
+                CellAddr::new(2, 3),
+                Cell {
+                    value: CellValue::Number(42.0),
+                    formula: Some("A1*2".into()),
+                },
+            ),
+            (CellAddr::new(9, 9), Cell::value("text")),
+            (CellAddr::new(4, 4), Cell::value(true)),
+            (
+                CellAddr::new(5, 5),
+                Cell {
+                    value: CellValue::Error(CellError::Circular),
+                    formula: Some("A6".into()),
+                },
+            ),
+        ];
+        let enc = encode_cells(&cells);
+        assert_eq!(decode_cells(&enc).unwrap(), cells);
+    }
+
+    #[test]
+    fn fresh_open_then_log_then_recover() {
+        let dir = temp_dir("log-recover");
+        {
+            let (mut store, recovered) = DurableStore::open(&dir).unwrap();
+            assert!(recovered.posmap.is_none());
+            assert!(recovered.cells.is_empty() && recovered.ops.is_empty());
+            store
+                .log(&LoggedOp::SetCell {
+                    row: 1,
+                    col: 1,
+                    input: "7".into(),
+                })
+                .unwrap();
+            store.log(&LoggedOp::InsertRows { at: 0, n: 2 }).unwrap();
+            store.sync().unwrap();
+        }
+        let (_, recovered) = DurableStore::open(&dir).unwrap();
+        assert_eq!(recovered.ops.len(), 2);
+        assert_eq!(
+            recovered.ops[0],
+            LoggedOp::SetCell {
+                row: 1,
+                col: 1,
+                input: "7".into()
+            }
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_persists_cells_and_truncates_wal() {
+        let dir = temp_dir("ckpt");
+        let cells = vec![
+            (CellAddr::new(0, 0), cell(1.0)),
+            (CellAddr::new(1, 0), cell(2.0)),
+        ];
+        {
+            let (mut store, _) = DurableStore::open(&dir).unwrap();
+            store
+                .log(&LoggedOp::SetCell {
+                    row: 0,
+                    col: 0,
+                    input: "1".into(),
+                })
+                .unwrap();
+            let report = store.checkpoint(PosMapKind::Hierarchical, &cells).unwrap();
+            assert_eq!(report.page_count, 2); // header + 1 payload page
+            assert!(report.pages_written >= 1);
+            assert_eq!(store.stats().ops_since_checkpoint, 0);
+        }
+        let (store, recovered) = DurableStore::open(&dir).unwrap();
+        assert_eq!(recovered.posmap, Some(PosMapKind::Hierarchical));
+        assert_eq!(recovered.cells, cells);
+        assert!(recovered.ops.is_empty());
+        assert!(!recovered.rolled_back_checkpoint);
+        assert_eq!(store.stats().image_pages, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unchanged_checkpoint_writes_no_pages() {
+        let dir = temp_dir("ckpt-noop");
+        let cells = vec![(CellAddr::new(0, 0), cell(5.0))];
+        let (mut store, _) = DurableStore::open(&dir).unwrap();
+        store.checkpoint(PosMapKind::Hierarchical, &cells).unwrap();
+        let second = store.checkpoint(PosMapKind::Hierarchical, &cells).unwrap();
+        assert_eq!(second.pages_written, 0);
+        assert_eq!(second.undo_pages, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_checkpoint_rolls_back() {
+        let dir = temp_dir("ckpt-undo");
+        let before = vec![(CellAddr::new(0, 0), cell(1.0))];
+        {
+            let (mut store, _) = DurableStore::open(&dir).unwrap();
+            store.checkpoint(PosMapKind::Hierarchical, &before).unwrap();
+            store
+                .log(&LoggedOp::SetCell {
+                    row: 0,
+                    col: 0,
+                    input: "2".into(),
+                })
+                .unwrap();
+            store.sync().unwrap();
+        }
+        // Simulate a crash *inside* checkpoint: journal written, image
+        // pages half-overwritten, WAL not yet truncated.
+        let wal_before = std::fs::read(wal_path(&dir)).unwrap();
+        let after = vec![(CellAddr::new(0, 0), cell(2.0))];
+        {
+            let (mut store, _) = DurableStore::open(&dir).unwrap();
+            // Manually run the journal + overwrite but "crash" before the
+            // WAL truncate by writing the old WAL contents back… easier:
+            // do a real checkpoint, then reconstruct the mid-crash state.
+            let payload = encode_cells(&after);
+            let header = encode_header(
+                PosMapKind::Hierarchical,
+                payload.len() as u64,
+                crc32(&payload),
+            );
+            // Journal (as checkpoint would).
+            let mut begin = vec![REC_CKPT_BEGIN];
+            put_u64(&mut begin, store.pager.page_count());
+            store.wal.append(&begin).unwrap();
+            let old0 = store.pager.read_page(0).unwrap().to_vec();
+            let mut rec = vec![REC_UNDO_PAGE];
+            put_u64(&mut rec, 0);
+            rec.extend_from_slice(&old0);
+            store.wal.append(&rec).unwrap();
+            store.wal.sync().unwrap();
+            // Tear: overwrite the header page with the *new* header but
+            // never touch the payload page or truncate the WAL.
+            store.pager.write_page(0, &header).unwrap();
+            store.pager.flush().unwrap();
+        }
+        drop(wal_before);
+        // Recovery must roll the header back and replay the logged op.
+        let (_, recovered) = DurableStore::open(&dir).unwrap();
+        assert!(recovered.rolled_back_checkpoint);
+        assert_eq!(recovered.cells, vec![(CellAddr::new(0, 0), cell(1.0))]);
+        assert_eq!(recovered.ops.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn image_shrinks_when_cells_shrink() {
+        let dir = temp_dir("shrink");
+        let big: Vec<(CellAddr, Cell)> = (0..2000u32)
+            .map(|i| (CellAddr::new(i, 0), Cell::value(format!("row-{i}"))))
+            .collect();
+        let (mut store, _) = DurableStore::open(&dir).unwrap();
+        let r1 = store.checkpoint(PosMapKind::Hierarchical, &big).unwrap();
+        assert!(r1.page_count > 2);
+        let small = vec![(CellAddr::new(0, 0), cell(1.0))];
+        let r2 = store.checkpoint(PosMapKind::Hierarchical, &small).unwrap();
+        assert_eq!(r2.page_count, 2);
+        assert!(r2.undo_pages >= r1.page_count - r2.page_count);
+        drop(store);
+        let (_, recovered) = DurableStore::open(&dir).unwrap();
+        assert_eq!(recovered.cells, small);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -54,3 +54,8 @@ impl From<RelError> for EngineError {
         EngineError::Rel(e)
     }
 }
+impl From<std::io::Error> for EngineError {
+    fn from(e: std::io::Error) -> Self {
+        EngineError::Store(StoreError::Io(e.to_string()))
+    }
+}

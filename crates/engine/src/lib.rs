@@ -21,8 +21,14 @@
 //! spreadsheet-facing API (`getCells`, `updateCell`, `insertRowAfter`, …),
 //! the database-facing API (`linkTable`, `sql`, relational operators), and
 //! `optimize()` which runs the hybrid optimizer and migrates storage.
+//!
+//! The [`durable`] module adds crash-safe persistence: sheets opened with
+//! [`sheet::SheetEngine::open`] log every op to a write-ahead log and fold
+//! checkpoints into a paged image file; recovery on reopen replays the
+//! committed op tail (see the module docs for the exact protocol).
 
 pub mod com;
+pub mod durable;
 pub mod error;
 pub mod hybrid;
 pub mod rcv;
@@ -31,6 +37,7 @@ pub mod sheet;
 pub mod tom;
 pub mod translator;
 
+pub use durable::{CheckpointReport, LoggedOp, PersistenceStats};
 pub use error::EngineError;
 pub use hybrid::HybridSheet;
 pub use sheet::{OptimizeAlgorithm, OptimizeReport, SheetEngine};

@@ -4,6 +4,7 @@
 //! database-oriented operations of §III.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -21,6 +22,7 @@ use dataspread_hybrid::{
 use dataspread_rel::{execute_sql, Relation};
 use dataspread_relstore::{ColumnDef, DataType, Database, Datum, Schema};
 
+use crate::durable::{CheckpointReport, DurableStore, LoggedOp, PersistenceStats};
 use crate::error::EngineError;
 use crate::hybrid::HybridSheet;
 use crate::rom::RomTranslator;
@@ -59,6 +61,8 @@ pub struct SheetEngine {
     cache: Mutex<CellCache>,
     composites: HashMap<CellAddr, Relation>,
     evaluator: Evaluator,
+    /// WAL + paged image; `None` for an in-memory engine.
+    durable: Option<DurableStore>,
 }
 
 impl Default for SheetEngine {
@@ -114,6 +118,137 @@ impl SheetEngine {
             cache: Mutex::new(CellCache::new(100_000)),
             composites: HashMap::new(),
             evaluator: Evaluator::new(),
+            durable: None,
+        }
+    }
+
+    // ------------------------------------------------------ persistence --
+
+    /// Open (or create) a durable sheet stored in directory `dir`.
+    ///
+    /// Recovery runs first: an interrupted checkpoint is rolled back, the
+    /// checkpoint image is loaded (CRC-verified), and every committed
+    /// logical op in the WAL is replayed; the recovered state is then
+    /// checkpointed so the image is current and the WAL starts empty.
+    /// Subsequent `update_cell` / insert / delete row-col ops are logged
+    /// automatically; [`SheetEngine::save`] is the fsync-point and
+    /// [`SheetEngine::checkpoint`] folds the log into the image.
+    pub fn open(dir: impl AsRef<Path>) -> Result<SheetEngine, EngineError> {
+        Self::open_with_posmap(dir, PosMapKind::default())
+    }
+
+    /// [`SheetEngine::open`] with an explicit positional-map scheme for a
+    /// *fresh* store. An existing store keeps the scheme it was created
+    /// with (it is recorded in the image header).
+    pub fn open_with_posmap(
+        dir: impl AsRef<Path>,
+        kind: PosMapKind,
+    ) -> Result<SheetEngine, EngineError> {
+        let (store, recovered) = DurableStore::open(dir)?;
+        let kind = recovered.posmap.unwrap_or(kind);
+        let mut engine = Self::with_posmap(kind);
+        // 1. Restore the checkpointed cells (values and formula sources).
+        for (addr, cell) in &recovered.cells {
+            engine.sheet.set_cell(*addr, cell.clone())?;
+        }
+        // 2. Re-register formulas so later edits recompute dependents; the
+        //    stored values are already the computed ones, so no recompute.
+        for (addr, cell) in &recovered.cells {
+            if let Some(src) = &cell.formula {
+                if let Ok(expr) = parse(src) {
+                    engine.deps.set_formula(*addr, collect_ranges(&expr));
+                    engine.parsed.insert(*addr, expr);
+                }
+            }
+        }
+        // 3. Replay the committed op tail through the normal op paths.
+        for op in &recovered.ops {
+            engine.apply_logged(op)?;
+        }
+        // 4. Fold the replayed state into the image and reset the WAL.
+        engine.durable = Some(store);
+        engine.checkpoint()?;
+        Ok(engine)
+    }
+
+    /// Whether this engine persists to disk.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The fsync-point: force every logged op to stable storage. The WAL
+    /// write happens inside each op; this makes those writes crash-proof.
+    /// No-op for in-memory engines.
+    pub fn save(&mut self) -> Result<(), EngineError> {
+        match self.durable.as_mut() {
+            Some(store) => store.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Fold the current logical state into the paged checkpoint image and
+    /// truncate the WAL. Returns `None` for in-memory engines.
+    pub fn checkpoint(&mut self) -> Result<Option<CheckpointReport>, EngineError> {
+        if self.durable.is_none() {
+            return Ok(None);
+        }
+        let mut cells: Vec<(CellAddr, Cell)> = self
+            .sheet
+            .snapshot(true)
+            .iter()
+            .map(|(addr, cell)| (addr, cell.clone()))
+            .collect();
+        // Deterministic image bytes: the same logical state must always
+        // serialize identically (recovery tests compare files).
+        cells.sort_by_key(|(a, _)| (a.row, a.col));
+        let kind = self.sheet.posmap_kind();
+        let store = self.durable.as_mut().expect("checked above");
+        Ok(Some(store.checkpoint(kind, &cells)?))
+    }
+
+    /// Checkpoint automatically after every `ops` logged operations
+    /// (`None`, the default, disables).
+    pub fn set_auto_checkpoint(&mut self, ops: Option<u64>) {
+        if let Some(store) = self.durable.as_mut() {
+            store.set_auto_checkpoint(ops);
+        }
+    }
+
+    /// Persistence counters (WAL size, pager cache stats); `None` for
+    /// in-memory engines.
+    pub fn persistence_stats(&self) -> Option<PersistenceStats> {
+        self.durable.as_ref().map(DurableStore::stats)
+    }
+
+    /// Append `op` to the WAL (when durable) and auto-checkpoint if the
+    /// configured threshold was reached.
+    fn log_op(&mut self, op: LoggedOp) -> Result<(), EngineError> {
+        let hit_threshold = match self.durable.as_mut() {
+            Some(store) => {
+                store.log(&op)?;
+                store.should_checkpoint()
+            }
+            None => false,
+        };
+        if hit_threshold {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Replay one recovered op through the normal (non-logging) op paths.
+    fn apply_logged(&mut self, op: &LoggedOp) -> Result<(), EngineError> {
+        match op {
+            LoggedOp::SetCell { row, col, input } => {
+                self.update_cell_impl(CellAddr::new(*row, *col), input)
+            }
+            LoggedOp::SetValue { row, col, value } => {
+                self.set_value_impl(CellAddr::new(*row, *col), value.clone())
+            }
+            LoggedOp::InsertRows { at, n } => self.insert_rows_impl(*at, *n),
+            LoggedOp::DeleteRows { at, n } => self.delete_rows_impl(*at, *n),
+            LoggedOp::InsertCols { at, n } => self.insert_cols_impl(*at, *n),
+            LoggedOp::DeleteCols { at, n } => self.delete_cols_impl(*at, *n),
         }
     }
 
@@ -149,7 +284,18 @@ impl SheetEngine {
     /// `updateCell(row, column, value)`: interprets `input` the way a
     /// spreadsheet UI does — `=…` is a formula, numeric text is a number,
     /// TRUE/FALSE are booleans, an empty string clears the cell.
+    ///
+    /// On a durable engine the op is appended to the WAL after it applies.
     pub fn update_cell(&mut self, addr: CellAddr, input: &str) -> Result<(), EngineError> {
+        self.update_cell_impl(addr, input)?;
+        self.log_op(LoggedOp::SetCell {
+            row: addr.row,
+            col: addr.col,
+            input: input.to_string(),
+        })
+    }
+
+    fn update_cell_impl(&mut self, addr: CellAddr, input: &str) -> Result<(), EngineError> {
         if let Some(src) = input.strip_prefix('=') {
             let expr = parse(src)?;
             self.deps.set_formula(addr, collect_ranges(&expr));
@@ -181,25 +327,57 @@ impl SheetEngine {
     }
 
     /// `insertRowAfter(row)`: inserts `n` rows so the first new row sits at
-    /// index `at`.
+    /// index `at`. Logged to the WAL on durable engines (as are the other
+    /// three structural edits below).
     pub fn insert_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        self.insert_rows_impl(at, n)?;
+        self.log_op(LoggedOp::InsertRows { at, n })
+    }
+
+    pub fn delete_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        self.delete_rows_impl(at, n)?;
+        self.log_op(LoggedOp::DeleteRows { at, n })
+    }
+
+    pub fn insert_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        self.insert_cols_impl(at, n)?;
+        self.log_op(LoggedOp::InsertCols { at, n })
+    }
+
+    pub fn delete_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        self.delete_cols_impl(at, n)?;
+        self.log_op(LoggedOp::DeleteCols { at, n })
+    }
+
+    fn insert_rows_impl(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
         self.sheet.insert_rows(at, n)?;
         self.apply_shift(Shift::InsertRows { at, n })
     }
 
-    pub fn delete_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+    fn delete_rows_impl(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
         self.sheet.delete_rows(at, n)?;
         self.apply_shift(Shift::DeleteRows { at, n })
     }
 
-    pub fn insert_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+    fn insert_cols_impl(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
         self.sheet.insert_cols(at, n)?;
         self.apply_shift(Shift::InsertCols { at, n })
     }
 
-    pub fn delete_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+    fn delete_cols_impl(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
         self.sheet.delete_cols(at, n)?;
         self.apply_shift(Shift::DeleteCols { at, n })
+    }
+
+    /// Write a concrete value (bypassing literal inference) and recompute
+    /// dependents — the replay path for [`LoggedOp::SetValue`].
+    fn set_value_impl(&mut self, addr: CellAddr, value: CellValue) -> Result<(), EngineError> {
+        if self.parsed.remove(&addr).is_some() {
+            self.deps.remove(addr);
+        }
+        self.sheet.set_cell(addr, Cell::value(value))?;
+        self.cache.lock().invalidate(&addr);
+        self.recompute(&[addr])
     }
 
     /// Bulk-import rows of values starting at `top_left` as a dedicated ROM
@@ -230,6 +408,8 @@ impl SheetEngine {
             top_left.col + width - 1,
         );
         self.sheet.add_region(rect, Box::new(rom))?;
+        // Bulk imports bypass the per-op log; capture them via checkpoint.
+        self.checkpoint()?;
         Ok(rect)
     }
 
@@ -262,6 +442,9 @@ impl SheetEngine {
         let tom = TomTranslator::new(Arc::clone(&self.db), name);
         self.sheet.add_region(link_rect, Box::new(tom))?;
         self.cache.lock().clear();
+        // Linked-table contents are captured as plain cells at checkpoint
+        // time (the table link itself is not yet persisted; see README).
+        self.checkpoint()?;
         Ok(link_rect)
     }
 
@@ -361,10 +544,16 @@ impl SheetEngine {
             .ok_or_else(|| {
                 EngineError::BadLink(format!("no composite value entry ({i},{j}) at {src}"))
             })?;
-        self.sheet
-            .set_cell(dst, Cell::value(crate::translator::datum_to_value(&value)))?;
-        self.cache.lock().invalidate(&dst);
-        self.recompute(&[dst])
+        let cell_value = crate::translator::datum_to_value(&value);
+        // Route through the SetValue replay path so live and recovered
+        // engines behave identically (it also drops any stale formula
+        // registration at dst).
+        self.set_value_impl(dst, cell_value.clone())?;
+        self.log_op(LoggedOp::SetValue {
+            row: dst.row,
+            col: dst.col,
+            value: cell_value,
+        })
     }
 
     // ------------------------------------------------------- optimizer --
@@ -726,6 +915,99 @@ mod tests {
         assert_eq!(e.snapshot(), before, "optimization must not lose cells");
         // Values still readable and formulas still work after migration.
         assert_eq!(e.value(a("A1")), CellValue::Number(0.0));
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dataspread-sheet-durable-{name}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn durable_roundtrip_without_checkpoint() {
+        let dir = temp_dir("wal-only");
+        {
+            let mut e = SheetEngine::open(&dir).unwrap();
+            assert!(e.is_durable());
+            e.update_cell_a1("A1", "10").unwrap();
+            e.update_cell_a1("A2", "=A1*4").unwrap();
+            e.update_cell_a1("B1", "hello").unwrap();
+            e.insert_rows(0, 1).unwrap();
+            e.save().unwrap();
+            // No checkpoint: state must come back from the WAL alone.
+            assert!(e.persistence_stats().unwrap().ops_since_checkpoint >= 4);
+        }
+        let e = SheetEngine::open(&dir).unwrap();
+        assert_eq!(e.value(a("A2")), CellValue::Number(10.0));
+        assert_eq!(e.value(a("A3")), CellValue::Number(40.0));
+        assert_eq!(e.value(a("B2")), CellValue::Text("hello".into()));
+        // Recovery folded the WAL into the image.
+        assert_eq!(e.persistence_stats().unwrap().ops_since_checkpoint, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_checkpoint_then_more_ops() {
+        let dir = temp_dir("ckpt-tail");
+        {
+            let mut e = SheetEngine::open(&dir).unwrap();
+            e.update_cell_a1("A1", "1").unwrap();
+            e.checkpoint().unwrap();
+            e.update_cell_a1("A1", "2").unwrap();
+            e.update_cell_a1("C3", "=A1+1").unwrap();
+            e.save().unwrap();
+        }
+        let mut e = SheetEngine::open(&dir).unwrap();
+        assert_eq!(e.value(a("A1")), CellValue::Number(2.0));
+        assert_eq!(e.value(a("C3")), CellValue::Number(3.0));
+        // Recovered formulas stay live: editing the precedent recomputes.
+        e.update_cell_a1("A1", "10").unwrap();
+        assert_eq!(e.value(a("C3")), CellValue::Number(11.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_store_remembers_posmap_kind() {
+        let dir = temp_dir("posmap");
+        {
+            let mut e = SheetEngine::open_with_posmap(&dir, PosMapKind::Monotonic).unwrap();
+            e.update_cell_a1("A1", "1").unwrap();
+            e.checkpoint().unwrap();
+        }
+        // A different requested kind is overridden by the stored one.
+        let e = SheetEngine::open_with_posmap(&dir, PosMapKind::Hierarchical).unwrap();
+        assert_eq!(e.storage().posmap_kind(), PosMapKind::Monotonic);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_checkpoint_bounds_wal_growth() {
+        let dir = temp_dir("auto");
+        let mut e = SheetEngine::open(&dir).unwrap();
+        e.set_auto_checkpoint(Some(10));
+        for i in 0..35u32 {
+            e.update_cell(CellAddr::new(i, 0), &i.to_string()).unwrap();
+        }
+        let stats = e.persistence_stats().unwrap();
+        assert!(
+            stats.ops_since_checkpoint < 10,
+            "wal grew past the auto-checkpoint threshold: {stats:?}"
+        );
+        assert!(stats.checkpoints >= 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn in_memory_engine_save_and_checkpoint_are_noops() {
+        let mut e = SheetEngine::new();
+        assert!(!e.is_durable());
+        e.update_cell_a1("A1", "1").unwrap();
+        e.save().unwrap();
+        assert!(e.checkpoint().unwrap().is_none());
+        assert!(e.persistence_stats().is_none());
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! Shared infrastructure for the differential and crash-recovery suites:
+//! seeded random op tapes and helpers to drive a [`SheetEngine`] with them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dataspread_engine::SheetEngine;
+use dataspread_grid::CellAddr;
+
+/// Bounds of the randomized playground. Kept small so structural edits
+/// collide with content often (that is where the bugs live).
+pub const MAX_ROW: u32 = 30;
+pub const MAX_COL: u32 = 12;
+
+/// One scripted engine operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TapeOp {
+    /// `updateCell` with raw user input (literal, formula, or "" = clear).
+    Set {
+        row: u32,
+        col: u32,
+        input: String,
+    },
+    InsertRows {
+        at: u32,
+        n: u32,
+    },
+    DeleteRows {
+        at: u32,
+        n: u32,
+    },
+    InsertCols {
+        at: u32,
+        n: u32,
+    },
+    DeleteCols {
+        at: u32,
+        n: u32,
+    },
+}
+
+/// Literal inputs that exercise every interpretation path (numbers, bools,
+/// text, whitespace-only clears). Deliberately no "nan"/"inf": those parse
+/// to non-reflexive floats and would break exact state comparison.
+const LITERALS: &[&str] = &[
+    "0",
+    "7",
+    "-3",
+    "3.25",
+    "1e3",
+    "TRUE",
+    "false",
+    "alpha",
+    "beta gamma",
+    "12abc",
+    "",
+    "  ",
+];
+
+/// Reference-free formulas: their values are position-independent, so the
+/// differential model can predict them across structural edits.
+const FORMULAS: &[&str] = &[
+    "=1+2*3",
+    "=SUM(1,2,3,4)",
+    "=AVERAGE(2,4,6)",
+    "=MIN(9,4,7)",
+    "=MAX(1,8)",
+    "=IF(TRUE,10,20)",
+    "=1/0",
+    "=2*(3+4)",
+];
+
+/// Generate a deterministic op tape for `seed`.
+pub fn tape(seed: u64, len: usize) -> Vec<TapeOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let roll = rng.gen_range(0u32..100);
+        let op = if roll < 70 {
+            let row = rng.gen_range(0..MAX_ROW);
+            let col = rng.gen_range(0..MAX_COL);
+            let input = if rng.gen_bool(0.25) {
+                FORMULAS[rng.gen_range(0..FORMULAS.len())].to_string()
+            } else {
+                LITERALS[rng.gen_range(0..LITERALS.len())].to_string()
+            };
+            TapeOp::Set { row, col, input }
+        } else {
+            let at = rng.gen_range(0..MAX_ROW);
+            let n = rng.gen_range(1u32..=3);
+            match roll % 4 {
+                0 => TapeOp::InsertRows { at, n },
+                1 => TapeOp::DeleteRows { at, n },
+                2 => TapeOp::InsertCols {
+                    at: at % MAX_COL,
+                    n,
+                },
+                _ => TapeOp::DeleteCols {
+                    at: at % MAX_COL,
+                    n,
+                },
+            }
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Apply one op to an engine.
+pub fn apply(engine: &mut SheetEngine, op: &TapeOp) {
+    match op {
+        TapeOp::Set { row, col, input } => engine
+            .update_cell(CellAddr::new(*row, *col), input)
+            .unwrap_or_else(|e| panic!("set ({row},{col}) {input:?}: {e}")),
+        TapeOp::InsertRows { at, n } => engine.insert_rows(*at, *n).expect("insert rows"),
+        TapeOp::DeleteRows { at, n } => engine.delete_rows(*at, *n).expect("delete rows"),
+        TapeOp::InsertCols { at, n } => engine.insert_cols(*at, *n).expect("insert cols"),
+        TapeOp::DeleteCols { at, n } => engine.delete_cols(*at, *n).expect("delete cols"),
+    }
+}

@@ -1,0 +1,234 @@
+//! Crash-recovery suite for the durable engine.
+//!
+//! The crash model under test: the process stops at an arbitrary byte of
+//! the WAL — after some op appends, before the next checkpoint. Recovery
+//! must always reconstruct the state as of some *op prefix* (a cut inside
+//! a record yields the pre-op state, a cut at a record boundary the
+//! post-op state) and must never surface a torn cell.
+//!
+//! `wal_cut_at_every_byte_boundary` literalizes that: it commits a tape,
+//! then for every prefix length of the WAL file reopens a cloned store and
+//! compares against an in-memory engine that replayed exactly the ops
+//! whose records are fully contained in the prefix.
+
+mod common;
+
+use std::path::{Path, PathBuf};
+
+use common::{apply, tape};
+
+use dataspread_engine::durable::{image_path, wal_path};
+use dataspread_engine::SheetEngine;
+use dataspread_grid::CellAddr;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("dataspread-recovery-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Clone a durable sheet directory — the "crash image" of a live store.
+/// Copies every file so a future addition to the store layout cannot
+/// silently diverge from what a real crash would preserve.
+fn clone_store(src: &Path, dst: &Path) {
+    std::fs::remove_dir_all(dst).ok();
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+    }
+}
+
+/// Record end-offsets in a WAL file, parsed from the framing alone
+/// (`magic+version` header, then `len u32 | crc u32 | payload` records).
+fn record_ends(wal_bytes: &[u8]) -> Vec<usize> {
+    const HEADER: usize = 8;
+    const OVERHEAD: usize = 8;
+    let mut ends = Vec::new();
+    let mut off = HEADER;
+    while off + OVERHEAD <= wal_bytes.len() {
+        let len = u32::from_le_bytes(wal_bytes[off..off + 4].try_into().unwrap()) as usize;
+        let end = off + OVERHEAD + len;
+        if end > wal_bytes.len() {
+            break;
+        }
+        ends.push(end);
+        off = end;
+    }
+    ends
+}
+
+#[test]
+fn wal_cut_at_every_byte_boundary_recovers_an_op_prefix() {
+    let ops = tape(20_260_731, 40);
+    let base = temp_dir("cuts-base");
+    {
+        let mut engine = SheetEngine::open(&base).unwrap();
+        for op in &ops {
+            apply(&mut engine, op);
+        }
+        engine.save().unwrap();
+    }
+    let image_bytes = std::fs::read(image_path(&base)).unwrap();
+    let wal_bytes = std::fs::read(wal_path(&base)).unwrap();
+    let ends = record_ends(&wal_bytes);
+    assert_eq!(ends.len(), ops.len(), "one WAL record per op");
+
+    // Expected states are engine states after each op prefix; advance the
+    // in-memory reference engine lazily as cuts cross record boundaries.
+    let mut reference = SheetEngine::new();
+    let mut applied = 0usize;
+    let cut_dir = temp_dir("cuts-work");
+    for cut in 0..=wal_bytes.len() {
+        let committed = ends.iter().take_while(|e| **e <= cut).count();
+        while applied < committed {
+            apply(&mut reference, &ops[applied]);
+            applied += 1;
+        }
+        std::fs::remove_dir_all(&cut_dir).ok();
+        std::fs::create_dir_all(&cut_dir).unwrap();
+        std::fs::write(image_path(&cut_dir), &image_bytes).unwrap();
+        std::fs::write(wal_path(&cut_dir), &wal_bytes[..cut]).unwrap();
+        let recovered =
+            SheetEngine::open(&cut_dir).unwrap_or_else(|e| panic!("open failed at cut {cut}: {e}"));
+        assert_eq!(
+            recovered.snapshot(),
+            reference.snapshot(),
+            "cut at byte {cut} must recover exactly {committed} ops"
+        );
+    }
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::remove_dir_all(&cut_dir).ok();
+}
+
+/// Ops in the large committed tape (the ISSUE's acceptance bar is ≥100k
+/// committed cell updates surviving a pre-checkpoint crash; debug builds
+/// run a scaled-down tape to keep tier-1 `cargo test` fast, CI runs this
+/// suite in `--release`).
+const LARGE_OPS: usize = if cfg!(debug_assertions) {
+    2_000
+} else {
+    100_000
+};
+
+#[test]
+fn large_committed_tape_survives_crash_before_checkpoint() {
+    let base = temp_dir("large-base");
+    let crash = temp_dir("large-crash");
+    let mut engine = SheetEngine::open(&base).unwrap();
+    for i in 0..LARGE_OPS as u32 {
+        let addr = CellAddr::new(i % 1009, i / 1009);
+        let input = if i % 997 == 0 {
+            "=SUM(1,2,3)".to_string()
+        } else {
+            format!("{}", (i as i64) * 3 - 1)
+        };
+        engine.update_cell(addr, &input).unwrap();
+    }
+    engine.save().unwrap(); // fsync-point: the tape is committed
+    let stats = engine.persistence_stats().unwrap();
+    assert_eq!(stats.ops_since_checkpoint, LARGE_OPS as u64);
+
+    // Simulated crash: freeze the on-disk state while the engine is still
+    // live (stops after WAL append, before any checkpoint).
+    clone_store(&base, &crash);
+    let mut recovered = SheetEngine::open(&crash).unwrap();
+    assert_eq!(
+        recovered.snapshot(),
+        engine.snapshot(),
+        "recovered logical state must match the pre-crash engine"
+    );
+
+    // "Byte-identical": checkpointing both engines must produce identical
+    // image files (the image serialization is canonical).
+    engine.checkpoint().unwrap();
+    recovered.checkpoint().unwrap();
+    assert_eq!(
+        std::fs::read(image_path(&base)).unwrap(),
+        std::fs::read(image_path(&crash)).unwrap(),
+        "canonical checkpoint images must be byte-identical"
+    );
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::remove_dir_all(&crash).ok();
+}
+
+#[test]
+fn recovery_is_idempotent() {
+    let base = temp_dir("idem-base");
+    let crash = temp_dir("idem-crash");
+    {
+        let mut engine = SheetEngine::open(&base).unwrap();
+        for op in &tape(7, 60) {
+            apply(&mut engine, op);
+        }
+        engine.save().unwrap();
+        clone_store(&base, &crash);
+    }
+    let first = SheetEngine::open(&crash).unwrap().snapshot();
+    // The first open folded the WAL into the image; a second open must see
+    // the identical state (now from the image instead of replay).
+    let second = SheetEngine::open(&crash).unwrap();
+    assert_eq!(second.snapshot(), first);
+    assert_eq!(second.persistence_stats().unwrap().ops_since_checkpoint, 0);
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::remove_dir_all(&crash).ok();
+}
+
+#[test]
+fn structural_tape_survives_crash() {
+    // Row/col splices interleaved with updates: recovery must replay them
+    // in order for every positional-map scheme.
+    use dataspread_engine::PosMapKind;
+    for kind in [
+        PosMapKind::AsIs,
+        PosMapKind::Monotonic,
+        PosMapKind::Hierarchical,
+    ] {
+        let base = temp_dir(&format!("struct-{kind:?}"));
+        let crash = temp_dir(&format!("struct-crash-{kind:?}"));
+        let ops = tape(99, 150);
+        let mut engine = SheetEngine::open_with_posmap(&base, kind).unwrap();
+        let mut reference = SheetEngine::with_posmap(kind);
+        for op in &ops {
+            apply(&mut engine, op);
+            apply(&mut reference, op);
+        }
+        engine.save().unwrap();
+        clone_store(&base, &crash);
+        let recovered = SheetEngine::open(&crash).unwrap();
+        assert_eq!(recovered.snapshot(), reference.snapshot(), "kind={kind:?}");
+        assert_eq!(recovered.storage().posmap_kind(), kind);
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::remove_dir_all(&crash).ok();
+    }
+}
+
+#[test]
+fn garbage_wal_tail_is_ignored_but_garbage_image_is_rejected() {
+    let base = temp_dir("garbage");
+    {
+        let mut engine = SheetEngine::open(&base).unwrap();
+        engine.update_cell_a1("A1", "42").unwrap();
+        engine.save().unwrap();
+    }
+    // Append garbage to the WAL: recovery keeps the committed prefix.
+    let mut wal = std::fs::read(wal_path(&base)).unwrap();
+    wal.extend_from_slice(b"\xDE\xAD\xBE\xEF garbage tail");
+    std::fs::write(wal_path(&base), &wal).unwrap();
+    let engine = SheetEngine::open(&base).unwrap();
+    assert_eq!(
+        engine.value(CellAddr::parse_a1("A1").unwrap()),
+        dataspread_grid::CellValue::Number(42.0)
+    );
+    drop(engine);
+    // Corrupt the image payload: recovery must refuse, not hallucinate.
+    let mut image = std::fs::read(image_path(&base)).unwrap();
+    let len = image.len();
+    image[len - 1] ^= 0xFF;
+    let byte = 8192 + 16; // inside the payload page
+    image[byte] ^= 0xFF;
+    std::fs::write(image_path(&base), &image).unwrap();
+    assert!(SheetEngine::open(&base).is_err());
+    std::fs::remove_dir_all(&base).ok();
+}

@@ -22,6 +22,16 @@ pub enum StoreError {
     /// The operation would exceed a configured limit (e.g. max columns,
     /// paper Appendix A-C4).
     LimitExceeded(String),
+    /// An operating-system I/O failure (persistence paths: pager, WAL,
+    /// snapshots). Stored as its display string so the error stays `Clone`
+    /// + `PartialEq` like the rest of the enum.
+    Io(String),
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
 }
 
 impl fmt::Display for StoreError {
@@ -35,6 +45,7 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt(m) => write!(f, "corrupt tuple: {m}"),
             StoreError::NoSuchColumn(n) => write!(f, "no such column: {n}"),
             StoreError::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
+            StoreError::Io(m) => write!(f, "io error: {m}"),
         }
     }
 }

@@ -14,6 +14,15 @@
 //! It intentionally models the *cost structure* the paper measures —
 //! per-table, per-row, per-column, and per-cell overheads — so that storage
 //! comparisons between data models (ROM / COM / RCV / hybrids) transfer.
+//!
+//! Durability comes in two tiers:
+//!
+//! * [`persist`] — whole-database snapshots (atomic temp-file + rename),
+//!   the import/export path;
+//! * [`pager`] + [`wal`] — page-granular persistence: fixed-size page I/O
+//!   through an LRU cache with dirty tracking, and a CRC-framed write-ahead
+//!   log whose fsync-point is the commit point. The engine crate composes
+//!   the two into crash-recoverable sheet storage.
 
 pub mod btree;
 pub mod datum;
@@ -21,9 +30,11 @@ pub mod db;
 pub mod error;
 pub mod heap;
 pub mod page;
+pub mod pager;
 pub mod persist;
 pub mod schema;
 pub mod table;
+pub mod wal;
 
 pub use btree::BPlusTree;
 pub use datum::{DataType, Datum};
@@ -31,5 +42,7 @@ pub use db::{Database, StorageConfig};
 pub use error::StoreError;
 pub use heap::{HeapFile, TupleId};
 pub use page::{Page, PAGE_SIZE};
+pub use pager::{Pager, PagerStats};
 pub use schema::{ColumnDef, Schema};
 pub use table::Table;
+pub use wal::{crc32, Wal};

@@ -1,0 +1,416 @@
+//! Paged file I/O behind an LRU page cache.
+//!
+//! The pager owns one file laid out as consecutive [`PAGE_SIZE`] pages
+//! (page `n` lives at byte offset `n * PAGE_SIZE`; the file carries no
+//! header of its own — page 0 belongs to the caller). Reads and writes go
+//! through a bounded cache with dirty tracking, so repeated access to hot
+//! pages costs no I/O and a checkpoint writes only the pages that actually
+//! changed. Eviction of a dirty page writes it back first; nothing is
+//! durable until [`Pager::flush`], which writes every dirty page and
+//! fsyncs.
+//!
+//! Crash safety is *not* this layer's job: in-place page writes can tear.
+//! The caller pairs the pager with a [`crate::wal::Wal`] that journals
+//! enough state (logical ops and pre-images of overwritten pages) to
+//! restore consistency on reopen.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::StoreError;
+use crate::page::PAGE_SIZE;
+
+/// Default cache capacity in pages (2 MiB at 8 KiB pages).
+pub const DEFAULT_CACHE_PAGES: usize = 256;
+
+struct Frame {
+    data: Box<[u8]>, // always PAGE_SIZE long
+    dirty: bool,
+    last_used: u64,
+}
+
+/// Cumulative pager counters (cache behaviour and real I/O).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Page requests served from the cache.
+    pub hits: u64,
+    /// Page requests that had to read the file.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Pages physically read from the file.
+    pub pages_read: u64,
+    /// Pages physically written to the file.
+    pub pages_written: u64,
+}
+
+/// A paged file with an LRU cache and dirty-page tracking.
+pub struct Pager {
+    file: File,
+    path: PathBuf,
+    page_count: u64,
+    capacity: usize,
+    frames: HashMap<u64, Frame>,
+    tick: u64,
+    stats: PagerStats,
+}
+
+impl std::fmt::Debug for Pager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pager")
+            .field("path", &self.path)
+            .field("page_count", &self.page_count)
+            .field("cached", &self.frames.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl Pager {
+    /// Open (or create) the page file with the default cache capacity.
+    pub fn open(path: impl AsRef<Path>) -> Result<Pager, StoreError> {
+        Self::with_capacity(path, DEFAULT_CACHE_PAGES)
+    }
+
+    /// Open (or create) the page file with room for `capacity` cached
+    /// pages (minimum 1).
+    pub fn with_capacity(path: impl AsRef<Path>, capacity: usize) -> Result<Pager, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StoreError::Corrupt(format!(
+                "page file length {len} is not a multiple of the page size"
+            )));
+        }
+        Ok(Pager {
+            file,
+            path,
+            page_count: len / PAGE_SIZE as u64,
+            capacity: capacity.max(1),
+            frames: HashMap::new(),
+            tick: 0,
+            stats: PagerStats::default(),
+        })
+    }
+
+    /// Pages currently in the file (cached-but-unflushed growth included).
+    pub fn page_count(&self) -> u64 {
+        self.page_count
+    }
+
+    /// Cumulative cache/I/O counters.
+    pub fn stats(&self) -> PagerStats {
+        self.stats
+    }
+
+    /// Pages currently held in the cache.
+    pub fn cached_pages(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Pages in the cache with unflushed modifications.
+    pub fn dirty_pages(&self) -> usize {
+        self.frames.values().filter(|f| f.dirty).count()
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn touch(&mut self, page_no: u64) {
+        self.tick += 1;
+        if let Some(frame) = self.frames.get_mut(&page_no) {
+            frame.last_used = self.tick;
+        }
+    }
+
+    fn write_frame_to_file(
+        file: &mut File,
+        stats: &mut PagerStats,
+        page_no: u64,
+        data: &[u8],
+    ) -> Result<(), StoreError> {
+        file.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
+        file.write_all(data)?;
+        stats.pages_written += 1;
+        Ok(())
+    }
+
+    /// Evict least-recently-used frames until the cache fits `capacity`,
+    /// keeping `protect` resident. Dirty victims are written back (without
+    /// fsync — durability still comes from `flush`).
+    fn evict_to_capacity(&mut self, protect: u64) -> Result<(), StoreError> {
+        while self.frames.len() > self.capacity {
+            let victim = self
+                .frames
+                .iter()
+                .filter(|(no, _)| **no != protect)
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(no, _)| *no);
+            let Some(no) = victim else { break };
+            let frame = self.frames.remove(&no).expect("victim exists");
+            if frame.dirty {
+                Self::write_frame_to_file(&mut self.file, &mut self.stats, no, &frame.data)?;
+            }
+            self.stats.evictions += 1;
+        }
+        Ok(())
+    }
+
+    /// Read page `page_no` (must be `< page_count`). The returned slice is
+    /// always `PAGE_SIZE` bytes, served from the cache when resident.
+    pub fn read_page(&mut self, page_no: u64) -> Result<&[u8], StoreError> {
+        if page_no >= self.page_count {
+            return Err(StoreError::Corrupt(format!(
+                "read of page {page_no} beyond page count {}",
+                self.page_count
+            )));
+        }
+        if self.frames.contains_key(&page_no) {
+            self.stats.hits += 1;
+            self.touch(page_no);
+        } else {
+            self.stats.misses += 1;
+            self.stats.pages_read += 1;
+            // Pages past the physical end-of-file (page_count can run ahead
+            // of the file before a flush) read back as zeroes.
+            let mut data = vec![0u8; PAGE_SIZE];
+            self.file
+                .seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
+            let mut filled = 0;
+            while filled < PAGE_SIZE {
+                match self.file.read(&mut data[filled..]) {
+                    Ok(0) => break, // hole page: remainder stays zero
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            self.tick += 1;
+            self.frames.insert(
+                page_no,
+                Frame {
+                    data: data.into_boxed_slice(),
+                    dirty: false,
+                    last_used: self.tick,
+                },
+            );
+            self.evict_to_capacity(page_no)?;
+        }
+        Ok(&self.frames.get(&page_no).expect("just ensured").data)
+    }
+
+    /// Write a full page. Pages may be written past the current end; the
+    /// file grows (any skipped pages read back as zeroes). The write lands
+    /// in the cache as dirty and reaches the file on eviction or
+    /// [`Pager::flush`].
+    pub fn write_page(&mut self, page_no: u64, bytes: &[u8]) -> Result<(), StoreError> {
+        if bytes.len() != PAGE_SIZE {
+            return Err(StoreError::Corrupt(format!(
+                "page write of {} bytes (expected {PAGE_SIZE})",
+                bytes.len()
+            )));
+        }
+        self.tick += 1;
+        match self.frames.get_mut(&page_no) {
+            Some(frame) => {
+                frame.data.copy_from_slice(bytes);
+                frame.dirty = true;
+                frame.last_used = self.tick;
+            }
+            None => {
+                self.frames.insert(
+                    page_no,
+                    Frame {
+                        data: bytes.to_vec().into_boxed_slice(),
+                        dirty: true,
+                        last_used: self.tick,
+                    },
+                );
+            }
+        }
+        self.page_count = self.page_count.max(page_no + 1);
+        self.evict_to_capacity(page_no)
+    }
+
+    /// Write every dirty page (ascending page order) and fsync the file.
+    /// Returns how many pages were written.
+    pub fn flush(&mut self) -> Result<u64, StoreError> {
+        let mut dirty: Vec<u64> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(no, _)| *no)
+            .collect();
+        dirty.sort_unstable();
+        let written = dirty.len() as u64;
+        for no in dirty {
+            let frame = self.frames.get_mut(&no).expect("listed above");
+            Self::write_frame_to_file(&mut self.file, &mut self.stats, no, &frame.data)?;
+            frame.dirty = false;
+        }
+        // A trailing all-zero page may never have been written explicitly;
+        // make sure the file really spans page_count pages.
+        let want = self.page_count * PAGE_SIZE as u64;
+        if self.file.metadata()?.len() < want {
+            self.file.set_len(want)?;
+        }
+        self.file.sync_data()?;
+        Ok(written)
+    }
+
+    /// Shrink (or grow, zero-filled) the file to exactly `page_count`
+    /// pages, dropping cached frames beyond the new end.
+    pub fn truncate(&mut self, page_count: u64) -> Result<(), StoreError> {
+        self.frames.retain(|no, _| *no < page_count);
+        self.file.set_len(page_count * PAGE_SIZE as u64)?;
+        self.page_count = page_count;
+        Ok(())
+    }
+
+    /// fsync without writing dirty pages (rarely what you want — prefer
+    /// [`Pager::flush`]).
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dataspread-pager-{name}-{}", std::process::id()))
+    }
+
+    fn page_of(byte: u8) -> Vec<u8> {
+        vec![byte; PAGE_SIZE]
+    }
+
+    #[test]
+    fn write_flush_reopen_roundtrip() {
+        let path = temp("roundtrip");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut p = Pager::open(&path).unwrap();
+            assert_eq!(p.page_count(), 0);
+            p.write_page(0, &page_of(0xAA)).unwrap();
+            p.write_page(2, &page_of(0xCC)).unwrap(); // page 1 skipped: zeroes
+            assert_eq!(p.page_count(), 3);
+            assert_eq!(p.flush().unwrap(), 2);
+        }
+        let mut p = Pager::open(&path).unwrap();
+        assert_eq!(p.page_count(), 3);
+        assert_eq!(p.read_page(0).unwrap()[0], 0xAA);
+        assert!(p.read_page(1).unwrap().iter().all(|&b| b == 0));
+        assert_eq!(p.read_page(2).unwrap()[PAGE_SIZE - 1], 0xCC);
+        assert!(p.read_page(3).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cache_hits_and_misses_counted() {
+        let path = temp("stats");
+        std::fs::remove_file(&path).ok();
+        let mut p = Pager::open(&path).unwrap();
+        p.write_page(0, &page_of(1)).unwrap();
+        p.flush().unwrap();
+        p.read_page(0).unwrap(); // cached by the write
+        p.read_page(0).unwrap();
+        let s = p.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.pages_written, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let path = temp("evict");
+        std::fs::remove_file(&path).ok();
+        let mut p = Pager::with_capacity(&path, 2).unwrap();
+        for i in 0..5u64 {
+            p.write_page(i, &page_of(i as u8 + 1)).unwrap();
+        }
+        assert!(p.cached_pages() <= 2);
+        assert!(p.stats().evictions >= 3);
+        // Evicted pages were written back; re-reading them round-trips.
+        for i in 0..5u64 {
+            assert_eq!(p.read_page(i).unwrap()[7], i as u8 + 1, "page {i}");
+        }
+        p.flush().unwrap();
+        drop(p);
+        let mut p = Pager::open(&path).unwrap();
+        for i in 0..5u64 {
+            assert_eq!(p.read_page(i).unwrap()[7], i as u8 + 1, "page {i}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unflushed_hole_pages_read_as_zeroes() {
+        let path = temp("hole");
+        std::fs::remove_file(&path).ok();
+        let mut p = Pager::open(&path).unwrap();
+        p.write_page(2, &page_of(5)).unwrap(); // pages 0..2 never written
+        assert!(p.read_page(0).unwrap().iter().all(|&b| b == 0));
+        assert!(p.read_page(1).unwrap().iter().all(|&b| b == 0));
+        assert_eq!(p.read_page(2).unwrap()[0], 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flush_writes_only_dirty() {
+        let path = temp("dirty");
+        std::fs::remove_file(&path).ok();
+        let mut p = Pager::open(&path).unwrap();
+        p.write_page(0, &page_of(1)).unwrap();
+        p.write_page(1, &page_of(2)).unwrap();
+        assert_eq!(p.dirty_pages(), 2);
+        assert_eq!(p.flush().unwrap(), 2);
+        assert_eq!(p.dirty_pages(), 0);
+        assert_eq!(p.flush().unwrap(), 0, "second flush writes nothing");
+        p.write_page(1, &page_of(3)).unwrap();
+        assert_eq!(p.flush().unwrap(), 1, "only the touched page");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncate_drops_tail() {
+        let path = temp("trunc");
+        std::fs::remove_file(&path).ok();
+        let mut p = Pager::open(&path).unwrap();
+        for i in 0..4u64 {
+            p.write_page(i, &page_of(9)).unwrap();
+        }
+        p.flush().unwrap();
+        p.truncate(1).unwrap();
+        assert_eq!(p.page_count(), 1);
+        assert!(p.read_page(1).is_err());
+        drop(p);
+        let p = Pager::open(&path).unwrap();
+        assert_eq!(p.page_count(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_partial_page_and_bad_length_file() {
+        let path = temp("badlen");
+        std::fs::remove_file(&path).ok();
+        let mut p = Pager::open(&path).unwrap();
+        assert!(p.write_page(0, b"short").is_err());
+        drop(p);
+        std::fs::write(&path, vec![0u8; PAGE_SIZE + 17]).unwrap();
+        assert!(matches!(Pager::open(&path), Err(StoreError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+}

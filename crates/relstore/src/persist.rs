@@ -70,7 +70,15 @@ fn r_str(inp: &mut impl Read) -> Result<String, StoreError> {
 }
 
 fn io_err(e: io::Error) -> StoreError {
-    StoreError::Corrupt(format!("io: {e}"))
+    StoreError::Io(e.to_string())
+}
+
+/// A temp-file path in the same directory as `path` (rename across
+/// filesystems is not atomic, so the temp file must be a sibling).
+fn temp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
 }
 
 fn type_tag(ty: DataType) -> u8 {
@@ -96,7 +104,33 @@ fn tag_type(tag: u8) -> Result<DataType, StoreError> {
 
 impl Database {
     /// Write a snapshot of the whole database to `path`.
+    ///
+    /// The write is atomic with respect to crashes: the snapshot streams to
+    /// a sibling temp file, is fsynced, and only then renamed over `path`
+    /// (rename within a directory is atomic on POSIX). A crash mid-save
+    /// therefore leaves any previous snapshot at `path` untouched instead
+    /// of a torn half-written file.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        let path = path.as_ref();
+        let tmp_path = temp_sibling(path);
+        let result = self.save_to(&tmp_path).and_then(|()| {
+            std::fs::rename(&tmp_path, path).map_err(io_err)?;
+            // Pin the rename itself (best-effort: directory handles cannot
+            // be fsynced on every platform).
+            if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                if let Ok(dir) = std::fs::File::open(parent) {
+                    dir.sync_all().ok();
+                }
+            }
+            Ok(())
+        });
+        if result.is_err() {
+            std::fs::remove_file(&tmp_path).ok();
+        }
+        result
+    }
+
+    fn save_to(&self, path: &Path) -> Result<(), StoreError> {
         let file = std::fs::File::create(path).map_err(io_err)?;
         let mut out = io::BufWriter::new(file);
         out.write_all(MAGIC).map_err(io_err)?;
@@ -124,7 +158,11 @@ impl Database {
             }
             w_u64(&mut out, table.row_count()).map_err(io_err)?;
         }
-        out.flush().map_err(io_err)
+        let file = out
+            .into_inner()
+            .map_err(|e| StoreError::Io(format!("snapshot flush: {e}")))?;
+        // The rename must not be reordered before the data hits the disk.
+        file.sync_data().map_err(io_err)
     }
 
     /// Restore a snapshot previously written by [`Database::save`].
@@ -270,6 +308,52 @@ mod tests {
         assert!(matches!(Database::load(&path), Err(StoreError::Corrupt(_))));
         std::fs::remove_file(&path).ok();
         assert!(Database::load(temp_path("missing")).is_err());
+    }
+
+    #[test]
+    fn save_is_atomic_replace() {
+        let path = temp_path("atomic");
+        let db = sample_db();
+        db.save(&path).unwrap();
+        let first = std::fs::read(&path).unwrap();
+        // Overwriting an existing snapshot goes through a temp sibling…
+        let mut db2 = sample_db();
+        db2.table_mut("t1")
+            .unwrap()
+            .insert(&[Datum::Int(424242), Datum::Text("second".into())])
+            .unwrap();
+        db2.save(&path).unwrap();
+        let second = std::fs::read(&path).unwrap();
+        assert_ne!(first, second, "snapshot content replaced");
+        // …and the temp file does not survive a successful save.
+        let dir = path.parent().unwrap();
+        let base = path.file_name().unwrap().to_string_lossy().to_string();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().to_string())
+            .filter(|n| n.starts_with(&base) && n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stale temp files: {leftovers:?}");
+        let loaded = Database::load(&path).unwrap();
+        assert_eq!(
+            loaded.table("t1").unwrap().row_count(),
+            db2.table("t1").unwrap().row_count()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_save_leaves_existing_snapshot_intact() {
+        let path = temp_path("atomic-fail");
+        let db = sample_db();
+        db.save(&path).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        // A save to an unwritable location errors without touching `path`.
+        let bogus = std::path::Path::new("/nonexistent-dir-dspr/snapshot.db");
+        assert!(matches!(db.save(bogus), Err(StoreError::Io(_))));
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

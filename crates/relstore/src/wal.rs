@@ -1,0 +1,361 @@
+//! Write-ahead log.
+//!
+//! Durability for the paged store: every committed mutation is appended to
+//! the log *before* it reaches the page file, so a crash at any point loses
+//! at most the uncommitted tail. The log is a flat file of CRC-framed
+//! records:
+//!
+//! ```text
+//! magic "DSWL" | version u32
+//! per record: len u32 | crc32 u32 | payload (len bytes)
+//! ```
+//!
+//! A record is *committed* exactly when it is fully present with a valid
+//! checksum. [`Wal::open`] scans the file, keeps the longest valid prefix,
+//! and truncates any torn tail — that is the whole recovery contract, and
+//! it is what the engine's byte-boundary crash tests exercise: cutting the
+//! file anywhere yields either the state before or after each record.
+//!
+//! Payload semantics are the caller's business; this layer only frames and
+//! checksums. The engine logs logical sheet ops plus checkpoint undo-page
+//! images (see `dataspread-engine`'s `durable` module).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::StoreError;
+
+const MAGIC: &[u8; 4] = b"DSWL";
+const VERSION: u32 = 1;
+/// Size of the file header preceding the first record.
+pub const WAL_HEADER_LEN: u64 = 8;
+/// Per-record framing overhead (length + checksum).
+pub const WAL_RECORD_OVERHEAD: u64 = 8;
+/// Upper bound on a single record payload (sanity check while scanning).
+const MAX_RECORD: u32 = 64 << 20;
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                0xEDB8_8320 ^ (crc >> 1)
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = make_crc_table();
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial) — used for WAL record framing
+/// and page-image payload validation.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// An append-only, checksummed log file.
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Length of the valid prefix == offset of the next append.
+    len: u64,
+    /// Records recovered by [`Wal::open`] (the committed prefix found on
+    /// disk), in append order. Consumed by the owner during recovery.
+    recovered: Vec<Vec<u8>>,
+    appended: u64,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("len", &self.len)
+            .field("recovered", &self.recovered.len())
+            .finish()
+    }
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, recovering the committed record
+    /// prefix and truncating any torn tail.
+    ///
+    /// A file shorter than its header is treated as empty (a crash before
+    /// the header finished); a full-size header with the wrong magic or
+    /// version is an error — that is not a torn write, it is the wrong
+    /// file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Wal, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+
+        if bytes.len() < WAL_HEADER_LEN as usize {
+            // Fresh (or torn-at-birth) log: write a clean header.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(MAGIC)?;
+            file.write_all(&VERSION.to_le_bytes())?;
+            file.sync_data()?;
+            return Ok(Wal {
+                file,
+                path,
+                len: WAL_HEADER_LEN,
+                recovered: Vec::new(),
+                appended: 0,
+            });
+        }
+        if &bytes[..4] != MAGIC {
+            return Err(StoreError::Corrupt("wal: bad magic".into()));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "wal: unsupported version {version}"
+            )));
+        }
+
+        // Scan the committed prefix.
+        let mut recovered = Vec::new();
+        let mut off = WAL_HEADER_LEN as usize;
+        while let Some(frame) = bytes.get(off..off + WAL_RECORD_OVERHEAD as usize) {
+            let len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes"));
+            let crc = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+            if len > MAX_RECORD {
+                break; // implausible length: torn or garbage tail
+            }
+            let start = off + WAL_RECORD_OVERHEAD as usize;
+            let Some(payload) = bytes.get(start..start + len as usize) else {
+                break; // payload torn
+            };
+            if crc32(payload) != crc {
+                break; // payload corrupt
+            }
+            recovered.push(payload.to_vec());
+            off = start + len as usize;
+        }
+
+        // Drop the torn tail so new appends start at the valid prefix end.
+        file.set_len(off as u64)?;
+        file.seek(SeekFrom::Start(off as u64))?;
+        Ok(Wal {
+            file,
+            path,
+            len: off as u64,
+            recovered,
+            appended: 0,
+        })
+    }
+
+    /// The committed records found on disk by [`Wal::open`], oldest first.
+    /// Recovery consumes them once; appends do not show up here.
+    pub fn take_recovered(&mut self) -> Vec<Vec<u8>> {
+        std::mem::take(&mut self.recovered)
+    }
+
+    /// Append one record. The bytes reach the OS immediately (a crashed
+    /// *process* loses nothing) but survive a crashed *machine* only after
+    /// the next [`Wal::sync`] — the fsync-point is the commit point.
+    /// Returns the record's start offset (its LSN).
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        let lsn = self.len;
+        let mut frame = Vec::with_capacity(payload.len() + WAL_RECORD_OVERHEAD as usize);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        // Seek explicitly: a previously *failed* append may have left both
+        // the OS cursor and garbage bytes past the valid prefix.
+        self.file.seek(SeekFrom::Start(self.len))?;
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        self.appended += 1;
+        Ok(lsn)
+    }
+
+    /// Drop any bytes past the valid prefix (garbage left by a failed
+    /// append). A no-op on a healthy log.
+    pub fn truncate_to_valid(&mut self) -> Result<(), StoreError> {
+        self.file.set_len(self.len)?;
+        self.file.seek(SeekFrom::Start(self.len))?;
+        Ok(())
+    }
+
+    /// The fsync-point: force all appended records to stable storage.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Drop every record (the post-checkpoint reset): the log shrinks back
+    /// to its header and the result is fsynced.
+    pub fn truncate(&mut self) -> Result<(), StoreError> {
+        self.file.set_len(WAL_HEADER_LEN)?;
+        self.file.seek(SeekFrom::Start(WAL_HEADER_LEN))?;
+        self.file.sync_data()?;
+        self.len = WAL_HEADER_LEN;
+        self.recovered.clear();
+        Ok(())
+    }
+
+    /// Bytes in the valid prefix (header included).
+    pub fn len_bytes(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len == WAL_HEADER_LEN && self.recovered.is_empty()
+    }
+
+    /// Records appended through this handle (not counting recovered ones).
+    pub fn appended_records(&self) -> u64 {
+        self.appended
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dataspread-wal-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_reopen_roundtrip() {
+        let path = temp("roundtrip");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            assert!(wal.is_empty());
+            wal.append(b"one").unwrap();
+            wal.append(b"two-two").unwrap();
+            wal.append(b"").unwrap();
+            wal.sync().unwrap();
+        }
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(
+            wal.take_recovered(),
+            vec![b"one".to_vec(), b"two-two".to_vec(), Vec::new()]
+        );
+        // A second take yields nothing; the log is re-appendable.
+        assert!(wal.take_recovered().is_empty());
+        wal.append(b"three").unwrap();
+        drop(wal);
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.take_recovered().len(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_discarded_at_every_cut() {
+        let path = temp("torn");
+        std::fs::remove_file(&path).ok();
+        let payloads: Vec<Vec<u8>> = vec![vec![1; 5], vec![2; 9], vec![3; 1], vec![4; 30]];
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            for p in &payloads {
+                wal.append(p).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        // Committed record count for a prefix of length l.
+        let expected_at = |l: usize| {
+            let mut off = WAL_HEADER_LEN as usize;
+            let mut n = 0;
+            for p in &payloads {
+                off += WAL_RECORD_OVERHEAD as usize + p.len();
+                if off <= l {
+                    n += 1;
+                }
+            }
+            n
+        };
+        let cut_path = temp("torn-cut");
+        for l in 0..=bytes.len() {
+            std::fs::write(&cut_path, &bytes[..l]).unwrap();
+            let mut wal = Wal::open(&cut_path).unwrap();
+            let got = wal.take_recovered();
+            assert_eq!(got.len(), expected_at(l), "cut at byte {l}");
+            for (g, p) in got.iter().zip(&payloads) {
+                assert_eq!(g, p, "cut at byte {l}");
+            }
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&cut_path).ok();
+    }
+
+    #[test]
+    fn corrupt_payload_ends_prefix() {
+        let path = temp("corrupt");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(b"good").unwrap();
+            wal.append(b"flipped").unwrap();
+            wal.sync().unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.take_recovered(), vec![b"good".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncate_resets_and_survives_reopen() {
+        let path = temp("truncate");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(b"ephemeral").unwrap();
+            wal.truncate().unwrap();
+            assert!(wal.is_empty());
+            wal.append(b"kept").unwrap();
+            wal.sync().unwrap();
+        }
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.take_recovered(), vec![b"kept".to_vec()]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let path = temp("magic");
+        std::fs::write(&path, b"NOTAWALFILE!").unwrap();
+        assert!(matches!(Wal::open(&path), Err(StoreError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+}

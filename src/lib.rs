@@ -16,7 +16,10 @@
 //! * [`analysis`] — spreadsheet structure/formula analysis (paper §II),
 //! * [`corpus`] — synthetic corpora and workload generators,
 //! * [`engine`] — the storage engine proper: ROM/COM/RCV/TOM translators
-//!   and the [`engine::SheetEngine`] facade.
+//!   and the [`engine::SheetEngine`] facade, including durable paged
+//!   persistence (`SheetEngine::open` / `save` / `checkpoint`: an LRU
+//!   [`relstore::Pager`] image plus a [`relstore::Wal`] with crash
+//!   recovery on reopen).
 //!
 //! ## Quickstart
 //!
