@@ -1,12 +1,19 @@
 //! Durable paged persistence for [`SheetEngine`](crate::SheetEngine).
 //!
-//! A durable sheet lives in a directory with two files:
+//! A durable sheet lives in a directory with an image file and a WAL
+//! segment chain:
 //!
 //! * `pages.db` — the *image*: the last checkpointed logical sheet state,
-//!   serialized and chunked into 8 KB pages managed by a
-//!   [`Pager`](dataspread_relstore::Pager) (page 0 is a header with a
-//!   CRC over the payload; pages 1.. hold the cell payload);
-//! * `wal.log` — a [`Wal`](dataspread_relstore::Wal) of CRC-framed records.
+//!   stored **region-granularly** in 8 KB pages managed by a
+//!   [`Pager`](dataspread_relstore::Pager). Page 0 is the header (format
+//!   version, posmap scheme, and the location of the page-allocation map);
+//!   the map assigns each [`HybridSheet`](crate::HybridSheet) region —
+//!   plus the RCV catch-all as pseudo-region 0 — its own run of payload
+//!   pages, so a checkpoint re-serializes and rewrites **only the regions
+//!   touched since the last one** (the per-region dirty flags maintained
+//!   by the hybrid layer's mutators);
+//! * `wal.log` (+ rotated `wal.log.N` segments) — a
+//!   [`Wal`](dataspread_relstore::Wal) of CRC-framed records.
 //!
 //! Three record kinds share the log:
 //!
@@ -18,42 +25,92 @@
 //!
 //! **Commit protocol.** Each engine mutation appends a [`LoggedOp`] before
 //! returning; `save()` fsyncs the log (the fsync-point = the commit point).
-//! **Checkpoint protocol.** The current state is serialized and diffed
-//! against the image page-by-page; the pre-images of every page about to
-//! change are journaled to the WAL (tag 1 + 2 records) and fsynced, *then*
-//! the dirty pages are written in place and fsynced, *then* the WAL is
-//! truncated. **Recovery.** On open, if the WAL ends in an unfinished
-//! checkpoint journal, the undo pages are written back first (rolling the
-//! image to its pre-checkpoint bytes); the image is then loaded
-//! (CRC-verified) and the logged ops are replayed. A crash at *any* byte
-//! therefore yields the state as of some logged-op prefix — never a torn
-//! cell — which is exactly what the byte-boundary recovery suite asserts.
+//! Bulk imports are one [`LoggedOp::ImportRows`] record, replayed like any
+//! other op.
+//! **Checkpoint protocol.** Dirty regions are serialized and assigned
+//! pages from the free pool; the pre-images of every page about to change
+//! (dirty region pages, the rewritten map and header, zeroed freed pages)
+//! are journaled to the WAL (tag 1 + 2 records) and fsynced, *then* the
+//! changed pages are written in place and fsynced, *then* the WAL is
+//! truncated. Clean regions keep their pages untouched — after a
+//! single-cell edit the checkpoint cost is O(dirty regions), not O(sheet).
+//! **Recovery.** On open, if the WAL ends in an unfinished checkpoint
+//! journal, the undo pages are written back first (rolling the image to
+//! its pre-checkpoint bytes); the image is then loaded (each region's
+//! payload CRC-verified) and the logged ops are replayed. A crash at *any*
+//! byte therefore yields the state as of some logged-op prefix — never a
+//! torn cell — which is exactly what the byte-boundary recovery suite
+//! asserts. Version-1 (whole-sheet) images are migrated transparently: the
+//! cells load as the catch-all, everything is marked dirty, and the next
+//! checkpoint rewrites the file in the region-keyed layout.
+//!
+//! On-disk layout of the version-2 image:
+//!
+//! ```text
+//! page 0      magic "DSIM" | version=2 u32 | posmap u8 |
+//!             map_len u64 | map_crc u32 | map_page_count u32 |
+//!             map page numbers u64 × n
+//! map pages   region_count u32, then per region (ascending id):
+//!             id u64 | kind u8 | rect u32×4 |
+//!             payload_len u64 | payload_crc u32 |
+//!             page_count u32 | page numbers u64 × n
+//! data pages  each region's length-prefixed cell payload, chunked
+//! ```
+//!
+//! Freed pages are zeroed (free pages are always all-zero on disk), so the
+//! same logical state always serializes to the same image bytes no matter
+//! the edit history — the recovery suite compares images byte-for-byte.
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 use dataspread_grid::value::CellError;
-use dataspread_grid::{Cell, CellAddr, CellValue};
+use dataspread_grid::{Cell, CellAddr, CellValue, Rect};
+use dataspread_hybrid::ModelKind;
 use dataspread_posmap::PosMapKind;
+use dataspread_relstore::codec::{self, Reader};
 use dataspread_relstore::pager::PagerStats;
 use dataspread_relstore::wal::crc32;
 use dataspread_relstore::{Pager, StoreError, Wal, PAGE_SIZE};
 
 use crate::error::EngineError;
+use crate::hybrid::{RegionImage, CATCHALL_REGION_ID};
 
 /// File name of the checkpoint image inside a durable sheet directory.
 pub const IMAGE_FILE: &str = "pages.db";
 /// File name of the write-ahead log inside a durable sheet directory.
 pub const WAL_FILE: &str = "wal.log";
 
+/// Rotate the WAL to a fresh segment once the current one exceeds this
+/// (engine default; override with `set_wal_segment_limit`).
+pub const DEFAULT_WAL_SEGMENT_BYTES: u64 = 64 << 20;
+
+/// Largest op record the store will log (safely under the WAL's hard
+/// record cap, framing included). A bulk import can exceed this; the
+/// engine then captures it via an immediate checkpoint instead of a log
+/// record.
+pub const MAX_LOGGED_OP_BYTES: usize = 48 << 20;
+
 const IMAGE_MAGIC: &[u8; 4] = b"DSIM";
-const IMAGE_VERSION: u32 = 1;
-/// Serialized image header length (magic, version, posmap, len, crc).
-const HEADER_LEN: usize = 4 + 4 + 1 + 8 + 4;
+const IMAGE_VERSION: u32 = 2;
+/// Fixed part of the v2 header (magic, version, posmap, map len/crc/count).
+const HEADER_FIXED_LEN: usize = 4 + 4 + 1 + 8 + 4 + 4;
+/// Page numbers that fit in the header after the fixed fields.
+const MAX_MAP_PAGES: usize = (PAGE_SIZE - HEADER_FIXED_LEN) / 8;
+/// Serialized v1 header length (magic, version, posmap, len, crc).
+const V1_HEADER_LEN: usize = 4 + 4 + 1 + 8 + 4;
 
 // WAL payload kind tags.
 const REC_OP: u8 = 0;
 const REC_CKPT_BEGIN: u8 = 1;
 const REC_UNDO_PAGE: u8 = 2;
+
+// Region kind tags in the page-allocation map.
+const KIND_ROM: u8 = 0;
+const KIND_COM: u8 = 1;
+const KIND_RCV: u8 = 2;
+const KIND_TOM: u8 = 3;
+const KIND_CATCHALL: u8 = 4;
 
 /// Path of the image file for a durable sheet directory.
 pub fn image_path(dir: impl AsRef<Path>) -> PathBuf {
@@ -100,64 +157,18 @@ pub enum LoggedOp {
         at: u32,
         n: u32,
     },
+    /// A bulk `import_rows` call, logged as a single record instead of
+    /// forcing an immediate checkpoint; recovery replays it through the
+    /// same ROM bulk-load path.
+    ImportRows {
+        row: u32,
+        col: u32,
+        width: u32,
+        rows: Vec<Vec<CellValue>>,
+    },
 }
 
 // ------------------------------------------------------------ encoding --
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
-}
-
-/// Bounds-checked little-endian reader over a byte slice.
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    off: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
-        Cursor { bytes, off: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8], EngineError> {
-        let end = self.off.checked_add(n).filter(|e| *e <= self.bytes.len());
-        let Some(end) = end else {
-            return Err(corrupt("truncated record"));
-        };
-        let s = &self.bytes[self.off..end];
-        self.off = end;
-        Ok(s)
-    }
-
-    fn u8(&mut self) -> Result<u8, EngineError> {
-        Ok(self.take(1)?[0])
-    }
-    fn u32(&mut self) -> Result<u32, EngineError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
-    }
-    fn u64(&mut self) -> Result<u64, EngineError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
-    }
-    fn f64(&mut self) -> Result<f64, EngineError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
-    }
-    fn str(&mut self) -> Result<String, EngineError> {
-        let len = self.u32()? as usize;
-        let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("invalid utf-8"))
-    }
-
-    fn done(&self) -> bool {
-        self.off == self.bytes.len()
-    }
-}
 
 fn corrupt(msg: &str) -> EngineError {
     EngineError::Store(StoreError::Corrupt(msg.to_string()))
@@ -165,27 +176,27 @@ fn corrupt(msg: &str) -> EngineError {
 
 fn put_value(out: &mut Vec<u8>, v: &CellValue) {
     match v {
-        CellValue::Empty => out.push(0),
+        CellValue::Empty => codec::put_u8(out, 0),
         CellValue::Number(n) => {
-            out.push(1);
-            out.extend_from_slice(&n.to_le_bytes());
+            codec::put_u8(out, 1);
+            codec::put_f64(out, *n);
         }
         CellValue::Text(s) => {
-            out.push(2);
-            put_str(out, s);
+            codec::put_u8(out, 2);
+            codec::put_str(out, s);
         }
         CellValue::Bool(b) => {
-            out.push(3);
-            out.push(*b as u8);
+            codec::put_u8(out, 3);
+            codec::put_u8(out, *b as u8);
         }
         CellValue::Error(e) => {
-            out.push(4);
-            out.push(error_code(*e));
+            codec::put_u8(out, 4);
+            codec::put_u8(out, error_code(*e));
         }
     }
 }
 
-fn read_value(cur: &mut Cursor<'_>) -> Result<CellValue, EngineError> {
+fn read_value(cur: &mut Reader<'_>) -> Result<CellValue, EngineError> {
     Ok(match cur.u8()? {
         0 => CellValue::Empty,
         1 => CellValue::Number(cur.f64()?),
@@ -238,49 +249,89 @@ fn code_posmap(c: u8) -> Result<PosMapKind, EngineError> {
     })
 }
 
+fn model_code(id: u64, kind: ModelKind) -> u8 {
+    if id == CATCHALL_REGION_ID {
+        return KIND_CATCHALL;
+    }
+    match kind {
+        ModelKind::Rom => KIND_ROM,
+        ModelKind::Com => KIND_COM,
+        ModelKind::Rcv => KIND_RCV,
+        ModelKind::Tom => KIND_TOM,
+    }
+}
+
+fn code_model(c: u8) -> Result<ModelKind, EngineError> {
+    Ok(match c {
+        KIND_ROM => ModelKind::Rom,
+        KIND_COM => ModelKind::Com,
+        KIND_RCV | KIND_CATCHALL => ModelKind::Rcv,
+        KIND_TOM => ModelKind::Tom,
+        t => return Err(corrupt(&format!("unknown region kind {t}"))),
+    })
+}
+
 impl LoggedOp {
     /// Encode as a WAL payload (including the record-kind tag).
     fn encode(&self) -> Vec<u8> {
         let mut out = vec![REC_OP];
         match self {
             LoggedOp::SetCell { row, col, input } => {
-                out.push(0);
-                put_u32(&mut out, *row);
-                put_u32(&mut out, *col);
-                put_str(&mut out, input);
+                codec::put_u8(&mut out, 0);
+                codec::put_u32(&mut out, *row);
+                codec::put_u32(&mut out, *col);
+                codec::put_str(&mut out, input);
             }
             LoggedOp::SetValue { row, col, value } => {
-                out.push(1);
-                put_u32(&mut out, *row);
-                put_u32(&mut out, *col);
+                codec::put_u8(&mut out, 1);
+                codec::put_u32(&mut out, *row);
+                codec::put_u32(&mut out, *col);
                 put_value(&mut out, value);
             }
             LoggedOp::InsertRows { at, n } => {
-                out.push(2);
-                put_u32(&mut out, *at);
-                put_u32(&mut out, *n);
+                codec::put_u8(&mut out, 2);
+                codec::put_u32(&mut out, *at);
+                codec::put_u32(&mut out, *n);
             }
             LoggedOp::DeleteRows { at, n } => {
-                out.push(3);
-                put_u32(&mut out, *at);
-                put_u32(&mut out, *n);
+                codec::put_u8(&mut out, 3);
+                codec::put_u32(&mut out, *at);
+                codec::put_u32(&mut out, *n);
             }
             LoggedOp::InsertCols { at, n } => {
-                out.push(4);
-                put_u32(&mut out, *at);
-                put_u32(&mut out, *n);
+                codec::put_u8(&mut out, 4);
+                codec::put_u32(&mut out, *at);
+                codec::put_u32(&mut out, *n);
             }
             LoggedOp::DeleteCols { at, n } => {
-                out.push(5);
-                put_u32(&mut out, *at);
-                put_u32(&mut out, *n);
+                codec::put_u8(&mut out, 5);
+                codec::put_u32(&mut out, *at);
+                codec::put_u32(&mut out, *n);
+            }
+            LoggedOp::ImportRows {
+                row,
+                col,
+                width,
+                rows,
+            } => {
+                codec::put_u8(&mut out, 6);
+                codec::put_u32(&mut out, *row);
+                codec::put_u32(&mut out, *col);
+                codec::put_u32(&mut out, *width);
+                codec::put_u32(&mut out, rows.len() as u32);
+                for r in rows {
+                    codec::put_u32(&mut out, r.len() as u32);
+                    for v in r {
+                        put_value(&mut out, v);
+                    }
+                }
             }
         }
         out
     }
 
     /// Decode the body of a `REC_OP` payload (tag byte already consumed).
-    fn decode(cur: &mut Cursor<'_>) -> Result<LoggedOp, EngineError> {
+    fn decode(cur: &mut Reader<'_>) -> Result<LoggedOp, EngineError> {
         let op = match cur.u8()? {
             0 => LoggedOp::SetCell {
                 row: cur.u32()?,
@@ -308,27 +359,48 @@ impl LoggedOp {
                 at: cur.u32()?,
                 n: cur.u32()?,
             },
+            6 => {
+                let row = cur.u32()?;
+                let col = cur.u32()?;
+                let width = cur.u32()?;
+                let n_rows = cur.u32()?;
+                let mut rows = Vec::with_capacity(n_rows.min(1 << 20) as usize);
+                for _ in 0..n_rows {
+                    let n_vals = cur.u32()?;
+                    let mut vals = Vec::with_capacity(n_vals.min(1 << 16) as usize);
+                    for _ in 0..n_vals {
+                        vals.push(read_value(cur)?);
+                    }
+                    rows.push(vals);
+                }
+                LoggedOp::ImportRows {
+                    row,
+                    col,
+                    width,
+                    rows,
+                }
+            }
             t => return Err(corrupt(&format!("unknown op tag {t}"))),
         };
-        if !cur.done() {
-            return Err(corrupt("trailing bytes after op"));
-        }
+        cur.expect_done("op").map_err(EngineError::Store)?;
         Ok(op)
     }
 }
 
+/// Canonical serialization of one region's cells (count + per-cell
+/// address, optional formula source, value).
 fn encode_cells(cells: &[(CellAddr, Cell)]) -> Vec<u8> {
     let mut out = Vec::new();
-    put_u64(&mut out, cells.len() as u64);
+    codec::put_u64(&mut out, cells.len() as u64);
     for (addr, cell) in cells {
-        put_u32(&mut out, addr.row);
-        put_u32(&mut out, addr.col);
+        codec::put_u32(&mut out, addr.row);
+        codec::put_u32(&mut out, addr.col);
         match &cell.formula {
             Some(src) => {
-                out.push(1);
-                put_str(&mut out, src);
+                codec::put_u8(&mut out, 1);
+                codec::put_str(&mut out, src);
             }
-            None => out.push(0),
+            None => codec::put_u8(&mut out, 0),
         }
         put_value(&mut out, &cell.value);
     }
@@ -336,7 +408,7 @@ fn encode_cells(cells: &[(CellAddr, Cell)]) -> Vec<u8> {
 }
 
 fn decode_cells(payload: &[u8]) -> Result<Vec<(CellAddr, Cell)>, EngineError> {
-    let mut cur = Cursor::new(payload);
+    let mut cur = Reader::new(payload);
     let count = cur.u64()?;
     let mut cells = Vec::with_capacity(count.min(1 << 24) as usize);
     for _ in 0..count {
@@ -350,78 +422,230 @@ fn decode_cells(payload: &[u8]) -> Result<Vec<(CellAddr, Cell)>, EngineError> {
         let value = read_value(&mut cur)?;
         cells.push((CellAddr::new(row, col), Cell { value, formula }));
     }
-    if !cur.done() {
-        return Err(corrupt("trailing bytes after cells"));
-    }
+    cur.expect_done("cells").map_err(EngineError::Store)?;
     Ok(cells)
 }
 
-fn encode_header(kind: PosMapKind, payload_len: u64, payload_crc: u32) -> Vec<u8> {
+// ---------------------------------------------------- page-allocation map --
+
+/// One region's entry in the page-allocation map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct StoredRegion {
+    kind: u8,
+    rect: Rect,
+    payload_len: u64,
+    payload_crc: u32,
+    pages: Vec<u64>,
+}
+
+fn encode_map(map: &BTreeMap<u64, StoredRegion>) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_u32(&mut out, map.len() as u32);
+    for (id, sr) in map {
+        codec::put_u64(&mut out, *id);
+        codec::put_u8(&mut out, sr.kind);
+        codec::put_u32(&mut out, sr.rect.r1);
+        codec::put_u32(&mut out, sr.rect.c1);
+        codec::put_u32(&mut out, sr.rect.r2);
+        codec::put_u32(&mut out, sr.rect.c2);
+        codec::put_u64(&mut out, sr.payload_len);
+        codec::put_u32(&mut out, sr.payload_crc);
+        codec::put_u32(&mut out, sr.pages.len() as u32);
+        for p in &sr.pages {
+            codec::put_u64(&mut out, *p);
+        }
+    }
+    out
+}
+
+fn decode_map(bytes: &[u8]) -> Result<BTreeMap<u64, StoredRegion>, EngineError> {
+    let mut cur = Reader::new(bytes);
+    let count = cur.u32()?;
+    let mut map = BTreeMap::new();
+    for _ in 0..count {
+        let id = cur.u64()?;
+        let kind = cur.u8()?;
+        let rect = Rect::new(cur.u32()?, cur.u32()?, cur.u32()?, cur.u32()?);
+        let payload_len = cur.u64()?;
+        let payload_crc = cur.u32()?;
+        let n_pages = cur.u32()?;
+        let mut pages = Vec::with_capacity(n_pages.min(1 << 20) as usize);
+        for _ in 0..n_pages {
+            pages.push(cur.u64()?);
+        }
+        if map
+            .insert(
+                id,
+                StoredRegion {
+                    kind,
+                    rect,
+                    payload_len,
+                    payload_crc,
+                    pages,
+                },
+            )
+            .is_some()
+        {
+            return Err(corrupt(&format!("duplicate region id {id} in page map")));
+        }
+    }
+    cur.expect_done("page map").map_err(EngineError::Store)?;
+    Ok(map)
+}
+
+fn encode_header(kind: PosMapKind, map_len: u64, map_crc: u32, map_pages: &[u64]) -> Vec<u8> {
     let mut page = Vec::with_capacity(PAGE_SIZE);
-    page.extend_from_slice(IMAGE_MAGIC);
-    put_u32(&mut page, IMAGE_VERSION);
-    page.push(posmap_code(kind));
-    put_u64(&mut page, payload_len);
-    put_u32(&mut page, payload_crc);
-    debug_assert_eq!(page.len(), HEADER_LEN);
+    codec::put_bytes(&mut page, IMAGE_MAGIC);
+    codec::put_u32(&mut page, IMAGE_VERSION);
+    codec::put_u8(&mut page, posmap_code(kind));
+    codec::put_u64(&mut page, map_len);
+    codec::put_u32(&mut page, map_crc);
+    codec::put_u32(&mut page, map_pages.len() as u32);
+    for p in map_pages {
+        codec::put_u64(&mut page, *p);
+    }
+    debug_assert!(page.len() <= PAGE_SIZE);
     page.resize(PAGE_SIZE, 0);
     page
 }
 
+/// Read a payload stored as `pages` (each fully read from the pager),
+/// truncated to `len` bytes.
+fn read_paged_payload(pager: &mut Pager, pages: &[u64], len: u64) -> Result<Vec<u8>, EngineError> {
+    let mut out = Vec::with_capacity(len as usize);
+    for p in pages {
+        if out.len() >= len as usize {
+            return Err(corrupt("page map lists more pages than the payload needs"));
+        }
+        let page = pager.read_page(*p)?;
+        let want = (len as usize - out.len()).min(PAGE_SIZE);
+        out.extend_from_slice(&page[..want]);
+    }
+    if out.len() != len as usize {
+        return Err(corrupt("payload pages missing from page map"));
+    }
+    Ok(out)
+}
+
+/// Split `payload` into page-sized chunks written at `pages`.
+fn chunk_payload(payload: &[u8], pages: &[u64], writes: &mut Vec<(u64, Vec<u8>)>) {
+    for (i, p) in pages.iter().enumerate() {
+        let start = i * PAGE_SIZE;
+        let end = (start + PAGE_SIZE).min(payload.len());
+        let mut chunk = payload[start..end].to_vec();
+        chunk.resize(PAGE_SIZE, 0);
+        writes.push((*p, chunk));
+    }
+}
+
+/// Pop the lowest `n` pages from `free`, growing the file at `grow` when
+/// the pool runs dry. Deterministic: the same pre-state and demand always
+/// yields the same assignment (checkpoint images are compared
+/// byte-for-byte by the recovery suite).
+fn alloc_pages(n: usize, free: &mut BTreeSet<u64>, grow: &mut u64) -> Vec<u64> {
+    let mut pages = Vec::with_capacity(n);
+    for _ in 0..n {
+        if let Some(p) = free.iter().next().copied() {
+            free.remove(&p);
+            pages.push(p);
+        } else {
+            pages.push(*grow);
+            *grow += 1;
+        }
+    }
+    pages
+}
+
 // ------------------------------------------------------- durable store --
+
+/// One region recovered from the checkpoint image (cells in local
+/// coordinates; the catch-all is reported separately).
+#[derive(Debug)]
+pub struct RecoveredRegionImage {
+    pub id: u64,
+    pub kind: ModelKind,
+    pub rect: Rect,
+    pub cells: Vec<(CellAddr, Cell)>,
+}
 
 /// What [`DurableStore::open`] found on disk.
 #[derive(Debug)]
 pub struct RecoveredState {
     /// Positional-map scheme of the stored image; `None` for a fresh store.
     pub posmap: Option<PosMapKind>,
-    /// Cells of the last durable checkpoint.
-    pub cells: Vec<(CellAddr, Cell)>,
+    /// Catch-all cells of the last durable checkpoint (sheet coordinates).
+    pub catchall: Vec<(CellAddr, Cell)>,
+    /// Region images of the last durable checkpoint.
+    pub regions: Vec<RecoveredRegionImage>,
     /// Committed logical ops appended after that checkpoint, oldest first.
     pub ops: Vec<LoggedOp>,
     /// Whether an interrupted checkpoint had to be rolled back.
     pub rolled_back_checkpoint: bool,
+    /// `Some(version)` when the image was written by an older format and
+    /// the caller must re-serialize everything at the next checkpoint
+    /// (which rewrites the file in the current layout).
+    pub migrated_from: Option<u32>,
 }
 
 /// Outcome of one checkpoint.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CheckpointReport {
-    /// Pages whose bytes changed and were rewritten.
+    /// Pages whose bytes changed and were rewritten (header, map, region
+    /// payload, and zeroed freed pages combined).
     pub pages_written: u64,
     /// Pre-images journaled to the WAL before the overwrite.
     pub undo_pages: u64,
     /// Image size after the checkpoint, in pages.
     pub page_count: u64,
-    /// Serialized cell payload size in bytes.
+    /// Serialized payload bytes of the regions submitted dirty.
     pub payload_bytes: u64,
+    /// Regions in the image after the checkpoint (catch-all included).
+    pub regions_total: u64,
+    /// Regions submitted dirty (re-serialized this checkpoint).
+    pub regions_dirty: u64,
+    /// Dirty regions whose bytes actually changed and were rewritten.
+    pub regions_written: u64,
 }
 
 /// Counters describing the persistence layer (for benches and tests).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PersistenceStats {
-    /// Valid WAL bytes on disk (header included).
+    /// Valid WAL bytes on disk across all segments (headers included).
     pub wal_bytes: u64,
+    /// Live WAL segment files.
+    pub wal_segments: u64,
     /// Ops logged since the last checkpoint.
     pub ops_since_checkpoint: u64,
     /// Checkpoints taken through this handle.
     pub checkpoints: u64,
     /// Image size in pages.
     pub image_pages: u64,
+    /// Regions tracked by the image's page-allocation map.
+    pub image_regions: u64,
     /// Pager cache / I/O counters.
     pub pager: PagerStats,
 }
 
-/// The engine-facing persistence handle: one WAL + one paged image.
+/// The engine-facing persistence handle: one WAL + one region-paged image.
 pub struct DurableStore {
     dir: PathBuf,
     wal: Wal,
     pager: Pager,
+    /// The page-allocation map of the on-disk image.
+    map: BTreeMap<u64, StoredRegion>,
+    /// Pages holding the serialized map itself.
+    map_pages: Vec<u64>,
+    /// Non-zero when the open image was a v1 whole-sheet payload: that
+    /// many pages are treated as previously-used and the next checkpoint
+    /// must receive every region dirty (the caller marks the sheet dirty
+    /// when `migrated_from` is set).
+    legacy_pages: u64,
     ops_since_checkpoint: u64,
     checkpoints: u64,
     auto_checkpoint_ops: Option<u64>,
     /// Set when a WAL append failed mid-op: the on-disk tape has a hole, so
     /// further logging is refused until a successful checkpoint
-    /// re-serializes the full in-memory state and truncates the log.
+    /// re-serializes the dirty state and truncates the log.
     poisoned: Option<String>,
 }
 
@@ -439,6 +663,7 @@ impl std::fmt::Debug for DurableStore {
         f.debug_struct("DurableStore")
             .field("dir", &self.dir)
             .field("image_pages", &self.pager.page_count())
+            .field("image_regions", &self.map.len())
             .field("ops_since_checkpoint", &self.ops_since_checkpoint)
             .finish()
     }
@@ -446,14 +671,16 @@ impl std::fmt::Debug for DurableStore {
 
 impl DurableStore {
     /// Open (or create) the durable directory, running crash recovery:
-    /// undo any interrupted checkpoint, load and verify the image, and
+    /// undo any interrupted checkpoint, load and verify the image (v1
+    /// images are migrated — see [`RecoveredState::migrated_from`]), and
     /// return the committed op tail for the caller to replay.
     pub fn open(dir: impl AsRef<Path>) -> Result<(DurableStore, RecoveredState), EngineError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(StoreError::from)?;
         let mut wal = Wal::open(wal_path(&dir))?;
+        wal.set_segment_limit(Some(DEFAULT_WAL_SEGMENT_BYTES));
         let mut pager = Pager::open(image_path(&dir))?;
-        // Pin the directory entries for the two files we may just have
+        // Pin the directory entries for the files we may just have
         // created; without this a machine crash could drop the whole WAL.
         sync_dir(&dir);
 
@@ -463,8 +690,8 @@ impl DurableStore {
         let mut ckpt_old_count: Option<u64> = None;
         let mut undo: Vec<(u64, Vec<u8>)> = Vec::new();
         for record in wal.take_recovered() {
-            let mut cur = Cursor::new(&record);
-            match cur.u8()? {
+            let mut cur = Reader::new(&record);
+            match cur.u8().map_err(EngineError::Store)? {
                 REC_OP => {
                     let op = LoggedOp::decode(&mut cur)?;
                     if ckpt_old_count.is_none() {
@@ -474,11 +701,11 @@ impl DurableStore {
                     // blocks inside checkpoint); tolerate by ignoring.
                 }
                 REC_CKPT_BEGIN => {
-                    ckpt_old_count = Some(cur.u64()?);
+                    ckpt_old_count = Some(cur.u64().map_err(EngineError::Store)?);
                 }
                 REC_UNDO_PAGE => {
-                    let page_no = cur.u64()?;
-                    let bytes = cur.take(PAGE_SIZE)?.to_vec();
+                    let page_no = cur.u64().map_err(EngineError::Store)?;
+                    let bytes = cur.take(PAGE_SIZE).map_err(EngineError::Store)?.to_vec();
                     undo.push((page_no, bytes));
                 }
                 t => return Err(corrupt(&format!("unknown wal record kind {t}"))),
@@ -497,42 +724,93 @@ impl DurableStore {
         }
 
         // Load the image.
-        let (posmap, cells) = if pager.page_count() == 0 {
-            (None, Vec::new())
-        } else {
+        let mut catchall = Vec::new();
+        let mut regions = Vec::new();
+        let mut posmap = None;
+        let mut map = BTreeMap::new();
+        let mut map_pages = Vec::new();
+        let mut legacy_pages = 0u64;
+        let mut migrated_from = None;
+        if pager.page_count() > 0 {
             let header = pager.read_page(0)?.to_vec();
-            let mut cur = Cursor::new(&header[..HEADER_LEN]);
-            if cur.take(4)? != IMAGE_MAGIC {
+            let mut cur = Reader::new(&header);
+            if cur.take(4).map_err(EngineError::Store)? != IMAGE_MAGIC {
                 return Err(corrupt("image: bad magic"));
             }
-            let version = cur.u32()?;
-            if version != IMAGE_VERSION {
-                return Err(corrupt(&format!("image: unsupported version {version}")));
+            let version = cur.u32().map_err(EngineError::Store)?;
+            match version {
+                1 => {
+                    // Legacy whole-sheet payload: pages 1.. hold one
+                    // serialized cell list. Load it as the catch-all; the
+                    // next checkpoint rewrites the file region-keyed.
+                    let mut cur = Reader::new(&header[..V1_HEADER_LEN]);
+                    cur.take(8).map_err(EngineError::Store)?; // magic + version
+                    let kind = code_posmap(cur.u8().map_err(EngineError::Store)?)?;
+                    let payload_len = cur.u64().map_err(EngineError::Store)?;
+                    let payload_crc = cur.u32().map_err(EngineError::Store)?;
+                    let payload_pages = (payload_len as usize).div_ceil(PAGE_SIZE) as u64;
+                    if pager.page_count() < 1 + payload_pages {
+                        return Err(corrupt("image: payload pages missing"));
+                    }
+                    let pages: Vec<u64> = (1..1 + payload_pages).collect();
+                    let payload = read_paged_payload(&mut pager, &pages, payload_len)?;
+                    if crc32(&payload) != payload_crc {
+                        return Err(corrupt("image: payload checksum mismatch"));
+                    }
+                    posmap = Some(kind);
+                    catchall = decode_cells(&payload)?;
+                    legacy_pages = pager.page_count();
+                    migrated_from = Some(1);
+                }
+                IMAGE_VERSION => {
+                    let kind = code_posmap(cur.u8().map_err(EngineError::Store)?)?;
+                    let map_len = cur.u64().map_err(EngineError::Store)?;
+                    let map_crc = cur.u32().map_err(EngineError::Store)?;
+                    let n_map_pages = cur.u32().map_err(EngineError::Store)? as usize;
+                    if n_map_pages > MAX_MAP_PAGES {
+                        return Err(corrupt("image: page map overflows the header"));
+                    }
+                    for _ in 0..n_map_pages {
+                        map_pages.push(cur.u64().map_err(EngineError::Store)?);
+                    }
+                    let map_bytes = read_paged_payload(&mut pager, &map_pages, map_len)?;
+                    if crc32(&map_bytes) != map_crc {
+                        return Err(corrupt("image: page map checksum mismatch"));
+                    }
+                    map = decode_map(&map_bytes)?;
+                    for (id, sr) in &map {
+                        let payload = read_paged_payload(&mut pager, &sr.pages, sr.payload_len)?;
+                        if crc32(&payload) != sr.payload_crc {
+                            return Err(corrupt(&format!(
+                                "image: region {id} payload checksum mismatch"
+                            )));
+                        }
+                        let cells = decode_cells(&payload)?;
+                        if *id == CATCHALL_REGION_ID {
+                            catchall = cells;
+                        } else {
+                            regions.push(RecoveredRegionImage {
+                                id: *id,
+                                kind: code_model(sr.kind)?,
+                                rect: sr.rect,
+                                cells,
+                            });
+                        }
+                    }
+                    posmap = Some(kind);
+                }
+                v => return Err(corrupt(&format!("image: unsupported version {v}"))),
             }
-            let kind = code_posmap(cur.u8()?)?;
-            let payload_len = cur.u64()? as usize;
-            let payload_crc = cur.u32()?;
-            let payload_pages = payload_len.div_ceil(PAGE_SIZE) as u64;
-            if pager.page_count() < 1 + payload_pages {
-                return Err(corrupt("image: payload pages missing"));
-            }
-            let mut payload = Vec::with_capacity(payload_len);
-            for p in 0..payload_pages {
-                let page = pager.read_page(1 + p)?;
-                let want = (payload_len - payload.len()).min(PAGE_SIZE);
-                payload.extend_from_slice(&page[..want]);
-            }
-            if crc32(&payload) != payload_crc {
-                return Err(corrupt("image: payload checksum mismatch"));
-            }
-            (Some(kind), decode_cells(&payload)?)
-        };
+        }
 
         Ok((
             DurableStore {
                 dir,
                 wal,
                 pager,
+                map,
+                map_pages,
+                legacy_pages,
                 ops_since_checkpoint: ops.len() as u64,
                 checkpoints: 0,
                 auto_checkpoint_ops: None,
@@ -540,9 +818,11 @@ impl DurableStore {
             },
             RecoveredState {
                 posmap,
-                cells,
+                catchall,
+                regions,
                 ops,
                 rolled_back_checkpoint: rolled_back,
+                migrated_from,
             },
         ))
     }
@@ -554,7 +834,12 @@ impl DurableStore {
     /// the op in memory, so the on-disk tape now has a hole. Accepting
     /// later appends would make recovery silently skip the missing op, so
     /// every subsequent `log` fails until a checkpoint re-serializes the
-    /// full state and truncates the log.
+    /// affected state and truncates the log.
+    ///
+    /// Exception: an op over [`MAX_LOGGED_OP_BYTES`] is rejected with
+    /// [`StoreError::LimitExceeded`] *before* anything reaches the log —
+    /// the tape stays whole, nothing is poisoned, and the caller should
+    /// capture the oversized op via [`DurableStore::checkpoint`] instead.
     pub fn log(&mut self, op: &LoggedOp) -> Result<(), EngineError> {
         if let Some(cause) = &self.poisoned {
             return Err(EngineError::Store(StoreError::Io(format!(
@@ -562,7 +847,15 @@ impl DurableStore {
                  call checkpoint() to restore durability"
             ))));
         }
-        if let Err(e) = self.wal.append(&op.encode()) {
+        let bytes = op.encode();
+        if bytes.len() > MAX_LOGGED_OP_BYTES {
+            return Err(EngineError::Store(StoreError::LimitExceeded(format!(
+                "logged op of {} bytes exceeds the {MAX_LOGGED_OP_BYTES}-byte \
+                 record limit; checkpoint instead",
+                bytes.len()
+            ))));
+        }
+        if let Err(e) = self.wal.append(&bytes) {
             self.poisoned = Some(e.to_string());
             return Err(e.into());
         }
@@ -576,55 +869,184 @@ impl DurableStore {
         Ok(())
     }
 
-    /// Checkpoint: fold the logical state `cells` into the paged image and
-    /// truncate the WAL. Only pages whose bytes changed are written; their
-    /// pre-images are journaled first so a crash mid-checkpoint rolls back
-    /// cleanly on the next open.
+    /// Checkpoint: fold the submitted region images into the paged image
+    /// and truncate the WAL.
+    ///
+    /// `regions` must describe *every* current region (catch-all
+    /// included): entries with `cells: Some(..)` are re-serialized into
+    /// freshly allocated pages; entries with `cells: None` are clean and
+    /// keep their existing pages untouched; map entries for ids that no
+    /// longer appear are dropped and their pages freed (and zeroed). Only
+    /// pages whose bytes changed are written; their pre-images are
+    /// journaled first so a crash mid-checkpoint rolls back cleanly on the
+    /// next open.
     pub fn checkpoint(
         &mut self,
         kind: PosMapKind,
-        cells: &[(CellAddr, Cell)],
+        regions: &[RegionImage],
     ) -> Result<CheckpointReport, EngineError> {
         // A failed append may have left garbage bytes past the valid
         // prefix; drop them so the journal below lands in a clean log.
         if self.poisoned.is_some() {
             self.wal.truncate_to_valid()?;
         }
-        let payload = encode_cells(cells);
-        let header = encode_header(kind, payload.len() as u64, crc32(&payload));
-        let new_count = 1 + payload.len().div_ceil(PAGE_SIZE) as u64;
         let old_count = self.pager.page_count();
 
-        // Diff new image against old, collecting changed pages + undo.
-        let mut changed: Vec<(u64, Vec<u8>)> = Vec::new();
-        let mut undo: Vec<(u64, Vec<u8>)> = Vec::new();
-        for page_no in 0..new_count.max(old_count) {
-            let new_bytes: Option<Vec<u8>> = if page_no == 0 {
-                Some(header.clone())
-            } else if page_no < new_count {
-                let start = (page_no as usize - 1) * PAGE_SIZE;
-                let end = (start + PAGE_SIZE).min(payload.len());
-                let mut chunk = payload[start..end].to_vec();
-                chunk.resize(PAGE_SIZE, 0);
-                Some(chunk)
-            } else {
-                None
-            };
-            let old_bytes: Option<Vec<u8>> = if page_no < old_count {
-                Some(self.pager.read_page(page_no)?.to_vec())
-            } else {
-                None
-            };
-            match (new_bytes, old_bytes) {
-                (Some(new), Some(old)) => {
-                    if new != old {
-                        undo.push((page_no, old));
-                        changed.push((page_no, new));
+        // Pages used by the previous image (header excluded).
+        let mut prev_used: BTreeSet<u64> = self.map_pages.iter().copied().collect();
+        for sr in self.map.values() {
+            prev_used.extend(sr.pages.iter().copied());
+        }
+        if self.legacy_pages > 0 {
+            prev_used.extend(1..self.legacy_pages);
+        }
+
+        // Partition the input: clean entries carry their stored pages
+        // over; dirty entries are serialized (and clean-ified when the
+        // bytes come out identical to what is already stored).
+        let mut new_map: BTreeMap<u64, StoredRegion> = BTreeMap::new();
+        let mut dirty: Vec<(u64, u8, Rect, Vec<u8>)> = Vec::new();
+        let mut regions_dirty = 0u64;
+        let mut payload_bytes = 0u64;
+        for r in regions {
+            let kind_tag = model_code(r.id, r.kind);
+            match &r.cells {
+                Some(cells) => {
+                    regions_dirty += 1;
+                    let payload = encode_cells(cells);
+                    payload_bytes += payload.len() as u64;
+                    let stored_pages = self.map.get(&r.id).and_then(|old| {
+                        (old.payload_len == payload.len() as u64
+                            && old.payload_crc == crc32(&payload))
+                        .then(|| old.pages.clone())
+                    });
+                    let unchanged = match stored_pages {
+                        Some(pages) => self.stored_payload_equals(&pages, &payload)?,
+                        None => false,
+                    };
+                    if unchanged {
+                        let old = self.map.get(&r.id).expect("matched above");
+                        new_map.insert(
+                            r.id,
+                            StoredRegion {
+                                kind: kind_tag,
+                                rect: r.rect,
+                                ..old.clone()
+                            },
+                        );
+                    } else {
+                        dirty.push((r.id, kind_tag, r.rect, payload));
                     }
                 }
-                (Some(new), None) => changed.push((page_no, new)),
-                (None, Some(old)) => undo.push((page_no, old)), // truncated tail
-                (None, None) => unreachable!("page beyond both images"),
+                None => {
+                    let Some(old) = self.map.get(&r.id) else {
+                        return Err(corrupt(&format!(
+                            "region {} reported clean but has no stored image",
+                            r.id
+                        )));
+                    };
+                    new_map.insert(
+                        r.id,
+                        StoredRegion {
+                            kind: kind_tag,
+                            rect: r.rect,
+                            ..old.clone()
+                        },
+                    );
+                }
+            }
+        }
+
+        // Free pool: every page below the old end not retained by a clean
+        // entry (freed pages are all-zero on disk, so never-used holes are
+        // allocatable too).
+        let mut free: BTreeSet<u64> = (1..old_count).collect();
+        for sr in new_map.values() {
+            for p in &sr.pages {
+                free.remove(p);
+            }
+        }
+        let mut grow = old_count.max(1);
+
+        // Allocate pages for the rewritten regions (ascending id).
+        let mut writes: Vec<(u64, Vec<u8>)> = Vec::new();
+        let regions_written = dirty.len() as u64;
+        dirty.sort_by_key(|(id, ..)| *id);
+        for (id, kind_tag, rect, payload) in &dirty {
+            let pages = alloc_pages(
+                payload.len().div_ceil(PAGE_SIZE).max(1),
+                &mut free,
+                &mut grow,
+            );
+            chunk_payload(payload, &pages, &mut writes);
+            new_map.insert(
+                *id,
+                StoredRegion {
+                    kind: *kind_tag,
+                    rect: *rect,
+                    payload_len: payload.len() as u64,
+                    payload_crc: crc32(payload),
+                    pages,
+                },
+            );
+        }
+
+        // Serialize the map and place it after the region payloads.
+        // Allocation is lowest-free-first throughout, which is
+        // self-stabilizing: a checkpoint with no changes re-derives the
+        // exact same assignment and therefore writes nothing.
+        let map_bytes = encode_map(&new_map);
+        let map_needed = map_bytes.len().div_ceil(PAGE_SIZE).max(1);
+        if map_needed > MAX_MAP_PAGES {
+            return Err(EngineError::Store(StoreError::LimitExceeded(format!(
+                "page-allocation map needs {map_needed} pages (max {MAX_MAP_PAGES})"
+            ))));
+        }
+        let map_pages_new = alloc_pages(map_needed, &mut free, &mut grow);
+        chunk_payload(&map_bytes, &map_pages_new, &mut writes);
+        writes.push((
+            0,
+            encode_header(
+                kind,
+                map_bytes.len() as u64,
+                crc32(&map_bytes),
+                &map_pages_new,
+            ),
+        ));
+
+        // New extent, and the zero-fill of freed pages inside it.
+        let mut new_used: BTreeSet<u64> = map_pages_new.iter().copied().collect();
+        for sr in new_map.values() {
+            new_used.extend(sr.pages.iter().copied());
+        }
+        let new_count = new_used.iter().max().map_or(1, |m| m + 1);
+        for p in &prev_used {
+            if !new_used.contains(p) && *p < new_count {
+                writes.push((*p, vec![0u8; PAGE_SIZE]));
+            }
+        }
+
+        // Diff against the old image: journal pre-images of pages about to
+        // change; skip untouched ones entirely.
+        writes.sort_by_key(|(p, _)| *p);
+        let mut changed: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut undo: Vec<(u64, Vec<u8>)> = Vec::new();
+        for (page_no, bytes) in writes {
+            if page_no < old_count {
+                let old = self.pager.read_page(page_no)?.to_vec();
+                if old == bytes {
+                    continue;
+                }
+                undo.push((page_no, old));
+            }
+            changed.push((page_no, bytes));
+        }
+        // Pages beyond the new end are dropped by the truncate below;
+        // journal the previously-used ones so rollback can restore them
+        // (never-used tail pages are zero and re-grow as zero).
+        if new_count < old_count {
+            for p in prev_used.range(new_count..old_count) {
+                undo.push((*p, self.pager.read_page(*p)?.to_vec()));
             }
         }
 
@@ -632,26 +1054,27 @@ impl DurableStore {
             pages_written: changed.len() as u64,
             undo_pages: undo.len() as u64,
             page_count: new_count,
-            payload_bytes: payload.len() as u64,
+            payload_bytes,
+            regions_total: new_map.len() as u64,
+            regions_dirty,
+            regions_written,
         };
 
         if changed.is_empty() && new_count == old_count {
             // Image already current — just fold the op tail away.
             self.wal.truncate()?;
-            self.ops_since_checkpoint = 0;
-            self.checkpoints += 1;
-            self.poisoned = None;
+            self.commit_map(new_map, map_pages_new);
             return Ok(report);
         }
 
         // 1. Journal pre-images, durably.
         let mut begin = vec![REC_CKPT_BEGIN];
-        put_u64(&mut begin, old_count);
+        codec::put_u64(&mut begin, old_count);
         self.wal.append(&begin)?;
         for (page_no, old) in &undo {
             let mut rec = Vec::with_capacity(1 + 8 + PAGE_SIZE);
             rec.push(REC_UNDO_PAGE);
-            put_u64(&mut rec, *page_no);
+            codec::put_u64(&mut rec, *page_no);
             rec.extend_from_slice(old);
             self.wal.append(&rec)?;
         }
@@ -666,16 +1089,58 @@ impl DurableStore {
         self.pager.flush()?;
         // 3. The checkpoint is now the truth; drop the log.
         self.wal.truncate()?;
+        self.commit_map(new_map, map_pages_new);
+        Ok(report)
+    }
+
+    fn commit_map(&mut self, map: BTreeMap<u64, StoredRegion>, map_pages: Vec<u64>) {
+        self.map = map;
+        self.map_pages = map_pages;
+        self.legacy_pages = 0;
         self.ops_since_checkpoint = 0;
         self.checkpoints += 1;
         self.poisoned = None;
-        Ok(report)
+    }
+
+    /// Byte-compare a stored payload (crc/len already matched) against a
+    /// freshly serialized one, so a dirty-flagged region whose content is
+    /// actually unchanged keeps its pages.
+    fn stored_payload_equals(
+        &mut self,
+        pages: &[u64],
+        payload: &[u8],
+    ) -> Result<bool, EngineError> {
+        if pages
+            .iter()
+            .any(|p| *p >= self.pager.page_count() || *p == 0)
+        {
+            return Err(corrupt("page map references an out-of-range page"));
+        }
+        for (i, p) in pages.iter().enumerate() {
+            let start = i * PAGE_SIZE;
+            let end = (start + PAGE_SIZE).min(payload.len());
+            if start >= end {
+                break;
+            }
+            let page = self.pager.read_page(*p)?;
+            if page[..end - start] != payload[start..end] {
+                return Ok(false);
+            }
+        }
+        Ok(true)
     }
 
     /// Arrange for the owner to checkpoint automatically every `ops` logged
     /// operations (`None` disables; the default).
     pub fn set_auto_checkpoint(&mut self, ops: Option<u64>) {
         self.auto_checkpoint_ops = ops;
+    }
+
+    /// Rotate the WAL to a new segment file past `bytes`; fully
+    /// checkpointed segments are deleted at the next checkpoint (`None`
+    /// keeps a single unbounded file).
+    pub fn set_wal_segment_limit(&mut self, bytes: Option<u64>) {
+        self.wal.set_segment_limit(bytes);
     }
 
     /// True when the auto-checkpoint threshold has been reached.
@@ -687,9 +1152,11 @@ impl DurableStore {
     pub fn stats(&self) -> PersistenceStats {
         PersistenceStats {
             wal_bytes: self.wal.len_bytes(),
+            wal_segments: self.wal.segment_count(),
             ops_since_checkpoint: self.ops_since_checkpoint,
             checkpoints: self.checkpoints,
             image_pages: self.pager.page_count(),
+            image_regions: self.map.len() as u64,
             pager: self.pager.stats(),
         }
     }
@@ -715,6 +1182,26 @@ mod tests {
         Cell::value(v)
     }
 
+    /// The catch-all as a checkpoint image (`dirty` controls whether the
+    /// cells are submitted for serialization).
+    fn catchall_image(cells: &[(CellAddr, Cell)], dirty: bool) -> RegionImage {
+        RegionImage {
+            id: CATCHALL_REGION_ID,
+            kind: ModelKind::Rcv,
+            rect: Rect::new(0, 0, 0, 0),
+            cells: dirty.then(|| cells.to_vec()),
+        }
+    }
+
+    fn region_image(id: u64, rect: Rect, cells: Option<Vec<(CellAddr, Cell)>>) -> RegionImage {
+        RegionImage {
+            id,
+            kind: ModelKind::Rom,
+            rect,
+            cells,
+        }
+    }
+
     #[test]
     fn op_codec_roundtrip() {
         let ops = vec![
@@ -737,11 +1224,24 @@ mod tests {
             LoggedOp::DeleteRows { at: 0, n: 1 },
             LoggedOp::InsertCols { at: 7, n: 3 },
             LoggedOp::DeleteCols { at: 2, n: 2 },
+            LoggedOp::ImportRows {
+                row: 10,
+                col: 4,
+                width: 3,
+                rows: vec![
+                    vec![
+                        CellValue::Number(1.0),
+                        CellValue::Text("a".into()),
+                        CellValue::Bool(true),
+                    ],
+                    vec![CellValue::Empty, CellValue::Number(-2.5)],
+                ],
+            },
         ];
         for op in ops {
             let enc = op.encode();
             assert_eq!(enc[0], REC_OP);
-            let mut cur = Cursor::new(&enc[1..]);
+            let mut cur = Reader::new(&enc[1..]);
             assert_eq!(LoggedOp::decode(&mut cur).unwrap(), op);
         }
     }
@@ -777,7 +1277,8 @@ mod tests {
         {
             let (mut store, recovered) = DurableStore::open(&dir).unwrap();
             assert!(recovered.posmap.is_none());
-            assert!(recovered.cells.is_empty() && recovered.ops.is_empty());
+            assert!(recovered.catchall.is_empty() && recovered.ops.is_empty());
+            assert!(recovered.regions.is_empty());
             store
                 .log(&LoggedOp::SetCell {
                     row: 1,
@@ -817,17 +1318,24 @@ mod tests {
                     input: "1".into(),
                 })
                 .unwrap();
-            let report = store.checkpoint(PosMapKind::Hierarchical, &cells).unwrap();
-            assert_eq!(report.page_count, 2); // header + 1 payload page
+            let report = store
+                .checkpoint(PosMapKind::Hierarchical, &[catchall_image(&cells, true)])
+                .unwrap();
+            // Header + 1 payload page + 1 map page.
+            assert_eq!(report.page_count, 3);
             assert!(report.pages_written >= 1);
+            assert_eq!(report.regions_total, 1);
+            assert_eq!(report.regions_written, 1);
             assert_eq!(store.stats().ops_since_checkpoint, 0);
         }
         let (store, recovered) = DurableStore::open(&dir).unwrap();
         assert_eq!(recovered.posmap, Some(PosMapKind::Hierarchical));
-        assert_eq!(recovered.cells, cells);
+        assert_eq!(recovered.catchall, cells);
         assert!(recovered.ops.is_empty());
         assert!(!recovered.rolled_back_checkpoint);
-        assert_eq!(store.stats().image_pages, 2);
+        assert!(recovered.migrated_from.is_none());
+        assert_eq!(store.stats().image_pages, 3);
+        assert_eq!(store.stats().image_regions, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -836,20 +1344,122 @@ mod tests {
         let dir = temp_dir("ckpt-noop");
         let cells = vec![(CellAddr::new(0, 0), cell(5.0))];
         let (mut store, _) = DurableStore::open(&dir).unwrap();
-        store.checkpoint(PosMapKind::Hierarchical, &cells).unwrap();
-        let second = store.checkpoint(PosMapKind::Hierarchical, &cells).unwrap();
+        store
+            .checkpoint(PosMapKind::Hierarchical, &[catchall_image(&cells, true)])
+            .unwrap();
+        // Clean submission: nothing re-serialized, nothing written.
+        let second = store
+            .checkpoint(PosMapKind::Hierarchical, &[catchall_image(&cells, false)])
+            .unwrap();
         assert_eq!(second.pages_written, 0);
         assert_eq!(second.undo_pages, 0);
+        assert_eq!(second.regions_dirty, 0);
+        // Dirty-flagged but byte-identical: pages are reused, not rewritten.
+        let third = store
+            .checkpoint(PosMapKind::Hierarchical, &[catchall_image(&cells, true)])
+            .unwrap();
+        assert_eq!(third.pages_written, 0);
+        assert_eq!(third.regions_dirty, 1);
+        assert_eq!(third.regions_written, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    fn interrupted_checkpoint_rolls_back() {
+    fn only_dirty_regions_are_rewritten() {
+        let dir = temp_dir("ckpt-regions");
+        let (mut store, _) = DurableStore::open(&dir).unwrap();
+        let band = |id: u64| -> Vec<(CellAddr, Cell)> {
+            (0..400u32)
+                .map(|i| (CellAddr::new(i, 0), cell((id * 1000 + i as u64) as f64)))
+                .collect()
+        };
+        let full = store
+            .checkpoint(
+                PosMapKind::Hierarchical,
+                &[
+                    catchall_image(&[], true),
+                    region_image(1, Rect::new(0, 0, 399, 0), Some(band(1))),
+                    region_image(2, Rect::new(500, 0, 899, 0), Some(band(2))),
+                ],
+            )
+            .unwrap();
+        assert_eq!(full.regions_total, 3);
+        assert_eq!(full.regions_written, 3);
+        // Touch only region 2.
+        let mut changed = band(2);
+        changed[7].1 = cell(-1.0);
+        let incr = store
+            .checkpoint(
+                PosMapKind::Hierarchical,
+                &[
+                    catchall_image(&[], false),
+                    region_image(1, Rect::new(0, 0, 399, 0), None),
+                    region_image(2, Rect::new(500, 0, 899, 0), Some(changed.clone())),
+                ],
+            )
+            .unwrap();
+        assert_eq!(incr.regions_dirty, 1);
+        assert_eq!(incr.regions_written, 1);
+        // Only region 2's pages + the map + header can change.
+        assert!(
+            incr.pages_written <= 2 + full.pages_written / 3 + 1,
+            "incremental checkpoint rewrote too much: {incr:?}"
+        );
+        drop(store);
+        let (_, recovered) = DurableStore::open(&dir).unwrap();
+        assert_eq!(recovered.regions.len(), 2);
+        let r2 = recovered.regions.iter().find(|r| r.id == 2).unwrap();
+        assert_eq!(r2.cells, changed);
+        assert_eq!(r2.rect, Rect::new(500, 0, 899, 0));
+        let r1 = recovered.regions.iter().find(|r| r.id == 1).unwrap();
+        assert_eq!(r1.cells, band(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deleted_region_pages_are_freed_and_zeroed() {
+        let dir = temp_dir("ckpt-delete");
+        let (mut store, _) = DurableStore::open(&dir).unwrap();
+        let cells: Vec<(CellAddr, Cell)> = (0..600u32)
+            .map(|i| (CellAddr::new(i, 0), Cell::value(format!("row-{i}"))))
+            .collect();
+        store
+            .checkpoint(
+                PosMapKind::Hierarchical,
+                &[
+                    catchall_image(&[], true),
+                    region_image(1, Rect::new(0, 0, 599, 0), Some(cells)),
+                ],
+            )
+            .unwrap();
+        let after = store
+            .checkpoint(PosMapKind::Hierarchical, &[catchall_image(&[], false)])
+            .unwrap();
+        assert_eq!(after.regions_total, 1);
+        drop(store);
+        let (store, recovered) = DurableStore::open(&dir).unwrap();
+        assert!(recovered.regions.is_empty());
+        // The image shrank back: the dropped region's pages are gone or
+        // zeroed, never left holding stale payload bytes.
+        assert!(store.stats().image_pages <= 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interrupted_region_checkpoint_rolls_back() {
         let dir = temp_dir("ckpt-undo");
-        let before = vec![(CellAddr::new(0, 0), cell(1.0))];
+        let region_cells = vec![(CellAddr::new(0, 0), cell(1.0))];
         {
             let (mut store, _) = DurableStore::open(&dir).unwrap();
-            store.checkpoint(PosMapKind::Hierarchical, &before).unwrap();
+            store
+                .checkpoint(
+                    PosMapKind::Hierarchical,
+                    &[
+                        catchall_image(&[(CellAddr::new(90, 9), cell(9.0))], true),
+                        region_image(1, Rect::new(0, 0, 9, 0), Some(region_cells.clone())),
+                    ],
+                )
+                .unwrap();
             store
                 .log(&LoggedOp::SetCell {
                     row: 0,
@@ -859,41 +1469,30 @@ mod tests {
                 .unwrap();
             store.sync().unwrap();
         }
-        // Simulate a crash *inside* checkpoint: journal written, image
-        // pages half-overwritten, WAL not yet truncated.
-        let wal_before = std::fs::read(wal_path(&dir)).unwrap();
-        let after = vec![(CellAddr::new(0, 0), cell(2.0))];
+        // Simulate a crash *inside* the next region checkpoint: the undo
+        // journal is durable, the header page is torn, the WAL was never
+        // truncated.
         {
             let (mut store, _) = DurableStore::open(&dir).unwrap();
-            // Manually run the journal + overwrite but "crash" before the
-            // WAL truncate by writing the old WAL contents back… easier:
-            // do a real checkpoint, then reconstruct the mid-crash state.
-            let payload = encode_cells(&after);
-            let header = encode_header(
-                PosMapKind::Hierarchical,
-                payload.len() as u64,
-                crc32(&payload),
-            );
-            // Journal (as checkpoint would).
             let mut begin = vec![REC_CKPT_BEGIN];
-            put_u64(&mut begin, store.pager.page_count());
+            codec::put_u64(&mut begin, store.pager.page_count());
             store.wal.append(&begin).unwrap();
             let old0 = store.pager.read_page(0).unwrap().to_vec();
             let mut rec = vec![REC_UNDO_PAGE];
-            put_u64(&mut rec, 0);
+            codec::put_u64(&mut rec, 0);
             rec.extend_from_slice(&old0);
             store.wal.append(&rec).unwrap();
             store.wal.sync().unwrap();
-            // Tear: overwrite the header page with the *new* header but
-            // never touch the payload page or truncate the WAL.
-            store.pager.write_page(0, &header).unwrap();
+            // Tear: clobber the header page, never truncate the WAL.
+            store.pager.write_page(0, &vec![0xAB; PAGE_SIZE]).unwrap();
             store.pager.flush().unwrap();
         }
-        drop(wal_before);
         // Recovery must roll the header back and replay the logged op.
         let (_, recovered) = DurableStore::open(&dir).unwrap();
         assert!(recovered.rolled_back_checkpoint);
-        assert_eq!(recovered.cells, vec![(CellAddr::new(0, 0), cell(1.0))]);
+        assert_eq!(recovered.regions.len(), 1);
+        assert_eq!(recovered.regions[0].cells, region_cells);
+        assert_eq!(recovered.catchall, vec![(CellAddr::new(90, 9), cell(9.0))]);
         assert_eq!(recovered.ops.len(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -905,15 +1504,62 @@ mod tests {
             .map(|i| (CellAddr::new(i, 0), Cell::value(format!("row-{i}"))))
             .collect();
         let (mut store, _) = DurableStore::open(&dir).unwrap();
-        let r1 = store.checkpoint(PosMapKind::Hierarchical, &big).unwrap();
-        assert!(r1.page_count > 2);
+        let r1 = store
+            .checkpoint(PosMapKind::Hierarchical, &[catchall_image(&big, true)])
+            .unwrap();
+        assert!(r1.page_count > 3);
         let small = vec![(CellAddr::new(0, 0), cell(1.0))];
-        let r2 = store.checkpoint(PosMapKind::Hierarchical, &small).unwrap();
-        assert_eq!(r2.page_count, 2);
+        let r2 = store
+            .checkpoint(PosMapKind::Hierarchical, &[catchall_image(&small, true)])
+            .unwrap();
+        assert_eq!(r2.page_count, 3, "header + payload page + map page");
         assert!(r2.undo_pages >= r1.page_count - r2.page_count);
         drop(store);
         let (_, recovered) = DurableStore::open(&dir).unwrap();
-        assert_eq!(recovered.cells, small);
+        assert_eq!(recovered.catchall, small);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_op_is_refused_without_poisoning_the_log() {
+        let dir = temp_dir("oversized-op");
+        let (mut store, _) = DurableStore::open(&dir).unwrap();
+        // An import encoding past the record limit must be rejected before
+        // anything reaches the log (the caller checkpoints instead)...
+        let huge = LoggedOp::ImportRows {
+            row: 0,
+            col: 0,
+            width: 1,
+            rows: vec![vec![CellValue::Text("x".repeat(MAX_LOGGED_OP_BYTES))]],
+        };
+        let err = store.log(&huge).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Store(StoreError::LimitExceeded(_))
+        ));
+        // ...and the tape stays whole: later ops log and recover fine.
+        store
+            .log(&LoggedOp::SetCell {
+                row: 0,
+                col: 0,
+                input: "1".into(),
+            })
+            .unwrap();
+        store.sync().unwrap();
+        drop(store);
+        let (_, recovered) = DurableStore::open(&dir).unwrap();
+        assert_eq!(recovered.ops.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_region_without_stored_image_is_rejected() {
+        let dir = temp_dir("clean-missing");
+        let (mut store, _) = DurableStore::open(&dir).unwrap();
+        let err = store
+            .checkpoint(PosMapKind::Hierarchical, &[catchall_image(&[], false)])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Store(StoreError::Corrupt(_))));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

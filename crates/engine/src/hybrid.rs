@@ -18,19 +18,45 @@ use crate::rcv::RcvTranslator;
 use crate::rom::RomTranslator;
 use crate::translator::Translator;
 
+/// Region id of the catch-all pseudo-region in checkpoint images (real
+/// regions are numbered from 1).
+pub const CATCHALL_REGION_ID: u64 = 0;
+
 /// One region of the sheet and its translator.
 pub struct RegionSlot {
+    /// Stable identity for region-granular persistence: survives rect
+    /// shifts and reopen, so a checkpoint can key page allocations by it.
+    pub id: u64,
     pub rect: Rect,
     pub translator: Box<dyn Translator>,
+    /// Set by every mutator that changes this region's *cells* (not by
+    /// pure rect translations); cleared after a successful checkpoint.
+    dirty: bool,
 }
 
 impl std::fmt::Debug for RegionSlot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RegionSlot")
+            .field("id", &self.id)
             .field("rect", &self.rect.to_a1())
             .field("kind", &self.translator.kind())
+            .field("dirty", &self.dirty)
             .finish()
     }
+}
+
+/// One region's contribution to a checkpoint: identity + layout metadata
+/// always, the actual cells only when the region is dirty (that is the
+/// whole point of region-granular persistence — clean regions are never
+/// re-serialized).
+pub struct RegionImage {
+    pub id: u64,
+    pub kind: ModelKind,
+    /// Sheet-coordinate rectangle (meaningless for the catch-all).
+    pub rect: Rect,
+    /// `Some(cells)` iff dirty. Region cells are in *local* coordinates,
+    /// catch-all cells in sheet coordinates; both sorted row-major.
+    pub cells: Option<Vec<(CellAddr, Cell)>>,
 }
 
 /// A sheet stored as a hybrid data model.
@@ -39,6 +65,8 @@ pub struct HybridSheet {
     regions: Vec<RegionSlot>,
     /// RCV over the whole sheet's coordinate space for stray cells.
     catchall: RcvTranslator,
+    catchall_dirty: bool,
+    next_region_id: u64,
     posmap_kind: PosMapKind,
 }
 
@@ -57,6 +85,10 @@ impl HybridSheet {
         HybridSheet {
             regions: Vec::new(),
             catchall: RcvTranslator::new(posmap_kind),
+            // A brand-new sheet has never been serialized: the first
+            // checkpoint must write the (empty) catch-all image.
+            catchall_dirty: true,
+            next_region_id: CATCHALL_REGION_ID + 1,
             posmap_kind,
         }
     }
@@ -100,10 +132,18 @@ impl HybridSheet {
         }
         // Move any catch-all cells inside the new region into it.
         let strays = self.catchall.get_range(rect);
-        self.regions.push(RegionSlot { rect, translator });
+        let id = self.next_region_id;
+        self.next_region_id += 1;
+        self.regions.push(RegionSlot {
+            id,
+            rect,
+            translator,
+            dirty: true,
+        });
         let slot = self.regions.len() - 1;
         for (addr, cell) in strays {
             self.catchall.clear_cell(addr.row, addr.col)?;
+            self.catchall_dirty = true;
             let local_r = addr.row - rect.r1;
             let local_c = addr.col - rect.c1;
             self.regions[slot]
@@ -113,8 +153,93 @@ impl HybridSheet {
         Ok(())
     }
 
+    /// Rebuild one region from a checkpoint image (recovery path): the slot
+    /// keeps its persisted id, and `cells` are local coordinates. TOM
+    /// regions come back as RCV holding the captured values (the table
+    /// link itself is not persisted; see the README).
+    pub fn restore_region(
+        &mut self,
+        id: u64,
+        kind: ModelKind,
+        rect: Rect,
+        cells: &[(CellAddr, Cell)],
+    ) -> Result<(), EngineError> {
+        if id == CATCHALL_REGION_ID || self.regions.iter().any(|r| r.id == id) {
+            return Err(EngineError::BadLink(format!(
+                "restore of duplicate region id {id}"
+            )));
+        }
+        let mut translator = self.make_translator(kind);
+        for (addr, cell) in cells {
+            translator.set_cell(addr.row, addr.col, cell.clone())?;
+        }
+        self.regions.push(RegionSlot {
+            id,
+            rect,
+            translator,
+            dirty: true,
+        });
+        self.next_region_id = self.next_region_id.max(id + 1);
+        Ok(())
+    }
+
     pub fn remove_region(&mut self, idx: usize) -> RegionSlot {
         self.regions.remove(idx)
+    }
+
+    // -------------------------------------------------- dirty tracking --
+
+    /// Per-region checkpoint images: identity + layout for every region
+    /// (catch-all first as [`CATCHALL_REGION_ID`]), cells only for the
+    /// dirty ones. TOM regions are always treated as dirty — their content
+    /// lives in the database and can change without any sheet mutator
+    /// running (the persistence layer still skips the page writes when the
+    /// serialized bytes come out unchanged).
+    pub fn region_images(&self) -> Vec<RegionImage> {
+        let whole = Rect::new(0, 0, u32::MAX - 1, u32::MAX - 1);
+        let mut out = Vec::with_capacity(1 + self.regions.len());
+        out.push(RegionImage {
+            id: CATCHALL_REGION_ID,
+            kind: ModelKind::Rcv,
+            rect: Rect::new(0, 0, 0, 0),
+            cells: self
+                .catchall_dirty
+                .then(|| sorted_cells(self.catchall.get_range(whole))),
+        });
+        for r in &self.regions {
+            let dirty = r.dirty || r.translator.kind() == ModelKind::Tom;
+            out.push(RegionImage {
+                id: r.id,
+                kind: r.translator.kind(),
+                rect: r.rect,
+                cells: dirty.then(|| sorted_cells(r.translator.all_cells())),
+            });
+        }
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Mark every region (and the catch-all) clean — called after a
+    /// successful checkpoint, and after restoring from a current image.
+    pub fn clear_dirty(&mut self) {
+        self.catchall_dirty = false;
+        for r in &mut self.regions {
+            r.dirty = false;
+        }
+    }
+
+    /// Force full re-serialization at the next checkpoint (migration from
+    /// a legacy image, storage reorganizations).
+    pub fn mark_all_dirty(&mut self) {
+        self.catchall_dirty = true;
+        for r in &mut self.regions {
+            r.dirty = true;
+        }
+    }
+
+    /// Regions currently flagged dirty (catch-all included).
+    pub fn dirty_region_count(&self) -> usize {
+        self.regions.iter().filter(|r| r.dirty).count() + usize::from(self.catchall_dirty)
     }
 
     fn route(&self, addr: CellAddr) -> Option<usize> {
@@ -136,10 +261,14 @@ impl HybridSheet {
         match self.route(addr) {
             Some(i) => {
                 let r = &mut self.regions[i];
+                r.dirty = true;
                 r.translator
                     .set_cell(addr.row - r.rect.r1, addr.col - r.rect.c1, cell)
             }
-            None => self.catchall.set_cell(addr.row, addr.col, cell),
+            None => {
+                self.catchall_dirty = true;
+                self.catchall.set_cell(addr.row, addr.col, cell)
+            }
         }
     }
 
@@ -164,9 +293,13 @@ impl HybridSheet {
             let rect = self.regions[i].rect;
             let local: Vec<(u32, Cell)> =
                 group.into_iter().map(|(c, v)| (c - rect.c1, v)).collect();
+            self.regions[i].dirty = true;
             self.regions[i]
                 .translator
                 .set_cells_in_row(row - rect.r1, &local)?;
+        }
+        if !remaining.is_empty() {
+            self.catchall_dirty = true;
         }
         self.catchall.set_cells_in_row(row, &remaining)
     }
@@ -175,10 +308,14 @@ impl HybridSheet {
         match self.route(addr) {
             Some(i) => {
                 let r = &mut self.regions[i];
+                r.dirty = true;
                 r.translator
                     .clear_cell(addr.row - r.rect.r1, addr.col - r.rect.c1)
             }
-            None => self.catchall.clear_cell(addr.row, addr.col),
+            None => {
+                self.catchall_dirty = true;
+                self.catchall.clear_cell(addr.row, addr.col)
+            }
         }
     }
 
@@ -202,9 +339,14 @@ impl HybridSheet {
 
     /// Sheet-level `insertRowAfter`-style edit: rows at `at` and below
     /// shift down by `n`.
+    ///
+    /// Regions entirely below the edit only *translate* — their local
+    /// cells are untouched, so they stay clean for the next checkpoint
+    /// (the rect change lands in the page-map, not in region payloads).
     pub fn insert_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
         if self.catchall.rows() > at {
             self.catchall.insert_rows(at, n)?;
+            self.catchall_dirty = true;
         }
         for region in &mut self.regions {
             if at <= region.rect.r1 {
@@ -212,6 +354,7 @@ impl HybridSheet {
             } else if at <= region.rect.r2 {
                 region.translator.insert_rows(at - region.rect.r1, n)?;
                 region.rect.r2 += n;
+                region.dirty = true;
             }
         }
         Ok(())
@@ -220,6 +363,7 @@ impl HybridSheet {
     pub fn delete_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
         if self.catchall.rows() > at {
             self.catchall.delete_rows(at, n)?;
+            self.catchall_dirty = true;
         }
         let end = at + n; // exclusive
         let mut doomed = Vec::new();
@@ -238,6 +382,7 @@ impl HybridSheet {
                     doomed.push(i);
                     continue;
                 }
+                region.dirty = true;
                 region.translator.delete_rows(first - region.rect.r1, k)?;
                 // Deleted rows strictly above the region shift it up; the
                 // k rows removed inside shrink it.
@@ -255,6 +400,7 @@ impl HybridSheet {
     pub fn insert_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
         if self.catchall.cols() > at {
             self.catchall.insert_cols(at, n)?;
+            self.catchall_dirty = true;
         }
         for region in &mut self.regions {
             if at <= region.rect.c1 {
@@ -262,6 +408,7 @@ impl HybridSheet {
             } else if at <= region.rect.c2 {
                 region.translator.insert_cols(at - region.rect.c1, n)?;
                 region.rect.c2 += n;
+                region.dirty = true;
             }
         }
         Ok(())
@@ -270,6 +417,7 @@ impl HybridSheet {
     pub fn delete_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
         if self.catchall.cols() > at {
             self.catchall.delete_cols(at, n)?;
+            self.catchall_dirty = true;
         }
         let end = at + n;
         let mut doomed = Vec::new();
@@ -286,6 +434,7 @@ impl HybridSheet {
                     doomed.push(i);
                     continue;
                 }
+                region.dirty = true;
                 region.translator.delete_cols(first - region.rect.c1, k)?;
                 let deleted_left = region.rect.c1.saturating_sub(at);
                 region.rect.c1 -= deleted_left;
@@ -346,6 +495,9 @@ impl HybridSheet {
         }
         self.regions = kept_regions;
         self.catchall = RcvTranslator::new(self.posmap_kind);
+        // Kept TOM regions are serialized as dirty anyway; everything else
+        // was rebuilt, so the whole sheet must re-serialize.
+        self.mark_all_dirty();
         // Build the new regions.
         for region in &decomp.regions {
             if region.kind == ModelKind::Tom {
@@ -380,6 +532,14 @@ impl HybridSheet {
                 .map(|r| r.translator.filled_count())
                 .sum::<u64>()
     }
+}
+
+/// Canonical cell ordering for serialized region payloads: the same
+/// logical content must always produce the same bytes (the recovery suite
+/// compares checkpoint images byte-for-byte).
+fn sorted_cells(mut cells: Vec<(CellAddr, Cell)>) -> Vec<(CellAddr, Cell)> {
+    cells.sort_by_key(|(a, _)| (a.row, a.col));
+    cells
 }
 
 /// A cache-less [`CellReader`](dataspread_formula::eval::CellReader) over

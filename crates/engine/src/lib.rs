@@ -39,7 +39,7 @@ pub mod translator;
 
 pub use durable::{CheckpointReport, LoggedOp, PersistenceStats};
 pub use error::EngineError;
-pub use hybrid::HybridSheet;
+pub use hybrid::{HybridSheet, RegionImage, CATCHALL_REGION_ID};
 pub use sheet::{OptimizeAlgorithm, OptimizeReport, SheetEngine};
 pub use translator::Translator;
 

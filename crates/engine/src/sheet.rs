@@ -147,25 +147,51 @@ impl SheetEngine {
         let (store, recovered) = DurableStore::open(dir)?;
         let kind = recovered.posmap.unwrap_or(kind);
         let mut engine = Self::with_posmap(kind);
-        // 1. Restore the checkpointed cells (values and formula sources).
-        for (addr, cell) in &recovered.cells {
+        // 1. Rebuild the region layout from the image (regions first, so
+        //    the catch-all cells below route to the catch-all).
+        for region in &recovered.regions {
+            engine
+                .sheet
+                .restore_region(region.id, region.kind, region.rect, &region.cells)?;
+        }
+        for (addr, cell) in &recovered.catchall {
             engine.sheet.set_cell(*addr, cell.clone())?;
         }
         // 2. Re-register formulas so later edits recompute dependents; the
         //    stored values are already the computed ones, so no recompute.
-        for (addr, cell) in &recovered.cells {
+        let absolute_cells =
+            recovered
+                .catchall
+                .iter()
+                .cloned()
+                .chain(recovered.regions.iter().flat_map(|r| {
+                    r.cells.iter().map(|(addr, cell)| {
+                        (
+                            addr.offset(r.rect.r1 as i64, r.rect.c1 as i64),
+                            cell.clone(),
+                        )
+                    })
+                }));
+        for (addr, cell) in absolute_cells {
             if let Some(src) = &cell.formula {
                 if let Ok(expr) = parse(src) {
-                    engine.deps.set_formula(*addr, collect_ranges(&expr));
-                    engine.parsed.insert(*addr, expr);
+                    engine.deps.set_formula(addr, collect_ranges(&expr));
+                    engine.parsed.insert(addr, expr);
                 }
             }
         }
-        // 3. Replay the committed op tail through the normal op paths.
+        // 3. The restored state matches the image byte-for-byte — unless
+        //    the image is a legacy format, in which case everything must
+        //    re-serialize into the region-keyed layout.
+        if recovered.posmap.is_some() && recovered.migrated_from.is_none() {
+            engine.sheet.clear_dirty();
+        }
+        // 4. Replay the committed op tail through the normal op paths
+        //    (each op marks the regions it touches dirty again).
         for op in &recovered.ops {
             engine.apply_logged(op)?;
         }
-        // 4. Fold the replayed state into the image and reset the WAL.
+        // 5. Fold the replayed state into the image and reset the WAL.
         engine.durable = Some(store);
         engine.checkpoint()?;
         Ok(engine)
@@ -186,24 +212,20 @@ impl SheetEngine {
         }
     }
 
-    /// Fold the current logical state into the paged checkpoint image and
-    /// truncate the WAL. Returns `None` for in-memory engines.
+    /// Fold the regions touched since the last checkpoint into the paged
+    /// image and truncate the WAL. Clean regions are neither re-serialized
+    /// nor rewritten — a single-cell edit checkpoints in O(dirty regions),
+    /// not O(sheet). Returns `None` for in-memory engines.
     pub fn checkpoint(&mut self) -> Result<Option<CheckpointReport>, EngineError> {
         if self.durable.is_none() {
             return Ok(None);
         }
-        let mut cells: Vec<(CellAddr, Cell)> = self
-            .sheet
-            .snapshot(true)
-            .iter()
-            .map(|(addr, cell)| (addr, cell.clone()))
-            .collect();
-        // Deterministic image bytes: the same logical state must always
-        // serialize identically (recovery tests compare files).
-        cells.sort_by_key(|(a, _)| (a.row, a.col));
         let kind = self.sheet.posmap_kind();
+        let images = self.sheet.region_images();
         let store = self.durable.as_mut().expect("checked above");
-        Ok(Some(store.checkpoint(kind, &cells)?))
+        let report = store.checkpoint(kind, &images)?;
+        self.sheet.clear_dirty();
+        Ok(Some(report))
     }
 
     /// Checkpoint automatically after every `ops` logged operations
@@ -211,6 +233,16 @@ impl SheetEngine {
     pub fn set_auto_checkpoint(&mut self, ops: Option<u64>) {
         if let Some(store) = self.durable.as_mut() {
             store.set_auto_checkpoint(ops);
+        }
+    }
+
+    /// Rotate the WAL to a fresh segment file once the current one exceeds
+    /// `bytes` (fully checkpointed segments are deleted at the next
+    /// checkpoint). Durable engines default to 64 MiB; `None` keeps one
+    /// unbounded file.
+    pub fn set_wal_segment_limit(&mut self, bytes: Option<u64>) {
+        if let Some(store) = self.durable.as_mut() {
+            store.set_wal_segment_limit(bytes);
         }
     }
 
@@ -249,6 +281,14 @@ impl SheetEngine {
             LoggedOp::DeleteRows { at, n } => self.delete_rows_impl(*at, *n),
             LoggedOp::InsertCols { at, n } => self.insert_cols_impl(*at, *n),
             LoggedOp::DeleteCols { at, n } => self.delete_cols_impl(*at, *n),
+            LoggedOp::ImportRows {
+                row,
+                col,
+                width,
+                rows,
+            } => self
+                .import_rows_impl(CellAddr::new(*row, *col), *width, rows.iter().cloned())
+                .map(|_| ()),
         }
     }
 
@@ -382,7 +422,41 @@ impl SheetEngine {
 
     /// Bulk-import rows of values starting at `top_left` as a dedicated ROM
     /// region (the VCF import path: O(N) bulk-loaded positional maps).
+    ///
+    /// On a durable engine the whole import is one bulk WAL record —
+    /// committed at the next [`SheetEngine::save`] like any other op and
+    /// replayed through the same bulk-load path on recovery (no forced
+    /// checkpoint).
     pub fn import_rows(
+        &mut self,
+        top_left: CellAddr,
+        width: u32,
+        rows: impl IntoIterator<Item = Vec<CellValue>>,
+    ) -> Result<Rect, EngineError> {
+        if self.durable.is_none() {
+            return self.import_rows_impl(top_left, width, rows);
+        }
+        let rows: Vec<Vec<CellValue>> = rows.into_iter().collect();
+        let rect = self.import_rows_impl(top_left, width, rows.iter().cloned())?;
+        match self.log_op(LoggedOp::ImportRows {
+            row: top_left.row,
+            col: top_left.col,
+            width,
+            rows,
+        }) {
+            Ok(()) => {}
+            // An import too large for one WAL record (the store refuses it
+            // before touching the log) is captured by an immediate
+            // checkpoint instead — the pre-PR-3 bulk path.
+            Err(EngineError::Store(dataspread_relstore::StoreError::LimitExceeded(_))) => {
+                self.checkpoint()?;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(rect)
+    }
+
+    fn import_rows_impl(
         &mut self,
         top_left: CellAddr,
         width: u32,
@@ -407,9 +481,41 @@ impl SheetEngine {
             top_left.row + n_rows - 1,
             top_left.col + width - 1,
         );
+        // Check overlap up front so a rejected import leaves the sheet
+        // untouched, then clear whatever occupied the target rectangle —
+        // an import *overwrites* the block it lands on (otherwise
+        // `add_region` would absorb the old cells over the imported ones).
+        if self.sheet.layout().iter().any(|(r, _)| r.intersects(&rect)) {
+            return Err(EngineError::BadLink(format!(
+                "import target {rect} overlaps an existing region"
+            )));
+        }
+        for (addr, _) in self.sheet.get_cells(rect) {
+            self.sheet.clear_cell(addr)?;
+        }
+        // Formula registrations under the imported block are dead too —
+        // left in place, the next structural edit would resurrect the old
+        // formula cells over the imported data.
+        let doomed: Vec<CellAddr> = self
+            .parsed
+            .keys()
+            .filter(|addr| rect.contains(**addr))
+            .copied()
+            .collect();
+        for addr in doomed {
+            self.parsed.remove(&addr);
+            self.deps.remove(addr);
+        }
         self.sheet.add_region(rect, Box::new(rom))?;
-        // Bulk imports bypass the per-op log; capture them via checkpoint.
-        self.checkpoint()?;
+        self.cache.lock().clear();
+        // Formulas reading the imported rectangle must see the new values.
+        let seeds: Vec<CellAddr> = self
+            .deps
+            .formulas()
+            .filter(|(_, ranges)| ranges.iter().any(|r| r.intersects(&rect)))
+            .map(|(addr, _)| addr)
+            .collect();
+        self.recompute(&seeds)?;
         Ok(rect)
     }
 
@@ -1008,6 +1114,27 @@ mod tests {
         e.save().unwrap();
         assert!(e.checkpoint().unwrap().is_none());
         assert!(e.persistence_stats().is_none());
+    }
+
+    #[test]
+    fn import_overwrites_and_recomputes_dependents() {
+        let mut e = SheetEngine::new();
+        e.update_cell_a1("A1", "stale").unwrap();
+        e.update_cell_a1("B1", "=A1+1").unwrap();
+        assert_eq!(e.value(a("B1")), CellValue::Error(CellError::Value));
+        // Import a block over A1:A2: the old cell is overwritten and the
+        // dependent formula must recompute against the imported value.
+        e.import_rows(
+            a("A1"),
+            1,
+            vec![vec![CellValue::Number(5.0)], vec![CellValue::Number(6.0)]],
+        )
+        .unwrap();
+        assert_eq!(e.value(a("A1")), CellValue::Number(5.0));
+        assert_eq!(e.value(a("B1")), CellValue::Number(6.0));
+        // Edits through the region keep recomputing as usual.
+        e.update_cell_a1("A1", "10").unwrap();
+        assert_eq!(e.value(a("B1")), CellValue::Number(11.0));
     }
 
     #[test]

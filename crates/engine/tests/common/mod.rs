@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dataspread_engine::SheetEngine;
-use dataspread_grid::CellAddr;
+use dataspread_grid::{CellAddr, CellValue};
 
 /// Bounds of the randomized playground. Kept small so structural edits
 /// collide with content often (that is where the bugs live).
@@ -37,6 +37,33 @@ pub enum TapeOp {
         at: u32,
         n: u32,
     },
+    /// `import_rows` of a deterministic value block (see [`import_value`])
+    /// as a dedicated ROM region. The engine rejects imports overlapping an
+    /// existing region; [`apply`] reports that as `false` so the caller can
+    /// skip its model mirror too.
+    Import {
+        row: u32,
+        col: u32,
+        width: u32,
+        n_rows: u32,
+    },
+}
+
+/// The value an [`TapeOp::Import`] block holds at local `(r, c)` — shared
+/// between the engine apply and the differential model.
+pub fn import_value(op_row: u32, op_col: u32, width: u32, r: u32, c: u32) -> CellValue {
+    CellValue::Number(((op_row + r) * 1000 + (op_col + c) * width) as f64 + 0.25)
+}
+
+/// The row data an [`TapeOp::Import`] feeds to `import_rows`.
+pub fn import_rows_data(row: u32, col: u32, width: u32, n_rows: u32) -> Vec<Vec<CellValue>> {
+    (0..n_rows)
+        .map(|r| {
+            (0..width)
+                .map(|c| import_value(row, col, width, r, c))
+                .collect()
+        })
+        .collect()
 }
 
 /// Literal inputs that exercise every interpretation path (numbers, bools,
@@ -76,7 +103,7 @@ pub fn tape(seed: u64, len: usize) -> Vec<TapeOp> {
     let mut ops = Vec::with_capacity(len);
     for _ in 0..len {
         let roll = rng.gen_range(0u32..100);
-        let op = if roll < 70 {
+        let op = if roll < 64 {
             let row = rng.gen_range(0..MAX_ROW);
             let col = rng.gen_range(0..MAX_COL);
             let input = if rng.gen_bool(0.25) {
@@ -85,6 +112,13 @@ pub fn tape(seed: u64, len: usize) -> Vec<TapeOp> {
                 LITERALS[rng.gen_range(0..LITERALS.len())].to_string()
             };
             TapeOp::Set { row, col, input }
+        } else if roll < 70 {
+            TapeOp::Import {
+                row: rng.gen_range(0..MAX_ROW),
+                col: rng.gen_range(0..MAX_COL),
+                width: rng.gen_range(1..=3),
+                n_rows: rng.gen_range(1..=4),
+            }
         } else {
             let at = rng.gen_range(0..MAX_ROW);
             let n = rng.gen_range(1u32..=3);
@@ -106,8 +140,10 @@ pub fn tape(seed: u64, len: usize) -> Vec<TapeOp> {
     ops
 }
 
-/// Apply one op to an engine.
-pub fn apply(engine: &mut SheetEngine, op: &TapeOp) {
+/// Apply one op to an engine. Returns whether the op applied: imports may
+/// legitimately be rejected (region overlap) and then change nothing; any
+/// other failure panics.
+pub fn apply(engine: &mut SheetEngine, op: &TapeOp) -> bool {
     match op {
         TapeOp::Set { row, col, input } => engine
             .update_cell(CellAddr::new(*row, *col), input)
@@ -116,5 +152,20 @@ pub fn apply(engine: &mut SheetEngine, op: &TapeOp) {
         TapeOp::DeleteRows { at, n } => engine.delete_rows(*at, *n).expect("delete rows"),
         TapeOp::InsertCols { at, n } => engine.insert_cols(*at, *n).expect("insert cols"),
         TapeOp::DeleteCols { at, n } => engine.delete_cols(*at, *n).expect("delete cols"),
+        TapeOp::Import {
+            row,
+            col,
+            width,
+            n_rows,
+        } => {
+            return engine
+                .import_rows(
+                    CellAddr::new(*row, *col),
+                    *width,
+                    import_rows_data(*row, *col, *width, *n_rows),
+                )
+                .is_ok()
+        }
     }
+    true
 }

@@ -40,16 +40,15 @@ fn clone_store(src: &Path, dst: &Path) {
     }
 }
 
-/// Record end-offsets in a WAL file, parsed from the framing alone
-/// (`magic+version` header, then `len u32 | crc u32 | payload` records).
+/// Record end-offsets in a WAL segment file, parsed from the framing alone
+/// (the v2 header, then `len u32 | crc u32 | payload` records).
 fn record_ends(wal_bytes: &[u8]) -> Vec<usize> {
-    const HEADER: usize = 8;
-    const OVERHEAD: usize = 8;
+    use dataspread_relstore::wal::{WAL_HEADER_LEN, WAL_RECORD_OVERHEAD};
     let mut ends = Vec::new();
-    let mut off = HEADER;
-    while off + OVERHEAD <= wal_bytes.len() {
+    let mut off = WAL_HEADER_LEN as usize;
+    while off + WAL_RECORD_OVERHEAD as usize <= wal_bytes.len() {
         let len = u32::from_le_bytes(wal_bytes[off..off + 4].try_into().unwrap()) as usize;
-        let end = off + OVERHEAD + len;
+        let end = off + WAL_RECORD_OVERHEAD as usize + len;
         if end > wal_bytes.len() {
             break;
         }
@@ -59,47 +58,98 @@ fn record_ends(wal_bytes: &[u8]) -> Vec<usize> {
     ends
 }
 
-#[test]
-fn wal_cut_at_every_byte_boundary_recovers_an_op_prefix() {
-    let ops = tape(20_260_731, 40);
-    let base = temp_dir("cuts-base");
-    {
-        let mut engine = SheetEngine::open(&base).unwrap();
-        for op in &ops {
-            apply(&mut engine, op);
-        }
-        engine.save().unwrap();
-    }
-    let image_bytes = std::fs::read(image_path(&base)).unwrap();
-    let wal_bytes = std::fs::read(wal_path(&base)).unwrap();
+/// Cut the committed WAL at every byte and check each cut recovers exactly
+/// the ops whose records are fully contained in the prefix.
+fn assert_every_cut_recovers_a_prefix(base: &Path, applied_ops: &[common::TapeOp], label: &str) {
+    let image_bytes = std::fs::read(image_path(base)).unwrap();
+    let wal_bytes = std::fs::read(wal_path(base)).unwrap();
     let ends = record_ends(&wal_bytes);
-    assert_eq!(ends.len(), ops.len(), "one WAL record per op");
+    assert_eq!(
+        ends.len(),
+        applied_ops.len(),
+        "{label}: one WAL record per applied op"
+    );
 
     // Expected states are engine states after each op prefix; advance the
     // in-memory reference engine lazily as cuts cross record boundaries.
     let mut reference = SheetEngine::new();
     let mut applied = 0usize;
-    let cut_dir = temp_dir("cuts-work");
+    let cut_dir = temp_dir(&format!("cuts-work-{label}"));
     for cut in 0..=wal_bytes.len() {
         let committed = ends.iter().take_while(|e| **e <= cut).count();
         while applied < committed {
-            apply(&mut reference, &ops[applied]);
+            apply(&mut reference, &applied_ops[applied]);
             applied += 1;
         }
         std::fs::remove_dir_all(&cut_dir).ok();
         std::fs::create_dir_all(&cut_dir).unwrap();
         std::fs::write(image_path(&cut_dir), &image_bytes).unwrap();
         std::fs::write(wal_path(&cut_dir), &wal_bytes[..cut]).unwrap();
-        let recovered =
-            SheetEngine::open(&cut_dir).unwrap_or_else(|e| panic!("open failed at cut {cut}: {e}"));
+        let recovered = SheetEngine::open(&cut_dir)
+            .unwrap_or_else(|e| panic!("{label}: open failed at cut {cut}: {e}"));
         assert_eq!(
             recovered.snapshot(),
             reference.snapshot(),
-            "cut at byte {cut} must recover exactly {committed} ops"
+            "{label}: cut at byte {cut} must recover exactly {committed} ops"
         );
     }
-    std::fs::remove_dir_all(&base).ok();
     std::fs::remove_dir_all(&cut_dir).ok();
+}
+
+#[test]
+fn wal_cut_at_every_byte_boundary_recovers_an_op_prefix() {
+    let ops = tape(20_260_731, 40);
+    let base = temp_dir("cuts-base");
+    let mut applied_ops = Vec::new();
+    {
+        let mut engine = SheetEngine::open(&base).unwrap();
+        for op in &ops {
+            // Rejected imports (overlap) log nothing; track what applied.
+            if apply(&mut engine, op) {
+                applied_ops.push(op.clone());
+            }
+        }
+        engine.save().unwrap();
+    }
+    assert_every_cut_recovers_a_prefix(&base, &applied_ops, "random-tape");
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn bulk_import_record_cut_at_every_byte_recovers_a_prefix() {
+    use common::TapeOp;
+    // A tape with a guaranteed large import: cuts landing *inside* the
+    // bulk record must yield the pre-import state, cuts at its boundary
+    // the post-import state — the import is atomic under crash.
+    let ops = vec![
+        TapeOp::Set {
+            row: 0,
+            col: 0,
+            input: "before".into(),
+        },
+        TapeOp::Import {
+            row: 40,
+            col: 2,
+            width: 5,
+            n_rows: 20,
+        },
+        TapeOp::Set {
+            row: 1,
+            col: 0,
+            input: "after".into(),
+        },
+        TapeOp::DeleteRows { at: 45, n: 3 },
+    ];
+    let base = temp_dir("import-cuts-base");
+    {
+        let mut engine = SheetEngine::open(&base).unwrap();
+        for op in &ops {
+            assert!(apply(&mut engine, op), "scripted tape must apply fully");
+        }
+        engine.save().unwrap();
+    }
+    assert_every_cut_recovers_a_prefix(&base, &ops, "bulk-import");
+    std::fs::remove_dir_all(&base).ok();
 }
 
 /// Ops in the large committed tape (the ISSUE's acceptance bar is ≥100k
@@ -222,13 +272,190 @@ fn garbage_wal_tail_is_ignored_but_garbage_image_is_rejected() {
         dataspread_grid::CellValue::Number(42.0)
     );
     drop(engine);
-    // Corrupt the image payload: recovery must refuse, not hallucinate.
+    // Corrupt a region payload in the image: recovery must refuse, not
+    // hallucinate. Byte 4 of page 1 sits inside the catch-all payload's
+    // CRC-covered prefix (its 8-byte cell count).
     let mut image = std::fs::read(image_path(&base)).unwrap();
-    let len = image.len();
-    image[len - 1] ^= 0xFF;
-    let byte = 8192 + 16; // inside the payload page
-    image[byte] ^= 0xFF;
+    image[8192 + 4] ^= 0xFF;
     std::fs::write(image_path(&base), &image).unwrap();
     assert!(SheetEngine::open(&base).is_err());
     std::fs::remove_dir_all(&base).ok();
+}
+
+// ----------------------------------------------------- v1 migration --
+
+/// Hand-built PR 2-era (format version 1) image: one header page (magic,
+/// version, posmap, payload length, payload CRC), then the whole-sheet
+/// cell payload chunked into pages 1.. .
+fn v1_image_bytes(cells: &[(u32, u32, f64)]) -> Vec<u8> {
+    const PAGE: usize = 8192;
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&(cells.len() as u64).to_le_bytes());
+    for (row, col, value) in cells {
+        payload.extend_from_slice(&row.to_le_bytes());
+        payload.extend_from_slice(&col.to_le_bytes());
+        payload.push(0); // no formula
+        payload.push(1); // value tag: number
+        payload.extend_from_slice(&value.to_le_bytes());
+    }
+    let mut image = Vec::new();
+    image.extend_from_slice(b"DSIM");
+    image.extend_from_slice(&1u32.to_le_bytes()); // version 1
+    image.push(2); // posmap: hierarchical
+    image.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    image.extend_from_slice(&dataspread_relstore::crc32(&payload).to_le_bytes());
+    image.resize(PAGE, 0);
+    image.extend_from_slice(&payload);
+    image.resize(PAGE * (1 + payload.len().div_ceil(PAGE)), 0);
+    image
+}
+
+/// Hand-built v1 WAL (8-byte header) holding one SetCell logged op.
+fn v1_wal_bytes(row: u32, col: u32, input: &str) -> Vec<u8> {
+    let mut op = vec![0u8, 0u8]; // record kind REC_OP, op tag SetCell
+    op.extend_from_slice(&row.to_le_bytes());
+    op.extend_from_slice(&col.to_le_bytes());
+    op.extend_from_slice(&(input.len() as u32).to_le_bytes());
+    op.extend_from_slice(input.as_bytes());
+    let mut wal = Vec::new();
+    wal.extend_from_slice(b"DSWL");
+    wal.extend_from_slice(&1u32.to_le_bytes()); // version 1
+    wal.extend_from_slice(&(op.len() as u32).to_le_bytes());
+    wal.extend_from_slice(&dataspread_relstore::crc32(&op).to_le_bytes());
+    wal.extend_from_slice(&op);
+    wal
+}
+
+#[test]
+fn v1_snapshot_and_wal_open_via_the_migration_path() {
+    let dir = temp_dir("v1-migrate");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        image_path(&dir),
+        v1_image_bytes(&[(0, 0, 11.0), (3, 2, 7.5), (100, 0, -4.0)]),
+    )
+    .unwrap();
+    std::fs::write(wal_path(&dir), v1_wal_bytes(1, 0, "42")).unwrap();
+
+    // Open must load the legacy image, keep its posmap scheme, and replay
+    // the v1 op tail.
+    let a = |s: &str| CellAddr::parse_a1(s).unwrap();
+    let engine = SheetEngine::open(&dir).unwrap();
+    assert_eq!(
+        engine.storage().posmap_kind(),
+        dataspread_engine::PosMapKind::Hierarchical
+    );
+    assert_eq!(
+        engine.value(a("A1")),
+        dataspread_grid::CellValue::Number(11.0)
+    );
+    assert_eq!(
+        engine.value(a("C4")),
+        dataspread_grid::CellValue::Number(7.5)
+    );
+    assert_eq!(
+        engine.value(a("A101")),
+        dataspread_grid::CellValue::Number(-4.0)
+    );
+    assert_eq!(
+        engine.value(a("A2")),
+        dataspread_grid::CellValue::Number(42.0)
+    );
+    drop(engine);
+
+    // The open folded a checkpoint, rewriting the file in the v2 layout.
+    let image = std::fs::read(image_path(&dir)).unwrap();
+    assert_eq!(&image[..4], b"DSIM");
+    assert_eq!(u32::from_le_bytes(image[4..8].try_into().unwrap()), 2);
+
+    // A second open reads the migrated image natively.
+    let engine = SheetEngine::open(&dir).unwrap();
+    assert_eq!(
+        engine.value(a("A2")),
+        dataspread_grid::CellValue::Number(42.0)
+    );
+    assert_eq!(
+        engine.value(a("A101")),
+        dataspread_grid::CellValue::Number(-4.0)
+    );
+    assert_eq!(engine.persistence_stats().unwrap().ops_since_checkpoint, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ------------------------------------------- region-granular recovery --
+
+/// A sheet with many imported regions must survive a crash and come back
+/// with its region layout (not flattened into the catch-all).
+#[test]
+fn imported_regions_survive_crash_with_layout() {
+    let base = temp_dir("regions-base");
+    let crash = temp_dir("regions-crash");
+    let mut engine = SheetEngine::open(&base).unwrap();
+    for band in 0..12u32 {
+        engine
+            .import_rows(
+                CellAddr::new(band * 10, 0),
+                4,
+                (0..5u32).map(|r| {
+                    (0..4u32)
+                        .map(|c| {
+                            dataspread_grid::CellValue::Number((band * 100 + r * 4 + c) as f64)
+                        })
+                        .collect()
+                }),
+            )
+            .unwrap();
+    }
+    engine.checkpoint().unwrap();
+    engine
+        .update_cell(CellAddr::new(0, 0), "overwritten")
+        .unwrap();
+    engine.save().unwrap();
+    clone_store(&base, &crash);
+    let recovered = SheetEngine::open(&crash).unwrap();
+    assert_eq!(recovered.snapshot(), engine.snapshot());
+    assert_eq!(
+        recovered.storage().region_count(),
+        engine.storage().region_count(),
+        "region layout must survive reopen"
+    );
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::remove_dir_all(&crash).ok();
+}
+
+/// WAL segment rotation end-to-end: a tiny limit forces a multi-segment
+/// chain, recovery replays across segments, and a checkpoint collapses the
+/// chain back to one file.
+#[test]
+fn wal_segment_rotation_survives_crash_and_checkpoint_deletes_segments() {
+    let base = temp_dir("rotate-base");
+    let crash = temp_dir("rotate-crash");
+    let mut engine = SheetEngine::open(&base).unwrap();
+    engine.set_wal_segment_limit(Some(512));
+    for i in 0..120u32 {
+        engine
+            .update_cell(CellAddr::new(i % 40, i / 40), &format!("{i}"))
+            .unwrap();
+    }
+    engine.save().unwrap();
+    let stats = engine.persistence_stats().unwrap();
+    assert!(
+        stats.wal_segments > 1,
+        "limit must force rotation: {stats:?}"
+    );
+    clone_store(&base, &crash);
+    let recovered = SheetEngine::open(&crash).unwrap();
+    assert_eq!(recovered.snapshot(), engine.snapshot());
+    // Folding the log away deletes the fully-checkpointed segments.
+    engine.checkpoint().unwrap();
+    assert_eq!(engine.persistence_stats().unwrap().wal_segments, 1);
+    let leftovers: Vec<_> = std::fs::read_dir(&base)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().to_string())
+        .filter(|n| n.starts_with("wal.log."))
+        .collect();
+    assert!(leftovers.is_empty(), "stale segments: {leftovers:?}");
+    std::fs::remove_dir_all(&base).ok();
+    std::fs::remove_dir_all(&crash).ok();
 }

@@ -1,7 +1,12 @@
 //! Typed values and their on-page encoding.
+//!
+//! The byte layout is built on the shared [`crate::codec`] primitives, so
+//! tuple bytes, snapshot files, and the engine's WAL records all use the
+//! same bounds-checked framing.
 
 use std::fmt;
 
+use crate::codec::{self, Reader};
 use crate::error::StoreError;
 
 /// Column data types.
@@ -90,62 +95,37 @@ impl Datum {
 
     fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
-            Datum::Null => out.push(0),
+            Datum::Null => codec::put_u8(out, 0),
             Datum::Int(i) => {
-                out.push(1);
+                codec::put_u8(out, 1);
                 out.extend_from_slice(&i.to_le_bytes());
             }
             Datum::Float(f) => {
-                out.push(2);
-                out.extend_from_slice(&f.to_le_bytes());
+                codec::put_u8(out, 2);
+                codec::put_f64(out, *f);
             }
             Datum::Text(s) => {
-                out.push(3);
-                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
-                out.extend_from_slice(s.as_bytes());
+                codec::put_u8(out, 3);
+                codec::put_str(out, s);
             }
             Datum::Bool(b) => {
-                out.push(4);
-                out.push(*b as u8);
+                codec::put_u8(out, 4);
+                codec::put_u8(out, *b as u8);
             }
         }
     }
 
-    fn decode_from(buf: &[u8], pos: &mut usize) -> Result<Datum, StoreError> {
-        let tag = *buf
-            .get(*pos)
-            .ok_or_else(|| StoreError::Corrupt("truncated tag".into()))?;
-        *pos += 1;
-        let take = |pos: &mut usize, n: usize| -> Result<&[u8], StoreError> {
-            let s = buf
-                .get(*pos..*pos + n)
-                .ok_or_else(|| StoreError::Corrupt("truncated payload".into()))?;
-            *pos += n;
-            Ok(s)
-        };
-        match tag {
+    fn decode_from(cur: &mut Reader<'_>) -> Result<Datum, StoreError> {
+        match cur.u8()? {
             0 => Ok(Datum::Null),
             1 => {
-                let b: [u8; 8] = take(pos, 8)?.try_into().expect("8 bytes");
+                let b: [u8; 8] = cur.take(8)?.try_into().expect("8 bytes");
                 Ok(Datum::Int(i64::from_le_bytes(b)))
             }
-            2 => {
-                let b: [u8; 8] = take(pos, 8)?.try_into().expect("8 bytes");
-                Ok(Datum::Float(f64::from_le_bytes(b)))
-            }
-            3 => {
-                let lb: [u8; 4] = take(pos, 4)?.try_into().expect("4 bytes");
-                let len = u32::from_le_bytes(lb) as usize;
-                let bytes = take(pos, len)?;
-                let s = std::str::from_utf8(bytes)
-                    .map_err(|_| StoreError::Corrupt("invalid utf-8".into()))?;
-                Ok(Datum::Text(s.to_string()))
-            }
-            4 => {
-                let b = take(pos, 1)?[0];
-                Ok(Datum::Bool(b != 0))
-            }
-            t => Err(StoreError::Corrupt(format!("unknown datum tag {t}"))),
+            2 => Ok(Datum::Float(cur.f64()?)),
+            3 => Ok(Datum::Text(cur.str()?)),
+            4 => Ok(Datum::Bool(cur.u8()? != 0)),
+            t => Err(codec::corrupt(format!("unknown datum tag {t}"))),
         }
     }
 }
@@ -191,38 +171,23 @@ impl From<bool> for Datum {
 /// Encode a row of datums: `u16` arity followed by each datum.
 pub fn encode_row(row: &[Datum]) -> Vec<u8> {
     let mut out = Vec::with_capacity(2 + row.iter().map(Datum::encoded_len).sum::<usize>());
-    out.extend_from_slice(&(row.len() as u16).to_le_bytes());
+    codec::put_u16(&mut out, row.len() as u16);
     for d in row {
         d.encode_into(&mut out);
     }
     out
 }
 
-/// Skip one encoded datum, advancing `pos` without allocating.
-fn skip_datum(buf: &[u8], pos: &mut usize) -> Result<(), StoreError> {
-    let tag = *buf
-        .get(*pos)
-        .ok_or_else(|| StoreError::Corrupt("truncated tag".into()))?;
-    *pos += 1;
-    let payload = match tag {
+/// Skip one encoded datum without allocating its value.
+fn skip_datum(cur: &mut Reader<'_>) -> Result<(), StoreError> {
+    let payload = match cur.u8()? {
         0 => 0,
         1 | 2 => 8,
-        3 => {
-            let lb: [u8; 4] = buf
-                .get(*pos..*pos + 4)
-                .ok_or_else(|| StoreError::Corrupt("truncated length".into()))?
-                .try_into()
-                .expect("4 bytes");
-            *pos += 4;
-            u32::from_le_bytes(lb) as usize
-        }
+        3 => cur.u32()? as usize,
         4 => 1,
-        t => return Err(StoreError::Corrupt(format!("unknown datum tag {t}"))),
+        t => return Err(codec::corrupt(format!("unknown datum tag {t}"))),
     };
-    if buf.len() < *pos + payload {
-        return Err(StoreError::Corrupt("truncated payload".into()));
-    }
-    *pos += payload;
+    cur.take(payload)?;
     Ok(())
 }
 
@@ -231,11 +196,10 @@ fn skip_datum(buf: &[u8], pos: &mut usize) -> Result<(), StoreError> {
 /// arity yield `Null` (short rows are NULL-padded by convention). Returns
 /// one datum per requested index, in order.
 pub fn decode_row_project(buf: &[u8], wanted: &[usize]) -> Result<Vec<Datum>, StoreError> {
-    if buf.len() < 2 {
-        return Err(StoreError::Corrupt("row shorter than arity header".into()));
-    }
-    let n = u16::from_le_bytes([buf[0], buf[1]]) as usize;
-    let mut pos = 2;
+    let mut cur = Reader::new(buf);
+    let n = cur
+        .u16()
+        .map_err(|_| codec::corrupt("row shorter than arity header"))? as usize;
     let mut out = Vec::with_capacity(wanted.len());
     let mut next = 0usize; // index into `wanted`
     for i in 0..n {
@@ -243,11 +207,10 @@ pub fn decode_row_project(buf: &[u8], wanted: &[usize]) -> Result<Vec<Datum>, St
             break;
         }
         if wanted[next] == i {
-            let d = Datum::decode_from(buf, &mut pos)?;
-            out.push(d);
+            out.push(Datum::decode_from(&mut cur)?);
             next += 1;
         } else {
-            skip_datum(buf, &mut pos)?;
+            skip_datum(&mut cur)?;
         }
     }
     // NULL-pad requests beyond the stored arity.
@@ -257,18 +220,15 @@ pub fn decode_row_project(buf: &[u8], wanted: &[usize]) -> Result<Vec<Datum>, St
 
 /// Decode a row previously produced by [`encode_row`].
 pub fn decode_row(buf: &[u8]) -> Result<Vec<Datum>, StoreError> {
-    if buf.len() < 2 {
-        return Err(StoreError::Corrupt("row shorter than arity header".into()));
-    }
-    let n = u16::from_le_bytes([buf[0], buf[1]]) as usize;
-    let mut pos = 2;
+    let mut cur = Reader::new(buf);
+    let n = cur
+        .u16()
+        .map_err(|_| codec::corrupt("row shorter than arity header"))? as usize;
     let mut row = Vec::with_capacity(n);
     for _ in 0..n {
-        row.push(Datum::decode_from(buf, &mut pos)?);
+        row.push(Datum::decode_from(&mut cur)?);
     }
-    if pos != buf.len() {
-        return Err(StoreError::Corrupt("trailing bytes after row".into()));
-    }
+    cur.expect_done("row")?;
     Ok(row)
 }
 

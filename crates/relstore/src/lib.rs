@@ -25,6 +25,7 @@
 //!   the two into crash-recoverable sheet storage.
 
 pub mod btree;
+pub mod codec;
 pub mod datum;
 pub mod db;
 pub mod error;
@@ -37,6 +38,7 @@ pub mod table;
 pub mod wal;
 
 pub use btree::BPlusTree;
+pub use codec::Reader;
 pub use datum::{DataType, Datum};
 pub use db::{Database, StorageConfig};
 pub use error::StoreError;

@@ -4,7 +4,8 @@
 //! embedded stand-in persists itself: `Database::save` writes a snapshot —
 //! catalog, schemas, and raw heap pages — to one file; `Database::load`
 //! restores it. The format is a straightforward length-prefixed layout
-//! (no external serialization crates, per the workspace dependency policy):
+//! over the shared [`crate::codec`] primitives (no external serialization
+//! crates, per the workspace dependency policy):
 //!
 //! ```text
 //! magic "DSPR" | version u32 | max_columns u32 | table_count u32
@@ -19,6 +20,7 @@
 use std::io::{self, Read, Write};
 use std::path::Path;
 
+use crate::codec::{self, Reader};
 use crate::datum::DataType;
 use crate::db::{Database, StorageConfig};
 use crate::error::StoreError;
@@ -29,45 +31,6 @@ use crate::table::Table;
 
 const MAGIC: &[u8; 4] = b"DSPR";
 const VERSION: u32 = 1;
-
-fn w_u16(out: &mut impl Write, v: u16) -> io::Result<()> {
-    out.write_all(&v.to_le_bytes())
-}
-fn w_u32(out: &mut impl Write, v: u32) -> io::Result<()> {
-    out.write_all(&v.to_le_bytes())
-}
-fn w_u64(out: &mut impl Write, v: u64) -> io::Result<()> {
-    out.write_all(&v.to_le_bytes())
-}
-fn w_str(out: &mut impl Write, s: &str) -> io::Result<()> {
-    w_u32(out, s.len() as u32)?;
-    out.write_all(s.as_bytes())
-}
-
-fn r_u16(inp: &mut impl Read) -> io::Result<u16> {
-    let mut b = [0u8; 2];
-    inp.read_exact(&mut b)?;
-    Ok(u16::from_le_bytes(b))
-}
-fn r_u32(inp: &mut impl Read) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    inp.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
-fn r_u64(inp: &mut impl Read) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    inp.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
-}
-fn r_str(inp: &mut impl Read) -> Result<String, StoreError> {
-    let len = r_u32(inp).map_err(io_err)? as usize;
-    if len > 1 << 24 {
-        return Err(StoreError::Corrupt("string too long".into()));
-    }
-    let mut buf = vec![0u8; len];
-    inp.read_exact(&mut buf).map_err(io_err)?;
-    String::from_utf8(buf).map_err(|_| StoreError::Corrupt("invalid utf-8 string".into()))
-}
 
 fn io_err(e: io::Error) -> StoreError {
     StoreError::Io(e.to_string())
@@ -131,32 +94,43 @@ impl Database {
     }
 
     fn save_to(&self, path: &Path) -> Result<(), StoreError> {
+        // Stream through a buffered writer (codec builds each small piece
+        // in a reused scratch buffer; raw page bytes go straight through)
+        // so saving never holds a second full copy of the database.
         let file = std::fs::File::create(path).map_err(io_err)?;
         let mut out = io::BufWriter::new(file);
-        out.write_all(MAGIC).map_err(io_err)?;
-        w_u32(&mut out, VERSION).map_err(io_err)?;
-        w_u32(&mut out, self.config().max_columns as u32).map_err(io_err)?;
+        let mut buf = Vec::new();
+        codec::put_bytes(&mut buf, MAGIC);
+        codec::put_u32(&mut buf, VERSION);
+        codec::put_u32(&mut buf, self.config().max_columns as u32);
         let names: Vec<&str> = self.table_names().collect();
-        w_u32(&mut out, names.len() as u32).map_err(io_err)?;
+        codec::put_u32(&mut buf, names.len() as u32);
+        out.write_all(&buf).map_err(io_err)?;
         for name in names {
             let table = self.table(name)?;
-            w_str(&mut out, name).map_err(io_err)?;
+            buf.clear();
+            codec::put_str(&mut buf, name);
             let schema = table.schema();
-            w_u32(&mut out, schema.len() as u32).map_err(io_err)?;
+            codec::put_u32(&mut buf, schema.len() as u32);
             for col in schema.columns() {
-                w_str(&mut out, &col.name).map_err(io_err)?;
-                out.write_all(&[type_tag(col.ty)]).map_err(io_err)?;
+                codec::put_str(&mut buf, &col.name);
+                codec::put_u8(&mut buf, type_tag(col.ty));
             }
             let pages = table.heap_pages();
-            w_u32(&mut out, pages.len() as u32).map_err(io_err)?;
+            codec::put_u32(&mut buf, pages.len() as u32);
+            out.write_all(&buf).map_err(io_err)?;
             for page in pages {
                 let (bytes, n_slots, free_end, live) = page.raw_parts();
                 out.write_all(bytes).map_err(io_err)?;
-                w_u16(&mut out, n_slots).map_err(io_err)?;
-                w_u16(&mut out, free_end).map_err(io_err)?;
-                w_u16(&mut out, live).map_err(io_err)?;
+                buf.clear();
+                codec::put_u16(&mut buf, n_slots);
+                codec::put_u16(&mut buf, free_end);
+                codec::put_u16(&mut buf, live);
+                out.write_all(&buf).map_err(io_err)?;
             }
-            w_u64(&mut out, table.row_count()).map_err(io_err)?;
+            buf.clear();
+            codec::put_u64(&mut buf, table.row_count());
+            out.write_all(&buf).map_err(io_err)?;
         }
         let file = out
             .into_inner()
@@ -167,49 +141,47 @@ impl Database {
 
     /// Restore a snapshot previously written by [`Database::save`].
     pub fn load(path: impl AsRef<Path>) -> Result<Database, StoreError> {
-        let file = std::fs::File::open(path).map_err(io_err)?;
-        let mut inp = io::BufReader::new(file);
-        let mut magic = [0u8; 4];
-        inp.read_exact(&mut magic).map_err(io_err)?;
-        if &magic != MAGIC {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .map_err(io_err)?;
+        let mut inp = Reader::new(&bytes);
+        if inp.take(4)? != MAGIC {
             return Err(StoreError::Corrupt("bad magic".into()));
         }
-        let version = r_u32(&mut inp).map_err(io_err)?;
+        let version = inp.u32()?;
         if version != VERSION {
             return Err(StoreError::Corrupt(format!(
                 "unsupported snapshot version {version}"
             )));
         }
-        let max_columns = r_u32(&mut inp).map_err(io_err)? as usize;
+        let max_columns = inp.u32()? as usize;
         let mut db = Database::with_config(StorageConfig { max_columns });
-        let n_tables = r_u32(&mut inp).map_err(io_err)?;
+        let n_tables = inp.u32()?;
         for _ in 0..n_tables {
-            let name = r_str(&mut inp)?;
-            let n_cols = r_u32(&mut inp).map_err(io_err)?;
-            let mut cols = Vec::with_capacity(n_cols as usize);
+            let name = inp.str()?;
+            let n_cols = inp.u32()?;
+            let mut cols = Vec::with_capacity(n_cols.min(1 << 16) as usize);
             for _ in 0..n_cols {
-                let cname = r_str(&mut inp)?;
-                let mut tag = [0u8; 1];
-                inp.read_exact(&mut tag).map_err(io_err)?;
-                cols.push(ColumnDef::new(cname, tag_type(tag[0])?));
+                let cname = inp.str()?;
+                cols.push(ColumnDef::new(cname, tag_type(inp.u8()?)?));
             }
-            let n_pages = r_u32(&mut inp).map_err(io_err)?;
+            let n_pages = inp.u32()?;
             let mut heap = HeapFile::new();
             let mut live_total = 0u64;
             for _ in 0..n_pages {
-                let mut bytes = vec![0u8; PAGE_SIZE];
-                inp.read_exact(&mut bytes).map_err(io_err)?;
-                let n_slots = r_u16(&mut inp).map_err(io_err)?;
-                let free_end = r_u16(&mut inp).map_err(io_err)?;
-                let live = r_u16(&mut inp).map_err(io_err)?;
+                let page_bytes = inp.take(PAGE_SIZE)?.to_vec();
+                let n_slots = inp.u16()?;
+                let free_end = inp.u16()?;
+                let live = inp.u16()?;
                 if (free_end as usize) > PAGE_SIZE {
                     return Err(StoreError::Corrupt("free_end beyond page".into()));
                 }
                 live_total += live as u64;
-                heap.push_raw_page(Page::from_raw_parts(bytes, n_slots, free_end, live)?);
+                heap.push_raw_page(Page::from_raw_parts(page_bytes, n_slots, free_end, live)?);
             }
             heap.set_live_count(live_total);
-            let row_count = r_u64(&mut inp).map_err(io_err)?;
+            let row_count = inp.u64()?;
             if row_count != live_total {
                 return Err(StoreError::Corrupt(format!(
                     "row count {row_count} != live tuples {live_total}"

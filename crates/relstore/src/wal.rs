@@ -1,20 +1,36 @@
-//! Write-ahead log.
+//! Write-ahead log with segment rotation.
 //!
 //! Durability for the paged store: every committed mutation is appended to
 //! the log *before* it reaches the page file, so a crash at any point loses
-//! at most the uncommitted tail. The log is a flat file of CRC-framed
+//! at most the uncommitted tail. The log is a chain of segment files —
+//! `wal.log`, `wal.log.1`, `wal.log.2`, … — each a flat file of CRC-framed
 //! records:
 //!
 //! ```text
-//! magic "DSWL" | version u32
+//! magic "DSWL" | version u32 | epoch u64 | segment index u64
 //! per record: len u32 | crc32 u32 | payload (len bytes)
 //! ```
 //!
 //! A record is *committed* exactly when it is fully present with a valid
-//! checksum. [`Wal::open`] scans the file, keeps the longest valid prefix,
-//! and truncates any torn tail — that is the whole recovery contract, and
-//! it is what the engine's byte-boundary crash tests exercise: cutting the
-//! file anywhere yields either the state before or after each record.
+//! checksum. [`Wal::open`] scans the segment chain in order, keeps the
+//! longest valid record prefix, and truncates any torn tail — that is the
+//! whole recovery contract, and it is what the engine's byte-boundary
+//! crash tests exercise: cutting the log anywhere yields either the state
+//! before or after each record.
+//!
+//! **Rotation.** With a segment limit configured
+//! ([`Wal::set_segment_limit`]), an append that finds the current segment
+//! past the threshold seals it (fsync) and starts the next numbered file,
+//! so a long-running session never grows one unbounded file.
+//! [`Wal::truncate`] — the post-checkpoint reset — collapses the chain
+//! back to a single empty base segment. The `epoch` header field makes
+//! that reset crash-safe: truncate bumps the epoch in the base header
+//! *before* deleting the numbered segments, so a crash between the two
+//! leaves stale segments that the next open rejects (epoch mismatch)
+//! instead of replaying records from before the checkpoint.
+//!
+//! Version-1 logs (8-byte header, single segment) are still readable; the
+//! first truncate rewrites them as version 2.
 //!
 //! Payload semantics are the caller's business; this layer only frames and
 //! checksums. The engine logs logical sheet ops plus checkpoint undo-page
@@ -27,13 +43,17 @@ use std::path::{Path, PathBuf};
 use crate::error::StoreError;
 
 const MAGIC: &[u8; 4] = b"DSWL";
-const VERSION: u32 = 1;
-/// Size of the file header preceding the first record.
-pub const WAL_HEADER_LEN: u64 = 8;
+const VERSION: u32 = 2;
+/// Size of the version-2 file header preceding the first record.
+pub const WAL_HEADER_LEN: u64 = 24;
+/// Size of the legacy version-1 header (magic + version only).
+pub const WAL_V1_HEADER_LEN: u64 = 8;
 /// Per-record framing overhead (length + checksum).
 pub const WAL_RECORD_OVERHEAD: u64 = 8;
-/// Upper bound on a single record payload (sanity check while scanning).
-const MAX_RECORD: u32 = 64 << 20;
+/// Upper bound on a single record payload. Enforced on append — a larger
+/// record would be indistinguishable from a torn tail to the recovery
+/// scan, so it must never be committed in the first place.
+pub const MAX_RECORD: u32 = 64 << 20;
 
 const fn make_crc_table() -> [u32; 256] {
     let mut table = [0u32; 256];
@@ -67,102 +87,262 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
-/// An append-only, checksummed log file.
+/// Path of segment `idx` of the log based at `base` (`idx` 0 = `base`).
+pub fn segment_path(base: &Path, idx: u64) -> PathBuf {
+    if idx == 0 {
+        base.to_path_buf()
+    } else {
+        let mut name = base.file_name().unwrap_or_default().to_os_string();
+        name.push(format!(".{idx}"));
+        base.with_file_name(name)
+    }
+}
+
+fn header_bytes(epoch: u64, seg_index: u64) -> [u8; WAL_HEADER_LEN as usize] {
+    let mut h = [0u8; WAL_HEADER_LEN as usize];
+    h[..4].copy_from_slice(MAGIC);
+    h[4..8].copy_from_slice(&VERSION.to_le_bytes());
+    h[8..16].copy_from_slice(&epoch.to_le_bytes());
+    h[16..24].copy_from_slice(&seg_index.to_le_bytes());
+    h
+}
+
+/// Scan CRC-framed records from `start`, appending committed payloads to
+/// `out`. Returns `(valid_end, clean)` where `clean` means the whole byte
+/// range was committed records (no torn tail).
+fn scan_records(bytes: &[u8], start: usize, out: &mut Vec<Vec<u8>>) -> (usize, bool) {
+    let mut off = start;
+    while let Some(frame) = bytes.get(off..off + WAL_RECORD_OVERHEAD as usize) {
+        let len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
+        if len == 0 || len > MAX_RECORD {
+            // Implausible length: torn or garbage tail. len == 0 is how a
+            // zero-extended crash tail reads (its frame would even pass
+            // the CRC check, since crc32(&[]) == 0) — appends reject empty
+            // payloads so a real record can never look like this.
+            break;
+        }
+        let payload_start = off + WAL_RECORD_OVERHEAD as usize;
+        let Some(payload) = bytes.get(payload_start..payload_start + len as usize) else {
+            break; // payload torn
+        };
+        if crc32(payload) != crc {
+            break; // payload corrupt
+        }
+        out.push(payload.to_vec());
+        off = payload_start + len as usize;
+    }
+    (off, off == bytes.len())
+}
+
+/// Best-effort fsync of the directory holding `path` so freshly created
+/// segment files survive a machine crash.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(dir) = File::open(parent) {
+            dir.sync_all().ok();
+        }
+    }
+}
+
+/// Delete numbered segments `from..` (contiguous; stops at the first gap).
+fn delete_segments_from(base: &Path, from: u64) {
+    let mut idx = from.max(1);
+    while std::fs::remove_file(segment_path(base, idx)).is_ok() {
+        idx += 1;
+    }
+}
+
+/// An append-only, checksummed, segmented log.
 pub struct Wal {
+    base: PathBuf,
+    /// Handle of the current (last) segment.
     file: File,
-    path: PathBuf,
-    /// Length of the valid prefix == offset of the next append.
-    len: u64,
+    epoch: u64,
+    seg_index: u64,
+    /// Header length of the current segment (8 for a legacy v1 base).
+    seg_header_len: u64,
+    /// Valid bytes in the current segment (header included).
+    seg_len: u64,
+    /// Valid bytes across all sealed (earlier) segments.
+    sealed_len: u64,
+    /// Live segment files (1 = just the base).
+    segments: u64,
+    /// Rotate to a new segment once the current one exceeds this size.
+    segment_limit: Option<u64>,
     /// Records recovered by [`Wal::open`] (the committed prefix found on
     /// disk), in append order. Consumed by the owner during recovery.
     recovered: Vec<Vec<u8>>,
     appended: u64,
+    has_records: bool,
 }
 
 impl std::fmt::Debug for Wal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Wal")
-            .field("path", &self.path)
-            .field("len", &self.len)
+            .field("base", &self.base)
+            .field("segments", &self.segments)
+            .field("len", &self.len_bytes())
             .field("recovered", &self.recovered.len())
             .finish()
     }
 }
 
 impl Wal {
-    /// Open (or create) the log at `path`, recovering the committed record
-    /// prefix and truncating any torn tail.
+    /// Open (or create) the log based at `path`, recovering the committed
+    /// record prefix across the segment chain and truncating any torn
+    /// tail.
     ///
-    /// A file shorter than its header is treated as empty (a crash before
-    /// the header finished); a full-size header with the wrong magic or
-    /// version is an error — that is not a torn write, it is the wrong
-    /// file.
+    /// A base file shorter than its header is treated as empty (a crash
+    /// before the header finished); a full-size header with the wrong
+    /// magic or version is an error — that is not a torn write, it is the
+    /// wrong file. Numbered segments whose epoch does not match the base
+    /// (stale leftovers of an interrupted [`Wal::truncate`]) are deleted,
+    /// not replayed.
     pub fn open(path: impl AsRef<Path>) -> Result<Wal, StoreError> {
-        let path = path.as_ref().to_path_buf();
+        let base = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
-            .open(&path)?;
+            .open(&base)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
 
-        if bytes.len() < WAL_HEADER_LEN as usize {
-            // Fresh (or torn-at-birth) log: write a clean header.
+        // Decide what the base segment is: fresh, legacy v1, or v2.
+        let parsed: Option<(u64, u64)> = if bytes.len() < WAL_V1_HEADER_LEN as usize {
+            None // fresh (or torn-at-birth) log
+        } else {
+            if &bytes[..4] != MAGIC {
+                return Err(StoreError::Corrupt("wal: bad magic".into()));
+            }
+            let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+            match version {
+                1 => Some((0, WAL_V1_HEADER_LEN)),
+                2 => {
+                    if bytes.len() < WAL_HEADER_LEN as usize {
+                        None // torn mid-header (e.g. during truncate)
+                    } else {
+                        let epoch = u64::from_le_bytes(bytes[8..16].try_into().expect("8"));
+                        let idx = u64::from_le_bytes(bytes[16..24].try_into().expect("8"));
+                        if idx != 0 {
+                            return Err(StoreError::Corrupt(
+                                "wal: base file carries a non-zero segment index".into(),
+                            ));
+                        }
+                        Some((epoch, WAL_HEADER_LEN))
+                    }
+                }
+                v => return Err(StoreError::Corrupt(format!("wal: unsupported version {v}"))),
+            }
+        };
+
+        let Some((epoch, header_len)) = parsed else {
+            // Fresh base. Pick an epoch above any stale numbered segment so
+            // leftovers of an interrupted truncate can never be replayed.
+            let mut stale_max: Option<u64> = None;
+            let mut idx = 1u64;
+            while let Ok(seg) = std::fs::read(segment_path(&base, idx)) {
+                if seg.len() >= WAL_HEADER_LEN as usize && &seg[..4] == MAGIC {
+                    let e = u64::from_le_bytes(seg[8..16].try_into().expect("8"));
+                    stale_max = Some(stale_max.map_or(e, |m: u64| m.max(e)));
+                }
+                idx += 1;
+            }
+            delete_segments_from(&base, 1);
+            let epoch = stale_max.map_or(0, |e| e + 1);
             file.set_len(0)?;
             file.seek(SeekFrom::Start(0))?;
-            file.write_all(MAGIC)?;
-            file.write_all(&VERSION.to_le_bytes())?;
+            file.write_all(&header_bytes(epoch, 0))?;
             file.sync_data()?;
             return Ok(Wal {
+                base,
                 file,
-                path,
-                len: WAL_HEADER_LEN,
+                epoch,
+                seg_index: 0,
+                seg_header_len: WAL_HEADER_LEN,
+                seg_len: WAL_HEADER_LEN,
+                sealed_len: 0,
+                segments: 1,
+                segment_limit: None,
                 recovered: Vec::new(),
                 appended: 0,
+                has_records: false,
             });
-        }
-        if &bytes[..4] != MAGIC {
-            return Err(StoreError::Corrupt("wal: bad magic".into()));
-        }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-        if version != VERSION {
-            return Err(StoreError::Corrupt(format!(
-                "wal: unsupported version {version}"
-            )));
-        }
+        };
 
-        // Scan the committed prefix.
+        // Scan the base, then walk the numbered chain while it is intact.
         let mut recovered = Vec::new();
-        let mut off = WAL_HEADER_LEN as usize;
-        while let Some(frame) = bytes.get(off..off + WAL_RECORD_OVERHEAD as usize) {
-            let len = u32::from_le_bytes(frame[..4].try_into().expect("4 bytes"));
-            let crc = u32::from_le_bytes(frame[4..8].try_into().expect("4 bytes"));
-            if len > MAX_RECORD {
-                break; // implausible length: torn or garbage tail
-            }
-            let start = off + WAL_RECORD_OVERHEAD as usize;
-            let Some(payload) = bytes.get(start..start + len as usize) else {
-                break; // payload torn
+        let (valid, clean) = scan_records(&bytes, header_len as usize, &mut recovered);
+        let mut last_idx = 0u64;
+        let mut last_header = header_len;
+        let mut last_valid = valid as u64;
+        let mut sealed_len = 0u64;
+        let mut torn = !clean;
+        let mut idx = 1u64;
+        while !torn {
+            let p = segment_path(&base, idx);
+            let Ok(seg_bytes) = std::fs::read(&p) else {
+                break;
             };
-            if crc32(payload) != crc {
-                break; // payload corrupt
+            let ok_header = seg_bytes.len() >= WAL_HEADER_LEN as usize
+                && &seg_bytes[..4] == MAGIC
+                && u32::from_le_bytes(seg_bytes[4..8].try_into().expect("4")) == VERSION
+                && u64::from_le_bytes(seg_bytes[8..16].try_into().expect("8")) == epoch
+                && u64::from_le_bytes(seg_bytes[16..24].try_into().expect("8")) == idx;
+            if !ok_header {
+                break; // stale or torn-at-birth continuation: drop it below
             }
-            recovered.push(payload.to_vec());
-            off = start + len as usize;
+            let (valid, clean) = scan_records(&seg_bytes, WAL_HEADER_LEN as usize, &mut recovered);
+            sealed_len += last_valid;
+            last_idx = idx;
+            last_header = WAL_HEADER_LEN;
+            last_valid = valid as u64;
+            torn = !clean;
+            idx += 1;
         }
+        // Everything past the accepted chain (stale epochs, segments after
+        // a torn tail) is not a committed suffix — drop it.
+        delete_segments_from(&base, last_idx + 1);
 
-        // Drop the torn tail so new appends start at the valid prefix end.
-        file.set_len(off as u64)?;
-        file.seek(SeekFrom::Start(off as u64))?;
+        // Position the write handle at the valid end of the last segment.
+        let mut file = if last_idx == 0 {
+            file
+        } else {
+            OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(segment_path(&base, last_idx))?
+        };
+        file.set_len(last_valid)?;
+        file.seek(SeekFrom::Start(last_valid))?;
+        let has_records = !recovered.is_empty();
         Ok(Wal {
+            base,
             file,
-            path,
-            len: off as u64,
+            epoch,
+            seg_index: last_idx,
+            seg_header_len: last_header,
+            seg_len: last_valid,
+            sealed_len,
+            segments: last_idx + 1,
+            segment_limit: None,
             recovered,
             appended: 0,
+            has_records,
         })
+    }
+
+    /// Rotate to a new segment once the current one exceeds `bytes`
+    /// (`None`, the default, keeps a single segment forever).
+    pub fn set_segment_limit(&mut self, bytes: Option<u64>) {
+        self.segment_limit = bytes;
+    }
+
+    /// Live segment files in the chain.
+    pub fn segment_count(&self) -> u64 {
+        self.segments
     }
 
     /// The committed records found on disk by [`Wal::open`], oldest first.
@@ -171,58 +351,124 @@ impl Wal {
         std::mem::take(&mut self.recovered)
     }
 
+    /// Seal the current segment and start the next numbered one.
+    fn rotate(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
+        let idx = self.seg_index + 1;
+        let path = segment_path(&self.base, idx);
+        let mut next = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        next.write_all(&header_bytes(self.epoch, idx))?;
+        next.sync_data()?;
+        sync_parent_dir(&path);
+        self.sealed_len += self.seg_len;
+        self.file = next;
+        self.seg_index = idx;
+        self.seg_header_len = WAL_HEADER_LEN;
+        self.seg_len = WAL_HEADER_LEN;
+        self.segments += 1;
+        Ok(())
+    }
+
     /// Append one record. The bytes reach the OS immediately (a crashed
     /// *process* loses nothing) but survive a crashed *machine* only after
     /// the next [`Wal::sync`] — the fsync-point is the commit point.
-    /// Returns the record's start offset (its LSN).
+    /// Returns the record's logical start offset (its LSN).
+    ///
+    /// Payloads must be non-empty and at most [`MAX_RECORD`] bytes — both
+    /// bounds exist so a committed record can never look like a torn or
+    /// zero-extended tail to the recovery scan. A rejected append writes
+    /// nothing (the log stays whole).
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
-        let lsn = self.len;
+        if payload.is_empty() {
+            return Err(StoreError::LimitExceeded(
+                "wal: empty record payloads are not representable".into(),
+            ));
+        }
+        if payload.len() > MAX_RECORD as usize {
+            return Err(StoreError::LimitExceeded(format!(
+                "wal: record of {} bytes exceeds the {MAX_RECORD}-byte limit",
+                payload.len()
+            )));
+        }
+        if let Some(limit) = self.segment_limit {
+            // Only rotate past a record boundary (never an empty segment).
+            if self.seg_len >= limit && self.seg_len > self.seg_header_len {
+                self.rotate()?;
+            }
+        }
+        let lsn = self.sealed_len + self.seg_len;
         let mut frame = Vec::with_capacity(payload.len() + WAL_RECORD_OVERHEAD as usize);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
         // Seek explicitly: a previously *failed* append may have left both
         // the OS cursor and garbage bytes past the valid prefix.
-        self.file.seek(SeekFrom::Start(self.len))?;
+        self.file.seek(SeekFrom::Start(self.seg_len))?;
         self.file.write_all(&frame)?;
-        self.len += frame.len() as u64;
+        self.seg_len += frame.len() as u64;
         self.appended += 1;
+        self.has_records = true;
         Ok(lsn)
     }
 
     /// Drop any bytes past the valid prefix (garbage left by a failed
     /// append). A no-op on a healthy log.
     pub fn truncate_to_valid(&mut self) -> Result<(), StoreError> {
-        self.file.set_len(self.len)?;
-        self.file.seek(SeekFrom::Start(self.len))?;
+        self.file.set_len(self.seg_len)?;
+        self.file.seek(SeekFrom::Start(self.seg_len))?;
         Ok(())
     }
 
     /// The fsync-point: force all appended records to stable storage.
+    /// (Earlier segments were sealed with an fsync at rotation time.)
     pub fn sync(&mut self) -> Result<(), StoreError> {
         self.file.sync_data()?;
         Ok(())
     }
 
-    /// Drop every record (the post-checkpoint reset): the log shrinks back
-    /// to its header and the result is fsynced.
+    /// Drop every record (the post-checkpoint reset): the chain collapses
+    /// to a single empty base segment under a new epoch, fully-checkpointed
+    /// numbered segments are deleted, and the result is fsynced. The epoch
+    /// bump lands before the deletes, so a crash in between leaves stale
+    /// segments that the next open rejects instead of replaying.
     pub fn truncate(&mut self) -> Result<(), StoreError> {
-        self.file.set_len(WAL_HEADER_LEN)?;
-        self.file.seek(SeekFrom::Start(WAL_HEADER_LEN))?;
+        self.epoch += 1;
+        if self.seg_index != 0 {
+            self.file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&self.base)?;
+        }
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.write_all(&header_bytes(self.epoch, 0))?;
         self.file.sync_data()?;
-        self.len = WAL_HEADER_LEN;
+        delete_segments_from(&self.base, 1);
+        self.seg_index = 0;
+        self.seg_header_len = WAL_HEADER_LEN;
+        self.seg_len = WAL_HEADER_LEN;
+        self.sealed_len = 0;
+        self.segments = 1;
         self.recovered.clear();
+        self.has_records = false;
         Ok(())
     }
 
-    /// Bytes in the valid prefix (header included).
+    /// Bytes in the valid prefix across all segments (headers included).
     pub fn len_bytes(&self) -> u64 {
-        self.len
+        self.sealed_len + self.seg_len
     }
 
     /// True when the log holds no records.
     pub fn is_empty(&self) -> bool {
-        self.len == WAL_HEADER_LEN && self.recovered.is_empty()
+        !self.has_records
     }
 
     /// Records appended through this handle (not counting recovered ones).
@@ -230,8 +476,9 @@ impl Wal {
         self.appended
     }
 
+    /// Path of the base segment.
     pub fn path(&self) -> &Path {
-        &self.path
+        &self.base
     }
 }
 
@@ -241,6 +488,11 @@ mod tests {
 
     fn temp(name: &str) -> PathBuf {
         std::env::temp_dir().join(format!("dataspread-wal-{name}-{}", std::process::id()))
+    }
+
+    fn cleanup(path: &Path) {
+        std::fs::remove_file(path).ok();
+        delete_segments_from(path, 1);
     }
 
     #[test]
@@ -253,33 +505,85 @@ mod tests {
     #[test]
     fn append_reopen_roundtrip() {
         let path = temp("roundtrip");
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
         {
             let mut wal = Wal::open(&path).unwrap();
             assert!(wal.is_empty());
             wal.append(b"one").unwrap();
             wal.append(b"two-two").unwrap();
-            wal.append(b"").unwrap();
             wal.sync().unwrap();
         }
         let mut wal = Wal::open(&path).unwrap();
         assert_eq!(
             wal.take_recovered(),
-            vec![b"one".to_vec(), b"two-two".to_vec(), Vec::new()]
+            vec![b"one".to_vec(), b"two-two".to_vec()]
         );
         // A second take yields nothing; the log is re-appendable.
         assert!(wal.take_recovered().is_empty());
         wal.append(b"three").unwrap();
         drop(wal);
         let mut wal = Wal::open(&path).unwrap();
-        assert_eq!(wal.take_recovered().len(), 4);
-        std::fs::remove_file(&path).ok();
+        assert_eq!(wal.take_recovered().len(), 3);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn append_rejects_unrepresentable_payloads() {
+        let path = temp("bounds");
+        cleanup(&path);
+        let mut wal = Wal::open(&path).unwrap();
+        // Empty and oversized payloads would read back as a torn tail, so
+        // they must be refused up front — without writing anything.
+        assert!(matches!(wal.append(b""), Err(StoreError::LimitExceeded(_))));
+        let huge = vec![7u8; MAX_RECORD as usize + 1];
+        assert!(matches!(
+            wal.append(&huge),
+            Err(StoreError::LimitExceeded(_))
+        ));
+        // The log is still whole and appendable.
+        wal.append(b"fine").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.take_recovered(), vec![b"fine".to_vec()]);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn zero_extended_tail_is_discarded_not_parsed() {
+        // A crash can persist a file-size extension without the data
+        // (delayed allocation): the tail reads as zeros, whose 8-byte
+        // frames would even pass the CRC check as empty records. Recovery
+        // must treat that as a torn tail, keeping the committed prefix.
+        let path = temp("zero-tail");
+        cleanup(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.append(b"alpha").unwrap();
+            wal.append(b"beta").unwrap();
+            wal.sync().unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0u8; 256]);
+        std::fs::write(&path, &bytes).unwrap();
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(
+            wal.take_recovered(),
+            vec![b"alpha".to_vec(), b"beta".to_vec()]
+        );
+        // The zero tail was physically truncated; appends continue cleanly.
+        wal.append(b"gamma").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.take_recovered().len(), 3);
+        cleanup(&path);
     }
 
     #[test]
     fn torn_tail_discarded_at_every_cut() {
         let path = temp("torn");
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
         let payloads: Vec<Vec<u8>> = vec![vec![1; 5], vec![2; 9], vec![3; 1], vec![4; 30]];
         {
             let mut wal = Wal::open(&path).unwrap();
@@ -311,14 +615,14 @@ mod tests {
                 assert_eq!(g, p, "cut at byte {l}");
             }
         }
-        std::fs::remove_file(&path).ok();
-        std::fs::remove_file(&cut_path).ok();
+        cleanup(&path);
+        cleanup(&cut_path);
     }
 
     #[test]
     fn corrupt_payload_ends_prefix() {
         let path = temp("corrupt");
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
         {
             let mut wal = Wal::open(&path).unwrap();
             wal.append(b"good").unwrap();
@@ -331,13 +635,13 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let mut wal = Wal::open(&path).unwrap();
         assert_eq!(wal.take_recovered(), vec![b"good".to_vec()]);
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
     }
 
     #[test]
     fn truncate_resets_and_survives_reopen() {
         let path = temp("truncate");
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
         {
             let mut wal = Wal::open(&path).unwrap();
             wal.append(b"ephemeral").unwrap();
@@ -348,7 +652,7 @@ mod tests {
         }
         let mut wal = Wal::open(&path).unwrap();
         assert_eq!(wal.take_recovered(), vec![b"kept".to_vec()]);
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
     }
 
     #[test]
@@ -356,6 +660,125 @@ mod tests {
         let path = temp("magic");
         std::fs::write(&path, b"NOTAWALFILE!").unwrap();
         assert!(matches!(Wal::open(&path), Err(StoreError::Corrupt(_))));
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
+    }
+
+    #[test]
+    fn legacy_v1_header_still_opens() {
+        let path = temp("v1");
+        cleanup(&path);
+        // A PR 2-era log: 8-byte header, then one framed record.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        let payload = b"legacy-record";
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        std::fs::write(&path, &bytes).unwrap();
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.take_recovered(), vec![payload.to_vec()]);
+        // Appends keep working; the first truncate upgrades the header.
+        wal.append(b"more").unwrap();
+        wal.truncate().unwrap();
+        drop(wal);
+        let header = std::fs::read(&path).unwrap();
+        assert_eq!(header.len() as u64, WAL_HEADER_LEN);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn rotation_spreads_records_over_segments_and_recovers() {
+        let path = temp("rotate");
+        cleanup(&path);
+        let n = 40usize;
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.set_segment_limit(Some(128));
+            for i in 0..n {
+                wal.append(format!("record-{i:04}").as_bytes()).unwrap();
+            }
+            wal.sync().unwrap();
+            assert!(wal.segment_count() > 1, "limit must force rotation");
+        }
+        assert!(segment_path(&path, 1).exists());
+        let mut wal = Wal::open(&path).unwrap();
+        let got = wal.take_recovered();
+        assert_eq!(got.len(), n, "all records across all segments");
+        for (i, rec) in got.iter().enumerate() {
+            assert_eq!(rec, format!("record-{i:04}").as_bytes());
+        }
+        // The post-checkpoint reset collapses the chain.
+        wal.truncate().unwrap();
+        assert_eq!(wal.segment_count(), 1);
+        assert!(!segment_path(&path, 1).exists());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn stale_segments_from_interrupted_truncate_are_not_replayed() {
+        let path = temp("stale");
+        cleanup(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.set_segment_limit(Some(64));
+            for i in 0..20 {
+                wal.append(format!("old-{i}").as_bytes()).unwrap();
+            }
+            wal.sync().unwrap();
+            assert!(wal.segment_count() > 1);
+        }
+        // Simulate a truncate that crashed after resetting the base but
+        // before deleting the numbered segments: reset the base by hand.
+        let seg1 = std::fs::read(segment_path(&path, 1)).unwrap();
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.truncate().unwrap();
+            wal.append(b"new-era").unwrap();
+            wal.sync().unwrap();
+        }
+        // Resurrect a stale segment from the pre-truncate epoch.
+        std::fs::write(segment_path(&path, 1), &seg1).unwrap();
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(
+            wal.take_recovered(),
+            vec![b"new-era".to_vec()],
+            "stale-epoch segment must not be replayed"
+        );
+        assert!(
+            !segment_path(&path, 1).exists(),
+            "stale segment deleted on open"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn torn_tail_mid_chain_drops_later_segments() {
+        let path = temp("torn-chain");
+        cleanup(&path);
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            wal.set_segment_limit(Some(64));
+            for i in 0..20 {
+                wal.append(format!("rec-{i:02}").as_bytes()).unwrap();
+            }
+            wal.sync().unwrap();
+            assert!(wal.segment_count() > 2);
+        }
+        // Corrupt the last byte of segment 1: its tail becomes torn, so
+        // recovery must stop there and discard segment 2 onwards.
+        let p1 = segment_path(&path, 1);
+        let mut b1 = std::fs::read(&p1).unwrap();
+        let last = b1.len() - 1;
+        b1[last] ^= 0xFF;
+        std::fs::write(&p1, &b1).unwrap();
+        let mut wal = Wal::open(&path).unwrap();
+        let got = wal.take_recovered();
+        assert!(!got.is_empty() && got.len() < 20);
+        for (i, rec) in got.iter().enumerate() {
+            assert_eq!(rec, format!("rec-{i:02}").as_bytes(), "prefix only");
+        }
+        assert!(!segment_path(&path, 2).exists());
+        cleanup(&path);
     }
 }
