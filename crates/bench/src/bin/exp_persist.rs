@@ -246,6 +246,76 @@ fn main() {
         incr_pages[0], incr_pages[1],
         "incremental page-writes must not grow with sheet size"
     );
+
+    // --- clean-TOM checkpoint skip --------------------------------------
+    // A linked-table region's content lives in the database; the database
+    // change counter lets a checkpoint prove "nothing changed" and skip
+    // re-serializing the region entirely (pre-counter behavior: TOM regions
+    // were re-serialized every checkpoint).
+    println!("\nClean-TOM checkpoint skip (database change counter):");
+    let tom_dir = temp_dir("tom");
+    {
+        let mut engine = SheetEngine::open(&tom_dir).expect("open tom sheet");
+        engine.update_cell(CellAddr::new(0, 0), "id").expect("hdr");
+        engine
+            .update_cell(CellAddr::new(0, 1), "amount")
+            .expect("hdr");
+        for r in 1..=40u32 {
+            engine
+                .update_cell(CellAddr::new(r, 0), &r.to_string())
+                .expect("row");
+            engine
+                .update_cell(CellAddr::new(r, 1), &(r * 10).to_string())
+                .expect("row");
+        }
+        engine
+            .link_table(dataspread_grid::Rect::new(0, 0, 40, 1), "persist_bench_inv")
+            .expect("link");
+        engine.save().expect("save");
+        let t = Instant::now();
+        let clean = engine.checkpoint().expect("checkpoint").expect("durable");
+        let clean_s = t.elapsed().as_secs_f64();
+        row(
+            "ckpt (quiet linked table)",
+            clean_s,
+            format!(
+                "{:>10} regions serialized, {} pages written",
+                clean.regions_written, clean.pages_written
+            ),
+        );
+        assert_eq!(
+            clean.regions_dirty, 0,
+            "a quiet database must not re-serialize the TOM region"
+        );
+        // Mutate the table behind the sheet's back (direct SQL-style
+        // access): the counter moves, so the next checkpoint captures it.
+        {
+            let db = engine.database();
+            let mut guard = db.write();
+            let table = guard.table_mut("persist_bench_inv").expect("table");
+            table
+                .insert(&[
+                    dataspread_relstore::Datum::Int(999),
+                    dataspread_relstore::Datum::Float(9990.0),
+                ])
+                .expect("insert");
+        }
+        let t = Instant::now();
+        let dirtied = engine.checkpoint().expect("checkpoint").expect("durable");
+        let dirty_s = t.elapsed().as_secs_f64();
+        row(
+            "ckpt (table mutated via SQL)",
+            dirty_s,
+            format!("{:>10} regions serialized", dirtied.regions_written),
+        );
+        assert_eq!(
+            dirtied.regions_dirty, 1,
+            "a database mutation must re-dirty exactly the TOM region"
+        );
+        assert_eq!(dirtied.regions_written, 1);
+    }
+    std::fs::remove_dir_all(&tom_dir).ok();
+
     println!(
         "\npaper context: page-granular persistence + WAL is the durability story\n\
          behind the positional storage engine; region-keyed images make the\n\

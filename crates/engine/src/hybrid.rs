@@ -8,6 +8,8 @@
 //! forward to the translators whose regions they cross — never a cascading
 //! renumber.
 
+use std::collections::BTreeMap;
+
 use dataspread_grid::{Cell, CellAddr, Rect, SparseSheet};
 use dataspread_hybrid::{Decomposition, ModelKind};
 use dataspread_posmap::PosMapKind;
@@ -32,6 +34,192 @@ pub struct RegionSlot {
     /// Set by every mutator that changes this region's *cells* (not by
     /// pure rect translations); cleared after a successful checkpoint.
     dirty: bool,
+    /// The translator's [`Translator::change_stamp`] at the last
+    /// checkpoint. For translators whose backing store can change without
+    /// a sheet mutator (TOM: direct SQL on the linked table), a stamp
+    /// mismatch means "dirty" even though `dirty` is false; `None` for
+    /// self-contained translators, where the flag is exhaustive.
+    clean_stamp: Option<u64>,
+}
+
+/// Row-interval routing index over the (pairwise disjoint) region
+/// rectangles, so point routing and window fetches stop scanning the whole
+/// region list — O(log R) instead of O(R) per `get_cell`/`set_cell`.
+///
+/// The row axis is cut at every region boundary into *elementary bands*:
+/// each region listed in a band covers the band's full row span, which
+/// makes the per-band column ranges pairwise disjoint (two regions sharing
+/// rows with overlapping columns would intersect). Routing is therefore two
+/// binary searches: band by row, then column entry within the band.
+///
+/// Rebuilt on region add/remove/restore/reorganize and on row/column
+/// *deletions* (regions can vanish, shifting slot indices); row/column
+/// *insertions* — the interactive structural edits — update it in place.
+#[derive(Debug, Default, Clone)]
+struct RoutingIndex {
+    /// Sorted, disjoint row bands (only bands with at least one region are
+    /// stored; rows outside every band route to the catch-all).
+    bands: Vec<RowBand>,
+}
+
+#[derive(Debug, Clone)]
+struct RowBand {
+    r1: u32,
+    r2: u32,
+    /// `(c1, c2, region slot index)` sorted by `c1`; disjoint, so `c2` is
+    /// strictly increasing as well.
+    cols: Vec<(u32, u32, usize)>,
+}
+
+impl RoutingIndex {
+    /// Sweep-build from the current region slots: O(R log R) plus the
+    /// band-region incidence count (O(R) for the typical band layout).
+    fn build(regions: &[RegionSlot]) -> RoutingIndex {
+        if regions.is_empty() {
+            return RoutingIndex::default();
+        }
+        let mut cuts: Vec<u32> = Vec::with_capacity(regions.len() * 2);
+        for r in regions {
+            cuts.push(r.rect.r1);
+            if let Some(next) = r.rect.r2.checked_add(1) {
+                cuts.push(next);
+            }
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        let mut by_start: Vec<usize> = (0..regions.len()).collect();
+        by_start.sort_unstable_by_key(|&i| regions[i].rect.r1);
+        let mut by_end: Vec<usize> = (0..regions.len()).collect();
+        by_end.sort_unstable_by_key(|&i| regions[i].rect.r2);
+        // Every active region covers the current cut row, so the active
+        // column ranges are pairwise disjoint: keying by c1 keeps them
+        // sorted for the band snapshots.
+        let mut active: BTreeMap<u32, (u32, usize)> = BTreeMap::new();
+        let (mut si, mut ei) = (0, 0);
+        let mut bands = Vec::new();
+        for (ci, &cut) in cuts.iter().enumerate() {
+            while ei < by_end.len() && regions[by_end[ei]].rect.r2 < cut {
+                let gone = active.remove(&regions[by_end[ei]].rect.c1);
+                debug_assert_eq!(gone.map(|(_, idx)| idx), Some(by_end[ei]));
+                ei += 1;
+            }
+            while si < by_start.len() && regions[by_start[si]].rect.r1 <= cut {
+                let rect = regions[by_start[si]].rect;
+                active.insert(rect.c1, (rect.c2, by_start[si]));
+                si += 1;
+            }
+            if active.is_empty() {
+                continue;
+            }
+            let r2 = cuts.get(ci + 1).map(|&next| next - 1).unwrap_or(u32::MAX);
+            bands.push(RowBand {
+                r1: cut,
+                r2,
+                cols: active
+                    .iter()
+                    .map(|(&c1, &(c2, idx))| (c1, c2, idx))
+                    .collect(),
+            });
+        }
+        RoutingIndex { bands }
+    }
+
+    /// The slot index of the region containing `addr`, if any.
+    fn route(&self, addr: CellAddr) -> Option<usize> {
+        let bi = self.bands.partition_point(|b| b.r2 < addr.row);
+        let band = self.bands.get(bi)?;
+        if band.r1 > addr.row {
+            return None;
+        }
+        let ci = band.cols.partition_point(|&(c1, _, _)| c1 <= addr.col);
+        let &(c1, c2, idx) = band.cols.get(ci.checked_sub(1)?)?;
+        (addr.col >= c1 && addr.col <= c2).then_some(idx)
+    }
+
+    /// Slot indices of all regions intersecting `rect`, ascending and
+    /// deduplicated (a region spans every band its rows cut through).
+    fn regions_intersecting(&self, rect: &Rect) -> Vec<usize> {
+        let mut out = Vec::new();
+        let start = self.bands.partition_point(|b| b.r2 < rect.r1);
+        for band in &self.bands[start..] {
+            if band.r1 > rect.r2 {
+                break;
+            }
+            // Entries sorted by c1 with c2 increasing: binary-search the
+            // first whose c2 reaches the window, walk until c1 passes it.
+            let ci = band.cols.partition_point(|&(_, c2, _)| c2 < rect.c1);
+            for &(c1, _, idx) in &band.cols[ci..] {
+                if c1 > rect.c2 {
+                    break;
+                }
+                out.push(idx);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Mirror the region-rect updates of [`HybridSheet::insert_rows`]: a
+    /// band strictly containing the cut widens (all its regions gain the
+    /// inserted rows); if the cut lands on a band boundary, the regions
+    /// spanning that boundary get a fresh band for the inserted rows; and
+    /// every band at or below the cut shifts down.
+    fn insert_rows(&mut self, at: u32, n: u32) {
+        let first = self.bands.partition_point(|b| b.r2 < at);
+        let mut shift_from = first;
+        let mut fresh: Option<RowBand> = None;
+        if let Some(b) = self.bands.get(first) {
+            if b.r1 < at {
+                self.bands[first].r2 = self.bands[first].r2.saturating_add(n);
+                shift_from = first + 1;
+            } else if b.r1 == at && at > 0 && first > 0 {
+                let below = &self.bands[first - 1];
+                if below.r2 + 1 == at {
+                    // Regions covering both `at-1` and `at` grow; they are
+                    // exactly the slots present in both adjacent bands.
+                    let lower: std::collections::HashSet<usize> =
+                        below.cols.iter().map(|&(_, _, idx)| idx).collect();
+                    let spanning: Vec<(u32, u32, usize)> = b
+                        .cols
+                        .iter()
+                        .copied()
+                        .filter(|&(_, _, idx)| lower.contains(&idx))
+                        .collect();
+                    if !spanning.is_empty() {
+                        fresh = Some(RowBand {
+                            r1: at,
+                            r2: at + n - 1,
+                            cols: spanning,
+                        });
+                    }
+                }
+            }
+        }
+        for b in &mut self.bands[shift_from..] {
+            b.r1 += n;
+            b.r2 = b.r2.saturating_add(n);
+        }
+        if let Some(f) = fresh {
+            self.bands.insert(first, f);
+        }
+    }
+
+    /// Mirror the region-rect updates of [`HybridSheet::insert_cols`]:
+    /// band rows are untouched; each column entry shifts or grows exactly
+    /// like its region's rectangle.
+    fn insert_cols(&mut self, at: u32, n: u32) {
+        for band in &mut self.bands {
+            for e in &mut band.cols {
+                if at <= e.0 {
+                    e.0 += n;
+                    e.1 += n;
+                } else if at <= e.1 {
+                    e.1 += n;
+                }
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for RegionSlot {
@@ -63,6 +251,9 @@ pub struct RegionImage {
 #[derive(Debug)]
 pub struct HybridSheet {
     regions: Vec<RegionSlot>,
+    /// Row-interval index over `regions` for sub-linear routing; kept in
+    /// sync by every method that changes region rects or slot positions.
+    routing: RoutingIndex,
     /// RCV over the whole sheet's coordinate space for stray cells.
     catchall: RcvTranslator,
     catchall_dirty: bool,
@@ -84,6 +275,7 @@ impl HybridSheet {
     pub fn with_posmap(posmap_kind: PosMapKind) -> Self {
         HybridSheet {
             regions: Vec::new(),
+            routing: RoutingIndex::default(),
             catchall: RcvTranslator::new(posmap_kind),
             // A brand-new sheet has never been serialized: the first
             // checkpoint must write the (empty) catch-all image.
@@ -125,6 +317,18 @@ impl HybridSheet {
         rect: Rect,
         translator: Box<dyn Translator>,
     ) -> Result<(), EngineError> {
+        self.add_region_unindexed(rect, translator)?;
+        self.routing = RoutingIndex::build(&self.regions);
+        Ok(())
+    }
+
+    /// [`HybridSheet::add_region`] without the routing-index refresh —
+    /// bulk callers (reorganize) add many regions and rebuild once.
+    fn add_region_unindexed(
+        &mut self,
+        rect: Rect,
+        translator: Box<dyn Translator>,
+    ) -> Result<(), EngineError> {
         if self.regions.iter().any(|r| r.rect.intersects(&rect)) {
             return Err(EngineError::BadLink(format!(
                 "region {rect} overlaps an existing region"
@@ -139,6 +343,7 @@ impl HybridSheet {
             rect,
             translator,
             dirty: true,
+            clean_stamp: None,
         });
         let slot = self.regions.len() - 1;
         for (addr, cell) in strays {
@@ -164,37 +369,63 @@ impl HybridSheet {
         rect: Rect,
         cells: &[(CellAddr, Cell)],
     ) -> Result<(), EngineError> {
-        if id == CATCHALL_REGION_ID || self.regions.iter().any(|r| r.id == id) {
-            return Err(EngineError::BadLink(format!(
-                "restore of duplicate region id {id}"
-            )));
+        self.restore_regions(std::iter::once((id, kind, rect, cells)))
+    }
+
+    /// Restore a whole image's regions with a single routing-index rebuild
+    /// (the cold-open path: per-region rebuilds would make opening a
+    /// many-region sheet quadratic).
+    pub fn restore_regions<'a>(
+        &mut self,
+        regions: impl IntoIterator<Item = (u64, ModelKind, Rect, &'a [(CellAddr, Cell)])>,
+    ) -> Result<(), EngineError> {
+        let mut result = Ok(());
+        'restore: for (id, kind, rect, cells) in regions {
+            if id == CATCHALL_REGION_ID || self.regions.iter().any(|r| r.id == id) {
+                result = Err(EngineError::BadLink(format!(
+                    "restore of duplicate region id {id}"
+                )));
+                break;
+            }
+            let mut translator = self.make_translator(kind);
+            for (addr, cell) in cells {
+                if let Err(e) = translator.set_cell(addr.row, addr.col, cell.clone()) {
+                    result = Err(e);
+                    break 'restore;
+                }
+            }
+            self.regions.push(RegionSlot {
+                id,
+                rect,
+                translator,
+                dirty: true,
+                clean_stamp: None,
+            });
+            self.next_region_id = self.next_region_id.max(id + 1);
         }
-        let mut translator = self.make_translator(kind);
-        for (addr, cell) in cells {
-            translator.set_cell(addr.row, addr.col, cell.clone())?;
-        }
-        self.regions.push(RegionSlot {
-            id,
-            rect,
-            translator,
-            dirty: true,
-        });
-        self.next_region_id = self.next_region_id.max(id + 1);
-        Ok(())
+        // Rebuild even on error: the slots pushed before the failure are
+        // live and the index must cover them.
+        self.routing = RoutingIndex::build(&self.regions);
+        result
     }
 
     pub fn remove_region(&mut self, idx: usize) -> RegionSlot {
-        self.regions.remove(idx)
+        let slot = self.regions.remove(idx);
+        // Slot indices after `idx` shifted down; rebuild.
+        self.routing = RoutingIndex::build(&self.regions);
+        slot
     }
 
     // -------------------------------------------------- dirty tracking --
 
     /// Per-region checkpoint images: identity + layout for every region
     /// (catch-all first as [`CATCHALL_REGION_ID`]), cells only for the
-    /// dirty ones. TOM regions are always treated as dirty — their content
-    /// lives in the database and can change without any sheet mutator
-    /// running (the persistence layer still skips the page writes when the
-    /// serialized bytes come out unchanged).
+    /// dirty ones. TOM regions — whose content lives in the database and
+    /// can change without any sheet mutator running — are dirty whenever
+    /// the database's change counter moved since the last checkpoint
+    /// ([`Translator::change_stamp`]); a quiet database lets a checkpoint
+    /// skip re-serializing them entirely (and the persistence layer still
+    /// skips the page writes when serialized bytes come out unchanged).
     pub fn region_images(&self) -> Vec<RegionImage> {
         let whole = Rect::new(0, 0, u32::MAX - 1, u32::MAX - 1);
         let mut out = Vec::with_capacity(1 + self.regions.len());
@@ -207,7 +438,7 @@ impl HybridSheet {
                 .then(|| sorted_cells(self.catchall.get_range(whole))),
         });
         for r in &self.regions {
-            let dirty = r.dirty || r.translator.kind() == ModelKind::Tom;
+            let dirty = r.dirty || r.translator.change_stamp() != r.clean_stamp;
             out.push(RegionImage {
                 id: r.id,
                 kind: r.translator.kind(),
@@ -225,6 +456,7 @@ impl HybridSheet {
         self.catchall_dirty = false;
         for r in &mut self.regions {
             r.dirty = false;
+            r.clean_stamp = r.translator.change_stamp();
         }
     }
 
@@ -234,15 +466,33 @@ impl HybridSheet {
         self.catchall_dirty = true;
         for r in &mut self.regions {
             r.dirty = true;
+            r.clean_stamp = None;
         }
     }
 
-    /// Regions currently flagged dirty (catch-all included).
+    /// Regions currently flagged dirty (catch-all included; stamp-based
+    /// dirtiness of TOM regions is not counted — it is only known at
+    /// image-capture time).
     pub fn dirty_region_count(&self) -> usize {
         self.regions.iter().filter(|r| r.dirty).count() + usize::from(self.catchall_dirty)
     }
 
     fn route(&self, addr: CellAddr) -> Option<usize> {
+        self.routing.route(addr)
+    }
+
+    /// The slot index of the region containing `addr` (routing-index
+    /// fast path). Exposed for the routing differential tests and the
+    /// `exp_hotpath` benchmark.
+    pub fn region_at(&self, addr: CellAddr) -> Option<usize> {
+        self.routing.route(addr)
+    }
+
+    /// Scan-based routing oracle — the pre-index implementation, retained
+    /// as the reference for differential tests and as the perf baseline in
+    /// `exp_hotpath`. Region rects are pairwise disjoint, so this agrees
+    /// with [`HybridSheet::region_at`] on every address.
+    pub fn region_at_scan(&self, addr: CellAddr) -> Option<usize> {
         self.regions.iter().position(|r| r.rect.contains(addr))
     }
 
@@ -273,35 +523,43 @@ impl HybridSheet {
     }
 
     /// Batched update of several cells in one sheet row (the interactive
-    /// "paste a row" / range-update path of Figure 22).
-    pub fn set_cells_in_row(&mut self, row: u32, cells: &[(u32, Cell)]) -> Result<(), EngineError> {
+    /// "paste a row" / range-update path of Figure 22). Consumes the batch:
+    /// cells *move* into their owning translator — no clones while
+    /// grouping, and no per-region scratch allocation proportional to the
+    /// region count.
+    pub fn set_cells_in_row(
+        &mut self,
+        row: u32,
+        cells: Vec<(u32, Cell)>,
+    ) -> Result<(), EngineError> {
         // Group the columns by owning region so row-oriented translators
-        // rewrite each row tuple once.
+        // rewrite each row tuple once. A single row crosses few regions,
+        // so a first-encounter list beats a map.
         let mut remaining: Vec<(u32, Cell)> = Vec::new();
-        let mut per_region: Vec<Vec<(u32, Cell)>> = vec![Vec::new(); self.regions.len()];
+        let mut groups: Vec<(usize, Vec<(u32, Cell)>)> = Vec::new();
         for (col, cell) in cells {
-            let addr = CellAddr::new(row, *col);
-            match self.route(addr) {
-                Some(i) => per_region[i].push((*col, cell.clone())),
-                None => remaining.push((*col, cell.clone())),
+            match self.route(CellAddr::new(row, col)) {
+                Some(i) => match groups.iter_mut().find(|(slot, _)| *slot == i) {
+                    Some((_, group)) => group.push((col, cell)),
+                    None => groups.push((i, vec![(col, cell)])),
+                },
+                None => remaining.push((col, cell)),
             }
         }
-        for (i, group) in per_region.into_iter().enumerate() {
-            if group.is_empty() {
-                continue;
-            }
+        for (i, group) in groups {
             let rect = self.regions[i].rect;
             let local: Vec<(u32, Cell)> =
                 group.into_iter().map(|(c, v)| (c - rect.c1, v)).collect();
             self.regions[i].dirty = true;
             self.regions[i]
                 .translator
-                .set_cells_in_row(row - rect.r1, &local)?;
+                .set_cells_in_row(row - rect.r1, local)?;
         }
-        if !remaining.is_empty() {
-            self.catchall_dirty = true;
+        if remaining.is_empty() {
+            return Ok(());
         }
-        self.catchall.set_cells_in_row(row, &remaining)
+        self.catchall_dirty = true;
+        self.catchall.set_cells_in_row(row, remaining)
     }
 
     pub fn clear_cell(&mut self, addr: CellAddr) -> Result<(), EngineError> {
@@ -319,10 +577,18 @@ impl HybridSheet {
         }
     }
 
-    /// `getCells(range)`: all non-blank cells in `rect`, row-major.
+    /// `getCells(range)`: all non-blank cells in `rect`, row-major. The
+    /// routing index narrows the merge to the regions actually crossing
+    /// the window; when none does, the catch-all's range scan is already
+    /// row-major and the merge sort is skipped entirely.
     pub fn get_cells(&self, rect: Rect) -> Vec<(CellAddr, Cell)> {
         let mut out = self.catchall.get_range(rect);
-        for region in &self.regions {
+        let hits = self.routing.regions_intersecting(&rect);
+        if hits.is_empty() {
+            return out;
+        }
+        for &i in &hits {
+            let region = &self.regions[i];
             if let Some(hit) = rect.intersection(&region.rect) {
                 let local = hit.translate(-(region.rect.r1 as i64), -(region.rect.c1 as i64));
                 for (addr, cell) in region.translator.get_range(local) {
@@ -333,7 +599,9 @@ impl HybridSheet {
                 }
             }
         }
-        out.sort_by_key(|(a, _)| (a.row, a.col));
+        // Each cell lives in exactly one store, so no equal keys exist and
+        // an unstable sort is safe.
+        out.sort_unstable_by_key(|(a, _)| (a.row, a.col));
         out
     }
 
@@ -357,6 +625,9 @@ impl HybridSheet {
                 region.dirty = true;
             }
         }
+        // Rects only translated or grew; slot indices are unchanged, so
+        // the routing index updates in place.
+        self.routing.insert_rows(at, n);
         Ok(())
     }
 
@@ -394,6 +665,9 @@ impl HybridSheet {
         for i in doomed.into_iter().rev() {
             self.regions.remove(i);
         }
+        // Deletions can drop regions (shifting slot indices) and merge or
+        // shrink bands arbitrarily; rebuild.
+        self.routing = RoutingIndex::build(&self.regions);
         Ok(())
     }
 
@@ -411,6 +685,7 @@ impl HybridSheet {
                 region.dirty = true;
             }
         }
+        self.routing.insert_cols(at, n);
         Ok(())
     }
 
@@ -444,6 +719,7 @@ impl HybridSheet {
         for i in doomed.into_iter().rev() {
             self.regions.remove(i);
         }
+        self.routing = RoutingIndex::build(&self.regions);
         Ok(())
     }
 
@@ -494,18 +770,20 @@ impl HybridSheet {
             }
         }
         self.regions = kept_regions;
+        self.routing = RoutingIndex::build(&self.regions);
         self.catchall = RcvTranslator::new(self.posmap_kind);
         // Kept TOM regions are serialized as dirty anyway; everything else
         // was rebuilt, so the whole sheet must re-serialize.
         self.mark_all_dirty();
-        // Build the new regions.
+        // Build the new regions (one routing rebuild for the whole batch).
         for region in &decomp.regions {
             if region.kind == ModelKind::Tom {
                 continue; // TOM regions are created by linkTable only.
             }
             let translator = self.make_translator(region.kind);
-            self.add_region(region.rect, translator)?;
+            self.add_region_unindexed(region.rect, translator)?;
         }
+        self.routing = RoutingIndex::build(&self.regions);
         // Distribute the cells.
         let migrated = cells.len() as u64;
         for (addr, cell) in cells {

@@ -13,7 +13,7 @@ use dataspread_posmap::{new_posmap, PosMapKind, PositionalMap};
 use dataspread_relstore::{ColumnDef, DataType, Datum, Schema, Table, TupleId};
 
 use crate::error::EngineError;
-use crate::translator::{cell_to_datums, datums_to_cell, Translator};
+use crate::translator::{cell_into_datums, cell_to_datums, datums_to_cell, Translator};
 
 /// Row-oriented storage for one region.
 pub struct RomTranslator {
@@ -226,7 +226,7 @@ impl Translator for RomTranslator {
         Ok(())
     }
 
-    fn set_cells_in_row(&mut self, row: u32, cells: &[(u32, Cell)]) -> Result<(), EngineError> {
+    fn set_cells_in_row(&mut self, row: u32, cells: Vec<(u32, Cell)>) -> Result<(), EngineError> {
         let Some(&(max_col, _)) = cells.iter().max_by_key(|(c, _)| *c) else {
             return Ok(());
         };
@@ -235,12 +235,13 @@ impl Translator for RomTranslator {
         let tid = *self.rows_map.get(row as usize).expect("ensured");
         let mut tuple = self.table.fetch(tid)?;
         for (col, cell) in cells {
-            let group = *self.cols_map.get(*col as usize).expect("ensured");
+            let group = *self.cols_map.get(col as usize).expect("ensured");
             let was_blank = self.cell_from_row(&tuple, group).is_blank();
-            let [v, f] = cell_to_datums(cell);
+            let is_blank = cell.is_blank();
+            let [v, f] = cell_into_datums(cell);
             tuple[2 * group as usize] = v;
             tuple[2 * group as usize + 1] = f;
-            match (was_blank, cell.is_blank()) {
+            match (was_blank, is_blank) {
                 (true, false) => self.filled += 1,
                 (false, true) => self.filled -= 1,
                 _ => {}

@@ -148,12 +148,14 @@ impl SheetEngine {
         let kind = recovered.posmap.unwrap_or(kind);
         let mut engine = Self::with_posmap(kind);
         // 1. Rebuild the region layout from the image (regions first, so
-        //    the catch-all cells below route to the catch-all).
-        for region in &recovered.regions {
-            engine
-                .sheet
-                .restore_region(region.id, region.kind, region.rect, &region.cells)?;
-        }
+        //    the catch-all cells below route to the catch-all; batched, so
+        //    the routing index builds once for the whole image).
+        engine.sheet.restore_regions(
+            recovered
+                .regions
+                .iter()
+                .map(|r| (r.id, r.kind, r.rect, r.cells.as_slice())),
+        )?;
         for (addr, cell) in &recovered.catchall {
             engine.sheet.set_cell(*addr, cell.clone())?;
         }

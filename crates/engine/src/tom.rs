@@ -208,6 +208,13 @@ impl Translator for TomTranslator {
             .map(|(_, row)| row.iter().filter(|d| !d.is_null()).count() as u64)
             .sum()
     }
+
+    fn change_stamp(&self) -> Option<u64> {
+        // The linked table lives in the database and can change without any
+        // sheet mutator running (direct SQL); the database-wide change
+        // counter is the cheap conservative signal for "re-serialize me".
+        Some(self.db.read().change_count())
+    }
 }
 
 #[cfg(test)]

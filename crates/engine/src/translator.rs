@@ -40,12 +40,13 @@ pub trait Translator: std::fmt::Debug {
         ))
     }
 
-    /// Update several cells of one row at once. Row-oriented translators
+    /// Update several cells of one row at once, consuming the batch so no
+    /// translator has to clone cell payloads. Row-oriented translators
     /// override this to fetch/rewrite the row tuple a single time (the
     /// paper's ROM issues one UPDATE per row, not per cell — Figure 22).
-    fn set_cells_in_row(&mut self, row: u32, cells: &[(u32, Cell)]) -> Result<(), EngineError> {
+    fn set_cells_in_row(&mut self, row: u32, cells: Vec<(u32, Cell)>) -> Result<(), EngineError> {
         for (col, cell) in cells {
-            self.set_cell(row, *col, cell.clone())?;
+            self.set_cell(row, col, cell)?;
         }
         Ok(())
     }
@@ -60,6 +61,17 @@ pub trait Translator: std::fmt::Debug {
 
     /// Number of non-blank cells.
     fn filled_count(&self) -> u64;
+
+    /// A stamp that changes whenever this translator's *backing store* may
+    /// have changed without a sheet mutator running. `None` (the default)
+    /// means cell content only ever changes through the translator's own
+    /// `&mut self` methods, so the hybrid layer's dirty flag is exhaustive.
+    /// TOM returns the database's change counter: a linked table can be
+    /// mutated by SQL behind the sheet's back, and an unchanged counter
+    /// lets a checkpoint skip re-serializing the region.
+    fn change_stamp(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Marker prefix for spreadsheet error values stored as text datums.
@@ -67,11 +79,16 @@ const ERR_TAG: &str = "\u{1}ERR:";
 
 /// Encode a cell value as a datum.
 pub fn value_to_datum(v: &CellValue) -> Datum {
+    value_into_datum(v.clone())
+}
+
+/// [`value_to_datum`] consuming the value: the canonical encoding.
+pub fn value_into_datum(v: CellValue) -> Datum {
     match v {
         CellValue::Empty => Datum::Null,
-        CellValue::Number(n) => Datum::Float(*n),
-        CellValue::Text(s) => Datum::Text(s.clone()),
-        CellValue::Bool(b) => Datum::Bool(*b),
+        CellValue::Number(n) => Datum::Float(n),
+        CellValue::Text(s) => Datum::Text(s),
+        CellValue::Bool(b) => Datum::Bool(b),
         CellValue::Error(e) => Datum::Text(format!("{ERR_TAG}{e}")),
     }
 }
@@ -103,11 +120,18 @@ fn parse_cell_error(s: &str) -> CellError {
 }
 
 /// Encode a cell (value + optional formula) as a `[value, formula]` pair.
+/// (Clones the payloads; [`cell_into_datums`] is the canonical encoder.)
 pub fn cell_to_datums(cell: &Cell) -> [Datum; 2] {
+    cell_into_datums(cell.clone())
+}
+
+/// Encode a cell as a `[value, formula]` pair, consuming it: text payloads
+/// move instead of cloning (the batched row-update path).
+pub fn cell_into_datums(cell: Cell) -> [Datum; 2] {
     [
-        value_to_datum(&cell.value),
-        match &cell.formula {
-            Some(src) => Datum::Text(src.clone()),
+        value_into_datum(cell.value),
+        match cell.formula {
+            Some(src) => Datum::Text(src),
             None => Datum::Null,
         },
     ]
@@ -160,5 +184,23 @@ mod tests {
         let plain = Cell::value(1i64);
         let [v, f] = cell_to_datums(&plain);
         assert_eq!(datums_to_cell(&v, &f), plain);
+    }
+
+    #[test]
+    fn consuming_encode_matches_borrowing_encode() {
+        for cell in [
+            Cell::value(1i64),
+            Cell {
+                value: CellValue::Text("abc".into()),
+                formula: Some("A1&\"x\"".into()),
+            },
+            Cell {
+                value: CellValue::Error(CellError::Na),
+                formula: None,
+            },
+            Cell::default(),
+        ] {
+            assert_eq!(cell_to_datums(&cell), cell_into_datums(cell.clone()));
+        }
     }
 }

@@ -1,21 +1,122 @@
 //! The dependency graph (paper §VI): which formula cells read which ranges,
 //! and in what order dependents must be recomputed after an update.
+//!
+//! Rather than materializing one edge per referenced *cell* (a formula like
+//! `SUM(A1:A100000)` would explode), each formula stores its referenced
+//! rectangles. Finding the dependents of an updated cell is the interactive
+//! hot path — it runs on every `updateCell` — so the formula → ranges map is
+//! paired with an inverted *spatial* index ([`GridIndex`]) that maps a cell
+//! to the candidate formulas whose ranges could contain it. Lookups are
+//! O(candidates), not O(registered formulas); on the paper's dense-formula
+//! sheets (Figures 13–15) that is the difference between O(1) and O(F) per
+//! edit. The straightforward scan implementation is retained as
+//! [`ScanDependencyGraph`] — it is the differential-test oracle and the
+//! perf baseline for `exp_hotpath`.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use dataspread_grid::{CellAddr, Rect};
 
-/// Range-granular dependency graph.
+/// Level-0 buckets of the spatial index are `32×32` cells.
+const BASE_SHIFT: u32 = 5;
+
+/// Multi-resolution grid-bucket index over read ranges.
 ///
-/// Rather than materializing one edge per referenced *cell* (a formula like
-/// `SUM(A1:A100000)` would explode), each formula stores its referenced
-/// rectangles; finding the dependents of an updated cell scans the formula
-/// table. The paper notes compact dependency representations are their own
-/// research topic — this is the straightforward range-list version.
+/// Each rectangle is registered at the smallest level whose bucket edge
+/// (`32 << level`) covers its larger span, so it lands in at most 2 buckets
+/// per axis (4 total) regardless of size — a whole-column `SUM(A:A)` costs
+/// the same to register as a single cell. A cell lookup probes exactly one
+/// bucket per allocated level (≤ 28 levels for the full `u32` sheet, and
+/// only levels that some range actually uses are allocated), yielding a
+/// candidate superset that the caller filters by exact containment.
+#[derive(Debug, Default, Clone)]
+struct GridIndex {
+    /// `levels[l]` maps `(row >> (5 + l), col >> (5 + l))` to the formulas
+    /// with a range placed at level `l` covering that bucket. A formula
+    /// appears once per (range, bucket) placement, so the same address can
+    /// occur more than once in a bucket.
+    levels: Vec<HashMap<(u32, u32), Vec<CellAddr>>>,
+}
+
+/// The level at which a rectangle is placed: the smallest bucket edge that
+/// is at least the rect's larger span.
+fn level_of(rect: &Rect) -> usize {
+    let span = rect.rows().max(rect.cols());
+    let mut level = 0usize;
+    while 1u64 << (BASE_SHIFT as u64 + level as u64) < span {
+        level += 1;
+    }
+    level
+}
+
+/// The buckets a rect occupies at its level (at most 4).
+fn placements(rect: &Rect) -> (usize, impl Iterator<Item = (u32, u32)>) {
+    let level = level_of(rect);
+    let s = BASE_SHIFT as u64 + level as u64;
+    let (br1, br2) = (rect.r1 as u64 >> s, rect.r2 as u64 >> s);
+    let (bc1, bc2) = (rect.c1 as u64 >> s, rect.c2 as u64 >> s);
+    (
+        level,
+        (br1..=br2).flat_map(move |br| (bc1..=bc2).map(move |bc| (br as u32, bc as u32))),
+    )
+}
+
+impl GridIndex {
+    fn insert(&mut self, formula: CellAddr, rect: &Rect) {
+        let (level, buckets) = placements(rect);
+        if self.levels.len() <= level {
+            self.levels.resize_with(level + 1, HashMap::new);
+        }
+        for key in buckets {
+            self.levels[level].entry(key).or_default().push(formula);
+        }
+    }
+
+    /// Remove one placement of `formula` per bucket `rect` occupies —
+    /// exactly symmetric to [`GridIndex::insert`], so re-registering a
+    /// formula with the same ranges round-trips.
+    fn remove(&mut self, formula: CellAddr, rect: &Rect) {
+        let (level, buckets) = placements(rect);
+        let Some(map) = self.levels.get_mut(level) else {
+            return;
+        };
+        for key in buckets {
+            if let Some(v) = map.get_mut(&key) {
+                if let Some(pos) = v.iter().position(|&a| a == formula) {
+                    v.swap_remove(pos);
+                }
+                if v.is_empty() {
+                    map.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// All formulas with a range placement whose bucket covers `cell` — a
+    /// superset of the formulas actually reading it, with possible
+    /// duplicates (one per matching placement).
+    fn candidates_into(&self, cell: CellAddr, out: &mut Vec<CellAddr>) {
+        for (level, map) in self.levels.iter().enumerate() {
+            if map.is_empty() {
+                continue;
+            }
+            let s = BASE_SHIFT as u64 + level as u64;
+            let key = ((cell.row as u64 >> s) as u32, (cell.col as u64 >> s) as u32);
+            if let Some(v) = map.get(&key) {
+                out.extend_from_slice(v);
+            }
+        }
+    }
+}
+
+/// Range-granular dependency graph with a two-sided index: formula → read
+/// ranges (exact), plus cell → candidate formulas (spatial, superset).
 #[derive(Debug, Default, Clone)]
 pub struct DependencyGraph {
     /// Formula cell → ranges it reads.
     reads: HashMap<CellAddr, Vec<Rect>>,
+    /// Inverted spatial index over every registered range.
+    index: GridIndex,
 }
 
 /// Result of a recomputation-order query.
@@ -34,12 +135,24 @@ impl DependencyGraph {
 
     /// Register (or replace) a formula cell and the ranges it reads.
     pub fn set_formula(&mut self, cell: CellAddr, ranges: Vec<Rect>) {
+        if let Some(old) = self.reads.remove(&cell) {
+            for r in &old {
+                self.index.remove(cell, r);
+            }
+        }
+        for r in &ranges {
+            self.index.insert(cell, r);
+        }
         self.reads.insert(cell, ranges);
     }
 
     /// Remove a formula cell.
     pub fn remove(&mut self, cell: CellAddr) {
-        self.reads.remove(&cell);
+        if let Some(old) = self.reads.remove(&cell) {
+            for r in &old {
+                self.index.remove(cell, r);
+            }
+        }
     }
 
     pub fn formula_count(&self) -> usize {
@@ -58,30 +171,155 @@ impl DependencyGraph {
         self.reads.iter().map(|(a, r)| (*a, r.as_slice()))
     }
 
-    /// Formula cells that directly read `cell`.
+    /// Formula cells that directly read `cell`, sorted (deduplicated):
+    /// probe the spatial index for candidates, then confirm containment
+    /// against the exact range lists. O(candidates), not O(formulas).
     pub fn dependents_of(&self, cell: CellAddr) -> Vec<CellAddr> {
-        self.reads
+        let mut cands = Vec::new();
+        self.index.candidates_into(cell, &mut cands);
+        cands.sort_unstable();
+        cands.dedup();
+        cands.retain(|f| {
+            self.reads
+                .get(f)
+                .is_some_and(|ranges| ranges.iter().any(|r| r.contains(cell)))
+        });
+        cands
+    }
+
+    /// All formulas transitively affected by updates to `seeds`, in a valid
+    /// recomputation order; cycle participants are reported separately.
+    ///
+    /// Both phases are index-driven: the BFS probes the spatial index per
+    /// affected cell, and the topological edges come from the same probes
+    /// (every formula reading cell `u` is by construction already in the
+    /// affected closure), so plan construction is O(affected × candidates)
+    /// instead of the all-pairs O(affected²) rect test.
+    pub fn recompute_plan(&self, seeds: &[CellAddr]) -> RecomputePlan {
+        // Each cell's dependents are needed twice (BFS discovery, then
+        // edge construction below) — probe the index once per cell.
+        let mut memo: HashMap<CellAddr, Vec<CellAddr>> = HashMap::new();
+        // 1. Collect affected formulas by BFS over dependents.
+        let mut affected: HashSet<CellAddr> = HashSet::new();
+        let mut queue: VecDeque<CellAddr> = VecDeque::new();
+        for &seed in seeds {
+            // A seed that is itself a formula needs recomputation too.
+            if self.is_formula(seed) && affected.insert(seed) {
+                queue.push_back(seed);
+            }
+            let deps = memo.entry(seed).or_insert_with(|| self.dependents_of(seed));
+            for &dep in deps.iter() {
+                if affected.insert(dep) {
+                    queue.push_back(dep);
+                }
+            }
+        }
+        while let Some(cell) = queue.pop_front() {
+            let deps = memo.entry(cell).or_insert_with(|| self.dependents_of(cell));
+            for &dep in deps.iter() {
+                if affected.insert(dep) {
+                    queue.push_back(dep);
+                }
+            }
+        }
+        // 2. Kahn's algorithm over the affected subgraph. Edge u→v when v
+        //    reads u (v must evaluate after u). Every node was probed
+        //    during the BFS, so this phase is pure memo lookups.
+        let nodes: Vec<CellAddr> = affected.iter().copied().collect();
+        let mut indeg: HashMap<CellAddr, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+        let mut edges: HashMap<CellAddr, Vec<CellAddr>> = HashMap::new();
+        for &u in &nodes {
+            let deps = memo.entry(u).or_insert_with(|| self.dependents_of(u));
+            for &v in deps.iter() {
+                if v == u {
+                    // A formula reading its own cell is an immediate cycle:
+                    // a permanent in-degree bump keeps it (and its
+                    // dependents) out of the topological order.
+                    *indeg.get_mut(&u).expect("node present") += 1;
+                } else if affected.contains(&v) {
+                    edges.entry(u).or_default().push(v);
+                    *indeg.get_mut(&v).expect("node present") += 1;
+                }
+            }
+        }
+        let mut ready: Vec<CellAddr> = nodes.iter().copied().filter(|n| indeg[n] == 0).collect();
+        // Deterministic order helps tests and users.
+        ready.sort();
+        let mut order = Vec::with_capacity(nodes.len());
+        let mut queue: VecDeque<CellAddr> = ready.into();
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            if let Some(vs) = edges.get(&u) {
+                let mut unlocked: Vec<CellAddr> = Vec::new();
+                for &v in vs {
+                    let d = indeg.get_mut(&v).expect("node present");
+                    *d -= 1;
+                    if *d == 0 {
+                        unlocked.push(v);
+                    }
+                }
+                unlocked.sort();
+                queue.extend(unlocked);
+            }
+        }
+        let mut cyclic: Vec<CellAddr> = nodes.into_iter().filter(|n| indeg[n] > 0).collect();
+        cyclic.sort();
+        RecomputePlan { order, cyclic }
+    }
+}
+
+/// The pre-index scan implementation: `dependents_of` walks every
+/// registered formula and `recompute_plan` tests all affected pairs.
+///
+/// Kept as the reference oracle — the differential suite in
+/// `tests/deps_oracle.rs` checks [`DependencyGraph`] against it on random
+/// formula sets and edits, and `exp_hotpath` measures the speedup of the
+/// indexed graph over it.
+#[derive(Debug, Default, Clone)]
+pub struct ScanDependencyGraph {
+    reads: HashMap<CellAddr, Vec<Rect>>,
+}
+
+impl ScanDependencyGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set_formula(&mut self, cell: CellAddr, ranges: Vec<Rect>) {
+        self.reads.insert(cell, ranges);
+    }
+
+    pub fn remove(&mut self, cell: CellAddr) {
+        self.reads.remove(&cell);
+    }
+
+    pub fn is_formula(&self, cell: CellAddr) -> bool {
+        self.reads.contains_key(&cell)
+    }
+
+    /// Formula cells that directly read `cell`, sorted (the scan visits
+    /// every formula; sorting matches [`DependencyGraph::dependents_of`]).
+    pub fn dependents_of(&self, cell: CellAddr) -> Vec<CellAddr> {
+        let mut out: Vec<CellAddr> = self
+            .reads
             .iter()
             .filter(|(_, ranges)| ranges.iter().any(|r| r.contains(cell)))
             .map(|(a, _)| *a)
-            .collect()
+            .collect();
+        out.sort_unstable();
+        out
     }
 
-    /// Does formula `f` read any cell of `rect`?
     fn reads_rect(&self, f: CellAddr, rect: &Rect) -> bool {
         self.reads
             .get(&f)
             .is_some_and(|ranges| ranges.iter().any(|r| r.intersects(rect)))
     }
 
-    /// All formulas transitively affected by updates to `seeds`, in a valid
-    /// recomputation order; cycle participants are reported separately.
     pub fn recompute_plan(&self, seeds: &[CellAddr]) -> RecomputePlan {
-        // 1. Collect affected formulas by BFS over dependents.
         let mut affected: HashSet<CellAddr> = HashSet::new();
         let mut queue: VecDeque<CellAddr> = VecDeque::new();
         for &seed in seeds {
-            // A seed that is itself a formula needs recomputation too.
             if self.is_formula(seed) && affected.insert(seed) {
                 queue.push_back(seed);
             }
@@ -98,16 +336,11 @@ impl DependencyGraph {
                 }
             }
         }
-        // 2. Kahn's algorithm over the affected subgraph. Edge u→v when v
-        //    reads u (v must evaluate after u).
         let nodes: Vec<CellAddr> = affected.iter().copied().collect();
         let mut indeg: HashMap<CellAddr, usize> = nodes.iter().map(|&n| (n, 0)).collect();
         let mut edges: HashMap<CellAddr, Vec<CellAddr>> = HashMap::new();
         for &u in &nodes {
             let cell_rect = Rect::cell(u);
-            // A formula reading its own cell is an immediate cycle: a
-            // permanent in-degree bump keeps it (and its dependents) out of
-            // the topological order.
             if self.reads_rect(u, &cell_rect) {
                 *indeg.get_mut(&u).expect("node present") += 1;
             }
@@ -119,7 +352,6 @@ impl DependencyGraph {
             }
         }
         let mut ready: Vec<CellAddr> = nodes.iter().copied().filter(|n| indeg[n] == 0).collect();
-        // Deterministic order helps tests and users.
         ready.sort();
         let mut order = Vec::with_capacity(nodes.len());
         let mut queue: VecDeque<CellAddr> = ready.into();
@@ -222,5 +454,52 @@ mod tests {
         g.remove(a("B1"));
         assert!(g.dependents_of(a("A1")).is_empty());
         assert_eq!(g.formula_count(), 0);
+    }
+
+    #[test]
+    fn replacing_ranges_unregisters_old_placements() {
+        let mut g = DependencyGraph::new();
+        g.set_formula(a("B1"), vec![r("A1:A10")]);
+        g.set_formula(a("B1"), vec![r("C1:C10")]);
+        assert!(g.dependents_of(a("A5")).is_empty(), "old range forgotten");
+        assert_eq!(g.dependents_of(a("C5")), vec![a("B1")]);
+    }
+
+    #[test]
+    fn huge_ranges_index_at_coarse_levels() {
+        let mut g = DependencyGraph::new();
+        // A whole-column read spans ~2^20 rows: placed at a coarse level,
+        // it must still be found from any stabbed cell.
+        g.set_formula(a("B1"), vec![Rect::new(0, 0, 1_000_000, 0)]);
+        g.set_formula(a("C1"), vec![Rect::new(5, 2, 5, 2)]);
+        assert_eq!(g.dependents_of(CellAddr::new(999_999, 0)), vec![a("B1")]);
+        assert_eq!(g.dependents_of(CellAddr::new(5, 2)), vec![a("C1")]);
+        assert!(g.dependents_of(CellAddr::new(999_999, 1)).is_empty());
+    }
+
+    #[test]
+    fn duplicate_ranges_survive_one_removal_cycle() {
+        let mut g = DependencyGraph::new();
+        // The same rect twice: two placements, both removed on re-register.
+        g.set_formula(a("B1"), vec![r("A1:A4"), r("A1:A4")]);
+        assert_eq!(g.dependents_of(a("A2")), vec![a("B1")]);
+        g.remove(a("B1"));
+        assert!(g.dependents_of(a("A2")).is_empty());
+    }
+
+    #[test]
+    fn level_selection_bounds_bucket_count() {
+        for rect in [
+            Rect::new(0, 0, 0, 0),
+            Rect::new(0, 0, 31, 31),
+            Rect::new(7, 9, 70, 40),
+            Rect::new(0, 0, u32::MAX - 1, 0),
+            Rect::new(0, 0, u32::MAX - 1, u32::MAX - 1),
+            Rect::new(1000, 1000, 1031, 1000),
+        ] {
+            let (level, buckets) = placements(&rect);
+            let n = buckets.count();
+            assert!(n <= 4, "{rect:?} at level {level} occupies {n} buckets");
+        }
     }
 }

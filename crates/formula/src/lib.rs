@@ -18,7 +18,7 @@ pub mod refs;
 
 pub use ast::{BinOp, CellRef, Expr, UnOp};
 pub use cache::{CellCache, LruCache};
-pub use deps::DependencyGraph;
+pub use deps::{DependencyGraph, ScanDependencyGraph};
 pub use error::ParseError;
 pub use eval::{CellReader, EmptyReader, Evaluator, SheetReader};
 pub use parser::parse;

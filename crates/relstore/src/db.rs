@@ -26,6 +26,12 @@ impl Default for StorageConfig {
 pub struct Database {
     config: StorageConfig,
     tables: BTreeMap<String, Table>,
+    /// Bumped on every operation that can change catalog or table contents
+    /// (including handing out `&mut Table`, which is conservatively counted
+    /// as a change). Lets observers — e.g. linked-table (TOM) regions at
+    /// checkpoint time — cheaply detect "nothing changed since stamp X"
+    /// without diffing table bytes.
+    change_count: u64,
 }
 
 impl Database {
@@ -37,6 +43,7 @@ impl Database {
         Database {
             config,
             tables: BTreeMap::new(),
+            change_count: 0,
         }
     }
 
@@ -44,7 +51,15 @@ impl Database {
         &self.config
     }
 
+    /// Monotonic change counter: unchanged value between two reads means no
+    /// mutable access happened in between (the converse may not hold — a
+    /// `table_mut` that writes nothing still bumps it).
+    pub fn change_count(&self) -> u64 {
+        self.change_count
+    }
+
     pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<&mut Table, StoreError> {
+        self.change_count += 1;
         if schema.len() > self.config.max_columns {
             return Err(StoreError::LimitExceeded(format!(
                 "{} columns exceeds limit {}",
@@ -65,14 +80,18 @@ impl Database {
         if self.tables.contains_key(table.name()) {
             return Err(StoreError::TableExists(table.name().to_string()));
         }
+        self.change_count += 1;
         self.tables.insert(table.name().to_string(), table);
         Ok(())
     }
 
     pub fn drop_table(&mut self, name: &str) -> Result<Table, StoreError> {
-        self.tables
+        let t = self
+            .tables
             .remove(name)
-            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))?;
+        self.change_count += 1;
+        Ok(t)
     }
 
     pub fn rename_table(&mut self, from: &str, to: &str) -> Result<(), StoreError> {
@@ -83,6 +102,7 @@ impl Database {
             .tables
             .remove(from)
             .ok_or_else(|| StoreError::NoSuchTable(from.to_string()))?;
+        self.change_count += 1;
         t.set_name(to);
         self.tables.insert(to.to_string(), t);
         Ok(())
@@ -95,9 +115,12 @@ impl Database {
     }
 
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
-        self.tables
+        let t = self
+            .tables
             .get_mut(name)
-            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))
+            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))?;
+        self.change_count += 1;
+        Ok(t)
     }
 
     pub fn contains(&self, name: &str) -> bool {
@@ -172,6 +195,33 @@ mod tests {
             db.create_table("w", wide),
             Err(StoreError::LimitExceeded(_))
         ));
+    }
+
+    #[test]
+    fn change_count_tracks_mutable_access() {
+        let mut db = Database::new();
+        let c0 = db.change_count();
+        db.create_table("t", schema()).unwrap();
+        let c1 = db.change_count();
+        assert!(c1 > c0, "create_table must bump");
+        // Read-only access never bumps.
+        db.table("t").unwrap();
+        assert!(db.contains("t"));
+        let _ = db.physical_bytes();
+        assert_eq!(db.change_count(), c1);
+        db.table_mut("t").unwrap().insert(&[Datum::Int(1)]).unwrap();
+        let c2 = db.change_count();
+        assert!(c2 > c1, "table_mut must bump");
+        db.rename_table("t", "u").unwrap();
+        let c3 = db.change_count();
+        assert!(c3 > c2);
+        db.drop_table("u").unwrap();
+        assert!(db.change_count() > c3);
+        // Failed mutations leave the counter untouched.
+        let cf = db.change_count();
+        assert!(db.drop_table("nope").is_err());
+        assert!(db.table_mut("nope").is_err());
+        assert_eq!(db.change_count(), cf);
     }
 
     #[test]
