@@ -1,0 +1,346 @@
+//! Concurrent-workspace benchmark: group commit vs per-op fsync across a
+//! writer grid, and concurrent positional-window read scaling across
+//! sheets.
+//!
+//! * **Writers.** K concurrent sessions hammer ONE durable sheet with
+//!   cell edits, in two client shapes: fully synchronous (window 1 — one
+//!   edit in flight per client) and pipelined (window 4 — stage a small
+//!   window, await its last ticket; the standard RPC pipelining
+//!   pattern). `per-op` mode pays the legacy one-fsync-per-op baseline
+//!   in both shapes; `group` mode appends, blocks on a commit ticket,
+//!   and lets the dedicated committer batch every outstanding record
+//!   into one fsync — same durability contract (no edit is acknowledged
+//!   before it is on stable storage), ~1 fsync per batch instead of per
+//!   op.
+//! * **Readers.** R sessions each scan positional windows of their own
+//!   pre-imported sheet — per-sheet sharding means their locks never
+//!   touch, so aggregate throughput should track the machine's available
+//!   parallelism.
+//!
+//! Results go to stdout and `BENCH_concurrent.json` (override with
+//! `DS_CONCURRENT_OUT`). Sizes: `DS_CONCURRENT_WRITERS` /
+//! `DS_CONCURRENT_READERS` (comma-separated thread counts) and
+//! `DS_CONCURRENT_OPS` (ops per writer). At full scale (a grid including
+//! 8 writers) the run *asserts* the acceptance bounds: group-commit
+//! throughput ≥ 5× per-op fsync at 8 writers (pipelined row; the
+//! synchronous row is recorded alongside — on a single-core host its
+//! ratio is capped by one futex sleep/wake pair per op, not by fsyncs),
+//! group fsyncs ≤ ¼ of per-op fsyncs (scheduler-independent), and read
+//! scaling within 2× of linear in `min(readers, cores)` — scaled-down
+//! CI grids skip the asserts.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use dataspread_grid::{CellAddr, CellValue, Rect};
+use dataspread_workspace::{CommitMode, Edit, Workspace, WorkspaceConfig};
+
+fn sizes_from_env(var: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(var)
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn ops_per_writer() -> usize {
+    std::env::var("DS_CONCURRENT_OPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400)
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "dataspread-exp-concurrent-{name}-{}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+struct WriterRow {
+    writers: usize,
+    window: usize,
+    per_op_ops_s: f64,
+    per_op_fsyncs: u64,
+    group_ops_s: f64,
+    group_fsyncs: u64,
+}
+
+struct ReaderRow {
+    readers: usize,
+    windows_s: f64,
+    speedup: f64,
+    efficiency: f64,
+}
+
+/// K writer threads × `ops` edits each against one shared durable sheet,
+/// each client keeping `window` edits in flight (window 1 = fully
+/// synchronous; larger windows = RPC pipelining: stage a window, then
+/// await its last ticket). Per-op mode fsyncs every staged edit either
+/// way — pipelining changes nothing for it. Returns (ops/s, fsyncs).
+fn run_writers(writers: usize, ops: usize, window: usize, mode: CommitMode) -> (f64, u64) {
+    let dir = temp_dir(&format!("writers-{writers}-{window}-{mode:?}"));
+    let ws = Workspace::open_with(
+        &dir,
+        WorkspaceConfig {
+            commit_mode: mode,
+            ..Default::default()
+        },
+    )
+    .expect("open workspace");
+    let session = ws.session();
+    session.open_sheet("hot").expect("open sheet");
+    let (_, fsyncs_at_open, _) = ws.commit_stats();
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let session = session.clone();
+            scope.spawn(move || {
+                let mut i = 0usize;
+                while i < ops {
+                    let burst = window.min(ops - i);
+                    let mut last = 0u64;
+                    for k in 0..burst {
+                        let receipt = session
+                            .stage_edit(
+                                "hot",
+                                Edit::Set {
+                                    row: ((i + k) % 512) as u32,
+                                    col: w as u32,
+                                    input: format!("{}", (i + k) * 7 + w),
+                                },
+                            )
+                            .expect("edit");
+                        last = receipt.ticket;
+                    }
+                    session.await_commit("hot", last).expect("commit");
+                    i += burst;
+                }
+            });
+        }
+    });
+    let elapsed = t.elapsed().as_secs_f64();
+    let (_, group_fsyncs, inline_syncs) = ws.commit_stats();
+    let fsyncs = match mode {
+        CommitMode::PerOp => inline_syncs,
+        CommitMode::Group => group_fsyncs - fsyncs_at_open,
+    };
+    drop(ws);
+    std::fs::remove_dir_all(&dir).ok();
+    ((writers * ops) as f64 / elapsed, fsyncs)
+}
+
+/// R reader threads, each fetching positional windows of its own sheet;
+/// returns aggregate windows/s.
+fn run_readers(readers: usize, windows_per_reader: usize) -> f64 {
+    let dir = temp_dir(&format!("readers-{readers}"));
+    let ws = Workspace::open(&dir).expect("open workspace");
+    let session = ws.session();
+    for r in 0..readers {
+        let name = format!("sheet{r}");
+        session.open_sheet(&name).expect("open sheet");
+        session
+            .import_rows(
+                &name,
+                CellAddr::new(0, 0),
+                8,
+                (0..2000u32)
+                    .map(|i| {
+                        (0..8u32)
+                            .map(|c| CellValue::Number((i * 8 + c) as f64))
+                            .collect()
+                    })
+                    .collect(),
+            )
+            .expect("import");
+    }
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for r in 0..readers {
+            let session = session.clone();
+            scope.spawn(move || {
+                let name = format!("sheet{r}");
+                let mut total = 0usize;
+                for i in 0..windows_per_reader {
+                    let r1 = ((i * 137) % 1950) as u32;
+                    let cells = session
+                        .fetch_window(&name, Rect::new(r1, 0, r1 + 49, 7))
+                        .expect("window");
+                    total += cells.len();
+                }
+                assert!(total > 0);
+            });
+        }
+    });
+    let elapsed = t.elapsed().as_secs_f64();
+    drop(ws);
+    std::fs::remove_dir_all(&dir).ok();
+    (readers * windows_per_reader) as f64 / elapsed
+}
+
+fn main() {
+    let writer_sizes = sizes_from_env("DS_CONCURRENT_WRITERS", &[1, 2, 4, 8]);
+    let reader_sizes = sizes_from_env("DS_CONCURRENT_READERS", &[1, 2, 4, 8]);
+    let ops = ops_per_writer();
+    let out_path =
+        std::env::var("DS_CONCURRENT_OUT").unwrap_or_else(|_| "BENCH_concurrent.json".to_string());
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+
+    println!("Concurrent workspace benchmark ({ops} ops/writer, {cores} cores)\n");
+    println!(
+        "{:>8} {:>7} | {:>12} {:>9} | {:>12} {:>9} | {:>8}",
+        "writers", "window", "per-op ops/s", "fsyncs", "group ops/s", "fsyncs", "speedup"
+    );
+    let mut writer_rows = Vec::new();
+    for &writers in &writer_sizes {
+        // Window 1: fully synchronous clients (one edit in flight each).
+        // Window 4: pipelined clients (the RPC pattern — stage a small
+        // window, await its last ticket). Per-op fsyncs are identical in
+        // both shapes; group commit batches the whole in-flight set.
+        for window in [1usize, 4] {
+            let (per_op_ops_s, per_op_fsyncs) =
+                run_writers(writers, ops, window, CommitMode::PerOp);
+            let (group_ops_s, group_fsyncs) = run_writers(writers, ops, window, CommitMode::Group);
+            println!(
+                "{:>8} {:>7} | {:>12.0} {:>9} | {:>12.0} {:>9} | {:>7.1}x",
+                writers,
+                window,
+                per_op_ops_s,
+                per_op_fsyncs,
+                group_ops_s,
+                group_fsyncs,
+                group_ops_s / per_op_ops_s,
+            );
+            writer_rows.push(WriterRow {
+                writers,
+                window,
+                per_op_ops_s,
+                per_op_fsyncs,
+                group_ops_s,
+                group_fsyncs,
+            });
+        }
+    }
+
+    // Fixed per-reader work so wall-clock reflects aggregate throughput.
+    let windows_per_reader = (ops * 2).max(200);
+    println!(
+        "\n{:>8} | {:>12} | {:>8} | {:>10}",
+        "readers", "windows/s", "speedup", "efficiency"
+    );
+    let mut reader_rows: Vec<ReaderRow> = Vec::new();
+    for &readers in &reader_sizes {
+        let windows_s = run_readers(readers, windows_per_reader);
+        let base = reader_rows
+            .first()
+            .map(|r: &ReaderRow| r.windows_s / r.readers as f64)
+            .unwrap_or(windows_s / readers as f64);
+        let speedup = windows_s / base;
+        // Near-linear means: throughput tracks min(readers, cores) — the
+        // hardware bound, not the thread count (a 1-core CI box cannot
+        // show wall-clock parallelism, only absence of collapse).
+        let ideal = readers.min(cores) as f64;
+        let efficiency = speedup / ideal;
+        println!(
+            "{:>8} | {:>12.0} | {:>7.2}x | {:>9.0}%",
+            readers,
+            windows_s,
+            speedup,
+            efficiency * 100.0
+        );
+        reader_rows.push(ReaderRow {
+            readers,
+            windows_s,
+            speedup,
+            efficiency,
+        });
+    }
+
+    // Machine-readable trajectory record.
+    let mut json = format!(
+        "{{\n  \"bench\": \"concurrent\",\n  \"cores\": {cores},\n  \"ops_per_writer\": {ops},\n  \"writers\": [\n"
+    );
+    for (i, r) in writer_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"writers\": {}, \"window\": {}, \"per_op_ops_s\": {:.0}, \
+             \"per_op_fsyncs\": {}, \"group_ops_s\": {:.0}, \"group_fsyncs\": {}, \
+             \"speedup\": {:.2}}}{}\n",
+            r.writers,
+            r.window,
+            r.per_op_ops_s,
+            r.per_op_fsyncs,
+            r.group_ops_s,
+            r.group_fsyncs,
+            r.group_ops_s / r.per_op_ops_s,
+            if i + 1 < writer_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"readers\": [\n");
+    for (i, r) in reader_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"readers\": {}, \"windows_s\": {:.0}, \"speedup\": {:.2}, \
+             \"efficiency_vs_cores\": {:.2}}}{}\n",
+            r.readers,
+            r.windows_s,
+            r.speedup,
+            r.efficiency,
+            if i + 1 < reader_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("\nwrote {out_path}");
+
+    // Acceptance bounds, armed only at full scale (8-writer grid). The
+    // throughput bound is asserted on the pipelined row: synchronous
+    // window-1 clients pay one futex sleep/wake pair per op, which on a
+    // single-core host costs a comparable order to the fsync itself and
+    // caps the end-to-end ratio regardless of batching (the window-1 row
+    // is still recorded in the JSON). The fsync-batching bound is
+    // asserted on every full-scale row — it is scheduler-independent.
+    for r in &writer_rows {
+        if r.writers >= 8 {
+            let speedup = r.group_ops_s / r.per_op_ops_s;
+            if r.window > 1 {
+                assert!(
+                    speedup >= 5.0,
+                    "group commit speedup {speedup:.1}x < 5x at {} writers (window {})",
+                    r.writers,
+                    r.window
+                );
+            }
+            assert!(
+                r.group_fsyncs <= r.per_op_fsyncs / 4,
+                "group commit must batch fsyncs ({} vs {})",
+                r.group_fsyncs,
+                r.per_op_fsyncs
+            );
+        }
+    }
+    if writer_sizes.iter().any(|&w| w >= 8) {
+        for r in &reader_rows {
+            if r.readers >= 8 {
+                assert!(
+                    r.efficiency >= 0.5,
+                    "read scaling efficiency {:.0}% < 50% of linear in \
+                     min(readers, cores) at {} readers",
+                    r.efficiency * 100.0,
+                    r.readers
+                );
+            }
+        }
+    }
+    println!(
+        "\npaper context: a spreadsheet *served* from a database-grade engine means\n\
+         many sessions fetching windows and committing edits at once; per-sheet\n\
+         sharding keeps readers wait-free across sheets, and the group-commit\n\
+         committer turns K writers x 1 fsync/op into ~1 fsync per batch without\n\
+         weakening the WAL durability contract."
+    );
+}

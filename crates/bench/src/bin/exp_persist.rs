@@ -313,6 +313,42 @@ fn main() {
             "a database mutation must re-dirty exactly the TOM region"
         );
         assert_eq!(dirtied.regions_written, 1);
+        // Per-table change counters tighten the skip further: churn on an
+        // *unrelated* table in the same database must leave the linked
+        // region clean (the database-global counter used to dirty it).
+        {
+            let db = engine.database();
+            let mut guard = db.write();
+            guard
+                .create_table(
+                    "persist_bench_other",
+                    dataspread_relstore::Schema::new(vec![dataspread_relstore::ColumnDef::new(
+                        "x",
+                        dataspread_relstore::DataType::Int,
+                    )]),
+                )
+                .expect("create other");
+            for i in 0..50 {
+                guard
+                    .table_mut("persist_bench_other")
+                    .expect("other")
+                    .insert(&[dataspread_relstore::Datum::Int(i)])
+                    .expect("insert other");
+            }
+        }
+        let t = Instant::now();
+        let unrelated = engine.checkpoint().expect("checkpoint").expect("durable");
+        let unrelated_s = t.elapsed().as_secs_f64();
+        row(
+            "ckpt (unrelated table churn)",
+            unrelated_s,
+            format!("{:>10} regions serialized", unrelated.regions_written),
+        );
+        assert_eq!(
+            unrelated.regions_dirty, 0,
+            "churn on an unrelated table must not dirty the TOM region \
+             (per-table change counters)"
+        );
     }
     std::fs::remove_dir_all(&tom_dir).ok();
 

@@ -71,7 +71,8 @@ use dataspread_posmap::PosMapKind;
 use dataspread_relstore::codec::{self, Reader};
 use dataspread_relstore::pager::PagerStats;
 use dataspread_relstore::wal::crc32;
-use dataspread_relstore::{Pager, StoreError, Wal, PAGE_SIZE};
+use dataspread_relstore::{Pager, SharedWal, StoreError, Wal, PAGE_SIZE};
+use std::sync::Arc;
 
 use crate::error::EngineError;
 use crate::hybrid::{RegionImage, CATCHALL_REGION_ID};
@@ -627,9 +628,17 @@ pub struct PersistenceStats {
 }
 
 /// The engine-facing persistence handle: one WAL + one region-paged image.
+///
+/// The WAL is held behind a thread-shareable [`SharedWal`]: ops append
+/// commit tickets, and a group-commit coordinator (the workspace's
+/// committer thread) can fsync batches through
+/// [`DurableStore::commit_wal`] while the engine itself stays
+/// single-writer. Commit acknowledgement is thereby decoupled from
+/// logging: `log` returns as soon as the record is framed, and the ticket
+/// tells waiters when the fsync-point covered it.
 pub struct DurableStore {
     dir: PathBuf,
-    wal: Wal,
+    wal: Arc<SharedWal>,
     pager: Pager,
     /// The page-allocation map of the on-disk image.
     map: BTreeMap<u64, StoredRegion>,
@@ -643,6 +652,8 @@ pub struct DurableStore {
     ops_since_checkpoint: u64,
     checkpoints: u64,
     auto_checkpoint_ops: Option<u64>,
+    /// Commit ticket of the most recently logged op (0 = none yet).
+    last_ticket: u64,
     /// Set when a WAL append failed mid-op: the on-disk tape has a hole, so
     /// further logging is refused until a successful checkpoint
     /// re-serializes the dirty state and truncates the log.
@@ -679,6 +690,8 @@ impl DurableStore {
         std::fs::create_dir_all(&dir).map_err(StoreError::from)?;
         let mut wal = Wal::open(wal_path(&dir))?;
         wal.set_segment_limit(Some(DEFAULT_WAL_SEGMENT_BYTES));
+        // Recovery below consumes the committed records before the log is
+        // wrapped for shared use.
         let mut pager = Pager::open(image_path(&dir))?;
         // Pin the directory entries for the files we may just have
         // created; without this a machine crash could drop the whole WAL.
@@ -806,7 +819,7 @@ impl DurableStore {
         Ok((
             DurableStore {
                 dir,
-                wal,
+                wal: Arc::new(SharedWal::new(wal)),
                 pager,
                 map,
                 map_pages,
@@ -814,6 +827,7 @@ impl DurableStore {
                 ops_since_checkpoint: ops.len() as u64,
                 checkpoints: 0,
                 auto_checkpoint_ops: None,
+                last_ticket: 0,
                 poisoned: None,
             },
             RecoveredState {
@@ -855,12 +869,29 @@ impl DurableStore {
                 bytes.len()
             ))));
         }
-        if let Err(e) = self.wal.append(&bytes) {
-            self.poisoned = Some(e.to_string());
-            return Err(e.into());
+        match self.wal.append(&bytes) {
+            Ok(ticket) => self.last_ticket = ticket,
+            Err(e) => {
+                self.poisoned = Some(e.to_string());
+                return Err(e.into());
+            }
         }
         self.ops_since_checkpoint += 1;
         Ok(())
+    }
+
+    /// Shared handle to this store's WAL for group-commit coordinators:
+    /// a committer thread fsyncs batches through it while engine ops keep
+    /// appending.
+    pub fn commit_wal(&self) -> Arc<SharedWal> {
+        Arc::clone(&self.wal)
+    }
+
+    /// Commit ticket of the most recently logged op (0 when nothing was
+    /// logged); pass it to [`SharedWal::wait_durable`] to block until the
+    /// op is crash-durable.
+    pub fn last_ticket(&self) -> u64 {
+        self.last_ticket
     }
 
     /// The fsync-point: make every logged op crash-durable.
@@ -888,7 +919,7 @@ impl DurableStore {
         // A failed append may have left garbage bytes past the valid
         // prefix; drop them so the journal below lands in a clean log.
         if self.poisoned.is_some() {
-            self.wal.truncate_to_valid()?;
+            self.wal.with(|w| w.truncate_to_valid())?;
         }
         let old_count = self.pager.page_count();
 
@@ -1140,7 +1171,7 @@ impl DurableStore {
     /// checkpointed segments are deleted at the next checkpoint (`None`
     /// keeps a single unbounded file).
     pub fn set_wal_segment_limit(&mut self, bytes: Option<u64>) {
-        self.wal.set_segment_limit(bytes);
+        self.wal.with(|w| w.set_segment_limit(bytes));
     }
 
     /// True when the auto-checkpoint threshold has been reached.
@@ -1150,9 +1181,10 @@ impl DurableStore {
     }
 
     pub fn stats(&self) -> PersistenceStats {
+        let (wal_bytes, wal_segments) = self.wal.with(|w| (w.len_bytes(), w.segment_count()));
         PersistenceStats {
-            wal_bytes: self.wal.len_bytes(),
-            wal_segments: self.wal.segment_count(),
+            wal_bytes,
+            wal_segments,
             ops_since_checkpoint: self.ops_since_checkpoint,
             checkpoints: self.checkpoints,
             image_pages: self.pager.page_count(),

@@ -205,6 +205,36 @@ impl RoutingIndex {
         }
     }
 
+    /// Mirror [`HybridSheet::remove_region`] without a rebuild: drop the
+    /// removed slot's column entry from every band listing it, renumber
+    /// the slot indices above it (`Vec::remove` shifted them down by one),
+    /// drop bands left empty, and re-merge band pairs whose only cut was
+    /// the removed region. One pass over the bands — no sweep, no sort,
+    /// no reallocation of untouched bands (the delete used to pay the full
+    /// O(R log R) [`RoutingIndex::build`]).
+    fn remove_slot(&mut self, slot: usize) {
+        self.bands.retain_mut(|band| {
+            band.cols.retain(|&(_, _, idx)| idx != slot);
+            for e in &mut band.cols {
+                if e.2 > slot {
+                    e.2 -= 1;
+                }
+            }
+            !band.cols.is_empty()
+        });
+        // Adjacent bands whose boundary existed only because of the
+        // removed region now hold identical column lists; merging them
+        // restores the canonical elementary-band form.
+        self.bands.dedup_by(|curr, prev| {
+            if prev.r2.checked_add(1) == Some(curr.r1) && prev.cols == curr.cols {
+                prev.r2 = curr.r2;
+                true
+            } else {
+                false
+            }
+        });
+    }
+
     /// Mirror the region-rect updates of [`HybridSheet::insert_cols`]:
     /// band rows are untouched; each column entry shifts or grows exactly
     /// like its region's rectangle.
@@ -411,8 +441,9 @@ impl HybridSheet {
 
     pub fn remove_region(&mut self, idx: usize) -> RegionSlot {
         let slot = self.regions.remove(idx);
-        // Slot indices after `idx` shifted down; rebuild.
-        self.routing = RoutingIndex::build(&self.regions);
+        // Slot indices after `idx` shifted down; the index updates in
+        // place (no rebuild) — see `RoutingIndex::remove_slot`.
+        self.routing.remove_slot(idx);
         slot
     }
 
@@ -968,6 +999,41 @@ mod tests {
             hs.get_cell(addr(12, 14)).unwrap().value,
             CellValue::Number(1.0)
         );
+    }
+
+    #[test]
+    fn remove_region_updates_routing_in_place() {
+        // Three regions: one wide band, one stacked region cutting it, one
+        // beside it. Removing the middle slot must renumber later slots and
+        // re-merge the bands it had cut — verified against the scan oracle
+        // on every boundary probe.
+        let mut hs = HybridSheet::new();
+        for rect in [
+            Rect::new(0, 0, 29, 4),
+            Rect::new(10, 10, 19, 14),
+            Rect::new(10, 20, 39, 24),
+        ] {
+            let rom = Box::new(RomTranslator::new(PosMapKind::Hierarchical));
+            hs.add_region(rect, rom).unwrap();
+        }
+        hs.set_cell(addr(35, 22), Cell::value(9i64)).unwrap();
+        let removed = hs.remove_region(1);
+        assert_eq!(removed.rect, Rect::new(10, 10, 19, 14));
+        for r in [0u32, 9, 10, 15, 19, 20, 29, 30, 39, 40] {
+            for c in [0u32, 4, 5, 10, 14, 15, 20, 24, 25] {
+                let a = addr(r, c);
+                assert_eq!(hs.region_at(a), hs.region_at_scan(a), "at {a}");
+            }
+        }
+        // The surviving third region (now slot 1) still serves its cells.
+        assert_eq!(
+            hs.get_cell(addr(35, 22)).unwrap().value,
+            CellValue::Number(9.0)
+        );
+        // Removing everything empties the index.
+        hs.remove_region(1);
+        hs.remove_region(0);
+        assert_eq!(hs.region_at(addr(12, 12)), None);
     }
 
     #[test]

@@ -17,6 +17,18 @@ use dataspread_relstore::{BPlusTree, ColumnDef, DataType, Datum, Schema, Table, 
 use crate::error::EngineError;
 use crate::translator::{cell_to_datums, datums_to_cell, Translator};
 
+/// Cap on the RCV positional coordinate space (rows and columns alike).
+///
+/// Positions are *materialized*: the positional maps hold one identifier
+/// per position up to the highest one ever touched, so a single write at
+/// an astronomical index (say row 4×10⁹ — representable, since addresses
+/// are `u32`) would grow the map O(row) on first touch and hang the
+/// engine. Writes at or beyond the cap are refused up front instead —
+/// 64 × Excel's 1,048,576-row limit, far past what positional
+/// materialization serves well (huge blocks belong in bulk-loaded ROM
+/// regions, which cost O(rows actually present)).
+pub const MAX_RCV_POSITIONS: u32 = 64 * 1_048_576;
+
 /// Row-column-value storage for one region (also the hybrid layer's
 /// catch-all for cells outside every region).
 pub struct RcvTranslator {
@@ -110,6 +122,12 @@ impl Translator for RcvTranslator {
     }
 
     fn set_cell(&mut self, row: u32, col: u32, cell: Cell) -> Result<(), EngineError> {
+        if row >= MAX_RCV_POSITIONS || col >= MAX_RCV_POSITIONS {
+            return Err(EngineError::Unsupported(format!(
+                "cell ({row},{col}) is outside the RCV positional space \
+                 (cap {MAX_RCV_POSITIONS}); bulk-load huge blocks as ROM regions"
+            )));
+        }
         self.ensure_rows(row);
         self.ensure_cols(col);
         let rid = *self.rows_map.get(row as usize).expect("ensured");
@@ -176,6 +194,15 @@ impl Translator for RcvTranslator {
     }
 
     fn insert_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        // Guard the *end* of the insert, not just its start: the loop
+        // below is O(n), so a huge count is the same first-touch hang as
+        // a huge index.
+        if at.checked_add(n).is_none_or(|end| end > MAX_RCV_POSITIONS) {
+            return Err(EngineError::Unsupported(format!(
+                "row insert at {at}+{n} is outside the RCV positional space \
+                 (cap {MAX_RCV_POSITIONS})"
+            )));
+        }
         if at > 0 {
             self.ensure_rows(at - 1);
         }
@@ -211,6 +238,12 @@ impl Translator for RcvTranslator {
     }
 
     fn insert_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        if at.checked_add(n).is_none_or(|end| end > MAX_RCV_POSITIONS) {
+            return Err(EngineError::Unsupported(format!(
+                "column insert at {at}+{n} is outside the RCV positional space \
+                 (cap {MAX_RCV_POSITIONS})"
+            )));
+        }
         if at > 0 {
             self.ensure_cols(at - 1);
         }
@@ -327,6 +360,45 @@ mod tests {
                 CellAddr::new(2, 2)
             ]
         );
+    }
+
+    #[test]
+    fn astronomical_indices_are_refused_not_materialized() {
+        // Regression: a set_cell at row ~4e9 used to materialize one
+        // positional-map entry per row on first touch — O(row) work that
+        // hangs the engine. The cap must refuse it immediately (this test
+        // would run for hours if materialization happened).
+        let mut t = RcvTranslator::new(PosMapKind::Hierarchical);
+        for (r, c) in [
+            (4_000_000_000, 0),
+            (0, 4_000_000_000),
+            (u32::MAX - 1, u32::MAX - 1),
+            (MAX_RCV_POSITIONS, 0),
+        ] {
+            assert!(
+                matches!(
+                    t.set_cell(r, c, Cell::value(1i64)),
+                    Err(EngineError::Unsupported(_))
+                ),
+                "({r},{c}) must be refused"
+            );
+        }
+        assert!(t.insert_rows(4_000_000_000, 1).is_err());
+        assert!(t.insert_cols(4_000_000_000, 1).is_err());
+        // A huge *count* is the same O(n) materialization as a huge index
+        // (the insert loop runs n times) — and so is a sum overflowing.
+        assert!(t.insert_rows(0, 4_000_000_000).is_err());
+        assert!(t.insert_cols(0, 4_000_000_000).is_err());
+        assert!(t.insert_rows(u32::MAX - 1, u32::MAX - 1).is_err());
+        assert_eq!(t.filled_count(), 0);
+        // The last in-cap coordinate is *representable* (we do not want to
+        // materialize it here — that is legitimately large — just prove the
+        // boundary arithmetic refuses only at >= cap).
+        t.set_cell(100, 100, Cell::value(7i64)).unwrap();
+        assert_eq!(t.filled_count(), 1);
+        // Reads and clears beyond the cap stay cheap no-ops.
+        assert_eq!(t.get_cell(4_000_000_000, 0), None);
+        t.clear_cell(4_000_000_000, 0).unwrap();
     }
 
     #[test]

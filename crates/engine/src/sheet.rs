@@ -254,6 +254,22 @@ impl SheetEngine {
         self.durable.as_ref().map(DurableStore::stats)
     }
 
+    /// Shared handle to this engine's WAL for group-commit coordinators
+    /// (`None` for in-memory engines). A dedicated committer fsyncs
+    /// batches through it; sessions block on their op's commit ticket
+    /// instead of paying one fsync per op.
+    pub fn commit_wal(&self) -> Option<std::sync::Arc<dataspread_relstore::SharedWal>> {
+        self.durable.as_ref().map(DurableStore::commit_wal)
+    }
+
+    /// Commit ticket of the most recently logged op (0 when nothing was
+    /// logged or the engine is in-memory). The op is crash-durable once
+    /// `SharedWal::wait_durable(ticket)` returns — the decoupling that
+    /// lets commit acknowledgement trail logging.
+    pub fn last_commit_ticket(&self) -> u64 {
+        self.durable.as_ref().map_or(0, DurableStore::last_ticket)
+    }
+
     /// Append `op` to the WAL (when durable) and auto-checkpoint if the
     /// configured threshold was reached.
     fn log_op(&mut self, op: LoggedOp) -> Result<(), EngineError> {
@@ -1137,6 +1153,36 @@ mod tests {
         // Edits through the region keep recomputing as usual.
         e.update_cell_a1("A1", "10").unwrap();
         assert_eq!(e.value(a("B1")), CellValue::Number(11.0));
+    }
+
+    #[test]
+    fn engines_are_send_and_sync() {
+        // The concurrent workspace moves engines between session threads
+        // and serves `&self` reads (window fetches) from several at once;
+        // every layer (translators, posmaps, durable store) must be
+        // Send + Sync.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SheetEngine>();
+        assert_send_sync::<crate::HybridSheet>();
+        assert_send_sync::<DurableStore>();
+    }
+
+    #[test]
+    fn astronomical_row_edit_errors_fast_instead_of_hanging() {
+        // Regression (ROADMAP PR 4 follow-up): updateCell at row ~4e9 made
+        // the RCV catch-all materialize O(row) positional entries and hang.
+        // The engine must surface a clean error immediately and stay
+        // usable.
+        let mut e = SheetEngine::new();
+        e.update_cell_a1("A1", "1").unwrap();
+        let err = e
+            .update_cell(CellAddr::new(4_000_000_000, 0), "42")
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Unsupported(_)), "{err}");
+        // The failed edit must not have corrupted anything.
+        e.update_cell_a1("A2", "=A1+1").unwrap();
+        assert_eq!(e.value(a("A2")), CellValue::Number(2.0));
+        assert_eq!(e.value(CellAddr::new(4_000_000_000, 0)), CellValue::Empty);
     }
 
     #[test]

@@ -211,9 +211,13 @@ impl Translator for TomTranslator {
 
     fn change_stamp(&self) -> Option<u64> {
         // The linked table lives in the database and can change without any
-        // sheet mutator running (direct SQL); the database-wide change
-        // counter is the cheap conservative signal for "re-serialize me".
-        Some(self.db.read().change_count())
+        // sheet mutator running (direct SQL). The *per-table* stamp is the
+        // cheap signal for "re-serialize me": it moves on every mutable
+        // access to this table but stays put while other tables churn, so
+        // one busy table no longer dirties every TOM region's checkpoint
+        // skip. (A missing table reports the global counter —
+        // conservative, never falsely clean.)
+        Some(self.db.read().change_stamp_for(&self.table_name))
     }
 }
 

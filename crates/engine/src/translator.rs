@@ -12,7 +12,12 @@ use crate::error::EngineError;
 /// A translator serves a rectangular region of the sheet in *local*
 /// coordinates (`(0,0)` = the region's top-left). The hybrid layer owns the
 /// mapping between sheet and local coordinates.
-pub trait Translator: std::fmt::Debug {
+///
+/// `Send + Sync` are supertraits: the concurrent workspace shards sheets
+/// across session threads behind per-sheet reader-writer locks, so every
+/// translator (and therefore the whole `SheetEngine`) must move between
+/// threads and serve `&self` reads from several at once.
+pub trait Translator: std::fmt::Debug + Send + Sync {
     fn kind(&self) -> ModelKind;
 
     /// Current logical extent (rows may exceed the last filled row after

@@ -12,6 +12,13 @@
 //! edit. The straightforward scan implementation is retained as
 //! [`ScanDependencyGraph`] — it is the differential-test oracle and the
 //! perf baseline for `exp_hotpath`.
+//!
+//! **Sharding.** A `DependencyGraph` is deliberately *per-sheet* state —
+//! no globals, no interior sharing — and the whole structure is `Send`.
+//! The concurrent workspace shards one graph per sheet behind that
+//! sheet's lock, so formula edits on different sheets never contend on a
+//! shared index (the PR 4 follow-up: "per-sheet sharding … once multiple
+//! sheets/users mutate in parallel").
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -378,6 +385,13 @@ impl ScanDependencyGraph {
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn graphs_are_send_for_per_sheet_sharding() {
+        fn assert_send<T: Send>() {}
+        assert_send::<super::DependencyGraph>();
+        assert_send::<super::ScanDependencyGraph>();
+    }
+
     use super::*;
 
     fn a(s: &str) -> CellAddr {

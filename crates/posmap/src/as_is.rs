@@ -40,7 +40,7 @@ impl<T> FromIterator<T> for PositionAsIs<T> {
     }
 }
 
-impl<T> PositionalMap<T> for PositionAsIs<T> {
+impl<T: Send + Sync> PositionalMap<T> for PositionAsIs<T> {
     fn len(&self) -> usize {
         self.entries.len()
     }

@@ -39,7 +39,12 @@ pub enum PosMapKind {
 /// Positions are dense: after any operation the items occupy positions
 /// `0..len()`. `insert_at(pos, v)` shifts items at `pos..` right by one;
 /// `remove_at(pos)` shifts items at `pos+1..` left by one.
-pub trait PositionalMap<T> {
+///
+/// `Send + Sync` are supertraits so boxed maps can move between threads
+/// and serve concurrent readers — the concurrent workspace serves each
+/// sheet (translators and their posmaps included) behind a reader-writer
+/// lock, so positional fetches run from many threads at once.
+pub trait PositionalMap<T>: Send + Sync {
     fn len(&self) -> usize;
 
     fn is_empty(&self) -> bool {
@@ -72,7 +77,7 @@ pub trait PositionalMap<T> {
 }
 
 /// Dispatch-erased constructor used by the engine crate.
-pub fn new_posmap<T: Clone + 'static>(kind: PosMapKind) -> Box<dyn PositionalMap<T>> {
+pub fn new_posmap<T: Clone + Send + Sync + 'static>(kind: PosMapKind) -> Box<dyn PositionalMap<T>> {
     match kind {
         PosMapKind::AsIs => Box::new(PositionAsIs::new()),
         PosMapKind::Monotonic => Box::new(MonotonicMap::new()),
@@ -82,7 +87,7 @@ pub fn new_posmap<T: Clone + 'static>(kind: PosMapKind) -> Box<dyn PositionalMap
 
 /// Dispatch-erased bulk constructor (O(N) bulk load for the hierarchical
 /// scheme — used when importing large sheets).
-pub fn posmap_from<T: Clone + 'static>(
+pub fn posmap_from<T: Clone + Send + Sync + 'static>(
     kind: PosMapKind,
     items: impl IntoIterator<Item = T>,
 ) -> Box<dyn PositionalMap<T>> {

@@ -69,7 +69,7 @@ impl<T> FromIterator<T> for MonotonicMap<T> {
     }
 }
 
-impl<T> PositionalMap<T> for MonotonicMap<T> {
+impl<T: Send + Sync> PositionalMap<T> for MonotonicMap<T> {
     fn len(&self) -> usize {
         self.entries.len()
     }

@@ -31,6 +31,12 @@ pub struct Database {
     /// as a change). Lets observers — e.g. linked-table (TOM) regions at
     /// checkpoint time — cheaply detect "nothing changed since stamp X"
     /// without diffing table bytes.
+    ///
+    /// The counter doubles as the tick source for *per-table* change
+    /// stamps: every mutable hand-out stamps the affected table with the
+    /// fresh tick ([`Table::last_change`]), so observers of one table are
+    /// not dirtied by mutations to the others —
+    /// see [`Database::change_stamp_for`].
     change_count: u64,
 }
 
@@ -58,6 +64,19 @@ impl Database {
         self.change_count
     }
 
+    /// The change stamp an observer of table `name` should remember: the
+    /// table's own [`Table::last_change`] tick, or the database-wide
+    /// counter when the table does not exist (any catalog motion may
+    /// (re)create it). An unchanged stamp between two reads proves the
+    /// observed table saw no mutable access in between, regardless of what
+    /// happened to other tables.
+    pub fn change_stamp_for(&self, name: &str) -> u64 {
+        self.tables
+            .get(name)
+            .map(Table::last_change)
+            .unwrap_or(self.change_count)
+    }
+
     pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<&mut Table, StoreError> {
         self.change_count += 1;
         if schema.len() > self.config.max_columns {
@@ -70,17 +89,19 @@ impl Database {
         if self.tables.contains_key(name) {
             return Err(StoreError::TableExists(name.to_string()));
         }
-        let table = Table::new(name, schema).with_max_columns(self.config.max_columns);
+        let mut table = Table::new(name, schema).with_max_columns(self.config.max_columns);
+        table.note_change(self.change_count);
         self.tables.insert(name.to_string(), table);
         Ok(self.tables.get_mut(name).expect("just inserted"))
     }
 
     /// Register a fully-built table (snapshot restore path).
-    pub fn insert_table(&mut self, table: Table) -> Result<(), StoreError> {
+    pub fn insert_table(&mut self, mut table: Table) -> Result<(), StoreError> {
         if self.tables.contains_key(table.name()) {
             return Err(StoreError::TableExists(table.name().to_string()));
         }
         self.change_count += 1;
+        table.note_change(self.change_count);
         self.tables.insert(table.name().to_string(), table);
         Ok(())
     }
@@ -104,6 +125,7 @@ impl Database {
             .ok_or_else(|| StoreError::NoSuchTable(from.to_string()))?;
         self.change_count += 1;
         t.set_name(to);
+        t.note_change(self.change_count);
         self.tables.insert(to.to_string(), t);
         Ok(())
     }
@@ -115,11 +137,13 @@ impl Database {
     }
 
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StoreError> {
-        let t = self
-            .tables
-            .get_mut(name)
-            .ok_or_else(|| StoreError::NoSuchTable(name.to_string()))?;
+        if !self.tables.contains_key(name) {
+            return Err(StoreError::NoSuchTable(name.to_string()));
+        }
         self.change_count += 1;
+        let tick = self.change_count;
+        let t = self.tables.get_mut(name).expect("checked above");
+        t.note_change(tick);
         Ok(t)
     }
 
@@ -222,6 +246,35 @@ mod tests {
         assert!(db.drop_table("nope").is_err());
         assert!(db.table_mut("nope").is_err());
         assert_eq!(db.change_count(), cf);
+    }
+
+    #[test]
+    fn per_table_stamps_isolate_unrelated_mutations() {
+        let mut db = Database::new();
+        db.create_table("a", schema()).unwrap();
+        db.create_table("b", schema()).unwrap();
+        let a0 = db.change_stamp_for("a");
+        let b0 = db.change_stamp_for("b");
+        assert_ne!(a0, b0, "ticks are globally unique");
+        // Mutating `b` must not move `a`'s stamp (the whole point: a TOM
+        // region linked to `a` stays clean while `b` churns).
+        db.table_mut("b").unwrap().insert(&[Datum::Int(1)]).unwrap();
+        assert_eq!(db.change_stamp_for("a"), a0);
+        assert!(db.change_stamp_for("b") > b0);
+        // Mutating `a` moves only `a`.
+        let b1 = db.change_stamp_for("b");
+        db.table_mut("a").unwrap().insert(&[Datum::Int(2)]).unwrap();
+        assert!(db.change_stamp_for("a") > a0);
+        assert_eq!(db.change_stamp_for("b"), b1);
+        // Catalog ops move the affected table's stamp; a missing table
+        // reports the (moving) global counter, so dangling observers stay
+        // conservative.
+        db.rename_table("a", "c").unwrap();
+        let missing = db.change_stamp_for("a");
+        assert_eq!(missing, db.change_count());
+        assert!(db.change_stamp_for("c") > a0);
+        db.drop_table("b").unwrap();
+        assert!(db.change_stamp_for("b") > b1, "drop moves the global tick");
     }
 
     #[test]

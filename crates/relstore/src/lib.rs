@@ -47,4 +47,4 @@ pub use page::{Page, PAGE_SIZE};
 pub use pager::{Pager, PagerStats};
 pub use schema::{ColumnDef, Schema};
 pub use table::Table;
-pub use wal::{crc32, Wal};
+pub use wal::{crc32, SharedWal, Wal};

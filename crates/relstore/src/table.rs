@@ -23,6 +23,13 @@ pub struct Table {
     /// Optional cap on the column count (paper Appendix A-C4: present-day
     /// databases limit relation width; PostgreSQL allows 1600).
     max_columns: Option<usize>,
+    /// Value of the owning [`Database`](crate::Database)'s change counter
+    /// the last time *this* table was handed out mutably (or created /
+    /// renamed). Ticks are globally unique and monotone, so an unchanged
+    /// stamp means this specific table cannot have changed — even while
+    /// other tables in the same database were mutated. 0 for a
+    /// free-standing table.
+    last_change: u64,
 }
 
 impl Table {
@@ -33,6 +40,7 @@ impl Table {
             heap: HeapFile::new(),
             row_count: 0,
             max_columns: None,
+            last_change: 0,
         }
     }
 
@@ -49,6 +57,7 @@ impl Table {
             heap,
             row_count,
             max_columns: None,
+            last_change: 0,
         }
     }
 
@@ -71,6 +80,21 @@ impl Table {
 
     pub fn row_count(&self) -> u64 {
         self.row_count
+    }
+
+    /// Per-table change stamp: the owning database's change-counter tick
+    /// at the last mutable hand-out of this table. Observers (e.g. TOM
+    /// regions at checkpoint time) compare stamps to skip work for tables
+    /// that provably did not change — without being dirtied by mutations
+    /// to *other* tables.
+    pub fn last_change(&self) -> u64 {
+        self.last_change
+    }
+
+    /// Record that this table was handed out mutably at `tick` (called by
+    /// the owning [`Database`](crate::Database)).
+    pub(crate) fn note_change(&mut self, tick: u64) {
+        self.last_change = tick;
     }
 
     /// Append a column to the schema. Existing rows are *not* rewritten;

@@ -1,0 +1,48 @@
+//! The concurrent workspace service: many sheets, many sessions, one
+//! group-commit pipeline.
+//!
+//! The paper frames DataSpread as a spreadsheet *served* from a
+//! database-grade engine: many users fetch positional windows and issue
+//! edits against the same store ("The Future of Spreadsheets in the Big
+//! Data Era" names multi-user concurrent access as the defining gap
+//! between spreadsheets and databases). This crate closes that gap for
+//! the Rust engine:
+//!
+//! * **Sharded sheets.** A [`Workspace`] owns N [`SheetEngine`]s, one per
+//!   named sheet, each behind its own reader-writer lock. Readers fetch
+//!   positional windows concurrently (`fetch_window` takes the shared
+//!   lock); one writer per sheet mutates at a time; sessions working on
+//!   *different* sheets never contend. Per-sheet state — the dependency
+//!   graph included — is sharded with the sheet, so formula edits on one
+//!   sheet cannot serialize against another's.
+//! * **Session API.** [`Session`]s address sheets by name —
+//!   [`Session::open_sheet`], [`Session::fetch_window`],
+//!   [`Session::apply_edit`], [`Session::import_rows`],
+//!   [`Session::checkpoint`] — a deliberately RPC-shaped surface (string
+//!   sheet ids, plain-data [`Edit`] values, receipts) so a network
+//!   front-end can be bolted on without reshaping the service.
+//! * **Group commit.** In a durable workspace every edit appends to the
+//!   sheet's WAL and receives a *commit ticket*; instead of paying one
+//!   fsync per op ([`CommitMode::PerOp`], the baseline), sessions block
+//!   on their ticket while a dedicated committer thread batches all
+//!   outstanding records into one fsync per sheet per round
+//!   ([`CommitMode::Group`], the default) — K writers × 1 fsync/op
+//!   becomes ~1 fsync per batch, with the identical durability contract:
+//!   `apply_edit` does not return before the edit is on stable storage.
+//!
+//! Crash recovery is unchanged from the single-threaded engine: each
+//! sheet directory recovers independently (image + committed WAL
+//! prefix), and because ops serialize under the sheet's write lock in
+//! ticket order, the recovered state is always a prefix of the actual
+//! edit serialization — the concurrent stress suite replays that order
+//! into a single-threaded oracle and compares byte-for-byte.
+
+mod committer;
+mod service;
+
+pub use committer::GroupCommitter;
+pub use service::{
+    CommitMode, Edit, EditReceipt, Session, SheetStats, Workspace, WorkspaceConfig, WorkspaceError,
+};
+
+pub use dataspread_engine::{CheckpointReport, PersistenceStats, SheetEngine};

@@ -1,0 +1,713 @@
+//! The workspace service proper: named sheet shards behind per-sheet
+//! locks, and the name-keyed session API served over them.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use dataspread_engine::{CheckpointReport, EngineError, PersistenceStats, SheetEngine};
+use dataspread_grid::{Cell, CellAddr, CellValue, Rect, SparseSheet};
+use dataspread_relstore::{SharedWal, StoreError};
+
+use crate::committer::GroupCommitter;
+
+/// How a durable workspace acknowledges committed edits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommitMode {
+    /// Every edit pays its own fsync before `apply_edit` returns — the
+    /// safe-but-slow baseline (one fsync per op per writer).
+    PerOp,
+    /// Edits append and block on their commit ticket; the dedicated
+    /// committer thread batches all outstanding records into one fsync
+    /// per sheet per round. Same durability contract, ~1 fsync per batch.
+    #[default]
+    Group,
+}
+
+/// Workspace construction knobs.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceConfig {
+    pub commit_mode: CommitMode,
+    /// Auto-checkpoint every N logged ops on each sheet (engine default:
+    /// disabled).
+    pub auto_checkpoint_ops: Option<u64>,
+}
+
+/// Errors surfaced by the session API.
+#[derive(Debug)]
+pub enum WorkspaceError {
+    /// The named sheet was never opened in this workspace.
+    NoSuchSheet(String),
+    /// Sheet names become directory names; only `[A-Za-z0-9_-]` survive
+    /// an RPC boundary safely.
+    BadSheetName(String),
+    Engine(EngineError),
+    Store(StoreError),
+}
+
+impl std::fmt::Display for WorkspaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkspaceError::NoSuchSheet(n) => write!(f, "no such sheet: {n}"),
+            WorkspaceError::BadSheetName(n) => {
+                write!(f, "bad sheet name {n:?} (use [A-Za-z0-9_-])")
+            }
+            WorkspaceError::Engine(e) => write!(f, "engine: {e}"),
+            WorkspaceError::Store(e) => write!(f, "store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkspaceError {}
+
+impl From<EngineError> for WorkspaceError {
+    fn from(e: EngineError) -> Self {
+        WorkspaceError::Engine(e)
+    }
+}
+
+impl From<StoreError> for WorkspaceError {
+    fn from(e: StoreError) -> Self {
+        WorkspaceError::Store(e)
+    }
+}
+
+/// One logical edit, RPC-shaped (plain data, no engine types beyond the
+/// cell-value enum used by imports).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Edit {
+    /// `updateCell(row, col, input)` — raw user input (`=…` formula,
+    /// literal, `""` clear), interpreted exactly like the engine does.
+    Set {
+        row: u32,
+        col: u32,
+        input: String,
+    },
+    InsertRows {
+        at: u32,
+        n: u32,
+    },
+    DeleteRows {
+        at: u32,
+        n: u32,
+    },
+    InsertCols {
+        at: u32,
+        n: u32,
+    },
+    DeleteCols {
+        at: u32,
+        n: u32,
+    },
+}
+
+/// Acknowledgement for one applied edit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditReceipt {
+    /// WAL commit ticket of the logged op (0 on in-memory workspaces).
+    /// Tickets increase in the order edits serialized on the sheet, so
+    /// they double as the edit's position in the sheet's history.
+    pub ticket: u64,
+    /// Whether the edit was crash-durable when `apply_edit` returned
+    /// (true for every durable workspace, both commit modes).
+    pub durable: bool,
+}
+
+/// Point-in-time counters for one sheet.
+#[derive(Debug, Clone)]
+pub struct SheetStats {
+    pub filled_cells: u64,
+    pub regions: usize,
+    pub persistence: Option<PersistenceStats>,
+}
+
+/// One sheet shard: the engine behind its reader-writer lock plus the
+/// shared WAL handle the committer fsyncs through.
+struct Shard {
+    engine: RwLock<SheetEngine>,
+    /// `None` for in-memory workspaces.
+    wal: Option<Arc<SharedWal>>,
+}
+
+struct Inner {
+    dir: Option<PathBuf>,
+    config: WorkspaceConfig,
+    sheets: RwLock<HashMap<String, Arc<Shard>>>,
+    committer: GroupCommitter,
+    /// Fsyncs issued inline by `CommitMode::PerOp` writers (the baseline
+    /// counter the concurrency bench compares against committer batches).
+    inline_syncs: AtomicU64,
+}
+
+/// A concurrent multi-sheet workspace. Create one, hand [`Session`]s to
+/// each client thread, and let them read/write concurrently: readers of a
+/// sheet share its lock, writers serialize per sheet, and sessions on
+/// different sheets proceed fully in parallel.
+pub struct Workspace {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Workspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workspace")
+            .field("dir", &self.inner.dir)
+            .field("sheets", &self.sheet_names())
+            .field("mode", &self.inner.config.commit_mode)
+            .finish()
+    }
+}
+
+fn valid_sheet_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 128
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+impl Workspace {
+    /// A volatile workspace: sheets live in memory, receipts carry no
+    /// durability.
+    pub fn in_memory() -> Workspace {
+        Self::build(None, WorkspaceConfig::default())
+    }
+
+    /// Open (or create) a durable workspace rooted at `dir` with group
+    /// commit (each sheet lives in `dir/<name>/` and recovers
+    /// independently on open).
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Workspace, WorkspaceError> {
+        Self::open_with(dir, WorkspaceConfig::default())
+    }
+
+    /// [`Workspace::open`] with explicit configuration.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        config: WorkspaceConfig,
+    ) -> Result<Workspace, WorkspaceError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(StoreError::from)?;
+        Ok(Self::build(Some(dir), config))
+    }
+
+    fn build(dir: Option<PathBuf>, config: WorkspaceConfig) -> Workspace {
+        Workspace {
+            inner: Arc::new(Inner {
+                dir,
+                config,
+                sheets: RwLock::new(HashMap::new()),
+                committer: GroupCommitter::new(),
+                inline_syncs: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A new session over this workspace. Sessions are cheap handles
+    /// (`Clone + Send`) — one per client thread.
+    pub fn session(&self) -> Session {
+        Session {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Names of the sheets opened so far.
+    pub fn sheet_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .sheets
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// `(committer flush rounds, group fsyncs, inline per-op fsyncs)` —
+    /// the observability the concurrency bench asserts batching with.
+    /// Group fsyncs count every fsync issued through the group
+    /// fsync-point, whether by the committer thread or a helping writer.
+    pub fn commit_stats(&self) -> (u64, u64, u64) {
+        let group_fsyncs: u64 = self
+            .inner
+            .sheets
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .filter_map(|s| s.wal.as_ref())
+            .map(|w| w.fsync_count())
+            .sum();
+        (
+            self.inner.committer.rounds(),
+            group_fsyncs,
+            self.inner.inline_syncs.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A client handle onto a [`Workspace`]: the session API (`open_sheet`,
+/// `fetch_window`, `apply_edit`, `import_rows`, `checkpoint`), keyed by
+/// sheet name.
+#[derive(Clone)]
+pub struct Session {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("dir", &self.inner.dir)
+            .finish()
+    }
+}
+
+impl Session {
+    fn shard(&self, name: &str) -> Result<Arc<Shard>, WorkspaceError> {
+        self.inner
+            .sheets
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .cloned()
+            .ok_or_else(|| WorkspaceError::NoSuchSheet(name.to_string()))
+    }
+
+    fn read_engine<'a>(&self, shard: &'a Shard) -> RwLockReadGuard<'a, SheetEngine> {
+        shard.engine.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_engine<'a>(&self, shard: &'a Shard) -> RwLockWriteGuard<'a, SheetEngine> {
+        shard.engine.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Open (or create) the named sheet. Durable workspaces store each
+    /// sheet in its own subdirectory and run the engine's crash recovery
+    /// here; reopening an already-open sheet is a cheap no-op.
+    pub fn open_sheet(&self, name: &str) -> Result<(), WorkspaceError> {
+        if !valid_sheet_name(name) {
+            return Err(WorkspaceError::BadSheetName(name.to_string()));
+        }
+        {
+            let sheets = self.inner.sheets.read().unwrap_or_else(|e| e.into_inner());
+            if sheets.contains_key(name) {
+                return Ok(());
+            }
+        }
+        let mut sheets = self.inner.sheets.write().unwrap_or_else(|e| e.into_inner());
+        if sheets.contains_key(name) {
+            return Ok(()); // raced with another opener
+        }
+        let mut engine = match &self.inner.dir {
+            Some(dir) => SheetEngine::open(dir.join(name))?,
+            None => SheetEngine::new(),
+        };
+        if let Some(ops) = self.inner.config.auto_checkpoint_ops {
+            engine.set_auto_checkpoint(Some(ops));
+        }
+        let wal = engine.commit_wal();
+        if let (Some(wal), CommitMode::Group) = (&wal, self.inner.config.commit_mode) {
+            self.inner.committer.register(wal);
+        }
+        sheets.insert(
+            name.to_string(),
+            Arc::new(Shard {
+                engine: RwLock::new(engine),
+                wal,
+            }),
+        );
+        Ok(())
+    }
+
+    /// Fetch the positional window `rect` of `sheet` — the scrolling /
+    /// rendering read path. Takes the sheet's *shared* lock: any number of
+    /// sessions fetch windows of the same sheet concurrently, and windows
+    /// of different sheets never touch the same lock at all.
+    pub fn fetch_window(
+        &self,
+        sheet: &str,
+        rect: Rect,
+    ) -> Result<Vec<(CellAddr, Cell)>, WorkspaceError> {
+        let shard = self.shard(sheet)?;
+        let engine = self.read_engine(&shard);
+        Ok(engine.get_cells(rect))
+    }
+
+    /// A single cell's computed value (shared lock, like `fetch_window`).
+    pub fn value(&self, sheet: &str, addr: CellAddr) -> Result<CellValue, WorkspaceError> {
+        let shard = self.shard(sheet)?;
+        let value = self.read_engine(&shard).value(addr);
+        Ok(value)
+    }
+
+    /// Apply one edit to `sheet` and return once it is committed.
+    ///
+    /// The edit itself serializes under the sheet's write lock (one writer
+    /// per sheet; writers on other sheets run in parallel). Commit
+    /// acknowledgement happens *after* the lock is released: per-op mode
+    /// fsyncs inline, group mode enqueues the sheet's WAL with the
+    /// committer and blocks on the edit's ticket — so the fsync wait never
+    /// blocks the sheet's readers or the next writer.
+    pub fn apply_edit(&self, sheet: &str, edit: Edit) -> Result<EditReceipt, WorkspaceError> {
+        let shard = self.shard(sheet)?;
+        let ticket = self.apply_under_lock(&shard, &edit)?;
+        self.commit(&shard, ticket)
+    }
+
+    /// Apply `edit` under the sheet's write lock; returns its ticket.
+    fn apply_under_lock(&self, shard: &Shard, edit: &Edit) -> Result<u64, WorkspaceError> {
+        let mut engine = self.write_engine(shard);
+        match edit {
+            Edit::Set { row, col, input } => {
+                engine.update_cell(CellAddr::new(*row, *col), input)?
+            }
+            Edit::InsertRows { at, n } => engine.insert_rows(*at, *n)?,
+            Edit::DeleteRows { at, n } => engine.delete_rows(*at, *n)?,
+            Edit::InsertCols { at, n } => engine.insert_cols(*at, *n)?,
+            Edit::DeleteCols { at, n } => engine.delete_cols(*at, *n)?,
+        }
+        Ok(engine.last_commit_ticket())
+    }
+
+    /// [`Session::apply_edit`] without the commit wait: the edit is
+    /// applied and logged, and the returned receipt's ticket can be
+    /// awaited later with [`Session::await_commit`] — the pipelining
+    /// building block for RPC clients that keep a small window of edits
+    /// in flight (the group committer then folds a whole window into one
+    /// fsync).
+    ///
+    /// Commit-mode semantics are preserved: per-op workspaces fsync the
+    /// edit here (staging changes nothing for them — every op still pays
+    /// its own fsync), group workspaces return immediately with
+    /// `durable: false`.
+    pub fn stage_edit(&self, sheet: &str, edit: Edit) -> Result<EditReceipt, WorkspaceError> {
+        let shard = self.shard(sheet)?;
+        let ticket = self.apply_under_lock(&shard, &edit)?;
+        let Some(wal) = &shard.wal else {
+            return Ok(EditReceipt {
+                ticket: 0,
+                durable: false,
+            });
+        };
+        match self.inner.config.commit_mode {
+            CommitMode::PerOp => {
+                wal.with(|w| w.sync())?;
+                self.inner.inline_syncs.fetch_add(1, Ordering::Relaxed);
+                Ok(EditReceipt {
+                    ticket,
+                    durable: true,
+                })
+            }
+            CommitMode::Group => {
+                self.inner.committer.nudge(wal);
+                Ok(EditReceipt {
+                    ticket,
+                    durable: false,
+                })
+            }
+        }
+    }
+
+    /// Block until `ticket` (from [`Session::stage_edit`]) is
+    /// crash-durable. Tickets are covered in order, so awaiting the last
+    /// ticket of a staged window commits the whole window.
+    pub fn await_commit(&self, sheet: &str, ticket: u64) -> Result<(), WorkspaceError> {
+        let shard = self.shard(sheet)?;
+        let Some(wal) = &shard.wal else {
+            return Ok(()); // in-memory: nothing to await
+        };
+        match self.inner.config.commit_mode {
+            CommitMode::PerOp => Ok(()), // staged ops were fsynced inline
+            CommitMode::Group => {
+                self.inner.committer.nudge(wal);
+                Ok(wal.wait_durable(ticket)?)
+            }
+        }
+    }
+
+    /// Bulk-import rows of values at `top_left` (one logical op, one WAL
+    /// record), committed like any edit.
+    pub fn import_rows(
+        &self,
+        sheet: &str,
+        top_left: CellAddr,
+        width: u32,
+        rows: Vec<Vec<CellValue>>,
+    ) -> Result<Rect, WorkspaceError> {
+        let shard = self.shard(sheet)?;
+        let (rect, ticket) = {
+            let mut engine = self.write_engine(&shard);
+            let rect = engine.import_rows(top_left, width, rows)?;
+            (rect, engine.last_commit_ticket())
+        };
+        self.commit(&shard, ticket)?;
+        Ok(rect)
+    }
+
+    /// Fold `sheet`'s WAL into its checkpoint image (write lock; readers
+    /// of other sheets are unaffected). `Ok(None)` on in-memory
+    /// workspaces.
+    pub fn checkpoint(&self, sheet: &str) -> Result<Option<CheckpointReport>, WorkspaceError> {
+        let shard = self.shard(sheet)?;
+        let mut engine = self.write_engine(&shard);
+        Ok(engine.checkpoint()?)
+    }
+
+    /// Block until the op behind `ticket` is crash-durable.
+    fn commit(&self, shard: &Shard, ticket: u64) -> Result<EditReceipt, WorkspaceError> {
+        let Some(wal) = &shard.wal else {
+            return Ok(EditReceipt {
+                ticket: 0,
+                durable: false,
+            });
+        };
+        match self.inner.config.commit_mode {
+            CommitMode::PerOp => {
+                // Unconditional fsync *under the append lock* — the
+                // faithful legacy baseline: the single-threaded engine
+                // held `&mut self` across `save()`, fully serializing
+                // apply+fsync. Deliberately not routed through the group
+                // fsync-point (which would coalesce concurrent per-op
+                // fsyncs and quietly turn the baseline into group
+                // commit).
+                wal.with(|w| w.sync())?;
+                self.inner.inline_syncs.fetch_add(1, Ordering::Relaxed);
+            }
+            CommitMode::Group => {
+                self.inner.committer.nudge(wal);
+                wal.wait_durable(ticket)?;
+            }
+        }
+        Ok(EditReceipt {
+            ticket,
+            durable: true,
+        })
+    }
+
+    /// In-memory copy of a sheet (tests, exports). Shared lock.
+    pub fn snapshot(&self, sheet: &str) -> Result<SparseSheet, WorkspaceError> {
+        let shard = self.shard(sheet)?;
+        let snapshot = self.read_engine(&shard).snapshot();
+        Ok(snapshot)
+    }
+
+    /// Counters for one sheet (shared lock).
+    pub fn stats(&self, sheet: &str) -> Result<SheetStats, WorkspaceError> {
+        let shard = self.shard(sheet)?;
+        let engine = self.read_engine(&shard);
+        Ok(SheetStats {
+            filled_cells: engine.storage().filled_count(),
+            regions: engine.storage().region_count(),
+            persistence: engine.persistence_stats(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dataspread-workspace-{name}-{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn set(row: u32, col: u32, input: &str) -> Edit {
+        Edit::Set {
+            row,
+            col,
+            input: input.to_string(),
+        }
+    }
+
+    #[test]
+    fn sessions_are_send_and_cheap() {
+        fn assert_send<T: Send + Clone>() {}
+        assert_send::<Session>();
+    }
+
+    #[test]
+    fn in_memory_roundtrip() {
+        let ws = Workspace::in_memory();
+        let s = ws.session();
+        s.open_sheet("alpha").unwrap();
+        let r = s.apply_edit("alpha", set(0, 0, "41")).unwrap();
+        assert!(!r.durable);
+        s.apply_edit("alpha", set(0, 1, "=A1+1")).unwrap();
+        assert_eq!(
+            s.value("alpha", CellAddr::new(0, 1)).unwrap(),
+            CellValue::Number(42.0)
+        );
+        let window = s.fetch_window("alpha", Rect::new(0, 0, 10, 10)).unwrap();
+        assert_eq!(window.len(), 2);
+        assert!(s.checkpoint("alpha").unwrap().is_none());
+    }
+
+    #[test]
+    fn unknown_sheet_and_bad_names_are_rejected() {
+        let ws = Workspace::in_memory();
+        let s = ws.session();
+        assert!(matches!(
+            s.fetch_window("nope", Rect::new(0, 0, 1, 1)),
+            Err(WorkspaceError::NoSuchSheet(_))
+        ));
+        for bad in ["", "a/b", "..", "a b", "x\u{0}"] {
+            assert!(
+                matches!(s.open_sheet(bad), Err(WorkspaceError::BadSheetName(_))),
+                "{bad:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn durable_group_commit_roundtrip() {
+        let dir = temp_dir("group-roundtrip");
+        {
+            let ws = Workspace::open(&dir).unwrap();
+            let s = ws.session();
+            s.open_sheet("ledger").unwrap();
+            let r1 = s.apply_edit("ledger", set(0, 0, "100")).unwrap();
+            let r2 = s.apply_edit("ledger", set(1, 0, "=A1*2")).unwrap();
+            assert!(r1.durable && r2.durable);
+            assert!(r2.ticket > r1.ticket, "tickets order the edit history");
+        }
+        // Reopen: both committed edits must recover (no explicit save —
+        // the group commit itself was the fsync-point).
+        let ws = Workspace::open(&dir).unwrap();
+        let s = ws.session();
+        s.open_sheet("ledger").unwrap();
+        assert_eq!(
+            s.value("ledger", CellAddr::new(1, 0)).unwrap(),
+            CellValue::Number(200.0)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn per_op_mode_counts_inline_syncs() {
+        let dir = temp_dir("per-op");
+        let ws = Workspace::open_with(
+            &dir,
+            WorkspaceConfig {
+                commit_mode: CommitMode::PerOp,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s = ws.session();
+        s.open_sheet("x").unwrap();
+        // Baseline after open (the open-time checkpoint itself fsyncs
+        // once through the shared fsync-point).
+        let (_, group_fsyncs_at_open, _) = ws.commit_stats();
+        for i in 0..5u32 {
+            s.apply_edit("x", set(i, 0, "1")).unwrap();
+        }
+        let (_, group_fsyncs, inline) = ws.commit_stats();
+        assert_eq!(inline, 5, "per-op mode pays one fsync per edit");
+        assert_eq!(
+            group_fsyncs, group_fsyncs_at_open,
+            "no group-commit fsyncs in per-op mode"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn staged_edits_commit_on_await() {
+        let dir = temp_dir("stage-await");
+        {
+            let ws = Workspace::open(&dir).unwrap();
+            let s = ws.session();
+            s.open_sheet("p").unwrap();
+            // Stage a window of edits; none is individually awaited.
+            let mut last = 0;
+            for i in 0..6u32 {
+                let r = s.stage_edit("p", set(i, 0, &i.to_string())).unwrap();
+                assert!(!r.durable, "group staging must not block on fsync");
+                assert!(r.ticket > last);
+                last = r.ticket;
+            }
+            // Awaiting the last ticket commits the whole window.
+            s.await_commit("p", last).unwrap();
+        }
+        let ws = Workspace::open(&dir).unwrap();
+        let s = ws.session();
+        s.open_sheet("p").unwrap();
+        for i in 0..6u32 {
+            assert_eq!(
+                s.value("p", CellAddr::new(i, 0)).unwrap(),
+                CellValue::Number(i as f64),
+                "staged edit {i} must have committed"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn per_op_staging_is_durable_immediately() {
+        let dir = temp_dir("stage-per-op");
+        let ws = Workspace::open_with(
+            &dir,
+            WorkspaceConfig {
+                commit_mode: CommitMode::PerOp,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s = ws.session();
+        s.open_sheet("p").unwrap();
+        let r = s.stage_edit("p", set(0, 0, "9")).unwrap();
+        assert!(r.durable, "per-op mode fsyncs staged ops inline");
+        s.await_commit("p", r.ticket).unwrap(); // no-op, must not block
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sheets_are_independent() {
+        let ws = Workspace::in_memory();
+        let s = ws.session();
+        s.open_sheet("a").unwrap();
+        s.open_sheet("b").unwrap();
+        s.apply_edit("a", set(0, 0, "1")).unwrap();
+        s.apply_edit("b", set(0, 0, "2")).unwrap();
+        assert_eq!(
+            s.value("a", CellAddr::new(0, 0)).unwrap(),
+            CellValue::Number(1.0)
+        );
+        assert_eq!(
+            s.value("b", CellAddr::new(0, 0)).unwrap(),
+            CellValue::Number(2.0)
+        );
+        assert_eq!(ws.sheet_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn import_rows_commits_and_serves_windows() {
+        let dir = temp_dir("import");
+        let ws = Workspace::open(&dir).unwrap();
+        let s = ws.session();
+        s.open_sheet("data").unwrap();
+        let rect = s
+            .import_rows(
+                "data",
+                CellAddr::new(2, 1),
+                3,
+                (0..4)
+                    .map(|r| {
+                        (0..3)
+                            .map(|c| CellValue::Number((r * 3 + c) as f64))
+                            .collect()
+                    })
+                    .collect(),
+            )
+            .unwrap();
+        assert_eq!(rect, Rect::new(2, 1, 5, 3));
+        let window = s.fetch_window("data", rect).unwrap();
+        assert_eq!(window.len(), 12);
+        assert_eq!(s.stats("data").unwrap().regions, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

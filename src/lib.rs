@@ -19,7 +19,12 @@
 //!   and the [`engine::SheetEngine`] facade, including durable paged
 //!   persistence (`SheetEngine::open` / `save` / `checkpoint`: an LRU
 //!   [`relstore::Pager`] image plus a [`relstore::Wal`] with crash
-//!   recovery on reopen).
+//!   recovery on reopen),
+//! * [`workspace`] — the concurrent multi-sheet service: sheets sharded
+//!   behind per-sheet locks, a name-keyed session API
+//!   (`open_sheet` / `fetch_window` / `apply_edit` / `import_rows` /
+//!   `checkpoint`), and a group-commit committer that batches WAL fsyncs
+//!   across concurrent writers.
 //!
 //! ## Quickstart
 //!
@@ -43,3 +48,4 @@ pub use dataspread_hybrid as hybrid;
 pub use dataspread_posmap as posmap;
 pub use dataspread_rel as rel;
 pub use dataspread_relstore as relstore;
+pub use dataspread_workspace as workspace;

@@ -65,4 +65,25 @@ fn every_reexported_crate_is_reachable() {
     // engine is exercised by the quickstart test above; rel via its Datum.
     let d = dataspread::relstore::Datum::Int(5);
     assert_eq!(d.as_i64(), Some(5));
+
+    // workspace: the concurrent multi-sheet service facade.
+    let ws = dataspread::workspace::Workspace::in_memory();
+    let session = ws.session();
+    session.open_sheet("smoke").unwrap();
+    session
+        .apply_edit(
+            "smoke",
+            dataspread::workspace::Edit::Set {
+                row: 0,
+                col: 0,
+                input: "42".into(),
+            },
+        )
+        .unwrap();
+    assert_eq!(
+        session
+            .value("smoke", dataspread::grid::CellAddr::new(0, 0))
+            .unwrap(),
+        dataspread::grid::CellValue::Number(42.0)
+    );
 }
