@@ -172,7 +172,7 @@ fn run_readers(readers: usize, windows_per_reader: usize) -> f64 {
                     let cells = session
                         .fetch_window(&name, Rect::new(r1, 0, r1 + 49, 7))
                         .expect("window");
-                    total += cells.len();
+                    total += cells.filled_count() as usize;
                 }
                 assert!(total > 0);
             });

@@ -1,0 +1,315 @@
+//! Blocking TCP client for the DataSpread server.
+//!
+//! [`Client::connect`] dials the server, runs the version handshake, and
+//! starts a demultiplexing reader thread; [`Client::session`] then hands
+//! out cheap [`RemoteSession`] handles whose methods mirror the in-process
+//! `dataspread_workspace::Session` API one-to-one — same names, same
+//! request/response types ([`Edit`], [`EditReceipt`], [`WindowPatch`]),
+//! same error enum (`WorkspaceError`, reconstructed from its wire code).
+//! Code written against the local session API ports to the network by
+//! swapping the handle type.
+//!
+//! Many sessions share one connection: every request carries a fresh id,
+//! the reader thread routes each response frame to the caller parked on
+//! that id, and callers on other sessions are never blocked behind a slow
+//! request (e.g. an `await_commit` parked on a commit ticket).
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use dataspread_grid::{CellAddr, CellValue, Rect};
+use dataspread_proto::{
+    read_frame, write_frame, CheckpointSummary, Edit, EditReceipt, Request, Response, WindowPatch,
+    WireStats, PROTOCOL_VERSION,
+};
+use dataspread_workspace::WorkspaceError;
+
+fn io_err(context: &str, e: &std::io::Error) -> WorkspaceError {
+    WorkspaceError::Io(format!("{context}: {e}"))
+}
+
+/// Pending-call table: request id → slot the reader fills.
+#[derive(Default)]
+struct Pending {
+    slots: HashMap<u64, Option<Response>>,
+    /// Set once the connection dies; every pending and future call fails
+    /// with a clone of this.
+    dead: Option<WorkspaceError>,
+}
+
+struct Inner {
+    writer: Mutex<TcpStream>,
+    pending: Mutex<Pending>,
+    arrived: Condvar,
+    next_id: AtomicU64,
+}
+
+impl Inner {
+    fn fail_all(&self, err: WorkspaceError) {
+        let mut p = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        if p.dead.is_none() {
+            p.dead = Some(err);
+        }
+        self.arrived.notify_all();
+    }
+
+    /// Send `req` and park until its response arrives (or the connection
+    /// dies).
+    fn call(&self, req: &Request) -> Result<Response, WorkspaceError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut p = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(dead) = &p.dead {
+                return Err(dead.clone());
+            }
+            p.slots.insert(id, None);
+        }
+        let send_result = {
+            let payload = req.encode(id);
+            let mut frame = Vec::with_capacity(4 + payload.len());
+            write_frame(&mut frame, &payload).expect("vec write is infallible");
+            let mut w = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+            w.write_all(&frame).and_then(|()| w.flush())
+        };
+        if let Err(e) = send_result {
+            self.pending
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .slots
+                .remove(&id);
+            return Err(io_err("send", &e));
+        }
+        let mut p = self.pending.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(Some(_)) = p.slots.get(&id) {
+                return Ok(p.slots.remove(&id).flatten().expect("checked above"));
+            }
+            if let Some(dead) = &p.dead {
+                let dead = dead.clone();
+                p.slots.remove(&id);
+                return Err(dead);
+            }
+            p = self.arrived.wait(p).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Reader thread: route each response frame to the caller parked on its
+/// request id. Exits (failing all pending calls) when the stream ends.
+fn read_loop(inner: &Inner, stream: &TcpStream) {
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(e) => {
+            inner.fail_all(io_err("clone stream", &e));
+            return;
+        }
+    });
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => {
+                inner.fail_all(WorkspaceError::Io("connection closed by server".into()));
+                return;
+            }
+            Err(e) => {
+                inner.fail_all(io_err("read", &e));
+                return;
+            }
+        };
+        let (req_id, resp) = match Response::decode(&payload) {
+            Ok(pair) => pair,
+            Err(e) => {
+                inner.fail_all(WorkspaceError::Protocol(format!("bad response frame: {e}")));
+                return;
+            }
+        };
+        let mut p = inner.pending.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(slot) = p.slots.get_mut(&req_id) {
+            *slot = Some(resp);
+            inner.arrived.notify_all();
+        }
+        // Unknown id: a response for a caller that already gave up —
+        // drop it.
+    }
+}
+
+/// A connection to a DataSpread server. Cheap to clone is the *session*
+/// ([`Client::session`]); the client owns the socket and reader thread
+/// and closes both on drop.
+pub struct Client {
+    inner: Arc<Inner>,
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Dial `addr` and run the `Hello` version handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, WorkspaceError> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", &e))?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone().map_err(|e| io_err("clone stream", &e))?;
+        let inner = Arc::new(Inner {
+            writer: Mutex::new(writer),
+            pending: Mutex::new(Pending::default()),
+            arrived: Condvar::new(),
+            next_id: AtomicU64::new(1),
+        });
+        {
+            let inner = Arc::clone(&inner);
+            let stream = stream.try_clone().map_err(|e| io_err("clone stream", &e))?;
+            std::thread::spawn(move || read_loop(&inner, &stream));
+        }
+        let client = Client { inner, stream };
+        match client.inner.call(&Request::Hello {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::Hello { version } if version == PROTOCOL_VERSION => Ok(client),
+            Response::Hello { version } => Err(WorkspaceError::Protocol(format!(
+                "server speaks protocol {version}, client speaks {PROTOCOL_VERSION}"
+            ))),
+            other => Err(unexpected("Hello", &other)),
+        }
+    }
+
+    /// A new session over this connection — the network twin of
+    /// `Workspace::session()`. Sessions are cheap clonable handles; all
+    /// of them multiplex over the one socket.
+    pub fn session(&self) -> RemoteSession {
+        RemoteSession {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Round-trip a ping (liveness check).
+    pub fn ping(&self) -> Result<(), WorkspaceError> {
+        match self.inner.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Ping", &other)),
+        }
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        // Unblocks the reader thread, which then fails any stragglers.
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+}
+
+fn unexpected(what: &str, resp: &Response) -> WorkspaceError {
+    match resp {
+        Response::Err(e) => WorkspaceError::from_wire(e.code, e.detail.clone()),
+        other => WorkspaceError::Protocol(format!("unexpected response to {what}: {other:?}")),
+    }
+}
+
+/// The session API over the wire, method-for-method compatible with
+/// `dataspread_workspace::Session`. Outlives slow siblings: each call
+/// parks only on its own request id.
+#[derive(Clone)]
+pub struct RemoteSession {
+    inner: Arc<Inner>,
+}
+
+impl RemoteSession {
+    pub fn open_sheet(&self, sheet: &str) -> Result<(), WorkspaceError> {
+        match self.inner.call(&Request::OpenSheet {
+            sheet: sheet.to_string(),
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("OpenSheet", &other)),
+        }
+    }
+
+    pub fn fetch_window(&self, sheet: &str, rect: Rect) -> Result<WindowPatch, WorkspaceError> {
+        match self.inner.call(&Request::FetchWindow {
+            sheet: sheet.to_string(),
+            rect,
+        })? {
+            Response::Window(patch) => Ok(patch),
+            other => Err(unexpected("FetchWindow", &other)),
+        }
+    }
+
+    pub fn value(&self, sheet: &str, addr: CellAddr) -> Result<CellValue, WorkspaceError> {
+        match self.inner.call(&Request::Value {
+            sheet: sheet.to_string(),
+            addr,
+        })? {
+            Response::Value(v) => Ok(v),
+            other => Err(unexpected("Value", &other)),
+        }
+    }
+
+    pub fn apply_edit(&self, sheet: &str, edit: Edit) -> Result<EditReceipt, WorkspaceError> {
+        match self.inner.call(&Request::ApplyEdit {
+            sheet: sheet.to_string(),
+            edit,
+        })? {
+            Response::Receipt(r) => Ok(r),
+            other => Err(unexpected("ApplyEdit", &other)),
+        }
+    }
+
+    /// Stage an edit without waiting for its fsync; pair with
+    /// [`RemoteSession::await_commit`]. The server bounds the number of
+    /// staged-but-unacknowledged edits per connection — a
+    /// `WorkspaceError::Busy` return means "await, then retry".
+    pub fn stage_edit(&self, sheet: &str, edit: Edit) -> Result<EditReceipt, WorkspaceError> {
+        match self.inner.call(&Request::StageEdit {
+            sheet: sheet.to_string(),
+            edit,
+        })? {
+            Response::Receipt(r) => Ok(r),
+            other => Err(unexpected("StageEdit", &other)),
+        }
+    }
+
+    pub fn await_commit(&self, sheet: &str, ticket: u64) -> Result<(), WorkspaceError> {
+        match self.inner.call(&Request::AwaitCommit {
+            sheet: sheet.to_string(),
+            ticket,
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected("AwaitCommit", &other)),
+        }
+    }
+
+    pub fn import_rows(
+        &self,
+        sheet: &str,
+        top_left: CellAddr,
+        width: u32,
+        rows: Vec<Vec<CellValue>>,
+    ) -> Result<Rect, WorkspaceError> {
+        match self.inner.call(&Request::ImportRows {
+            sheet: sheet.to_string(),
+            top_left,
+            width,
+            rows,
+        })? {
+            Response::Imported(rect) => Ok(rect),
+            other => Err(unexpected("ImportRows", &other)),
+        }
+    }
+
+    pub fn checkpoint(&self, sheet: &str) -> Result<Option<CheckpointSummary>, WorkspaceError> {
+        match self.inner.call(&Request::Checkpoint {
+            sheet: sheet.to_string(),
+        })? {
+            Response::Checkpoint(summary) => Ok(summary),
+            other => Err(unexpected("Checkpoint", &other)),
+        }
+    }
+
+    pub fn stats(&self, sheet: &str) -> Result<WireStats, WorkspaceError> {
+        match self.inner.call(&Request::Stats {
+            sheet: sheet.to_string(),
+        })? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! The wire-stable session protocol shared by the workspace service, the
+//! TCP server, and the client crate.
+//!
+//! The paper's architecture (and "The Future of Spreadsheets in the Big
+//! Data Era") separates thin presentational clients from a scalable
+//! storage backend; this crate is the boundary between the two halves of
+//! that split. Everything here is *plain data* — no engine types, no
+//! locks, no handles — encoded with the same bounds-checked
+//! length-prefixed codec ([`dataspread_relstore::codec`]) every on-disk
+//! format in the workspace already uses, so a hostile or truncated byte
+//! stream surfaces as a clean error, never a panic.
+//!
+//! Three layers:
+//!
+//! * [`types`] — the session vocabulary: [`Edit`], [`EditReceipt`],
+//!   [`WireError`] (stable numeric error codes in [`codes`]),
+//!   [`CheckpointSummary`], [`WireStats`].
+//! * [`patch`] — [`WindowPatch`], the compact positional-window response:
+//!   typed value runs plus sparse formula/error overlays instead of one
+//!   boxed [`dataspread_grid::Cell`] clone per filled cell. Used both
+//!   in-process (`Session::fetch_window` returns it directly) and on the
+//!   wire (it encodes as-is — the server never re-shapes a window).
+//! * [`wire`] — [`Request`] / [`Response`] envelopes, request-id tagging
+//!   for multiplexing many logical sessions over one connection, and
+//!   length-prefixed framing ([`write_frame`] / [`read_frame`]).
+
+pub mod patch;
+pub mod types;
+pub mod wire;
+
+pub use patch::WindowPatch;
+pub use types::{codes, CheckpointSummary, Edit, EditReceipt, WireError, WireStats};
+pub use wire::{read_frame, write_frame, Request, Response, MAX_FRAME, PROTOCOL_VERSION};

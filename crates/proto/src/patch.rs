@@ -1,0 +1,679 @@
+//! Compact positional-window responses.
+//!
+//! PR 5 shipped `fetch_window` returning `Vec<(CellAddr, Cell)>` — one
+//! 8-byte address plus a boxed [`Cell`] clone (value enum + optional
+//! formula `String`) per filled cell, whatever the window looked like. A
+//! [`WindowPatch`] carries the same information in the shape windows
+//! actually have:
+//!
+//! * **Typed value runs.** Consecutive filled cells (row-major within the
+//!   window) of the same scalar type collapse into one run — a dense
+//!   imported table encodes as a handful of `f64` arrays instead of N
+//!   tagged enums, and a constant-filled stretch (the fill-down pattern)
+//!   collapses further into a single repeat run.
+//! * **Sparse overlays.** Formula sources and error values are the
+//!   exception, not the rule, so they ride in sparse `(index, payload)`
+//!   overlays on top of the runs instead of widening every cell.
+//!
+//! The same struct is the in-process return type of
+//! `Session::fetch_window` *and* the wire encoding of a window response —
+//! the server never re-shapes a window, it frames these bytes as-is.
+
+use dataspread_grid::{Cell, CellAddr, CellError, CellValue, Rect};
+use dataspread_relstore::codec::{corrupt, put_f64, put_str, put_u32, put_u64, put_u8, Reader};
+use dataspread_relstore::StoreError;
+
+use crate::types::{error_from_u8, error_to_u8, put_rect, read_rect};
+
+/// Identical consecutive numbers collapse into a repeat run once a
+/// stretch reaches this length (below it, the plain array is smaller or
+/// within a few bytes of it).
+const REPEAT_MIN: usize = 16;
+
+/// One run of same-typed values starting at a linear (row-major) index
+/// within the window.
+#[derive(Debug, Clone, PartialEq)]
+enum RunData {
+    Numbers(Vec<f64>),
+    Texts(Vec<String>),
+    Bools(Vec<bool>),
+    /// `n` copies of the same number (fill-down constants).
+    RepeatNumber {
+        n: u32,
+        value: f64,
+    },
+}
+
+impl RunData {
+    fn len(&self) -> u64 {
+        match self {
+            RunData::Numbers(v) => v.len() as u64,
+            RunData::Texts(v) => v.len() as u64,
+            RunData::Bools(v) => v.len() as u64,
+            RunData::RepeatNumber { n, .. } => u64::from(*n),
+        }
+    }
+
+    fn value_at(&self, offset: u64) -> CellValue {
+        match self {
+            RunData::Numbers(v) => CellValue::Number(v[offset as usize]),
+            RunData::Texts(v) => CellValue::Text(v[offset as usize].clone()),
+            RunData::Bools(v) => CellValue::Bool(v[offset as usize]),
+            RunData::RepeatNumber { value, .. } => CellValue::Number(*value),
+        }
+    }
+}
+
+/// A compact window of cells: typed value runs plus sparse formula and
+/// error overlays, addressed by row-major linear index within [`rect`].
+///
+/// [`rect`]: WindowPatch::rect
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowPatch {
+    rect: Rect,
+    /// Sorted by start index; runs never overlap.
+    runs: Vec<(u64, RunData)>,
+    /// Sorted by index; disjoint from `runs` (an error *is* the cell's
+    /// value).
+    errors: Vec<(u64, CellError)>,
+    /// Sorted by index; may coincide with a run/error entry (a formula
+    /// cell has both a source and a computed value).
+    formulas: Vec<(u64, String)>,
+}
+
+impl WindowPatch {
+    /// Build a patch from the engine's sorted `(addr, cell)` window scan.
+    /// Cells outside `rect` are ignored (defensive — `get_cells` never
+    /// produces them); blank cells contribute nothing.
+    pub fn from_cells(rect: Rect, mut cells: Vec<(CellAddr, Cell)>) -> WindowPatch {
+        cells.sort_unstable_by_key(|(a, _)| *a);
+        let width = u64::from(rect.c2 - rect.c1) + 1;
+        let mut patch = WindowPatch {
+            rect,
+            runs: Vec::new(),
+            errors: Vec::new(),
+            formulas: Vec::new(),
+        };
+        for (addr, cell) in cells {
+            if addr.row < rect.r1 || addr.row > rect.r2 || addr.col < rect.c1 || addr.col > rect.c2
+            {
+                continue;
+            }
+            let idx = u64::from(addr.row - rect.r1) * width + u64::from(addr.col - rect.c1);
+            if let Some(src) = cell.formula {
+                patch.formulas.push((idx, src));
+            }
+            match cell.value {
+                CellValue::Empty => {}
+                CellValue::Error(e) => patch.errors.push((idx, e)),
+                CellValue::Number(n) => patch.push_number(idx, n),
+                CellValue::Text(s) => patch.push_scalar(idx, RunData::Texts(vec![s])),
+                CellValue::Bool(b) => patch.push_scalar(idx, RunData::Bools(vec![b])),
+            }
+        }
+        patch.compact_repeats();
+        patch
+    }
+
+    /// Append a number at `idx`, extending the previous run when it is
+    /// numeric and ends exactly at `idx`.
+    fn push_number(&mut self, idx: u64, n: f64) {
+        if let Some((start, RunData::Numbers(v))) = self.runs.last_mut() {
+            if *start + v.len() as u64 == idx {
+                v.push(n);
+                return;
+            }
+        }
+        self.runs.push((idx, RunData::Numbers(vec![n])));
+    }
+
+    /// Append a one-element run at `idx`, merging with a contiguous
+    /// same-typed predecessor.
+    fn push_scalar(&mut self, idx: u64, data: RunData) {
+        match (self.runs.last_mut(), data) {
+            (Some((start, RunData::Texts(v))), RunData::Texts(mut one))
+                if *start + v.len() as u64 == idx =>
+            {
+                v.push(one.pop().expect("one text"));
+            }
+            (Some((start, RunData::Bools(v))), RunData::Bools(mut one))
+                if *start + v.len() as u64 == idx =>
+            {
+                v.push(one.pop().expect("one bool"));
+            }
+            (_, data) => self.runs.push((idx, data)),
+        }
+    }
+
+    /// Split stretches of ≥ [`REPEAT_MIN`] identical consecutive numbers
+    /// out of plain number runs into repeat runs.
+    fn compact_repeats(&mut self) {
+        let mut out: Vec<(u64, RunData)> = Vec::with_capacity(self.runs.len());
+        for (start, data) in self.runs.drain(..) {
+            let RunData::Numbers(v) = data else {
+                out.push((start, data));
+                continue;
+            };
+            let mut lo = 0usize;
+            while lo < v.len() {
+                let mut hi = lo + 1;
+                while hi < v.len() && v[hi].to_bits() == v[lo].to_bits() {
+                    hi += 1;
+                }
+                if hi - lo >= REPEAT_MIN {
+                    out.push((
+                        start + lo as u64,
+                        RunData::RepeatNumber {
+                            n: (hi - lo) as u32,
+                            value: v[lo],
+                        },
+                    ));
+                    lo = hi;
+                } else {
+                    // Grow a plain run until the next long repeat stretch.
+                    let run_lo = lo;
+                    while lo < v.len() {
+                        let mut h = lo + 1;
+                        while h < v.len() && v[h].to_bits() == v[lo].to_bits() {
+                            h += 1;
+                        }
+                        if h - lo >= REPEAT_MIN {
+                            break;
+                        }
+                        lo = h;
+                    }
+                    out.push((
+                        start + run_lo as u64,
+                        RunData::Numbers(v[run_lo..lo].to_vec()),
+                    ));
+                }
+            }
+        }
+        self.runs = out;
+    }
+
+    /// The window this patch covers.
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// Number of value runs (observability for benches/tests).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Number of filled cells the patch carries.
+    pub fn filled_count(&self) -> usize {
+        let mut n: u64 =
+            self.runs.iter().map(|(_, d)| d.len()).sum::<u64>() + self.errors.len() as u64;
+        // A formula whose computed value is blank has no run/error entry.
+        n += self
+            .formulas
+            .iter()
+            .filter(|(idx, _)| self.run_value(*idx).is_none() && !self.has_error(*idx))
+            .count() as u64;
+        n as usize
+    }
+
+    /// True when the patch carries no cells at all.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty() && self.errors.is_empty() && self.formulas.is_empty()
+    }
+
+    fn width(&self) -> u64 {
+        u64::from(self.rect.c2 - self.rect.c1) + 1
+    }
+
+    fn area(&self) -> u64 {
+        (u64::from(self.rect.r2 - self.rect.r1) + 1) * self.width()
+    }
+
+    fn index_of(&self, addr: CellAddr) -> Option<u64> {
+        if addr.row < self.rect.r1
+            || addr.row > self.rect.r2
+            || addr.col < self.rect.c1
+            || addr.col > self.rect.c2
+        {
+            return None;
+        }
+        Some(u64::from(addr.row - self.rect.r1) * self.width() + u64::from(addr.col - self.rect.c1))
+    }
+
+    fn addr_of(&self, idx: u64) -> CellAddr {
+        CellAddr::new(
+            self.rect.r1 + (idx / self.width()) as u32,
+            self.rect.c1 + (idx % self.width()) as u32,
+        )
+    }
+
+    /// The run-borne value at linear index `idx`, if a run covers it.
+    fn run_value(&self, idx: u64) -> Option<CellValue> {
+        let i = match self.runs.binary_search_by_key(&idx, |(s, _)| *s) {
+            Ok(i) => i,
+            Err(0) => return None,
+            Err(i) => i - 1,
+        };
+        let (start, data) = &self.runs[i];
+        (idx < start + data.len()).then(|| data.value_at(idx - start))
+    }
+
+    fn has_error(&self, idx: u64) -> bool {
+        self.errors.binary_search_by_key(&idx, |(i, _)| *i).is_ok()
+    }
+
+    /// The cell at `addr`, or `None` for blank / out-of-window addresses.
+    pub fn cell_at(&self, addr: CellAddr) -> Option<Cell> {
+        let idx = self.index_of(addr)?;
+        let formula = self
+            .formulas
+            .binary_search_by_key(&idx, |(i, _)| *i)
+            .ok()
+            .map(|i| self.formulas[i].1.clone());
+        let value = if let Ok(i) = self.errors.binary_search_by_key(&idx, |(i, _)| *i) {
+            Some(CellValue::Error(self.errors[i].1))
+        } else {
+            self.run_value(idx)
+        };
+        match (value, formula) {
+            (None, None) => None,
+            (value, formula) => Some(Cell {
+                value: value.unwrap_or_default(),
+                formula,
+            }),
+        }
+    }
+
+    /// Expand back into the sorted `(addr, cell)` form (tests, exports,
+    /// UI adapters that want one cell at a time).
+    pub fn cells(&self) -> Vec<(CellAddr, Cell)> {
+        let mut map: std::collections::BTreeMap<u64, Cell> = std::collections::BTreeMap::new();
+        for (start, data) in &self.runs {
+            for off in 0..data.len() {
+                map.insert(
+                    start + off,
+                    Cell {
+                        value: data.value_at(off),
+                        formula: None,
+                    },
+                );
+            }
+        }
+        for (idx, e) in &self.errors {
+            map.entry(*idx).or_default().value = CellValue::Error(*e);
+        }
+        for (idx, src) in &self.formulas {
+            map.entry(*idx).or_default().formula = Some(src.clone());
+        }
+        map.into_iter()
+            .map(|(idx, cell)| (self.addr_of(idx), cell))
+            .collect()
+    }
+
+    /// Serialize with the shared workspace codec.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        put_rect(out, self.rect);
+        put_u32(out, self.runs.len() as u32);
+        for (start, data) in &self.runs {
+            put_u64(out, *start);
+            match data {
+                RunData::Numbers(v) => {
+                    put_u8(out, 0);
+                    put_u32(out, v.len() as u32);
+                    for n in v {
+                        put_f64(out, *n);
+                    }
+                }
+                RunData::Texts(v) => {
+                    put_u8(out, 1);
+                    put_u32(out, v.len() as u32);
+                    for s in v {
+                        put_str(out, s);
+                    }
+                }
+                RunData::Bools(v) => {
+                    put_u8(out, 2);
+                    put_u32(out, v.len() as u32);
+                    for b in v {
+                        put_u8(out, u8::from(*b));
+                    }
+                }
+                RunData::RepeatNumber { n, value } => {
+                    put_u8(out, 3);
+                    put_u32(out, *n);
+                    put_f64(out, *value);
+                }
+            }
+        }
+        put_u32(out, self.errors.len() as u32);
+        for (idx, e) in &self.errors {
+            put_u64(out, *idx);
+            put_u8(out, error_to_u8(*e));
+        }
+        put_u32(out, self.formulas.len() as u32);
+        for (idx, src) in &self.formulas {
+            put_u64(out, *idx);
+            put_str(out, src);
+        }
+    }
+
+    /// Decode and validate: runs must be sorted, non-overlapping, and
+    /// in-bounds; overlays sorted and in-bounds. Violations surface as
+    /// [`StoreError::Corrupt`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<WindowPatch, StoreError> {
+        let rect = read_rect(r)?;
+        let mut patch = WindowPatch {
+            rect,
+            runs: Vec::new(),
+            errors: Vec::new(),
+            formulas: Vec::new(),
+        };
+        let area = patch.area();
+        let run_count = r.u32()?;
+        let mut horizon = 0u64; // first index not yet covered
+        for _ in 0..run_count {
+            let start = r.u64()?;
+            let data = match r.u8()? {
+                0 => {
+                    let n = r.u32()? as usize;
+                    let mut v = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        v.push(r.f64()?);
+                    }
+                    RunData::Numbers(v)
+                }
+                1 => {
+                    let n = r.u32()? as usize;
+                    let mut v = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        v.push(r.str()?);
+                    }
+                    RunData::Texts(v)
+                }
+                2 => {
+                    let n = r.u32()? as usize;
+                    let mut v = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        v.push(r.u8()? != 0);
+                    }
+                    RunData::Bools(v)
+                }
+                3 => RunData::RepeatNumber {
+                    n: r.u32()?,
+                    value: r.f64()?,
+                },
+                t => return Err(corrupt(format!("unknown window-run tag {t}"))),
+            };
+            let len = data.len();
+            if len == 0 {
+                return Err(corrupt("empty window run"));
+            }
+            if start < horizon {
+                return Err(corrupt("window runs out of order or overlapping"));
+            }
+            let end = start
+                .checked_add(len)
+                .ok_or_else(|| corrupt("window run overflows"))?;
+            if end > area {
+                return Err(corrupt("window run exceeds window area"));
+            }
+            horizon = end;
+            patch.runs.push((start, data));
+        }
+        let err_count = r.u32()?;
+        let mut last = None;
+        for _ in 0..err_count {
+            let idx = r.u64()?;
+            if idx >= area || last.is_some_and(|l| idx <= l) {
+                return Err(corrupt(
+                    "window error overlay out of order or out of bounds",
+                ));
+            }
+            last = Some(idx);
+            patch.errors.push((idx, error_from_u8(r.u8()?)?));
+        }
+        let formula_count = r.u32()?;
+        let mut last = None;
+        for _ in 0..formula_count {
+            let idx = r.u64()?;
+            if idx >= area || last.is_some_and(|l| idx <= l) {
+                return Err(corrupt(
+                    "window formula overlay out of order or out of bounds",
+                ));
+            }
+            last = Some(idx);
+            patch.formulas.push((idx, r.str()?));
+        }
+        Ok(patch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell_num(n: f64) -> Cell {
+        Cell::value(n)
+    }
+
+    fn roundtrip(patch: &WindowPatch) -> WindowPatch {
+        let mut buf = Vec::new();
+        patch.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        let decoded = WindowPatch::decode(&mut r).unwrap();
+        r.expect_done("patch").unwrap();
+        decoded
+    }
+
+    #[test]
+    fn empty_window() {
+        let patch = WindowPatch::from_cells(Rect::new(0, 0, 9, 9), Vec::new());
+        assert!(patch.is_empty());
+        assert_eq!(patch.filled_count(), 0);
+        assert_eq!(patch.cells(), Vec::new());
+        assert_eq!(roundtrip(&patch), patch);
+    }
+
+    #[test]
+    fn dense_numbers_collapse_into_one_run() {
+        let rect = Rect::new(2, 1, 4, 3);
+        let mut cells = Vec::new();
+        for r in 2..=4u32 {
+            for c in 1..=3u32 {
+                cells.push((CellAddr::new(r, c), cell_num((r * 10 + c) as f64)));
+            }
+        }
+        let patch = WindowPatch::from_cells(rect, cells.clone());
+        assert_eq!(patch.run_count(), 1, "contiguous same-typed cells = 1 run");
+        assert_eq!(patch.filled_count(), 9);
+        assert_eq!(patch.cells(), cells);
+        assert_eq!(roundtrip(&patch), patch);
+    }
+
+    #[test]
+    fn mixed_types_and_gaps_split_runs() {
+        let rect = Rect::new(0, 0, 1, 4);
+        let cells = vec![
+            (CellAddr::new(0, 0), Cell::value(1.0)),
+            (CellAddr::new(0, 1), Cell::value("x")),
+            (CellAddr::new(0, 2), Cell::value(true)),
+            // gap at (0,3)
+            (CellAddr::new(0, 4), Cell::value(2.0)),
+            (CellAddr::new(1, 0), Cell::value(3.0)),
+        ];
+        let patch = WindowPatch::from_cells(rect, cells.clone());
+        // number | text | bool | number(2.0 .. wraps row, still contiguous
+        // linearly? idx 4 then 5 — contiguous, same type → one run)
+        assert_eq!(patch.run_count(), 4);
+        assert_eq!(patch.cells(), cells);
+        assert_eq!(patch.filled_count(), 5);
+        assert_eq!(roundtrip(&patch), patch);
+    }
+
+    #[test]
+    fn formula_and_error_overlays() {
+        let rect = Rect::new(0, 0, 0, 3);
+        let cells = vec![
+            (CellAddr::new(0, 0), Cell::value(2.0)),
+            (CellAddr::new(0, 1), Cell::formula("A1*2").with_value(4.0)),
+            (
+                CellAddr::new(0, 2),
+                Cell {
+                    value: CellValue::Error(CellError::Div0),
+                    formula: Some("1/0".to_string()),
+                },
+            ),
+            (CellAddr::new(0, 3), Cell::formula("ZZ1")),
+        ];
+        let patch = WindowPatch::from_cells(rect, cells.clone());
+        assert_eq!(patch.filled_count(), 4);
+        assert_eq!(patch.cells(), cells);
+        assert_eq!(
+            patch.cell_at(CellAddr::new(0, 1)).unwrap(),
+            Cell::formula("A1*2").with_value(4.0)
+        );
+        assert_eq!(
+            patch.cell_at(CellAddr::new(0, 2)).unwrap().value,
+            CellValue::Error(CellError::Div0)
+        );
+        assert_eq!(patch.cell_at(CellAddr::new(5, 5)), None);
+        assert_eq!(
+            patch.cell_at(CellAddr::new(0, 3)).unwrap().value,
+            CellValue::Empty
+        );
+        assert_eq!(roundtrip(&patch), patch);
+    }
+
+    #[test]
+    fn constant_stretches_become_repeat_runs() {
+        let rect = Rect::new(0, 0, 0, 99);
+        let mut cells = Vec::new();
+        for c in 0..40u32 {
+            cells.push((CellAddr::new(0, c), cell_num(7.0)));
+        }
+        for c in 40..50u32 {
+            cells.push((CellAddr::new(0, c), cell_num(c as f64)));
+        }
+        let patch = WindowPatch::from_cells(rect, cells.clone());
+        assert_eq!(
+            patch.run_count(),
+            2,
+            "40 identical numbers collapse to one repeat run"
+        );
+        let mut buf = Vec::new();
+        patch.encode(&mut buf);
+        assert!(
+            buf.len() < 40 * 8,
+            "repeat encoding beats 40 raw f64s ({} bytes)",
+            buf.len()
+        );
+        assert_eq!(patch.cells(), cells);
+        assert_eq!(roundtrip(&patch), patch);
+    }
+
+    #[test]
+    fn wire_size_beats_naive_cells_by_a_wide_margin_on_dense_windows() {
+        // 50x8 dense numeric window: the naive form is ≥ 16 bytes of
+        // address + tag overhead per cell before the payload.
+        let rect = Rect::new(0, 0, 49, 7);
+        let mut cells = Vec::new();
+        for r in 0..50u32 {
+            for c in 0..8u32 {
+                cells.push((CellAddr::new(r, c), cell_num((r + c) as f64)));
+            }
+        }
+        let patch = WindowPatch::from_cells(rect, cells);
+        let mut buf = Vec::new();
+        patch.encode(&mut buf);
+        let naive = 400 * (8 + 1 + 8 + 1); // addr + value tag + f64 + formula tag
+        assert!(
+            buf.len() * 2 < naive,
+            "patch bytes {} vs naive {naive}",
+            buf.len()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_malformed_patches() {
+        // Overlapping runs.
+        let mut buf = Vec::new();
+        put_rect(&mut buf, Rect::new(0, 0, 0, 9));
+        put_u32(&mut buf, 2);
+        put_u64(&mut buf, 0);
+        put_u8(&mut buf, 0);
+        put_u32(&mut buf, 3);
+        for _ in 0..3 {
+            put_f64(&mut buf, 1.0);
+        }
+        put_u64(&mut buf, 1); // overlaps [0,3)
+        put_u8(&mut buf, 0);
+        put_u32(&mut buf, 1);
+        put_f64(&mut buf, 2.0);
+        assert!(WindowPatch::decode(&mut Reader::new(&buf)).is_err());
+
+        // Run past the window area.
+        let mut buf = Vec::new();
+        put_rect(&mut buf, Rect::new(0, 0, 0, 1));
+        put_u32(&mut buf, 1);
+        put_u64(&mut buf, 0);
+        put_u8(&mut buf, 3);
+        put_u32(&mut buf, 100);
+        put_f64(&mut buf, 1.0);
+        assert!(WindowPatch::decode(&mut Reader::new(&buf)).is_err());
+
+        // Truncated mid-run.
+        let mut buf = Vec::new();
+        put_rect(&mut buf, Rect::new(0, 0, 9, 9));
+        put_u32(&mut buf, 1);
+        put_u64(&mut buf, 0);
+        put_u8(&mut buf, 0);
+        put_u32(&mut buf, 50); // claims 50 numbers, provides none
+        assert!(WindowPatch::decode(&mut Reader::new(&buf)).is_err());
+
+        // Unknown run tag.
+        let mut buf = Vec::new();
+        put_rect(&mut buf, Rect::new(0, 0, 9, 9));
+        put_u32(&mut buf, 1);
+        put_u64(&mut buf, 0);
+        put_u8(&mut buf, 9);
+        assert!(WindowPatch::decode(&mut Reader::new(&buf)).is_err());
+
+        // Error overlay out of bounds.
+        let mut buf = Vec::new();
+        put_rect(&mut buf, Rect::new(0, 0, 0, 0));
+        put_u32(&mut buf, 0);
+        put_u32(&mut buf, 1);
+        put_u64(&mut buf, 5);
+        put_u8(&mut buf, 0);
+        assert!(WindowPatch::decode(&mut Reader::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn unsorted_input_is_normalized() {
+        let rect = Rect::new(0, 0, 1, 1);
+        let cells = vec![
+            (CellAddr::new(1, 1), cell_num(4.0)),
+            (CellAddr::new(0, 0), cell_num(1.0)),
+        ];
+        let patch = WindowPatch::from_cells(rect, cells);
+        assert_eq!(
+            patch.cells(),
+            vec![
+                (CellAddr::new(0, 0), cell_num(1.0)),
+                (CellAddr::new(1, 1), cell_num(4.0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn out_of_rect_cells_are_dropped() {
+        let rect = Rect::new(0, 0, 1, 1);
+        let patch = WindowPatch::from_cells(
+            rect,
+            vec![
+                (CellAddr::new(0, 0), cell_num(1.0)),
+                (CellAddr::new(9, 9), cell_num(2.0)),
+            ],
+        );
+        assert_eq!(patch.filled_count(), 1);
+    }
+}

@@ -1,0 +1,347 @@
+//! The wire vocabulary of the session API: edits, receipts, stats, and
+//! the numeric error space.
+
+use dataspread_grid::{CellError, CellValue, Rect};
+use dataspread_relstore::codec::{corrupt, put_f64, put_str, put_u32, put_u64, put_u8, Reader};
+use dataspread_relstore::StoreError;
+
+/// One logical edit, RPC-shaped (plain data, no engine types beyond the
+/// cell-value enum used by imports).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Edit {
+    /// `updateCell(row, col, input)` — raw user input (`=…` formula,
+    /// literal, `""` clear), interpreted exactly like the engine does.
+    Set {
+        row: u32,
+        col: u32,
+        input: String,
+    },
+    InsertRows {
+        at: u32,
+        n: u32,
+    },
+    DeleteRows {
+        at: u32,
+        n: u32,
+    },
+    InsertCols {
+        at: u32,
+        n: u32,
+    },
+    DeleteCols {
+        at: u32,
+        n: u32,
+    },
+}
+
+impl Edit {
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Edit::Set { row, col, input } => {
+                put_u8(out, 0);
+                put_u32(out, *row);
+                put_u32(out, *col);
+                put_str(out, input);
+            }
+            Edit::InsertRows { at, n } => {
+                put_u8(out, 1);
+                put_u32(out, *at);
+                put_u32(out, *n);
+            }
+            Edit::DeleteRows { at, n } => {
+                put_u8(out, 2);
+                put_u32(out, *at);
+                put_u32(out, *n);
+            }
+            Edit::InsertCols { at, n } => {
+                put_u8(out, 3);
+                put_u32(out, *at);
+                put_u32(out, *n);
+            }
+            Edit::DeleteCols { at, n } => {
+                put_u8(out, 4);
+                put_u32(out, *at);
+                put_u32(out, *n);
+            }
+        }
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Edit, StoreError> {
+        Ok(match r.u8()? {
+            0 => Edit::Set {
+                row: r.u32()?,
+                col: r.u32()?,
+                input: r.str()?,
+            },
+            1 => Edit::InsertRows {
+                at: r.u32()?,
+                n: r.u32()?,
+            },
+            2 => Edit::DeleteRows {
+                at: r.u32()?,
+                n: r.u32()?,
+            },
+            3 => Edit::InsertCols {
+                at: r.u32()?,
+                n: r.u32()?,
+            },
+            4 => Edit::DeleteCols {
+                at: r.u32()?,
+                n: r.u32()?,
+            },
+            t => return Err(corrupt(format!("unknown edit tag {t}"))),
+        })
+    }
+}
+
+/// Acknowledgement for one applied edit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditReceipt {
+    /// WAL commit ticket of the logged op (0 on in-memory workspaces).
+    /// Tickets increase in the order edits serialized on the sheet, so
+    /// they double as the edit's position in the sheet's history.
+    pub ticket: u64,
+    /// Whether the edit was crash-durable when `apply_edit` returned
+    /// (true for every durable workspace, both commit modes).
+    pub durable: bool,
+}
+
+/// The wire view of an engine `CheckpointReport` — the counters a remote
+/// client can act on, shorn of engine internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckpointSummary {
+    /// Pages whose bytes changed and were rewritten.
+    pub pages_written: u64,
+    /// Regions in the image after the checkpoint (catch-all included).
+    pub regions_total: u64,
+    /// Regions submitted dirty (re-serialized this checkpoint).
+    pub regions_dirty: u64,
+    /// Dirty regions whose bytes actually changed and were rewritten.
+    pub regions_written: u64,
+}
+
+impl CheckpointSummary {
+    pub(crate) fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.pages_written);
+        put_u64(out, self.regions_total);
+        put_u64(out, self.regions_dirty);
+        put_u64(out, self.regions_written);
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<CheckpointSummary, StoreError> {
+        Ok(CheckpointSummary {
+            pages_written: r.u64()?,
+            regions_total: r.u64()?,
+            regions_dirty: r.u64()?,
+            regions_written: r.u64()?,
+        })
+    }
+}
+
+/// Point-in-time counters for one sheet, as served over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    pub filled_cells: u64,
+    pub regions: u64,
+}
+
+/// Stable numeric codes for every error the session API can surface.
+///
+/// The codes are wire contract: they never change meaning, new ones are
+/// only appended, and both sides treat unknown codes as opaque-but-valid
+/// (`WorkspaceError::Remote` client-side). Layout: `0x000x` session-level
+/// errors, `0x01xx` engine-level, `0x02xx` store-level (one code per
+/// `StoreError` variant).
+pub mod codes {
+    /// The named sheet was never opened in this workspace.
+    pub const NO_SUCH_SHEET: u16 = 1;
+    /// Sheet name failed validation (`[A-Za-z0-9_-]`, ≤128 chars).
+    pub const BAD_SHEET_NAME: u16 = 2;
+    /// Admission control rejected the request; retry after draining
+    /// in-flight work.
+    pub const BUSY: u16 = 3;
+    /// The peer violated the wire protocol (bad frame, bad tag, version
+    /// mismatch).
+    pub const PROTOCOL: u16 = 4;
+    /// Transport-level I/O failure.
+    pub const IO: u16 = 5;
+
+    pub const ENGINE_UNSUPPORTED: u16 = 0x101;
+    pub const ENGINE_BAD_LINK: u16 = 0x102;
+    pub const ENGINE_FORMULA: u16 = 0x103;
+    pub const ENGINE_GRID: u16 = 0x104;
+    pub const ENGINE_REL: u16 = 0x105;
+
+    pub const STORE_NO_SUCH_TABLE: u16 = 0x200;
+    pub const STORE_TABLE_EXISTS: u16 = 0x201;
+    pub const STORE_SCHEMA_MISMATCH: u16 = 0x202;
+    pub const STORE_BAD_TUPLE_ID: u16 = 0x203;
+    pub const STORE_TUPLE_TOO_LARGE: u16 = 0x204;
+    pub const STORE_CORRUPT: u16 = 0x205;
+    pub const STORE_NO_SUCH_COLUMN: u16 = 0x206;
+    pub const STORE_LIMIT_EXCEEDED: u16 = 0x207;
+    pub const STORE_IO: u16 = 0x208;
+}
+
+/// An error as it travels the wire: a stable numeric code plus the
+/// variant's payload string (sheet name, message, …) — not a rendered
+/// display string, so the receiving side reconstructs the same error
+/// instead of wrapping an opaque blob of text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    pub code: u16,
+    pub detail: String,
+}
+
+impl WireError {
+    pub fn new(code: u16, detail: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:#06x}] {}", self.code, self.detail)
+    }
+}
+
+// --- shared primitive encodings -----------------------------------------
+
+pub(crate) fn put_rect(out: &mut Vec<u8>, rect: Rect) {
+    put_u32(out, rect.r1);
+    put_u32(out, rect.c1);
+    put_u32(out, rect.r2);
+    put_u32(out, rect.c2);
+}
+
+pub(crate) fn read_rect(r: &mut Reader<'_>) -> Result<Rect, StoreError> {
+    let (r1, c1, r2, c2) = (r.u32()?, r.u32()?, r.u32()?, r.u32()?);
+    Ok(Rect::new(r1, c1, r2, c2))
+}
+
+pub(crate) fn error_to_u8(e: CellError) -> u8 {
+    match e {
+        CellError::Div0 => 0,
+        CellError::Value => 1,
+        CellError::Ref => 2,
+        CellError::Name => 3,
+        CellError::Na => 4,
+        CellError::Num => 5,
+        CellError::Circular => 6,
+    }
+}
+
+pub(crate) fn error_from_u8(b: u8) -> Result<CellError, StoreError> {
+    Ok(match b {
+        0 => CellError::Div0,
+        1 => CellError::Value,
+        2 => CellError::Ref,
+        3 => CellError::Name,
+        4 => CellError::Na,
+        5 => CellError::Num,
+        6 => CellError::Circular,
+        t => return Err(corrupt(format!("unknown cell-error tag {t}"))),
+    })
+}
+
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &CellValue) {
+    match v {
+        CellValue::Empty => put_u8(out, 0),
+        CellValue::Number(n) => {
+            put_u8(out, 1);
+            put_f64(out, *n);
+        }
+        CellValue::Text(s) => {
+            put_u8(out, 2);
+            put_str(out, s);
+        }
+        CellValue::Bool(b) => {
+            put_u8(out, 3);
+            put_u8(out, u8::from(*b));
+        }
+        CellValue::Error(e) => {
+            put_u8(out, 4);
+            put_u8(out, error_to_u8(*e));
+        }
+    }
+}
+
+pub(crate) fn read_value(r: &mut Reader<'_>) -> Result<CellValue, StoreError> {
+    Ok(match r.u8()? {
+        0 => CellValue::Empty,
+        1 => CellValue::Number(r.f64()?),
+        2 => CellValue::Text(r.str()?),
+        3 => CellValue::Bool(r.u8()? != 0),
+        4 => CellValue::Error(error_from_u8(r.u8()?)?),
+        t => return Err(corrupt(format!("unknown cell-value tag {t}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_roundtrip() {
+        let edits = [
+            Edit::Set {
+                row: 3,
+                col: 9,
+                input: "=SUM(A1:A3)".into(),
+            },
+            Edit::InsertRows { at: 0, n: 5 },
+            Edit::DeleteRows { at: 7, n: 1 },
+            Edit::InsertCols { at: 2, n: 3 },
+            Edit::DeleteCols { at: 4, n: 2 },
+        ];
+        for edit in &edits {
+            let mut buf = Vec::new();
+            edit.encode(&mut buf);
+            let mut r = Reader::new(&buf);
+            assert_eq!(&Edit::decode(&mut r).unwrap(), edit);
+            r.expect_done("edit").unwrap();
+        }
+    }
+
+    #[test]
+    fn value_roundtrip_all_variants() {
+        let values = [
+            CellValue::Empty,
+            CellValue::Number(-0.5),
+            CellValue::Text("héllo".into()),
+            CellValue::Bool(true),
+            CellValue::Error(CellError::Circular),
+        ];
+        for v in &values {
+            let mut buf = Vec::new();
+            put_value(&mut buf, v);
+            assert_eq!(&read_value(&mut Reader::new(&buf)).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn cell_error_tags_roundtrip() {
+        for e in [
+            CellError::Div0,
+            CellError::Value,
+            CellError::Ref,
+            CellError::Name,
+            CellError::Na,
+            CellError::Num,
+            CellError::Circular,
+        ] {
+            assert_eq!(error_from_u8(error_to_u8(e)).unwrap(), e);
+        }
+        assert!(error_from_u8(200).is_err());
+    }
+
+    #[test]
+    fn garbage_tags_are_corruption_not_panics() {
+        assert!(Edit::decode(&mut Reader::new(&[9])).is_err());
+        assert!(read_value(&mut Reader::new(&[77])).is_err());
+        assert!(read_value(&mut Reader::new(&[])).is_err());
+    }
+}

@@ -600,6 +600,13 @@ impl SharedWal {
         self.lock().appended_seq
     }
 
+    /// Highest ticket known durable (0 when nothing was ever flushed).
+    /// `appended_seq() - durable_seq()` is the committer's current lag —
+    /// the admission-control signal the server's backpressure uses.
+    pub fn durable_seq(&self) -> u64 {
+        self.lock().durable_seq
+    }
+
     /// True when appended records are awaiting a group fsync.
     pub fn has_pending(&self) -> bool {
         let st = self.lock();

@@ -1,0 +1,53 @@
+//! `dataspread-server`: serve a workspace directory over TCP.
+//!
+//! ```text
+//! dataspread-server --addr 127.0.0.1:7878 --dir /var/lib/dataspread
+//! ```
+//!
+//! `--addr` defaults to `127.0.0.1:7878`; port 0 picks a free port.
+//! `--dir` selects the durable workspace root (created if absent);
+//! without it the server runs an in-memory workspace. Prints
+//! `listening on <addr>` once the socket is bound — supervisors and the
+//! integration tests wait for that line before connecting.
+
+use dataspread_workspace::Workspace;
+
+fn usage() -> ! {
+    eprintln!("usage: dataspread-server [--addr HOST:PORT] [--dir PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut dir: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--dir" => dir = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let workspace = match &dir {
+        Some(d) => match Workspace::open(d) {
+            Ok(ws) => ws,
+            Err(e) => {
+                eprintln!("dataspread-server: cannot open workspace {d}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Workspace::in_memory(),
+    };
+    let handle = match dataspread_server::serve(workspace, &addr) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("dataspread-server: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", handle.local_addr());
+    // Park forever: the accept loop owns the process from here.
+    loop {
+        std::thread::park();
+    }
+}

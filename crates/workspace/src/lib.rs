@@ -36,13 +36,20 @@
 //! ticket order, the recovered state is always a prefix of the actual
 //! edit serialization — the concurrent stress suite replays that order
 //! into a single-threaded oracle and compares byte-for-byte.
+//!
+//! The session surface is now *wire-typed*: [`Edit`], [`EditReceipt`] and
+//! the [`WindowPatch`] returned by [`Session::fetch_window`] are the
+//! `dataspread-proto` wire types themselves, and every [`WorkspaceError`]
+//! variant carries a stable numeric code ([`WorkspaceError::code`]) that
+//! round-trips through [`WorkspaceError::from_wire`] — the TCP server and
+//! client (`dataspread-server` / `dataspread-client`) frame these values
+//! as-is rather than maintaining a parallel DTO layer.
 
 mod committer;
 mod service;
 
 pub use committer::GroupCommitter;
-pub use service::{
-    CommitMode, Edit, EditReceipt, Session, SheetStats, Workspace, WorkspaceConfig, WorkspaceError,
-};
+pub use dataspread_proto::{Edit, EditReceipt, WindowPatch};
+pub use service::{CommitMode, Session, SheetStats, Workspace, WorkspaceConfig, WorkspaceError};
 
 pub use dataspread_engine::{CheckpointReport, PersistenceStats, SheetEngine};

@@ -4,10 +4,11 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use dataspread_engine::{CheckpointReport, EngineError, PersistenceStats, SheetEngine};
-use dataspread_grid::{Cell, CellAddr, CellValue, Rect, SparseSheet};
+use dataspread_grid::{CellAddr, CellValue, Rect, SparseSheet};
+use dataspread_proto::{codes, Edit, EditReceipt, WindowPatch, WireError};
 use dataspread_relstore::{SharedWal, StoreError};
 
 use crate::committer::GroupCommitter;
@@ -32,10 +33,24 @@ pub struct WorkspaceConfig {
     /// Auto-checkpoint every N logged ops on each sheet (engine default:
     /// disabled).
     pub auto_checkpoint_ops: Option<u64>,
+    /// Test hook: sleep this long inside the named sheet's recovery,
+    /// *after* the placeholder shard is published — lets tests prove that
+    /// a slow recovery stalls only its own sheet.
+    #[doc(hidden)]
+    pub open_stall_for_tests: Option<(String, std::time::Duration)>,
 }
 
 /// Errors surfaced by the session API.
-#[derive(Debug)]
+///
+/// Every variant has a stable numeric wire code ([`WorkspaceError::code`],
+/// constants in [`dataspread_proto::codes`]) so errors cross the network
+/// as `(code, detail)` pairs and reconstruct on the client
+/// ([`WorkspaceError::from_wire`]) instead of collapsing into strings.
+/// The enum is `#[non_exhaustive]`: new variants may appear, and codes a
+/// client does not recognize decode as [`WorkspaceError::Remote`] rather
+/// than failing.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum WorkspaceError {
     /// The named sheet was never opened in this workspace.
     NoSuchSheet(String),
@@ -44,6 +59,21 @@ pub enum WorkspaceError {
     BadSheetName(String),
     Engine(EngineError),
     Store(StoreError),
+    /// Admission control rejected the request (e.g. too many staged edits
+    /// in flight); retry after draining.
+    Busy(String),
+    /// The peer violated the wire protocol (bad frame, bad tag, version
+    /// mismatch).
+    Protocol(String),
+    /// Transport-level I/O failure (only produced by the network layers).
+    Io(String),
+    /// An error that crossed the wire with a code this build cannot map
+    /// back onto a richer variant. The code is preserved verbatim, so
+    /// `code()` still round-trips.
+    Remote {
+        code: u16,
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for WorkspaceError {
@@ -55,6 +85,12 @@ impl std::fmt::Display for WorkspaceError {
             }
             WorkspaceError::Engine(e) => write!(f, "engine: {e}"),
             WorkspaceError::Store(e) => write!(f, "store: {e}"),
+            WorkspaceError::Busy(m) => write!(f, "busy: {m}"),
+            WorkspaceError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            WorkspaceError::Io(m) => write!(f, "io: {m}"),
+            WorkspaceError::Remote { code, detail } => {
+                write!(f, "remote error {code:#06x}: {detail}")
+            }
         }
     }
 }
@@ -73,45 +109,125 @@ impl From<StoreError> for WorkspaceError {
     }
 }
 
-/// One logical edit, RPC-shaped (plain data, no engine types beyond the
-/// cell-value enum used by imports).
-#[derive(Debug, Clone, PartialEq)]
-pub enum Edit {
-    /// `updateCell(row, col, input)` — raw user input (`=…` formula,
-    /// literal, `""` clear), interpreted exactly like the engine does.
-    Set {
-        row: u32,
-        col: u32,
-        input: String,
-    },
-    InsertRows {
-        at: u32,
-        n: u32,
-    },
-    DeleteRows {
-        at: u32,
-        n: u32,
-    },
-    InsertCols {
-        at: u32,
-        n: u32,
-    },
-    DeleteCols {
-        at: u32,
-        n: u32,
-    },
+fn store_code(e: &StoreError) -> u16 {
+    match e {
+        StoreError::NoSuchTable(_) => codes::STORE_NO_SUCH_TABLE,
+        StoreError::TableExists(_) => codes::STORE_TABLE_EXISTS,
+        StoreError::SchemaMismatch(_) => codes::STORE_SCHEMA_MISMATCH,
+        StoreError::BadTupleId => codes::STORE_BAD_TUPLE_ID,
+        StoreError::TupleTooLarge(_) => codes::STORE_TUPLE_TOO_LARGE,
+        StoreError::Corrupt(_) => codes::STORE_CORRUPT,
+        StoreError::NoSuchColumn(_) => codes::STORE_NO_SUCH_COLUMN,
+        StoreError::LimitExceeded(_) => codes::STORE_LIMIT_EXCEEDED,
+        StoreError::Io(_) => codes::STORE_IO,
+    }
 }
 
-/// Acknowledgement for one applied edit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct EditReceipt {
-    /// WAL commit ticket of the logged op (0 on in-memory workspaces).
-    /// Tickets increase in the order edits serialized on the sheet, so
-    /// they double as the edit's position in the sheet's history.
-    pub ticket: u64,
-    /// Whether the edit was crash-durable when `apply_edit` returned
-    /// (true for every durable workspace, both commit modes).
-    pub durable: bool,
+fn store_detail(e: &StoreError) -> String {
+    match e {
+        StoreError::NoSuchTable(s)
+        | StoreError::TableExists(s)
+        | StoreError::SchemaMismatch(s)
+        | StoreError::Corrupt(s)
+        | StoreError::NoSuchColumn(s)
+        | StoreError::LimitExceeded(s)
+        | StoreError::Io(s) => s.clone(),
+        StoreError::BadTupleId => String::new(),
+        StoreError::TupleTooLarge(n) => n.to_string(),
+    }
+}
+
+fn store_from_wire(code: u16, detail: String) -> Option<StoreError> {
+    Some(match code {
+        codes::STORE_NO_SUCH_TABLE => StoreError::NoSuchTable(detail),
+        codes::STORE_TABLE_EXISTS => StoreError::TableExists(detail),
+        codes::STORE_SCHEMA_MISMATCH => StoreError::SchemaMismatch(detail),
+        codes::STORE_BAD_TUPLE_ID => StoreError::BadTupleId,
+        codes::STORE_TUPLE_TOO_LARGE => StoreError::TupleTooLarge(detail.parse().unwrap_or(0)),
+        codes::STORE_CORRUPT => StoreError::Corrupt(detail),
+        codes::STORE_NO_SUCH_COLUMN => StoreError::NoSuchColumn(detail),
+        codes::STORE_LIMIT_EXCEEDED => StoreError::LimitExceeded(detail),
+        codes::STORE_IO => StoreError::Io(detail),
+        _ => return None,
+    })
+}
+
+impl WorkspaceError {
+    /// The variant's stable wire code (see [`dataspread_proto::codes`]).
+    /// Codes never change meaning across versions; `Remote` carries its
+    /// original code through unchanged.
+    pub fn code(&self) -> u16 {
+        match self {
+            WorkspaceError::NoSuchSheet(_) => codes::NO_SUCH_SHEET,
+            WorkspaceError::BadSheetName(_) => codes::BAD_SHEET_NAME,
+            WorkspaceError::Busy(_) => codes::BUSY,
+            WorkspaceError::Protocol(_) => codes::PROTOCOL,
+            WorkspaceError::Io(_) => codes::IO,
+            WorkspaceError::Engine(EngineError::Unsupported(_)) => codes::ENGINE_UNSUPPORTED,
+            WorkspaceError::Engine(EngineError::BadLink(_)) => codes::ENGINE_BAD_LINK,
+            WorkspaceError::Engine(EngineError::Formula(_)) => codes::ENGINE_FORMULA,
+            WorkspaceError::Engine(EngineError::Grid(_)) => codes::ENGINE_GRID,
+            WorkspaceError::Engine(EngineError::Rel(_)) => codes::ENGINE_REL,
+            WorkspaceError::Engine(EngineError::Store(e)) | WorkspaceError::Store(e) => {
+                store_code(e)
+            }
+            WorkspaceError::Remote { code, .. } => *code,
+        }
+    }
+
+    /// The variant's payload string as sent over the wire (the sheet
+    /// name, the message — not the rendered `Display` form, so the
+    /// receiving side can rebuild the same variant).
+    pub fn wire_detail(&self) -> String {
+        match self {
+            WorkspaceError::NoSuchSheet(s)
+            | WorkspaceError::BadSheetName(s)
+            | WorkspaceError::Busy(s)
+            | WorkspaceError::Protocol(s)
+            | WorkspaceError::Io(s) => s.clone(),
+            WorkspaceError::Engine(EngineError::Unsupported(m))
+            | WorkspaceError::Engine(EngineError::BadLink(m)) => m.clone(),
+            WorkspaceError::Engine(EngineError::Formula(e)) => e.to_string(),
+            WorkspaceError::Engine(EngineError::Grid(e)) => e.to_string(),
+            WorkspaceError::Engine(EngineError::Rel(e)) => e.to_string(),
+            WorkspaceError::Engine(EngineError::Store(e)) | WorkspaceError::Store(e) => {
+                store_detail(e)
+            }
+            WorkspaceError::Remote { detail, .. } => detail.clone(),
+        }
+    }
+
+    /// Package for the wire: `(code, detail)`.
+    pub fn to_wire(&self) -> WireError {
+        WireError::new(self.code(), self.wire_detail())
+    }
+
+    /// Rebuild from a wire `(code, detail)` pair. Codes with a structural
+    /// local variant reconstruct it exactly; parser-level engine codes
+    /// and unknown codes become [`WorkspaceError::Remote`], preserving
+    /// the code, so `from_wire(e.code(), e.wire_detail()).code() ==
+    /// e.code()` holds for *every* error.
+    pub fn from_wire(code: u16, detail: String) -> WorkspaceError {
+        match code {
+            codes::NO_SUCH_SHEET => WorkspaceError::NoSuchSheet(detail),
+            codes::BAD_SHEET_NAME => WorkspaceError::BadSheetName(detail),
+            codes::BUSY => WorkspaceError::Busy(detail),
+            codes::PROTOCOL => WorkspaceError::Protocol(detail),
+            codes::IO => WorkspaceError::Io(detail),
+            codes::ENGINE_UNSUPPORTED => WorkspaceError::Engine(EngineError::Unsupported(detail)),
+            codes::ENGINE_BAD_LINK => WorkspaceError::Engine(EngineError::BadLink(detail)),
+            _ => match store_from_wire(code, detail.clone()) {
+                Some(store) => WorkspaceError::Store(store),
+                None => WorkspaceError::Remote { code, detail },
+            },
+        }
+    }
+}
+
+impl From<WireError> for WorkspaceError {
+    fn from(e: WireError) -> Self {
+        WorkspaceError::from_wire(e.code, e.detail)
+    }
 }
 
 /// Point-in-time counters for one sheet.
@@ -130,10 +246,56 @@ struct Shard {
     wal: Option<Arc<SharedWal>>,
 }
 
+/// A sheet's slot in the workspace map. The slot is published (under the
+/// map's short-lived write lock) *before* recovery runs, then recovery
+/// proceeds outside every workspace-level lock — a slow recovery stalls
+/// only sessions that touch that sheet, never openers of other sheets.
+struct SheetSlot {
+    state: Mutex<SlotState>,
+    ready: Condvar,
+}
+
+enum SlotState {
+    /// The opener is recovering the engine; wait on `ready`.
+    Building,
+    Ready(Arc<Shard>),
+    /// Recovery failed; the opener has already unlinked the slot from the
+    /// map so a later `open_sheet` can retry.
+    Failed(WorkspaceError),
+}
+
+impl SheetSlot {
+    fn building() -> SheetSlot {
+        SheetSlot {
+            state: Mutex::new(SlotState::Building),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Block until the slot leaves `Building`.
+    fn wait_ready(&self) -> Result<Arc<Shard>, WorkspaceError> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match &*st {
+                SlotState::Ready(shard) => return Ok(Arc::clone(shard)),
+                SlotState::Failed(e) => return Err(e.clone()),
+                SlotState::Building => {
+                    st = self.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    fn publish(&self, state: SlotState) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = state;
+        self.ready.notify_all();
+    }
+}
+
 struct Inner {
     dir: Option<PathBuf>,
     config: WorkspaceConfig,
-    sheets: RwLock<HashMap<String, Arc<Shard>>>,
+    sheets: RwLock<HashMap<String, Arc<SheetSlot>>>,
     committer: GroupCommitter,
     /// Fsyncs issued inline by `CommitMode::PerOp` writers (the baseline
     /// counter the concurrency bench compares against committer batches).
@@ -210,7 +372,8 @@ impl Workspace {
         }
     }
 
-    /// Names of the sheets opened so far.
+    /// Names of the sheets opened so far (including ones still
+    /// recovering).
     pub fn sheet_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self
             .inner
@@ -229,14 +392,23 @@ impl Workspace {
     /// Group fsyncs count every fsync issued through the group
     /// fsync-point, whether by the committer thread or a helping writer.
     pub fn commit_stats(&self) -> (u64, u64, u64) {
-        let group_fsyncs: u64 = self
+        let slots: Vec<Arc<SheetSlot>> = self
             .inner
             .sheets
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .values()
-            .filter_map(|s| s.wal.as_ref())
-            .map(|w| w.fsync_count())
+            .cloned()
+            .collect();
+        let group_fsyncs: u64 = slots
+            .iter()
+            .filter_map(|slot| {
+                let st = slot.state.lock().unwrap_or_else(|e| e.into_inner());
+                match &*st {
+                    SlotState::Ready(shard) => shard.wal.as_ref().map(|w| w.fsync_count()),
+                    _ => None,
+                }
+            })
             .sum();
         (
             self.inner.committer.rounds(),
@@ -248,7 +420,9 @@ impl Workspace {
 
 /// A client handle onto a [`Workspace`]: the session API (`open_sheet`,
 /// `fetch_window`, `apply_edit`, `import_rows`, `checkpoint`), keyed by
-/// sheet name.
+/// sheet name. Every request/response type on this surface is wire-stable
+/// plain data from [`dataspread_proto`] — the TCP server exposes these
+/// methods one-to-one without reshaping anything.
 #[derive(Clone)]
 pub struct Session {
     inner: Arc<Inner>,
@@ -264,13 +438,15 @@ impl std::fmt::Debug for Session {
 
 impl Session {
     fn shard(&self, name: &str) -> Result<Arc<Shard>, WorkspaceError> {
-        self.inner
+        let slot = self
+            .inner
             .sheets
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .get(name)
             .cloned()
-            .ok_or_else(|| WorkspaceError::NoSuchSheet(name.to_string()))
+            .ok_or_else(|| WorkspaceError::NoSuchSheet(name.to_string()))?;
+        slot.wait_ready()
     }
 
     fn read_engine<'a>(&self, shard: &'a Shard) -> RwLockReadGuard<'a, SheetEngine> {
@@ -284,19 +460,68 @@ impl Session {
     /// Open (or create) the named sheet. Durable workspaces store each
     /// sheet in its own subdirectory and run the engine's crash recovery
     /// here; reopening an already-open sheet is a cheap no-op.
+    ///
+    /// The sheet-map write lock is held only long enough to publish a
+    /// placeholder slot; recovery itself (image restore + WAL replay,
+    /// potentially seconds on a large sheet) runs outside it, so
+    /// concurrent opens and operations on *other* sheets never stall
+    /// behind this one. Concurrent opens of the *same* sheet block until
+    /// the first opener finishes, then share its shard.
     pub fn open_sheet(&self, name: &str) -> Result<(), WorkspaceError> {
         if !valid_sheet_name(name) {
             return Err(WorkspaceError::BadSheetName(name.to_string()));
         }
         {
             let sheets = self.inner.sheets.read().unwrap_or_else(|e| e.into_inner());
-            if sheets.contains_key(name) {
-                return Ok(());
+            if let Some(slot) = sheets.get(name) {
+                let slot = Arc::clone(slot);
+                drop(sheets);
+                return slot.wait_ready().map(|_| ());
             }
         }
-        let mut sheets = self.inner.sheets.write().unwrap_or_else(|e| e.into_inner());
-        if sheets.contains_key(name) {
-            return Ok(()); // raced with another opener
+        // Publish a placeholder under the (briefly held) write lock.
+        let slot = {
+            let mut sheets = self.inner.sheets.write().unwrap_or_else(|e| e.into_inner());
+            if let Some(existing) = sheets.get(name) {
+                // Raced with another opener: wait on their slot instead.
+                let existing = Arc::clone(existing);
+                drop(sheets);
+                return existing.wait_ready().map(|_| ());
+            }
+            let slot = Arc::new(SheetSlot::building());
+            sheets.insert(name.to_string(), Arc::clone(&slot));
+            slot
+        };
+        // Recover outside every workspace-level lock.
+        match self.build_shard(name) {
+            Ok(shard) => {
+                slot.publish(SlotState::Ready(shard));
+                Ok(())
+            }
+            Err(e) => {
+                // Unlink the failed slot first so a retry can start
+                // fresh, then wake waiters with the error.
+                let mut sheets = self.inner.sheets.write().unwrap_or_else(|e| e.into_inner());
+                if sheets
+                    .get(name)
+                    .is_some_and(|current| Arc::ptr_eq(current, &slot))
+                {
+                    sheets.remove(name);
+                }
+                drop(sheets);
+                slot.publish(SlotState::Failed(e.clone()));
+                Err(e)
+            }
+        }
+    }
+
+    /// Engine construction + recovery for one sheet (no workspace locks
+    /// held).
+    fn build_shard(&self, name: &str) -> Result<Arc<Shard>, WorkspaceError> {
+        if let Some((stall_name, dur)) = &self.inner.config.open_stall_for_tests {
+            if stall_name == name {
+                std::thread::sleep(*dur);
+            }
         }
         let mut engine = match &self.inner.dir {
             Some(dir) => SheetEngine::open(dir.join(name))?,
@@ -309,28 +534,25 @@ impl Session {
         if let (Some(wal), CommitMode::Group) = (&wal, self.inner.config.commit_mode) {
             self.inner.committer.register(wal);
         }
-        sheets.insert(
-            name.to_string(),
-            Arc::new(Shard {
-                engine: RwLock::new(engine),
-                wal,
-            }),
-        );
-        Ok(())
+        Ok(Arc::new(Shard {
+            engine: RwLock::new(engine),
+            wal,
+        }))
     }
 
     /// Fetch the positional window `rect` of `sheet` — the scrolling /
     /// rendering read path. Takes the sheet's *shared* lock: any number of
     /// sessions fetch windows of the same sheet concurrently, and windows
     /// of different sheets never touch the same lock at all.
-    pub fn fetch_window(
-        &self,
-        sheet: &str,
-        rect: Rect,
-    ) -> Result<Vec<(CellAddr, Cell)>, WorkspaceError> {
+    ///
+    /// Returns a compact [`WindowPatch`] — typed value runs plus sparse
+    /// formula/error overlays — instead of one `Cell` clone per filled
+    /// cell. The patch is the wire format: the TCP server frames it
+    /// as-is.
+    pub fn fetch_window(&self, sheet: &str, rect: Rect) -> Result<WindowPatch, WorkspaceError> {
         let shard = self.shard(sheet)?;
         let engine = self.read_engine(&shard);
-        Ok(engine.get_cells(rect))
+        Ok(WindowPatch::from_cells(rect, engine.get_cells(rect)))
     }
 
     /// A single cell's computed value (shared lock, like `fetch_window`).
@@ -425,6 +647,16 @@ impl Session {
         }
     }
 
+    /// Highest commit ticket known crash-durable on `sheet` (0 on
+    /// in-memory workspaces). `stage_edit` tickets at or below this value
+    /// no longer need an `await_commit` — the admission-control signal
+    /// the server's per-connection backpressure prunes its in-flight
+    /// window with.
+    pub fn durable_ticket(&self, sheet: &str) -> Result<u64, WorkspaceError> {
+        let shard = self.shard(sheet)?;
+        Ok(shard.wal.as_ref().map_or(0, |w| w.durable_seq()))
+    }
+
     /// Bulk-import rows of values at `top_left` (one logical op, one WAL
     /// record), committed like any edit.
     pub fn import_rows(
@@ -506,6 +738,7 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::{Duration, Instant};
 
     fn temp_dir(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -543,8 +776,14 @@ mod tests {
             CellValue::Number(42.0)
         );
         let window = s.fetch_window("alpha", Rect::new(0, 0, 10, 10)).unwrap();
-        assert_eq!(window.len(), 2);
+        assert_eq!(window.filled_count(), 2);
+        // The patch carries the formula overlay alongside the computed
+        // value.
+        let cell = window.cell_at(CellAddr::new(0, 1)).unwrap();
+        assert_eq!(cell.value, CellValue::Number(42.0));
+        assert_eq!(cell.formula.as_deref(), Some("A1+1"));
         assert!(s.checkpoint("alpha").unwrap().is_none());
+        assert_eq!(s.durable_ticket("alpha").unwrap(), 0);
     }
 
     #[test]
@@ -574,6 +813,10 @@ mod tests {
             let r2 = s.apply_edit("ledger", set(1, 0, "=A1*2")).unwrap();
             assert!(r1.durable && r2.durable);
             assert!(r2.ticket > r1.ticket, "tickets order the edit history");
+            assert!(
+                s.durable_ticket("ledger").unwrap() >= r2.ticket,
+                "acknowledged edits are at or below the durable horizon"
+            );
         }
         // Reopen: both committed edits must recover (no explicit save —
         // the group commit itself was the fsync-point).
@@ -632,6 +875,7 @@ mod tests {
             }
             // Awaiting the last ticket commits the whole window.
             s.await_commit("p", last).unwrap();
+            assert!(s.durable_ticket("p").unwrap() >= last);
         }
         let ws = Workspace::open(&dir).unwrap();
         let s = ws.session();
@@ -706,8 +950,175 @@ mod tests {
             .unwrap();
         assert_eq!(rect, Rect::new(2, 1, 5, 3));
         let window = s.fetch_window("data", rect).unwrap();
-        assert_eq!(window.len(), 12);
+        assert_eq!(window.filled_count(), 12);
+        assert_eq!(
+            window.run_count(),
+            1,
+            "a dense numeric import is one typed run"
+        );
         assert_eq!(s.stats("data").unwrap().regions, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_codes_roundtrip_the_wire() {
+        let errors: Vec<WorkspaceError> = vec![
+            WorkspaceError::NoSuchSheet("ledger".into()),
+            WorkspaceError::BadSheetName("a/b".into()),
+            WorkspaceError::Busy("32 staged edits in flight".into()),
+            WorkspaceError::Protocol("bad tag 77".into()),
+            WorkspaceError::Io("connection reset".into()),
+            WorkspaceError::Engine(EngineError::Unsupported("structural edit".into())),
+            WorkspaceError::Engine(EngineError::BadLink("overlap".into())),
+            WorkspaceError::Store(StoreError::NoSuchTable("t".into())),
+            WorkspaceError::Store(StoreError::BadTupleId),
+            WorkspaceError::Store(StoreError::TupleTooLarge(9000)),
+            WorkspaceError::Store(StoreError::Corrupt("truncated record".into())),
+            WorkspaceError::Store(StoreError::Io("disk full".into())),
+            WorkspaceError::Remote {
+                code: 0x7777,
+                detail: "from the future".into(),
+            },
+        ];
+        for e in &errors {
+            let wire = e.to_wire();
+            let back = WorkspaceError::from_wire(wire.code, wire.detail.clone());
+            assert_eq!(
+                back.code(),
+                e.code(),
+                "code must survive the round trip: {e:?}"
+            );
+            assert_eq!(
+                back.wire_detail(),
+                e.wire_detail(),
+                "detail must survive the round trip: {e:?}"
+            );
+            assert_eq!(&back, e, "structural variants reconstruct exactly: {e:?}");
+        }
+        // Distinct variants get distinct codes.
+        let mut codes: Vec<u16> = errors.iter().map(|e| e.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errors.len());
+    }
+
+    #[test]
+    fn parser_level_errors_keep_their_code_class() {
+        // A formula parse error can't reconstruct its typed payload
+        // client-side, but its code class must survive.
+        let ws = Workspace::in_memory();
+        let s = ws.session();
+        s.open_sheet("f").unwrap();
+        let err = s.apply_edit("f", set(0, 0, "=SUM((")).unwrap_err();
+        let wire = err.to_wire();
+        assert_eq!(wire.code, dataspread_proto::codes::ENGINE_FORMULA);
+        let back = WorkspaceError::from_wire(wire.code, wire.detail);
+        assert_eq!(back.code(), dataspread_proto::codes::ENGINE_FORMULA);
+        assert!(matches!(back, WorkspaceError::Remote { .. }));
+    }
+
+    #[test]
+    fn failed_open_unlinks_the_slot_for_retry() {
+        let dir = temp_dir("failed-open");
+        let ws = Workspace::open(&dir).unwrap();
+        let s = ws.session();
+        // Make the sheet's directory path unusable: a *file* where the
+        // sheet directory must go.
+        std::fs::write(dir.join("jam"), b"not a directory").unwrap();
+        assert!(s.open_sheet("jam").is_err());
+        assert!(
+            ws.sheet_names().is_empty(),
+            "failed open must not leave a slot behind"
+        );
+        // Clearing the obstruction lets a retry succeed.
+        std::fs::remove_file(dir.join("jam")).unwrap();
+        s.open_sheet("jam").unwrap();
+        s.apply_edit("jam", set(0, 0, "1")).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn slow_recovery_does_not_stall_other_sheets() {
+        let dir = temp_dir("slow-open");
+        let stall = Duration::from_millis(400);
+        let ws = Workspace::open_with(
+            &dir,
+            WorkspaceConfig {
+                open_stall_for_tests: Some(("glacier".to_string(), stall)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let slow = ws.session();
+        let fast = ws.session();
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            let slow_done = scope.spawn(move || {
+                slow.open_sheet("glacier").unwrap();
+                Instant::now()
+            });
+            // Give the slow opener time to publish its placeholder and
+            // enter recovery.
+            std::thread::sleep(Duration::from_millis(50));
+            let fast_done = scope.spawn(move || {
+                let mut max_op = Duration::ZERO;
+                for i in 0..20u32 {
+                    let t = Instant::now();
+                    fast.open_sheet("quick").unwrap();
+                    fast.apply_edit("quick", set(i, 0, "1")).unwrap();
+                    max_op = max_op.max(t.elapsed());
+                }
+                (Instant::now(), max_op)
+            });
+            let (fast_end, max_op) = fast_done.join().unwrap();
+            let slow_end = slow_done.join().unwrap();
+            assert!(
+                fast_end < slow_end,
+                "operations on another sheet finished before the stalled recovery"
+            );
+            assert!(
+                max_op < stall / 4,
+                "no single op on another sheet may wait out the recovery \
+                 (max {max_op:?} vs stall {stall:?})"
+            );
+        });
+        assert!(t0.elapsed() >= stall, "the stall hook must have engaged");
+        // The stalled sheet is fully usable afterwards.
+        let s = ws.session();
+        s.apply_edit("glacier", set(0, 0, "5")).unwrap();
+        assert_eq!(
+            s.value("glacier", CellAddr::new(0, 0)).unwrap(),
+            CellValue::Number(5.0)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_opens_of_a_stalled_sheet_share_one_shard() {
+        let dir = temp_dir("shared-open");
+        let ws = Workspace::open_with(
+            &dir,
+            WorkspaceConfig {
+                open_stall_for_tests: Some(("shared".to_string(), Duration::from_millis(150))),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = ws.session();
+                scope.spawn(move || {
+                    s.open_sheet("shared").unwrap();
+                    s.apply_edit("shared", set(0, 0, "1")).unwrap();
+                });
+            }
+        });
+        let s = ws.session();
+        assert_eq!(
+            s.value("shared", CellAddr::new(0, 0)).unwrap(),
+            CellValue::Number(1.0)
+        );
+        assert_eq!(ws.sheet_names(), vec!["shared".to_string()]);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -140,7 +140,7 @@ fn run_stress(
                         let window = session
                             .fetch_window(sheet, Rect::new(r1, 0, r1 + 10, MAX_COL))
                             .expect("window");
-                        window_hits.fetch_add(window.len() as u32, Ordering::Relaxed);
+                        window_hits.fetch_add(window.filled_count() as u32, Ordering::Relaxed);
                     } else if checkpoints && roll < 95 {
                         session.checkpoint(sheet).expect("checkpoint");
                     } else {
@@ -278,7 +278,8 @@ fn concurrent_readers_see_consistent_windows_during_writes() {
                     let r1 = rng.gen_range(0..MAX_ROW);
                     let cells = session
                         .fetch_window("s", Rect::new(r1, 0, r1 + 8, MAX_COL))
-                        .expect("window fetch during writes");
+                        .expect("window fetch during writes")
+                        .cells();
                     // Row-major order is part of the contract.
                     for pair in cells.windows(2) {
                         assert!(

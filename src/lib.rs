@@ -24,7 +24,17 @@
 //!   behind per-sheet locks, a name-keyed session API
 //!   (`open_sheet` / `fetch_window` / `apply_edit` / `import_rows` /
 //!   `checkpoint`), and a group-commit committer that batches WAL fsyncs
-//!   across concurrent writers.
+//!   across concurrent writers,
+//! * [`proto`] — the wire-stable protocol layer: length-prefixed
+//!   framing, request/response envelopes, compact
+//!   [`proto::WindowPatch`] window encoding, and stable numeric error
+//!   codes,
+//! * [`server`] — the `dataspread-server` TCP server hosting a
+//!   workspace behind that protocol (session multiplexing, group-commit
+//!   pipelining, per-connection admission control),
+//! * [`client`] — the blocking TCP client whose
+//!   [`client::RemoteSession`] mirrors the in-process session API
+//!   one-to-one.
 //!
 //! ## Quickstart
 //!
@@ -40,12 +50,15 @@
 //! ```
 
 pub use dataspread_analysis as analysis;
+pub use dataspread_client as client;
 pub use dataspread_corpus as corpus;
 pub use dataspread_engine as engine;
 pub use dataspread_formula as formula;
 pub use dataspread_grid as grid;
 pub use dataspread_hybrid as hybrid;
 pub use dataspread_posmap as posmap;
+pub use dataspread_proto as proto;
 pub use dataspread_rel as rel;
 pub use dataspread_relstore as relstore;
+pub use dataspread_server as server;
 pub use dataspread_workspace as workspace;

@@ -86,4 +86,27 @@ fn every_reexported_crate_is_reachable() {
             .unwrap(),
         dataspread::grid::CellValue::Number(42.0)
     );
+
+    // proto + server + client: the same session API over TCP.
+    let handle = dataspread::server::serve(ws, "127.0.0.1:0").unwrap();
+    let client = dataspread::client::Client::connect(handle.local_addr()).unwrap();
+    let remote = client.session();
+    let window = remote
+        .fetch_window("smoke", dataspread::grid::Rect::new(0, 0, 3, 3))
+        .unwrap();
+    assert_eq!(window.filled_count(), 1);
+    assert_eq!(
+        window
+            .cell_at(dataspread::grid::CellAddr::new(0, 0))
+            .unwrap()
+            .value,
+        dataspread::grid::CellValue::Number(42.0)
+    );
+    let err = remote.open_sheet("bad/name").unwrap_err();
+    assert_eq!(
+        err.code(),
+        dataspread::proto::codes::BAD_SHEET_NAME,
+        "error codes round-trip the wire"
+    );
+    handle.shutdown();
 }
