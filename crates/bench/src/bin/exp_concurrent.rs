@@ -22,12 +22,13 @@
 //! `DS_CONCURRENT_READERS` (comma-separated thread counts) and
 //! `DS_CONCURRENT_OPS` (ops per writer). At full scale (a grid including
 //! 8 writers) the run *asserts* the acceptance bounds: group-commit
-//! throughput ≥ 5× per-op fsync at 8 writers (pipelined row; the
-//! synchronous row is recorded alongside — on a single-core host its
-//! ratio is capped by one futex sleep/wake pair per op, not by fsyncs),
-//! group fsyncs ≤ ¼ of per-op fsyncs (scheduler-independent), and read
-//! scaling within 2× of linear in `min(readers, cores)` — scaled-down
-//! CI grids skip the asserts.
+//! throughput ≥ 5× per-op fsync at 8 writers pipelined and ≥ 2× fully
+//! synchronous (commit acknowledgements spin briefly then *help* with
+//! the flush — `SharedWal::commit_wait` — so the window-1 row is bounded
+//! by batch formation, about one fsync per W-writer batch, instead of a
+//! futex sleep/wake pair per op), group fsyncs ≤ ¼ of per-op fsyncs
+//! (scheduler-independent), and read scaling within 2× of linear in
+//! `min(readers, cores)` — scaled-down CI grids skip the asserts.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -298,23 +299,24 @@ fn main() {
     println!("\nwrote {out_path}");
 
     // Acceptance bounds, armed only at full scale (8-writer grid). The
-    // throughput bound is asserted on the pipelined row: synchronous
-    // window-1 clients pay one futex sleep/wake pair per op, which on a
-    // single-core host costs a comparable order to the fsync itself and
-    // caps the end-to-end ratio regardless of batching (the window-1 row
-    // is still recorded in the JSON). The fsync-batching bound is
-    // asserted on every full-scale row — it is scheduler-independent.
+    // pipelined row must clear 5×. The synchronous window-1 row is bounded
+    // by batch formation (W writers × 1 op in flight → at best W ops per
+    // fsync, and each batch costs a full scheduling cycle through all W
+    // writers), so its floor is looser — 2× guards the failure mode the
+    // helping-flush commit path fixed, where every ack paid a committer
+    // park/wake round-trip and the ratio decayed toward 1×. The
+    // fsync-batching bound is asserted on every full-scale row — it is
+    // scheduler-independent.
     for r in &writer_rows {
         if r.writers >= 8 {
             let speedup = r.group_ops_s / r.per_op_ops_s;
-            if r.window > 1 {
-                assert!(
-                    speedup >= 5.0,
-                    "group commit speedup {speedup:.1}x < 5x at {} writers (window {})",
-                    r.writers,
-                    r.window
-                );
-            }
+            let floor = if r.window > 1 { 5.0 } else { 2.0 };
+            assert!(
+                speedup >= floor,
+                "group commit speedup {speedup:.1}x < {floor}x at {} writers (window {})",
+                r.writers,
+                r.window
+            );
             assert!(
                 r.group_fsyncs <= r.per_op_fsyncs / 4,
                 "group commit must batch fsyncs ({} vs {})",

@@ -10,9 +10,10 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use dataspread_formula::ast::Expr;
+use dataspread_formula::batch::{batch_eval_sliding, detect_sliding, SlidingSpec};
 use dataspread_formula::eval::CellReader;
 use dataspread_formula::refs::{collect_ranges, rewrite, Shift};
-use dataspread_formula::{parse, CellCache, DependencyGraph, Evaluator};
+use dataspread_formula::{parse, CellCache, DependencyGraph, Evaluator, WavePlan};
 use dataspread_grid::value::CellError;
 use dataspread_grid::{Cell, CellAddr, CellValue, Rect, SparseSheet};
 use dataspread_hybrid::{
@@ -52,17 +53,41 @@ pub struct OptimizeReport {
     pub storage_after: u64,
 }
 
+/// A registered formula: the parsed AST, the user's source text exactly as
+/// entered (never re-serialized back from the AST), and the fill-down
+/// shape detected once at registration so recomputation can batch runs of
+/// the same formula filled to different cells.
+struct FormulaInfo {
+    expr: Expr,
+    /// Verbatim source text (without the leading `=`).
+    source: String,
+    /// The vectorizable sliding-aggregate shape, when the formula is one.
+    sliding: Option<SlidingSpec>,
+}
+
 /// A spreadsheet with database-backed storage.
 pub struct SheetEngine {
     sheet: HybridSheet,
     db: Arc<RwLock<Database>>,
     deps: DependencyGraph,
-    parsed: HashMap<CellAddr, Expr>,
+    parsed: HashMap<CellAddr, FormulaInfo>,
     cache: Mutex<CellCache>,
     composites: HashMap<CellAddr, Relation>,
     evaluator: Evaluator,
     /// WAL + paged image; `None` for an in-memory engine.
     durable: Option<DurableStore>,
+    /// Worker budget for wave-parallel recomputation (≥ 1).
+    recompute_threads: usize,
+    /// Cells recomputed since the engine was created (includes cells
+    /// marked `#CIRC!`); lets tests and benches observe recompute scope.
+    cells_recomputed: u64,
+    /// Force the retained sequential per-cell recompute path — the
+    /// differential oracle and the `exp_recompute` baseline.
+    scalar_recompute: bool,
+    /// Restore the pre-wave structural-edit behavior (clear the whole
+    /// eval cache, reseed every surviving formula) — the differential
+    /// baseline for band-intersection seeding.
+    shift_recompute_all: bool,
 }
 
 impl Default for SheetEngine {
@@ -104,6 +129,40 @@ impl CellReader for EngineReader<'_> {
     }
 }
 
+/// Cache-free reader for wave workers: each worker reads the hybrid
+/// translator directly, so parallel evaluation never contends on the
+/// shared LRU mutex. The cache is read-through, so values are identical
+/// with or without it.
+struct SheetOnlyReader<'a> {
+    sheet: &'a HybridSheet,
+}
+
+impl CellReader for SheetOnlyReader<'_> {
+    fn value(&self, addr: CellAddr) -> CellValue {
+        self.sheet
+            .get_cell(addr)
+            .map(|c| c.value)
+            .unwrap_or(CellValue::Empty)
+    }
+
+    fn range_values(&self, rect: Rect) -> Vec<(CellAddr, CellValue)> {
+        self.sheet
+            .get_cells(rect)
+            .into_iter()
+            .map(|(a, c)| (a, c.value))
+            .collect()
+    }
+}
+
+/// Minimum members in one fill-down run before the vectorized sweep is
+/// used instead of per-cell evaluation.
+const BATCH_MIN: usize = 16;
+
+/// Minimum per-cell evaluations in a wave before spawning workers pays
+/// for itself (chain-shaped cascades produce thousands of 1-cell waves;
+/// those must not pay thread spawn overhead).
+const PAR_MIN: usize = 64;
+
 impl SheetEngine {
     pub fn new() -> Self {
         Self::with_posmap(PosMapKind::default())
@@ -119,7 +178,39 @@ impl SheetEngine {
             composites: HashMap::new(),
             evaluator: Evaluator::new(),
             durable: None,
+            recompute_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            cells_recomputed: 0,
+            scalar_recompute: false,
+            shift_recompute_all: false,
         }
+    }
+
+    /// Cap the worker threads used for wave-parallel recomputation
+    /// (clamped to ≥ 1; 1 disables spawning). Defaults to the machine's
+    /// available parallelism.
+    pub fn set_recompute_threads(&mut self, threads: usize) {
+        self.recompute_threads = threads.max(1);
+    }
+
+    /// Cells recomputed since this engine was created (including cells
+    /// marked `#CIRC!`).
+    pub fn cells_recomputed(&self) -> u64 {
+        self.cells_recomputed
+    }
+
+    /// Force the retained sequential per-cell recompute path — the
+    /// differential oracle and the bench baseline for the wave pipeline.
+    #[doc(hidden)]
+    pub fn set_scalar_recompute(&mut self, on: bool) {
+        self.scalar_recompute = on;
+    }
+
+    /// Restore the recompute-everything structural-edit path (whole-cache
+    /// clear, every surviving formula reseeded) — the differential
+    /// baseline for band-intersection seeding.
+    #[doc(hidden)]
+    pub fn set_shift_recompute_all(&mut self, on: bool) {
+        self.shift_recompute_all = on;
     }
 
     // ------------------------------------------------------ persistence --
@@ -177,8 +268,7 @@ impl SheetEngine {
         for (addr, cell) in absolute_cells {
             if let Some(src) = &cell.formula {
                 if let Ok(expr) = parse(src) {
-                    engine.deps.set_formula(addr, collect_ranges(&expr));
-                    engine.parsed.insert(addr, expr);
+                    engine.register_formula(addr, expr, src.clone());
                 }
             }
         }
@@ -356,8 +446,7 @@ impl SheetEngine {
     fn update_cell_impl(&mut self, addr: CellAddr, input: &str) -> Result<(), EngineError> {
         if let Some(src) = input.strip_prefix('=') {
             let expr = parse(src)?;
-            self.deps.set_formula(addr, collect_ranges(&expr));
-            self.parsed.insert(addr, expr);
+            self.register_formula(addr, expr, src.to_string());
             self.sheet.set_cell(addr, Cell::formula(src))?;
             self.cache.lock().invalidate(&addr);
             self.recompute(&[addr])?;
@@ -746,11 +835,51 @@ impl SheetEngine {
 
     // -------------------------------------------------------- formulas --
 
-    /// Re-evaluate the given seeds' dependents in topological order.
+    /// Register (or replace) a formula: dependency ranges, parsed AST, the
+    /// verbatim source text, and the fill-down shape (detected once, here,
+    /// so recomputation can batch runs without re-inspecting ASTs).
+    fn register_formula(&mut self, addr: CellAddr, expr: Expr, source: String) {
+        self.deps.set_formula(addr, collect_ranges(&expr));
+        let sliding = detect_sliding(&expr, addr);
+        self.parsed.insert(
+            addr,
+            FormulaInfo {
+                expr,
+                source,
+                sliding,
+            },
+        );
+    }
+
+    /// Re-evaluate the given seeds' dependents: in topological waves, with
+    /// same-shape fill-down runs batch-evaluated and wide waves fanned out
+    /// across the worker budget. Results are written back in wave order,
+    /// so output is identical to the sequential per-cell walk
+    /// ([`SheetEngine::set_scalar_recompute`] retains that walk as the
+    /// differential oracle).
     fn recompute(&mut self, seeds: &[CellAddr]) -> Result<(), EngineError> {
+        if self.scalar_recompute {
+            return self.recompute_scalar(seeds);
+        }
+        let plan = self.deps.recompute_waves(seeds);
+        self.run_wave_plan(plan)
+    }
+
+    fn run_wave_plan(&mut self, plan: WavePlan) -> Result<(), EngineError> {
+        for wave in &plan.waves {
+            self.eval_wave(wave)?;
+        }
+        for addr in plan.cyclic {
+            self.write_computed(addr, CellValue::Error(CellError::Circular))?;
+        }
+        Ok(())
+    }
+
+    /// The retained sequential tree walk over the Kahn order.
+    fn recompute_scalar(&mut self, seeds: &[CellAddr]) -> Result<(), EngineError> {
         let plan = self.deps.recompute_plan(seeds);
         for addr in plan.order {
-            let Some(expr) = self.parsed.get(&addr) else {
+            let Some(info) = self.parsed.get(&addr) else {
                 continue;
             };
             let value = {
@@ -758,7 +887,7 @@ impl SheetEngine {
                     sheet: &self.sheet,
                     cache: &self.cache,
                 };
-                self.evaluator.eval(expr, &reader)
+                self.evaluator.eval(&info.expr, &reader)
             };
             self.write_computed(addr, value)?;
         }
@@ -768,51 +897,198 @@ impl SheetEngine {
         Ok(())
     }
 
+    /// Recompute every registered formula (bulk loads, benches). The wave
+    /// path plans with [`DependencyGraph::full_waves`]: when the affected
+    /// set is the whole graph there is nothing to discover, so the
+    /// per-cell spatial probes of the seeded planner are skipped entirely.
+    pub fn recompute_all(&mut self) -> Result<(), EngineError> {
+        if self.scalar_recompute {
+            let seeds: Vec<CellAddr> = self.parsed.keys().copied().collect();
+            return self.recompute_scalar(&seeds);
+        }
+        let plan = self.deps.full_waves();
+        self.run_wave_plan(plan)
+    }
+
+    /// Evaluate one wave. Members of a wave never read each other (the
+    /// wave invariant), so evaluation order within the wave cannot change
+    /// results — only the write-back order is kept deterministic.
+    ///
+    /// Every read goes through the cache-free [`SheetOnlyReader`]: the LRU
+    /// cache is read-through (so values are identical with or without it),
+    /// and its per-read lock + recency churn is exactly the overhead a
+    /// bulk cascade cannot afford. The cache still serves the interactive
+    /// single-cell paths and stays coherent because every write-back
+    /// invalidates its address.
+    fn eval_wave(&mut self, wave: &[CellAddr]) -> Result<(), EngineError> {
+        // Chains degenerate into thousands of single-cell waves; skip the
+        // grouping machinery for them.
+        if let [addr] = *wave {
+            if let Some(info) = self.parsed.get(&addr) {
+                let reader = SheetOnlyReader { sheet: &self.sheet };
+                let value = self.evaluator.eval(&info.expr, &reader);
+                self.write_computed(addr, value)?;
+            }
+            return Ok(());
+        }
+        let mut results: Vec<Option<CellValue>> = vec![None; wave.len()];
+        let mut batched = vec![false; wave.len()];
+        // 1. Vectorized sweeps over fill-down runs: same sliding-aggregate
+        //    shape, same column. One bulk fetch serves the whole run.
+        let mut runs: HashMap<(SlidingSpec, u32), Vec<usize>> = HashMap::new();
+        for (i, &addr) in wave.iter().enumerate() {
+            if let Some(spec) = self.parsed.get(&addr).and_then(|info| info.sliding) {
+                runs.entry((spec, addr.col)).or_default().push(i);
+            }
+        }
+        for ((spec, _), idxs) in runs {
+            if idxs.len() < BATCH_MIN {
+                continue;
+            }
+            let members: Vec<CellAddr> = idxs.iter().map(|&i| wave[i]).collect();
+            let reader = SheetOnlyReader { sheet: &self.sheet };
+            // `None` (window off-sheet, union too large) falls back to the
+            // per-cell walk below.
+            if let Some(values) = batch_eval_sliding(spec, &members, &reader) {
+                for (&i, v) in idxs.iter().zip(values) {
+                    results[i] = Some(v);
+                    batched[i] = true;
+                }
+            }
+        }
+        // 2. Everything else: per-cell tree walks, fanned out across the
+        //    worker budget when the wave is wide enough to pay for spawns.
+        let rest: Vec<usize> = (0..wave.len()).filter(|&i| !batched[i]).collect();
+        let threads = self.recompute_threads.min(rest.len());
+        if threads > 1 && rest.len() >= PAR_MIN {
+            let sheet = &self.sheet;
+            let parsed = &self.parsed;
+            let evaluator = self.evaluator;
+            let chunk = rest.len().div_ceil(threads);
+            let mut partials: Vec<Vec<(usize, Option<CellValue>)>> = Vec::new();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = rest
+                    .chunks(chunk)
+                    .map(|ids| {
+                        s.spawn(move || {
+                            let reader = SheetOnlyReader { sheet };
+                            ids.iter()
+                                .map(|&i| {
+                                    let value = parsed
+                                        .get(&wave[i])
+                                        .map(|info| evaluator.eval(&info.expr, &reader));
+                                    (i, value)
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    partials.push(h.join().expect("recompute worker panicked"));
+                }
+            });
+            for part in partials {
+                for (i, value) in part {
+                    results[i] = value;
+                }
+            }
+        } else {
+            let reader = SheetOnlyReader { sheet: &self.sheet };
+            for &i in &rest {
+                let Some(info) = self.parsed.get(&wave[i]) else {
+                    continue;
+                };
+                results[i] = Some(self.evaluator.eval(&info.expr, &reader));
+            }
+        }
+        // 3. Deterministic write-back in wave (address) order.
+        for (i, &addr) in wave.iter().enumerate() {
+            if let Some(value) = results[i].take() {
+                self.write_computed(addr, value)?;
+            }
+        }
+        Ok(())
+    }
+
     fn write_computed(&mut self, addr: CellAddr, value: CellValue) -> Result<(), EngineError> {
-        let formula = self
-            .sheet
-            .get_cell(addr)
-            .and_then(|c| c.formula)
-            .or_else(|| self.parsed.get(&addr).map(|e| e.to_string()));
+        // The registry owns the verbatim source text. Re-deriving it from
+        // the stored cell cost a full-`Cell` clone per plan step, and
+        // falling back to the re-serialized AST silently rewrote the
+        // user's formula into canonical form.
+        let formula = self.parsed.get(&addr).map(|info| info.source.clone());
         self.sheet.set_cell(addr, Cell { value, formula })?;
         self.cache.lock().invalidate(&addr);
+        self.cells_recomputed += 1;
         Ok(())
     }
 
     /// Rewrite formulas (and their registry addresses) for a structural
-    /// edit, then recompute everything (ranges may have grown or shrunk).
+    /// edit, then recompute the formulas whose values can actually change.
+    ///
+    /// A formula's value survives a structural edit whenever its windows
+    /// move rigidly with the data they read — only windows *intersecting
+    /// the shift band* (a deleted band's cells disappear; an insertion
+    /// strictly inside a range changes the range's geometry) and formulas
+    /// whose references were destroyed can change value. Everything else
+    /// keeps its stored value, and cached values above the band stay
+    /// valid, so the eval cache is evicted only at and below the edit.
     fn apply_shift(&mut self, shift: Shift) -> Result<(), EngineError> {
-        self.cache.lock().clear();
-        let entries: Vec<(CellAddr, Expr)> = self.parsed.drain().collect();
+        if self.shift_recompute_all {
+            self.cache.lock().clear();
+        } else {
+            self.cache.lock().invalidate_where(|addr| match shift {
+                Shift::InsertRows { at, .. } | Shift::DeleteRows { at, .. } => addr.row >= at,
+                Shift::InsertCols { at, .. } | Shift::DeleteCols { at, .. } => addr.col >= at,
+            });
+        }
+        let mut entries: Vec<(CellAddr, FormulaInfo)> = self.parsed.drain().collect();
         self.deps = DependencyGraph::new();
         let mut seeds = Vec::new();
-        for (addr, expr) in entries {
-            // The formula cell itself may have moved or died.
+        for (addr, info) in entries.drain(..) {
+            // The formula cell itself may have moved or died. Readers of a
+            // dead formula's cell necessarily read the deleted band, so
+            // they reseed through their own band intersection.
             let Some(new_addr) = shift_addr(addr, shift) else {
                 continue;
             };
-            match rewrite(&expr, shift) {
+            match rewrite(&info.expr, shift) {
                 Some(new_expr) => {
-                    let src = new_expr.to_string();
-                    self.deps.set_formula(new_addr, collect_ranges(&new_expr));
-                    self.parsed.insert(new_addr, new_expr);
-                    // Refresh the stored formula source.
-                    let value = self
-                        .sheet
-                        .get_cell(new_addr)
-                        .map(|c| c.value)
-                        .unwrap_or(CellValue::Empty);
-                    self.sheet.set_cell(
-                        new_addr,
-                        Cell {
-                            value,
-                            formula: Some(src),
-                        },
-                    )?;
-                    seeds.push(new_addr);
+                    let needs_recompute = self.shift_recompute_all
+                        || collect_ranges(&info.expr)
+                            .iter()
+                            .any(|r| range_hits_shift(r, shift));
+                    let source = if new_expr == info.expr {
+                        // Pure translation (or untouched): the sheet moved
+                        // the cell with its verbatim text; keep it.
+                        info.source
+                    } else {
+                        // The reference set genuinely changed shape; the
+                        // stored text must be refreshed from the AST.
+                        let source = new_expr.to_string();
+                        let value = self
+                            .sheet
+                            .get_cell(new_addr)
+                            .map(|c| c.value)
+                            .unwrap_or(CellValue::Empty);
+                        self.sheet.set_cell(
+                            new_addr,
+                            Cell {
+                                value,
+                                formula: Some(source.clone()),
+                            },
+                        )?;
+                        source
+                    };
+                    self.register_formula(new_addr, new_expr, source);
+                    if needs_recompute {
+                        seeds.push(new_addr);
+                    }
                 }
                 None => {
-                    // A referenced cell was destroyed: #REF!.
+                    // A referenced cell was destroyed: #REF!. Seed the
+                    // address so formulas reading *this* cell recompute
+                    // against the error even when their own windows miss
+                    // the band entirely.
                     self.sheet.set_cell(
                         new_addr,
                         Cell {
@@ -820,10 +1096,28 @@ impl SheetEngine {
                             formula: None,
                         },
                     )?;
+                    self.cache.lock().invalidate(&new_addr);
+                    seeds.push(new_addr);
                 }
             }
         }
         self.recompute(&seeds)
+    }
+}
+
+/// Whether a read window's *pre-edit* coordinates intersect the band of a
+/// structural edit — the exact condition under which the window's contents
+/// (and thus the reading formula's value) can change. A window strictly
+/// above/left of the band, or one shifted rigidly as a whole, keeps its
+/// contents; an insertion changes contents only when it lands strictly
+/// inside the window (the window grows), a deletion only when the deleted
+/// band overlaps it.
+fn range_hits_shift(r: &Rect, shift: Shift) -> bool {
+    match shift {
+        Shift::InsertRows { at, .. } => r.r1 < at && at <= r.r2,
+        Shift::DeleteRows { at, n } => (r.r1 as u64) < at as u64 + n as u64 && r.r2 >= at,
+        Shift::InsertCols { at, .. } => r.c1 < at && at <= r.c2,
+        Shift::DeleteCols { at, n } => (r.c1 as u64) < at as u64 + n as u64 && r.c2 >= at,
     }
 }
 
@@ -959,6 +1253,67 @@ mod tests {
         e.delete_rows(0, 1).unwrap();
         // B2 moved to B1; its referenced cell died.
         assert_eq!(e.value(a("B1")), CellValue::Error(CellError::Ref));
+    }
+
+    #[test]
+    fn recompute_never_rewrites_formula_source() {
+        // The stored source must stay byte-for-byte what the user typed —
+        // recomputation and structural edits that only translate a formula
+        // must not re-serialize the AST into canonical form.
+        let mut e = SheetEngine::new();
+        e.update_cell_a1("A1", "1").unwrap();
+        e.update_cell_a1("A2", "2").unwrap();
+        e.update_cell_a1("B1", "=sum( A1 : A2 )").unwrap();
+        assert_eq!(e.value(a("B1")), CellValue::Number(3.0));
+        fn stored(e: &SheetEngine) -> Option<String> {
+            e.sheet.get_cell(CellAddr::parse_a1("B1").unwrap())?.formula
+        }
+        assert_eq!(stored(&e).as_deref(), Some("sum( A1 : A2 )"));
+        // A precedent edit recomputes B1; the text must survive.
+        e.update_cell_a1("A1", "10").unwrap();
+        assert_eq!(e.value(a("B1")), CellValue::Number(12.0));
+        assert_eq!(stored(&e).as_deref(), Some("sum( A1 : A2 )"));
+        // A structural edit below every reference translates B1's AST to
+        // itself — verbatim text must survive that too.
+        e.insert_rows(5, 3).unwrap();
+        assert_eq!(stored(&e).as_deref(), Some("sum( A1 : A2 )"));
+        assert_eq!(e.value(a("B1")), CellValue::Number(12.0));
+    }
+
+    #[test]
+    fn dependents_of_destroyed_cells_recompute() {
+        // C1 reads B1 reads A5. Deleting row 5 destroys B1's reference;
+        // B1 becomes #REF! and C1 — whose own range never touches the
+        // deleted band — must still recompute against the new error.
+        let mut e = SheetEngine::new();
+        e.update_cell_a1("A5", "7").unwrap();
+        e.update_cell_a1("B1", "=A5").unwrap();
+        e.update_cell_a1("C1", "=B1+1").unwrap();
+        assert_eq!(e.value(a("C1")), CellValue::Number(8.0));
+        e.delete_rows(4, 1).unwrap();
+        assert_eq!(e.value(a("B1")), CellValue::Error(CellError::Ref));
+        assert_eq!(e.value(a("C1")), CellValue::Error(CellError::Ref));
+    }
+
+    #[test]
+    fn shift_recomputes_only_band_intersecting_formulas() {
+        // Formulas whose windows sit entirely above an edit keep their
+        // values without re-evaluation; only band-intersecting ones rerun.
+        let mut e = SheetEngine::new();
+        e.update_cell_a1("A1", "1").unwrap();
+        e.update_cell_a1("A2", "2").unwrap();
+        e.update_cell_a1("B1", "=SUM(A1:A2)").unwrap();
+        e.update_cell_a1("A10", "5").unwrap();
+        e.update_cell_a1("B10", "=A10*2").unwrap();
+        e.update_cell_a1("C1", "=SUM(A1:A12)").unwrap();
+        let before = e.cells_recomputed();
+        // Insert inside C1's window but below B1's and above B10's.
+        e.insert_rows(5, 2).unwrap();
+        // Only C1 intersects the band: one re-evaluation.
+        assert_eq!(e.cells_recomputed() - before, 1);
+        assert_eq!(e.value(a("B1")), CellValue::Number(3.0));
+        assert_eq!(e.value(a("B12")), CellValue::Number(10.0));
+        assert_eq!(e.value(a("C1")), CellValue::Number(8.0));
     }
 
     #[test]

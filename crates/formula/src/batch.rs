@@ -1,0 +1,420 @@
+//! Batch evaluation for fill-down formula runs.
+//!
+//! A spreadsheet column of formulas is almost always one formula *filled
+//! down*: the same AST with every relative reference shifted by the row
+//! delta (Table I's corpus is dominated by this shape). Recomputing such a
+//! run cell-by-cell pays a full tree walk plus a storage range-fetch per
+//! cell — `SUM(A1:A64)` filled down 100k rows costs 100k index probes and
+//! 6.4M `Cell` clones. This module detects the shape once, at formula
+//! registration ([`shape_key`]), and evaluates a whole run against a single
+//! bulk fetch ([`batch_eval_sliding`]): the union of the run's windows is
+//! read into dense arrays, then each cell's aggregate folds over array
+//! slots in exactly the order the tree-walking evaluator would visit the
+//! underlying cells — so results are bit-identical to per-cell evaluation
+//! (same float associativity, same first-error semantics, same skip rules).
+
+use std::fmt::Write as _;
+
+use dataspread_grid::value::CellError;
+use dataspread_grid::{CellAddr, CellValue, Rect};
+
+use crate::ast::{CellRef, Expr, UnOp};
+use crate::eval::CellReader;
+
+/// Render `expr` with every reference written as an offset from `base`
+/// (`R[-3]C[0]`-style). Two formulas at different cells with equal keys are
+/// the same formula filled to different positions: evaluating one at its
+/// cell is evaluating the other shifted. Returns `None` when the formula
+/// contains an absolute (`$`) reference component — those do *not* shift on
+/// fill, so textual equality of the relative form would be a lie.
+pub fn shape_key(expr: &Expr, base: CellAddr) -> Option<String> {
+    let mut out = String::new();
+    write_relative(expr, base, &mut out)?;
+    Some(out)
+}
+
+fn write_ref_relative(r: &CellRef, base: CellAddr, out: &mut String) -> Option<()> {
+    if r.abs_row || r.abs_col {
+        return None;
+    }
+    let dr = r.row as i64 - base.row as i64;
+    let dc = r.col as i64 - base.col as i64;
+    let _ = write!(out, "R[{dr}]C[{dc}]");
+    Some(())
+}
+
+fn write_relative(expr: &Expr, base: CellAddr, out: &mut String) -> Option<()> {
+    match expr {
+        Expr::Number(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Expr::Text(s) => {
+            let _ = write!(out, "{s:?}");
+        }
+        Expr::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Expr::Ref(r) => write_ref_relative(r, base, out)?,
+        Expr::Range(a, b) => {
+            write_ref_relative(a, base, out)?;
+            out.push(':');
+            write_ref_relative(b, base, out)?;
+        }
+        Expr::Unary(op, e) => {
+            out.push(if *op == UnOp::Neg { '-' } else { '+' });
+            write_relative(e, base, out)?;
+        }
+        Expr::Binary(op, a, b) => {
+            out.push('(');
+            write_relative(a, base, out)?;
+            out.push_str(op.symbol());
+            write_relative(b, base, out)?;
+            out.push(')');
+        }
+        Expr::Percent(e) => {
+            write_relative(e, base, out)?;
+            out.push('%');
+        }
+        Expr::Func(name, args) => {
+            let _ = write!(out, "{name}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_relative(a, base, out)?;
+            }
+            out.push(')');
+        }
+    }
+    Some(())
+}
+
+/// The aggregates with a vectorizable sweep. These four share the same
+/// iteration contract in the evaluator (`for_each_value`): visit non-empty
+/// cells row-major, abort on the first error, fold numbers / count matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggKind {
+    Sum,
+    Count,
+    CountA,
+    Average,
+}
+
+impl AggKind {
+    fn from_name(name: &str) -> Option<AggKind> {
+        match name {
+            "SUM" => Some(AggKind::Sum),
+            "COUNT" => Some(AggKind::Count),
+            "COUNTA" => Some(AggKind::CountA),
+            "AVERAGE" => Some(AggKind::Average),
+            _ => None,
+        }
+    }
+}
+
+/// A sliding-window aggregate: `AGG(range)` where the whole range is
+/// relative, described by the range corners' offsets from the formula cell.
+/// This is the canonical fill-down aggregate (`=SUM(A1:A64)` filled down a
+/// column), and the shape [`batch_eval_sliding`] vectorizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlidingSpec {
+    pub kind: AggKind,
+    pub dr1: i64,
+    pub dc1: i64,
+    pub dr2: i64,
+    pub dc2: i64,
+}
+
+impl SlidingSpec {
+    /// The window this spec reads when the formula sits at `addr`; `None`
+    /// when the offsets fall outside the sheet (caller falls back to the
+    /// tree walk, which resolves it the slow way).
+    pub fn window(&self, addr: CellAddr) -> Option<Rect> {
+        let r1 = u32::try_from(addr.row as i64 + self.dr1).ok()?;
+        let c1 = u32::try_from(addr.col as i64 + self.dc1).ok()?;
+        let r2 = u32::try_from(addr.row as i64 + self.dr2).ok()?;
+        let c2 = u32::try_from(addr.col as i64 + self.dc2).ok()?;
+        Some(Rect::new(r1, c1, r2, c2))
+    }
+}
+
+/// Detect the sliding-aggregate shape: a single `SUM`/`COUNT`/`COUNTA`/
+/// `AVERAGE` call over one fully-relative range or cell reference.
+pub fn detect_sliding(expr: &Expr, base: CellAddr) -> Option<SlidingSpec> {
+    let Expr::Func(name, args) = expr else {
+        return None;
+    };
+    let kind = AggKind::from_name(name)?;
+    let [arg] = args.as_slice() else {
+        return None;
+    };
+    let (a, b) = match arg {
+        Expr::Range(a, b) => (a, b),
+        Expr::Ref(r) => (r, r),
+        _ => return None,
+    };
+    if a.abs_row || a.abs_col || b.abs_row || b.abs_col {
+        return None;
+    }
+    Some(SlidingSpec {
+        kind,
+        dr1: a.row as i64 - base.row as i64,
+        dc1: a.col as i64 - base.col as i64,
+        dr2: b.row as i64 - base.row as i64,
+        dc2: b.col as i64 - base.col as i64,
+    })
+}
+
+/// Refuse to materialize dense arrays past this many slots (~64 MB of
+/// `f64`s) — a run whose window union is bigger falls back to per-cell
+/// evaluation rather than ballooning memory.
+const MAX_DENSE_SLOTS: u64 = 8_000_000;
+
+/// Evaluate one fill-down run of `spec` at `members` with a single storage
+/// fetch. Returns values aligned with `members`, or `None` when the run
+/// does not fit the dense sweep (window out of bounds, union too large) —
+/// the caller then evaluates those cells through the normal tree walk.
+///
+/// Exactness: for each member this folds the same cells, in the same
+/// row-major order, with the same number/empty/error rules as
+/// `Evaluator::eval` on the equivalent `AGG(range)` call, so the results
+/// are bit-identical — the differential suites in `dataspread-engine`
+/// pin this against the sequential evaluator on random tapes.
+pub fn batch_eval_sliding(
+    spec: SlidingSpec,
+    members: &[CellAddr],
+    reader: &dyn CellReader,
+) -> Option<Vec<CellValue>> {
+    if members.is_empty() {
+        return Some(Vec::new());
+    }
+    let windows: Vec<Rect> = members
+        .iter()
+        .map(|&m| spec.window(m))
+        .collect::<Option<Vec<Rect>>>()?;
+    let mut it = windows.iter();
+    let first = it.next().expect("non-empty");
+    let union = it.fold(*first, |acc, w| acc.bbox_union(w));
+    let width = union.cols();
+    if union.rows().checked_mul(width)? > MAX_DENSE_SLOTS {
+        return None;
+    }
+    let slots = (union.rows() * width) as usize;
+    let width = width as usize;
+    // One bulk fetch for the whole run, splatted into dense arrays.
+    let mut nums: Vec<f64> = vec![0.0; slots];
+    let mut is_num: Vec<bool> = vec![false; slots];
+    let mut occupied: Vec<bool> = vec![false; slots];
+    // `range_values` yields row-major, so this stays sorted by (row, col).
+    let mut errors: Vec<(u32, u32, CellError)> = Vec::new();
+    for (addr, value) in reader.range_values(union) {
+        let idx = (addr.row - union.r1) as usize * width + (addr.col - union.c1) as usize;
+        match value {
+            CellValue::Number(n) => {
+                nums[idx] = n;
+                is_num[idx] = true;
+                occupied[idx] = true;
+            }
+            CellValue::Error(e) => {
+                errors.push((addr.row, addr.col, e));
+                occupied[idx] = true;
+            }
+            CellValue::Empty => {}
+            _ => occupied[idx] = true,
+        }
+    }
+    let out = windows
+        .iter()
+        .map(|w| {
+            // First error in row-major order inside the window aborts the
+            // aggregate — same contract as `for_each_value`.
+            let from = errors.partition_point(|&(r, c, _)| (r, c) < (w.r1, w.c1));
+            for &(r, c, e) in &errors[from..] {
+                if r > w.r2 {
+                    break;
+                }
+                if c >= w.c1 && c <= w.c2 {
+                    return CellValue::Error(e);
+                }
+            }
+            let mut sum = 0.0f64;
+            let mut n = 0u64;
+            for r in w.r1..=w.r2 {
+                let row_base = (r - union.r1) as usize * width;
+                for c in w.c1..=w.c2 {
+                    let idx = row_base + (c - union.c1) as usize;
+                    match spec.kind {
+                        AggKind::Sum | AggKind::Average => {
+                            if is_num[idx] {
+                                sum += nums[idx];
+                                n += 1;
+                            }
+                        }
+                        AggKind::Count => {
+                            if is_num[idx] {
+                                n += 1;
+                            }
+                        }
+                        AggKind::CountA => {
+                            if occupied[idx] {
+                                n += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            match spec.kind {
+                AggKind::Sum => CellValue::Number(sum),
+                AggKind::Count | AggKind::CountA => CellValue::Number(n as f64),
+                AggKind::Average => {
+                    if n == 0 {
+                        CellValue::Error(CellError::Div0)
+                    } else {
+                        CellValue::Number(sum / n as f64)
+                    }
+                }
+            }
+        })
+        .collect();
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{Evaluator, SheetReader};
+    use crate::parser::parse;
+    use dataspread_grid::SparseSheet;
+
+    fn a(s: &str) -> CellAddr {
+        CellAddr::parse_a1(s).unwrap()
+    }
+
+    #[test]
+    fn fill_down_shapes_share_a_key() {
+        let at_b5 = parse("SUM(A1:A5)*2").unwrap();
+        let at_b9 = parse("SUM(A5:A9)*2").unwrap();
+        let k1 = shape_key(&at_b5, a("B5")).unwrap();
+        let k2 = shape_key(&at_b9, a("B9")).unwrap();
+        assert_eq!(k1, k2);
+        // A different window is a different shape.
+        let other = parse("SUM(A1:A6)*2").unwrap();
+        assert_ne!(shape_key(&other, a("B5")).unwrap(), k1);
+    }
+
+    #[test]
+    fn absolute_refs_have_no_shape() {
+        let e = parse("SUM($A$1:A5)").unwrap();
+        assert_eq!(shape_key(&e, a("B5")), None);
+        assert_eq!(detect_sliding(&e, a("B5")), None);
+    }
+
+    #[test]
+    fn detect_sliding_covers_the_four_aggregates() {
+        for (src, kind) in [
+            ("SUM(A1:A8)", AggKind::Sum),
+            ("COUNT(A1:A8)", AggKind::Count),
+            ("COUNTA(A1:A8)", AggKind::CountA),
+            ("AVERAGE(A1:A8)", AggKind::Average),
+        ] {
+            let spec = detect_sliding(&parse(src).unwrap(), a("B8")).unwrap();
+            assert_eq!(spec.kind, kind);
+            assert_eq!(
+                spec.window(a("B8")).unwrap(),
+                Rect::parse_a1("A1:A8").unwrap()
+            );
+            // Filled down one row, the window slides with it.
+            assert_eq!(
+                spec.window(a("B9")).unwrap(),
+                Rect::parse_a1("A2:A9").unwrap()
+            );
+        }
+        // Arithmetic around the call is not a bare sliding aggregate.
+        assert_eq!(
+            detect_sliding(&parse("SUM(A1:A8)+1").unwrap(), a("B8")),
+            None
+        );
+        // MIN has no order-insensitive prefix fold here; excluded.
+        assert_eq!(detect_sliding(&parse("MIN(A1:A8)").unwrap(), a("B8")), None);
+    }
+
+    #[test]
+    fn window_above_sheet_top_falls_back() {
+        let spec = detect_sliding(&parse("SUM(A1:A8)").unwrap(), a("B8")).unwrap();
+        // At row 3 the window would start at row -4.
+        assert_eq!(spec.window(a("B4")), None);
+    }
+
+    #[test]
+    fn batch_matches_tree_walk_on_mixed_data() {
+        let mut sheet = SparseSheet::new();
+        // Numbers, text, bools, a gap, and an error cell at A13.
+        for r in 0..30u32 {
+            let v = match r % 5 {
+                0 => CellValue::Number(r as f64 * 1.5 + 0.1),
+                1 => CellValue::Number(-(r as f64) / 3.0),
+                2 => CellValue::Text(format!("t{r}")),
+                3 => CellValue::Bool(r % 2 == 0),
+                _ => continue,
+            };
+            sheet.set_value(CellAddr::new(r, 0), v);
+        }
+        sheet.set_value(CellAddr::new(12, 0), CellValue::Error(CellError::Div0));
+        let reader = SheetReader(&sheet);
+        let eval = Evaluator::new();
+        for src in [
+            "SUM(A1:A8)",
+            "COUNT(A1:A8)",
+            "COUNTA(A1:A8)",
+            "AVERAGE(A1:A8)",
+        ] {
+            let base_expr = parse(src).unwrap();
+            let spec = detect_sliding(&base_expr, a("B8")).unwrap();
+            let members: Vec<CellAddr> = (7..30).map(|r| CellAddr::new(r, 1)).collect();
+            let got = batch_eval_sliding(spec, &members, &reader).unwrap();
+            for (i, &m) in members.iter().enumerate() {
+                // The per-cell oracle: shift the window text to the member.
+                let w = spec.window(m).unwrap();
+                let shifted = parse(&format!(
+                    "{}(A{}:A{})",
+                    src.split('(').next().unwrap(),
+                    w.r1 + 1,
+                    w.r2 + 1
+                ))
+                .unwrap();
+                let want = eval.eval(&shifted, &reader);
+                assert_eq!(got[i], want, "{src} at {m} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_run_and_empty_window() {
+        let sheet = SparseSheet::new();
+        let reader = SheetReader(&sheet);
+        let spec = detect_sliding(&parse("SUM(A1:A4)").unwrap(), a("B4")).unwrap();
+        assert_eq!(batch_eval_sliding(spec, &[], &reader), Some(Vec::new()));
+        let got = batch_eval_sliding(spec, &[a("B4")], &reader).unwrap();
+        assert_eq!(got, vec![CellValue::Number(0.0)]);
+        let avg = detect_sliding(&parse("AVERAGE(A1:A4)").unwrap(), a("B4")).unwrap();
+        let got = batch_eval_sliding(avg, &[a("B4")], &reader).unwrap();
+        assert_eq!(got, vec![CellValue::Error(CellError::Div0)]);
+    }
+
+    #[test]
+    fn oversized_union_falls_back() {
+        let sheet = SparseSheet::new();
+        let reader = SheetReader(&sheet);
+        let spec = SlidingSpec {
+            kind: AggKind::Sum,
+            dr1: -9_000_000,
+            dc1: 0,
+            dr2: 0,
+            dc2: 0,
+        };
+        assert_eq!(
+            batch_eval_sliding(spec, &[CellAddr::new(9_000_001, 0)], &reader),
+            None
+        );
+    }
+}

@@ -104,6 +104,23 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         Some(v)
     }
 
+    /// Drop every entry whose key matches `pred`; returns how many were
+    /// dropped. Structural sheet edits use this to evict only the band of
+    /// addresses that actually moved instead of clearing the whole cache.
+    pub fn invalidate_where(&mut self, mut pred: impl FnMut(&K) -> bool) -> usize {
+        let victims: Vec<(K, u64)> = self
+            .map
+            .iter()
+            .filter(|(k, _)| pred(k))
+            .map(|(k, (_, tick))| (k.clone(), *tick))
+            .collect();
+        for (key, tick) in &victims {
+            self.map.remove(key);
+            self.by_tick.remove(tick);
+        }
+        victims.len()
+    }
+
     pub fn clear(&mut self) {
         self.map.clear();
         self.by_tick.clear();
@@ -161,6 +178,23 @@ mod tests {
         // After clear the structure still works.
         c.put(3, "c");
         assert_eq!(c.get(&3), Some(&"c"));
+    }
+
+    #[test]
+    fn invalidate_where_drops_matching_band() {
+        let mut c = LruCache::new(8);
+        for k in 0..6u32 {
+            c.put(k, k * 10);
+        }
+        assert_eq!(c.invalidate_where(|k| *k >= 3), 3);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.peek(&2), Some(&20));
+        assert_eq!(c.peek(&4), None);
+        // Recency index stays consistent: fill past capacity and evict.
+        for k in 10..18u32 {
+            c.put(k, k);
+        }
+        assert_eq!(c.len(), 8);
     }
 
     #[test]

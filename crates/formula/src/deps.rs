@@ -135,6 +135,43 @@ pub struct RecomputePlan {
     pub cyclic: Vec<CellAddr>,
 }
 
+/// Result of a wave-structured recomputation query: the same affected set
+/// as [`RecomputePlan`], grouped by dependency depth.
+///
+/// Wave `k` holds the formulas whose longest dependency path from a ready
+/// formula has length `k` — no formula in a wave reads any cell computed
+/// by another member of the same wave, so a wave's members can be
+/// evaluated concurrently once every earlier wave has been written back.
+/// Each wave is sorted, so concatenating the waves yields a deterministic
+/// (and valid topological) evaluation order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WavePlan {
+    /// Dependency levels, shallowest first; each wave sorted by address.
+    pub waves: Vec<Vec<CellAddr>>,
+    /// Formula cells caught in a reference cycle (must display `#CIRC!`).
+    pub cyclic: Vec<CellAddr>,
+}
+
+impl WavePlan {
+    /// Total number of formulas across all waves.
+    pub fn len(&self) -> usize {
+        self.waves.iter().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.waves.is_empty()
+    }
+}
+
+/// The affected subgraph both plan shapes are built from: nodes reachable
+/// from the seeds by dependent edges, in-degrees, and forward edges
+/// (`u → v` when formula `v` reads cell `u`).
+struct AffectedSubgraph {
+    nodes: Vec<CellAddr>,
+    indeg: HashMap<CellAddr, usize>,
+    edges: HashMap<CellAddr, Vec<CellAddr>>,
+}
+
 impl DependencyGraph {
     pub fn new() -> Self {
         Self::default()
@@ -202,7 +239,7 @@ impl DependencyGraph {
     /// (every formula reading cell `u` is by construction already in the
     /// affected closure), so plan construction is O(affected × candidates)
     /// instead of the all-pairs O(affected²) rect test.
-    pub fn recompute_plan(&self, seeds: &[CellAddr]) -> RecomputePlan {
+    fn affected_subgraph(&self, seeds: &[CellAddr]) -> AffectedSubgraph {
         // Each cell's dependents are needed twice (BFS discovery, then
         // edge construction below) — probe the index once per cell.
         let mut memo: HashMap<CellAddr, Vec<CellAddr>> = HashMap::new();
@@ -229,9 +266,9 @@ impl DependencyGraph {
                 }
             }
         }
-        // 2. Kahn's algorithm over the affected subgraph. Edge u→v when v
-        //    reads u (v must evaluate after u). Every node was probed
-        //    during the BFS, so this phase is pure memo lookups.
+        // 2. Edges of the affected subgraph: u→v when v reads u (v must
+        //    evaluate after u). Every node was probed during the BFS, so
+        //    this phase is pure memo lookups.
         let nodes: Vec<CellAddr> = affected.iter().copied().collect();
         let mut indeg: HashMap<CellAddr, usize> = nodes.iter().map(|&n| (n, 0)).collect();
         let mut edges: HashMap<CellAddr, Vec<CellAddr>> = HashMap::new();
@@ -249,6 +286,20 @@ impl DependencyGraph {
                 }
             }
         }
+        AffectedSubgraph {
+            nodes,
+            indeg,
+            edges,
+        }
+    }
+
+    pub fn recompute_plan(&self, seeds: &[CellAddr]) -> RecomputePlan {
+        let AffectedSubgraph {
+            nodes,
+            mut indeg,
+            edges,
+        } = self.affected_subgraph(seeds);
+        // Kahn's algorithm with sorted tie-breaking over the subgraph.
         let mut ready: Vec<CellAddr> = nodes.iter().copied().filter(|n| indeg[n] == 0).collect();
         // Deterministic order helps tests and users.
         ready.sort();
@@ -272,6 +323,123 @@ impl DependencyGraph {
         let mut cyclic: Vec<CellAddr> = nodes.into_iter().filter(|n| indeg[n] > 0).collect();
         cyclic.sort();
         RecomputePlan { order, cyclic }
+    }
+
+    /// The same affected set as [`DependencyGraph::recompute_plan`], grouped
+    /// into dependency-depth waves (level-synchronous Kahn): a formula lands
+    /// in the first wave after every in-subgraph formula it reads. Members
+    /// of one wave never read each other, so the engine evaluates a wave's
+    /// cells concurrently and writes the results back in wave order —
+    /// producing the same values as the sequential plan.
+    pub fn recompute_waves(&self, seeds: &[CellAddr]) -> WavePlan {
+        let AffectedSubgraph {
+            nodes,
+            indeg,
+            edges,
+        } = self.affected_subgraph(seeds);
+        Self::waves_from(nodes, indeg, edges)
+    }
+
+    /// The wave plan covering *every* registered formula — the bulk
+    /// `recompute_all` path. Produces exactly the plan that
+    /// [`DependencyGraph::recompute_waves`] seeded with every formula cell
+    /// would, but skips the discovery BFS (the affected set is the whole
+    /// graph by definition) and builds the edges straight from the read
+    /// ranges with a column-sorted containment query over the formula
+    /// addresses, instead of one spatial-index probe per cell. On dense
+    /// fill-down sheets — many same-column ranges crowding the same index
+    /// buckets — that turns plan construction from the dominant cascade
+    /// cost into noise.
+    pub fn full_waves(&self) -> WavePlan {
+        // Formula addresses grouped by column, rows sorted: "which formula
+        // cells does this rect cover" becomes a binary search per column.
+        let mut by_col: HashMap<u32, Vec<u32>> = HashMap::new();
+        for a in self.reads.keys() {
+            by_col.entry(a.col).or_default().push(a.row);
+        }
+        for rows in by_col.values_mut() {
+            rows.sort_unstable();
+        }
+        let rows_in = |rows: &[u32], col: u32, r: &Rect, out: &mut Vec<CellAddr>| {
+            let lo = rows.partition_point(|&row| row < r.r1);
+            let hi = rows.partition_point(|&row| row <= r.r2);
+            out.extend(rows[lo..hi].iter().map(|&row| CellAddr::new(row, col)));
+        };
+        let nodes: Vec<CellAddr> = self.reads.keys().copied().collect();
+        let mut indeg: HashMap<CellAddr, usize> = nodes.iter().map(|&n| (n, 0)).collect();
+        let mut edges: HashMap<CellAddr, Vec<CellAddr>> = HashMap::new();
+        let mut sources: Vec<CellAddr> = Vec::new();
+        for (&v, ranges) in &self.reads {
+            sources.clear();
+            for r in ranges {
+                // Enumerate the formula cells inside `r`, walking whichever
+                // axis set is smaller: the rect's columns or the columns
+                // that actually hold formulas (a whole-row rect spans 2³²
+                // columns; the sheet holds formulas in a handful).
+                if r.cols() >= by_col.len() as u64 {
+                    for (&c, rows) in &by_col {
+                        if c >= r.c1 && c <= r.c2 {
+                            rows_in(rows, c, r, &mut sources);
+                        }
+                    }
+                } else {
+                    for c in r.c1..=r.c2 {
+                        if let Some(rows) = by_col.get(&c) {
+                            rows_in(rows, c, r, &mut sources);
+                        }
+                    }
+                }
+            }
+            // One edge per (source, reader) pair no matter how many of the
+            // reader's ranges cover the source — mirrors the deduplication
+            // `dependents_of` performs on the probe path.
+            sources.sort_unstable();
+            sources.dedup();
+            for &u in &sources {
+                let d = indeg.get_mut(&v).expect("node present");
+                *d += 1;
+                if u == v {
+                    // Self-reference: an immediate cycle — the permanent
+                    // in-degree bump keeps `v` out of every wave.
+                    continue;
+                }
+                edges.entry(u).or_default().push(v);
+            }
+        }
+        Self::waves_from(nodes, indeg, edges)
+    }
+
+    /// Level-synchronous Kahn over a prepared subgraph: shared tail of
+    /// [`DependencyGraph::recompute_waves`] and
+    /// [`DependencyGraph::full_waves`].
+    fn waves_from(
+        nodes: Vec<CellAddr>,
+        mut indeg: HashMap<CellAddr, usize>,
+        edges: HashMap<CellAddr, Vec<CellAddr>>,
+    ) -> WavePlan {
+        let mut frontier: Vec<CellAddr> = nodes.iter().copied().filter(|n| indeg[n] == 0).collect();
+        frontier.sort_unstable();
+        let mut waves: Vec<Vec<CellAddr>> = Vec::new();
+        while !frontier.is_empty() {
+            let mut next: Vec<CellAddr> = Vec::new();
+            for &u in &frontier {
+                if let Some(vs) = edges.get(&u) {
+                    for &v in vs {
+                        let d = indeg.get_mut(&v).expect("node present");
+                        *d -= 1;
+                        if *d == 0 {
+                            next.push(v);
+                        }
+                    }
+                }
+            }
+            next.sort_unstable();
+            waves.push(frontier);
+            frontier = next;
+        }
+        let mut cyclic: Vec<CellAddr> = nodes.into_iter().filter(|n| indeg[n] > 0).collect();
+        cyclic.sort();
+        WavePlan { waves, cyclic }
     }
 }
 
@@ -499,6 +667,107 @@ mod tests {
         assert_eq!(g.dependents_of(a("A2")), vec![a("B1")]);
         g.remove(a("B1"));
         assert!(g.dependents_of(a("A2")).is_empty());
+    }
+
+    #[test]
+    fn waves_group_by_dependency_depth() {
+        let mut g = DependencyGraph::new();
+        // Diamond: B1 and C1 read A1; D1 reads both.
+        g.set_formula(a("B1"), vec![r("A1")]);
+        g.set_formula(a("C1"), vec![r("A1")]);
+        g.set_formula(a("D1"), vec![r("B1"), r("C1")]);
+        let plan = g.recompute_waves(&[a("A1")]);
+        assert_eq!(plan.waves, vec![vec![a("B1"), a("C1")], vec![a("D1")]]);
+        assert!(plan.cyclic.is_empty());
+        assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn chain_yields_single_cell_waves() {
+        let mut g = DependencyGraph::new();
+        for row in 1..6u32 {
+            g.set_formula(
+                CellAddr::new(row, 0),
+                vec![Rect::cell(CellAddr::new(row - 1, 0))],
+            );
+        }
+        let plan = g.recompute_waves(&[CellAddr::new(0, 0)]);
+        assert_eq!(plan.waves.len(), 5);
+        assert!(plan.waves.iter().all(|w| w.len() == 1));
+    }
+
+    #[test]
+    fn waves_match_plan_set_and_cycles() {
+        let mut g = DependencyGraph::new();
+        g.set_formula(a("B1"), vec![r("A1:A4")]);
+        g.set_formula(a("C1"), vec![r("B1")]);
+        g.set_formula(a("D1"), vec![r("B1"), r("C1")]);
+        // An independent cycle touched by the same seed.
+        g.set_formula(a("A2"), vec![r("A3")]);
+        g.set_formula(a("A3"), vec![r("A2"), r("A1")]);
+        let plan = g.recompute_plan(&[a("A1")]);
+        let waves = g.recompute_waves(&[a("A1")]);
+        let mut flat: Vec<CellAddr> = waves.waves.iter().flatten().copied().collect();
+        flat.sort();
+        let mut order = plan.order.clone();
+        order.sort();
+        assert_eq!(flat, order, "waves must cover exactly the plan set");
+        assert_eq!(waves.cyclic, plan.cyclic);
+        // Every edge crosses strictly forward in wave index.
+        let wave_of: HashMap<CellAddr, usize> = waves
+            .waves
+            .iter()
+            .enumerate()
+            .flat_map(|(i, w)| w.iter().map(move |&c| (c, i)))
+            .collect();
+        for (&u, &wu) in &wave_of {
+            for v in g.dependents_of(u) {
+                if let Some(&wv) = wave_of.get(&v) {
+                    assert!(wv > wu, "{v} reads {u} but is in wave {wv} <= {wu}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_waves_match_all_seed_recompute_waves() {
+        // Fill-down band, a point-ref column, a chain, a 2-cycle, a
+        // self-reference, a whole-row rect, and an overlapping-range
+        // formula (two ranges covering the same source must still yield
+        // one edge) — full_waves must reproduce recompute_waves exactly.
+        let mut g = DependencyGraph::new();
+        for row in 4..40u32 {
+            g.set_formula(CellAddr::new(row, 1), vec![Rect::new(row - 4, 0, row, 0)]);
+            g.set_formula(
+                CellAddr::new(row, 2),
+                vec![Rect::cell(CellAddr::new(row, 1))],
+            );
+        }
+        for row in 1..20u32 {
+            g.set_formula(
+                CellAddr::new(row, 3),
+                vec![Rect::cell(CellAddr::new(row - 1, 3))],
+            );
+        }
+        g.set_formula(a("F1"), vec![r("G1")]);
+        g.set_formula(a("G1"), vec![r("F1")]);
+        g.set_formula(a("H1"), vec![r("H1")]);
+        g.set_formula(a("I1"), vec![Rect::new(5, 0, 5, u32::MAX - 1)]);
+        g.set_formula(a("J1"), vec![r("B5:B20"), r("B10:C15")]);
+        let seeds: Vec<CellAddr> = g.reads.keys().copied().collect();
+        assert_eq!(g.full_waves(), g.recompute_waves(&seeds));
+        assert_eq!(
+            g.full_waves().len() + g.full_waves().cyclic.len(),
+            g.formula_count()
+        );
+    }
+
+    #[test]
+    fn empty_seed_set_yields_empty_waves() {
+        let g = DependencyGraph::new();
+        let plan = g.recompute_waves(&[a("A1")]);
+        assert!(plan.is_empty());
+        assert!(plan.cyclic.is_empty());
     }
 
     #[test]

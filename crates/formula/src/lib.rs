@@ -8,6 +8,7 @@
 //! of dependents in topological order, with cycle detection.
 
 pub mod ast;
+pub mod batch;
 pub mod cache;
 pub mod deps;
 pub mod error;
@@ -17,8 +18,9 @@ pub mod parser;
 pub mod refs;
 
 pub use ast::{BinOp, CellRef, Expr, UnOp};
+pub use batch::{batch_eval_sliding, detect_sliding, shape_key, AggKind, SlidingSpec};
 pub use cache::{CellCache, LruCache};
-pub use deps::{DependencyGraph, ScanDependencyGraph};
+pub use deps::{DependencyGraph, RecomputePlan, ScanDependencyGraph, WavePlan};
 pub use error::ParseError;
 pub use eval::{CellReader, EmptyReader, Evaluator, SheetReader};
 pub use parser::parse;

@@ -104,6 +104,41 @@ fn compare_plans(indexed: &DependencyGraph, scan: &ScanDependencyGraph, rng: &mu
         assert_eq!(got.order, want.order, "plan order diverged for {seeds:?}");
         assert_eq!(got.cyclic, want.cyclic, "cycle set diverged for {seeds:?}");
         assert_valid_topo(scan, &got.order);
+        assert_valid_waves(scan, &indexed.recompute_waves(&seeds), &want);
+    }
+}
+
+/// The wave plan must cover exactly the sequential plan's affected set and
+/// cycle set, and every read edge must cross strictly forward in wave
+/// index — the invariant that makes per-wave parallel evaluation safe.
+fn assert_valid_waves(
+    scan: &ScanDependencyGraph,
+    waves: &dataspread_formula::WavePlan,
+    plan: &dataspread_formula::RecomputePlan,
+) {
+    let wave_of: std::collections::HashMap<CellAddr, usize> = waves
+        .waves
+        .iter()
+        .enumerate()
+        .flat_map(|(i, w)| w.iter().map(move |&c| (c, i)))
+        .collect();
+    assert_eq!(wave_of.len(), waves.len(), "duplicate cell across waves");
+    let mut flat: Vec<CellAddr> = wave_of.keys().copied().collect();
+    flat.sort();
+    let mut order = plan.order.clone();
+    order.sort();
+    assert_eq!(flat, order, "wave set diverged from plan order set");
+    assert_eq!(waves.cyclic, plan.cyclic, "wave cycle set diverged");
+    for w in &waves.waves {
+        assert!(!w.is_empty(), "empty wave emitted");
+        assert!(w.windows(2).all(|p| p[0] < p[1]), "wave not sorted");
+    }
+    for (&u, &wu) in &wave_of {
+        for v in scan.dependents_of(u) {
+            if let Some(&wv) = wave_of.get(&v) {
+                assert!(wv > wu, "{v} reads {u} but sits in wave {wv} <= {wu}");
+            }
+        }
     }
 }
 

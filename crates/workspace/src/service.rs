@@ -33,6 +33,9 @@ pub struct WorkspaceConfig {
     /// Auto-checkpoint every N logged ops on each sheet (engine default:
     /// disabled).
     pub auto_checkpoint_ops: Option<u64>,
+    /// Worker threads for each sheet engine's wave recomputation
+    /// (`None` = one per available core).
+    pub recompute_threads: Option<usize>,
     /// Test hook: sleep this long inside the named sheet's recovery,
     /// *after* the placeholder shard is published — lets tests prove that
     /// a slow recovery stalls only its own sheet.
@@ -300,6 +303,12 @@ struct Inner {
     /// Fsyncs issued inline by `CommitMode::PerOp` writers (the baseline
     /// counter the concurrency bench compares against committer batches).
     inline_syncs: AtomicU64,
+    /// Yield budget a group-mode writer spins before helping with (or
+    /// parking for) the flush — see [`SharedWal::commit_wait`]. Sized by
+    /// core count at construction: on one core yielding hands the CPU to
+    /// the other writers so the batch grows; on many cores a longer spin
+    /// usually observes the committer's fsync completing.
+    commit_spin: u32,
 }
 
 /// A concurrent multi-sheet workspace. Create one, hand [`Session`]s to
@@ -360,6 +369,10 @@ impl Workspace {
                 sheets: RwLock::new(HashMap::new()),
                 committer: GroupCommitter::new(),
                 inline_syncs: AtomicU64::new(0),
+                commit_spin: std::thread::available_parallelism()
+                    .map_or(1, std::num::NonZeroUsize::get)
+                    .clamp(1, 16) as u32
+                    * 4,
             }),
         }
     }
@@ -530,6 +543,9 @@ impl Session {
         if let Some(ops) = self.inner.config.auto_checkpoint_ops {
             engine.set_auto_checkpoint(Some(ops));
         }
+        if let Some(threads) = self.inner.config.recompute_threads {
+            engine.set_recompute_threads(threads);
+        }
         let wal = engine.commit_wal();
         if let (Some(wal), CommitMode::Group) = (&wal, self.inner.config.commit_mode) {
             self.inner.committer.register(wal);
@@ -642,7 +658,7 @@ impl Session {
             CommitMode::PerOp => Ok(()), // staged ops were fsynced inline
             CommitMode::Group => {
                 self.inner.committer.nudge(wal);
-                Ok(wal.wait_durable(ticket)?)
+                Ok(wal.commit_wait(ticket, self.inner.commit_spin)?)
             }
         }
     }
@@ -706,8 +722,12 @@ impl Session {
                 self.inner.inline_syncs.fetch_add(1, Ordering::Relaxed);
             }
             CommitMode::Group => {
+                // `commit_wait` spins briefly then *helps* with the fsync
+                // when the fsync-point is free — small commit windows stay
+                // fsync-bound instead of futex-bound, while wide windows
+                // still batch through the committer thread.
                 self.inner.committer.nudge(wal);
-                wal.wait_durable(ticket)?;
+                wal.commit_wait(ticket, self.inner.commit_spin)?;
             }
         }
         Ok(EditReceipt {
