@@ -44,6 +44,7 @@ fn main() {
             rom: true,
             com: false,
             rcv: true,
+            columnar: false,
         },
         ..OptimizerOptions::default()
     };

@@ -1,0 +1,1755 @@
+//! Columnar compressed region storage — the third physical layout
+//! (ROADMAP item 3, post-paper).
+//!
+//! A [`ColumnarTranslator`] stores its region as per-column typed arrays:
+//! run-length-encoded *tag runs* (null / number / bool / text / error)
+//! carry the row structure, and each tag's payload lives in a dense typed
+//! store — numbers in an `f64` array or a bit-packed integer array, bools
+//! in a bitmap, strings as codes into a per-column dictionary (themselves
+//! RLE'd when repetitive), errors as code bytes. Formulas are sparse
+//! (`row → source`), since large imported regions hold almost none.
+//!
+//! Writes go to a small sorted overlay checked before the base columns;
+//! past a threshold the overlay compacts back into the affected columns.
+//! That keeps the layout honest for *read-mostly* — not read-only —
+//! regions: point edits stay O(log overlay), scans stay columnar.
+//!
+//! The byte encoding (via `relstore::codec`) is the checkpoint payload
+//! itself: [`ColumnarTranslator::to_bytes`] / [`ColumnarTranslator::from_bytes`]
+//! round-trip byte-identically, so v2 images store the compressed pages
+//! directly and recovery restores a region without per-cell replay.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dataspread_grid::value::CellError;
+use dataspread_grid::{Cell, CellAddr, CellValue, Rect};
+use dataspread_hybrid::ModelKind;
+use dataspread_relstore::{codec, StoreError};
+
+use crate::error::EngineError;
+use crate::translator::Translator;
+
+/// Overlay entries before the next write compacts them into the columns.
+const OVERLAY_COMPACT: usize = 4096;
+
+const TAG_NULL: u8 = 0;
+const TAG_NUM: u8 = 1;
+const TAG_BOOL: u8 = 2;
+const TAG_TEXT: u8 = 3;
+const TAG_ERR: u8 = 4;
+
+const ENC_VERSION: u8 = 1;
+
+fn error_code(e: CellError) -> u8 {
+    match e {
+        CellError::Div0 => 0,
+        CellError::Value => 1,
+        CellError::Ref => 2,
+        CellError::Name => 3,
+        CellError::Na => 4,
+        CellError::Num => 5,
+        CellError::Circular => 6,
+    }
+}
+
+fn code_error(c: u8) -> Result<CellError, StoreError> {
+    Ok(match c {
+        0 => CellError::Div0,
+        1 => CellError::Value,
+        2 => CellError::Ref,
+        3 => CellError::Name,
+        4 => CellError::Na,
+        5 => CellError::Num,
+        6 => CellError::Circular,
+        _ => return Err(codec::corrupt(format!("unknown error code {c}"))),
+    })
+}
+
+/// Borrowed view of one cell's value during a columnar scan — what the
+/// window emitter and aggregate fast path consume without materializing
+/// [`Cell`]s.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScanValue<'a> {
+    Empty,
+    Number(f64),
+    Bool(bool),
+    Text(&'a str),
+    Error(CellError),
+}
+
+impl ScanValue<'_> {
+    /// Materialize into an owned [`CellValue`] (texts clone).
+    pub fn to_value(self) -> CellValue {
+        match self {
+            ScanValue::Empty => CellValue::Empty,
+            ScanValue::Number(n) => CellValue::Number(n),
+            ScanValue::Bool(b) => CellValue::Bool(b),
+            ScanValue::Text(s) => CellValue::Text(s.to_string()),
+            ScanValue::Error(e) => CellValue::Error(e),
+        }
+    }
+
+    fn of(v: &CellValue) -> ScanValue<'_> {
+        match v {
+            CellValue::Empty => ScanValue::Empty,
+            CellValue::Number(n) => ScanValue::Number(*n),
+            CellValue::Bool(b) => ScanValue::Bool(*b),
+            CellValue::Text(s) => ScanValue::Text(s),
+            CellValue::Error(e) => ScanValue::Error(*e),
+        }
+    }
+}
+
+/// Result of the single-column aggregate fast path: the exact sequential
+/// row-order folds the evaluator would have produced cell-by-cell.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ColumnAgg {
+    /// `acc = acc + n` over `Number` values in row order from `0.0` —
+    /// bit-identical to the evaluator's fold.
+    pub sum: f64,
+    /// Count of `Number` values.
+    pub numbers: u64,
+    /// Count of non-`Empty` values (what `COUNTA` sees).
+    pub nonempty: u64,
+    /// First `Error` value in row order; when set, the scan stopped there
+    /// (the evaluator aborts on the first error).
+    pub error: Option<CellError>,
+}
+
+impl From<ColumnAgg> for dataspread_formula::RangeAgg {
+    fn from(agg: ColumnAgg) -> Self {
+        dataspread_formula::RangeAgg {
+            sum: agg.sum,
+            numbers: agg.numbers,
+            nonempty: agg.nonempty,
+            error: agg.error,
+        }
+    }
+}
+
+// ------------------------------------------------------------ tag runs --
+
+/// One run of same-tagged rows. `start_row`/`start_idx` are derived (not
+/// encoded): the row the run begins at, and the offset of its first value
+/// in the tag's typed store.
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    tag: u8,
+    len: u32,
+    start_row: u32,
+    start_idx: u32,
+}
+
+// ------------------------------------------------------- typed stores --
+
+/// Number storage: raw doubles, or bit-packed offsets from a minimum when
+/// every value in the column is exactly an integer (`bits == 0` encodes a
+/// constant column with no payload words at all).
+#[derive(Debug, Clone, PartialEq)]
+enum NumStore {
+    F64(Vec<f64>),
+    Packed {
+        min: i64,
+        bits: u8,
+        len: u32,
+        words: Vec<u64>,
+    },
+}
+
+impl NumStore {
+    fn len(&self) -> u32 {
+        match self {
+            NumStore::F64(v) => v.len() as u32,
+            NumStore::Packed { len, .. } => *len,
+        }
+    }
+
+    fn get(&self, i: u32) -> f64 {
+        match self {
+            NumStore::F64(v) => v[i as usize],
+            NumStore::Packed {
+                min, bits, words, ..
+            } => {
+                if *bits == 0 {
+                    return *min as f64;
+                }
+                let bit = i as u64 * *bits as u64;
+                let word = (bit / 64) as usize;
+                let off = (bit % 64) as u32;
+                let mut raw = words[word] >> off;
+                if off + *bits as u32 > 64 {
+                    raw |= words[word + 1] << (64 - off);
+                }
+                let mask = (1u64 << *bits) - 1;
+                (min + (raw & mask) as i64) as f64
+            }
+        }
+    }
+
+    fn bytes(&self) -> u64 {
+        match self {
+            NumStore::F64(v) => 8 * v.len() as u64,
+            NumStore::Packed { words, .. } => 16 + 8 * words.len() as u64,
+        }
+    }
+
+    /// Canonical build: pack when every value is exactly an integer whose
+    /// magnitude is exact in `f64` (excluding `-0.0`, whose sign bit the
+    /// packed form cannot keep).
+    fn build(vals: Vec<f64>) -> NumStore {
+        let packable = !vals.is_empty()
+            && vals.iter().all(|&v| {
+                v.is_finite()
+                    && v == v.trunc()
+                    && v.abs() <= 9e15
+                    && v.to_bits() != (-0.0f64).to_bits()
+            });
+        if !packable {
+            return NumStore::F64(vals);
+        }
+        let ints: Vec<i64> = vals.iter().map(|&v| v as i64).collect();
+        let min = *ints.iter().min().expect("non-empty");
+        let max = *ints.iter().max().expect("non-empty");
+        let width = (max - min) as u64;
+        let bits = (64 - width.leading_zeros()) as u8;
+        let len = ints.len() as u32;
+        if bits == 0 {
+            return NumStore::Packed {
+                min,
+                bits,
+                len,
+                words: Vec::new(),
+            };
+        }
+        let n_words = ((len as u64 * bits as u64).div_ceil(64)) as usize;
+        let mut words = vec![0u64; n_words];
+        for (i, &v) in ints.iter().enumerate() {
+            let raw = (v - min) as u64;
+            let bit = i as u64 * bits as u64;
+            let word = (bit / 64) as usize;
+            let off = (bit % 64) as u32;
+            words[word] |= raw << off;
+            if off + bits as u32 > 64 {
+                words[word + 1] |= raw >> (64 - off);
+            }
+        }
+        NumStore::Packed {
+            min,
+            bits,
+            len,
+            words,
+        }
+    }
+}
+
+/// Bool storage: a bitmap.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Bits {
+    words: Vec<u64>,
+    len: u32,
+}
+
+impl Bits {
+    fn push(&mut self, b: bool) {
+        let i = self.len as usize;
+        if i / 64 >= self.words.len() {
+            self.words.push(0);
+        }
+        if b {
+            self.words[i / 64] |= 1 << (i % 64);
+        }
+        self.len += 1;
+    }
+
+    fn get(&self, i: u32) -> bool {
+        (self.words[i as usize / 64] >> (i % 64)) & 1 == 1
+    }
+}
+
+/// Dictionary-code storage: plain codes, bit-packed codes sized to the
+/// dictionary (a 4-entry dictionary needs 2 bits per cell, not 32), or
+/// RLE runs. The canonical rule is byte-driven: the smallest payload
+/// wins, RLE preferred on a strict win, then packing.
+#[derive(Debug, Clone, PartialEq)]
+enum CodeStore {
+    Plain(Vec<u32>),
+    Packed {
+        bits: u8,
+        len: u32,
+        words: Vec<u64>,
+    },
+    Rle {
+        runs: Vec<(u32, u32)>,
+        /// Cumulative end offsets of `runs` for O(log) random access
+        /// (derived, not encoded).
+        ends: Vec<u32>,
+    },
+}
+
+impl CodeStore {
+    fn len(&self) -> u32 {
+        match self {
+            CodeStore::Plain(v) => v.len() as u32,
+            CodeStore::Packed { len, .. } => *len,
+            CodeStore::Rle { ends, .. } => ends.last().copied().unwrap_or(0),
+        }
+    }
+
+    fn get(&self, i: u32) -> u32 {
+        match self {
+            CodeStore::Plain(v) => v[i as usize],
+            CodeStore::Packed { bits, words, .. } => {
+                if *bits == 0 {
+                    return 0;
+                }
+                let bit = i as u64 * *bits as u64;
+                let word = (bit / 64) as usize;
+                let off = (bit % 64) as u32;
+                let mut raw = words[word] >> off;
+                if off + *bits as u32 > 64 {
+                    raw |= words[word + 1] << (64 - off);
+                }
+                (raw & ((1u64 << *bits) - 1)) as u32
+            }
+            CodeStore::Rle { runs, ends } => {
+                let k = ends.partition_point(|&e| e <= i);
+                runs[k].0
+            }
+        }
+    }
+
+    fn bytes(&self) -> u64 {
+        match self {
+            CodeStore::Plain(v) => 4 * v.len() as u64,
+            CodeStore::Packed { words, .. } => 8 + 8 * words.len() as u64,
+            CodeStore::Rle { runs, .. } => 8 * runs.len() as u64,
+        }
+    }
+
+    fn build(codes: Vec<u32>) -> CodeStore {
+        if codes.is_empty() {
+            return CodeStore::Plain(codes);
+        }
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        for &c in &codes {
+            match runs.last_mut() {
+                Some((code, len)) if *code == c => *len += 1,
+                _ => runs.push((c, 1)),
+            }
+        }
+        let max = *codes.iter().max().expect("non-empty");
+        let bits = (32 - max.leading_zeros()) as u8;
+        let packed_bytes = 8 * (codes.len() as u64 * bits as u64).div_ceil(64);
+        let rle_bytes = 8 * runs.len() as u64;
+        let plain_bytes = 4 * codes.len() as u64;
+        if rle_bytes < packed_bytes.min(plain_bytes) {
+            let mut ends = Vec::with_capacity(runs.len());
+            let mut acc = 0u32;
+            for &(_, len) in &runs {
+                acc += len;
+                ends.push(acc);
+            }
+            CodeStore::Rle { runs, ends }
+        } else if packed_bytes < plain_bytes {
+            let len = codes.len() as u32;
+            let n_words = (len as u64 * bits as u64).div_ceil(64) as usize;
+            let mut words = vec![0u64; n_words];
+            if bits > 0 {
+                for (i, &c) in codes.iter().enumerate() {
+                    let bit = i as u64 * bits as u64;
+                    let word = (bit / 64) as usize;
+                    let off = (bit % 64) as u32;
+                    words[word] |= (c as u64) << off;
+                    if off + bits as u32 > 64 {
+                        words[word + 1] |= (c as u64) >> (64 - off);
+                    }
+                }
+            }
+            CodeStore::Packed { bits, len, words }
+        } else {
+            CodeStore::Plain(codes)
+        }
+    }
+}
+
+// ------------------------------------------------------------- column --
+
+#[derive(Debug, Clone)]
+struct Column {
+    runs: Vec<Run>,
+    nums: NumStore,
+    bools: Bits,
+    dict: Vec<String>,
+    codes: CodeStore,
+    errors: Vec<u8>,
+    /// Sparse formula sources by row.
+    formulas: BTreeMap<u32, String>,
+}
+
+impl Column {
+    fn empty(rows: u32) -> Column {
+        let runs = if rows == 0 {
+            Vec::new()
+        } else {
+            vec![Run {
+                tag: TAG_NULL,
+                len: rows,
+                start_row: 0,
+                start_idx: 0,
+            }]
+        };
+        Column {
+            runs,
+            nums: NumStore::F64(Vec::new()),
+            bools: Bits::default(),
+            dict: Vec::new(),
+            codes: CodeStore::Plain(Vec::new()),
+            errors: Vec::new(),
+            formulas: BTreeMap::new(),
+        }
+    }
+
+    fn rows(&self) -> u32 {
+        self.runs.last().map_or(0, |r| r.start_row + r.len)
+    }
+
+    /// Recompute the derived `start_row`/`start_idx` fields from the
+    /// `(tag, len)` sequence.
+    fn reindex(&mut self) {
+        let mut row = 0u32;
+        let mut idx = [0u32; 5];
+        for run in &mut self.runs {
+            run.start_row = row;
+            run.start_idx = idx[run.tag as usize];
+            row += run.len;
+            idx[run.tag as usize] += run.len;
+        }
+    }
+
+    fn run_at(&self, row: u32) -> usize {
+        debug_assert!(row < self.rows());
+        self.runs.partition_point(|r| r.start_row + r.len <= row)
+    }
+
+    /// The value at `row` from the base columns (overlay not consulted).
+    fn base_value(&self, row: u32) -> ScanValue<'_> {
+        let run = &self.runs[self.run_at(row)];
+        let i = run.start_idx + (row - run.start_row);
+        match run.tag {
+            TAG_NULL => ScanValue::Empty,
+            TAG_NUM => ScanValue::Number(self.nums.get(i)),
+            TAG_BOOL => ScanValue::Bool(self.bools.get(i)),
+            TAG_TEXT => ScanValue::Text(&self.dict[self.codes.get(i) as usize]),
+            _ => ScanValue::Error(code_error(self.errors[i as usize]).expect("validated on build")),
+        }
+    }
+
+    /// Visit `r1..=r2` in row order without per-row binary searches.
+    fn for_each_base<'a>(&'a self, r1: u32, r2: u32, mut f: impl FnMut(u32, ScanValue<'a>)) {
+        if self.rows() == 0 || r1 > r2 || r1 >= self.rows() {
+            return;
+        }
+        let r2 = r2.min(self.rows() - 1);
+        let mut k = self.run_at(r1);
+        let mut row = r1;
+        while row <= r2 {
+            let run = &self.runs[k];
+            let end = (run.start_row + run.len - 1).min(r2);
+            let mut i = run.start_idx + (row - run.start_row);
+            while row <= end {
+                let v = match run.tag {
+                    TAG_NULL => ScanValue::Empty,
+                    TAG_NUM => ScanValue::Number(self.nums.get(i)),
+                    TAG_BOOL => ScanValue::Bool(self.bools.get(i)),
+                    TAG_TEXT => ScanValue::Text(&self.dict[self.codes.get(i) as usize]),
+                    _ => ScanValue::Error(
+                        code_error(self.errors[i as usize]).expect("validated on build"),
+                    ),
+                };
+                f(row, v);
+                row += 1;
+                i += 1;
+            }
+            k += 1;
+        }
+    }
+
+    /// Non-blank cells counted from the base alone.
+    fn base_filled(&self) -> u64 {
+        let mut filled: u64 = self
+            .runs
+            .iter()
+            .filter(|r| r.tag != TAG_NULL)
+            .map(|r| r.len as u64)
+            .sum();
+        // Formula cells whose value is empty are still non-blank.
+        filled += self
+            .formulas
+            .keys()
+            .filter(|&&row| self.runs[self.run_at(row)].tag == TAG_NULL)
+            .count() as u64;
+        filled
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        9 * self.runs.len() as u64
+            + self.nums.bytes()
+            + 8 * self.bools.words.len() as u64
+            + self.dict.iter().map(|s| 4 + s.len() as u64).sum::<u64>()
+            + self.codes.bytes()
+            + self.errors.len() as u64
+            + self
+                .formulas
+                .values()
+                .map(|s| 8 + s.len() as u64)
+                .sum::<u64>()
+    }
+}
+
+/// Streaming column builder: push cells in row order, then `finish`.
+struct ColumnBuilder {
+    runs: Vec<(u8, u32)>,
+    nums: Vec<f64>,
+    bools: Bits,
+    dict: Vec<String>,
+    lookup: HashMap<String, u32>,
+    codes: Vec<u32>,
+    errors: Vec<u8>,
+    formulas: BTreeMap<u32, String>,
+    row: u32,
+}
+
+impl ColumnBuilder {
+    fn new() -> ColumnBuilder {
+        ColumnBuilder {
+            runs: Vec::new(),
+            nums: Vec::new(),
+            bools: Bits::default(),
+            dict: Vec::new(),
+            lookup: HashMap::new(),
+            codes: Vec::new(),
+            errors: Vec::new(),
+            formulas: BTreeMap::new(),
+            row: 0,
+        }
+    }
+
+    fn push_tag(&mut self, tag: u8) {
+        match self.runs.last_mut() {
+            Some((t, len)) if *t == tag => *len += 1,
+            _ => self.runs.push((tag, 1)),
+        }
+        self.row += 1;
+    }
+
+    fn push(&mut self, value: ScanValue<'_>, formula: Option<&str>) {
+        if let Some(src) = formula {
+            self.formulas.insert(self.row, src.to_string());
+        }
+        match value {
+            ScanValue::Empty => self.push_tag(TAG_NULL),
+            ScanValue::Number(n) => {
+                self.nums.push(n);
+                self.push_tag(TAG_NUM);
+            }
+            ScanValue::Bool(b) => {
+                self.bools.push(b);
+                self.push_tag(TAG_BOOL);
+            }
+            ScanValue::Text(s) => {
+                let code = match self.lookup.get(s) {
+                    Some(&c) => c,
+                    None => {
+                        let c = self.dict.len() as u32;
+                        self.dict.push(s.to_string());
+                        self.lookup.insert(s.to_string(), c);
+                        c
+                    }
+                };
+                self.codes.push(code);
+                self.push_tag(TAG_TEXT);
+            }
+            ScanValue::Error(e) => {
+                self.errors.push(error_code(e));
+                self.push_tag(TAG_ERR);
+            }
+        }
+    }
+
+    fn push_cell(&mut self, cell: Option<&Cell>) {
+        match cell {
+            Some(c) => self.push(ScanValue::of(&c.value), c.formula.as_deref()),
+            None => self.push(ScanValue::Empty, None),
+        }
+    }
+
+    fn finish(self) -> Column {
+        let mut col = Column {
+            runs: self
+                .runs
+                .into_iter()
+                .map(|(tag, len)| Run {
+                    tag,
+                    len,
+                    start_row: 0,
+                    start_idx: 0,
+                })
+                .collect(),
+            nums: NumStore::build(self.nums),
+            bools: self.bools,
+            dict: self.dict,
+            codes: CodeStore::build(self.codes),
+            errors: self.errors,
+            formulas: self.formulas,
+        };
+        col.reindex();
+        col
+    }
+}
+
+// --------------------------------------------------------- translator --
+
+/// Columnar compressed storage for one region.
+pub struct ColumnarTranslator {
+    rows: u32,
+    columns: Vec<Column>,
+    /// Sorted write overlay keyed `(col, row)` (column-major so column
+    /// scans can range over it); a blank [`Cell`] entry masks the base
+    /// cell as deleted.
+    overlay: BTreeMap<(u32, u32), Cell>,
+    overlay_limit: usize,
+}
+
+impl std::fmt::Debug for ColumnarTranslator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColumnarTranslator")
+            .field("rows", &self.rows)
+            .field("cols", &self.columns.len())
+            .field("overlay", &self.overlay.len())
+            .field("resident_bytes", &self.resident_bytes())
+            .finish()
+    }
+}
+
+impl ColumnarTranslator {
+    /// An empty region of the given extent.
+    pub fn new(rows: u32, cols: u32) -> ColumnarTranslator {
+        ColumnarTranslator {
+            rows,
+            columns: (0..cols).map(|_| Column::empty(rows)).collect(),
+            overlay: BTreeMap::new(),
+            overlay_limit: OVERLAY_COMPACT,
+        }
+    }
+
+    /// Bulk-build from rows of cells (the import / migration fast path):
+    /// `width` columns, one `Vec<Cell>` per row (short rows pad with
+    /// blanks).
+    pub fn bulk_load_rows(
+        width: u32,
+        rows: impl IntoIterator<Item = Vec<Cell>>,
+    ) -> ColumnarTranslator {
+        let mut builders: Vec<ColumnBuilder> = (0..width).map(|_| ColumnBuilder::new()).collect();
+        let mut n_rows = 0u32;
+        for row in rows {
+            for (c, b) in builders.iter_mut().enumerate() {
+                b.push_cell(row.get(c));
+            }
+            n_rows += 1;
+        }
+        ColumnarTranslator {
+            rows: n_rows,
+            columns: builders.into_iter().map(ColumnBuilder::finish).collect(),
+            overlay: BTreeMap::new(),
+            overlay_limit: OVERLAY_COMPACT,
+        }
+    }
+
+    /// Build from unordered `(local addr, cell)` pairs over a fixed extent
+    /// (the migration path from another translator).
+    pub fn from_cells(
+        rows: u32,
+        cols: u32,
+        cells: impl IntoIterator<Item = (CellAddr, Cell)>,
+    ) -> ColumnarTranslator {
+        let mut by_col: Vec<BTreeMap<u32, Cell>> = (0..cols).map(|_| BTreeMap::new()).collect();
+        let mut rows = rows;
+        for (addr, cell) in cells {
+            rows = rows.max(addr.row + 1);
+            if let Some(m) = by_col.get_mut(addr.col as usize) {
+                m.insert(addr.row, cell);
+            }
+        }
+        let columns = by_col
+            .into_iter()
+            .map(|m| {
+                let mut b = ColumnBuilder::new();
+                for row in 0..rows {
+                    b.push_cell(m.get(&row));
+                }
+                b.finish()
+            })
+            .collect();
+        ColumnarTranslator {
+            rows,
+            columns,
+            overlay: BTreeMap::new(),
+            overlay_limit: OVERLAY_COMPACT,
+        }
+    }
+
+    /// Cap the write overlay before compaction (tests exercise small
+    /// thresholds; the default is [`OVERLAY_COMPACT`]).
+    #[doc(hidden)]
+    pub fn set_overlay_limit(&mut self, n: usize) {
+        self.overlay_limit = n.max(1);
+    }
+
+    /// Overlay entries currently pending compaction.
+    pub fn overlay_len(&self) -> usize {
+        self.overlay.len()
+    }
+
+    fn ensure_extent(&mut self, rows: u32, cols: u32) {
+        if rows > self.rows {
+            let grow = rows - self.rows;
+            for col in &mut self.columns {
+                match col.runs.last_mut() {
+                    Some(run) if run.tag == TAG_NULL => run.len += grow,
+                    _ => {
+                        let start_row = col.rows();
+                        col.runs.push(Run {
+                            tag: TAG_NULL,
+                            len: grow,
+                            start_row,
+                            start_idx: 0,
+                        });
+                        col.reindex();
+                    }
+                }
+            }
+            self.rows = rows;
+        }
+        while (self.columns.len() as u32) < cols {
+            self.columns.push(Column::empty(self.rows));
+        }
+    }
+
+    /// The effective (overlay-merged) value reference at a position.
+    fn effective(&self, row: u32, col: u32) -> Option<Cell> {
+        if let Some(cell) = self.overlay.get(&(col, row)) {
+            return if cell.is_blank() {
+                None
+            } else {
+                Some(cell.clone())
+            };
+        }
+        let c = self.columns.get(col as usize)?;
+        if row >= c.rows() {
+            return None;
+        }
+        let value = c.base_value(row).to_value();
+        let formula = c.formulas.get(&row).cloned();
+        if value.is_empty() && formula.is_none() {
+            None
+        } else {
+            Some(Cell { value, formula })
+        }
+    }
+
+    /// Fold the overlay back into the base columns (rebuilding only the
+    /// columns that have overlay entries), leaving the overlay empty.
+    pub fn compact(&mut self) {
+        if self.overlay.is_empty() {
+            return;
+        }
+        let overlay = std::mem::take(&mut self.overlay);
+        let mut per_col: BTreeMap<u32, BTreeMap<u32, Cell>> = BTreeMap::new();
+        for ((col, row), cell) in overlay {
+            per_col.entry(col).or_default().insert(row, cell);
+        }
+        for (col, edits) in per_col {
+            let Some(old) = self.columns.get(col as usize) else {
+                continue;
+            };
+            let mut b = ColumnBuilder::new();
+            let rows = self.rows;
+            let mut edit_iter = edits.iter().peekable();
+            let mut push_row = |b: &mut ColumnBuilder, row: u32, v: ScanValue<'_>| {
+                if let Some((_, cell)) = edit_iter.next_if(|(&r, _)| r == row) {
+                    b.push(ScanValue::of(&cell.value), cell.formula.as_deref());
+                } else {
+                    b.push(v, old.formulas.get(&row).map(String::as_str));
+                }
+            };
+            if old.rows() == 0 {
+                for row in 0..rows {
+                    push_row(&mut b, row, ScanValue::Empty);
+                }
+            } else {
+                old.for_each_base(0, rows - 1, |row, v| push_row(&mut b, row, v));
+            }
+            self.columns[col as usize] = b.finish();
+        }
+    }
+
+    /// Rebuild every column from an edit on the row axis: `keep` maps an
+    /// old row to its new row (`None` = dropped), `new_rows` is the new
+    /// extent, and rows not produced by `keep` come out blank.
+    fn rebuild_rows(&mut self, new_rows: u32, keep: impl Fn(u32) -> Option<u32>) {
+        self.compact();
+        let old_rows = self.rows;
+        self.columns = self
+            .columns
+            .iter()
+            .map(|old| {
+                let mut kept: BTreeMap<u32, (ScanValue<'_>, Option<&str>)> = BTreeMap::new();
+                if old_rows > 0 {
+                    old.for_each_base(0, old_rows - 1, |row, v| {
+                        if let Some(new) = keep(row) {
+                            kept.insert(new, (v, old.formulas.get(&row).map(String::as_str)));
+                        }
+                    });
+                }
+                let mut b = ColumnBuilder::new();
+                for row in 0..new_rows {
+                    match kept.get(&row) {
+                        Some(&(v, f)) => b.push(v, f),
+                        None => b.push(ScanValue::Empty, None),
+                    }
+                }
+                b.finish()
+            })
+            .collect();
+        self.rows = new_rows;
+    }
+
+    /// Single-column aggregate over local rows `r1..=r2`, overlay-merged,
+    /// with the evaluator's exact row-order fold and first-error abort.
+    pub fn column_agg(&self, col: u32, r1: u32, r2: u32) -> ColumnAgg {
+        let mut agg = ColumnAgg::default();
+        let Some(c) = self.columns.get(col as usize) else {
+            return agg;
+        };
+        let mut over = self
+            .overlay
+            .range((col, r1)..=(col, r2))
+            .map(|(&(_, row), cell)| (row, cell))
+            .peekable();
+        let fold = |agg: &mut ColumnAgg, v: ScanValue<'_>| -> bool {
+            match v {
+                ScanValue::Empty => {}
+                ScanValue::Number(n) => {
+                    agg.sum += n;
+                    agg.numbers += 1;
+                    agg.nonempty += 1;
+                }
+                ScanValue::Error(e) => {
+                    agg.error = Some(e);
+                    return false;
+                }
+                _ => agg.nonempty += 1,
+            }
+            true
+        };
+        let r2 = r2.min(self.rows.saturating_sub(1));
+        let mut row = r1;
+        while row <= r2 {
+            // Base runs up to the next overlay edit, then the edit itself.
+            let next_edit = over.peek().map(|&(r, _)| r).unwrap_or(r2 + 1);
+            if row < next_edit {
+                let mut ok = true;
+                c.for_each_base(row, next_edit.min(r2 + 1) - 1, |_, v| {
+                    if ok {
+                        ok = fold(&mut agg, v);
+                    }
+                });
+                if !ok {
+                    return agg;
+                }
+                row = next_edit;
+                continue;
+            }
+            let (_, cell) = over.next().expect("peeked");
+            if !fold(&mut agg, ScanValue::of(&cell.value)) {
+                return agg;
+            }
+            row += 1;
+        }
+        agg
+    }
+
+    /// Row-major scan of a local rectangle, overlay-merged, including
+    /// empty positions — the window emitter's source. `f` receives
+    /// `(local row, local col, value, formula)`.
+    pub fn scan_rect(&self, rect: Rect, mut f: impl FnMut(u32, u32, ScanValue<'_>, Option<&str>)) {
+        for row in rect.r1..=rect.r2 {
+            for col in rect.c1..=rect.c2 {
+                if let Some(cell) = self.overlay.get(&(col, row)) {
+                    f(
+                        row,
+                        col,
+                        ScanValue::of(&cell.value),
+                        cell.formula.as_deref(),
+                    );
+                    continue;
+                }
+                match self.columns.get(col as usize) {
+                    Some(c) if row < c.rows() => {
+                        f(
+                            row,
+                            col,
+                            c.base_value(row),
+                            c.formulas.get(&row).map(String::as_str),
+                        );
+                    }
+                    _ => f(row, col, ScanValue::Empty, None),
+                }
+            }
+        }
+    }
+
+    /// Visit every formula cell as `(local row, local col, source)` —
+    /// overlay-merged (an overlay write without a formula masks the base
+    /// formula at that position).
+    pub fn for_each_formula(&self, mut f: impl FnMut(u32, u32, &str)) {
+        for (c, col) in self.columns.iter().enumerate() {
+            for (&row, src) in &col.formulas {
+                if !self.overlay.contains_key(&(c as u32, row)) {
+                    f(row, c as u32, src);
+                }
+            }
+        }
+        for (&(col, row), cell) in &self.overlay {
+            if let Some(src) = &cell.formula {
+                f(row, col, src);
+            }
+        }
+    }
+
+    // ---------------------------------------------------------- codec --
+
+    /// Canonical byte encoding: the checkpoint payload. Decoding with
+    /// [`ColumnarTranslator::from_bytes`] and re-encoding is
+    /// byte-identical.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        codec::put_u8(&mut out, ENC_VERSION);
+        codec::put_u32(&mut out, self.rows);
+        codec::put_u32(&mut out, self.columns.len() as u32);
+        for col in &self.columns {
+            codec::put_u32(&mut out, col.runs.len() as u32);
+            for run in &col.runs {
+                codec::put_u8(&mut out, run.tag);
+                codec::put_u32(&mut out, run.len);
+            }
+            match &col.nums {
+                NumStore::F64(v) => {
+                    codec::put_u8(&mut out, 0);
+                    codec::put_u32(&mut out, v.len() as u32);
+                    for &n in v {
+                        codec::put_f64(&mut out, n);
+                    }
+                }
+                NumStore::Packed {
+                    min,
+                    bits,
+                    len,
+                    words,
+                } => {
+                    codec::put_u8(&mut out, 1);
+                    codec::put_u64(&mut out, *min as u64);
+                    codec::put_u8(&mut out, *bits);
+                    codec::put_u32(&mut out, *len);
+                    for &w in words {
+                        codec::put_u64(&mut out, w);
+                    }
+                }
+            }
+            codec::put_u32(&mut out, col.bools.len);
+            for &w in &col.bools.words {
+                codec::put_u64(&mut out, w);
+            }
+            codec::put_u32(&mut out, col.dict.len() as u32);
+            for s in &col.dict {
+                codec::put_str(&mut out, s);
+            }
+            match &col.codes {
+                CodeStore::Plain(v) => {
+                    codec::put_u8(&mut out, 0);
+                    codec::put_u32(&mut out, v.len() as u32);
+                    for &c in v {
+                        codec::put_u32(&mut out, c);
+                    }
+                }
+                CodeStore::Packed { bits, len, words } => {
+                    codec::put_u8(&mut out, 2);
+                    codec::put_u8(&mut out, *bits);
+                    codec::put_u32(&mut out, *len);
+                    for &w in words {
+                        codec::put_u64(&mut out, w);
+                    }
+                }
+                CodeStore::Rle { runs, .. } => {
+                    codec::put_u8(&mut out, 1);
+                    codec::put_u32(&mut out, runs.len() as u32);
+                    for &(code, len) in runs {
+                        codec::put_u32(&mut out, code);
+                        codec::put_u32(&mut out, len);
+                    }
+                }
+            }
+            codec::put_u32(&mut out, col.errors.len() as u32);
+            for &e in &col.errors {
+                codec::put_u8(&mut out, e);
+            }
+            codec::put_u32(&mut out, col.formulas.len() as u32);
+            for (&row, src) in &col.formulas {
+                codec::put_u32(&mut out, row);
+                codec::put_str(&mut out, src);
+            }
+        }
+        codec::put_u32(&mut out, self.overlay.len() as u32);
+        for (&(col, row), cell) in &self.overlay {
+            codec::put_u32(&mut out, col);
+            codec::put_u32(&mut out, row);
+            put_cell(&mut out, cell);
+        }
+        out
+    }
+
+    /// Decode a payload produced by [`ColumnarTranslator::to_bytes`],
+    /// validating every structural invariant (run extents, payload
+    /// lengths, dictionary codes, overlay ordering).
+    pub fn from_bytes(bytes: &[u8]) -> Result<ColumnarTranslator, StoreError> {
+        let mut r = codec::Reader::new(bytes);
+        let version = r.u8()?;
+        if version != ENC_VERSION {
+            return Err(codec::corrupt(format!(
+                "unknown columnar payload version {version}"
+            )));
+        }
+        let rows = r.u32()?;
+        let n_cols = r.u32()?;
+        if n_cols as u64 > bytes.len() as u64 {
+            return Err(codec::corrupt("columnar column count exceeds payload"));
+        }
+        let mut columns = Vec::with_capacity(n_cols as usize);
+        for _ in 0..n_cols {
+            columns.push(read_column(&mut r, rows)?);
+        }
+        let n_overlay = r.u32()?;
+        let mut overlay = BTreeMap::new();
+        let mut prev: Option<(u32, u32)> = None;
+        for _ in 0..n_overlay {
+            let col = r.u32()?;
+            let row = r.u32()?;
+            if row >= rows || col >= n_cols {
+                return Err(codec::corrupt("columnar overlay entry out of bounds"));
+            }
+            let key = (col, row);
+            if prev.is_some_and(|p| p >= key) {
+                return Err(codec::corrupt("columnar overlay out of order"));
+            }
+            prev = Some(key);
+            overlay.insert(key, read_cell(&mut r)?);
+        }
+        r.expect_done("columnar region payload")?;
+        Ok(ColumnarTranslator {
+            rows,
+            columns,
+            overlay,
+            overlay_limit: OVERLAY_COMPACT,
+        })
+    }
+}
+
+fn put_cell(out: &mut Vec<u8>, cell: &Cell) {
+    let mut flags = 0u8;
+    if cell.formula.is_some() {
+        flags |= 1;
+    }
+    codec::put_u8(out, flags);
+    match &cell.value {
+        CellValue::Empty => codec::put_u8(out, TAG_NULL),
+        CellValue::Number(n) => {
+            codec::put_u8(out, TAG_NUM);
+            codec::put_f64(out, *n);
+        }
+        CellValue::Bool(b) => {
+            codec::put_u8(out, TAG_BOOL);
+            codec::put_u8(out, *b as u8);
+        }
+        CellValue::Text(s) => {
+            codec::put_u8(out, TAG_TEXT);
+            codec::put_str(out, s);
+        }
+        CellValue::Error(e) => {
+            codec::put_u8(out, TAG_ERR);
+            codec::put_u8(out, error_code(*e));
+        }
+    }
+    if let Some(src) = &cell.formula {
+        codec::put_str(out, src);
+    }
+}
+
+fn read_cell(r: &mut codec::Reader<'_>) -> Result<Cell, StoreError> {
+    let flags = r.u8()?;
+    if flags > 1 {
+        return Err(codec::corrupt(format!("bad cell flags {flags}")));
+    }
+    let value = match r.u8()? {
+        TAG_NULL => CellValue::Empty,
+        TAG_NUM => CellValue::Number(r.f64()?),
+        TAG_BOOL => CellValue::Bool(r.u8()? != 0),
+        TAG_TEXT => CellValue::Text(r.str()?),
+        TAG_ERR => CellValue::Error(code_error(r.u8()?)?),
+        t => return Err(codec::corrupt(format!("bad value tag {t}"))),
+    };
+    let formula = if flags & 1 != 0 { Some(r.str()?) } else { None };
+    Ok(Cell { value, formula })
+}
+
+fn read_column(r: &mut codec::Reader<'_>, rows: u32) -> Result<Column, StoreError> {
+    let n_runs = r.u32()?;
+    if n_runs as u64 > rows as u64 {
+        return Err(codec::corrupt("more runs than rows"));
+    }
+    let mut runs = Vec::with_capacity(n_runs as usize);
+    let mut covered = 0u64;
+    let mut counts = [0u64; 5];
+    let mut prev_tag: Option<u8> = None;
+    for _ in 0..n_runs {
+        let tag = r.u8()?;
+        let len = r.u32()?;
+        if tag > TAG_ERR {
+            return Err(codec::corrupt(format!("bad run tag {tag}")));
+        }
+        if len == 0 {
+            return Err(codec::corrupt("empty run"));
+        }
+        if prev_tag == Some(tag) {
+            return Err(codec::corrupt("adjacent runs share a tag"));
+        }
+        prev_tag = Some(tag);
+        covered += len as u64;
+        counts[tag as usize] += len as u64;
+        runs.push(Run {
+            tag,
+            len,
+            start_row: 0,
+            start_idx: 0,
+        });
+    }
+    if covered != rows as u64 {
+        return Err(codec::corrupt(format!(
+            "runs cover {covered} rows, region has {rows}"
+        )));
+    }
+    let nums = match r.u8()? {
+        0 => {
+            let n = r.u32()?;
+            let mut v = Vec::with_capacity((n as usize).min(1 << 20));
+            for _ in 0..n {
+                v.push(r.f64()?);
+            }
+            NumStore::F64(v)
+        }
+        1 => {
+            let min = r.u64()? as i64;
+            let bits = r.u8()?;
+            let len = r.u32()?;
+            if bits > 63 {
+                return Err(codec::corrupt(format!("bad pack width {bits}")));
+            }
+            let n_words = (len as u64 * bits as u64).div_ceil(64) as usize;
+            let mut words = Vec::with_capacity(n_words.min(1 << 20));
+            for _ in 0..n_words {
+                words.push(r.u64()?);
+            }
+            NumStore::Packed {
+                min,
+                bits,
+                len,
+                words,
+            }
+        }
+        t => return Err(codec::corrupt(format!("bad number store variant {t}"))),
+    };
+    if nums.len() as u64 != counts[TAG_NUM as usize] {
+        return Err(codec::corrupt("number payload length mismatch"));
+    }
+    let bool_len = r.u32()?;
+    if bool_len as u64 != counts[TAG_BOOL as usize] {
+        return Err(codec::corrupt("bool payload length mismatch"));
+    }
+    let n_words = (bool_len as u64).div_ceil(64) as usize;
+    let mut words = Vec::with_capacity(n_words.min(1 << 20));
+    for _ in 0..n_words {
+        words.push(r.u64()?);
+    }
+    let bools = Bits {
+        words,
+        len: bool_len,
+    };
+    let n_dict = r.u32()?;
+    let mut dict = Vec::with_capacity((n_dict as usize).min(1 << 20));
+    for _ in 0..n_dict {
+        dict.push(r.str()?);
+    }
+    let codes = match r.u8()? {
+        0 => {
+            let n = r.u32()?;
+            let mut v = Vec::with_capacity((n as usize).min(1 << 20));
+            for _ in 0..n {
+                v.push(r.u32()?);
+            }
+            CodeStore::Plain(v)
+        }
+        1 => {
+            let n = r.u32()?;
+            let mut code_runs = Vec::with_capacity((n as usize).min(1 << 20));
+            let mut ends = Vec::with_capacity((n as usize).min(1 << 20));
+            let mut acc = 0u64;
+            for _ in 0..n {
+                let code = r.u32()?;
+                let len = r.u32()?;
+                if len == 0 {
+                    return Err(codec::corrupt("empty code run"));
+                }
+                acc += len as u64;
+                if acc > u32::MAX as u64 {
+                    return Err(codec::corrupt("code runs overflow"));
+                }
+                code_runs.push((code, len));
+                ends.push(acc as u32);
+            }
+            CodeStore::Rle {
+                runs: code_runs,
+                ends,
+            }
+        }
+        2 => {
+            let bits = r.u8()?;
+            let len = r.u32()?;
+            if bits > 32 {
+                return Err(codec::corrupt(format!("bad code pack width {bits}")));
+            }
+            let n_words = (len as u64 * bits as u64).div_ceil(64) as usize;
+            let mut words = Vec::with_capacity(n_words.min(1 << 20));
+            for _ in 0..n_words {
+                words.push(r.u64()?);
+            }
+            CodeStore::Packed { bits, len, words }
+        }
+        t => return Err(codec::corrupt(format!("bad code store variant {t}"))),
+    };
+    if codes.len() as u64 != counts[TAG_TEXT as usize] {
+        return Err(codec::corrupt("text code length mismatch"));
+    }
+    match &codes {
+        CodeStore::Plain(v) => {
+            if v.iter().any(|&c| c as usize >= dict.len()) {
+                return Err(codec::corrupt("dictionary code out of range"));
+            }
+        }
+        CodeStore::Packed { len, .. } => {
+            if (0..*len).any(|i| codes.get(i) as usize >= dict.len()) {
+                return Err(codec::corrupt("dictionary code out of range"));
+            }
+        }
+        CodeStore::Rle { runs, .. } => {
+            if runs.iter().any(|&(c, _)| c as usize >= dict.len()) {
+                return Err(codec::corrupt("dictionary code out of range"));
+            }
+        }
+    }
+    let n_errors = r.u32()?;
+    if n_errors as u64 != counts[TAG_ERR as usize] {
+        return Err(codec::corrupt("error payload length mismatch"));
+    }
+    let mut errors = Vec::with_capacity((n_errors as usize).min(1 << 20));
+    for _ in 0..n_errors {
+        let e = r.u8()?;
+        code_error(e)?;
+        errors.push(e);
+    }
+    let n_formulas = r.u32()?;
+    let mut formulas = BTreeMap::new();
+    let mut prev_row: Option<u32> = None;
+    for _ in 0..n_formulas {
+        let row = r.u32()?;
+        if row >= rows {
+            return Err(codec::corrupt("formula row out of bounds"));
+        }
+        if prev_row.is_some_and(|p| p >= row) {
+            return Err(codec::corrupt("formula rows out of order"));
+        }
+        prev_row = Some(row);
+        formulas.insert(row, r.str()?);
+    }
+    let mut col = Column {
+        runs,
+        nums,
+        bools,
+        dict,
+        codes,
+        errors,
+        formulas,
+    };
+    col.reindex();
+    Ok(col)
+}
+
+impl Translator for ColumnarTranslator {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Columnar
+    }
+
+    fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    fn cols(&self) -> u32 {
+        self.columns.len() as u32
+    }
+
+    fn get_cell(&self, row: u32, col: u32) -> Option<Cell> {
+        self.effective(row, col)
+    }
+
+    fn set_cell(&mut self, row: u32, col: u32, cell: Cell) -> Result<(), EngineError> {
+        self.ensure_extent(row + 1, col + 1);
+        self.overlay.insert((col, row), cell);
+        if self.overlay.len() >= self.overlay_limit {
+            self.compact();
+        }
+        Ok(())
+    }
+
+    fn clear_cell(&mut self, row: u32, col: u32) -> Result<(), EngineError> {
+        if row >= self.rows || col as usize >= self.columns.len() {
+            return Ok(());
+        }
+        let base_blank = {
+            let c = &self.columns[col as usize];
+            matches!(c.base_value(row), ScanValue::Empty) && !c.formulas.contains_key(&row)
+        };
+        if base_blank {
+            // Nothing underneath: dropping any overlay entry restores blank
+            // without growing the overlay.
+            self.overlay.remove(&(col, row));
+        } else {
+            self.overlay.insert((col, row), Cell::default());
+            if self.overlay.len() >= self.overlay_limit {
+                self.compact();
+            }
+        }
+        Ok(())
+    }
+
+    fn get_range(&self, rect: Rect) -> Vec<(CellAddr, Cell)> {
+        let mut out = Vec::new();
+        if self.rows == 0 || self.columns.is_empty() {
+            return out;
+        }
+        let rect = Rect::new(
+            rect.r1,
+            rect.c1,
+            rect.r2.min(self.rows - 1),
+            rect.c2.min(self.columns.len() as u32 - 1),
+        );
+        if rect.r1 > rect.r2 || rect.c1 > rect.c2 {
+            return out;
+        }
+        self.scan_rect(rect, |row, col, v, formula| {
+            let formula = formula.map(str::to_string);
+            if matches!(v, ScanValue::Empty) && formula.is_none() {
+                return;
+            }
+            out.push((
+                CellAddr::new(row, col),
+                Cell {
+                    value: v.to_value(),
+                    formula,
+                },
+            ));
+        });
+        out
+    }
+
+    fn insert_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        if n == 0 {
+            return Ok(());
+        }
+        if at >= self.rows {
+            self.ensure_extent(at + n, self.columns.len() as u32);
+            return Ok(());
+        }
+        // Cheap splice: nulls carry no payload, so inserting blank rows is
+        // a run edit — no store rebuilds. The overlay and formula maps
+        // shift their row keys.
+        self.compact();
+        for col in &mut self.columns {
+            let k = col.run_at(at);
+            let run = col.runs[k];
+            if run.tag == TAG_NULL {
+                col.runs[k].len += n;
+            } else if run.start_row == at {
+                // The predecessor (if any) may itself be a null run —
+                // extend it rather than creating an adjacent same-tag
+                // pair (the encoding requires canonical runs).
+                if k > 0 && col.runs[k - 1].tag == TAG_NULL {
+                    col.runs[k - 1].len += n;
+                } else {
+                    col.runs.insert(
+                        k,
+                        Run {
+                            tag: TAG_NULL,
+                            len: n,
+                            start_row: 0,
+                            start_idx: 0,
+                        },
+                    );
+                }
+            } else {
+                let head = at - run.start_row;
+                col.runs[k].len = head;
+                col.runs.splice(
+                    k + 1..k + 1,
+                    [
+                        Run {
+                            tag: TAG_NULL,
+                            len: n,
+                            start_row: 0,
+                            start_idx: 0,
+                        },
+                        Run {
+                            tag: run.tag,
+                            len: run.len - head,
+                            start_row: 0,
+                            start_idx: 0,
+                        },
+                    ],
+                );
+            }
+            col.reindex();
+            let moved: Vec<(u32, String)> = col.formulas.split_off(&at).into_iter().collect();
+            for (row, src) in moved {
+                col.formulas.insert(row + n, src);
+            }
+        }
+        self.rows += n;
+        Ok(())
+    }
+
+    fn delete_rows(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        if n == 0 || at >= self.rows {
+            return Ok(());
+        }
+        let end = at.saturating_add(n).min(self.rows);
+        let removed = end - at;
+        self.rebuild_rows(self.rows - removed, |row| {
+            if row < at {
+                Some(row)
+            } else if row < end {
+                None
+            } else {
+                Some(row - removed)
+            }
+        });
+        Ok(())
+    }
+
+    fn insert_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        if n == 0 {
+            return Ok(());
+        }
+        self.compact();
+        let at = (at as usize).min(self.columns.len());
+        self.columns
+            .splice(at..at, (0..n).map(|_| Column::empty(self.rows)));
+        Ok(())
+    }
+
+    fn delete_cols(&mut self, at: u32, n: u32) -> Result<(), EngineError> {
+        if n == 0 || at as usize >= self.columns.len() {
+            return Ok(());
+        }
+        self.compact();
+        let end = (at as usize + n as usize).min(self.columns.len());
+        self.columns.drain(at as usize..end);
+        Ok(())
+    }
+
+    fn storage_bytes(&self) -> u64 {
+        self.resident_bytes()
+    }
+
+    fn filled_count(&self) -> u64 {
+        let mut filled: u64 = self.columns.iter().map(Column::base_filled).sum();
+        for (&(col, row), cell) in &self.overlay {
+            let base_blank = match self.columns.get(col as usize) {
+                Some(c) if row < c.rows() => {
+                    matches!(c.base_value(row), ScanValue::Empty) && !c.formulas.contains_key(&row)
+                }
+                _ => true,
+            };
+            match (base_blank, cell.is_blank()) {
+                (true, false) => filled += 1,
+                (false, true) => filled -= 1,
+                _ => {}
+            }
+        }
+        filled
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        let base: u64 = self.columns.iter().map(Column::resident_bytes).sum();
+        let overlay: u64 = self
+            .overlay
+            .values()
+            .map(|c| {
+                16 + match &c.value {
+                    CellValue::Text(s) => s.len() as u64,
+                    _ => 8,
+                } + c.formula.as_ref().map_or(0, |f| f.len() as u64)
+            })
+            .sum();
+        base + overlay
+    }
+
+    fn encoded_image(&self) -> Option<Vec<u8>> {
+        Some(self.to_bytes())
+    }
+
+    fn as_columnar(&self) -> Option<&ColumnarTranslator> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell_n(n: f64) -> Cell {
+        Cell::value(n)
+    }
+
+    fn sample() -> ColumnarTranslator {
+        let rows = (0..100u32).map(|r| {
+            vec![
+                cell_n(r as f64),
+                Cell::value(if r % 3 == 0 { "PASS" } else { "FAIL" }),
+                Cell::value(r % 2 == 0),
+                if r == 50 {
+                    Cell::default()
+                } else {
+                    cell_n(r as f64 * 0.5)
+                },
+            ]
+        });
+        ColumnarTranslator::bulk_load_rows(4, rows)
+    }
+
+    #[test]
+    fn bulk_load_and_read_back() {
+        let t = sample();
+        assert_eq!(t.rows(), 100);
+        assert_eq!(t.cols(), 4);
+        assert_eq!(t.get_cell(7, 0).unwrap().value, CellValue::Number(7.0));
+        assert_eq!(
+            t.get_cell(9, 1).unwrap().value,
+            CellValue::Text("PASS".into())
+        );
+        assert_eq!(t.get_cell(9, 2).unwrap().value, CellValue::Bool(false));
+        assert_eq!(t.get_cell(50, 3), None);
+        assert_eq!(t.filled_count(), 399);
+    }
+
+    #[test]
+    fn integer_columns_bit_pack() {
+        let t = ColumnarTranslator::bulk_load_rows(
+            1,
+            (0..1000u32).map(|r| vec![cell_n((r % 7) as f64)]),
+        );
+        // 0..6 needs 3 bits: 1000 values in ~47 words, far below 8000 bytes.
+        assert!(t.resident_bytes() < 1000, "{} bytes", t.resident_bytes());
+        for r in 0..1000u32 {
+            assert_eq!(
+                t.get_cell(r, 0).unwrap().value,
+                CellValue::Number((r % 7) as f64)
+            );
+        }
+    }
+
+    #[test]
+    fn dictionary_rle_compresses_repeats() {
+        let t = ColumnarTranslator::bulk_load_rows(
+            1,
+            (0..10_000u32).map(|_| vec![Cell::value("PASS")]),
+        );
+        assert!(t.resident_bytes() < 128, "{} bytes", t.resident_bytes());
+    }
+
+    #[test]
+    fn overlay_write_read_clear() {
+        let mut t = sample();
+        t.set_cell(10, 0, Cell::value("edited")).unwrap();
+        assert_eq!(
+            t.get_cell(10, 0).unwrap().value,
+            CellValue::Text("edited".into())
+        );
+        assert_eq!(t.overlay_len(), 1);
+        t.clear_cell(10, 0).unwrap();
+        assert_eq!(t.get_cell(10, 0), None);
+        // Clearing a base-blank position must not grow the overlay.
+        t.clear_cell(50, 3).unwrap();
+        assert_eq!(t.get_cell(50, 3), None);
+        assert_eq!(t.filled_count(), 398);
+    }
+
+    #[test]
+    fn compaction_preserves_content() {
+        let mut t = sample();
+        t.set_overlay_limit(8);
+        let before: Vec<_> = (0..100u32)
+            .map(|r| (0..4).map(|c| t.get_cell(r, c)).collect::<Vec<_>>())
+            .collect();
+        for r in 0..20u32 {
+            t.set_cell(r, 1, Cell::value(format!("edit{r}"))).unwrap();
+        }
+        assert!(t.overlay_len() < 8, "compaction must have run");
+        for r in 0..100u32 {
+            for c in 0..4u32 {
+                let want = if c == 1 && r < 20 {
+                    Some(Cell::value(format!("edit{r}")))
+                } else {
+                    before[r as usize][c as usize].clone()
+                };
+                assert_eq!(t.get_cell(r, c), want, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip_is_identical() {
+        let mut t = sample();
+        t.set_cell(3, 2, Cell::value(9.5)).unwrap();
+        t.set_cell(
+            4,
+            1,
+            Cell {
+                value: CellValue::Number(1.0),
+                formula: Some("A1+1".into()),
+            },
+        )
+        .unwrap();
+        t.set_cell(5, 0, Cell::default()).unwrap();
+        let bytes = t.to_bytes();
+        let back = ColumnarTranslator::from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bytes(), bytes);
+        for r in 0..100u32 {
+            for c in 0..4u32 {
+                assert_eq!(back.get_cell(r, c), t.get_cell(r, c), "({r},{c})");
+            }
+        }
+        assert_eq!(back.filled_count(), t.filled_count());
+    }
+
+    #[test]
+    fn corrupt_payloads_are_rejected() {
+        let t = sample();
+        let bytes = t.to_bytes();
+        assert!(ColumnarTranslator::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = 99; // version
+        assert!(ColumnarTranslator::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn insert_rows_splices_null_runs() {
+        let mut t = sample();
+        t.insert_rows(10, 5).unwrap();
+        assert_eq!(t.rows(), 105);
+        assert_eq!(t.get_cell(9, 0).unwrap().value, CellValue::Number(9.0));
+        for r in 10..15u32 {
+            assert_eq!(t.get_cell(r, 0), None, "inserted row {r}");
+        }
+        assert_eq!(t.get_cell(15, 0).unwrap().value, CellValue::Number(10.0));
+    }
+
+    #[test]
+    fn delete_rows_rebuilds() {
+        let mut t = sample();
+        t.delete_rows(10, 5).unwrap();
+        assert_eq!(t.rows(), 95);
+        assert_eq!(t.get_cell(9, 0).unwrap().value, CellValue::Number(9.0));
+        assert_eq!(t.get_cell(10, 0).unwrap().value, CellValue::Number(15.0));
+    }
+
+    #[test]
+    fn insert_delete_cols() {
+        let mut t = sample();
+        t.insert_cols(1, 2).unwrap();
+        assert_eq!(t.cols(), 6);
+        assert_eq!(t.get_cell(3, 0).unwrap().value, CellValue::Number(3.0));
+        assert_eq!(t.get_cell(3, 1), None);
+        assert_eq!(
+            t.get_cell(3, 3).unwrap().value,
+            CellValue::Text("PASS".into())
+        );
+        t.delete_cols(1, 2).unwrap();
+        assert_eq!(t.cols(), 4);
+        assert_eq!(
+            t.get_cell(3, 1).unwrap().value,
+            CellValue::Text("PASS".into())
+        );
+    }
+
+    #[test]
+    fn column_agg_matches_sequential_fold() {
+        let mut t = sample();
+        t.set_cell(17, 0, Cell::value(100.5)).unwrap();
+        let agg = t.column_agg(0, 0, 99);
+        let mut sum = 0.0;
+        let mut numbers = 0u64;
+        for r in 0..100u32 {
+            if let Some(c) = t.get_cell(r, 0) {
+                if let CellValue::Number(n) = c.value {
+                    sum += n;
+                    numbers += 1;
+                }
+            }
+        }
+        assert_eq!(agg.sum.to_bits(), sum.to_bits());
+        assert_eq!(agg.numbers, numbers);
+        assert_eq!(agg.nonempty, 100);
+        assert_eq!(agg.error, None);
+    }
+
+    #[test]
+    fn column_agg_stops_at_first_error() {
+        let mut t = sample();
+        t.set_cell(30, 0, Cell::value(CellValue::Error(CellError::Div0)))
+            .unwrap();
+        t.set_cell(60, 0, Cell::value(CellValue::Error(CellError::Ref)))
+            .unwrap();
+        let agg = t.column_agg(0, 0, 99);
+        assert_eq!(agg.error, Some(CellError::Div0));
+        assert_eq!(agg.numbers, 30, "stops before the error row");
+    }
+
+    #[test]
+    fn get_range_is_row_major_and_skips_blanks() {
+        let t = sample();
+        let got = t.get_range(Rect::new(49, 0, 51, 3));
+        let addrs: Vec<(u32, u32)> = got.iter().map(|(a, _)| (a.row, a.col)).collect();
+        let mut sorted = addrs.clone();
+        sorted.sort_unstable();
+        assert_eq!(addrs, sorted);
+        assert!(!addrs.contains(&(50, 3)), "blank cell must be skipped");
+        assert_eq!(got.len(), 11);
+    }
+}

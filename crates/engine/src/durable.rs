@@ -75,7 +75,7 @@ use dataspread_relstore::{Pager, SharedWal, StoreError, Wal, PAGE_SIZE};
 use std::sync::Arc;
 
 use crate::error::EngineError;
-use crate::hybrid::{RegionImage, CATCHALL_REGION_ID};
+use crate::hybrid::{RegionImage, RegionPayload, CATCHALL_REGION_ID};
 
 /// File name of the checkpoint image inside a durable sheet directory.
 pub const IMAGE_FILE: &str = "pages.db";
@@ -112,6 +112,9 @@ const KIND_COM: u8 = 1;
 const KIND_RCV: u8 = 2;
 const KIND_TOM: u8 = 3;
 const KIND_CATCHALL: u8 = 4;
+/// Columnar regions store their native compressed encoding as the page
+/// payload (no per-cell codec).
+const KIND_COLUMNAR: u8 = 5;
 
 /// Path of the image file for a durable sheet directory.
 pub fn image_path(dir: impl AsRef<Path>) -> PathBuf {
@@ -259,6 +262,7 @@ fn model_code(id: u64, kind: ModelKind) -> u8 {
         ModelKind::Com => KIND_COM,
         ModelKind::Rcv => KIND_RCV,
         ModelKind::Tom => KIND_TOM,
+        ModelKind::Columnar => KIND_COLUMNAR,
     }
 }
 
@@ -268,6 +272,7 @@ fn code_model(c: u8) -> Result<ModelKind, EngineError> {
         KIND_COM => ModelKind::Com,
         KIND_RCV | KIND_CATCHALL => ModelKind::Rcv,
         KIND_TOM => ModelKind::Tom,
+        KIND_COLUMNAR => ModelKind::Columnar,
         t => return Err(corrupt(&format!("unknown region kind {t}"))),
     })
 }
@@ -566,7 +571,11 @@ pub struct RecoveredRegionImage {
     pub id: u64,
     pub kind: ModelKind,
     pub rect: Rect,
+    /// Per-cell payload; empty for columnar regions (see `encoded`).
     pub cells: Vec<(CellAddr, Cell)>,
+    /// A columnar region's raw native payload, decoded by the translator
+    /// itself on restore (`None` for every other kind).
+    pub encoded: Option<Vec<u8>>,
 }
 
 /// What [`DurableStore::open`] found on disk.
@@ -623,6 +632,12 @@ pub struct PersistenceStats {
     pub image_pages: u64,
     /// Regions tracked by the image's page-allocation map.
     pub image_regions: u64,
+    /// Estimated resident (in-memory) bytes of the sheet's storage, by
+    /// region layout. Filled in by the engine
+    /// ([`SheetEngine::persistence_stats`](crate::SheetEngine::persistence_stats));
+    /// zero when read straight off a [`DurableStore`], which does not know
+    /// the sheet.
+    pub resident_bytes: u64,
     /// Pager cache / I/O counters.
     pub pager: PagerStats,
 }
@@ -644,6 +659,11 @@ pub struct DurableStore {
     map: BTreeMap<u64, StoredRegion>,
     /// Pages holding the serialized map itself.
     map_pages: Vec<u64>,
+    /// Pages inside the image not used by the map or any region — the
+    /// checkpoint allocator's free pool, cached between checkpoints
+    /// (computed once at open, maintained incrementally) instead of
+    /// re-derived from an O(image pages) rescan each time.
+    free_pool: BTreeSet<u64>,
     /// Non-zero when the open image was a v1 whole-sheet payload: that
     /// many pages are treated as previously-used and the next checkpoint
     /// must receive every region dirty (the caller marks the sheet dirty
@@ -798,15 +818,25 @@ impl DurableStore {
                                 "image: region {id} payload checksum mismatch"
                             )));
                         }
-                        let cells = decode_cells(&payload)?;
                         if *id == CATCHALL_REGION_ID {
-                            catchall = cells;
+                            catchall = decode_cells(&payload)?;
+                        } else if sr.kind == KIND_COLUMNAR {
+                            // Native encoding: handed to the columnar
+                            // translator verbatim (which validates it).
+                            regions.push(RecoveredRegionImage {
+                                id: *id,
+                                kind: ModelKind::Columnar,
+                                rect: sr.rect,
+                                cells: Vec::new(),
+                                encoded: Some(payload),
+                            });
                         } else {
                             regions.push(RecoveredRegionImage {
                                 id: *id,
                                 kind: code_model(sr.kind)?,
                                 rect: sr.rect,
-                                cells,
+                                cells: decode_cells(&payload)?,
+                                encoded: None,
                             });
                         }
                     }
@@ -816,6 +846,19 @@ impl DurableStore {
             }
         }
 
+        // Seed the free-pool cache: image pages used by neither the map
+        // nor any region (the one full scan; checkpoints maintain it).
+        let mut used: BTreeSet<u64> = map_pages.iter().copied().collect();
+        for sr in map.values() {
+            used.extend(sr.pages.iter().copied());
+        }
+        if legacy_pages > 0 {
+            used.extend(1..legacy_pages);
+        }
+        let free_pool: BTreeSet<u64> = (1..pager.page_count())
+            .filter(|p| !used.contains(p))
+            .collect();
+
         Ok((
             DurableStore {
                 dir,
@@ -823,6 +866,7 @@ impl DurableStore {
                 pager,
                 map,
                 map_pages,
+                free_pool,
                 legacy_pages,
                 ops_since_checkpoint: ops.len() as u64,
                 checkpoints: 0,
@@ -941,10 +985,13 @@ impl DurableStore {
         let mut payload_bytes = 0u64;
         for r in regions {
             let kind_tag = model_code(r.id, r.kind);
-            match &r.cells {
-                Some(cells) => {
+            match &r.payload {
+                Some(content) => {
                     regions_dirty += 1;
-                    let payload = encode_cells(cells);
+                    let payload = match content {
+                        RegionPayload::Cells(cells) => encode_cells(cells),
+                        RegionPayload::Encoded(bytes) => bytes.clone(),
+                    };
                     payload_bytes += payload.len() as u64;
                     let stored_pages = self.map.get(&r.id).and_then(|old| {
                         (old.payload_len == payload.len() as u64
@@ -988,13 +1035,24 @@ impl DurableStore {
             }
         }
 
-        // Free pool: every page below the old end not retained by a clean
-        // entry (freed pages are all-zero on disk, so never-used holes are
-        // allocatable too).
-        let mut free: BTreeSet<u64> = (1..old_count).collect();
-        for sr in new_map.values() {
-            for p in &sr.pages {
-                free.remove(p);
+        // Free pool: the cached between-checkpoints pool, plus everything
+        // the old image used that the new one does not retain — the old
+        // map pages (always rewritten or re-derived), the pages of regions
+        // being rewritten or dropped, and a legacy image's whole payload
+        // run. Equivalent to the full `(1..old_count)` rescan this
+        // replaced (same set, so page assignment — and therefore image
+        // bytes — stay identical), but O(changed pages), not O(image).
+        let mut free = self.free_pool.clone();
+        free.extend(self.map_pages.iter().copied());
+        if self.legacy_pages > 0 {
+            free.extend(1..self.legacy_pages);
+        }
+        // Every id in new_map so far carried its stored pages over
+        // verbatim (clean or byte-identical entries); only ids absent from
+        // it — rewritten below or dropped — release pages.
+        for (id, sr) in &self.map {
+            if !new_map.contains_key(id) {
+                free.extend(sr.pages.iter().copied());
             }
         }
         let mut grow = old_count.max(1);
@@ -1094,7 +1152,7 @@ impl DurableStore {
         if changed.is_empty() && new_count == old_count {
             // Image already current — just fold the op tail away.
             self.wal.truncate()?;
-            self.commit_map(new_map, map_pages_new);
+            self.commit_map(new_map, map_pages_new, free, new_count);
             return Ok(report);
         }
 
@@ -1120,11 +1178,21 @@ impl DurableStore {
         self.pager.flush()?;
         // 3. The checkpoint is now the truth; drop the log.
         self.wal.truncate()?;
-        self.commit_map(new_map, map_pages_new);
+        self.commit_map(new_map, map_pages_new, free, new_count);
         Ok(report)
     }
 
-    fn commit_map(&mut self, map: BTreeMap<u64, StoredRegion>, map_pages: Vec<u64>) {
+    fn commit_map(
+        &mut self,
+        map: BTreeMap<u64, StoredRegion>,
+        map_pages: Vec<u64>,
+        mut free: BTreeSet<u64>,
+        new_count: u64,
+    ) {
+        // What the allocator did not hand out is the next checkpoint's
+        // pool; pages past the new end were truncated away.
+        free.retain(|p| *p < new_count);
+        self.free_pool = free;
         self.map = map;
         self.map_pages = map_pages;
         self.legacy_pages = 0;
@@ -1189,6 +1257,7 @@ impl DurableStore {
             checkpoints: self.checkpoints,
             image_pages: self.pager.page_count(),
             image_regions: self.map.len() as u64,
+            resident_bytes: 0,
             pager: self.pager.stats(),
         }
     }
@@ -1221,7 +1290,7 @@ mod tests {
             id: CATCHALL_REGION_ID,
             kind: ModelKind::Rcv,
             rect: Rect::new(0, 0, 0, 0),
-            cells: dirty.then(|| cells.to_vec()),
+            payload: dirty.then(|| RegionPayload::Cells(cells.to_vec())),
         }
     }
 
@@ -1230,7 +1299,7 @@ mod tests {
             id,
             kind: ModelKind::Rom,
             rect,
-            cells,
+            payload: cells.map(RegionPayload::Cells),
         }
     }
 

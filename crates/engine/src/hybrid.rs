@@ -14,6 +14,7 @@ use dataspread_grid::{Cell, CellAddr, Rect, SparseSheet};
 use dataspread_hybrid::{Decomposition, ModelKind};
 use dataspread_posmap::PosMapKind;
 
+use crate::columnar::{ColumnAgg, ColumnarTranslator, ScanValue};
 use crate::com::ComTranslator;
 use crate::error::EngineError;
 use crate::rcv::RcvTranslator;
@@ -263,8 +264,21 @@ impl std::fmt::Debug for RegionSlot {
     }
 }
 
+/// Serialized content of one region in a checkpoint image.
+pub enum RegionPayload {
+    /// Generic per-cell payload (ROM/COM/RCV/TOM and the catch-all).
+    /// Region cells are in *local* coordinates, catch-all cells in sheet
+    /// coordinates; both sorted row-major.
+    Cells(Vec<(CellAddr, Cell)>),
+    /// A translator's native pre-encoded payload
+    /// ([`Translator::encoded_image`]): columnar regions checkpoint their
+    /// compressed pages directly, so image size tracks the compressed —
+    /// not the logical — footprint.
+    Encoded(Vec<u8>),
+}
+
 /// One region's contribution to a checkpoint: identity + layout metadata
-/// always, the actual cells only when the region is dirty (that is the
+/// always, the actual payload only when the region is dirty (that is the
 /// whole point of region-granular persistence — clean regions are never
 /// re-serialized).
 pub struct RegionImage {
@@ -272,9 +286,18 @@ pub struct RegionImage {
     pub kind: ModelKind,
     /// Sheet-coordinate rectangle (meaningless for the catch-all).
     pub rect: Rect,
-    /// `Some(cells)` iff dirty. Region cells are in *local* coordinates,
-    /// catch-all cells in sheet coordinates; both sorted row-major.
-    pub cells: Option<Vec<(CellAddr, Cell)>>,
+    /// `Some(payload)` iff dirty.
+    pub payload: Option<RegionPayload>,
+}
+
+/// Source bytes for rebuilding one region on recovery.
+#[derive(Debug, Clone, Copy)]
+pub enum RegionSource<'a> {
+    /// Per-cell payload in local coordinates.
+    Cells(&'a [(CellAddr, Cell)]),
+    /// A columnar region's native encoding
+    /// ([`ColumnarTranslator::from_bytes`]).
+    Encoded(&'a [u8]),
 }
 
 /// A sheet stored as a hybrid data model.
@@ -338,6 +361,10 @@ impl HybridSheet {
             ModelKind::Rom => Box::new(RomTranslator::new(self.posmap_kind)),
             ModelKind::Com => Box::new(ComTranslator::new(self.posmap_kind)),
             ModelKind::Rcv | ModelKind::Tom => Box::new(RcvTranslator::new(self.posmap_kind)),
+            // Bulk paths (reorganize, restore, migrate) build columnar
+            // translators directly; this empty one only serves stray
+            // per-cell construction.
+            ModelKind::Columnar => Box::new(ColumnarTranslator::new(0, 0)),
         }
     }
 
@@ -399,31 +426,64 @@ impl HybridSheet {
         rect: Rect,
         cells: &[(CellAddr, Cell)],
     ) -> Result<(), EngineError> {
-        self.restore_regions(std::iter::once((id, kind, rect, cells)))
+        self.restore_regions(std::iter::once((
+            id,
+            kind,
+            rect,
+            RegionSource::Cells(cells),
+        )))
     }
 
     /// Restore a whole image's regions with a single routing-index rebuild
     /// (the cold-open path: per-region rebuilds would make opening a
-    /// many-region sheet quadratic).
+    /// many-region sheet quadratic). Columnar regions restore from their
+    /// native encoding without per-cell replay.
     pub fn restore_regions<'a>(
         &mut self,
-        regions: impl IntoIterator<Item = (u64, ModelKind, Rect, &'a [(CellAddr, Cell)])>,
+        regions: impl IntoIterator<Item = (u64, ModelKind, Rect, RegionSource<'a>)>,
     ) -> Result<(), EngineError> {
         let mut result = Ok(());
-        'restore: for (id, kind, rect, cells) in regions {
+        'restore: for (id, kind, rect, source) in regions {
             if id == CATCHALL_REGION_ID || self.regions.iter().any(|r| r.id == id) {
                 result = Err(EngineError::BadLink(format!(
                     "restore of duplicate region id {id}"
                 )));
                 break;
             }
-            let mut translator = self.make_translator(kind);
-            for (addr, cell) in cells {
-                if let Err(e) = translator.set_cell(addr.row, addr.col, cell.clone()) {
-                    result = Err(e);
+            let translator: Box<dyn Translator> = match (kind, source) {
+                (ModelKind::Columnar, RegionSource::Encoded(bytes)) => {
+                    match ColumnarTranslator::from_bytes(bytes) {
+                        Ok(t) => Box::new(t),
+                        Err(e) => {
+                            result = Err(e.into());
+                            break 'restore;
+                        }
+                    }
+                }
+                (_, RegionSource::Encoded(_)) => {
+                    result = Err(EngineError::BadLink(format!(
+                        "region {id}: encoded payload for a non-columnar region"
+                    )));
                     break 'restore;
                 }
-            }
+                (ModelKind::Columnar, RegionSource::Cells(cells)) => {
+                    Box::new(ColumnarTranslator::from_cells(
+                        rect.rows() as u32,
+                        rect.cols() as u32,
+                        cells.iter().cloned(),
+                    ))
+                }
+                (_, RegionSource::Cells(cells)) => {
+                    let mut t = self.make_translator(kind);
+                    for (addr, cell) in cells {
+                        if let Err(e) = t.set_cell(addr.row, addr.col, cell.clone()) {
+                            result = Err(e);
+                            break 'restore;
+                        }
+                    }
+                    t
+                }
+            };
             self.regions.push(RegionSlot {
                 id,
                 rect,
@@ -464,9 +524,9 @@ impl HybridSheet {
             id: CATCHALL_REGION_ID,
             kind: ModelKind::Rcv,
             rect: Rect::new(0, 0, 0, 0),
-            cells: self
+            payload: self
                 .catchall_dirty
-                .then(|| sorted_cells(self.catchall.get_range(whole))),
+                .then(|| RegionPayload::Cells(sorted_cells(self.catchall.get_range(whole)))),
         });
         for r in &self.regions {
             let dirty = r.dirty || r.translator.change_stamp() != r.clean_stamp;
@@ -474,7 +534,10 @@ impl HybridSheet {
                 id: r.id,
                 kind: r.translator.kind(),
                 rect: r.rect,
-                cells: dirty.then(|| sorted_cells(r.translator.all_cells())),
+                payload: dirty.then(|| match r.translator.encoded_image() {
+                    Some(bytes) => RegionPayload::Encoded(bytes),
+                    None => RegionPayload::Cells(sorted_cells(r.translator.all_cells())),
+                }),
             });
         }
         out.sort_by_key(|r| r.id);
@@ -807,20 +870,156 @@ impl HybridSheet {
         // was rebuilt, so the whole sheet must re-serialize.
         self.mark_all_dirty();
         // Build the new regions (one routing rebuild for the whole batch).
+        let migrated = cells.len() as u64;
         for region in &decomp.regions {
             if region.kind == ModelKind::Tom {
                 continue; // TOM regions are created by linkTable only.
             }
-            let translator = self.make_translator(region.kind);
+            let translator: Box<dyn Translator> = if region.kind == ModelKind::Columnar {
+                // Bulk-build directly from the cells landing in this
+                // region: routing each through the write overlay would
+                // trigger a column rebuild every compaction interval.
+                let rect = region.rect;
+                let (inside, outside): (Vec<_>, Vec<_>) = std::mem::take(&mut cells)
+                    .into_iter()
+                    .partition(|(addr, _)| rect.contains(*addr));
+                cells = outside;
+                Box::new(ColumnarTranslator::from_cells(
+                    rect.rows() as u32,
+                    rect.cols() as u32,
+                    inside.into_iter().map(|(addr, cell)| {
+                        (addr.offset(-(rect.r1 as i64), -(rect.c1 as i64)), cell)
+                    }),
+                ))
+            } else {
+                self.make_translator(region.kind)
+            };
             self.add_region_unindexed(region.rect, translator)?;
         }
         self.routing = RoutingIndex::build(&self.regions);
-        // Distribute the cells.
-        let migrated = cells.len() as u64;
+        // Distribute the remaining cells.
         for (addr, cell) in cells {
             self.set_cell(addr, cell)?;
         }
         Ok(migrated)
+    }
+
+    /// Rebuild one region's storage in place under a different model,
+    /// keeping its identity and rectangle (the hot-region migration path:
+    /// a large read-mostly ROM region converts to columnar without a
+    /// whole-sheet reorganization). TOM regions are linked tables and
+    /// cannot convert either way.
+    pub fn migrate_region(&mut self, slot: usize, kind: ModelKind) -> Result<(), EngineError> {
+        let region = self
+            .regions
+            .get_mut(slot)
+            .ok_or_else(|| EngineError::BadLink(format!("no region slot {slot}")))?;
+        let from = region.translator.kind();
+        if from == kind {
+            return Ok(());
+        }
+        if from == ModelKind::Tom || kind == ModelKind::Tom {
+            return Err(EngineError::BadLink(
+                "TOM regions are created by linkTable and cannot be migrated".into(),
+            ));
+        }
+        let cells = region.translator.all_cells();
+        region.translator = if kind == ModelKind::Columnar {
+            Box::new(ColumnarTranslator::from_cells(
+                region.rect.rows() as u32,
+                region.rect.cols() as u32,
+                cells,
+            ))
+        } else {
+            let mut t = match kind {
+                ModelKind::Rom => {
+                    Box::new(RomTranslator::new(self.posmap_kind)) as Box<dyn Translator>
+                }
+                ModelKind::Com => Box::new(ComTranslator::new(self.posmap_kind)),
+                _ => Box::new(RcvTranslator::new(self.posmap_kind)),
+            };
+            for (addr, cell) in cells {
+                t.set_cell(addr.row, addr.col, cell)?;
+            }
+            t
+        };
+        region.dirty = true;
+        region.clean_stamp = None;
+        Ok(())
+    }
+
+    /// The aggregate fast path: when `rect` is a single-column range served
+    /// entirely by one columnar region, fold it straight off the typed
+    /// columns ([`ColumnarTranslator::column_agg`]) — same row order, same
+    /// first-error abort as the evaluator's per-cell walk. `None` means
+    /// "no fast path here", not an empty result.
+    pub fn range_agg(&self, rect: Rect) -> Option<ColumnAgg> {
+        if rect.c1 != rect.c2 || rect.r1 > rect.r2 {
+            return None;
+        }
+        let region = self.sole_columnar_region(&rect)?;
+        let t = region.translator.as_columnar()?;
+        Some(t.column_agg(
+            rect.c1 - region.rect.c1,
+            rect.r1 - region.rect.r1,
+            rect.r2 - region.rect.r1,
+        ))
+    }
+
+    /// The window fast path: when `rect` is served entirely by one columnar
+    /// region, stream its values (including empty positions, row-major)
+    /// through `f` as `(sheet row, sheet col, value, formula)` without
+    /// materializing [`Cell`]s. Returns `false` — emitting nothing — when
+    /// the window is not columnar-resident; callers fall back to
+    /// [`HybridSheet::get_cells`].
+    pub fn scan_columnar_window(
+        &self,
+        rect: Rect,
+        mut f: impl FnMut(u32, u32, ScanValue<'_>, Option<&str>),
+    ) -> bool {
+        let Some(region) = self.sole_columnar_region(&rect) else {
+            return false;
+        };
+        let Some(t) = region.translator.as_columnar() else {
+            return false;
+        };
+        let local = rect.translate(-(region.rect.r1 as i64), -(region.rect.c1 as i64));
+        t.scan_rect(local, |row, col, v, formula| {
+            f(row + region.rect.r1, col + region.rect.c1, v, formula)
+        });
+        true
+    }
+
+    /// The region serving *all* of `rect`, provided it is columnar. Full
+    /// containment also proves the catch-all is empty inside `rect`: any
+    /// cell there would have routed into the region.
+    fn sole_columnar_region(&self, rect: &Rect) -> Option<&RegionSlot> {
+        let hits = self.routing.regions_intersecting(rect);
+        let [slot] = hits[..] else {
+            return None;
+        };
+        let region = &self.regions[slot];
+        (region.translator.kind() == ModelKind::Columnar
+            && region.rect.intersection(rect) == Some(*rect))
+        .then_some(region)
+    }
+
+    /// Formula cells inside columnar regions, in sheet coordinates (the
+    /// recovery path re-registers these straight from the restored
+    /// translators — their cells never materialize through the image).
+    pub fn columnar_formula_cells(&self) -> Vec<(CellAddr, String)> {
+        let mut out = Vec::new();
+        for region in &self.regions {
+            if let Some(t) = region.translator.as_columnar() {
+                t.for_each_formula(|row, col, src| {
+                    out.push((
+                        CellAddr::new(row + region.rect.r1, col + region.rect.c1),
+                        src.to_string(),
+                    ));
+                });
+            }
+        }
+        out
     }
 
     /// Accounted storage bytes across regions and the catch-all.
@@ -840,6 +1039,27 @@ impl HybridSheet {
                 .iter()
                 .map(|r| r.translator.filled_count())
                 .sum::<u64>()
+    }
+
+    /// Estimated resident (in-memory) bytes across regions and the
+    /// catch-all ([`Translator::resident_bytes`]); differs from
+    /// [`HybridSheet::storage_bytes`] for compressed layouts.
+    pub fn resident_bytes(&self) -> u64 {
+        self.catchall.resident_bytes()
+            + self
+                .regions
+                .iter()
+                .map(|r| r.translator.resident_bytes())
+                .sum::<u64>()
+    }
+
+    /// Per-region resident-byte accounting: `(rect, kind, resident bytes)`
+    /// for every region, the catch-all excluded.
+    pub fn region_resident_bytes(&self) -> Vec<(Rect, ModelKind, u64)> {
+        self.regions
+            .iter()
+            .map(|r| (r.rect, r.translator.kind(), r.translator.resident_bytes()))
+            .collect()
     }
 }
 
@@ -870,6 +1090,10 @@ impl dataspread_formula::eval::CellReader for StorageReader<'_> {
             .into_iter()
             .map(|(a, c)| (a, c.value))
             .collect()
+    }
+
+    fn range_agg(&self, rect: Rect) -> Option<dataspread_formula::RangeAgg> {
+        self.0.range_agg(rect).map(Into::into)
     }
 }
 

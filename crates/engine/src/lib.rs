@@ -27,6 +27,7 @@
 //! checkpoints into a paged image file; recovery on reopen replays the
 //! committed op tail (see the module docs for the exact protocol).
 
+pub mod columnar;
 pub mod com;
 pub mod durable;
 pub mod error;
@@ -37,6 +38,7 @@ pub mod sheet;
 pub mod tom;
 pub mod translator;
 
+pub use columnar::{ColumnAgg, ColumnarTranslator, ScanValue};
 pub use durable::{CheckpointReport, LoggedOp, PersistenceStats};
 pub use error::EngineError;
 pub use hybrid::{HybridSheet, RegionImage, CATCHALL_REGION_ID};

@@ -25,7 +25,7 @@ use dataspread_relstore::{ColumnDef, DataType, Database, Datum, Schema};
 
 use crate::durable::{CheckpointReport, DurableStore, LoggedOp, PersistenceStats};
 use crate::error::EngineError;
-use crate::hybrid::HybridSheet;
+use crate::hybrid::{HybridSheet, RegionSource};
 use crate::rom::RomTranslator;
 use crate::tom::TomTranslator;
 use crate::translator::{value_to_datum, Translator};
@@ -127,6 +127,12 @@ impl CellReader for EngineReader<'_> {
             .map(|(a, c)| (a, c.value))
             .collect()
     }
+
+    fn range_agg(&self, rect: Rect) -> Option<dataspread_formula::RangeAgg> {
+        // Like range scans, aggregates bypass the per-cell cache (it is
+        // read-through, so storage holds the same values).
+        self.sheet.range_agg(rect).map(Into::into)
+    }
 }
 
 /// Cache-free reader for wave workers: each worker reads the hybrid
@@ -151,6 +157,10 @@ impl CellReader for SheetOnlyReader<'_> {
             .into_iter()
             .map(|(a, c)| (a, c.value))
             .collect()
+    }
+
+    fn range_agg(&self, rect: Rect) -> Option<dataspread_formula::RangeAgg> {
+        self.sheet.range_agg(rect).map(Into::into)
     }
 }
 
@@ -241,12 +251,15 @@ impl SheetEngine {
         // 1. Rebuild the region layout from the image (regions first, so
         //    the catch-all cells below route to the catch-all; batched, so
         //    the routing index builds once for the whole image).
-        engine.sheet.restore_regions(
-            recovered
-                .regions
-                .iter()
-                .map(|r| (r.id, r.kind, r.rect, r.cells.as_slice())),
-        )?;
+        engine
+            .sheet
+            .restore_regions(recovered.regions.iter().map(|r| {
+                let source = match &r.encoded {
+                    Some(bytes) => RegionSource::Encoded(bytes),
+                    None => RegionSource::Cells(r.cells.as_slice()),
+                };
+                (r.id, r.kind, r.rect, source)
+            }))?;
         for (addr, cell) in &recovered.catchall {
             engine.sheet.set_cell(*addr, cell.clone())?;
         }
@@ -270,6 +283,13 @@ impl SheetEngine {
                 if let Ok(expr) = parse(src) {
                     engine.register_formula(addr, expr, src.clone());
                 }
+            }
+        }
+        // Columnar regions restore from their encoded pages (no cell list
+        // in the image), so their formulas register through a side scan.
+        for (addr, src) in engine.sheet.columnar_formula_cells() {
+            if let Ok(expr) = parse(&src) {
+                engine.register_formula(addr, expr, src);
             }
         }
         // 3. The restored state matches the image byte-for-byte — unless
@@ -341,7 +361,11 @@ impl SheetEngine {
     /// Persistence counters (WAL size, pager cache stats); `None` for
     /// in-memory engines.
     pub fn persistence_stats(&self) -> Option<PersistenceStats> {
-        self.durable.as_ref().map(DurableStore::stats)
+        self.durable.as_ref().map(|store| {
+            let mut stats = store.stats();
+            stats.resident_bytes = self.sheet.resident_bytes();
+            stats
+        })
     }
 
     /// Shared handle to this engine's WAL for group-commit coordinators
@@ -821,6 +845,19 @@ impl SheetEngine {
             storage_before,
             storage_after: self.sheet.storage_bytes(),
         })
+    }
+
+    /// Migrate one region (index into `storage().layout()`) to a different
+    /// physical model in place — e.g. a hot read-mostly ROM region to
+    /// [`ModelKind::Columnar`]. Cell content is preserved exactly; like
+    /// [`SheetEngine::optimize`], the new layout persists at the next
+    /// checkpoint.
+    pub fn migrate_region(
+        &mut self,
+        slot: usize,
+        kind: crate::ModelKind,
+    ) -> Result<(), EngineError> {
+        self.sheet.migrate_region(slot, kind)
     }
 
     /// Accounted storage bytes.

@@ -77,6 +77,29 @@ pub trait Translator: std::fmt::Debug + Send + Sync {
     fn change_stamp(&self) -> Option<u64> {
         None
     }
+
+    /// Pre-encoded canonical checkpoint payload, when the translator has a
+    /// compact native serialization (columnar regions encode their
+    /// dictionary/RLE pages directly, so checkpoint images shrink with the
+    /// data). `None` (the default) checkpoints through the generic
+    /// per-cell codec.
+    fn encoded_image(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Estimated resident (in-memory) footprint in bytes. Defaults to the
+    /// accounted storage bytes; translators whose in-memory shape differs
+    /// materially from their accounting (compressed layouts) override.
+    fn resident_bytes(&self) -> u64 {
+        self.storage_bytes()
+    }
+
+    /// Downcast hook for the columnar fast paths (column scans, run-level
+    /// window emission): `Some` only for
+    /// [`ColumnarTranslator`](crate::columnar::ColumnarTranslator).
+    fn as_columnar(&self) -> Option<&crate::columnar::ColumnarTranslator> {
+        None
+    }
 }
 
 /// Marker prefix for spreadsheet error values stored as text datums.

@@ -13,6 +13,27 @@ use dataspread_grid::{CellAddr, CellValue, Rect, SparseSheet};
 use crate::ast::{BinOp, Expr, UnOp};
 use dataspread_grid::value::CellError;
 
+/// Precomputed aggregates over a range, supplied by a storage fast path
+/// (the engine's columnar regions fold these straight off compressed
+/// column runs without materializing cells).
+///
+/// Semantics mirror the evaluator's sparse range walk exactly: values are
+/// visited in row-major order, `error` is the *first* error encountered
+/// (and the counts/sum cover only the prefix before it — callers must
+/// return the error), `sum`/`numbers` cover `Number` values only, and
+/// `nonempty` counts every non-empty value.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RangeAgg {
+    /// Sum of `Number` values, folded in row-major visit order.
+    pub sum: f64,
+    /// Count of `Number` values.
+    pub numbers: u64,
+    /// Count of non-empty values (COUNTA).
+    pub nonempty: u64,
+    /// First error value in the range, if any.
+    pub error: Option<CellError>,
+}
+
 /// Read access to cell values, by single cell or (sparsely) by range.
 pub trait CellReader {
     fn value(&self, addr: CellAddr) -> CellValue;
@@ -30,6 +51,15 @@ pub trait CellReader {
                 }
             })
             .collect()
+    }
+
+    /// Optional aggregate fast path: `Some` when the storage layer can
+    /// fold SUM/COUNT/COUNTA/AVERAGE over `rect` without materializing
+    /// values (must match [`RangeAgg`]'s documented semantics exactly).
+    /// The default — and any reader whose storage cannot prove the whole
+    /// rect is covered — returns `None`, falling back to the sparse walk.
+    fn range_agg(&self, _rect: Rect) -> Option<RangeAgg> {
+        None
     }
 }
 
@@ -130,6 +160,9 @@ impl Evaluator {
 
     /// Evaluate a function call.
     fn call(&self, name: &str, args: &[Expr], reader: &dyn CellReader) -> CellValue {
+        if let Some(v) = self.agg_fast_path(name, args, reader) {
+            return v;
+        }
         let ctx = Ctx {
             eval: self,
             reader,
@@ -184,6 +217,40 @@ impl Evaluator {
             "FALSE" => CellValue::Bool(false),
             _ => CellValue::Error(CellError::Name),
         }
+    }
+
+    /// Single-range SUM/COUNT/COUNTA/AVERAGE through the reader's
+    /// [`CellReader::range_agg`] fast path. `None` (no fast path, or an
+    /// argument shape the aggregate cannot express) falls through to the
+    /// sparse range walk.
+    fn agg_fast_path(
+        &self,
+        name: &str,
+        args: &[Expr],
+        reader: &dyn CellReader,
+    ) -> Option<CellValue> {
+        if !matches!(name, "SUM" | "COUNT" | "COUNTA" | "AVERAGE") {
+            return None;
+        }
+        let [Expr::Range(a, b)] = args else {
+            return None;
+        };
+        let agg = reader.range_agg(Rect::new(a.row, a.col, b.row, b.col))?;
+        if let Some(e) = agg.error {
+            return Some(CellValue::Error(e));
+        }
+        Some(match name {
+            "SUM" => CellValue::Number(agg.sum),
+            "COUNT" => CellValue::Number(agg.numbers as f64),
+            "COUNTA" => CellValue::Number(agg.nonempty as f64),
+            _ => {
+                if agg.numbers == 0 {
+                    CellValue::Error(CellError::Div0)
+                } else {
+                    CellValue::Number(agg.sum / agg.numbers as f64)
+                }
+            }
+        })
     }
 }
 

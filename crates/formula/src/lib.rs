@@ -22,5 +22,5 @@ pub use batch::{batch_eval_sliding, detect_sliding, shape_key, AggKind, SlidingS
 pub use cache::{CellCache, LruCache};
 pub use deps::{DependencyGraph, RecomputePlan, ScanDependencyGraph, WavePlan};
 pub use error::ParseError;
-pub use eval::{CellReader, EmptyReader, Evaluator, SheetReader};
+pub use eval::{CellReader, EmptyReader, Evaluator, RangeAgg, SheetReader};
 pub use parser::parse;

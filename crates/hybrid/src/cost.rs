@@ -16,6 +16,11 @@ pub struct CostModel {
     pub s4_row: f64,
     /// s5 — cost per RCV tuple (row id + col id + value + header).
     pub s5_rcv: f64,
+    /// s6 — expected amortized cost per filled cell in a *columnar
+    /// compressed* region (dictionary/RLE typed arrays: no tuple headers,
+    /// no per-cell boxing; repeats and nulls collapse into runs). Not part
+    /// of the paper's Equation 1 — the post-paper third layout.
+    pub s6_columnar_cell: f64,
     /// Present-day databases cap relation width (Appendix A-C4); `None`
     /// lifts the constraint.
     pub max_table_cols: Option<u64>,
@@ -31,6 +36,9 @@ impl CostModel {
             s3_col: 40.0,
             s4_row: 50.0,
             s5_rcv: 52.0,
+            // Measured on the retail/VCF corpora: dict + RLE + bit-packing
+            // lands well under one byte per cell amortized.
+            s6_columnar_cell: 0.5,
             max_table_cols: Some(1600),
         }
     }
@@ -44,6 +52,7 @@ impl CostModel {
             s3_col: 1.0,
             s4_row: 1.0,
             s5_rcv: 3.0,
+            s6_columnar_cell: 1.0,
             max_table_cols: None,
         }
     }
@@ -89,6 +98,16 @@ impl CostModel {
     /// conservative bias against fragmenting into many RCV pieces.
     pub fn rcv_table(&self, filled: u64) -> f64 {
         self.s1_table + self.s5_rcv * filled as f64
+    }
+
+    /// Columnar compressed region cost: `s1 + s3·c + s6·#filled`. There is
+    /// no per-row term (no tuple headers — values live in typed arrays)
+    /// and empty cells cost nothing (they collapse into null runs), so for
+    /// large dense regions the per-cell constant dominates and undercuts
+    /// ROM's `s2 + s4/c` amortized per-cell cost. Width caps do not apply:
+    /// each column is its own array, not a relation attribute.
+    pub fn columnar(&self, cols: u64, filled: u64) -> f64 {
+        self.s1_table + self.s3_col * cols as f64 + self.s6_columnar_cell * filled as f64
     }
 }
 

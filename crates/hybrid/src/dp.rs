@@ -234,6 +234,7 @@ pub fn primitive_cost(view: &GridView, cm: &CostModel, kind: ModelKind) -> f64 {
         ModelKind::Rom | ModelKind::Tom => cm.rom(rect.rows(), rect.cols()),
         ModelKind::Com => cm.com(rect.rows(), rect.cols()),
         ModelKind::Rcv => cm.s1_table + cm.rcv(view.total_filled()),
+        ModelKind::Columnar => cm.columnar(rect.cols(), view.total_filled()),
     }
 }
 

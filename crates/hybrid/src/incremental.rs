@@ -77,6 +77,7 @@ fn leaf_choice(ctx: &Ctx<'_>, r1: usize, c1: usize, r2: usize, c2: usize) -> (f6
                 ModelKind::Rom | ModelKind::Tom => ctx.cm.rom(rows, cols),
                 ModelKind::Com => ctx.cm.com(rows, cols),
                 ModelKind::Rcv => ctx.cm.rcv_table(filled),
+                ModelKind::Columnar => ctx.cm.columnar(cols, filled),
             };
             if keep_cost <= rebuild.0 {
                 (

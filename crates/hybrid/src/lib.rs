@@ -42,6 +42,10 @@ pub struct ModelSet {
     pub rom: bool,
     pub com: bool,
     pub rcv: bool,
+    /// The columnar compressed layout (dictionary/RLE typed arrays). Off in
+    /// every paper-faithful preset: it is a post-paper physical layout, only
+    /// considered for regions past [`OptimizerOptions::columnar_min_filled`].
+    pub columnar: bool,
 }
 
 impl ModelSet {
@@ -50,6 +54,7 @@ impl ModelSet {
         rom: true,
         com: false,
         rcv: false,
+        columnar: false,
     };
 
     /// ROM + COM + RCV — the extension of Theorem 6.
@@ -57,6 +62,13 @@ impl ModelSet {
         rom: true,
         com: true,
         rcv: true,
+        columnar: false,
+    };
+
+    /// Every model including the columnar compressed layout.
+    pub const ALL_WITH_COLUMNAR: ModelSet = ModelSet {
+        columnar: true,
+        ..ModelSet::ALL
     };
 }
 
@@ -79,6 +91,12 @@ pub struct OptimizerOptions {
     pub workload: Vec<dataspread_grid::Rect>,
     /// Access-cost constants; only used when `workload` is non-empty.
     pub access: AccessModel,
+    /// Minimum (weighted) filled cells before a band may be assigned the
+    /// columnar layout. Point writes on a columnar region pay an overlay
+    /// merge and periodic compaction, so the layout only makes sense for
+    /// regions large enough that scan/footprint wins dominate — small
+    /// regions stay with the paper's row-oriented models.
+    pub columnar_min_filled: u64,
 }
 
 impl Default for OptimizerOptions {
@@ -88,6 +106,7 @@ impl Default for OptimizerOptions {
             dp_max_side: 96,
             workload: Vec::new(),
             access: AccessModel::default(),
+            columnar_min_filled: 65_536,
         }
     }
 }

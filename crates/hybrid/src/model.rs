@@ -18,6 +18,11 @@ pub enum ModelKind {
     /// Table-oriented: a linked database table (not chosen by the
     /// optimizer; created by `linkTable`).
     Tom,
+    /// Columnar compressed: per-column typed arrays with dictionary and
+    /// run-length encoding — the post-paper third physical layout for
+    /// large read-mostly regions (only considered when
+    /// [`crate::ModelSet::columnar`] is enabled).
+    Columnar,
 }
 
 impl std::fmt::Display for ModelKind {
@@ -27,6 +32,7 @@ impl std::fmt::Display for ModelKind {
             ModelKind::Com => "COM",
             ModelKind::Rcv => "RCV",
             ModelKind::Tom => "TOM",
+            ModelKind::Columnar => "COL",
         })
     }
 }
@@ -78,6 +84,7 @@ impl Decomposition {
                     any_rcv = true;
                     cm.rcv(view.filled_in(&region.rect))
                 }
+                ModelKind::Columnar => cm.columnar(cols, view.filled_in(&region.rect)),
             };
         }
         if any_rcv {
@@ -110,6 +117,13 @@ impl Decomposition {
                     ModelKind::Rcv => {
                         let filled = view.filled_in(&hit) as f64;
                         am.per_tuple * filled + am.per_cell * filled
+                    }
+                    // Columnar fetches one column segment per hit column;
+                    // materializing out of typed arrays avoids the boxed-
+                    // datum walk, modelled as a flat per-cell discount.
+                    ModelKind::Columnar => {
+                        am.per_tuple * hit.cols() as f64
+                            + am.per_cell * 0.25 * (hit.rows() * hit.cols()) as f64
                     }
                 };
             }
@@ -158,7 +172,12 @@ pub(crate) fn best_leaf(
     let cols = view.cols_weight(c1b, c2b);
     let filled = view.filled_weighted(r1b, c1b, r2b, c2b);
     let rect = view.band_rect(r1b, c1b, r2b, c2b);
-    let ModelSet { rom, com, rcv } = opts.models;
+    let ModelSet {
+        rom,
+        com,
+        rcv,
+        columnar,
+    } = opts.models;
 
     let mut best = (f64::INFINITY, ModelKind::Rom);
     let mut consider = |kind: ModelKind, storage: f64| {
@@ -179,6 +198,9 @@ pub(crate) fn best_leaf(
     }
     if rcv {
         consider(ModelKind::Rcv, cm.rcv_table(filled));
+    }
+    if columnar && filled >= opts.columnar_min_filled {
+        consider(ModelKind::Columnar, cm.columnar(cols, filled));
     }
     best
 }

@@ -28,6 +28,6 @@ pub mod patch;
 pub mod types;
 pub mod wire;
 
-pub use patch::WindowPatch;
+pub use patch::{PatchBuilder, WindowPatch};
 pub use types::{codes, CheckpointSummary, Edit, EditReceipt, WireError, WireStats};
 pub use wire::{read_frame, write_frame, Request, Response, MAX_FRAME, PROTOCOL_VERSION};

@@ -42,6 +42,11 @@ enum RunData {
         n: u32,
         value: f64,
     },
+    /// `n` copies of the same text (categorical columns, fill-down labels).
+    RepeatText {
+        n: u32,
+        value: String,
+    },
 }
 
 impl RunData {
@@ -50,7 +55,7 @@ impl RunData {
             RunData::Numbers(v) => v.len() as u64,
             RunData::Texts(v) => v.len() as u64,
             RunData::Bools(v) => v.len() as u64,
-            RunData::RepeatNumber { n, .. } => u64::from(*n),
+            RunData::RepeatNumber { n, .. } | RunData::RepeatText { n, .. } => u64::from(*n),
         }
     }
 
@@ -60,6 +65,7 @@ impl RunData {
             RunData::Texts(v) => CellValue::Text(v[offset as usize].clone()),
             RunData::Bools(v) => CellValue::Bool(v[offset as usize]),
             RunData::RepeatNumber { value, .. } => CellValue::Number(*value),
+            RunData::RepeatText { value, .. } => CellValue::Text(value.clone()),
         }
     }
 }
@@ -146,47 +152,28 @@ impl WindowPatch {
     }
 
     /// Split stretches of ≥ [`REPEAT_MIN`] identical consecutive numbers
-    /// out of plain number runs into repeat runs.
+    /// (compared by bits) or texts out of plain runs into repeat runs.
     fn compact_repeats(&mut self) {
         let mut out: Vec<(u64, RunData)> = Vec::with_capacity(self.runs.len());
         for (start, data) in self.runs.drain(..) {
-            let RunData::Numbers(v) = data else {
-                out.push((start, data));
-                continue;
-            };
-            let mut lo = 0usize;
-            while lo < v.len() {
-                let mut hi = lo + 1;
-                while hi < v.len() && v[hi].to_bits() == v[lo].to_bits() {
-                    hi += 1;
-                }
-                if hi - lo >= REPEAT_MIN {
-                    out.push((
-                        start + lo as u64,
-                        RunData::RepeatNumber {
-                            n: (hi - lo) as u32,
-                            value: v[lo],
-                        },
-                    ));
-                    lo = hi;
-                } else {
-                    // Grow a plain run until the next long repeat stretch.
-                    let run_lo = lo;
-                    while lo < v.len() {
-                        let mut h = lo + 1;
-                        while h < v.len() && v[h].to_bits() == v[lo].to_bits() {
-                            h += 1;
-                        }
-                        if h - lo >= REPEAT_MIN {
-                            break;
-                        }
-                        lo = h;
-                    }
-                    out.push((
-                        start + run_lo as u64,
-                        RunData::Numbers(v[run_lo..lo].to_vec()),
-                    ));
-                }
+            match data {
+                RunData::Numbers(v) => split_repeats(
+                    start,
+                    v,
+                    &mut out,
+                    |a, b| a.to_bits() == b.to_bits(),
+                    |n, value| RunData::RepeatNumber { n, value },
+                    RunData::Numbers,
+                ),
+                RunData::Texts(v) => split_repeats(
+                    start,
+                    v,
+                    &mut out,
+                    |a, b| a == b,
+                    |n, value| RunData::RepeatText { n, value },
+                    RunData::Texts,
+                ),
+                other => out.push((start, other)),
             }
         }
         self.runs = out;
@@ -342,6 +329,11 @@ impl WindowPatch {
                     put_u32(out, *n);
                     put_f64(out, *value);
                 }
+                RunData::RepeatText { n, value } => {
+                    put_u8(out, 4);
+                    put_u32(out, *n);
+                    put_str(out, value);
+                }
             }
         }
         put_u32(out, self.errors.len() as u32);
@@ -401,6 +393,10 @@ impl WindowPatch {
                     n: r.u32()?,
                     value: r.f64()?,
                 },
+                4 => RunData::RepeatText {
+                    n: r.u32()?,
+                    value: r.str()?,
+                },
                 t => return Err(corrupt(format!("unknown window-run tag {t}"))),
             };
             let len = data.len();
@@ -444,6 +440,132 @@ impl WindowPatch {
             patch.formulas.push((idx, r.str()?));
         }
         Ok(patch)
+    }
+}
+
+/// Split stretches of ≥ [`REPEAT_MIN`] equal consecutive values out of one
+/// plain run into repeat runs, leaving shorter stretches in plain runs.
+fn split_repeats<T: Clone>(
+    start: u64,
+    v: Vec<T>,
+    out: &mut Vec<(u64, RunData)>,
+    same: impl Fn(&T, &T) -> bool,
+    repeat: impl Fn(u32, T) -> RunData,
+    plain: impl Fn(Vec<T>) -> RunData,
+) {
+    let mut lo = 0usize;
+    while lo < v.len() {
+        let mut hi = lo + 1;
+        while hi < v.len() && same(&v[hi], &v[lo]) {
+            hi += 1;
+        }
+        if hi - lo >= REPEAT_MIN {
+            out.push((start + lo as u64, repeat((hi - lo) as u32, v[lo].clone())));
+            lo = hi;
+        } else {
+            // Grow a plain run until the next long repeat stretch.
+            let run_lo = lo;
+            while lo < v.len() {
+                let mut h = lo + 1;
+                while h < v.len() && same(&v[h], &v[lo]) {
+                    h += 1;
+                }
+                if h - lo >= REPEAT_MIN {
+                    break;
+                }
+                lo = h;
+            }
+            out.push((start + run_lo as u64, plain(v[run_lo..lo].to_vec())));
+        }
+    }
+}
+
+/// Streaming [`WindowPatch`] construction for storage layers that scan a
+/// window value-by-value (the engine's columnar regions walk their RLE
+/// runs in row-major order) — no intermediate `(CellAddr, Cell)` vector,
+/// no per-cell `Cell` allocation, no re-sort.
+///
+/// Push exactly one call per window position, row-major: the builder
+/// tracks the linear index itself. Pushes past the window area are
+/// ignored (mirrors `from_cells` dropping out-of-rect cells).
+#[derive(Debug)]
+pub struct PatchBuilder {
+    patch: WindowPatch,
+    idx: u64,
+    area: u64,
+}
+
+impl PatchBuilder {
+    pub fn new(rect: Rect) -> PatchBuilder {
+        let patch = WindowPatch {
+            rect,
+            runs: Vec::new(),
+            errors: Vec::new(),
+            formulas: Vec::new(),
+        };
+        let area = patch.area();
+        PatchBuilder {
+            patch,
+            idx: 0,
+            area,
+        }
+    }
+
+    /// Record `formula` (if any) at the current position, then advance.
+    fn step(&mut self, formula: Option<&str>) {
+        if let Some(src) = formula {
+            self.patch.formulas.push((self.idx, src.to_string()));
+        }
+        self.idx += 1;
+    }
+
+    fn in_bounds(&self) -> bool {
+        self.idx < self.area
+    }
+
+    pub fn push_empty(&mut self, formula: Option<&str>) {
+        if self.in_bounds() {
+            self.step(formula);
+        }
+    }
+
+    pub fn push_number(&mut self, n: f64, formula: Option<&str>) {
+        if self.in_bounds() {
+            let idx = self.idx;
+            self.patch.push_number(idx, n);
+            self.step(formula);
+        }
+    }
+
+    pub fn push_bool(&mut self, b: bool, formula: Option<&str>) {
+        if self.in_bounds() {
+            let idx = self.idx;
+            self.patch.push_scalar(idx, RunData::Bools(vec![b]));
+            self.step(formula);
+        }
+    }
+
+    pub fn push_text(&mut self, s: &str, formula: Option<&str>) {
+        if self.in_bounds() {
+            let idx = self.idx;
+            self.patch
+                .push_scalar(idx, RunData::Texts(vec![s.to_string()]));
+            self.step(formula);
+        }
+    }
+
+    pub fn push_error(&mut self, e: CellError, formula: Option<&str>) {
+        if self.in_bounds() {
+            self.patch.errors.push((self.idx, e));
+            self.step(formula);
+        }
+    }
+
+    /// Finish the patch (collapses repeat stretches). The result is
+    /// identical to `from_cells` over the equivalent cell list.
+    pub fn finish(mut self) -> WindowPatch {
+        self.patch.compact_repeats();
+        self.patch
     }
 }
 
@@ -645,6 +767,105 @@ mod tests {
         put_u64(&mut buf, 5);
         put_u8(&mut buf, 0);
         assert!(WindowPatch::decode(&mut Reader::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn constant_text_stretches_become_repeat_runs() {
+        let rect = Rect::new(0, 0, 0, 59);
+        let mut cells = Vec::new();
+        for c in 0..40u32 {
+            cells.push((CellAddr::new(0, c), Cell::value("electronics")));
+        }
+        for c in 40..50u32 {
+            cells.push((CellAddr::new(0, c), Cell::value(format!("sku-{c}"))));
+        }
+        let patch = WindowPatch::from_cells(rect, cells.clone());
+        assert_eq!(
+            patch.run_count(),
+            2,
+            "40 identical texts collapse to one repeat run"
+        );
+        let mut buf = Vec::new();
+        patch.encode(&mut buf);
+        assert!(
+            buf.len() < 40 * "electronics".len(),
+            "repeat encoding beats 40 raw strings ({} bytes)",
+            buf.len()
+        );
+        assert_eq!(patch.cells(), cells);
+        assert_eq!(roundtrip(&patch), patch);
+    }
+
+    #[test]
+    fn builder_matches_from_cells() {
+        // A window with every value shape, plus long numeric and text
+        // repeats, built both ways must be structurally identical.
+        let rect = Rect::new(3, 2, 7, 11); // 5x10 window
+        let mut cells = Vec::new();
+        let mut b = PatchBuilder::new(rect);
+        for idx in 0..50u32 {
+            let addr = CellAddr::new(rect.r1 + idx / 10, rect.c1 + idx % 10);
+            match idx {
+                0..=17 => {
+                    b.push_number(7.0, None);
+                    cells.push((addr, Cell::value(7.0)));
+                }
+                18 => {
+                    b.push_error(CellError::Div0, Some("1/0"));
+                    cells.push((
+                        addr,
+                        Cell {
+                            value: CellValue::Error(CellError::Div0),
+                            formula: Some("1/0".to_string()),
+                        },
+                    ));
+                }
+                19 | 20 => {
+                    b.push_empty(None);
+                }
+                21..=40 => {
+                    b.push_text("apparel", None);
+                    cells.push((addr, Cell::value("apparel")));
+                }
+                41 => {
+                    b.push_bool(true, None);
+                    cells.push((addr, Cell::value(true)));
+                }
+                42 => {
+                    b.push_number(42.0, Some("SUM(A1:A2)"));
+                    cells.push((
+                        addr,
+                        Cell {
+                            value: CellValue::Number(42.0),
+                            formula: Some("SUM(A1:A2)".to_string()),
+                        },
+                    ));
+                }
+                43 => {
+                    b.push_empty(Some("ZZ99"));
+                    cells.push((addr, Cell::formula("ZZ99")));
+                }
+                _ => {
+                    b.push_number(idx as f64, None);
+                    cells.push((addr, Cell::value(idx as f64)));
+                }
+            }
+        }
+        let built = b.finish();
+        let from_cells = WindowPatch::from_cells(rect, cells);
+        assert_eq!(built, from_cells);
+        assert_eq!(roundtrip(&built), built);
+    }
+
+    #[test]
+    fn builder_ignores_pushes_past_the_window() {
+        let rect = Rect::new(0, 0, 0, 1);
+        let mut b = PatchBuilder::new(rect);
+        b.push_number(1.0, None);
+        b.push_number(2.0, None);
+        b.push_number(3.0, None); // past the 2-cell area
+        let patch = b.finish();
+        assert_eq!(patch.filled_count(), 2);
     }
 
     #[test]

@@ -6,9 +6,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
-use dataspread_engine::{CheckpointReport, EngineError, PersistenceStats, SheetEngine};
+use dataspread_engine::{CheckpointReport, EngineError, PersistenceStats, ScanValue, SheetEngine};
 use dataspread_grid::{CellAddr, CellValue, Rect, SparseSheet};
-use dataspread_proto::{codes, Edit, EditReceipt, WindowPatch, WireError};
+use dataspread_proto::{codes, Edit, EditReceipt, PatchBuilder, WindowPatch, WireError};
 use dataspread_relstore::{SharedWal, StoreError};
 
 use crate::committer::GroupCommitter;
@@ -568,6 +568,23 @@ impl Session {
     pub fn fetch_window(&self, sheet: &str, rect: Rect) -> Result<WindowPatch, WorkspaceError> {
         let shard = self.shard(sheet)?;
         let engine = self.read_engine(&shard);
+        // Columnar fast path: when a columnar region serves the whole
+        // window, its row-major RLE scan drives a streaming PatchBuilder —
+        // no `(CellAddr, Cell)` materialization, no re-sort. Produces a
+        // patch identical to `from_cells` on the same window.
+        let mut builder = PatchBuilder::new(rect);
+        let columnar = engine
+            .storage()
+            .scan_columnar_window(rect, |_, _, v, formula| match v {
+                ScanValue::Empty => builder.push_empty(formula),
+                ScanValue::Number(n) => builder.push_number(n, formula),
+                ScanValue::Bool(b) => builder.push_bool(b, formula),
+                ScanValue::Text(s) => builder.push_text(s, formula),
+                ScanValue::Error(e) => builder.push_error(e, formula),
+            });
+        if columnar {
+            return Ok(builder.finish());
+        }
         Ok(WindowPatch::from_cells(rect, engine.get_cells(rect)))
     }
 
