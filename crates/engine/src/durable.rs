@@ -71,7 +71,9 @@ use dataspread_posmap::PosMapKind;
 use dataspread_relstore::codec::{self, Reader};
 use dataspread_relstore::pager::PagerStats;
 use dataspread_relstore::wal::crc32;
-use dataspread_relstore::{Pager, SharedWal, StoreError, Wal, PAGE_SIZE};
+use dataspread_relstore::{
+    real_fs, OpenMode, Pager, SharedWal, StorageFs, StoreError, Wal, PAGE_SIZE,
+};
 use std::sync::Arc;
 
 use crate::error::EngineError;
@@ -81,6 +83,11 @@ use crate::hybrid::{RegionImage, RegionPayload, CATCHALL_REGION_ID};
 pub const IMAGE_FILE: &str = "pages.db";
 /// File name of the write-ahead log inside a durable sheet directory.
 pub const WAL_FILE: &str = "wal.log";
+/// File name of the commit-ticket metadata inside a durable sheet
+/// directory: `(wal epoch, ticket base)` persisted at every WAL truncate
+/// so ticket numbering continues across restarts (see
+/// [`DurableStore::recovery_horizon`]).
+pub const TICKET_FILE: &str = "tickets.meta";
 
 /// Rotate the WAL to a fresh segment once the current one exceeds this
 /// (engine default; override with `set_wal_segment_limit`).
@@ -124,6 +131,40 @@ pub fn image_path(dir: impl AsRef<Path>) -> PathBuf {
 /// Path of the WAL file for a durable sheet directory.
 pub fn wal_path(dir: impl AsRef<Path>) -> PathBuf {
     dir.as_ref().join(WAL_FILE)
+}
+
+/// Path of the ticket-metadata file for a durable sheet directory.
+pub fn ticket_path(dir: impl AsRef<Path>) -> PathBuf {
+    dir.as_ref().join(TICKET_FILE)
+}
+
+const TICKET_MAGIC: &[u8; 4] = b"DSTK";
+const TICKET_META_LEN: usize = 4 + 8 + 8 + 4;
+
+fn encode_ticket_meta(epoch: u64, base: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(TICKET_META_LEN);
+    codec::put_bytes(&mut out, TICKET_MAGIC);
+    codec::put_u64(&mut out, epoch);
+    codec::put_u64(&mut out, base);
+    let crc = crc32(&out[4..]);
+    codec::put_u32(&mut out, crc);
+    out
+}
+
+/// Read `tickets.meta`, returning `(epoch, base)`. Absent, torn, or
+/// corrupt files yield `None`: the store then falls back to a fresh
+/// ticket sequence, which can only *under*-state the durable horizon
+/// (clients re-stage more than needed — duplicates, never silent loss —
+/// and the incarnation check gates re-staging anyway).
+fn read_ticket_meta(fs: &dyn StorageFs, dir: &Path) -> Option<(u64, u64)> {
+    let bytes = fs.read(&ticket_path(dir)).ok()?;
+    if bytes.len() != TICKET_META_LEN || &bytes[..4] != TICKET_MAGIC {
+        return None;
+    }
+    let epoch = u64::from_le_bytes(bytes[4..12].try_into().ok()?);
+    let base = u64::from_le_bytes(bytes[12..20].try_into().ok()?);
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().ok()?);
+    (crc32(&bytes[4..20]) == crc).then_some((epoch, base))
 }
 
 /// A logical sheet mutation, as logged to the WAL.
@@ -653,6 +694,9 @@ pub struct PersistenceStats {
 /// tells waiters when the fsync-point covered it.
 pub struct DurableStore {
     dir: PathBuf,
+    /// The filesystem every file op goes through (the real fs, or a
+    /// fault-injecting wrapper in the chaos suites).
+    fs: Arc<dyn StorageFs>,
     wal: Arc<SharedWal>,
     pager: Pager,
     /// The page-allocation map of the on-disk image.
@@ -672,21 +716,37 @@ pub struct DurableStore {
     ops_since_checkpoint: u64,
     checkpoints: u64,
     auto_checkpoint_ops: Option<u64>,
-    /// Commit ticket of the most recently logged op (0 = none yet).
+    /// Commit ticket of the most recently logged op (0 = none yet;
+    /// seeded with the recovered ticket horizon so numbering continues
+    /// across restarts).
     last_ticket: u64,
+    /// Monotone id of this open of the directory (the WAL epoch observed
+    /// at open). Strictly increases across successful engine opens — the
+    /// recovery checkpoint always bumps the epoch — so a client that sees
+    /// it change knows the server restarted.
+    incarnation: u64,
+    /// Frozen at open: the highest pre-restart commit ticket proven
+    /// durable (image + recovered WAL records). Tickets above it were
+    /// lost in the restart and must be re-staged by their issuers.
+    recovered_horizon: u64,
     /// Set when a WAL append failed mid-op: the on-disk tape has a hole, so
     /// further logging is refused until a successful checkpoint
     /// re-serializes the dirty state and truncates the log.
     poisoned: Option<String>,
+    /// Set on a *permanent* storage failure: a failed fsync, or a
+    /// checkpoint that died after it started mutating disk. Unlike
+    /// `poisoned` this is never cleared — the image may be torn (the undo
+    /// journal is what makes that recoverable), so this handle refuses
+    /// every further mutation and the only way back is reopening the
+    /// directory, which rolls back and replays what actually reached disk.
+    failed: Option<String>,
 }
 
 /// Best-effort fsync of a directory so freshly created files (and renames)
 /// survive a machine crash. Directory handles cannot be opened for sync on
 /// all platforms, hence best-effort.
-fn sync_dir(dir: &Path) {
-    if let Ok(handle) = std::fs::File::open(dir) {
-        handle.sync_all().ok();
-    }
+fn sync_dir(fs: &dyn StorageFs, dir: &Path) {
+    fs.sync_dir(dir).ok();
 }
 
 impl std::fmt::Debug for DurableStore {
@@ -706,23 +766,63 @@ impl DurableStore {
     /// images are migrated — see [`RecoveredState::migrated_from`]), and
     /// return the committed op tail for the caller to replay.
     pub fn open(dir: impl AsRef<Path>) -> Result<(DurableStore, RecoveredState), EngineError> {
+        Self::open_on(real_fs(), dir)
+    }
+
+    /// [`DurableStore::open`] with every file op routed through `fs` —
+    /// the hook fault-injection tests use to script storage failures.
+    pub fn open_on(
+        fs: Arc<dyn StorageFs>,
+        dir: impl AsRef<Path>,
+    ) -> Result<(DurableStore, RecoveredState), EngineError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(StoreError::from)?;
-        let mut wal = Wal::open(wal_path(&dir))?;
+        let mut wal = Wal::open_on(Arc::clone(&fs), wal_path(&dir))?;
         wal.set_segment_limit(Some(DEFAULT_WAL_SEGMENT_BYTES));
         // Recovery below consumes the committed records before the log is
         // wrapped for shared use.
-        let mut pager = Pager::open(image_path(&dir))?;
+        let mut pager = Pager::with_capacity_on(
+            Arc::clone(&fs),
+            image_path(&dir),
+            dataspread_relstore::pager::DEFAULT_CACHE_PAGES,
+        )?;
         // Pin the directory entries for the files we may just have
         // created; without this a machine crash could drop the whole WAL.
-        sync_dir(&dir);
+        sync_dir(fs.as_ref(), &dir);
+
+        // Correlate the persisted ticket base with the WAL generation on
+        // disk. `tickets.meta` records `(epoch-after-truncate, appended
+        // tickets at truncate)` and is written immediately *before* every
+        // truncate, so exactly three cases are possible:
+        //
+        // * meta epoch == WAL epoch — the truncate that wrote it
+        //   completed; every record now in the log was appended after it,
+        //   so the horizon is `base + recovered records`.
+        // * meta epoch == WAL epoch + 1 — crashed between the meta write
+        //   and the truncate. The log still holds the old generation,
+        //   whose records were already counted into `base`; the horizon
+        //   is `base` itself.
+        // * anything else (absent / corrupt / stale) — fresh sequence:
+        //   the horizon is just the recovered record count.
+        //
+        // Every WAL record consumed one ticket (ops and checkpoint
+        // journal records alike), so "records recovered" is exactly the
+        // number of tickets the disk proves.
+        let records = wal.take_recovered();
+        let record_count = records.len() as u64;
+        let ticket_base = match read_ticket_meta(fs.as_ref(), &dir) {
+            Some((epoch, base)) if epoch == wal.epoch() => base + record_count,
+            Some((epoch, base)) if epoch == wal.epoch() + 1 => base,
+            _ => record_count,
+        };
+        let incarnation = wal.epoch();
 
         // Partition the committed records: logical ops, then (optionally)
         // an unfinished checkpoint journal.
         let mut ops = Vec::new();
         let mut ckpt_old_count: Option<u64> = None;
         let mut undo: Vec<(u64, Vec<u8>)> = Vec::new();
-        for record in wal.take_recovered() {
+        for record in records {
             let mut cur = Reader::new(&record);
             match cur.u8().map_err(EngineError::Store)? {
                 REC_OP => {
@@ -859,10 +959,17 @@ impl DurableStore {
             .filter(|p| !used.contains(p))
             .collect();
 
+        // Continue the pre-restart ticket sequence: appends issued by
+        // this incarnation number from `ticket_base + 1`, and everything
+        // at or below the base counts as durable.
+        let shared = Arc::new(SharedWal::new(wal));
+        shared.set_ticket_base(ticket_base);
+
         Ok((
             DurableStore {
                 dir,
-                wal: Arc::new(SharedWal::new(wal)),
+                fs,
+                wal: shared,
                 pager,
                 map,
                 map_pages,
@@ -871,8 +978,11 @@ impl DurableStore {
                 ops_since_checkpoint: ops.len() as u64,
                 checkpoints: 0,
                 auto_checkpoint_ops: None,
-                last_ticket: 0,
+                last_ticket: ticket_base,
+                incarnation,
+                recovered_horizon: ticket_base,
                 poisoned: None,
+                failed: None,
             },
             RecoveredState {
                 posmap,
@@ -899,6 +1009,10 @@ impl DurableStore {
     /// the tape stays whole, nothing is poisoned, and the caller should
     /// capture the oversized op via [`DurableStore::checkpoint`] instead.
     pub fn log(&mut self, op: &LoggedOp) -> Result<(), EngineError> {
+        if let Some(cause) = self.storage_failed() {
+            self.failed = Some(cause.clone());
+            return Err(EngineError::Store(StoreError::StorageFailed(cause)));
+        }
         if let Some(cause) = &self.poisoned {
             return Err(EngineError::Store(StoreError::Io(format!(
                 "durable log disabled by an earlier append failure ({cause}); \
@@ -915,6 +1029,10 @@ impl DurableStore {
         }
         match self.wal.append(&bytes) {
             Ok(ticket) => self.last_ticket = ticket,
+            Err(StoreError::StorageFailed(cause)) => {
+                self.failed = Some(cause.clone());
+                return Err(EngineError::Store(StoreError::StorageFailed(cause)));
+            }
             Err(e) => {
                 self.poisoned = Some(e.to_string());
                 return Err(e.into());
@@ -940,8 +1058,74 @@ impl DurableStore {
 
     /// The fsync-point: make every logged op crash-durable.
     pub fn sync(&mut self) -> Result<(), EngineError> {
-        self.wal.sync()?;
+        if let Some(cause) = &self.failed {
+            return Err(EngineError::Store(StoreError::StorageFailed(cause.clone())));
+        }
+        match self.wal.sync() {
+            Ok(_) => Ok(()),
+            Err(StoreError::StorageFailed(cause)) => {
+                self.failed = Some(cause.clone());
+                Err(EngineError::Store(StoreError::StorageFailed(cause)))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// The restart-reconciliation pair `(incarnation, horizon)`, both
+    /// frozen at open:
+    ///
+    /// * `incarnation` strictly increases across (successful) opens of
+    ///   the directory, so a client comparing it against a remembered
+    ///   value detects a server restart — as opposed to a dropped
+    ///   connection to a still-running server, after which *nothing* was
+    ///   lost and re-staging would double-apply.
+    /// * `horizon` is the highest pre-restart commit ticket the disk
+    ///   proved durable. After a detected restart, a client re-stages
+    ///   exactly its staged ops with tickets above the horizon.
+    pub fn recovery_horizon(&self) -> (u64, u64) {
+        (self.incarnation, self.recovered_horizon)
+    }
+
+    /// Persist the ticket base for the generation the imminent WAL
+    /// truncate creates: `(current epoch + 1, tickets appended so far)`,
+    /// written atomically (temp file + rename) so a crash at any byte
+    /// leaves either the old or the new meta, never a torn one. Called
+    /// *before* the truncate; see the correlation rules in
+    /// [`DurableStore::open_on`] for why either ordering outcome
+    /// recovers the right horizon.
+    fn write_ticket_meta(&self) -> Result<(), StoreError> {
+        let epoch_after = self.wal.with(|w| w.epoch()) + 1;
+        let bytes = encode_ticket_meta(epoch_after, self.wal.appended_seq());
+        let tmp = self.dir.join("tickets.meta.tmp");
+        let mut f = self.fs.open(&tmp, OpenMode::Truncate)?;
+        f.write_at(0, &bytes)?;
+        f.sync_data()?;
+        drop(f);
+        self.fs.rename(&tmp, &ticket_path(&self.dir))?;
+        sync_dir(self.fs.as_ref(), &self.dir);
         Ok(())
+    }
+
+    /// The permanent-failure state of this store: `Some(cause)` once an
+    /// fsync failed or a checkpoint died after it started mutating disk.
+    /// A failed store refuses every further mutation (in-memory reads
+    /// still serve); the only recovery is reopening the directory, which
+    /// rolls back the torn image and replays what actually reached disk.
+    pub fn storage_failed(&self) -> Option<String> {
+        self.failed.clone().or_else(|| self.wal.poisoned())
+    }
+
+    /// Record a mid-checkpoint failure and normalize the error to
+    /// [`StoreError::StorageFailed`]: once the apply phase has begun, any
+    /// error leaves the image possibly torn with (part of) the undo
+    /// journal on disk, so the handle is disabled for good.
+    fn storage_fail(&mut self, e: impl Into<EngineError>) -> EngineError {
+        let cause = match e.into() {
+            EngineError::Store(StoreError::StorageFailed(m)) => m,
+            other => other.to_string(),
+        };
+        self.failed = Some(cause.clone());
+        EngineError::Store(StoreError::StorageFailed(cause))
     }
 
     /// Checkpoint: fold the submitted region images into the paged image
@@ -960,6 +1144,13 @@ impl DurableStore {
         kind: PosMapKind,
         regions: &[RegionImage],
     ) -> Result<CheckpointReport, EngineError> {
+        // A permanently failed store cannot checkpoint its way back: the
+        // WAL can no longer prove durability (or the image is already
+        // torn), so the only recovery is a reopen.
+        if let Some(cause) = self.storage_failed() {
+            self.failed = Some(cause.clone());
+            return Err(EngineError::Store(StoreError::StorageFailed(cause)));
+        }
         // A failed append may have left garbage bytes past the valid
         // prefix; drop them so the journal below lands in a clean log.
         if self.poisoned.is_some() {
@@ -1150,17 +1341,39 @@ impl DurableStore {
         };
 
         if changed.is_empty() && new_count == old_count {
-            // Image already current — just fold the op tail away.
-            self.wal.truncate()?;
+            // Image already current — just fold the op tail away. A
+            // truncate failure poisons the log (the old tape may be torn),
+            // so the store hard-fails with it.
+            if let Err(e) = self.write_ticket_meta().and_then(|()| self.wal.truncate()) {
+                return Err(self.storage_fail(e));
+            }
             self.commit_map(new_map, map_pages_new, free, new_count);
             return Ok(report);
         }
 
+        if let Err(e) = self.checkpoint_apply(old_count, &undo, &changed, new_count) {
+            return Err(self.storage_fail(e));
+        }
+        self.commit_map(new_map, map_pages_new, free, new_count);
+        Ok(report)
+    }
+
+    /// The mutating tail of a checkpoint. Every write here is covered by
+    /// the undo journal written (and fsynced) first, so the caller maps
+    /// any error to a permanent failure: the in-process image may be torn,
+    /// and reopening the directory rolls it back byte-for-byte.
+    fn checkpoint_apply(
+        &mut self,
+        old_count: u64,
+        undo: &[(u64, Vec<u8>)],
+        changed: &[(u64, Vec<u8>)],
+        new_count: u64,
+    ) -> Result<(), StoreError> {
         // 1. Journal pre-images, durably.
         let mut begin = vec![REC_CKPT_BEGIN];
         codec::put_u64(&mut begin, old_count);
         self.wal.append(&begin)?;
-        for (page_no, old) in &undo {
+        for (page_no, old) in undo {
             let mut rec = Vec::with_capacity(1 + 8 + PAGE_SIZE);
             rec.push(REC_UNDO_PAGE);
             codec::put_u64(&mut rec, *page_no);
@@ -1169,17 +1382,19 @@ impl DurableStore {
         }
         self.wal.sync()?;
         // 2. Overwrite in place, durably.
-        for (page_no, new) in &changed {
+        for (page_no, new) in changed {
             self.pager.write_page(*page_no, new)?;
         }
         if new_count < old_count {
             self.pager.truncate(new_count)?;
         }
         self.pager.flush()?;
-        // 3. The checkpoint is now the truth; drop the log.
+        // 3. The checkpoint is now the truth; drop the log. The ticket
+        // base is persisted first so commit tickets survive the truncate
+        // across a restart.
+        self.write_ticket_meta()?;
         self.wal.truncate()?;
-        self.commit_map(new_map, map_pages_new, free, new_count);
-        Ok(report)
+        Ok(())
     }
 
     fn commit_map(

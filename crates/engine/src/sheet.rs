@@ -21,7 +21,7 @@ use dataspread_hybrid::{
     GridView, IncrementalOptions, OptimizerOptions,
 };
 use dataspread_rel::{execute_sql, Relation};
-use dataspread_relstore::{ColumnDef, DataType, Database, Datum, Schema};
+use dataspread_relstore::{ColumnDef, DataType, Database, Datum, Schema, StorageFs};
 
 use crate::durable::{CheckpointReport, DurableStore, LoggedOp, PersistenceStats};
 use crate::error::EngineError;
@@ -238,6 +238,15 @@ impl SheetEngine {
         Self::open_with_posmap(dir, PosMapKind::default())
     }
 
+    /// [`SheetEngine::open`] with every file op routed through `fs` — the
+    /// hook fault-injection tests use to script storage failures.
+    pub fn open_on(
+        fs: Arc<dyn StorageFs>,
+        dir: impl AsRef<Path>,
+    ) -> Result<SheetEngine, EngineError> {
+        Self::open_with_posmap_on(fs, dir, PosMapKind::default())
+    }
+
     /// [`SheetEngine::open`] with an explicit positional-map scheme for a
     /// *fresh* store. An existing store keeps the scheme it was created
     /// with (it is recorded in the image header).
@@ -245,7 +254,16 @@ impl SheetEngine {
         dir: impl AsRef<Path>,
         kind: PosMapKind,
     ) -> Result<SheetEngine, EngineError> {
-        let (store, recovered) = DurableStore::open(dir)?;
+        Self::open_with_posmap_on(dataspread_relstore::real_fs(), dir, kind)
+    }
+
+    /// [`SheetEngine::open_with_posmap`] on an explicit filesystem.
+    pub fn open_with_posmap_on(
+        fs: Arc<dyn StorageFs>,
+        dir: impl AsRef<Path>,
+        kind: PosMapKind,
+    ) -> Result<SheetEngine, EngineError> {
+        let (store, recovered) = DurableStore::open_on(fs, dir)?;
         let kind = recovered.posmap.unwrap_or(kind);
         let mut engine = Self::with_posmap(kind);
         // 1. Rebuild the region layout from the image (regions first, so
@@ -312,6 +330,24 @@ impl SheetEngine {
     /// Whether this engine persists to disk.
     pub fn is_durable(&self) -> bool {
         self.durable.is_some()
+    }
+
+    /// The permanent storage-failure state of the underlying store:
+    /// `Some(cause)` once an fsync failed or a checkpoint died mid-write.
+    /// In-memory engines (and healthy stores) return `None`. A failed
+    /// engine keeps serving reads from memory but refuses durable
+    /// mutations; reopening the directory is the only recovery.
+    pub fn storage_failed(&self) -> Option<String> {
+        self.durable.as_ref().and_then(|s| s.storage_failed())
+    }
+
+    /// The restart-reconciliation pair `(incarnation, horizon)` of the
+    /// backing store, `(0, 0)` for in-memory engines. See
+    /// [`DurableStore::recovery_horizon`].
+    pub fn recovery_horizon(&self) -> (u64, u64) {
+        self.durable
+            .as_ref()
+            .map_or((0, 0), DurableStore::recovery_horizon)
     }
 
     /// The fsync-point: force every logged op to stable storage. The WAL

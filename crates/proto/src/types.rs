@@ -165,6 +165,15 @@ pub mod codes {
     pub const PROTOCOL: u16 = 4;
     /// Transport-level I/O failure.
     pub const IO: u16 = 5;
+    /// The sheet is in read-only degraded mode after a storage failure:
+    /// fetches still serve from memory, but edits are refused until the
+    /// server reopens the store. Retrying the same edit will keep failing;
+    /// clients should surface the error and reconnect later.
+    pub const DEGRADED: u16 = 6;
+    /// A permanent storage failure (failed fsync / torn checkpoint)
+    /// surfaced directly by the failing operation. The request that got
+    /// this error was NOT made durable.
+    pub const STORAGE_FAILED: u16 = 7;
 
     pub const ENGINE_UNSUPPORTED: u16 = 0x101;
     pub const ENGINE_BAD_LINK: u16 = 0x102;
@@ -181,6 +190,9 @@ pub mod codes {
     pub const STORE_NO_SUCH_COLUMN: u16 = 0x206;
     pub const STORE_LIMIT_EXCEEDED: u16 = 0x207;
     pub const STORE_IO: u16 = 0x208;
+    /// [`StoreError::StorageFailed`]: the store's WAL or image can no
+    /// longer prove durability; only a reopen recovers.
+    pub const STORE_STORAGE_FAILED: u16 = 0x209;
 }
 
 /// An error as it travels the wire: a stable numeric code plus the

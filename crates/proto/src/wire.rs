@@ -117,6 +117,12 @@ pub enum Request {
         sheet: String,
     },
     Ping,
+    /// The sheet's restart-reconciliation pair (answered with
+    /// [`Response::Ticket`]). Reconnecting clients use it to decide
+    /// which staged edits to re-send.
+    DurableTicket {
+        sheet: String,
+    },
 }
 
 impl Request {
@@ -187,6 +193,10 @@ impl Request {
                 put_str(&mut out, sheet);
             }
             Request::Ping => put_u8(&mut out, 10),
+            Request::DurableTicket { sheet } => {
+                put_u8(&mut out, 11);
+                put_str(&mut out, sheet);
+            }
         }
         out
     }
@@ -242,6 +252,7 @@ impl Request {
             8 => Request::Checkpoint { sheet: r.str()? },
             9 => Request::Stats { sheet: r.str()? },
             10 => Request::Ping,
+            11 => Request::DurableTicket { sheet: r.str()? },
             t => return Err(corrupt(format!("unknown request tag {t}"))),
         };
         r.expect_done("request")?;
@@ -266,6 +277,17 @@ pub enum Response {
     Stats(WireStats),
     Pong,
     Err(WireError),
+    /// `DurableTicket` answer, both values frozen when the sheet's
+    /// directory was last opened: `incarnation` strictly increases
+    /// across server restarts (so a client can tell a restart from a
+    /// dropped connection), and `horizon` is the highest pre-restart
+    /// commit ticket the disk proved durable — staged edits with tickets
+    /// above it were lost and must be re-staged. Both 0 on in-memory
+    /// workspaces.
+    Ticket {
+        incarnation: u64,
+        horizon: u64,
+    },
 }
 
 impl Response {
@@ -317,6 +339,14 @@ impl Response {
                 put_u16(&mut out, e.code);
                 put_str(&mut out, &e.detail);
             }
+            Response::Ticket {
+                incarnation,
+                horizon,
+            } => {
+                put_u8(&mut out, 10);
+                put_u64(&mut out, *incarnation);
+                put_u64(&mut out, *horizon);
+            }
         }
         out
     }
@@ -349,6 +379,10 @@ impl Response {
                 code: r.u16()?,
                 detail: r.str()?,
             }),
+            10 => Response::Ticket {
+                incarnation: r.u64()?,
+                horizon: r.u64()?,
+            },
             t => return Err(corrupt(format!("unknown response tag {t}"))),
         };
         r.expect_done("response")?;
@@ -417,6 +451,7 @@ mod tests {
         roundtrip_req(&Request::Checkpoint { sheet: "s".into() });
         roundtrip_req(&Request::Stats { sheet: "s".into() });
         roundtrip_req(&Request::Ping);
+        roundtrip_req(&Request::DurableTicket { sheet: "s".into() });
     }
 
     #[test]
@@ -451,6 +486,10 @@ mod tests {
         }));
         roundtrip_resp(&Response::Pong);
         roundtrip_resp(&Response::Err(WireError::new(3, "drain first")));
+        roundtrip_resp(&Response::Ticket {
+            incarnation: 3,
+            horizon: 88,
+        });
     }
 
     #[test]

@@ -26,6 +26,12 @@ pub enum StoreError {
     /// snapshots). Stored as its display string so the error stays `Clone`
     /// + `PartialEq` like the rest of the enum.
     Io(String),
+    /// A *permanent* storage failure: an fsync (or the truncate that
+    /// follows a checkpoint) failed, so the affected log/store can no
+    /// longer prove anything durable and refuses every later commit.
+    /// Unlike [`StoreError::Io`] this is sticky — the only recovery is
+    /// reopening the store and replaying what actually reached the disk.
+    StorageFailed(String),
 }
 
 impl From<std::io::Error> for StoreError {
@@ -46,6 +52,7 @@ impl fmt::Display for StoreError {
             StoreError::NoSuchColumn(n) => write!(f, "no such column: {n}"),
             StoreError::LimitExceeded(m) => write!(f, "limit exceeded: {m}"),
             StoreError::Io(m) => write!(f, "io error: {m}"),
+            StoreError::StorageFailed(m) => write!(f, "storage failed (permanent): {m}"),
         }
     }
 }

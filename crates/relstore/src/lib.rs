@@ -35,6 +35,7 @@ pub mod pager;
 pub mod persist;
 pub mod schema;
 pub mod table;
+pub mod vfs;
 pub mod wal;
 
 pub use btree::BPlusTree;
@@ -47,4 +48,8 @@ pub use page::{Page, PAGE_SIZE};
 pub use pager::{Pager, PagerStats};
 pub use schema::{ColumnDef, Schema};
 pub use table::Table;
+pub use vfs::{
+    real_fs, FaultFs, FaultKind, FaultOp, FaultPlan, FaultRule, OpenMode, RealFs, StorageFs,
+    VfsFile,
+};
 pub use wal::{crc32, SharedWal, Wal};

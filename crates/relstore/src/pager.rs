@@ -15,12 +15,12 @@
 //! restore consistency on reopen.
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::error::StoreError;
 use crate::page::PAGE_SIZE;
+use crate::vfs::{real_fs, OpenMode, StorageFs, VfsFile};
 
 /// Default cache capacity in pages (2 MiB at 8 KiB pages).
 pub const DEFAULT_CACHE_PAGES: usize = 256;
@@ -48,7 +48,7 @@ pub struct PagerStats {
 
 /// A paged file with an LRU cache and dirty-page tracking.
 pub struct Pager {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     page_count: u64,
     capacity: usize,
@@ -77,19 +77,24 @@ impl Pager {
     /// Open (or create) the page file with room for `capacity` cached
     /// pages (minimum 1).
     pub fn with_capacity(path: impl AsRef<Path>, capacity: usize) -> Result<Pager, StoreError> {
+        Self::with_capacity_on(real_fs(), path, capacity)
+    }
+
+    /// [`Pager::with_capacity`] against an explicit [`StorageFs`] — the
+    /// fault-injection entry point.
+    pub fn with_capacity_on(
+        fs: Arc<dyn StorageFs>,
+        path: impl AsRef<Path>,
+        capacity: usize,
+    ) -> Result<Pager, StoreError> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)?;
-        let len = file.metadata()?.len();
-        if len % PAGE_SIZE as u64 != 0 {
-            return Err(StoreError::Corrupt(format!(
-                "page file length {len} is not a multiple of the page size"
-            )));
-        }
+        let file = fs.open(&path, OpenMode::Open)?;
+        let len = file.len()?;
+        // A length that is not a page multiple means a grow-write tore
+        // (crash or short write mid-extension). Everything durable ends at
+        // the last full page — the partial tail is garbage the caller's
+        // undo journal rolls back or a future page write overwrites — so
+        // round down rather than refuse to open.
         Ok(Pager {
             file,
             path,
@@ -133,13 +138,12 @@ impl Pager {
     }
 
     fn write_frame_to_file(
-        file: &mut File,
+        file: &mut dyn VfsFile,
         stats: &mut PagerStats,
         page_no: u64,
         data: &[u8],
     ) -> Result<(), StoreError> {
-        file.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
-        file.write_all(data)?;
+        file.write_at(page_no * PAGE_SIZE as u64, data)?;
         stats.pages_written += 1;
         Ok(())
     }
@@ -156,9 +160,13 @@ impl Pager {
                 .min_by_key(|(_, f)| f.last_used)
                 .map(|(no, _)| *no);
             let Some(no) = victim else { break };
-            let frame = self.frames.remove(&no).expect("victim exists");
+            let Some(frame) = self.frames.remove(&no) else {
+                return Err(StoreError::Corrupt(format!(
+                    "pager: eviction victim page {no} vanished from the cache"
+                )));
+            };
             if frame.dirty {
-                Self::write_frame_to_file(&mut self.file, &mut self.stats, no, &frame.data)?;
+                Self::write_frame_to_file(self.file.as_mut(), &mut self.stats, no, &frame.data)?;
             }
             self.stats.evictions += 1;
         }
@@ -183,11 +191,10 @@ impl Pager {
             // Pages past the physical end-of-file (page_count can run ahead
             // of the file before a flush) read back as zeroes.
             let mut data = vec![0u8; PAGE_SIZE];
-            self.file
-                .seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
+            let base = page_no * PAGE_SIZE as u64;
             let mut filled = 0;
             while filled < PAGE_SIZE {
-                match self.file.read(&mut data[filled..]) {
+                match self.file.read_at(base + filled as u64, &mut data[filled..]) {
                     Ok(0) => break, // hole page: remainder stays zero
                     Ok(n) => filled += n,
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -205,7 +212,12 @@ impl Pager {
             );
             self.evict_to_capacity(page_no)?;
         }
-        Ok(&self.frames.get(&page_no).expect("just ensured").data)
+        match self.frames.get(&page_no) {
+            Some(frame) => Ok(&frame.data),
+            None => Err(StoreError::Corrupt(format!(
+                "pager: page {page_no} missing from the cache right after insertion"
+            ))),
+        }
     }
 
     /// Write a full page. Pages may be written past the current end; the
@@ -253,14 +265,18 @@ impl Pager {
         dirty.sort_unstable();
         let written = dirty.len() as u64;
         for no in dirty {
-            let frame = self.frames.get_mut(&no).expect("listed above");
-            Self::write_frame_to_file(&mut self.file, &mut self.stats, no, &frame.data)?;
+            let Some(frame) = self.frames.get_mut(&no) else {
+                return Err(StoreError::Corrupt(format!(
+                    "pager: dirty page {no} vanished from the cache mid-flush"
+                )));
+            };
+            Self::write_frame_to_file(self.file.as_mut(), &mut self.stats, no, &frame.data)?;
             frame.dirty = false;
         }
         // A trailing all-zero page may never have been written explicitly;
         // make sure the file really spans page_count pages.
         let want = self.page_count * PAGE_SIZE as u64;
-        if self.file.metadata()?.len() < want {
+        if self.file.len()? < want {
             self.file.set_len(want)?;
         }
         self.file.sync_data()?;
@@ -403,14 +419,19 @@ mod tests {
     }
 
     #[test]
-    fn rejects_partial_page_and_bad_length_file() {
+    fn rejects_partial_page_and_tolerates_torn_tail() {
         let path = temp("badlen");
         std::fs::remove_file(&path).ok();
         let mut p = Pager::open(&path).unwrap();
         assert!(p.write_page(0, b"short").is_err());
         drop(p);
-        std::fs::write(&path, vec![0u8; PAGE_SIZE + 17]).unwrap();
-        assert!(matches!(Pager::open(&path), Err(StoreError::Corrupt(_))));
+        // A torn grow-write (crash / short write) leaves a partial trailing
+        // page; open rounds down to the last full page instead of refusing.
+        std::fs::write(&path, vec![0x5Au8; PAGE_SIZE + 17]).unwrap();
+        let mut p = Pager::open(&path).unwrap();
+        assert_eq!(p.page_count(), 1);
+        assert_eq!(p.read_page(0).unwrap()[0], 0x5A);
+        assert!(p.read_page(1).is_err());
         std::fs::remove_file(&path).ok();
     }
 }

@@ -17,8 +17,9 @@
 //!   row_count u64
 //! ```
 
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 use crate::codec::{self, Reader};
 use crate::datum::DataType;
@@ -28,6 +29,7 @@ use crate::heap::HeapFile;
 use crate::page::{Page, PAGE_SIZE};
 use crate::schema::{ColumnDef, Schema};
 use crate::table::Table;
+use crate::vfs::{real_fs, OpenMode, StorageFs, VfsFile};
 
 const MAGIC: &[u8; 4] = b"DSPR";
 const VERSION: u32 = 1;
@@ -42,6 +44,24 @@ fn temp_sibling(path: &Path) -> std::path::PathBuf {
     let mut name = path.file_name().unwrap_or_default().to_os_string();
     name.push(format!(".tmp.{}", std::process::id()));
     path.with_file_name(name)
+}
+
+/// Adapts a [`VfsFile`] to `io::Write` for streaming through `BufWriter`.
+struct VfsWriter<'a> {
+    file: &'a mut dyn VfsFile,
+    offset: u64,
+}
+
+impl Write for VfsWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.file.write_at(self.offset, buf)?;
+        self.offset += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
 }
 
 fn type_tag(ty: DataType) -> u8 {
@@ -74,31 +94,42 @@ impl Database {
     /// therefore leaves any previous snapshot at `path` untouched instead
     /// of a torn half-written file.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        self.save_on(real_fs(), path)
+    }
+
+    /// [`Database::save`] against an explicit [`StorageFs`] — the
+    /// fault-injection entry point.
+    pub fn save_on(
+        &self,
+        fs: Arc<dyn StorageFs>,
+        path: impl AsRef<Path>,
+    ) -> Result<(), StoreError> {
         let path = path.as_ref();
         let tmp_path = temp_sibling(path);
-        let result = self.save_to(&tmp_path).and_then(|()| {
-            std::fs::rename(&tmp_path, path).map_err(io_err)?;
+        let result = self.save_to(fs.as_ref(), &tmp_path).and_then(|()| {
+            fs.rename(&tmp_path, path).map_err(io_err)?;
             // Pin the rename itself (best-effort: directory handles cannot
             // be fsynced on every platform).
             if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-                if let Ok(dir) = std::fs::File::open(parent) {
-                    dir.sync_all().ok();
-                }
+                fs.sync_dir(parent).ok();
             }
             Ok(())
         });
         if result.is_err() {
-            std::fs::remove_file(&tmp_path).ok();
+            fs.remove_file(&tmp_path).ok();
         }
         result
     }
 
-    fn save_to(&self, path: &Path) -> Result<(), StoreError> {
+    fn save_to(&self, fs: &dyn StorageFs, path: &Path) -> Result<(), StoreError> {
         // Stream through a buffered writer (codec builds each small piece
         // in a reused scratch buffer; raw page bytes go straight through)
         // so saving never holds a second full copy of the database.
-        let file = std::fs::File::create(path).map_err(io_err)?;
-        let mut out = io::BufWriter::new(file);
+        let mut file = fs.open(path, OpenMode::Truncate).map_err(io_err)?;
+        let mut out = io::BufWriter::new(VfsWriter {
+            file: file.as_mut(),
+            offset: 0,
+        });
         let mut buf = Vec::new();
         codec::put_bytes(&mut buf, MAGIC);
         codec::put_u32(&mut buf, VERSION);
@@ -132,8 +163,7 @@ impl Database {
             codec::put_u64(&mut buf, table.row_count());
             out.write_all(&buf).map_err(io_err)?;
         }
-        let file = out
-            .into_inner()
+        out.into_inner()
             .map_err(|e| StoreError::Io(format!("snapshot flush: {e}")))?;
         // The rename must not be reordered before the data hits the disk.
         file.sync_data().map_err(io_err)
@@ -141,10 +171,12 @@ impl Database {
 
     /// Restore a snapshot previously written by [`Database::save`].
     pub fn load(path: impl AsRef<Path>) -> Result<Database, StoreError> {
-        let mut bytes = Vec::new();
-        std::fs::File::open(path)
-            .and_then(|mut f| f.read_to_end(&mut bytes))
-            .map_err(io_err)?;
+        Self::load_on(real_fs(), path)
+    }
+
+    /// [`Database::load`] against an explicit [`StorageFs`].
+    pub fn load_on(fs: Arc<dyn StorageFs>, path: impl AsRef<Path>) -> Result<Database, StoreError> {
+        let bytes = fs.read(path.as_ref()).map_err(io_err)?;
         let mut inp = Reader::new(&bytes);
         if inp.take(4)? != MAGIC {
             return Err(StoreError::Corrupt("bad magic".into()));

@@ -36,11 +36,11 @@
 //! checksums. The engine logs logical sheet ops plus checkpoint undo-page
 //! images (see `dataspread-engine`'s `durable` module).
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::error::StoreError;
+use crate::vfs::{real_fs, OpenMode, StorageFs, VfsFile};
 
 const MAGIC: &[u8; 4] = b"DSWL";
 const VERSION: u32 = 2;
@@ -137,27 +137,26 @@ fn scan_records(bytes: &[u8], start: usize, out: &mut Vec<Vec<u8>>) -> (usize, b
 
 /// Best-effort fsync of the directory holding `path` so freshly created
 /// segment files survive a machine crash.
-fn sync_parent_dir(path: &Path) {
+fn sync_parent_dir(fs: &dyn StorageFs, path: &Path) {
     if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-        if let Ok(dir) = File::open(parent) {
-            dir.sync_all().ok();
-        }
+        fs.sync_dir(parent).ok();
     }
 }
 
 /// Delete numbered segments `from..` (contiguous; stops at the first gap).
-fn delete_segments_from(base: &Path, from: u64) {
+fn delete_segments_from(fs: &dyn StorageFs, base: &Path, from: u64) {
     let mut idx = from.max(1);
-    while std::fs::remove_file(segment_path(base, idx)).is_ok() {
+    while fs.remove_file(&segment_path(base, idx)).is_ok() {
         idx += 1;
     }
 }
 
 /// An append-only, checksummed, segmented log.
 pub struct Wal {
+    fs: Arc<dyn StorageFs>,
     base: PathBuf,
     /// Handle of the current (last) segment.
-    file: File,
+    file: Box<dyn VfsFile>,
     epoch: u64,
     seg_index: u64,
     /// Header length of the current segment (8 for a legacy v1 base).
@@ -200,15 +199,15 @@ impl Wal {
     /// (stale leftovers of an interrupted [`Wal::truncate`]) are deleted,
     /// not replayed.
     pub fn open(path: impl AsRef<Path>) -> Result<Wal, StoreError> {
+        Self::open_on(real_fs(), path)
+    }
+
+    /// [`Wal::open`] against an explicit [`StorageFs`] — the
+    /// fault-injection entry point.
+    pub fn open_on(fs: Arc<dyn StorageFs>, path: impl AsRef<Path>) -> Result<Wal, StoreError> {
         let base = path.as_ref().to_path_buf();
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&base)?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)?;
+        let mut file = fs.open(&base, OpenMode::Open)?;
+        let bytes = file.read_to_end_vec()?;
 
         // Decide what the base segment is: fresh, legacy v1, or v2.
         let parsed: Option<(u64, u64)> = if bytes.len() < WAL_V1_HEADER_LEN as usize {
@@ -243,20 +242,20 @@ impl Wal {
             // leftovers of an interrupted truncate can never be replayed.
             let mut stale_max: Option<u64> = None;
             let mut idx = 1u64;
-            while let Ok(seg) = std::fs::read(segment_path(&base, idx)) {
+            while let Ok(seg) = fs.read(&segment_path(&base, idx)) {
                 if seg.len() >= WAL_HEADER_LEN as usize && &seg[..4] == MAGIC {
                     let e = u64::from_le_bytes(seg[8..16].try_into().expect("8"));
                     stale_max = Some(stale_max.map_or(e, |m: u64| m.max(e)));
                 }
                 idx += 1;
             }
-            delete_segments_from(&base, 1);
+            delete_segments_from(fs.as_ref(), &base, 1);
             let epoch = stale_max.map_or(0, |e| e + 1);
             file.set_len(0)?;
-            file.seek(SeekFrom::Start(0))?;
-            file.write_all(&header_bytes(epoch, 0))?;
+            file.write_at(0, &header_bytes(epoch, 0))?;
             file.sync_data()?;
             return Ok(Wal {
+                fs,
                 base,
                 file,
                 epoch,
@@ -283,7 +282,7 @@ impl Wal {
         let mut idx = 1u64;
         while !torn {
             let p = segment_path(&base, idx);
-            let Ok(seg_bytes) = std::fs::read(&p) else {
+            let Ok(seg_bytes) = fs.read(&p) else {
                 break;
             };
             let ok_header = seg_bytes.len() >= WAL_HEADER_LEN as usize
@@ -304,21 +303,18 @@ impl Wal {
         }
         // Everything past the accepted chain (stale epochs, segments after
         // a torn tail) is not a committed suffix — drop it.
-        delete_segments_from(&base, last_idx + 1);
+        delete_segments_from(fs.as_ref(), &base, last_idx + 1);
 
         // Position the write handle at the valid end of the last segment.
         let mut file = if last_idx == 0 {
             file
         } else {
-            OpenOptions::new()
-                .read(true)
-                .write(true)
-                .open(segment_path(&base, last_idx))?
+            fs.open(&segment_path(&base, last_idx), OpenMode::Existing)?
         };
         file.set_len(last_valid)?;
-        file.seek(SeekFrom::Start(last_valid))?;
         let has_records = !recovered.is_empty();
         Ok(Wal {
+            fs,
             base,
             file,
             epoch,
@@ -356,15 +352,10 @@ impl Wal {
         self.file.sync_data()?;
         let idx = self.seg_index + 1;
         let path = segment_path(&self.base, idx);
-        let mut next = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)?;
-        next.write_all(&header_bytes(self.epoch, idx))?;
+        let mut next = self.fs.open(&path, OpenMode::Truncate)?;
+        next.write_at(0, &header_bytes(self.epoch, idx))?;
         next.sync_data()?;
-        sync_parent_dir(&path);
+        sync_parent_dir(self.fs.as_ref(), &path);
         self.sealed_len += self.seg_len;
         self.file = next;
         self.seg_index = idx;
@@ -406,10 +397,10 @@ impl Wal {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
-        // Seek explicitly: a previously *failed* append may have left both
-        // the OS cursor and garbage bytes past the valid prefix.
-        self.file.seek(SeekFrom::Start(self.seg_len))?;
-        self.file.write_all(&frame)?;
+        // Write at the valid end explicitly: a previously *failed* append
+        // may have left garbage bytes past the valid prefix, which this
+        // positional write overwrites.
+        self.file.write_at(self.seg_len, &frame)?;
         self.seg_len += frame.len() as u64;
         self.appended += 1;
         self.has_records = true;
@@ -420,7 +411,6 @@ impl Wal {
     /// append). A no-op on a healthy log.
     pub fn truncate_to_valid(&mut self) -> Result<(), StoreError> {
         self.file.set_len(self.seg_len)?;
-        self.file.seek(SeekFrom::Start(self.seg_len))?;
         Ok(())
     }
 
@@ -437,7 +427,7 @@ impl Wal {
     /// in an earlier one already sealed with its own fsync, so
     /// `sync_data` on the handle makes every earlier append durable even
     /// if the log rotated meanwhile.
-    pub fn sync_handle(&self) -> Result<File, StoreError> {
+    pub fn sync_handle(&self) -> Result<Box<dyn VfsFile>, StoreError> {
         Ok(self.file.try_clone()?)
     }
 
@@ -449,18 +439,12 @@ impl Wal {
     pub fn truncate(&mut self) -> Result<(), StoreError> {
         self.epoch += 1;
         if self.seg_index != 0 {
-            self.file = OpenOptions::new()
-                .read(true)
-                .write(true)
-                .create(true)
-                .truncate(false)
-                .open(&self.base)?;
+            self.file = self.fs.open(&self.base, OpenMode::Open)?;
         }
         self.file.set_len(0)?;
-        self.file.seek(SeekFrom::Start(0))?;
-        self.file.write_all(&header_bytes(self.epoch, 0))?;
+        self.file.write_at(0, &header_bytes(self.epoch, 0))?;
         self.file.sync_data()?;
-        delete_segments_from(&self.base, 1);
+        delete_segments_from(self.fs.as_ref(), &self.base, 1);
         self.seg_index = 0;
         self.seg_header_len = WAL_HEADER_LEN;
         self.seg_len = WAL_HEADER_LEN;
@@ -489,6 +473,14 @@ impl Wal {
     /// Path of the base segment.
     pub fn path(&self) -> &Path {
         &self.base
+    }
+
+    /// Epoch of the current base segment. Bumped by every
+    /// [`Wal::truncate`]; owners persist it next to external sequence
+    /// state (e.g. a durable ticket base) to correlate that state with
+    /// exactly one generation of the log across crashes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 }
 
@@ -528,9 +520,15 @@ struct SharedState {
     appended_seq: u64,
     /// Highest ticket known durable.
     durable_seq: u64,
-    /// Sticky record of a failed group fsync: waiters must not be left
-    /// blocking on a flush that will never come. Cleared by the next
-    /// successful sync or truncate.
+    /// **Permanent** record of a failed fsync (or failed truncate). Once
+    /// set it is never cleared: after a failed fsync the kernel may have
+    /// dropped the dirty pages, so a later fsync that "succeeds" proves
+    /// nothing about the records covered by the failed one — retrying and
+    /// acknowledging on it is the classic fsyncgate data-loss bug. The
+    /// poisoned log refuses appends, syncs, and truncates; every waiter is
+    /// failed with a coded [`StoreError::StorageFailed`]. Recovery is a
+    /// process restart re-opening the log and replaying what actually
+    /// reached the disk.
     sync_failed: Option<String>,
     /// Fsyncs issued through the group fsync-point.
     fsyncs: u64,
@@ -568,8 +566,23 @@ impl SharedWal {
         Ok(SharedWal::new(Wal::open(path)?))
     }
 
+    /// [`SharedWal::open`] against an explicit [`StorageFs`].
+    pub fn open_on(
+        fs: Arc<dyn StorageFs>,
+        path: impl AsRef<Path>,
+    ) -> Result<SharedWal, StoreError> {
+        Ok(SharedWal::new(Wal::open_on(fs, path)?))
+    }
+
     fn lock(&self) -> std::sync::MutexGuard<'_, SharedState> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The permanent-failure cause, when a fsync or truncate has failed.
+    /// A poisoned log acknowledges nothing and accepts nothing; the owner
+    /// should flip into degraded (read-only) service.
+    pub fn poisoned(&self) -> Option<String> {
+        self.lock().sync_failed.clone()
     }
 
     /// Run `f` against the underlying log under the append lock. Exposed
@@ -590,6 +603,9 @@ impl SharedWal {
     /// ticket.
     pub fn append(&self, payload: &[u8]) -> Result<u64, StoreError> {
         let mut st = self.lock();
+        if let Some(cause) = &st.sync_failed {
+            return Err(StoreError::StorageFailed(cause.clone()));
+        }
         st.wal.append(payload)?;
         st.appended_seq += 1;
         Ok(st.appended_seq)
@@ -598,6 +614,22 @@ impl SharedWal {
     /// Ticket of the most recent append (0 when nothing was appended).
     pub fn appended_seq(&self) -> u64 {
         self.lock().appended_seq
+    }
+
+    /// Seed the ticket sequence at `base` instead of 0. For owners that
+    /// persist the ticket horizon across restarts (see
+    /// [`Wal::epoch`]): called once right after open, **before any
+    /// append**, it makes tickets issued by this incarnation continue the
+    /// pre-restart sequence instead of restarting from 1. Everything at
+    /// or below `base` counts as durable. Refused (no-op) after the first
+    /// append — reseeding a live sequence would corrupt outstanding
+    /// tickets.
+    pub fn set_ticket_base(&self, base: u64) {
+        let mut st = self.lock();
+        if st.appended_seq == 0 && st.durable_seq == 0 {
+            st.appended_seq = base;
+            st.durable_seq = base;
+        }
     }
 
     /// Highest ticket known durable (0 when nothing was ever flushed).
@@ -621,10 +653,43 @@ impl SharedWal {
         self.sync_locked(flusher)
     }
 
+    /// Fully-serial fsync under the append lock (the per-op commit mode's
+    /// path). Shares the poisoning contract with the group fsync-point: a
+    /// failure is permanent and fails every later commit with
+    /// [`StoreError::StorageFailed`].
+    pub fn sync_serial(&self) -> Result<(), StoreError> {
+        let mut st = self.lock();
+        if let Some(cause) = &st.sync_failed {
+            return Err(StoreError::StorageFailed(cause.clone()));
+        }
+        match st.wal.sync() {
+            Ok(()) => {
+                st.durable_seq = st.appended_seq;
+                // Deliberately not counted in `fsyncs`: that counter
+                // meters the group fsync-point, and callers of the serial
+                // path keep their own inline-sync counter.
+                self.durable.notify_all();
+                Ok(())
+            }
+            Err(e) => {
+                let cause = e.to_string();
+                st.sync_failed = Some(cause.clone());
+                self.durable.notify_all();
+                Err(StoreError::StorageFailed(cause))
+            }
+        }
+    }
+
     /// The flush body, entered holding the flusher lock.
     fn sync_locked(&self, _flusher: std::sync::MutexGuard<'_, ()>) -> Result<u64, StoreError> {
-        let (handle, target) = {
+        let (mut handle, target) = {
             let st = self.lock();
+            if let Some(cause) = &st.sync_failed {
+                // Never retry past a failed fsync: the data the failure
+                // covered may already be gone from the page cache, so a
+                // "successful" retry would acknowledge lost records.
+                return Err(StoreError::StorageFailed(cause.clone()));
+            }
             if st.durable_seq >= st.appended_seq {
                 return Ok(st.durable_seq); // nothing to flush
             }
@@ -638,14 +703,15 @@ impl SharedWal {
             Ok(()) => {
                 st.durable_seq = st.durable_seq.max(target);
                 st.fsyncs += 1;
-                st.sync_failed = None;
                 self.durable.notify_all();
                 Ok(st.durable_seq)
             }
             Err(e) => {
-                st.sync_failed = Some(e.to_string());
+                // Permanent: poison the log and fail every waiting ticket.
+                let cause = e.to_string();
+                st.sync_failed = Some(cause.clone());
                 self.durable.notify_all();
-                Err(StoreError::from(e))
+                Err(StoreError::StorageFailed(cause))
             }
         }
     }
@@ -709,7 +775,7 @@ impl SharedWal {
                 return Ok(());
             }
             if let Some(cause) = &st.sync_failed {
-                return Err(StoreError::Io(format!(
+                return Err(StoreError::StorageFailed(format!(
                     "group commit failed before ticket {ticket}: {cause}"
                 )));
             }
@@ -719,12 +785,21 @@ impl SharedWal {
 
     /// Post-checkpoint reset (see [`Wal::truncate`]). Outstanding tickets
     /// become durable by definition: the checkpoint that truncates the log
-    /// has already folded their effects into the image.
+    /// has already folded their effects into the image. Refused on a
+    /// poisoned log (the checkpoint's own fsyncs cannot be trusted after a
+    /// failed one), and a truncate that itself fails poisons the log — its
+    /// fsync is a commit point like any other.
     pub fn truncate(&self) -> Result<(), StoreError> {
         let mut st = self.lock();
-        st.wal.truncate()?;
+        if let Some(cause) = &st.sync_failed {
+            return Err(StoreError::StorageFailed(cause.clone()));
+        }
+        if let Err(e) = st.wal.truncate() {
+            st.sync_failed = Some(e.to_string());
+            self.durable.notify_all();
+            return Err(StoreError::StorageFailed(e.to_string()));
+        }
         st.durable_seq = st.appended_seq;
-        st.sync_failed = None;
         self.durable.notify_all();
         Ok(())
     }
@@ -740,7 +815,7 @@ mod tests {
 
     fn cleanup(path: &Path) {
         std::fs::remove_file(path).ok();
-        delete_segments_from(path, 1);
+        delete_segments_from(real_fs().as_ref(), path, 1);
     }
 
     #[test]
@@ -1066,6 +1141,102 @@ mod tests {
         let mut reopened = Wal::open(&path).unwrap();
         let recovered = reopened.take_recovered();
         assert_eq!(recovered.len(), 200);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn failed_fsync_poisons_the_shared_wal_permanently() {
+        use crate::vfs::{FaultFs, FaultKind, FaultOp, FaultPlan, FaultRule};
+        let path = temp("poison");
+        cleanup(&path);
+        let plan = FaultPlan::new();
+        let fs = FaultFs::new(std::sync::Arc::clone(&plan));
+        let wal = SharedWal::open_on(fs, &path).unwrap();
+        let t1 = wal.append(b"pre-fault").unwrap();
+        wal.sync().unwrap();
+        wal.wait_durable(t1).unwrap();
+
+        // Arm: the next fsync fails. The ticket appended under it must be
+        // failed with the coded permanent error — and *stay* failed even
+        // though the disk is healthy again afterwards (fsyncgate).
+        plan.push(FaultRule::new(FaultOp::Sync, 0, FaultKind::Io));
+        let t2 = wal.append(b"doomed").unwrap();
+        assert!(matches!(wal.sync(), Err(StoreError::StorageFailed(_))));
+        plan.disarm(); // disk "recovers" — must make no difference
+        assert!(matches!(
+            wal.wait_durable(t2),
+            Err(StoreError::StorageFailed(_))
+        ));
+        assert!(matches!(
+            wal.commit_wait(t2, 64),
+            Err(StoreError::StorageFailed(_))
+        ));
+        assert!(matches!(wal.sync(), Err(StoreError::StorageFailed(_))));
+        assert!(matches!(
+            wal.append(b"refused"),
+            Err(StoreError::StorageFailed(_))
+        ));
+        assert!(matches!(wal.truncate(), Err(StoreError::StorageFailed(_))));
+        assert!(wal.poisoned().is_some());
+
+        // Reopening the log is the only recovery: the pre-fault record is
+        // there; "doomed" may or may not be (it was never acknowledged).
+        drop(wal);
+        let mut reopened = Wal::open(&path).unwrap();
+        let recovered = reopened.take_recovered();
+        assert!(!recovered.is_empty());
+        assert_eq!(recovered[0], b"pre-fault".to_vec());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn serial_sync_shares_the_poisoning_contract() {
+        use crate::vfs::{FaultFs, FaultKind, FaultOp, FaultPlan, FaultRule};
+        let path = temp("poison-serial");
+        cleanup(&path);
+        let plan = FaultPlan::new();
+        let fs = FaultFs::new(std::sync::Arc::clone(&plan));
+        let wal = SharedWal::open_on(fs, &path).unwrap();
+        wal.append(b"a").unwrap();
+        wal.sync_serial().unwrap();
+        plan.push(FaultRule::new(FaultOp::Sync, 0, FaultKind::Enospc));
+        wal.append(b"b").unwrap();
+        assert!(matches!(
+            wal.sync_serial(),
+            Err(StoreError::StorageFailed(_))
+        ));
+        plan.disarm();
+        assert!(matches!(
+            wal.sync_serial(),
+            Err(StoreError::StorageFailed(_))
+        ));
+        assert!(wal.poisoned().unwrap().contains("No space left"));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn short_write_on_append_leaves_recoverable_prefix() {
+        use crate::vfs::{FaultFs, FaultKind, FaultOp, FaultPlan, FaultRule};
+        let path = temp("shortwrite");
+        cleanup(&path);
+        let plan = FaultPlan::new();
+        let fs = FaultFs::new(std::sync::Arc::clone(&plan));
+        {
+            let mut wal = Wal::open_on(fs, &path).unwrap();
+            wal.append(b"committed-record").unwrap();
+            wal.sync().unwrap();
+            plan.push(FaultRule::new(FaultOp::Write, 0, FaultKind::ShortWrite));
+            assert!(wal.append(b"torn-record-payload").is_err());
+            // The failed append left garbage past the valid prefix; a
+            // subsequent append overwrites it positionally.
+            wal.append(b"after-the-tear").unwrap();
+            wal.sync().unwrap();
+        }
+        let mut wal = Wal::open(&path).unwrap();
+        assert_eq!(
+            wal.take_recovered(),
+            vec![b"committed-record".to_vec(), b"after-the-tear".to_vec()]
+        );
         cleanup(&path);
     }
 

@@ -350,6 +350,14 @@ fn dispatch(
                 regions: s.regions as u64,
             })
         }),
+        Request::DurableTicket { sheet } => {
+            session
+                .recovery_horizon(&sheet)
+                .map(|(incarnation, horizon)| Response::Ticket {
+                    incarnation,
+                    horizon,
+                })
+        }
     };
     result.unwrap_or_else(|e| Response::Err(e.to_wire()))
 }

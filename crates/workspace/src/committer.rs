@@ -123,6 +123,11 @@ impl GroupCommitter {
             {
                 let mut registry = shared.registry.lock().unwrap_or_else(|e| e.into_inner());
                 loop {
+                    // A poisoned WAL is permanently failed: its waiters
+                    // were woken with the error, and retrying the fsync
+                    // could acknowledge records the kernel already
+                    // dropped. Unregister it for good.
+                    registry.wals.retain(|w| w.poisoned().is_none());
                     wals.clear();
                     wals.extend(registry.wals.iter().cloned());
                     shared.parked.store(true, Ordering::SeqCst);
@@ -157,27 +162,22 @@ impl GroupCommitter {
                 }
                 horizon = now;
             }
-            let mut failed = false;
             for wal in &wals {
                 // One fsync covers every record this WAL accumulated since
                 // its last flush — the flush targets the append horizon at
                 // fsync start, so even records appended during the dwell
-                // ride along. A failed fsync is surfaced to the tickets'
-                // waiters by the SharedWal itself.
-                if wal.has_pending() {
-                    failed |= wal.sync().is_err();
+                // ride along. A failed fsync permanently poisons the WAL
+                // (its waiters are woken with the error by the SharedWal
+                // itself); it is never retried — the data the failure
+                // covered may already be gone from the page cache, so a
+                // "successful" retry would acknowledge lost records. The
+                // next registry refresh unregisters it.
+                if wal.poisoned().is_none() && wal.has_pending() {
+                    let _ = wal.sync();
                     shared.syncs.fetch_add(1, Ordering::Relaxed);
                 }
             }
             shared.rounds.fetch_add(1, Ordering::Relaxed);
-            if failed {
-                // A failing fsync (disk full, device error) leaves the
-                // pending horizon in place — without a pause this loop
-                // would re-issue the failing fsync at 100% CPU. Back off
-                // briefly; waiters were already woken with the error, and
-                // the next round retries in case the condition clears.
-                std::thread::sleep(std::time::Duration::from_millis(10));
-            }
         }
     }
 

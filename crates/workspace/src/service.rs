@@ -9,7 +9,7 @@ use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use dataspread_engine::{CheckpointReport, EngineError, PersistenceStats, ScanValue, SheetEngine};
 use dataspread_grid::{CellAddr, CellValue, Rect, SparseSheet};
 use dataspread_proto::{codes, Edit, EditReceipt, PatchBuilder, WindowPatch, WireError};
-use dataspread_relstore::{SharedWal, StoreError};
+use dataspread_relstore::{SharedWal, StorageFs, StoreError};
 
 use crate::committer::GroupCommitter;
 
@@ -27,7 +27,7 @@ pub enum CommitMode {
 }
 
 /// Workspace construction knobs.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct WorkspaceConfig {
     pub commit_mode: CommitMode,
     /// Auto-checkpoint every N logged ops on each sheet (engine default:
@@ -36,11 +36,26 @@ pub struct WorkspaceConfig {
     /// Worker threads for each sheet engine's wave recomputation
     /// (`None` = one per available core).
     pub recompute_threads: Option<usize>,
+    /// Route every sheet's file I/O through this filesystem instead of
+    /// the real one — the hook fault-injection tests use to script
+    /// storage failures (`None` = the real OS filesystem).
+    pub storage_fs: Option<Arc<dyn StorageFs>>,
     /// Test hook: sleep this long inside the named sheet's recovery,
     /// *after* the placeholder shard is published — lets tests prove that
     /// a slow recovery stalls only its own sheet.
     #[doc(hidden)]
     pub open_stall_for_tests: Option<(String, std::time::Duration)>,
+}
+
+impl std::fmt::Debug for WorkspaceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkspaceConfig")
+            .field("commit_mode", &self.commit_mode)
+            .field("auto_checkpoint_ops", &self.auto_checkpoint_ops)
+            .field("recompute_threads", &self.recompute_threads)
+            .field("storage_fs", &self.storage_fs.as_ref().map(|_| "custom"))
+            .finish()
+    }
 }
 
 /// Errors surfaced by the session API.
@@ -70,6 +85,14 @@ pub enum WorkspaceError {
     Protocol(String),
     /// Transport-level I/O failure (only produced by the network layers).
     Io(String),
+    /// The sheet is read-only after a permanent storage failure: fetches
+    /// still serve from memory, but edits are refused until the server
+    /// reopens the store. The payload is the original failure cause.
+    Degraded(String),
+    /// A permanent storage failure surfaced by the failing operation
+    /// itself (a failed fsync, a torn checkpoint). The request that got
+    /// this error was NOT made durable; the sheet degrades to read-only.
+    StorageFailed(String),
     /// An error that crossed the wire with a code this build cannot map
     /// back onto a richer variant. The code is preserved verbatim, so
     /// `code()` still round-trips.
@@ -91,6 +114,10 @@ impl std::fmt::Display for WorkspaceError {
             WorkspaceError::Busy(m) => write!(f, "busy: {m}"),
             WorkspaceError::Protocol(m) => write!(f, "protocol violation: {m}"),
             WorkspaceError::Io(m) => write!(f, "io: {m}"),
+            WorkspaceError::Degraded(m) => {
+                write!(f, "sheet degraded to read-only after storage failure: {m}")
+            }
+            WorkspaceError::StorageFailed(m) => write!(f, "storage failed: {m}"),
             WorkspaceError::Remote { code, detail } => {
                 write!(f, "remote error {code:#06x}: {detail}")
             }
@@ -112,6 +139,16 @@ impl From<StoreError> for WorkspaceError {
     }
 }
 
+/// Commit-path error mapping: a permanent storage failure gets its own
+/// session-level variant (and wire code) instead of hiding inside
+/// [`WorkspaceError::Store`] — clients branch on it to stop retrying.
+fn promote_storage(e: StoreError) -> WorkspaceError {
+    match e {
+        StoreError::StorageFailed(m) => WorkspaceError::StorageFailed(m),
+        other => WorkspaceError::Store(other),
+    }
+}
+
 fn store_code(e: &StoreError) -> u16 {
     match e {
         StoreError::NoSuchTable(_) => codes::STORE_NO_SUCH_TABLE,
@@ -123,6 +160,7 @@ fn store_code(e: &StoreError) -> u16 {
         StoreError::NoSuchColumn(_) => codes::STORE_NO_SUCH_COLUMN,
         StoreError::LimitExceeded(_) => codes::STORE_LIMIT_EXCEEDED,
         StoreError::Io(_) => codes::STORE_IO,
+        StoreError::StorageFailed(_) => codes::STORE_STORAGE_FAILED,
     }
 }
 
@@ -134,7 +172,8 @@ fn store_detail(e: &StoreError) -> String {
         | StoreError::Corrupt(s)
         | StoreError::NoSuchColumn(s)
         | StoreError::LimitExceeded(s)
-        | StoreError::Io(s) => s.clone(),
+        | StoreError::Io(s)
+        | StoreError::StorageFailed(s) => s.clone(),
         StoreError::BadTupleId => String::new(),
         StoreError::TupleTooLarge(n) => n.to_string(),
     }
@@ -151,6 +190,7 @@ fn store_from_wire(code: u16, detail: String) -> Option<StoreError> {
         codes::STORE_NO_SUCH_COLUMN => StoreError::NoSuchColumn(detail),
         codes::STORE_LIMIT_EXCEEDED => StoreError::LimitExceeded(detail),
         codes::STORE_IO => StoreError::Io(detail),
+        codes::STORE_STORAGE_FAILED => StoreError::StorageFailed(detail),
         _ => return None,
     })
 }
@@ -166,6 +206,8 @@ impl WorkspaceError {
             WorkspaceError::Busy(_) => codes::BUSY,
             WorkspaceError::Protocol(_) => codes::PROTOCOL,
             WorkspaceError::Io(_) => codes::IO,
+            WorkspaceError::Degraded(_) => codes::DEGRADED,
+            WorkspaceError::StorageFailed(_) => codes::STORAGE_FAILED,
             WorkspaceError::Engine(EngineError::Unsupported(_)) => codes::ENGINE_UNSUPPORTED,
             WorkspaceError::Engine(EngineError::BadLink(_)) => codes::ENGINE_BAD_LINK,
             WorkspaceError::Engine(EngineError::Formula(_)) => codes::ENGINE_FORMULA,
@@ -187,7 +229,9 @@ impl WorkspaceError {
             | WorkspaceError::BadSheetName(s)
             | WorkspaceError::Busy(s)
             | WorkspaceError::Protocol(s)
-            | WorkspaceError::Io(s) => s.clone(),
+            | WorkspaceError::Io(s)
+            | WorkspaceError::Degraded(s)
+            | WorkspaceError::StorageFailed(s) => s.clone(),
             WorkspaceError::Engine(EngineError::Unsupported(m))
             | WorkspaceError::Engine(EngineError::BadLink(m)) => m.clone(),
             WorkspaceError::Engine(EngineError::Formula(e)) => e.to_string(),
@@ -217,6 +261,8 @@ impl WorkspaceError {
             codes::BUSY => WorkspaceError::Busy(detail),
             codes::PROTOCOL => WorkspaceError::Protocol(detail),
             codes::IO => WorkspaceError::Io(detail),
+            codes::DEGRADED => WorkspaceError::Degraded(detail),
+            codes::STORAGE_FAILED => WorkspaceError::StorageFailed(detail),
             codes::ENGINE_UNSUPPORTED => WorkspaceError::Engine(EngineError::Unsupported(detail)),
             codes::ENGINE_BAD_LINK => WorkspaceError::Engine(EngineError::BadLink(detail)),
             _ => match store_from_wire(code, detail.clone()) {
@@ -537,7 +583,10 @@ impl Session {
             }
         }
         let mut engine = match &self.inner.dir {
-            Some(dir) => SheetEngine::open(dir.join(name))?,
+            Some(dir) => match &self.inner.config.storage_fs {
+                Some(fs) => SheetEngine::open_on(Arc::clone(fs), dir.join(name))?,
+                None => SheetEngine::open(dir.join(name))?,
+            },
             None => SheetEngine::new(),
         };
         if let Some(ops) = self.inner.config.auto_checkpoint_ops {
@@ -609,9 +658,21 @@ impl Session {
         self.commit(&shard, ticket)
     }
 
+    /// Refuse durable mutations on a sheet whose store suffered a
+    /// permanent storage failure. The check runs *before* the engine
+    /// mutates memory, so a degraded sheet's in-memory state stays
+    /// exactly what was last acknowledged — reads keep serving it.
+    fn check_writable(engine: &SheetEngine) -> Result<(), WorkspaceError> {
+        match engine.storage_failed() {
+            Some(cause) => Err(WorkspaceError::Degraded(cause)),
+            None => Ok(()),
+        }
+    }
+
     /// Apply `edit` under the sheet's write lock; returns its ticket.
     fn apply_under_lock(&self, shard: &Shard, edit: &Edit) -> Result<u64, WorkspaceError> {
         let mut engine = self.write_engine(shard);
+        Self::check_writable(&engine)?;
         match edit {
             Edit::Set { row, col, input } => {
                 engine.update_cell(CellAddr::new(*row, *col), input)?
@@ -646,7 +707,7 @@ impl Session {
         };
         match self.inner.config.commit_mode {
             CommitMode::PerOp => {
-                wal.with(|w| w.sync())?;
+                wal.sync_serial().map_err(promote_storage)?;
                 self.inner.inline_syncs.fetch_add(1, Ordering::Relaxed);
                 Ok(EditReceipt {
                     ticket,
@@ -675,7 +736,8 @@ impl Session {
             CommitMode::PerOp => Ok(()), // staged ops were fsynced inline
             CommitMode::Group => {
                 self.inner.committer.nudge(wal);
-                Ok(wal.commit_wait(ticket, self.inner.commit_spin)?)
+                wal.commit_wait(ticket, self.inner.commit_spin)
+                    .map_err(promote_storage)
             }
         }
     }
@@ -690,6 +752,29 @@ impl Session {
         Ok(shard.wal.as_ref().map_or(0, |w| w.durable_seq()))
     }
 
+    /// The restart-reconciliation pair `(incarnation, horizon)` for
+    /// `sheet`, both frozen when its durable directory was last opened
+    /// (`(0, 0)` on in-memory workspaces). A reconnecting client compares
+    /// the incarnation against the value it remembered: unchanged means
+    /// the server never restarted (nothing staged was lost; re-staging
+    /// would double-apply), changed means it must re-stage exactly its
+    /// staged edits with tickets above the horizon.
+    pub fn recovery_horizon(&self, sheet: &str) -> Result<(u64, u64), WorkspaceError> {
+        let shard = self.shard(sheet)?;
+        let horizon = self.read_engine(&shard).recovery_horizon();
+        Ok(horizon)
+    }
+
+    /// `Some(cause)` when `sheet` has degraded to read-only after a
+    /// permanent storage failure (`None` = healthy). Degraded sheets keep
+    /// serving reads from memory; edits fail with
+    /// [`WorkspaceError::Degraded`] until the workspace is reopened.
+    pub fn storage_failed(&self, sheet: &str) -> Result<Option<String>, WorkspaceError> {
+        let shard = self.shard(sheet)?;
+        let failed = self.read_engine(&shard).storage_failed();
+        Ok(failed)
+    }
+
     /// Bulk-import rows of values at `top_left` (one logical op, one WAL
     /// record), committed like any edit.
     pub fn import_rows(
@@ -702,6 +787,7 @@ impl Session {
         let shard = self.shard(sheet)?;
         let (rect, ticket) = {
             let mut engine = self.write_engine(&shard);
+            Self::check_writable(&engine)?;
             let rect = engine.import_rows(top_left, width, rows)?;
             (rect, engine.last_commit_ticket())
         };
@@ -735,7 +821,7 @@ impl Session {
                 // fsync-point (which would coalesce concurrent per-op
                 // fsyncs and quietly turn the baseline into group
                 // commit).
-                wal.with(|w| w.sync())?;
+                wal.sync_serial().map_err(promote_storage)?;
                 self.inner.inline_syncs.fetch_add(1, Ordering::Relaxed);
             }
             CommitMode::Group => {
@@ -744,7 +830,8 @@ impl Session {
                 // fsync-bound instead of futex-bound, while wide windows
                 // still batch through the committer thread.
                 self.inner.committer.nudge(wal);
-                wal.commit_wait(ticket, self.inner.commit_spin)?;
+                wal.commit_wait(ticket, self.inner.commit_spin)
+                    .map_err(promote_storage)?;
             }
         }
         Ok(EditReceipt {
@@ -1012,6 +1099,9 @@ mod tests {
             WorkspaceError::Store(StoreError::TupleTooLarge(9000)),
             WorkspaceError::Store(StoreError::Corrupt("truncated record".into())),
             WorkspaceError::Store(StoreError::Io("disk full".into())),
+            WorkspaceError::Store(StoreError::StorageFailed("fsync: EIO".into())),
+            WorkspaceError::Degraded("fsync: EIO".into()),
+            WorkspaceError::StorageFailed("injected ENOSPC".into()),
             WorkspaceError::Remote {
                 code: 0x7777,
                 detail: "from the future".into(),
