@@ -132,6 +132,22 @@ fn run_writers(writers: usize, ops: usize, window: usize, mode: CommitMode) -> (
         CommitMode::PerOp => inline_syncs,
         CommitMode::Group => group_fsyncs - fsyncs_at_open,
     };
+    // Cross-check the metrics registry against the committer's own
+    // accounting: the WAL observer attaches at shard build, before any
+    // append, so it must have seen exactly one append per staged edit
+    // and at least the fsyncs the fsync-point tallied.
+    let snap = ws.metrics_registry().snapshot();
+    let appends = snap.counter("wal_appends{sheet=\"hot\"}").unwrap_or(0);
+    assert_eq!(
+        appends,
+        (writers * ops) as u64,
+        "registry wal_appends disagrees with the ops issued"
+    );
+    let obs_fsyncs = snap.counter("wal_fsyncs{sheet=\"hot\"}").unwrap_or(0);
+    assert!(
+        obs_fsyncs >= fsyncs,
+        "registry saw {obs_fsyncs} fsyncs, fsync-point tallied {fsyncs}"
+    );
     drop(ws);
     std::fs::remove_dir_all(&dir).ok();
     ((writers * ops) as f64 / elapsed, fsyncs)

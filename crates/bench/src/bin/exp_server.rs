@@ -134,10 +134,49 @@ fn run_scale(clients: usize, ops: usize) -> Row {
             .collect()
     });
     let secs = t.elapsed().as_secs_f64();
+    let total_ops = clients * ops;
+
+    // Pull the server's own accounting over the wire and hold it against
+    // what this harness just did: every staged edit must be counted and
+    // timed server-side, and the durable path must have fsynced.
+    {
+        let client = Client::connect(addr).expect("metrics connect");
+        let snap = client.session().metrics().expect("metrics");
+        let staged = snap
+            .counter("server_requests{kind=\"stage_edit\"}")
+            .unwrap_or(0);
+        assert!(
+            staged >= total_ops as u64,
+            "server counted {staged} stage_edits, harness sent >= {total_ops}"
+        );
+        assert!(
+            snap.counter("session_ops{op=\"stage_edit\"}").unwrap_or(0) >= total_ops as u64,
+            "session op counter disagrees with the ops issued"
+        );
+        let hist = snap
+            .histogram("session_op_ns{op=\"stage_edit\"}")
+            .expect("stage_edit histogram");
+        assert!(
+            hist.count() >= (total_ops / 128) as u64,
+            "histogram holds {} samples, expected >= 1 in 128 of {total_ops}",
+            hist.count()
+        );
+        let fsyncs: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("wal_fsyncs{"))
+            .map(|&(_, v)| v)
+            .sum();
+        assert!(fsyncs > 0, "a durable run must have fsynced");
+        if let Ok(path) = std::env::var("DS_SERVER_METRICS_OUT") {
+            std::fs::write(&path, snap.render_text()).expect("write metrics exposition");
+            println!("  wrote metrics exposition to {path}");
+        }
+    }
+
     handle.shutdown();
     std::fs::remove_dir_all(&dir).ok();
     latencies.sort_unstable();
-    let total_ops = clients * ops;
     Row {
         clients,
         ops: total_ops,

@@ -54,8 +54,8 @@ use std::time::{Duration, Instant};
 
 use dataspread_grid::{CellAddr, CellValue, Rect};
 use dataspread_proto::{
-    read_frame, write_frame, CheckpointSummary, Edit, EditReceipt, Request, Response, WindowPatch,
-    WireStats, PROTOCOL_VERSION,
+    read_frame, write_frame, CheckpointSummary, Edit, EditReceipt, RegistrySnapshot, Request,
+    Response, WindowPatch, WireStats, PROTOCOL_VERSION,
 };
 use dataspread_workspace::WorkspaceError;
 
@@ -815,6 +815,19 @@ impl RemoteSession {
         })? {
             Response::Stats(s) => Ok(s),
             other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// A point-in-time [`RegistrySnapshot`] of the server's whole metrics
+    /// registry: counters, gauges, latency histograms, the slow-op event
+    /// ring, and per-sheet health. Idempotent, so transparently retried
+    /// across reconnects. Render it with
+    /// [`RegistrySnapshot::render_text`] for a Prometheus-style text
+    /// exposition.
+    pub fn metrics(&self) -> Result<RegistrySnapshot, WorkspaceError> {
+        match self.shared.call_retry(&Request::Metrics)? {
+            Response::Metrics(snap) => Ok(snap),
+            other => Err(unexpected("Metrics", &other)),
         }
     }
 

@@ -740,6 +740,9 @@ pub struct DurableStore {
     /// every further mutation and the only way back is reopening the
     /// directory, which rolls back and replays what actually reached disk.
     failed: Option<String>,
+    /// When `failed` was first set (ms since the Unix epoch), for the
+    /// operator-facing degrade record.
+    failed_at_ms: Option<u64>,
 }
 
 /// Best-effort fsync of a directory so freshly created files (and renames)
@@ -983,6 +986,7 @@ impl DurableStore {
                 recovered_horizon: ticket_base,
                 poisoned: None,
                 failed: None,
+                failed_at_ms: None,
             },
             RecoveredState {
                 posmap,
@@ -1010,7 +1014,7 @@ impl DurableStore {
     /// capture the oversized op via [`DurableStore::checkpoint`] instead.
     pub fn log(&mut self, op: &LoggedOp) -> Result<(), EngineError> {
         if let Some(cause) = self.storage_failed() {
-            self.failed = Some(cause.clone());
+            self.note_failed(&cause);
             return Err(EngineError::Store(StoreError::StorageFailed(cause)));
         }
         if let Some(cause) = &self.poisoned {
@@ -1030,7 +1034,7 @@ impl DurableStore {
         match self.wal.append(&bytes) {
             Ok(ticket) => self.last_ticket = ticket,
             Err(StoreError::StorageFailed(cause)) => {
-                self.failed = Some(cause.clone());
+                self.note_failed(&cause);
                 return Err(EngineError::Store(StoreError::StorageFailed(cause)));
             }
             Err(e) => {
@@ -1064,7 +1068,7 @@ impl DurableStore {
         match self.wal.sync() {
             Ok(_) => Ok(()),
             Err(StoreError::StorageFailed(cause)) => {
-                self.failed = Some(cause.clone());
+                self.note_failed(&cause);
                 Err(EngineError::Store(StoreError::StorageFailed(cause)))
             }
             Err(e) => Err(e.into()),
@@ -1115,6 +1119,30 @@ impl DurableStore {
         self.failed.clone().or_else(|| self.wal.poisoned())
     }
 
+    /// [`DurableStore::storage_failed`] plus when the failure was first
+    /// recorded (ms since the Unix epoch) — the operator-facing degrade
+    /// record surfaced through stats and metrics snapshots.
+    pub fn storage_failed_info(&self) -> Option<(String, u64)> {
+        match (&self.failed, self.failed_at_ms) {
+            (Some(cause), at) => Some((cause.clone(), at.unwrap_or(0))),
+            (None, _) => self.wal.poisoned_info(),
+        }
+    }
+
+    /// Record a permanent failure, stamping the first occurrence.
+    fn note_failed(&mut self, cause: &str) {
+        if self.failed.is_none() {
+            self.failed_at_ms = Some(
+                self.wal
+                    .poisoned_info()
+                    .map(|(_, at)| at)
+                    .filter(|&at| at > 0)
+                    .unwrap_or_else(dataspread_obs::now_ms),
+            );
+        }
+        self.failed = Some(cause.to_string());
+    }
+
     /// Record a mid-checkpoint failure and normalize the error to
     /// [`StoreError::StorageFailed`]: once the apply phase has begun, any
     /// error leaves the image possibly torn with (part of) the undo
@@ -1124,7 +1152,7 @@ impl DurableStore {
             EngineError::Store(StoreError::StorageFailed(m)) => m,
             other => other.to_string(),
         };
-        self.failed = Some(cause.clone());
+        self.note_failed(&cause);
         EngineError::Store(StoreError::StorageFailed(cause))
     }
 
@@ -1148,7 +1176,7 @@ impl DurableStore {
         // WAL can no longer prove durability (or the image is already
         // torn), so the only recovery is a reopen.
         if let Some(cause) = self.storage_failed() {
-            self.failed = Some(cause.clone());
+            self.note_failed(&cause);
             return Err(EngineError::Store(StoreError::StorageFailed(cause)));
         }
         // A failed append may have left garbage bytes past the valid

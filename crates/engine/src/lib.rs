@@ -32,6 +32,7 @@ pub mod com;
 pub mod durable;
 pub mod error;
 pub mod hybrid;
+pub mod obs;
 pub mod rcv;
 pub mod rom;
 pub mod sheet;
@@ -42,6 +43,7 @@ pub use columnar::{ColumnAgg, ColumnarTranslator, ScanValue};
 pub use durable::{CheckpointReport, LoggedOp, PersistenceStats};
 pub use error::EngineError;
 pub use hybrid::{HybridSheet, RegionImage, CATCHALL_REGION_ID};
+pub use obs::EngineObs;
 pub use sheet::{OptimizeAlgorithm, OptimizeReport, SheetEngine};
 pub use translator::Translator;
 

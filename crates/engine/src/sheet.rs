@@ -6,6 +6,7 @@
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
@@ -88,6 +89,8 @@ pub struct SheetEngine {
     /// eval cache, reseed every surviving formula) — the differential
     /// baseline for band-intersection seeding.
     shift_recompute_all: bool,
+    /// Metric handles, when the owner attached a registry.
+    obs: Option<crate::obs::EngineObs>,
 }
 
 impl Default for SheetEngine {
@@ -192,7 +195,28 @@ impl SheetEngine {
             cells_recomputed: 0,
             scalar_recompute: false,
             shift_recompute_all: false,
+            obs: None,
         }
+    }
+
+    /// Attach metric handles (checkpoint, recompute-wave, eval-split
+    /// counters); every later operation records through them. Idempotent
+    /// (last attach wins).
+    pub fn set_obs(&mut self, obs: crate::obs::EngineObs) {
+        self.obs = Some(obs);
+    }
+
+    /// LRU cell-cache `(hits, misses)` since the engine was created — the
+    /// formula cache's counters, surfaced for stats and metric sampling.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.lock().stats()
+    }
+
+    /// The permanent storage-failure record with its first-observed
+    /// timestamp (ms since the Unix epoch); `None` for healthy or
+    /// in-memory engines.
+    pub fn storage_failed_info(&self) -> Option<(String, u64)> {
+        self.durable.as_ref().and_then(|s| s.storage_failed_info())
     }
 
     /// Cap the worker threads used for wave-parallel recomputation
@@ -371,7 +395,26 @@ impl SheetEngine {
         let kind = self.sheet.posmap_kind();
         let images = self.sheet.region_images();
         let store = self.durable.as_mut().expect("checked above");
-        let report = store.checkpoint(kind, &images)?;
+        let timed = self
+            .obs
+            .as_ref()
+            .filter(|o| o.enabled())
+            .map(|_| Instant::now());
+        let report = match store.checkpoint(kind, &images) {
+            Ok(report) => report,
+            Err(e) => {
+                // The undo journal rolls the torn image back at the next
+                // open; record the rollback for operators.
+                if let Some(obs) = &self.obs {
+                    obs.note_checkpoint_rollback(&e.to_string());
+                }
+                return Err(e);
+            }
+        };
+        if let (Some(obs), Some(t0)) = (&self.obs, timed) {
+            obs.checkpoint_ns.record_ns(t0.elapsed().as_nanos() as u64);
+            obs.checkpoint_pages.add(report.pages_written);
+        }
         self.sheet.clear_dirty();
         Ok(Some(report))
     }
@@ -939,8 +982,20 @@ impl SheetEngine {
     }
 
     fn run_wave_plan(&mut self, plan: WavePlan) -> Result<(), EngineError> {
+        let timed = self
+            .obs
+            .as_ref()
+            .filter(|o| o.enabled() && !plan.waves.is_empty())
+            .map(|_| Instant::now());
         for wave in &plan.waves {
+            if let Some(obs) = self.obs.as_ref().filter(|o| o.enabled()) {
+                obs.waves.inc();
+                obs.wave_width.record(wave.len() as u64);
+            }
             self.eval_wave(wave)?;
+        }
+        if let (Some(obs), Some(t0)) = (&self.obs, timed) {
+            obs.recompute_ns.record_ns(t0.elapsed().as_nanos() as u64);
         }
         for addr in plan.cyclic {
             self.write_computed(addr, CellValue::Error(CellError::Circular))?;
@@ -951,6 +1006,9 @@ impl SheetEngine {
     /// The retained sequential tree walk over the Kahn order.
     fn recompute_scalar(&mut self, seeds: &[CellAddr]) -> Result<(), EngineError> {
         let plan = self.deps.recompute_plan(seeds);
+        if let Some(obs) = self.obs.as_ref().filter(|o| o.enabled()) {
+            obs.scalar_evals.add(plan.order.len() as u64);
+        }
         for addr in plan.order {
             let Some(info) = self.parsed.get(&addr) else {
                 continue;
@@ -1000,6 +1058,9 @@ impl SheetEngine {
             if let Some(info) = self.parsed.get(&addr) {
                 let reader = SheetOnlyReader { sheet: &self.sheet };
                 let value = self.evaluator.eval(&info.expr, &reader);
+                if let Some(obs) = self.obs.as_ref().filter(|o| o.enabled()) {
+                    obs.scalar_evals.inc();
+                }
                 self.write_computed(addr, value)?;
             }
             return Ok(());
@@ -1032,6 +1093,10 @@ impl SheetEngine {
         // 2. Everything else: per-cell tree walks, fanned out across the
         //    worker budget when the wave is wide enough to pay for spawns.
         let rest: Vec<usize> = (0..wave.len()).filter(|&i| !batched[i]).collect();
+        if let Some(obs) = self.obs.as_ref().filter(|o| o.enabled()) {
+            obs.batch_evals.add((wave.len() - rest.len()) as u64);
+            obs.scalar_evals.add(rest.len() as u64);
+        }
         let threads = self.recompute_threads.min(rest.len());
         if threads > 1 && rest.len() >= PAR_MIN {
             let sheet = &self.sheet;

@@ -10,11 +10,16 @@
 //! format in the workspace already uses, so a hostile or truncated byte
 //! stream surfaces as a clean error, never a panic.
 //!
-//! Three layers:
+//! Four layers:
 //!
 //! * [`types`] — the session vocabulary: [`Edit`], [`EditReceipt`],
 //!   [`WireError`] (stable numeric error codes in [`codes`]),
-//!   [`CheckpointSummary`], [`WireStats`].
+//!   [`CheckpointSummary`], and the unified per-sheet stats payload
+//!   [`SheetStats`] (field-tagged encoding: unknown fields from a newer
+//!   peer are skipped, so the stats frame can grow without a protocol
+//!   bump).
+//! * [`metrics`] — the canonical validated codec for whole-workspace
+//!   [`RegistrySnapshot`] frames served by [`Request::Metrics`].
 //! * [`patch`] — [`WindowPatch`], the compact positional-window response:
 //!   typed value runs plus sparse formula/error overlays instead of one
 //!   boxed [`dataspread_grid::Cell`] clone per filled cell. Used both
@@ -24,10 +29,18 @@
 //!   for multiplexing many logical sessions over one connection, and
 //!   length-prefixed framing ([`write_frame`] / [`read_frame`]).
 
+pub mod metrics;
 pub mod patch;
 pub mod types;
 pub mod wire;
 
+pub use metrics::{decode_metrics, encode_metrics, MAX_METRIC_ENTRIES};
 pub use patch::{PatchBuilder, WindowPatch};
-pub use types::{codes, CheckpointSummary, Edit, EditReceipt, WireError, WireStats};
+pub use types::{codes, CheckpointSummary, Edit, EditReceipt, SheetStats, WireError, WireStats};
 pub use wire::{read_frame, write_frame, Request, Response, MAX_FRAME, PROTOCOL_VERSION};
+
+// Re-export the observability vocabulary the protocol speaks, so
+// downstream crates (workspace, server, client) name one source of truth.
+pub use dataspread_obs::{
+    Event, Health, HistogramSnapshot, RegistrySnapshot, SheetHealth, HISTOGRAM_BUCKETS,
+};

@@ -2,7 +2,10 @@
 //! the numeric error space.
 
 use dataspread_grid::{CellError, CellValue, Rect};
-use dataspread_relstore::codec::{corrupt, put_f64, put_str, put_u32, put_u64, put_u8, Reader};
+use dataspread_obs::Health;
+use dataspread_relstore::codec::{
+    corrupt, put_f64, put_str, put_u16, put_u32, put_u64, put_u8, Reader,
+};
 use dataspread_relstore::StoreError;
 
 /// One logical edit, RPC-shaped (plain data, no engine types beyond the
@@ -138,11 +141,204 @@ impl CheckpointSummary {
     }
 }
 
-/// Point-in-time counters for one sheet, as served over the wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct WireStats {
+/// Point-in-time counters and health for one sheet — the single stats
+/// payload used both in-process (`Session::stats`) and over the wire
+/// (`Response::Stats`).
+///
+/// The struct is `#[non_exhaustive]`: new PRs append fields without
+/// breaking downstream matches. The encoding is field-tagged (per field:
+/// a `u16` id plus a length-prefixed payload), so a decoder skips ids it
+/// does not know — an old client reading a new server's stats sees the
+/// fields it understands and silently drops the rest.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct SheetStats {
+    /// Non-empty cells in the sheet.
     pub filled_cells: u64,
+    /// Hybrid storage regions (catch-all included).
     pub regions: u64,
+    /// Whether the sheet is backed by a durable store (WAL + image). The
+    /// persistence counters below are only meaningful when this is set.
+    pub persistent: bool,
+    /// Bytes in the live WAL segment chain.
+    pub wal_bytes: u64,
+    /// WAL segments on disk.
+    pub wal_segments: u64,
+    /// Ops logged since the last checkpoint (replay cost on reopen).
+    pub ops_since_checkpoint: u64,
+    /// Checkpoints taken since open.
+    pub checkpoints: u64,
+    /// Pages in the checkpoint image.
+    pub image_pages: u64,
+    /// Regions serialized in the checkpoint image.
+    pub image_regions: u64,
+    /// Bytes of region payload resident in memory.
+    pub resident_bytes: u64,
+    /// Pager cache hits.
+    pub pager_hits: u64,
+    /// Pager cache misses (page faults against the image file).
+    pub pager_misses: u64,
+    /// Pages evicted from the pager cache.
+    pub pager_evictions: u64,
+    /// Pages read from the image file.
+    pub pager_pages_read: u64,
+    /// Pages written to the image file.
+    pub pager_pages_written: u64,
+    /// Formula cell-cache hits.
+    pub cache_hits: u64,
+    /// Formula cell-cache misses.
+    pub cache_misses: u64,
+    /// Whether the sheet is serving normally or read-only degraded.
+    pub health: Health,
+    /// Cause of the degrade (first storage failure message), if degraded.
+    pub degraded_cause: Option<String>,
+    /// Unix millis when the sheet degraded, if degraded and known.
+    pub degraded_since_ms: Option<u64>,
+}
+
+/// Former name of [`SheetStats`], kept so existing call sites read
+/// naturally; the two are one type.
+pub type WireStats = SheetStats;
+
+/// Field ids for the [`SheetStats`] tagged encoding. Ids are wire
+/// contract: never reuse, only append.
+mod stat_ids {
+    pub const FILLED_CELLS: u16 = 1;
+    pub const REGIONS: u16 = 2;
+    pub const PERSISTENT: u16 = 3;
+    pub const WAL_BYTES: u16 = 4;
+    pub const WAL_SEGMENTS: u16 = 5;
+    pub const OPS_SINCE_CHECKPOINT: u16 = 6;
+    pub const CHECKPOINTS: u16 = 7;
+    pub const IMAGE_PAGES: u16 = 8;
+    pub const IMAGE_REGIONS: u16 = 9;
+    pub const RESIDENT_BYTES: u16 = 10;
+    pub const PAGER_HITS: u16 = 11;
+    pub const PAGER_MISSES: u16 = 12;
+    pub const PAGER_EVICTIONS: u16 = 13;
+    pub const PAGER_PAGES_READ: u16 = 14;
+    pub const PAGER_PAGES_WRITTEN: u16 = 15;
+    pub const HEALTH: u16 = 16;
+    pub const DEGRADED_CAUSE: u16 = 17;
+    pub const DEGRADED_SINCE_MS: u16 = 18;
+    pub const CACHE_HITS: u16 = 19;
+    pub const CACHE_MISSES: u16 = 20;
+}
+
+/// Upper bound on fields in one [`SheetStats`] frame — far above any real
+/// encoding, low enough that a corrupt count cannot drive a huge loop.
+const MAX_STAT_FIELDS: u32 = 1 << 12;
+
+impl SheetStats {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        fn u64_payload(v: u64) -> Vec<u8> {
+            let mut p = Vec::with_capacity(8);
+            put_u64(&mut p, v);
+            p
+        }
+        let mut buf = Vec::new();
+        let mut count: u32 = 0;
+        let mut field = |id: u16, payload: Vec<u8>| {
+            put_u16(&mut buf, id);
+            put_u32(&mut buf, payload.len() as u32);
+            buf.extend_from_slice(&payload);
+            count += 1;
+        };
+        field(stat_ids::FILLED_CELLS, u64_payload(self.filled_cells));
+        field(stat_ids::REGIONS, u64_payload(self.regions));
+        field(stat_ids::PERSISTENT, vec![u8::from(self.persistent)]);
+        field(stat_ids::WAL_BYTES, u64_payload(self.wal_bytes));
+        field(stat_ids::WAL_SEGMENTS, u64_payload(self.wal_segments));
+        field(
+            stat_ids::OPS_SINCE_CHECKPOINT,
+            u64_payload(self.ops_since_checkpoint),
+        );
+        field(stat_ids::CHECKPOINTS, u64_payload(self.checkpoints));
+        field(stat_ids::IMAGE_PAGES, u64_payload(self.image_pages));
+        field(stat_ids::IMAGE_REGIONS, u64_payload(self.image_regions));
+        field(stat_ids::RESIDENT_BYTES, u64_payload(self.resident_bytes));
+        field(stat_ids::PAGER_HITS, u64_payload(self.pager_hits));
+        field(stat_ids::PAGER_MISSES, u64_payload(self.pager_misses));
+        field(stat_ids::PAGER_EVICTIONS, u64_payload(self.pager_evictions));
+        field(
+            stat_ids::PAGER_PAGES_READ,
+            u64_payload(self.pager_pages_read),
+        );
+        field(
+            stat_ids::PAGER_PAGES_WRITTEN,
+            u64_payload(self.pager_pages_written),
+        );
+        field(stat_ids::CACHE_HITS, u64_payload(self.cache_hits));
+        field(stat_ids::CACHE_MISSES, u64_payload(self.cache_misses));
+        field(stat_ids::HEALTH, vec![health_to_u8(self.health)]);
+        if let Some(cause) = &self.degraded_cause {
+            let mut p = Vec::new();
+            put_str(&mut p, cause);
+            field(stat_ids::DEGRADED_CAUSE, p);
+        }
+        if let Some(ms) = self.degraded_since_ms {
+            field(stat_ids::DEGRADED_SINCE_MS, u64_payload(ms));
+        }
+        put_u32(out, count);
+        out.extend_from_slice(&buf);
+    }
+
+    pub fn decode(r: &mut Reader<'_>) -> Result<SheetStats, StoreError> {
+        let count = r.u32()?;
+        if count > MAX_STAT_FIELDS {
+            return Err(corrupt(format!(
+                "sheet-stats field count {count} too large"
+            )));
+        }
+        let mut s = SheetStats::default();
+        for _ in 0..count {
+            let id = r.u16()?;
+            let len = r.u32()? as usize;
+            let payload = r.take(len)?;
+            let mut f = Reader::new(payload);
+            match id {
+                stat_ids::FILLED_CELLS => s.filled_cells = f.u64()?,
+                stat_ids::REGIONS => s.regions = f.u64()?,
+                stat_ids::PERSISTENT => s.persistent = f.u8()? != 0,
+                stat_ids::WAL_BYTES => s.wal_bytes = f.u64()?,
+                stat_ids::WAL_SEGMENTS => s.wal_segments = f.u64()?,
+                stat_ids::OPS_SINCE_CHECKPOINT => s.ops_since_checkpoint = f.u64()?,
+                stat_ids::CHECKPOINTS => s.checkpoints = f.u64()?,
+                stat_ids::IMAGE_PAGES => s.image_pages = f.u64()?,
+                stat_ids::IMAGE_REGIONS => s.image_regions = f.u64()?,
+                stat_ids::RESIDENT_BYTES => s.resident_bytes = f.u64()?,
+                stat_ids::PAGER_HITS => s.pager_hits = f.u64()?,
+                stat_ids::PAGER_MISSES => s.pager_misses = f.u64()?,
+                stat_ids::PAGER_EVICTIONS => s.pager_evictions = f.u64()?,
+                stat_ids::PAGER_PAGES_READ => s.pager_pages_read = f.u64()?,
+                stat_ids::PAGER_PAGES_WRITTEN => s.pager_pages_written = f.u64()?,
+                stat_ids::CACHE_HITS => s.cache_hits = f.u64()?,
+                stat_ids::CACHE_MISSES => s.cache_misses = f.u64()?,
+                stat_ids::HEALTH => s.health = health_from_u8(f.u8()?)?,
+                stat_ids::DEGRADED_CAUSE => s.degraded_cause = Some(f.str()?),
+                stat_ids::DEGRADED_SINCE_MS => s.degraded_since_ms = Some(f.u64()?),
+                // Unknown field from a newer peer: tolerated and dropped.
+                _ => continue,
+            }
+            f.expect_done("sheet-stats field")?;
+        }
+        Ok(s)
+    }
+}
+
+pub(crate) fn health_to_u8(h: Health) -> u8 {
+    match h {
+        Health::Healthy => 0,
+        Health::Degraded => 1,
+    }
+}
+
+pub(crate) fn health_from_u8(b: u8) -> Result<Health, StoreError> {
+    Ok(match b {
+        0 => Health::Healthy,
+        1 => Health::Degraded,
+        t => return Err(corrupt(format!("unknown health tag {t}"))),
+    })
 }
 
 /// Stable numeric codes for every error the session API can surface.

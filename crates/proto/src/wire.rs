@@ -15,9 +15,11 @@
 use std::io::{Read, Write};
 
 use dataspread_grid::{CellAddr, CellValue, Rect};
+use dataspread_obs::RegistrySnapshot;
 use dataspread_relstore::codec::{corrupt, put_str, put_u16, put_u32, put_u64, put_u8, Reader};
 use dataspread_relstore::StoreError;
 
+use crate::metrics::{decode_metrics, encode_metrics};
 use crate::patch::WindowPatch;
 use crate::types::{
     put_rect, put_value, read_rect, read_value, CheckpointSummary, Edit, EditReceipt, WireError,
@@ -25,8 +27,10 @@ use crate::types::{
 };
 
 /// Bumped on any incompatible change; the hello handshake rejects
-/// mismatches before any other request is processed.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// mismatches before any other request is processed. Version 2 replaced
+/// the fixed-shape stats payload with the field-tagged [`WireStats`]
+/// encoding and added `Metrics`.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard cap on one frame's payload, matching the WAL's record bound — an
 /// import that fits in one WAL record fits in one frame.
@@ -123,6 +127,10 @@ pub enum Request {
     DurableTicket {
         sheet: String,
     },
+    /// Whole-workspace metrics snapshot: every counter/gauge/histogram,
+    /// the slow-op event ring, and per-sheet health (answered with
+    /// [`Response::Metrics`]).
+    Metrics,
 }
 
 impl Request {
@@ -197,6 +205,7 @@ impl Request {
                 put_u8(&mut out, 11);
                 put_str(&mut out, sheet);
             }
+            Request::Metrics => put_u8(&mut out, 12),
         }
         out
     }
@@ -253,6 +262,7 @@ impl Request {
             9 => Request::Stats { sheet: r.str()? },
             10 => Request::Ping,
             11 => Request::DurableTicket { sheet: r.str()? },
+            12 => Request::Metrics,
             t => return Err(corrupt(format!("unknown request tag {t}"))),
         };
         r.expect_done("request")?;
@@ -288,6 +298,10 @@ pub enum Response {
         incarnation: u64,
         horizon: u64,
     },
+    /// Whole-workspace metrics snapshot ([`Request::Metrics`] answer),
+    /// carried in the canonical validated encoding of
+    /// [`crate::metrics`].
+    Metrics(RegistrySnapshot),
 }
 
 impl Response {
@@ -330,8 +344,7 @@ impl Response {
             }
             Response::Stats(stats) => {
                 put_u8(&mut out, 7);
-                put_u64(&mut out, stats.filled_cells);
-                put_u64(&mut out, stats.regions);
+                stats.encode(&mut out);
             }
             Response::Pong => put_u8(&mut out, 8),
             Response::Err(e) => {
@@ -346,6 +359,10 @@ impl Response {
                 put_u8(&mut out, 10);
                 put_u64(&mut out, *incarnation);
                 put_u64(&mut out, *horizon);
+            }
+            Response::Metrics(snap) => {
+                put_u8(&mut out, 11);
+                encode_metrics(snap, &mut out);
             }
         }
         out
@@ -370,10 +387,7 @@ impl Response {
                 1 => Response::Checkpoint(Some(CheckpointSummary::decode(&mut r)?)),
                 t => return Err(corrupt(format!("unknown checkpoint presence tag {t}"))),
             },
-            7 => Response::Stats(WireStats {
-                filled_cells: r.u64()?,
-                regions: r.u64()?,
-            }),
+            7 => Response::Stats(WireStats::decode(&mut r)?),
             8 => Response::Pong,
             9 => Response::Err(WireError {
                 code: r.u16()?,
@@ -383,6 +397,7 @@ impl Response {
                 incarnation: r.u64()?,
                 horizon: r.u64()?,
             },
+            11 => Response::Metrics(decode_metrics(&mut r)?),
             t => return Err(corrupt(format!("unknown response tag {t}"))),
         };
         r.expect_done("response")?;
@@ -452,6 +467,7 @@ mod tests {
         roundtrip_req(&Request::Stats { sheet: "s".into() });
         roundtrip_req(&Request::Ping);
         roundtrip_req(&Request::DurableTicket { sheet: "s".into() });
+        roundtrip_req(&Request::Metrics);
     }
 
     #[test]
@@ -480,16 +496,63 @@ mod tests {
             regions_dirty: 1,
             regions_written: 1,
         })));
-        roundtrip_resp(&Response::Stats(WireStats {
+        let stats = WireStats {
             filled_cells: 100,
             regions: 2,
-        }));
+            persistent: true,
+            wal_bytes: 4096,
+            cache_hits: 10,
+            health: dataspread_obs::Health::Degraded,
+            degraded_cause: Some("fsync failed".into()),
+            degraded_since_ms: Some(1_700_000_000_000),
+            ..Default::default()
+        };
+        roundtrip_resp(&Response::Stats(stats));
         roundtrip_resp(&Response::Pong);
         roundtrip_resp(&Response::Err(WireError::new(3, "drain first")));
         roundtrip_resp(&Response::Ticket {
             incarnation: 3,
             horizon: 88,
         });
+        let registry = dataspread_obs::MetricsRegistry::new();
+        registry.counter("wal_fsyncs", &[("sheet", "s")]).add(5);
+        registry
+            .histogram("apply_edit_ns", &[("sheet", "s")])
+            .record_ns(1_500_000);
+        registry.note_op("s", "apply_edit", u64::MAX, 1, "ok");
+        let mut snap = registry.snapshot();
+        snap.sheets.push(dataspread_obs::SheetHealth {
+            sheet: "s".into(),
+            health: dataspread_obs::Health::Healthy,
+            cause: None,
+            since_ms: None,
+        });
+        roundtrip_resp(&Response::Metrics(snap));
+    }
+
+    #[test]
+    fn stats_decoder_skips_unknown_fields() {
+        // A future server appends a field this decoder has no id for; the
+        // known fields still land and the rest is dropped.
+        let stats = WireStats {
+            filled_cells: 7,
+            ..Default::default()
+        };
+        let mut body = Vec::new();
+        stats.encode(&mut body);
+        // Splice one unknown field (id 999, 4-byte payload) in front and
+        // bump the count.
+        let count = u32::from_le_bytes(body[..4].try_into().unwrap());
+        let mut spliced = Vec::new();
+        put_u32(&mut spliced, count + 1);
+        put_u16(&mut spliced, 999);
+        put_u32(&mut spliced, 4);
+        spliced.extend_from_slice(&[1, 2, 3, 4]);
+        spliced.extend_from_slice(&body[4..]);
+        let mut r = Reader::new(&spliced);
+        let decoded = WireStats::decode(&mut r).unwrap();
+        r.expect_done("stats").unwrap();
+        assert_eq!(decoded, stats);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Property tests for the metrics snapshot codec: arbitrary (canonical)
+//! registry snapshots must round-trip exactly, every strict prefix must
+//! be rejected, and a single bit flip must either fail decode or yield a
+//! snapshot that re-encodes to exactly the mutated bytes (i.e. the
+//! encoding stays canonical — corruption can never produce two byte
+//! strings for one value).
+
+use proptest::prelude::*;
+
+use dataspread_obs::{Event, Health, Histogram, HistogramSnapshot, RegistrySnapshot, SheetHealth};
+use dataspread_proto::{decode_metrics, encode_metrics};
+use dataspread_relstore::codec::Reader;
+
+fn histogram() -> impl Strategy<Value = HistogramSnapshot> {
+    prop::collection::vec(any::<u64>(), 0..12).prop_map(|samples| {
+        let h = Histogram::new();
+        for s in samples {
+            // Shift down so sums stay far from wrap (record() wraps its
+            // running sum; canonical snapshots from real workloads do
+            // not, and the codec only sees snapshots).
+            h.record(s >> 8);
+        }
+        h.snapshot()
+    })
+}
+
+fn metric_key() -> impl Strategy<Value = String> {
+    (
+        "[a-z_]{1,12}",
+        prop_oneof![Just(None).boxed(), "[a-z0-9]{1,6}".prop_map(Some).boxed(),],
+    )
+        .prop_map(|(name, sheet)| match sheet {
+            Some(s) => format!("{name}{{sheet=\"{s}\"}}"),
+            None => name,
+        })
+}
+
+fn event() -> impl Strategy<Value = Event> {
+    (
+        any::<u64>(),
+        "[a-z_]{1,10}",
+        "[a-z0-9]{0,8}",
+        "[a-z_]{0,10}",
+        any::<u64>(),
+        any::<u64>(),
+        "[ -~]{0,20}",
+    )
+        .prop_map(
+            |(ts_ms, kind, sheet, op, duration_ns, ticket, outcome)| Event {
+                ts_ms,
+                kind,
+                sheet,
+                op,
+                duration_ns,
+                ticket,
+                outcome,
+            },
+        )
+}
+
+fn sheet_health() -> impl Strategy<Value = SheetHealth> {
+    (
+        "[a-z0-9_]{1,10}",
+        prop_oneof![
+            Just((Health::Healthy, None, None)).boxed(),
+            ("[ -~]{1,30}", any::<u64>())
+                .prop_map(|(cause, ms)| (Health::Degraded, Some(cause), Some(ms)))
+                .boxed(),
+            "[ -~]{1,30}"
+                .prop_map(|cause| (Health::Degraded, Some(cause), None))
+                .boxed(),
+        ],
+    )
+        .prop_map(|(sheet, (health, cause, since_ms))| SheetHealth {
+            sheet,
+            health,
+            cause,
+            since_ms,
+        })
+}
+
+/// Sorted, deduplicated key/value sections — what `BTreeMap` iteration
+/// (the only real producer) emits.
+fn sorted<T: std::fmt::Debug + Clone>(pairs: Vec<(String, T)>) -> Vec<(String, T)> {
+    let mut map = std::collections::BTreeMap::new();
+    for (k, v) in pairs {
+        map.insert(k, v);
+    }
+    map.into_iter().collect()
+}
+
+fn snapshot() -> impl Strategy<Value = RegistrySnapshot> {
+    (
+        prop::collection::vec((metric_key(), any::<u64>()), 0..8),
+        prop::collection::vec((metric_key(), any::<i64>()), 0..8),
+        prop::collection::vec((metric_key(), histogram()), 0..6),
+        prop::collection::vec(event(), 0..6),
+        any::<u64>(),
+        prop::collection::vec(sheet_health(), 0..4),
+    )
+        .prop_map(
+            |(counters, gauges, histograms, events, events_dropped, sheets)| {
+                let mut by_name = std::collections::BTreeMap::new();
+                for s in sheets {
+                    by_name.insert(s.sheet.clone(), s);
+                }
+                RegistrySnapshot {
+                    counters: sorted(counters),
+                    gauges: sorted(gauges),
+                    histograms: sorted(histograms),
+                    events,
+                    events_dropped,
+                    sheets: by_name.into_values().collect(),
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_exact(snap in snapshot()) {
+        let mut buf = Vec::new();
+        encode_metrics(&snap, &mut buf);
+        let mut r = Reader::new(&buf);
+        let back = decode_metrics(&mut r).unwrap();
+        r.expect_done("metrics").unwrap();
+        prop_assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn truncation_always_rejected(snap in snapshot(), cut in 0usize..4096) {
+        let mut buf = Vec::new();
+        encode_metrics(&snap, &mut buf);
+        let cut = cut % buf.len().max(1);
+        if cut < buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            let res = decode_metrics(&mut r).and_then(|s| {
+                r.expect_done("metrics")?;
+                Ok(s)
+            });
+            prop_assert!(res.is_err(), "strict prefix of {} bytes decoded", cut);
+        }
+    }
+
+    #[test]
+    fn bit_flip_fails_or_stays_canonical(
+        snap in snapshot(),
+        flip in 0usize..4096,
+    ) {
+        let mut buf = Vec::new();
+        encode_metrics(&snap, &mut buf);
+        let mut mutated = buf.clone();
+        let i = flip % mutated.len();
+        mutated[i] ^= 1 << (flip % 8);
+        let mut r = Reader::new(&mutated);
+        if let Ok(back) = decode_metrics(&mut r) {
+            if r.expect_done("metrics").is_ok() {
+                // Decoded without error: the flip must have produced a
+                // different-but-valid snapshot whose canonical encoding
+                // is exactly the mutated bytes — never a second byte
+                // representation of some value.
+                let mut re = Vec::new();
+                encode_metrics(&back, &mut re);
+                prop_assert_eq!(re, mutated);
+            }
+        }
+    }
+}

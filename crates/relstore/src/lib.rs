@@ -52,4 +52,4 @@ pub use vfs::{
     real_fs, FaultFs, FaultKind, FaultOp, FaultPlan, FaultRule, OpenMode, RealFs, StorageFs,
     VfsFile,
 };
-pub use wal::{crc32, SharedWal, Wal};
+pub use wal::{crc32, SharedWal, Wal, WalObs};

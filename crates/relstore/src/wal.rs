@@ -38,6 +38,9 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
+
+use dataspread_obs::{now_ms, Counter, Event, Histogram, MetricsRegistry};
 
 use crate::error::StoreError;
 use crate::vfs::{real_fs, OpenMode, StorageFs, VfsFile};
@@ -484,6 +487,73 @@ impl Wal {
     }
 }
 
+// -------------------------------------------------------- observability --
+
+/// Cached metric handles for one shared log, created once from a
+/// [`MetricsRegistry`] and attached via [`SharedWal::set_obs`]. Recording
+/// is a few relaxed atomics on the append path and one clock pair around
+/// each fsync; when the registry is disabled the clock reads are skipped
+/// too.
+#[derive(Clone)]
+pub struct WalObs {
+    registry: Arc<MetricsRegistry>,
+    sheet: String,
+    /// `wal_fsyncs{sheet}` — fsyncs issued (group or serial).
+    pub fsyncs: Arc<Counter>,
+    /// `wal_fsync_ns{sheet}` — fsync latency histogram.
+    pub fsync_ns: Arc<Histogram>,
+    /// `wal_commit_batch_ops{sheet}` — records covered per fsync.
+    pub batch_ops: Arc<Histogram>,
+    /// `wal_appends{sheet}` — records appended.
+    pub appends: Arc<Counter>,
+    /// `wal_append_bytes{sheet}` — payload bytes appended.
+    pub append_bytes: Arc<Counter>,
+    /// `wal_rotations{sheet}` — segment rotations.
+    pub rotations: Arc<Counter>,
+}
+
+impl WalObs {
+    /// Create (or re-acquire) the WAL metric handles for `sheet`.
+    pub fn new(registry: &Arc<MetricsRegistry>, sheet: &str) -> WalObs {
+        let labels: &[(&str, &str)] = &[("sheet", sheet)];
+        WalObs {
+            registry: Arc::clone(registry),
+            sheet: sheet.to_string(),
+            fsyncs: registry.counter("wal_fsyncs", labels),
+            fsync_ns: registry.histogram("wal_fsync_ns", labels),
+            batch_ops: registry.histogram("wal_commit_batch_ops", labels),
+            appends: registry.counter("wal_appends", labels),
+            append_bytes: registry.counter("wal_append_bytes", labels),
+            rotations: registry.counter("wal_rotations", labels),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.registry.enabled()
+    }
+
+    fn note_rotation(&self, segments: u64) {
+        self.rotations.inc();
+        self.registry.push_event(Event {
+            ts_ms: now_ms(),
+            kind: "wal_rotate".to_string(),
+            sheet: self.sheet.clone(),
+            op: format!("segment {segments}"),
+            duration_ns: 0,
+            ticket: 0,
+            outcome: "ok".to_string(),
+        });
+    }
+}
+
+impl std::fmt::Debug for WalObs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalObs")
+            .field("sheet", &self.sheet)
+            .finish()
+    }
+}
+
 // ---------------------------------------------------------- group commit --
 
 /// A [`Wal`] shared between threads, with group commit.
@@ -530,8 +600,22 @@ struct SharedState {
     /// process restart re-opening the log and replaying what actually
     /// reached the disk.
     sync_failed: Option<String>,
+    /// When the poisoning failure was first recorded (ms since epoch),
+    /// surfaced to operators alongside the cause.
+    failed_at_ms: Option<u64>,
     /// Fsyncs issued through the group fsync-point.
     fsyncs: u64,
+    /// Metric handles, when the owner attached a registry.
+    obs: Option<WalObs>,
+}
+
+impl SharedState {
+    fn poison(&mut self, cause: String) {
+        self.sync_failed = Some(cause);
+        if self.failed_at_ms.is_none() {
+            self.failed_at_ms = Some(now_ms());
+        }
+    }
 }
 
 impl std::fmt::Debug for SharedWal {
@@ -554,7 +638,9 @@ impl SharedWal {
                 appended_seq: 0,
                 durable_seq: 0,
                 sync_failed: None,
+                failed_at_ms: None,
                 fsyncs: 0,
+                obs: None,
             }),
             flush: std::sync::Mutex::new(()),
             durable: std::sync::Condvar::new(),
@@ -585,6 +671,21 @@ impl SharedWal {
         self.lock().sync_failed.clone()
     }
 
+    /// The permanent-failure cause plus when it was first recorded (ms
+    /// since the Unix epoch) — the operator-facing degrade record.
+    pub fn poisoned_info(&self) -> Option<(String, u64)> {
+        let st = self.lock();
+        st.sync_failed
+            .clone()
+            .map(|cause| (cause, st.failed_at_ms.unwrap_or(0)))
+    }
+
+    /// Attach metric handles; every later append/fsync/rotation records
+    /// through them. Idempotent (last attach wins).
+    pub fn set_obs(&self, obs: WalObs) {
+        self.lock().obs = Some(obs);
+    }
+
     /// Run `f` against the underlying log under the append lock. Exposed
     /// for owners that need the full [`Wal`] surface (recovery, stats,
     /// and deliberately-serial per-op fsyncs). `f` must not wait on other
@@ -606,8 +707,19 @@ impl SharedWal {
         if let Some(cause) = &st.sync_failed {
             return Err(StoreError::StorageFailed(cause.clone()));
         }
+        let segments_before = st.wal.segment_count();
         st.wal.append(payload)?;
         st.appended_seq += 1;
+        if let Some(obs) = &st.obs {
+            if obs.enabled() {
+                obs.appends.inc();
+                obs.append_bytes.add(payload.len() as u64);
+                let segments = st.wal.segment_count();
+                if segments > segments_before {
+                    obs.note_rotation(segments);
+                }
+            }
+        }
         Ok(st.appended_seq)
     }
 
@@ -662,18 +774,29 @@ impl SharedWal {
         if let Some(cause) = &st.sync_failed {
             return Err(StoreError::StorageFailed(cause.clone()));
         }
+        let timed = st
+            .obs
+            .as_ref()
+            .filter(|o| o.enabled())
+            .map(|_| Instant::now());
+        let batch = st.appended_seq - st.durable_seq;
         match st.wal.sync() {
             Ok(()) => {
                 st.durable_seq = st.appended_seq;
-                // Deliberately not counted in `fsyncs`: that counter
-                // meters the group fsync-point, and callers of the serial
-                // path keep their own inline-sync counter.
+                if let (Some(obs), Some(t0)) = (&st.obs, timed) {
+                    // The metric counts every fsync; the separate
+                    // `fsyncs` field below still meters only the group
+                    // fsync-point, matching its historical meaning.
+                    obs.fsyncs.inc();
+                    obs.fsync_ns.record_ns(t0.elapsed().as_nanos() as u64);
+                    obs.batch_ops.record(batch);
+                }
                 self.durable.notify_all();
                 Ok(())
             }
             Err(e) => {
                 let cause = e.to_string();
-                st.sync_failed = Some(cause.clone());
+                st.poison(cause.clone());
                 self.durable.notify_all();
                 Err(StoreError::StorageFailed(cause))
             }
@@ -682,7 +805,7 @@ impl SharedWal {
 
     /// The flush body, entered holding the flusher lock.
     fn sync_locked(&self, _flusher: std::sync::MutexGuard<'_, ()>) -> Result<u64, StoreError> {
-        let (mut handle, target) = {
+        let (mut handle, target, batch) = {
             let st = self.lock();
             if let Some(cause) = &st.sync_failed {
                 // Never retry past a failed fsync: the data the failure
@@ -693,23 +816,34 @@ impl SharedWal {
             if st.durable_seq >= st.appended_seq {
                 return Ok(st.durable_seq); // nothing to flush
             }
-            (st.wal.sync_handle()?, st.appended_seq)
+            (
+                st.wal.sync_handle()?,
+                st.appended_seq,
+                st.appended_seq - st.durable_seq,
+            )
         };
         // fsync outside the append lock: writers build the next batch
         // while this one hits the disk.
+        let t0 = Instant::now();
         let result = handle.sync_data();
+        let fsync_ns = t0.elapsed().as_nanos() as u64;
         let mut st = self.lock();
         match result {
             Ok(()) => {
                 st.durable_seq = st.durable_seq.max(target);
                 st.fsyncs += 1;
+                if let Some(obs) = st.obs.as_ref().filter(|o| o.enabled()) {
+                    obs.fsyncs.inc();
+                    obs.fsync_ns.record_ns(fsync_ns);
+                    obs.batch_ops.record(batch);
+                }
                 self.durable.notify_all();
                 Ok(st.durable_seq)
             }
             Err(e) => {
                 // Permanent: poison the log and fail every waiting ticket.
                 let cause = e.to_string();
-                st.sync_failed = Some(cause.clone());
+                st.poison(cause.clone());
                 self.durable.notify_all();
                 Err(StoreError::StorageFailed(cause))
             }
@@ -795,7 +929,7 @@ impl SharedWal {
             return Err(StoreError::StorageFailed(cause.clone()));
         }
         if let Err(e) = st.wal.truncate() {
-            st.sync_failed = Some(e.to_string());
+            st.poison(e.to_string());
             self.durable.notify_all();
             return Err(StoreError::StorageFailed(e.to_string()));
         }

@@ -32,8 +32,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 
+use dataspread_obs::{now_ms, Counter, Event, Gauge, MetricsRegistry};
 use dataspread_proto::{
-    codes, read_frame, write_frame, CheckpointSummary, Request, Response, WireError, WireStats,
+    codes, read_frame, write_frame, CheckpointSummary, Request, Response, WireError,
     PROTOCOL_VERSION,
 };
 use dataspread_workspace::{Session, Workspace, WorkspaceError};
@@ -59,6 +60,92 @@ impl Default for ServerConfig {
             max_staged_per_conn: 64,
             queue_depth: 128,
         }
+    }
+}
+
+/// Server-side instrumentation, shared across every connection. All
+/// handles point into the workspace's own [`MetricsRegistry`], so the
+/// server's counters ride the same snapshot [`Request::Metrics`] serves
+/// and the same text exposition [`metrics_exposition`] renders.
+struct ServerObs {
+    registry: Arc<MetricsRegistry>,
+    /// Frame bytes received (length prefix included).
+    bytes_in: Arc<Counter>,
+    /// Frame bytes written (length prefix included).
+    bytes_out: Arc<Counter>,
+    /// Established connections currently being served.
+    in_flight: Arc<Gauge>,
+}
+
+impl ServerObs {
+    fn new(registry: Arc<MetricsRegistry>) -> Arc<ServerObs> {
+        Arc::new(ServerObs {
+            bytes_in: registry.counter("server_frame_bytes_in", &[]),
+            bytes_out: registry.counter("server_frame_bytes_out", &[]),
+            in_flight: registry.gauge("server_connections_in_flight", &[]),
+            registry,
+        })
+    }
+
+    /// Count one decoded request by kind (`server_requests{kind=...}`).
+    fn note_request(&self, kind: &'static str) {
+        if self.registry.enabled() {
+            self.registry
+                .counter("server_requests", &[("kind", kind)])
+                .inc();
+        }
+    }
+
+    /// Count one error response by wire code (`server_errors{code=...}`).
+    fn note_error(&self, code: u16) {
+        if self.registry.enabled() {
+            self.registry
+                .counter("server_errors", &[("code", &code.to_string())])
+                .inc();
+        }
+    }
+
+    /// Ring-buffer a connection lifecycle event (`conn_open` /
+    /// `conn_close`), with the peer address as the outcome.
+    fn conn_event(&self, kind: &str, peer: &str) {
+        self.registry.push_event(Event {
+            ts_ms: now_ms(),
+            kind: kind.to_string(),
+            op: "conn".to_string(),
+            outcome: peer.to_string(),
+            ..Event::default()
+        });
+    }
+
+    /// Ring-buffer an admission-control rejection.
+    fn busy_reject(&self, sheet: &str) {
+        self.registry.push_event(Event {
+            ts_ms: now_ms(),
+            kind: "busy_reject".to_string(),
+            sheet: sheet.to_string(),
+            op: "stage_edit".to_string(),
+            outcome: "busy".to_string(),
+            ..Event::default()
+        });
+    }
+}
+
+/// The metric label for one request variant.
+fn request_kind(req: &Request) -> &'static str {
+    match req {
+        Request::Hello { .. } => "hello",
+        Request::Ping => "ping",
+        Request::OpenSheet { .. } => "open_sheet",
+        Request::FetchWindow { .. } => "fetch_window",
+        Request::Value { .. } => "value",
+        Request::ApplyEdit { .. } => "apply_edit",
+        Request::StageEdit { .. } => "stage_edit",
+        Request::AwaitCommit { .. } => "await_commit",
+        Request::ImportRows { .. } => "import_rows",
+        Request::Checkpoint { .. } => "checkpoint",
+        Request::Stats { .. } => "stats",
+        Request::DurableTicket { .. } => "durable_ticket",
+        Request::Metrics => "metrics",
     }
 }
 
@@ -114,10 +201,11 @@ pub fn serve_with(
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let conns = Arc::new(Mutex::new(Vec::new()));
+    let obs = ServerObs::new(workspace.metrics_registry());
     let accept = {
         let stop = Arc::clone(&stop);
         let conns = Arc::clone(&conns);
-        std::thread::spawn(move || accept_loop(&listener, &workspace, &config, &stop, &conns))
+        std::thread::spawn(move || accept_loop(&listener, &workspace, &config, &stop, &conns, &obs))
     };
     Ok(ServerHandle {
         addr,
@@ -127,12 +215,41 @@ pub fn serve_with(
     })
 }
 
+/// Render the Prometheus-style text exposition for `workspace`.
+///
+/// When `dir` names the workspace root on disk, every sheet directory
+/// under it is opened first so recovered per-sheet state (WAL sizes,
+/// pager stats, cache hit rates, health) is represented even if no
+/// client has touched the sheet yet. This is the engine behind the
+/// binary's `--metrics-dump` flag and is directly callable from tests
+/// and operational tooling.
+pub fn metrics_exposition(workspace: &Workspace, dir: Option<&std::path::Path>) -> String {
+    let session = workspace.session();
+    if let Some(dir) = dir {
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            let mut names: Vec<String> = entries
+                .filter_map(Result::ok)
+                .filter(|e| e.path().is_dir())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .collect();
+            names.sort();
+            for name in names {
+                // A directory that is not a recoverable sheet is skipped;
+                // the dump reports whatever does open.
+                let _ = session.open_sheet(&name);
+            }
+        }
+    }
+    session.metrics().render_text()
+}
+
 fn accept_loop(
     listener: &TcpListener,
     workspace: &Workspace,
     config: &ServerConfig,
     stop: &Arc<AtomicBool>,
     conns: &Arc<Mutex<Vec<TcpStream>>>,
+    obs: &Arc<ServerObs>,
 ) {
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
@@ -147,7 +264,8 @@ fn accept_loop(
         }
         let session = workspace.session();
         let config = config.clone();
-        std::thread::spawn(move || serve_conn(stream, session, &config));
+        let obs = Arc::clone(obs);
+        std::thread::spawn(move || serve_conn(stream, session, &config, &obs));
     }
 }
 
@@ -188,18 +306,24 @@ fn protocol_err(detail: impl Into<String>) -> Response {
 /// Serialize one response frame and write it under the shared writer
 /// lock. Returns `false` once the peer is unreachable (writers then stop
 /// trying).
-fn send(writer: &Mutex<TcpStream>, req_id: u64, resp: &Response) -> bool {
+fn send(writer: &Mutex<TcpStream>, obs: &ServerObs, req_id: u64, resp: &Response) -> bool {
     let payload = resp.encode(req_id);
     let mut frame = Vec::with_capacity(4 + payload.len());
     write_frame(&mut frame, &payload).expect("vec write is infallible");
+    obs.bytes_out.add(frame.len() as u64);
     let mut w = writer.lock().unwrap_or_else(|e| e.into_inner());
     w.write_all(&frame).and_then(|()| w.flush()).is_ok()
 }
 
-fn serve_conn(stream: TcpStream, session: Session, config: &ServerConfig) {
+fn serve_conn(stream: TcpStream, session: Session, config: &ServerConfig, obs: &Arc<ServerObs>) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    let peer = stream
+        .peer_addr()
+        .map_or_else(|_| "unknown".to_string(), |a| a.to_string());
+    obs.in_flight.add(1);
+    obs.conn_event("conn_open", &peer);
     let writer = Arc::new(Mutex::new(write_half));
     let staged = Arc::new(Mutex::new(StagedWindow::default()));
     let (tx, rx) = mpsc::sync_channel::<(u64, Request)>(config.queue_depth.max(1));
@@ -212,17 +336,21 @@ fn serve_conn(stream: TcpStream, session: Session, config: &ServerConfig) {
         let staged = Arc::clone(&staged);
         let session = session.clone();
         let max_staged = config.max_staged_per_conn;
+        let obs = Arc::clone(obs);
         workers.push(std::thread::spawn(move || loop {
             let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
             let Ok((req_id, req)) = next else { return };
-            let resp = dispatch(&session, &staged, max_staged, req);
-            if !send(&writer, req_id, &resp) {
+            let resp = dispatch(&session, &staged, max_staged, &obs, req);
+            if let Response::Err(e) = &resp {
+                obs.note_error(e.code);
+            }
+            if !send(&writer, &obs, req_id, &resp) {
                 return;
             }
         }));
     }
 
-    read_loop(&stream, &writer, &tx);
+    read_loop(&stream, &writer, &tx, obs);
 
     // Reader done (EOF, protocol error, or I/O failure): close the queue
     // so workers drain what's left and exit, then shut the socket down.
@@ -231,12 +359,19 @@ fn serve_conn(stream: TcpStream, session: Session, config: &ServerConfig) {
         let _ = w.join();
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
+    obs.in_flight.add(-1);
+    obs.conn_event("conn_close", &peer);
 }
 
 /// Frame → request loop. Enforces the hello handshake (first request must
 /// be a version-matching `Hello`) and answers malformed input with a
 /// best-effort [`codes::PROTOCOL`] error before closing.
-fn read_loop(stream: &TcpStream, writer: &Mutex<TcpStream>, tx: &mpsc::SyncSender<(u64, Request)>) {
+fn read_loop(
+    stream: &TcpStream,
+    writer: &Mutex<TcpStream>,
+    tx: &mpsc::SyncSender<(u64, Request)>,
+    obs: &ServerObs,
+) {
     let mut reader = std::io::BufReader::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -249,10 +384,12 @@ fn read_loop(stream: &TcpStream, writer: &Mutex<TcpStream>, tx: &mpsc::SyncSende
             Err(e) => {
                 // Unframeable stream (bad length, truncation): the
                 // connection cannot resync, so report and close.
-                send(writer, 0, &protocol_err(format!("bad frame: {e}")));
+                obs.note_error(codes::PROTOCOL);
+                send(writer, obs, 0, &protocol_err(format!("bad frame: {e}")));
                 return;
             }
         };
+        obs.bytes_in.add(4 + payload.len() as u64);
         let (req_id, req) = match Request::decode(&payload) {
             Ok(pair) => pair,
             Err(e) => {
@@ -262,25 +399,40 @@ fn read_loop(stream: &TcpStream, writer: &Mutex<TcpStream>, tx: &mpsc::SyncSende
                 let req_id = payload
                     .get(..8)
                     .map_or(0, |b| u64::from_le_bytes(b.try_into().expect("8 bytes")));
-                send(writer, req_id, &protocol_err(format!("bad request: {e}")));
+                obs.note_error(codes::PROTOCOL);
+                send(
+                    writer,
+                    obs,
+                    req_id,
+                    &protocol_err(format!("bad request: {e}")),
+                );
                 return;
             }
         };
+        obs.note_request(request_kind(&req));
         if !greeted {
             let Request::Hello { version } = req else {
-                send(writer, req_id, &protocol_err("first request must be Hello"));
+                obs.note_error(codes::PROTOCOL);
+                send(
+                    writer,
+                    obs,
+                    req_id,
+                    &protocol_err("first request must be Hello"),
+                );
                 return;
             };
             if version != PROTOCOL_VERSION {
                 let detail = format!(
                     "protocol version mismatch: client {version}, server {PROTOCOL_VERSION}"
                 );
-                send(writer, req_id, &protocol_err(detail));
+                obs.note_error(codes::PROTOCOL);
+                send(writer, obs, req_id, &protocol_err(detail));
                 return;
             }
             greeted = true;
             if !send(
                 writer,
+                obs,
                 req_id,
                 &Response::Hello {
                     version: PROTOCOL_VERSION,
@@ -302,6 +454,7 @@ fn dispatch(
     session: &Session,
     staged: &Mutex<StagedWindow>,
     max_staged: usize,
+    obs: &ServerObs,
     req: Request,
 ) -> Response {
     let result: Result<Response, WorkspaceError> = match req {
@@ -319,7 +472,11 @@ fn dispatch(
             session.apply_edit(&sheet, edit).map(Response::Receipt)
         }
         Request::StageEdit { sheet, edit } => {
-            stage_with_admission(session, staged, max_staged, &sheet, edit)
+            let resp = stage_with_admission(session, staged, max_staged, &sheet, edit);
+            if matches!(resp, Err(WorkspaceError::Busy(_))) {
+                obs.busy_reject(&sheet);
+            }
+            resp
         }
         Request::AwaitCommit { sheet, ticket } => session.await_commit(&sheet, ticket).map(|()| {
             staged
@@ -344,12 +501,8 @@ fn dispatch(
                 regions_written: r.regions_written,
             }))
         }),
-        Request::Stats { sheet } => session.stats(&sheet).map(|s| {
-            Response::Stats(WireStats {
-                filled_cells: s.filled_cells,
-                regions: s.regions as u64,
-            })
-        }),
+        Request::Stats { sheet } => session.stats(&sheet).map(Response::Stats),
+        Request::Metrics => Ok(Response::Metrics(session.metrics())),
         Request::DurableTicket { sheet } => {
             session
                 .recovery_horizon(&sheet)

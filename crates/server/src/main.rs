@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! dataspread-server --addr 127.0.0.1:7878 --dir /var/lib/dataspread
+//! dataspread-server --dir /var/lib/dataspread --metrics-dump
 //! ```
 //!
 //! `--addr` defaults to `127.0.0.1:7878`; port 0 picks a free port.
@@ -9,22 +10,29 @@
 //! without it the server runs an in-memory workspace. Prints
 //! `listening on <addr>` once the socket is bound — supervisors and the
 //! integration tests wait for that line before connecting.
+//!
+//! `--metrics-dump` opens the workspace, opens every sheet found under
+//! `--dir`, prints the Prometheus-style text exposition of the metrics
+//! registry to stdout, and exits without serving. (A live server exposes
+//! the same snapshot over the wire via `Request::Metrics`.)
 
 use dataspread_workspace::Workspace;
 
 fn usage() -> ! {
-    eprintln!("usage: dataspread-server [--addr HOST:PORT] [--dir PATH]");
+    eprintln!("usage: dataspread-server [--addr HOST:PORT] [--dir PATH] [--metrics-dump]");
     std::process::exit(2);
 }
 
 fn main() {
     let mut addr = "127.0.0.1:7878".to_string();
     let mut dir: Option<String> = None;
+    let mut metrics_dump = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = args.next().unwrap_or_else(|| usage()),
             "--dir" => dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics-dump" => metrics_dump = true,
             _ => usage(),
         }
     }
@@ -38,6 +46,14 @@ fn main() {
         },
         None => Workspace::in_memory(),
     };
+    if metrics_dump {
+        let root = dir.as_ref().map(std::path::Path::new);
+        print!(
+            "{}",
+            dataspread_server::metrics_exposition(&workspace, root)
+        );
+        return;
+    }
     let handle = match dataspread_server::serve(workspace, &addr) {
         Ok(h) => h,
         Err(e) => {

@@ -49,7 +49,13 @@ mod committer;
 mod service;
 
 pub use committer::GroupCommitter;
-pub use dataspread_proto::{Edit, EditReceipt, WindowPatch};
-pub use service::{CommitMode, Session, SheetStats, Workspace, WorkspaceConfig, WorkspaceError};
+pub use dataspread_proto::{Edit, EditReceipt, SheetStats, WindowPatch};
+pub use service::{CommitMode, Session, Workspace, WorkspaceConfig, WorkspaceError};
 
 pub use dataspread_engine::{CheckpointReport, PersistenceStats, SheetEngine};
+
+// The observability vocabulary: the registry every workspace carries and
+// the snapshot types `Session::metrics` / `Request::Metrics` serve.
+pub use dataspread_obs::{
+    Event, Health, HistogramSnapshot, MetricsRegistry, RegistrySnapshot, SheetHealth,
+};

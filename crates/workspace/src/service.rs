@@ -3,13 +3,19 @@
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
-use dataspread_engine::{CheckpointReport, EngineError, PersistenceStats, ScanValue, SheetEngine};
+use dataspread_engine::{CheckpointReport, EngineError, EngineObs, ScanValue, SheetEngine};
 use dataspread_grid::{CellAddr, CellValue, Rect, SparseSheet};
-use dataspread_proto::{codes, Edit, EditReceipt, PatchBuilder, WindowPatch, WireError};
-use dataspread_relstore::{SharedWal, StorageFs, StoreError};
+use dataspread_obs::{
+    now_ms, Counter, Event, Gauge, Health, Histogram, MetricsRegistry, SheetHealth,
+};
+use dataspread_proto::{
+    codes, Edit, EditReceipt, PatchBuilder, RegistrySnapshot, SheetStats, WindowPatch, WireError,
+};
+use dataspread_relstore::{SharedWal, StorageFs, StoreError, WalObs};
 
 use crate::committer::GroupCommitter;
 
@@ -27,7 +33,7 @@ pub enum CommitMode {
 }
 
 /// Workspace construction knobs.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct WorkspaceConfig {
     pub commit_mode: CommitMode,
     /// Auto-checkpoint every N logged ops on each sheet (engine default:
@@ -40,11 +46,33 @@ pub struct WorkspaceConfig {
     /// the real one — the hook fault-injection tests use to script
     /// storage failures (`None` = the real OS filesystem).
     pub storage_fs: Option<Arc<dyn StorageFs>>,
+    /// Record metrics (counters, latency histograms, the slow-op event
+    /// ring) into the workspace's [`MetricsRegistry`]. On by default —
+    /// the hot-path cost is a few relaxed atomics plus two clock reads
+    /// per op; turn off to measure the uninstrumented baseline.
+    pub metrics_enabled: bool,
+    /// Ops slower than this land in the slow-op event ring
+    /// (`None` = the registry default, 20ms).
+    pub slow_op_ns: Option<u64>,
     /// Test hook: sleep this long inside the named sheet's recovery,
     /// *after* the placeholder shard is published — lets tests prove that
     /// a slow recovery stalls only its own sheet.
     #[doc(hidden)]
     pub open_stall_for_tests: Option<(String, std::time::Duration)>,
+}
+
+impl Default for WorkspaceConfig {
+    fn default() -> Self {
+        WorkspaceConfig {
+            commit_mode: CommitMode::default(),
+            auto_checkpoint_ops: None,
+            recompute_threads: None,
+            storage_fs: None,
+            metrics_enabled: true,
+            slow_op_ns: None,
+            open_stall_for_tests: None,
+        }
+    }
 }
 
 impl std::fmt::Debug for WorkspaceConfig {
@@ -54,6 +82,7 @@ impl std::fmt::Debug for WorkspaceConfig {
             .field("auto_checkpoint_ops", &self.auto_checkpoint_ops)
             .field("recompute_threads", &self.recompute_threads)
             .field("storage_fs", &self.storage_fs.as_ref().map(|_| "custom"))
+            .field("metrics_enabled", &self.metrics_enabled)
             .finish()
     }
 }
@@ -279,20 +308,16 @@ impl From<WireError> for WorkspaceError {
     }
 }
 
-/// Point-in-time counters for one sheet.
-#[derive(Debug, Clone)]
-pub struct SheetStats {
-    pub filled_cells: u64,
-    pub regions: usize,
-    pub persistence: Option<PersistenceStats>,
-}
-
 /// One sheet shard: the engine behind its reader-writer lock plus the
 /// shared WAL handle the committer fsyncs through.
 struct Shard {
+    name: String,
     engine: RwLock<SheetEngine>,
     /// `None` for in-memory workspaces.
     wal: Option<Arc<SharedWal>>,
+    /// Set by the first operation that observes the sheet degraded, so
+    /// the transition lands in the event ring exactly once.
+    degraded_noted: AtomicBool,
 }
 
 /// A sheet's slot in the workspace map. The slot is published (under the
@@ -341,11 +366,67 @@ impl SheetSlot {
     }
 }
 
+/// One session op's instrumentation pair: an exact op counter
+/// (`session_ops{op=…}`) and a latency histogram
+/// (`session_op_ns{op=…}`) fed by *sampled* clock reads.
+///
+/// Counting is one relaxed fetch-add per op; the two `Instant::now()`
+/// reads and the histogram record are paid only for one op in
+/// `mask + 1`. The first op is always timed, so even tiny workloads
+/// leave a latency sample, and the sequence is the counter itself, so
+/// sampling costs no extra atomic. Hot mutation ops (`apply_edit`,
+/// `stage_edit`) sample at 1-in-128 — an in-memory edit runs in hundreds
+/// of nanoseconds, where always-on clocking alone would blow the ≤3%
+/// overhead budget the obs bench enforces; the heavier ops
+/// (`fetch_window`, `await_commit`) time every call.
+struct OpMeter {
+    ops: Arc<Counter>,
+    hist: Arc<Histogram>,
+    /// Sample an op's latency iff `(n - 1) & mask == 0` for its sequence
+    /// number `n` (1-based). `0` times every op.
+    mask: u64,
+}
+
+/// Cached per-op instrumentation handles — resolved once at workspace
+/// construction so the hot path never touches the registry's map lock.
+struct OpHists {
+    apply_edit: OpMeter,
+    fetch_window: OpMeter,
+    stage_edit: OpMeter,
+    await_commit: OpMeter,
+}
+
+impl OpHists {
+    /// Hot-path sampling rate: time one op in 128.
+    const HOT_MASK: u64 = 127;
+
+    fn new(registry: &Arc<MetricsRegistry>) -> OpHists {
+        let meter = |op: &str, mask: u64| OpMeter {
+            ops: registry.counter("session_ops", &[("op", op)]),
+            hist: registry.histogram("session_op_ns", &[("op", op)]),
+            mask,
+        };
+        OpHists {
+            apply_edit: meter("apply_edit", Self::HOT_MASK),
+            fetch_window: meter("fetch_window", 0),
+            stage_edit: meter("stage_edit", Self::HOT_MASK),
+            await_commit: meter("await_commit", 0),
+        }
+    }
+}
+
 struct Inner {
     dir: Option<PathBuf>,
     config: WorkspaceConfig,
     sheets: RwLock<HashMap<String, Arc<SheetSlot>>>,
     committer: GroupCommitter,
+    /// The workspace-wide metrics registry every layer records into
+    /// (WAL fsyncs, engine recompute waves, session op latencies, …).
+    metrics: Arc<MetricsRegistry>,
+    op_hists: OpHists,
+    /// `wal_ops_per_fsync` — appended WAL records per fsync across the
+    /// workspace, refreshed by [`Session::metrics`].
+    ops_per_fsync: Arc<Gauge>,
     /// Fsyncs issued inline by `CommitMode::PerOp` writers (the baseline
     /// counter the concurrency bench compares against committer batches).
     inline_syncs: AtomicU64,
@@ -390,6 +471,13 @@ impl Workspace {
         Self::build(None, WorkspaceConfig::default())
     }
 
+    /// [`Workspace::in_memory`] with explicit configuration. Commit mode
+    /// and storage knobs are moot without a WAL; the observability
+    /// toggles (`metrics_enabled`, `slow_op_ns`) apply as usual.
+    pub fn in_memory_with(config: WorkspaceConfig) -> Workspace {
+        Self::build(None, config)
+    }
+
     /// Open (or create) a durable workspace rooted at `dir` with group
     /// commit (each sheet lives in `dir/<name>/` and recovers
     /// independently on open).
@@ -408,12 +496,22 @@ impl Workspace {
     }
 
     fn build(dir: Option<PathBuf>, config: WorkspaceConfig) -> Workspace {
+        let metrics = MetricsRegistry::new();
+        metrics.set_enabled(config.metrics_enabled);
+        if let Some(ns) = config.slow_op_ns {
+            metrics.set_slow_op_ns(ns);
+        }
+        let op_hists = OpHists::new(&metrics);
+        let ops_per_fsync = metrics.gauge("wal_ops_per_fsync", &[]);
         Workspace {
             inner: Arc::new(Inner {
                 dir,
                 config,
                 sheets: RwLock::new(HashMap::new()),
                 committer: GroupCommitter::new(),
+                metrics,
+                op_hists,
+                ops_per_fsync,
                 inline_syncs: AtomicU64::new(0),
                 commit_spin: std::thread::available_parallelism()
                     .map_or(1, std::num::NonZeroUsize::get)
@@ -444,6 +542,13 @@ impl Workspace {
             .collect();
         names.sort();
         names
+    }
+
+    /// The workspace-wide metrics registry — every layer (WAL, engine,
+    /// session ops, server) records into this one instance. Benches and
+    /// embedders can snapshot or toggle it directly.
+    pub fn metrics_registry(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.inner.metrics)
     }
 
     /// `(committer flush rounds, group fsyncs, inline per-op fsyncs)` —
@@ -595,14 +700,80 @@ impl Session {
         if let Some(threads) = self.inner.config.recompute_threads {
             engine.set_recompute_threads(threads);
         }
+        engine.set_obs(EngineObs::new(&self.inner.metrics, name));
         let wal = engine.commit_wal();
-        if let (Some(wal), CommitMode::Group) = (&wal, self.inner.config.commit_mode) {
-            self.inner.committer.register(wal);
+        if let Some(wal) = &wal {
+            wal.set_obs(WalObs::new(&self.inner.metrics, name));
+            if self.inner.config.commit_mode == CommitMode::Group {
+                self.inner.committer.register(wal);
+            }
         }
         Ok(Arc::new(Shard {
+            name: name.to_string(),
             engine: RwLock::new(engine),
             wal,
+            degraded_noted: AtomicBool::new(false),
         }))
+    }
+
+    /// Stopwatch start for an instrumented session op: bumps the op's
+    /// exact counter, reads the clock only for sampled ops (see
+    /// [`OpMeter`]). `None` means "record no latency for this op" —
+    /// metrics disabled (no atomics at all beyond the enabled load) or
+    /// the op fell outside the sample.
+    fn op_timer(&self, meter: &OpMeter) -> Option<Instant> {
+        if !self.inner.metrics.enabled() {
+            return None;
+        }
+        let n = meter.ops.inc_get();
+        ((n - 1) & meter.mask == 0).then(Instant::now)
+    }
+
+    /// Record one finished *sampled* session op: latency histogram plus
+    /// the slow-op ring (only ops over the registry threshold are
+    /// ring-buffered).
+    fn note_op(
+        &self,
+        t0: Option<Instant>,
+        meter: &OpMeter,
+        sheet: &str,
+        op: &'static str,
+        ticket: u64,
+        outcome: &str,
+    ) {
+        let Some(t0) = t0 else { return };
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        meter.hist.record_ns(ns);
+        self.inner.metrics.note_op(sheet, op, ns, ticket, outcome);
+    }
+
+    /// Ring-buffer the sheet's healthy→degraded transition, exactly once.
+    fn note_degraded(&self, shard: &Shard, cause: &str) {
+        if shard.degraded_noted.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        self.inner.metrics.push_event(Event {
+            ts_ms: now_ms(),
+            kind: "degraded".to_string(),
+            sheet: shard.name.clone(),
+            op: String::new(),
+            duration_ns: 0,
+            ticket: 0,
+            outcome: cause.to_string(),
+        });
+    }
+
+    /// Inspect an op result: degrade-class errors mark the shard's
+    /// transition; the returned string labels the outcome for the ring.
+    fn outcome_of<T>(&self, shard: &Shard, res: &Result<T, WorkspaceError>) -> &'static str {
+        match res {
+            Ok(_) => "ok",
+            Err(WorkspaceError::Degraded(cause)) | Err(WorkspaceError::StorageFailed(cause)) => {
+                self.note_degraded(shard, cause);
+                "storage_failed"
+            }
+            Err(_) => "err",
+        }
     }
 
     /// Fetch the positional window `rect` of `sheet` — the scrolling /
@@ -616,25 +787,40 @@ impl Session {
     /// as-is.
     pub fn fetch_window(&self, sheet: &str, rect: Rect) -> Result<WindowPatch, WorkspaceError> {
         let shard = self.shard(sheet)?;
-        let engine = self.read_engine(&shard);
-        // Columnar fast path: when a columnar region serves the whole
-        // window, its row-major RLE scan drives a streaming PatchBuilder —
-        // no `(CellAddr, Cell)` materialization, no re-sort. Produces a
-        // patch identical to `from_cells` on the same window.
-        let mut builder = PatchBuilder::new(rect);
-        let columnar = engine
-            .storage()
-            .scan_columnar_window(rect, |_, _, v, formula| match v {
-                ScanValue::Empty => builder.push_empty(formula),
-                ScanValue::Number(n) => builder.push_number(n, formula),
-                ScanValue::Bool(b) => builder.push_bool(b, formula),
-                ScanValue::Text(s) => builder.push_text(s, formula),
-                ScanValue::Error(e) => builder.push_error(e, formula),
-            });
-        if columnar {
-            return Ok(builder.finish());
-        }
-        Ok(WindowPatch::from_cells(rect, engine.get_cells(rect)))
+        let t0 = self.op_timer(&self.inner.op_hists.fetch_window);
+        let patch = {
+            let engine = self.read_engine(&shard);
+            // Columnar fast path: when a columnar region serves the whole
+            // window, its row-major RLE scan drives a streaming
+            // PatchBuilder — no `(CellAddr, Cell)` materialization, no
+            // re-sort. Produces a patch identical to `from_cells` on the
+            // same window.
+            let mut builder = PatchBuilder::new(rect);
+            let columnar =
+                engine
+                    .storage()
+                    .scan_columnar_window(rect, |_, _, v, formula| match v {
+                        ScanValue::Empty => builder.push_empty(formula),
+                        ScanValue::Number(n) => builder.push_number(n, formula),
+                        ScanValue::Bool(b) => builder.push_bool(b, formula),
+                        ScanValue::Text(s) => builder.push_text(s, formula),
+                        ScanValue::Error(e) => builder.push_error(e, formula),
+                    });
+            if columnar {
+                builder.finish()
+            } else {
+                WindowPatch::from_cells(rect, engine.get_cells(rect))
+            }
+        };
+        self.note_op(
+            t0,
+            &self.inner.op_hists.fetch_window,
+            sheet,
+            "fetch_window",
+            0,
+            "ok",
+        );
+        Ok(patch)
     }
 
     /// A single cell's computed value (shared lock, like `fetch_window`).
@@ -654,8 +840,21 @@ impl Session {
     /// blocks the sheet's readers or the next writer.
     pub fn apply_edit(&self, sheet: &str, edit: Edit) -> Result<EditReceipt, WorkspaceError> {
         let shard = self.shard(sheet)?;
-        let ticket = self.apply_under_lock(&shard, &edit)?;
-        self.commit(&shard, ticket)
+        let t0 = self.op_timer(&self.inner.op_hists.apply_edit);
+        let res = self
+            .apply_under_lock(&shard, &edit)
+            .and_then(|ticket| self.commit(&shard, ticket));
+        let outcome = self.outcome_of(&shard, &res);
+        let ticket = res.as_ref().map_or(0, |r| r.ticket);
+        self.note_op(
+            t0,
+            &self.inner.op_hists.apply_edit,
+            sheet,
+            "apply_edit",
+            ticket,
+            outcome,
+        );
+        res
     }
 
     /// Refuse durable mutations on a sheet whose store suffered a
@@ -698,7 +897,23 @@ impl Session {
     /// `durable: false`.
     pub fn stage_edit(&self, sheet: &str, edit: Edit) -> Result<EditReceipt, WorkspaceError> {
         let shard = self.shard(sheet)?;
-        let ticket = self.apply_under_lock(&shard, &edit)?;
+        let t0 = self.op_timer(&self.inner.op_hists.stage_edit);
+        let res = self.stage_edit_inner(&shard, &edit);
+        let outcome = self.outcome_of(&shard, &res);
+        let ticket = res.as_ref().map_or(0, |r| r.ticket);
+        self.note_op(
+            t0,
+            &self.inner.op_hists.stage_edit,
+            sheet,
+            "stage_edit",
+            ticket,
+            outcome,
+        );
+        res
+    }
+
+    fn stage_edit_inner(&self, shard: &Shard, edit: &Edit) -> Result<EditReceipt, WorkspaceError> {
+        let ticket = self.apply_under_lock(shard, edit)?;
         let Some(wal) = &shard.wal else {
             return Ok(EditReceipt {
                 ticket: 0,
@@ -729,17 +944,26 @@ impl Session {
     /// ticket of a staged window commits the whole window.
     pub fn await_commit(&self, sheet: &str, ticket: u64) -> Result<(), WorkspaceError> {
         let shard = self.shard(sheet)?;
-        let Some(wal) = &shard.wal else {
-            return Ok(()); // in-memory: nothing to await
-        };
-        match self.inner.config.commit_mode {
-            CommitMode::PerOp => Ok(()), // staged ops were fsynced inline
-            CommitMode::Group => {
+        let t0 = self.op_timer(&self.inner.op_hists.await_commit);
+        let res = match (&shard.wal, self.inner.config.commit_mode) {
+            (None, _) => Ok(()),                    // in-memory: nothing to await
+            (Some(_), CommitMode::PerOp) => Ok(()), // staged ops were fsynced inline
+            (Some(wal), CommitMode::Group) => {
                 self.inner.committer.nudge(wal);
                 wal.commit_wait(ticket, self.inner.commit_spin)
                     .map_err(promote_storage)
             }
-        }
+        };
+        let outcome = self.outcome_of(&shard, &res);
+        self.note_op(
+            t0,
+            &self.inner.op_hists.await_commit,
+            sheet,
+            "await_commit",
+            ticket,
+            outcome,
+        );
+        res
     }
 
     /// Highest commit ticket known crash-durable on `sheet` (0 on
@@ -785,14 +1009,18 @@ impl Session {
         rows: Vec<Vec<CellValue>>,
     ) -> Result<Rect, WorkspaceError> {
         let shard = self.shard(sheet)?;
-        let (rect, ticket) = {
-            let mut engine = self.write_engine(&shard);
-            Self::check_writable(&engine)?;
-            let rect = engine.import_rows(top_left, width, rows)?;
-            (rect, engine.last_commit_ticket())
-        };
-        self.commit(&shard, ticket)?;
-        Ok(rect)
+        let res = (|| {
+            let (rect, ticket) = {
+                let mut engine = self.write_engine(&shard);
+                Self::check_writable(&engine)?;
+                let rect = engine.import_rows(top_left, width, rows)?;
+                (rect, engine.last_commit_ticket())
+            };
+            self.commit(&shard, ticket)?;
+            Ok(rect)
+        })();
+        self.outcome_of(&shard, &res);
+        res
     }
 
     /// Fold `sheet`'s WAL into its checkpoint image (write lock; readers
@@ -800,8 +1028,12 @@ impl Session {
     /// workspaces.
     pub fn checkpoint(&self, sheet: &str) -> Result<Option<CheckpointReport>, WorkspaceError> {
         let shard = self.shard(sheet)?;
-        let mut engine = self.write_engine(&shard);
-        Ok(engine.checkpoint()?)
+        let res = {
+            let mut engine = self.write_engine(&shard);
+            engine.checkpoint().map_err(WorkspaceError::from)
+        };
+        self.outcome_of(&shard, &res);
+        res
     }
 
     /// Block until the op behind `ticket` is crash-durable.
@@ -847,15 +1079,140 @@ impl Session {
         Ok(snapshot)
     }
 
-    /// Counters for one sheet (shared lock).
+    /// Counters and health for one sheet (shared lock). The returned
+    /// [`SheetStats`] is the wire payload itself — the TCP server frames
+    /// it unchanged.
     pub fn stats(&self, sheet: &str) -> Result<SheetStats, WorkspaceError> {
         let shard = self.shard(sheet)?;
         let engine = self.read_engine(&shard);
-        Ok(SheetStats {
-            filled_cells: engine.storage().filled_count(),
-            regions: engine.storage().region_count(),
-            persistence: engine.persistence_stats(),
-        })
+        let mut s = SheetStats::default();
+        s.filled_cells = engine.storage().filled_count();
+        s.regions = engine.storage().region_count() as u64;
+        (s.cache_hits, s.cache_misses) = engine.cache_stats();
+        if let Some(p) = engine.persistence_stats() {
+            s.persistent = true;
+            s.wal_bytes = p.wal_bytes;
+            s.wal_segments = p.wal_segments;
+            s.ops_since_checkpoint = p.ops_since_checkpoint;
+            s.checkpoints = p.checkpoints;
+            s.image_pages = p.image_pages;
+            s.image_regions = p.image_regions;
+            s.resident_bytes = p.resident_bytes;
+            s.pager_hits = p.pager.hits;
+            s.pager_misses = p.pager.misses;
+            s.pager_evictions = p.pager.evictions;
+            s.pager_pages_read = p.pager.pages_read;
+            s.pager_pages_written = p.pager.pages_written;
+        }
+        if let Some((cause, since_ms)) = engine.storage_failed_info() {
+            s.health = Health::Degraded;
+            s.degraded_cause = Some(cause);
+            s.degraded_since_ms = (since_ms > 0).then_some(since_ms);
+        }
+        Ok(s)
+    }
+
+    /// Every `Ready` shard by name, sorted — skips sheets still
+    /// recovering (their metrics land once they publish).
+    fn ready_shards(&self) -> Vec<(String, Arc<Shard>)> {
+        let slots: Vec<(String, Arc<SheetSlot>)> = self
+            .inner
+            .sheets
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, slot)| (name.clone(), Arc::clone(slot)))
+            .collect();
+        let mut shards: Vec<(String, Arc<Shard>)> = slots
+            .into_iter()
+            .filter_map(|(name, slot)| {
+                let st = slot.state.lock().unwrap_or_else(|e| e.into_inner());
+                match &*st {
+                    SlotState::Ready(shard) => Some((name, Arc::clone(shard))),
+                    _ => None,
+                }
+            })
+            .collect();
+        shards.sort_by(|a, b| a.0.cmp(&b.0));
+        shards
+    }
+
+    /// A whole-workspace metrics snapshot: every counter, gauge and
+    /// histogram recorded so far, the slow-op/event ring, and per-sheet
+    /// health. Point-in-time gauges (formula-cache hit counts, pager
+    /// counters, resident bytes by region layout, WAL ops-per-fsync) are
+    /// sampled here, so the snapshot is self-contained.
+    ///
+    /// This is the payload `Request::Metrics` serves; the text exposition
+    /// (`RegistrySnapshot::render_text`) renders it for scrapes.
+    pub fn metrics(&self) -> RegistrySnapshot {
+        let shards = self.ready_shards();
+        let registry = &self.inner.metrics;
+        let mut sheets: Vec<SheetHealth> = Vec::with_capacity(shards.len());
+        let mut total_appends: u64 = 0;
+        let mut total_fsyncs: u64 = 0;
+        for (name, shard) in &shards {
+            let labels: &[(&str, &str)] = &[("sheet", name)];
+            let engine = self.read_engine(shard);
+            let (hits, misses) = engine.cache_stats();
+            registry
+                .gauge("formula_cache_hits", labels)
+                .set(i64::try_from(hits).unwrap_or(i64::MAX));
+            registry
+                .gauge("formula_cache_misses", labels)
+                .set(i64::try_from(misses).unwrap_or(i64::MAX));
+            if let Some(p) = engine.persistence_stats() {
+                for (key, v) in [
+                    ("pager_hits", p.pager.hits),
+                    ("pager_misses", p.pager.misses),
+                    ("pager_evictions", p.pager.evictions),
+                    ("pager_pages_read", p.pager.pages_read),
+                    ("pager_pages_written", p.pager.pages_written),
+                    ("wal_bytes", p.wal_bytes),
+                    ("ops_since_checkpoint", p.ops_since_checkpoint),
+                ] {
+                    registry
+                        .gauge(key, labels)
+                        .set(i64::try_from(v).unwrap_or(i64::MAX));
+                }
+            }
+            for (rect, kind, bytes) in engine.storage().region_resident_bytes() {
+                let kind = kind.to_string();
+                let region = format!("r{}c{}", rect.r1, rect.c1);
+                registry
+                    .gauge(
+                        "region_resident_bytes",
+                        &[("kind", &kind), ("region", &region), ("sheet", name)],
+                    )
+                    .set(i64::try_from(bytes).unwrap_or(i64::MAX));
+            }
+            let mut health = SheetHealth {
+                sheet: name.clone(),
+                health: Health::Healthy,
+                cause: None,
+                since_ms: None,
+            };
+            if let Some((cause, since_ms)) = engine.storage_failed_info() {
+                health.health = Health::Degraded;
+                health.cause = Some(cause);
+                health.since_ms = (since_ms > 0).then_some(since_ms);
+            }
+            drop(engine);
+            sheets.push(health);
+            if shard.wal.is_some() {
+                let wal_obs = WalObs::new(registry, name);
+                total_appends += wal_obs.appends.get();
+                total_fsyncs += wal_obs.fsyncs.get();
+            }
+        }
+        if let Some(per_fsync) = total_appends.checked_div(total_fsyncs) {
+            self.inner
+                .ops_per_fsync
+                .set(i64::try_from(per_fsync).unwrap_or(i64::MAX));
+        }
+        let mut snap = registry.snapshot();
+        snap.sheets = sheets;
+        snap
     }
 }
 
@@ -1081,6 +1438,111 @@ mod tests {
             "a dense numeric import is one typed run"
         );
         assert_eq!(s.stats("data").unwrap().regions, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_snapshot_captures_session_and_wal_activity() {
+        let dir = temp_dir("metrics-snapshot");
+        let ws = Workspace::open(&dir).unwrap();
+        let s = ws.session();
+        s.open_sheet("m").unwrap();
+        for i in 0..4u32 {
+            s.apply_edit("m", set(i, 0, "1")).unwrap();
+        }
+        s.fetch_window("m", Rect::new(0, 0, 3, 3)).unwrap();
+        let snap = s.metrics();
+        assert_eq!(
+            snap.counter("session_ops{op=\"apply_edit\"}").unwrap(),
+            4,
+            "the op counter is exact"
+        );
+        let apply = snap.histogram("session_op_ns{op=\"apply_edit\"}").unwrap();
+        assert_eq!(
+            apply.count(),
+            1,
+            "hot ops sample latency 1-in-128, first op always"
+        );
+        assert!(apply.p99() > 0);
+        assert_eq!(snap.counter("session_ops{op=\"fetch_window\"}").unwrap(), 1);
+        assert_eq!(
+            snap.histogram("session_op_ns{op=\"fetch_window\"}")
+                .unwrap()
+                .count(),
+            1,
+            "fetch_window times every call"
+        );
+        assert!(snap.counter("wal_fsyncs{sheet=\"m\"}").unwrap() > 0);
+        assert!(
+            snap.histogram("wal_fsync_ns{sheet=\"m\"}").unwrap().count() > 0,
+            "fsync latency must be sampled"
+        );
+        assert!(snap.counter("wal_appends{sheet=\"m\"}").unwrap() >= 4);
+        assert_eq!(
+            snap.sheet_health("m").unwrap().health,
+            Health::Healthy,
+            "healthy sheet reports healthy"
+        );
+        let st = s.stats("m").unwrap();
+        assert!(st.persistent);
+        assert_eq!(st.health, Health::Healthy);
+        assert!(st.degraded_cause.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing() {
+        let dir = temp_dir("metrics-off");
+        let ws = Workspace::open_with(
+            &dir,
+            WorkspaceConfig {
+                metrics_enabled: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s = ws.session();
+        s.open_sheet("q").unwrap();
+        s.apply_edit("q", set(0, 0, "5")).unwrap();
+        let snap = s.metrics();
+        assert_eq!(
+            snap.counter("session_ops{op=\"apply_edit\"}").unwrap(),
+            0,
+            "disabled registry must not count ops"
+        );
+        assert_eq!(
+            snap.histogram("session_op_ns{op=\"apply_edit\"}")
+                .unwrap()
+                .count(),
+            0,
+            "disabled registry must not record latencies"
+        );
+        assert!(snap.events.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn slow_ops_land_in_the_event_ring() {
+        let dir = temp_dir("slow-ops");
+        let ws = Workspace::open_with(
+            &dir,
+            WorkspaceConfig {
+                slow_op_ns: Some(0), // every op is "slow"
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let s = ws.session();
+        s.open_sheet("r").unwrap();
+        s.apply_edit("r", set(0, 0, "1")).unwrap();
+        let snap = s.metrics();
+        assert!(
+            snap.events
+                .iter()
+                .any(|e| e.kind == "slow_op" && e.sheet == "r" && e.op == "apply_edit"),
+            "threshold 0 must ring-buffer the op: {:?}",
+            snap.events
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

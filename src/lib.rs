@@ -6,6 +6,12 @@
 //!
 //! This umbrella crate re-exports the workspace's public API:
 //!
+//! * [`obs`] — the dependency-free observability core: lock-free
+//!   counters/gauges, log₂ latency histograms with mergeable snapshots,
+//!   a bounded slow-op [`obs::EventRing`], and the
+//!   [`obs::MetricsRegistry`] every workspace carries (snapshots are
+//!   served over the wire via `Request::Metrics` and rendered as a
+//!   Prometheus-style text exposition by `--metrics-dump`),
 //! * [`grid`] — the conceptual data model (cells, addresses, regions),
 //! * [`posmap`] — positional mapping (hierarchical counted B+-tree, …),
 //! * [`relstore`] — the embedded relational row store,
@@ -56,6 +62,7 @@ pub use dataspread_engine as engine;
 pub use dataspread_formula as formula;
 pub use dataspread_grid as grid;
 pub use dataspread_hybrid as hybrid;
+pub use dataspread_obs as obs;
 pub use dataspread_posmap as posmap;
 pub use dataspread_proto as proto;
 pub use dataspread_rel as rel;
